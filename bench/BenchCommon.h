@@ -1,0 +1,152 @@
+//===- bench/BenchCommon.h - Shared benchmark harness code ------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction benches: environment
+/// knobs, suite preparation, and measured configuration runs.
+///
+/// Environment variables:
+///   POCE_BENCH_SCALE    scale factor on benchmark sizes   (default 1.0)
+///   POCE_BENCH_MAXAST   skip benchmarks above this size   (default 0 = all)
+///   POCE_BENCH_REPEATS  timing repeats, best-of-N         (default 1;
+///                       the paper reports best of 3)
+///   POCE_BENCH_MAXWORK  abort cap on plain (no-elimination) runs
+///                       (default 150000000; 0 = unlimited). Runs that hit
+///                       the cap are reported with a ">" prefix, like the
+///                       paper's oracle runs that "failed" on three
+///                       programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_BENCH_BENCHCOMMON_H
+#define POCE_BENCH_BENCHCOMMON_H
+
+#include "andersen/Andersen.h"
+#include "setcon/Oracle.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+#include "workload/Suite.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace bench {
+
+struct BenchEnv {
+  double Scale = 1.0;
+  uint32_t MaxAst = 0;
+  unsigned Repeats = 1;
+  uint64_t PlainMaxWork = 150000000;
+
+  static BenchEnv fromEnv() {
+    BenchEnv Env;
+    if (const char *Scale = std::getenv("POCE_BENCH_SCALE"))
+      Env.Scale = std::atof(Scale);
+    if (const char *MaxAst = std::getenv("POCE_BENCH_MAXAST"))
+      Env.MaxAst = static_cast<uint32_t>(std::atoll(MaxAst));
+    if (const char *Repeats = std::getenv("POCE_BENCH_REPEATS"))
+      Env.Repeats = static_cast<unsigned>(std::atoi(Repeats));
+    if (const char *MaxWork = std::getenv("POCE_BENCH_MAXWORK"))
+      Env.PlainMaxWork = static_cast<uint64_t>(std::atoll(MaxWork));
+    if (Env.Repeats < 1)
+      Env.Repeats = 1;
+    return Env;
+  }
+
+  void print() const {
+    std::string MaxAstNote =
+        MaxAst ? " max-ast=" + std::to_string(MaxAst) : std::string();
+    std::printf("# scale=%.2f repeats=%u plain-work-cap=%llu%s\n", Scale,
+                Repeats, (unsigned long long)PlainMaxWork,
+                MaxAstNote.c_str());
+  }
+};
+
+/// One prepared suite entry, with its oracle (built lazily).
+struct SuiteEntry {
+  std::unique_ptr<workload::PreparedProgram> Program;
+  ConstructorTable Constructors;
+  Oracle WitnessOracle;
+  bool OracleBuilt = false;
+
+  const Oracle &oracle() {
+    if (!OracleBuilt) {
+      SolverOptions Base =
+          makeConfig(GraphForm::Inductive, CycleElim::Online);
+      WitnessOracle = buildOracle(
+          andersen::makeGenerator(Program->Unit), Constructors, Base);
+      OracleBuilt = true;
+    }
+    return WitnessOracle;
+  }
+};
+
+inline std::vector<std::unique_ptr<SuiteEntry>>
+prepareSuite(const BenchEnv &Env) {
+  std::vector<std::unique_ptr<SuiteEntry>> Entries;
+  for (const workload::ProgramSpec &Spec :
+       workload::paperSuite(Env.Scale, Env.MaxAst)) {
+    auto Entry = std::make_unique<SuiteEntry>();
+    Entry->Program = workload::prepareProgram(Spec);
+    if (!Entry->Program->Ok) {
+      std::fprintf(stderr, "warning: benchmark '%s' failed to parse; "
+                           "skipping\n",
+                   Spec.Name.c_str());
+      continue;
+    }
+    Entries.push_back(std::move(Entry));
+  }
+  return Entries;
+}
+
+/// One measured run: analysis result of the last repeat plus the best
+/// wall-clock seconds over all repeats.
+struct MeasuredRun {
+  andersen::AnalysisResult Result;
+  double BestSeconds = 0;
+  bool Capped = false; ///< The work cap stopped the run early.
+};
+
+inline MeasuredRun runConfig(SuiteEntry &Entry, GraphForm Form,
+                             CycleElim Elim, const BenchEnv &Env) {
+  SolverOptions Options = makeConfig(Form, Elim);
+  if (Elim == CycleElim::None)
+    Options.MaxWork = Env.PlainMaxWork;
+  const Oracle *WitnessOracle =
+      Elim == CycleElim::Oracle ? &Entry.oracle() : nullptr;
+
+  MeasuredRun Run;
+  for (unsigned Repeat = 0; Repeat != Env.Repeats; ++Repeat) {
+    Run.Result = andersen::runAnalysis(Entry.Program->Unit,
+                                       Entry.Constructors, Options,
+                                       WitnessOracle,
+                                       /*ExtractPointsTo=*/false);
+    double Seconds = Run.Result.AnalysisSeconds;
+    if (Repeat == 0 || Seconds < Run.BestSeconds)
+      Run.BestSeconds = Seconds;
+    if (Run.Result.Stats.Aborted)
+      break; // No point repeating a capped run.
+  }
+  Run.Capped = Run.Result.Stats.Aborted;
+  return Run;
+}
+
+/// Formats a capped value with a ">" marker.
+inline std::string capped(uint64_t Value, bool Capped) {
+  return (Capped ? ">" : "") + formatGrouped(Value);
+}
+inline std::string cappedTime(double Seconds, bool Capped) {
+  return (Capped ? ">" : "") + formatDouble(Seconds, 3);
+}
+
+} // namespace bench
+} // namespace poce
+
+#endif // POCE_BENCH_BENCHCOMMON_H

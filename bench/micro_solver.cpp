@@ -1,0 +1,257 @@
+//===- bench/micro_solver.cpp - Microbenchmarks (google-benchmark) ---------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the primitive operations that dominate constraint
+/// resolution: hash-set membership, union-find, term interning, atomic
+/// edge insertion and closure, online cycle detection/collapse, least
+/// solution computation, and frontend throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Andersen.h"
+#include "minic/Lexer.h"
+#include "minic/Parser.h"
+#include "setcon/ConstraintSolver.h"
+#include "support/DenseU64Set.h"
+#include "support/PRNG.h"
+#include "support/UnionFind.h"
+#include "workload/ProgramGenerator.h"
+#include "workload/RandomConstraints.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace poce;
+
+//===----------------------------------------------------------------------===//
+// Support primitives
+//===----------------------------------------------------------------------===//
+
+static void BM_DenseSetInsert(benchmark::State &State) {
+  PRNG Rng(1);
+  std::vector<uint64_t> Keys(static_cast<size_t>(State.range(0)));
+  for (uint64_t &Key : Keys)
+    Key = Rng.nextU64() >> 1;
+  for (auto _ : State) {
+    DenseU64Set Set;
+    for (uint64_t Key : Keys)
+      benchmark::DoNotOptimize(Set.insert(Key));
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_DenseSetInsert)->Arg(1000)->Arg(100000);
+
+static void BM_DenseSetLookupHit(benchmark::State &State) {
+  PRNG Rng(2);
+  DenseU64Set Set;
+  std::vector<uint64_t> Keys(100000);
+  for (uint64_t &Key : Keys) {
+    Key = Rng.nextU64() >> 1;
+    Set.insert(Key);
+  }
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Set.contains(Keys[I++ % Keys.size()]));
+  }
+}
+BENCHMARK(BM_DenseSetLookupHit);
+
+static void BM_UnionFind(benchmark::State &State) {
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  PRNG Rng(3);
+  for (auto _ : State) {
+    UnionFind UF;
+    UF.growTo(N);
+    for (uint32_t I = 0; I != N; ++I)
+      UF.unite(static_cast<uint32_t>(Rng.nextBelow(N)),
+               static_cast<uint32_t>(Rng.nextBelow(N)));
+    benchmark::DoNotOptimize(UF.find(0));
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_UnionFind)->Arg(10000);
+
+static void BM_TermInterning(benchmark::State &State) {
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConsId C = Constructors.getOrCreate(
+        "c", {Variance::Covariant, Variance::Covariant});
+    for (uint32_t I = 0; I != 1000; ++I)
+      benchmark::DoNotOptimize(
+          Terms.cons(C, {Terms.var(I), Terms.var(I / 2)}));
+    // Second pass hits the intern cache.
+    for (uint32_t I = 0; I != 1000; ++I)
+      benchmark::DoNotOptimize(
+          Terms.cons(C, {Terms.var(I), Terms.var(I / 2)}));
+  }
+  State.SetItemsProcessed(State.iterations() * 2000);
+}
+BENCHMARK(BM_TermInterning);
+
+//===----------------------------------------------------------------------===//
+// Solver operations
+//===----------------------------------------------------------------------===//
+
+static void BM_EdgeInsertionChain(benchmark::State &State) {
+  // A source propagated down a long variable chain: one closure-driven
+  // addition per edge.
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms,
+                            makeConfig(GraphForm::Inductive,
+                                       CycleElim::None));
+    ExprId S = Terms.cons(Constructors.getOrCreate("s", {}), {});
+    std::vector<VarId> Vars;
+    for (uint32_t I = 0; I != N; ++I)
+      Vars.push_back(Solver.freshVar("v"));
+    Solver.addConstraint(S, Terms.var(Vars[0]));
+    for (uint32_t I = 0; I + 1 != N; ++I)
+      Solver.addConstraint(Terms.var(Vars[I]), Terms.var(Vars[I + 1]));
+    benchmark::DoNotOptimize(Solver.stats().Work);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_EdgeInsertionChain)->Arg(1000)->Arg(10000);
+
+static void BM_OnlineDetectionOverhead(benchmark::State &State) {
+  // Acyclic random insertions: measures the pure overhead of running the
+  // partial chain search on every variable-variable insertion.
+  const uint32_t N = 2000;
+  PRNG Rng(7);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t I = 0; I != 4 * N; ++I) {
+    uint32_t A = static_cast<uint32_t>(Rng.nextBelow(N));
+    uint32_t B = static_cast<uint32_t>(Rng.nextBelow(N));
+    if (A < B)
+      Edges.push_back({A, B}); // Forward only: acyclic.
+  }
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms,
+                            makeConfig(GraphForm::Inductive,
+                                       CycleElim::Online));
+    std::vector<VarId> Vars;
+    for (uint32_t I = 0; I != N; ++I)
+      Vars.push_back(Solver.freshVar("v"));
+    for (auto [A, B] : Edges)
+      Solver.addConstraint(Terms.var(Vars[A]), Terms.var(Vars[B]));
+    benchmark::DoNotOptimize(Solver.stats().CycleSearchSteps);
+  }
+  State.SetItemsProcessed(State.iterations() * Edges.size());
+}
+BENCHMARK(BM_OnlineDetectionOverhead);
+
+static void BM_CycleCollapse(benchmark::State &State) {
+  // Insert rings that are detected and collapsed.
+  const uint32_t N = 1000;
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms,
+                            makeConfig(GraphForm::Inductive,
+                                       CycleElim::Online));
+    std::vector<VarId> Vars;
+    for (uint32_t I = 0; I != N; ++I)
+      Vars.push_back(Solver.freshVar("v"));
+    for (uint32_t Ring = 0; Ring + 10 <= N; Ring += 10) {
+      for (uint32_t I = 0; I != 10; ++I)
+        Solver.addConstraint(Terms.var(Vars[Ring + I]),
+                             Terms.var(Vars[Ring + (I + 1) % 10]));
+    }
+    benchmark::DoNotOptimize(Solver.stats().VarsEliminated);
+  }
+}
+BENCHMARK(BM_CycleCollapse);
+
+static void BM_Compact(benchmark::State &State) {
+  // Compaction cost after a collapse-heavy solve.
+  PRNG Rng(13);
+  RandomConstraintShape Shape =
+      randomConstraintShape(3000, 2000, 2.0 / 3000, Rng);
+  for (auto _ : State) {
+    State.PauseTiming();
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms, makeConfig(GraphForm::Inductive,
+                                              CycleElim::Online));
+    workload::emitRandomConstraints(Shape, Solver);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(Solver.compact());
+  }
+}
+BENCHMARK(BM_Compact);
+
+static void BM_LeastSolutionIF(benchmark::State &State) {
+  PRNG Rng(11);
+  RandomConstraintShape Shape =
+      randomConstraintShape(2000, 1300, 1.0 / 2000, Rng);
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms,
+                            makeConfig(GraphForm::Inductive,
+                                       CycleElim::Online));
+    workload::emitRandomConstraints(Shape, Solver);
+    Solver.finalize();
+    benchmark::DoNotOptimize(Solver.leastSolution(0).size());
+  }
+}
+BENCHMARK(BM_LeastSolutionIF);
+
+//===----------------------------------------------------------------------===//
+// Frontend and end-to-end
+//===----------------------------------------------------------------------===//
+
+static std::string &benchProgram() {
+  static std::string Source = [] {
+    workload::ProgramSpec Spec;
+    Spec.Name = "micro";
+    Spec.TargetAstNodes = 8000;
+    Spec.Seed = 99;
+    return workload::generateProgram(Spec);
+  }();
+  return Source;
+}
+
+static void BM_LexerThroughput(benchmark::State &State) {
+  const std::string &Source = benchProgram();
+  for (auto _ : State) {
+    minic::Diagnostics Diags;
+    minic::Lexer Lexer(Source, Diags);
+    benchmark::DoNotOptimize(Lexer.lexAll().size());
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_LexerThroughput);
+
+static void BM_ParserThroughput(benchmark::State &State) {
+  const std::string &Source = benchProgram();
+  for (auto _ : State) {
+    minic::TranslationUnit Unit;
+    andersen::parseSource(Source, Unit);
+    benchmark::DoNotOptimize(Unit.numNodes());
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParserThroughput);
+
+static void BM_EndToEndIFOnline(benchmark::State &State) {
+  minic::TranslationUnit Unit;
+  andersen::parseSource(benchProgram(), Unit);
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    andersen::AnalysisResult Result = andersen::runAnalysis(
+        Unit, Constructors,
+        makeConfig(GraphForm::Inductive, CycleElim::Online), nullptr,
+        /*ExtractPointsTo=*/false);
+    benchmark::DoNotOptimize(Result.Stats.Work);
+  }
+}
+BENCHMARK(BM_EndToEndIFOnline);

@@ -1,0 +1,65 @@
+//===- bench/table2_plain_oracle.cpp - Reproduction of Table 2 -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Table 2: edges in the final graph, total edge
+/// additions (Work, including redundant ones), and analysis time for the
+/// four non-online configurations — SF-Plain, IF-Plain, SF-Oracle,
+/// IF-Oracle. The oracle runs bound what any cycle elimination can
+/// achieve; the plain runs show that cycles are the scalability problem.
+///
+/// Expected shape (paper Section 4): the bulk of work and time is
+/// attributable to SCCs; without cycles both forms scale well (oracle
+/// columns), while the plain columns blow up — IF-Plain worse than
+/// SF-Plain because cycles add many redundant variable-variable edges in
+/// inductive form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace poce;
+using namespace poce::bench;
+
+int main() {
+  BenchEnv Env = BenchEnv::fromEnv();
+  std::printf("=== Table 4 (legend): experiments ===\n");
+  std::printf("SF-Plain   standard form, no cycle elimination\n");
+  std::printf("IF-Plain   inductive form, no cycle elimination\n");
+  std::printf("SF-Oracle  standard form, full (oracle) cycle elimination\n");
+  std::printf("IF-Oracle  inductive form, full (oracle) cycle elimination\n");
+  std::printf("SF-Online  standard form, online cycle elimination\n");
+  std::printf("IF-Online  inductive form, online cycle elimination\n\n");
+
+  std::printf("=== Table 2: SF-Plain, IF-Plain, SF-Oracle, IF-Oracle ===\n");
+  Env.print();
+
+  TextTable Table({"Benchmark", "AST", "SFp-Edges", "SFp-Work", "SFp-s",
+                   "IFp-Edges", "IFp-Work", "IFp-s", "SFo-Edges", "SFo-Work",
+                   "SFo-s", "IFo-Edges", "IFo-Work", "IFo-s"});
+
+  for (auto &Entry : prepareSuite(Env)) {
+    std::vector<std::string> Row = {Entry->Program->Spec.Name,
+                                    formatGrouped(Entry->Program->AstNodes)};
+    const std::pair<GraphForm, CycleElim> Configs[] = {
+        {GraphForm::Standard, CycleElim::None},
+        {GraphForm::Inductive, CycleElim::None},
+        {GraphForm::Standard, CycleElim::Oracle},
+        {GraphForm::Inductive, CycleElim::Oracle},
+    };
+    for (auto [Form, Elim] : Configs) {
+      MeasuredRun Run = runConfig(*Entry, Form, Elim, Env);
+      Row.push_back(capped(Run.Result.FinalEdges, Run.Capped));
+      Row.push_back(capped(Run.Result.Stats.Work, Run.Capped));
+      Row.push_back(cappedTime(Run.BestSeconds, Run.Capped));
+    }
+    Table.addRow(std::move(Row));
+  }
+  Table.print();
+  std::printf("\n\">\" rows hit the plain-run work cap "
+              "(POCE_BENCH_MAXWORK); values are lower bounds.\n");
+  return 0;
+}

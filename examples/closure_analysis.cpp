@@ -1,0 +1,85 @@
+//===- examples/closure_analysis.cpp - 0CFA on a functional program --------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction, working: monovariant closure
+/// analysis (0CFA) for a small functional language, built on the same
+/// inclusion constraint solver. Parses a higher-order program with
+/// recursion, reports which lambdas reach each application site, and shows
+/// that recursive bindings create constraint cycles that online
+/// elimination collapses here just as in the points-to case study.
+///
+/// Build & run:  ./build/examples/closure_analysis
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfa/ClosureAnalysis.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace poce;
+using namespace poce::cfa;
+
+static const char *const SampleProgram = R"(
+-- A higher-order program with self-application and recursion.
+let id = \x. x in
+let compose = \f. \g. \x. f (g x) in
+let twice = \f. \x. f (f x) in
+let rec iterate = \f. if0 f 0 then f else iterate (compose f id) in
+(twice (iterate id)) 42
+)";
+
+int main() {
+  std::printf("program:\n%s\n", SampleProgram);
+
+  LambdaProgram Program;
+  std::string Error;
+  if (!Program.parse(SampleProgram, &Error)) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%u terms, %u lambdas (L0..L%u), %u application sites\n\n",
+              Program.numTerms(), Program.numLambdas(),
+              Program.numLambdas() - 1, Program.numAppSites());
+
+  ConstructorTable Constructors;
+  CFAResult Result = runClosureAnalysis(
+      Program, Constructors,
+      makeConfig(GraphForm::Inductive, CycleElim::Online));
+
+  std::printf("call targets (application site -> lambda labels):\n");
+  for (const auto &[Site, Targets] : Result.CallTargets) {
+    std::printf("  site %-2u -> {", Site);
+    for (size_t I = 0; I != Targets.size(); ++I)
+      std::printf("%s L%u", I ? "," : "", Targets[I]);
+    std::printf(" }\n");
+  }
+
+  std::printf("\ncycle statistics on a larger synthetic workload "
+              "(recursive combinator chains):\n");
+  std::string Big = generateLambdaProgram(/*NumGroups=*/120, /*Seed=*/3);
+  LambdaProgram BigProgram;
+  if (!BigProgram.parse(Big, &Error)) {
+    std::fprintf(stderr, "internal error: %s\n", Error.c_str());
+    return 1;
+  }
+  TextTable Table({"Config", "Work", "Eliminated", "Time(ms)"});
+  for (CycleElim Elim : {CycleElim::None, CycleElim::Online}) {
+    for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive}) {
+      CFAResult R = runClosureAnalysis(BigProgram, Constructors,
+                                       makeConfig(Form, Elim));
+      Table.addRow({makeConfig(Form, Elim).configName(),
+                    formatGrouped(R.Stats.Work),
+                    formatGrouped(R.Stats.VarsEliminated),
+                    formatDouble(R.AnalysisSeconds * 1e3, 2)});
+    }
+  }
+  Table.print();
+  std::printf("\nRecursion makes cyclic constraints; online elimination "
+              "pays off for closure analysis too.\n");
+  return 0;
+}

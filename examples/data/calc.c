@@ -1,0 +1,83 @@
+/* A tiny expression interpreter: a tagged tree built on the heap, a
+   recursive evaluator, and an environment threaded by pointer — the
+   recursive-descent shape of the paper's compiler benchmarks. */
+
+extern void *malloc(unsigned long n);
+
+enum kind { K_NUM, K_ADD, K_MUL, K_VAR };
+
+struct expr {
+  int kind;
+  int value;
+  char name;
+  struct expr *lhs;
+  struct expr *rhs;
+};
+
+struct binding {
+  char name;
+  int value;
+  struct binding *next;
+};
+
+struct binding *env;
+
+struct expr *mk_num(int value) {
+  struct expr *e = (struct expr *)malloc(sizeof(struct expr));
+  e->kind = K_NUM;
+  e->value = value;
+  return e;
+}
+
+struct expr *mk_bin(int kind, struct expr *lhs, struct expr *rhs) {
+  struct expr *e = (struct expr *)malloc(sizeof(struct expr));
+  e->kind = kind;
+  e->lhs = lhs;
+  e->rhs = rhs;
+  return e;
+}
+
+struct expr *mk_var(char name) {
+  struct expr *e = (struct expr *)malloc(sizeof(struct expr));
+  e->kind = K_VAR;
+  e->name = name;
+  return e;
+}
+
+void bind(char name, int value) {
+  struct binding *b = (struct binding *)malloc(sizeof(struct binding));
+  b->name = name;
+  b->value = value;
+  b->next = env;
+  env = b;
+}
+
+int lookup(char name) {
+  for (struct binding *b = env; b; b = b->next)
+    if (b->name == name)
+      return b->value;
+  return 0;
+}
+
+int eval(struct expr *e) {
+  switch (e->kind) {
+  case K_NUM:
+    return e->value;
+  case K_ADD:
+    return eval(e->lhs) + eval(e->rhs);
+  case K_MUL:
+    return eval(e->lhs) * eval(e->rhs);
+  case K_VAR:
+    return lookup(e->name);
+  }
+  return 0;
+}
+
+int main(void) {
+  bind('x', 3);
+  bind('y', 4);
+  /* (x + 2) * y */
+  struct expr *tree =
+      mk_bin(K_MUL, mk_bin(K_ADD, mk_var('x'), mk_num(2)), mk_var('y'));
+  return eval(tree);
+}

@@ -1,0 +1,56 @@
+/* An event loop with callback registration through function pointers —
+   the dispatch pattern that makes call-graph construction depend on
+   points-to analysis. */
+
+extern void *malloc(unsigned long n);
+
+typedef void (*handler_t)(int *state);
+
+struct subscription {
+  handler_t handler;
+  int *state;
+  struct subscription *next;
+};
+
+struct subscription *subscribers;
+int clicks, keys, ticks;
+
+void on_click(int *state) { *state = *state + 1; }
+void on_key(int *state) { *state = *state + 2; }
+void on_tick(int *state) { *state = 0; }
+
+void subscribe(handler_t handler, int *state) {
+  struct subscription *sub =
+      (struct subscription *)malloc(sizeof(struct subscription));
+  sub->handler = handler;
+  sub->state = state;
+  sub->next = subscribers;
+  subscribers = sub;
+}
+
+void dispatch_all(void) {
+  struct subscription *cur = subscribers;
+  while (cur) {
+    cur->handler(cur->state);
+    cur = cur->next;
+  }
+}
+
+handler_t pick(int which) {
+  switch (which) {
+  case 0:
+    return on_click;
+  case 1:
+    return on_key;
+  default:
+    return on_tick;
+  }
+}
+
+int main(void) {
+  subscribe(on_click, &clicks);
+  subscribe(on_key, &keys);
+  subscribe(pick(2), &ticks);
+  dispatch_all();
+  return 0;
+}

@@ -1,0 +1,62 @@
+/* A singly linked list library: the allocation, threading, and traversal
+   idioms that drive points-to analysis in real C code. */
+
+extern void *malloc(unsigned long n);
+extern void free(void *p);
+
+struct list {
+  struct list *next;
+  int *payload;
+};
+
+struct list *head;
+int pool0, pool1, pool2;
+
+struct list *cons(int *payload, struct list *tail) {
+  struct list *cell = (struct list *)malloc(sizeof(struct list));
+  cell->payload = payload;
+  cell->next = tail;
+  return cell;
+}
+
+struct list *push(int *payload) {
+  head = cons(payload, head);
+  return head;
+}
+
+int *last_payload(struct list *l) {
+  struct list *cur = l;
+  while (cur->next) {
+    cur = cur->next;
+  }
+  return cur->payload;
+}
+
+struct list *reverse(struct list *l) {
+  struct list *out = 0;
+  struct list *cur = l;
+  while (cur) {
+    struct list *next = cur->next;
+    cur->next = out;
+    out = cur;
+    cur = next;
+  }
+  return out;
+}
+
+int length(struct list *l) {
+  int n = 0;
+  for (struct list *cur = l; cur; cur = cur->next)
+    n++;
+  return n;
+}
+
+int main(void) {
+  push(&pool0);
+  push(&pool1);
+  push(&pool2);
+  head = reverse(head);
+  int *p = last_payload(head);
+  *p = length(head);
+  return 0;
+}

@@ -1,0 +1,37 @@
+/* String buffer manipulation: arrays, pointer arithmetic, string
+   literals, and handwritten copy loops. */
+
+extern void *malloc(unsigned long n);
+
+char scratch[64];
+char *cursor;
+
+char *sb_copy(char *dst, char *src) {
+  char *out = dst;
+  while (*src) {
+    *dst = *src;
+    dst++;
+    src++;
+  }
+  *dst = 0;
+  return out;
+}
+
+char *sb_dup(char *src) {
+  char *buf = (char *)malloc(64);
+  return sb_copy(buf, src);
+}
+
+char *sb_skip_spaces(char *p) {
+  while (*p == ' ')
+    p = p + 1;
+  return p;
+}
+
+int main(void) {
+  cursor = sb_copy(scratch, "  hello world");
+  cursor = sb_skip_spaces(cursor);
+  char *owned = sb_dup(cursor);
+  cursor = owned;
+  return cursor[0];
+}

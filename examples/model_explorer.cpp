@@ -1,0 +1,58 @@
+//===- examples/model_explorer.cpp - Exploring the analytical model --------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explores Section 5's analytical model interactively: prints the
+/// expected-work curves for standard vs inductive form across graph sizes,
+/// the Theorem 5.1 ratio as n grows, and the Theorem 5.2 reachable-set
+/// bound as density k varies — the quantities that explain *why* inductive
+/// form wins and why partial online detection is cheap.
+///
+/// Build & run:  ./build/examples/model_explorer
+///
+//===----------------------------------------------------------------------===//
+
+#include "model/Model.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace poce;
+
+int main() {
+  std::printf("Expected edge additions on random constraint graphs\n");
+  std::printf("(p = 1/n, m = 2n/3; the paper's initial-graph density)\n\n");
+  TextTable Work({"n", "E[X_SF]", "E[X_IF]", "SF/IF"});
+  for (uint64_t N : {100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+    uint64_t M = 2 * N / 3;
+    double P = 1.0 / static_cast<double>(N);
+    double SF = model::expectedAdditionsSF(N, M, P);
+    double IF = model::expectedAdditionsIF(N, M, P);
+    Work.addRow({formatGrouped(N), formatDouble(SF, 0), formatDouble(IF, 0),
+                 formatDouble(SF / IF, 3)});
+  }
+  Work.print();
+  std::printf("\nTheorem 5.1: the ratio approaches ~2.5 — standard form "
+              "does ~2.5x the work of inductive form.\n\n");
+
+  std::printf("Expected variables reachable by a chain search "
+              "(Theorem 5.2)\n");
+  std::printf("(final-graph density p = k/n; the paper's benchmarks have "
+              "k ~ 2)\n\n");
+  TextTable Reach({"k", "E[R_X] (n=100000)", "closed form (e^k-1-k)/k"});
+  for (double K : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0}) {
+    Reach.addRow({formatDouble(K, 1),
+                  formatDouble(model::expectedReachable(100000, K / 100000.0),
+                               3),
+                  formatDouble(model::reachableClosedForm(K), 3)});
+  }
+  Reach.print();
+  std::printf("\nAt k = 2 a chain search visits ~2.2 variables on average "
+              "— that is why online detection costs only constant time per "
+              "edge. Past k ~ 4 the cost climbs steeply: the method relies "
+              "on sparse graphs.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- andersen/Andersen.cpp - Points-to analysis driver -------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Andersen.h"
+
+#include "minic/Lexer.h"
+#include "minic/Parser.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace poce;
+using namespace poce::andersen;
+
+AnalysisResult poce::andersen::runAnalysis(const minic::TranslationUnit &Unit,
+                                           ConstructorTable &Constructors,
+                                           const SolverOptions &Options,
+                                           const Oracle *WitnessOracle,
+                                           bool ExtractPointsTo) {
+  AnalysisResult Result;
+  Timer AnalysisTimer;
+
+  TermTable Terms(Constructors);
+  ConstraintSolver Solver(Terms, Options, WitnessOracle);
+  ConstraintGenerator Generator(Solver);
+  Generator.run(Unit);
+  Solver.finalize();
+
+  Result.AnalysisSeconds = AnalysisTimer.seconds();
+  Result.Stats = Solver.stats();
+  Result.FinalEdges = Solver.countFinalEdges();
+  Result.NumLocations = static_cast<uint32_t>(Generator.locations().size());
+  Result.NumSetVars = Solver.stats().VarsCreated;
+  Result.Inconsistencies = Solver.inconsistencies();
+
+  if (ExtractPointsTo) {
+    for (const Location &Loc : Generator.locations()) {
+      std::vector<std::string> Names;
+      for (ExprId Term : Solver.leastSolution(Loc.Content)) {
+        LocationId Target = Generator.locationOfRefTerm(Term);
+        if (Target != ConstraintGenerator::NotFound)
+          Names.push_back(Generator.locations()[Target].Name);
+      }
+      std::sort(Names.begin(), Names.end());
+      Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+      Result.PointsTo.emplace(Loc.Name, std::move(Names));
+    }
+  }
+  return Result;
+}
+
+GeneratorFn poce::andersen::makeGenerator(const minic::TranslationUnit &Unit) {
+  return [&Unit](ConstraintSolver &Solver) {
+    ConstraintGenerator Generator(Solver);
+    Generator.run(Unit);
+  };
+}
+
+bool poce::andersen::parseSource(const std::string &Source,
+                                 minic::TranslationUnit &Unit,
+                                 std::vector<std::string> *ErrorsOut,
+                                 const std::string &FileName) {
+  minic::Diagnostics Diags(FileName);
+  minic::Lexer Lexer(Source, Diags);
+  minic::Parser Parser(Lexer.lexAll(), Diags, Unit);
+  bool Ok = Parser.parseTranslationUnit() && !Diags.hasErrors();
+  if (ErrorsOut)
+    *ErrorsOut = Diags.errors();
+  return Ok;
+}

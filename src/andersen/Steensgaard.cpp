@@ -1,0 +1,551 @@
+//===- andersen/Steensgaard.cpp - Unification-based points-to --------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Steensgaard.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Timer.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace poce;
+using namespace poce::andersen;
+using namespace poce::minic;
+
+namespace {
+
+/// Sentinel for "no cell" (literals and other valueless expressions).
+constexpr uint32_t NoCell = ~0U;
+
+/// The unification engine plus the AST walker. Mirrors the structure of
+/// the Andersen ConstraintGenerator so the two analyses see identical
+/// abstract locations.
+class Steensgaard {
+public:
+  SteensgaardResult run(const TranslationUnit &Unit) {
+    Timer T;
+    for (const Decl *D : Unit.Decls) {
+      switch (D->kind()) {
+      case Node::Kind::Var:
+        walkVarDecl(cast<VarDecl>(D), /*IsLocal=*/false);
+        break;
+      case Node::Kind::Function: {
+        const auto *Fn = cast<FunctionDecl>(D);
+        declareFunction(Fn);
+        if (Fn->Body)
+          walkFunctionBody(Fn);
+        break;
+      }
+      case Node::Kind::Record:
+      case Node::Kind::Typedef:
+      case Node::Kind::Enum:
+        break;
+      default:
+        poce_unreachable("non-declaration node at top level");
+      }
+    }
+    SteensgaardResult Result = extract();
+    Result.AnalysisSeconds = T.seconds();
+    return Result;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Cells and unification
+  //===--------------------------------------------------------------------===
+
+  struct Signature {
+    std::vector<uint32_t> Params; ///< Parameter location cells.
+    uint32_t Return;              ///< Return-slot location cell.
+  };
+
+  uint32_t makeCell() { return Cells.makeSet(); }
+  uint32_t find(uint32_t Cell) { return Cells.find(Cell); }
+
+  /// The pointee class of \p Cell, created on demand.
+  uint32_t ptsOf(uint32_t Cell) {
+    uint32_t Root = find(Cell);
+    auto It = Pts.find(Root);
+    if (It == Pts.end())
+      It = Pts.emplace(Root, makeCell()).first;
+    return find(It->second);
+  }
+
+  /// Makes \p Cell point to \p Target's class (unifying with any existing
+  /// pointee).
+  void setPts(uint32_t Cell, uint32_t Target) {
+    uint32_t Root = find(Cell);
+    auto It = Pts.find(Root);
+    if (It == Pts.end())
+      Pts.emplace(Root, Target);
+    else
+      unify(It->second, Target);
+  }
+
+  /// The assignment rule: contents of \p Rhs flow into \p Lhs, which in
+  /// unification terms equates the two pointee classes.
+  void joinPts(uint32_t Lhs, uint32_t Rhs) {
+    if (Lhs == NoCell || Rhs == NoCell)
+      return;
+    unify(ptsOf(Lhs), ptsOf(Rhs));
+  }
+
+  /// Unifies two classes, recursively merging pointees and signatures
+  /// (iterative worklist: recursive types such as self-containing arrays
+  /// are common).
+  void unify(uint32_t A, uint32_t B) {
+    std::vector<std::pair<uint32_t, uint32_t>> Pending = {{A, B}};
+    while (!Pending.empty()) {
+      auto [X, Y] = Pending.back();
+      Pending.pop_back();
+      uint32_t RootX = find(X), RootY = find(Y);
+      if (RootX == RootY)
+        continue;
+      ++Joins;
+
+      // RootX survives.
+      uint32_t PtsY = takeEntry(Pts, RootY);
+      Cells.unite(RootY, RootX);
+      if (PtsY != NoCell) {
+        auto It = Pts.find(RootX);
+        if (It == Pts.end())
+          Pts.emplace(RootX, PtsY);
+        else
+          Pending.push_back({It->second, PtsY});
+      }
+
+      auto SigY = Sigs.find(RootY);
+      if (SigY != Sigs.end()) {
+        Signature Moved = std::move(SigY->second);
+        Sigs.erase(SigY);
+        auto SigX = Sigs.find(RootX);
+        if (SigX == Sigs.end()) {
+          Sigs.emplace(RootX, std::move(Moved));
+        } else {
+          // Structural unification of function types: corresponding
+          // parameter and return locations merge.
+          size_t Shared =
+              std::min(SigX->second.Params.size(), Moved.Params.size());
+          for (size_t I = 0; I != Shared; ++I)
+            Pending.push_back({SigX->second.Params[I], Moved.Params[I]});
+          Pending.push_back({SigX->second.Return, Moved.Return});
+        }
+      }
+    }
+  }
+
+  uint32_t takeEntry(std::unordered_map<uint32_t, uint32_t> &Map,
+                     uint32_t Key) {
+    auto It = Map.find(Key);
+    if (It == Map.end())
+      return NoCell;
+    uint32_t Value = It->second;
+    Map.erase(It);
+    return Value;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Locations and scopes (mirrors the Andersen generator)
+  //===--------------------------------------------------------------------===
+
+  uint32_t createLocation(const std::string &Name, bool SelfContained) {
+    std::string Unique = Name;
+    while (LocationOf.count(Unique))
+      Unique = Name + "#" + std::to_string(++NextUniquifier);
+    uint32_t Cell = makeCell();
+    NameOf[Cell] = Unique;
+    LocationOf[Unique] = Cell;
+    if (SelfContained)
+      setPts(Cell, Cell); // Arrays/functions decay to themselves.
+    return Cell;
+  }
+
+  uint32_t lookupOrCreateIdent(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    auto Found = Globals.find(Name);
+    if (Found != Globals.end())
+      return Found->second;
+    uint32_t Cell = createLocation(Name, /*SelfContained=*/false);
+    Globals[Name] = Cell;
+    return Cell;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Functions
+  //===--------------------------------------------------------------------===
+
+  struct FunctionInfo {
+    uint32_t Loc = NoCell;
+    std::vector<uint32_t> Params;
+    uint32_t Return = NoCell;
+    bool HasBody = false;
+  };
+
+  FunctionInfo &declareFunction(const FunctionDecl *Fn) {
+    auto It = Functions.find(Fn->Name);
+    if (It != Functions.end())
+      return It->second;
+    FunctionInfo Info;
+    auto Global = Globals.find(Fn->Name);
+    if (Global != Globals.end()) {
+      Info.Loc = Global->second;
+      setPts(Info.Loc, Info.Loc);
+    } else {
+      Info.Loc = createLocation(Fn->Name, /*SelfContained=*/true);
+      Globals[Fn->Name] = Info.Loc;
+    }
+    for (size_t I = 0; I != Fn->Params.size(); ++I) {
+      const VarDecl *Param = Fn->Params[I];
+      std::string ParamName =
+          Fn->Name + "." +
+          (Param->Name.empty() ? "p" + std::to_string(I) : Param->Name);
+      bool IsArray = Param->TypeText.find("[]") != std::string::npos;
+      Info.Params.push_back(createLocation(ParamName, IsArray));
+    }
+    Info.Return = makeCell();
+    Signature Sig;
+    Sig.Params = Info.Params;
+    Sig.Return = Info.Return;
+    Sigs.emplace(find(Info.Loc), std::move(Sig));
+    return Functions.emplace(Fn->Name, std::move(Info)).first->second;
+  }
+
+  void walkFunctionBody(const FunctionDecl *Fn) {
+    FunctionInfo &Info = declareFunction(Fn);
+    Info.HasBody = true;
+    uint32_t PreviousReturn = CurrentReturn;
+    std::string PreviousName = CurrentFunctionName;
+    CurrentReturn = Info.Return;
+    CurrentFunctionName = Fn->Name;
+    Scopes.emplace_back();
+    for (size_t I = 0; I != Fn->Params.size() && I != Info.Params.size();
+         ++I)
+      if (!Fn->Params[I]->Name.empty())
+        Scopes.back()[Fn->Params[I]->Name] = Info.Params[I];
+    walkStmt(Fn->Body);
+    Scopes.pop_back();
+    CurrentReturn = PreviousReturn;
+    CurrentFunctionName = std::move(PreviousName);
+  }
+
+  bool isAllocatorName(const std::string &Name) const {
+    return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+           Name == "valloc" || Name == "xmalloc" || Name == "strdup";
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations and statements
+  //===--------------------------------------------------------------------===
+
+  void walkVarDecl(const VarDecl *Var, bool IsLocal) {
+    if (Var->Name.empty())
+      return;
+    bool IsArray = Var->TypeText.find("[]") != std::string::npos;
+    uint32_t Cell;
+    if (IsLocal) {
+      Cell = createLocation(CurrentFunctionName + "." + Var->Name, IsArray);
+      Scopes.back()[Var->Name] = Cell;
+    } else {
+      auto It = Globals.find(Var->Name);
+      if (It != Globals.end()) {
+        Cell = It->second;
+      } else {
+        Cell = createLocation(Var->Name, IsArray);
+        Globals[Var->Name] = Cell;
+      }
+    }
+    if (Var->Init)
+      walkInitInto(Cell, Var->Init);
+  }
+
+  void walkInitInto(uint32_t Target, const Expr *Init) {
+    if (const auto *List = dyn_cast<InitListExpr>(Init)) {
+      for (const Expr *Element : List->Inits)
+        walkInitInto(Target, Element);
+      return;
+    }
+    uint32_t Value = walkExpr(Init);
+    if (Value != NoCell)
+      joinPts(Target, Value);
+  }
+
+  void walkStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Node::Kind::Compound:
+      Scopes.emplace_back();
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        walkStmt(Sub);
+      Scopes.pop_back();
+      return;
+    case Node::Kind::DeclStmt:
+      for (const VarDecl *Var : cast<DeclStmt>(S)->Decls)
+        walkVarDecl(Var, /*IsLocal=*/!Scopes.empty());
+      return;
+    case Node::Kind::ExprStmt:
+      walkExpr(cast<ExprStmt>(S)->E);
+      return;
+    case Node::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      walkExpr(If->Cond);
+      walkStmt(If->Then);
+      walkStmt(If->Else);
+      return;
+    }
+    case Node::Kind::While:
+      walkExpr(cast<WhileStmt>(S)->Cond);
+      walkStmt(cast<WhileStmt>(S)->Body);
+      return;
+    case Node::Kind::Do:
+      walkStmt(cast<DoStmt>(S)->Body);
+      walkExpr(cast<DoStmt>(S)->Cond);
+      return;
+    case Node::Kind::For: {
+      const auto *For = cast<ForStmt>(S);
+      Scopes.emplace_back();
+      walkStmt(For->Init);
+      if (For->Cond)
+        walkExpr(For->Cond);
+      if (For->Inc)
+        walkExpr(For->Inc);
+      walkStmt(For->Body);
+      Scopes.pop_back();
+      return;
+    }
+    case Node::Kind::Return: {
+      const auto *Return = cast<ReturnStmt>(S);
+      if (Return->Value) {
+        uint32_t Value = walkExpr(Return->Value);
+        if (Value != NoCell && CurrentReturn != NoCell)
+          joinPts(CurrentReturn, Value);
+      }
+      return;
+    }
+    case Node::Kind::Switch:
+      walkExpr(cast<SwitchStmt>(S)->Cond);
+      walkStmt(cast<SwitchStmt>(S)->Body);
+      return;
+    case Node::Kind::Case: {
+      const auto *Case = cast<CaseStmt>(S);
+      if (Case->Value)
+        walkExpr(Case->Value);
+      walkStmt(Case->Sub);
+      return;
+    }
+    case Node::Kind::Break:
+    case Node::Kind::Continue:
+    case Node::Kind::Null:
+      return;
+    default:
+      poce_unreachable("non-statement node in statement position");
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions (return the expression's location cell, NoCell if none)
+  //===--------------------------------------------------------------------===
+
+  uint32_t walkExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Node::Kind::IntLiteral:
+    case Node::Kind::FloatLiteral:
+    case Node::Kind::CharLiteral:
+      return NoCell;
+    case Node::Kind::StringLiteral:
+      return createLocation(
+          "str@" + std::to_string(cast<StringLiteralExpr>(E)->LiteralId),
+          /*SelfContained=*/true);
+    case Node::Kind::Ident:
+      return lookupOrCreateIdent(cast<IdentExpr>(E)->Name);
+    case Node::Kind::Unary: {
+      const auto *Unary = cast<UnaryExpr>(E);
+      switch (Unary->Op) {
+      case UnaryOp::AddressOf: {
+        uint32_t Sub = walkExpr(Unary->Sub);
+        if (Sub == NoCell)
+          return NoCell;
+        uint32_t Wrapper = makeCell();
+        setPts(Wrapper, Sub);
+        return Wrapper;
+      }
+      case UnaryOp::Deref: {
+        uint32_t Sub = walkExpr(Unary->Sub);
+        return Sub == NoCell ? NoCell : ptsOf(Sub);
+      }
+      default:
+        return walkExpr(Unary->Sub);
+      }
+    }
+    case Node::Kind::Binary: {
+      const auto *Binary = cast<BinaryExpr>(E);
+      return mergeValues(walkExpr(Binary->Lhs), walkExpr(Binary->Rhs));
+    }
+    case Node::Kind::Assign: {
+      const auto *Assign = cast<AssignExpr>(E);
+      uint32_t Lhs = walkExpr(Assign->Lhs);
+      uint32_t Rhs = walkExpr(Assign->Rhs);
+      if (Lhs != NoCell && Rhs != NoCell)
+        joinPts(Lhs, Rhs);
+      return Lhs;
+    }
+    case Node::Kind::Conditional: {
+      const auto *Cond = cast<ConditionalExpr>(E);
+      walkExpr(Cond->Cond);
+      return mergeValues(walkExpr(Cond->TrueExpr),
+                         walkExpr(Cond->FalseExpr));
+    }
+    case Node::Kind::Call:
+      return walkCall(cast<CallExpr>(E));
+    case Node::Kind::Index: {
+      const auto *Index = cast<IndexExpr>(E);
+      uint32_t Sum =
+          mergeValues(walkExpr(Index->Base), walkExpr(Index->Index));
+      return Sum == NoCell ? NoCell : ptsOf(Sum);
+    }
+    case Node::Kind::Member: {
+      const auto *Member = cast<MemberExpr>(E);
+      uint32_t Base = walkExpr(Member->Base);
+      if (!Member->IsArrow)
+        return Base;
+      return Base == NoCell ? NoCell : ptsOf(Base);
+    }
+    case Node::Kind::Cast:
+      return walkExpr(cast<CastExpr>(E)->Sub);
+    case Node::Kind::Sizeof:
+      if (cast<SizeofExpr>(E)->Sub)
+        walkExpr(cast<SizeofExpr>(E)->Sub);
+      return NoCell;
+    case Node::Kind::Comma: {
+      const auto *Comma = cast<CommaExpr>(E);
+      walkExpr(Comma->Lhs);
+      return walkExpr(Comma->Rhs);
+    }
+    case Node::Kind::InitList:
+      for (const Expr *Init : cast<InitListExpr>(E)->Inits)
+        walkExpr(Init);
+      return NoCell;
+    default:
+      poce_unreachable("non-expression node in expression position");
+    }
+  }
+
+  /// A value that may designate either operand's targets: a fresh cell
+  /// whose pointee merges both pointees (Steensgaard's symmetric
+  /// conflation of arithmetic and conditionals).
+  uint32_t mergeValues(uint32_t A, uint32_t B) {
+    if (A == NoCell)
+      return B;
+    if (B == NoCell)
+      return A;
+    uint32_t Merged = makeCell();
+    joinPts(Merged, A);
+    joinPts(Merged, B);
+    return Merged;
+  }
+
+  uint32_t walkCall(const CallExpr *Call) {
+    if (const auto *Ident = dyn_cast<IdentExpr>(Call->Callee)) {
+      auto Fn = Functions.find(Ident->Name);
+      bool DefinedInProgram = Fn != Functions.end() && Fn->second.HasBody;
+      if (isAllocatorName(Ident->Name) && !DefinedInProgram) {
+        for (const Expr *Arg : Call->Args)
+          walkExpr(Arg);
+        uint32_t Heap = createLocation(
+            "heap@" + std::to_string(NextHeapId++), /*SelfContained=*/false);
+        uint32_t Wrapper = makeCell();
+        setPts(Wrapper, Heap);
+        return Wrapper;
+      }
+    }
+
+    uint32_t Callee = walkExpr(Call->Callee);
+    std::vector<uint32_t> Args;
+    for (const Expr *Arg : Call->Args)
+      Args.push_back(walkExpr(Arg));
+    if (Callee == NoCell)
+      return NoCell;
+
+    // The callee's values live in its pointee class (functions contain
+    // themselves, so this resolves f, fp, and (*fp) uniformly).
+    uint32_t Target = ptsOf(Callee);
+    auto SigIt = Sigs.find(find(Target));
+    if (SigIt == Sigs.end()) {
+      // Unknown target (external or not-yet-joined): attach a lazy
+      // signature so later unifications connect the call site.
+      Signature Lazy;
+      for (size_t I = 0; I != Args.size(); ++I)
+        Lazy.Params.push_back(makeCell());
+      Lazy.Return = makeCell();
+      SigIt = Sigs.emplace(find(Target), std::move(Lazy)).first;
+    }
+    // Copy out: unify() may rehash Sigs while joining parameters.
+    Signature Sig = SigIt->second;
+    size_t Shared = std::min(Sig.Params.size(), Args.size());
+    for (size_t I = 0; I != Shared; ++I)
+      if (Args[I] != NoCell)
+        joinPts(Sig.Params[I], Args[I]);
+    return Sig.Return;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Extraction
+  //===--------------------------------------------------------------------===
+
+  SteensgaardResult extract() {
+    SteensgaardResult Result;
+    Result.NumLocations = static_cast<uint32_t>(NameOf.size());
+    Result.NumCells = Cells.size();
+    Result.Joins = Joins;
+
+    // Class representative -> named members.
+    std::unordered_map<uint32_t, std::vector<std::string>> Members;
+    for (const auto &[Cell, Name] : NameOf)
+      Members[find(Cell)].push_back(Name);
+
+    for (const auto &[Cell, Name] : NameOf) {
+      std::vector<std::string> Targets;
+      auto PtsIt = Pts.find(find(Cell));
+      if (PtsIt != Pts.end()) {
+        auto MembersIt = Members.find(find(PtsIt->second));
+        if (MembersIt != Members.end())
+          Targets = MembersIt->second;
+      }
+      std::sort(Targets.begin(), Targets.end());
+      Result.PointsTo.emplace(Name, std::move(Targets));
+    }
+    return Result;
+  }
+
+  UnionFind Cells;
+  std::unordered_map<uint32_t, uint32_t> Pts;  ///< Root -> pointee cell.
+  std::unordered_map<uint32_t, Signature> Sigs; ///< Root -> signature.
+  uint64_t Joins = 0;
+
+  std::unordered_map<uint32_t, std::string> NameOf;
+  std::map<std::string, uint32_t> LocationOf;
+  std::map<std::string, uint32_t> Globals;
+  std::vector<std::map<std::string, uint32_t>> Scopes;
+  std::map<std::string, FunctionInfo> Functions;
+  uint32_t CurrentReturn = NoCell;
+  std::string CurrentFunctionName;
+  uint32_t NextHeapId = 0;
+  uint32_t NextUniquifier = 0;
+};
+
+} // namespace
+
+SteensgaardResult
+poce::andersen::runSteensgaard(const TranslationUnit &Unit) {
+  return Steensgaard().run(Unit);
+}

@@ -1,0 +1,76 @@
+//===- cfa/ClosureAnalysis.h - 0CFA via inclusion constraints ---*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monovariant closure analysis (0CFA) formulated with the same inclusion
+/// constraint solver as the points-to case study — the paper's future-work
+/// direction. Every term t gets a set variable X_t of the closures it may
+/// evaluate to; a lambda L = fun x -> b contributes the source term
+///
+///     fun(label_L, ~V_x, X_b)
+///
+/// (covariant label, contravariant parameter, covariant result), and an
+/// application f a adds X_f <= fun(1, X_a, ~? ...), i.e. the sink
+/// fun(1, X_a, R): by contravariance the argument set flows into the
+/// parameter variable of every closure reaching f, and each closure's body
+/// set flows into the application's result. Recursive bindings create the
+/// cyclic constraints that make online cycle elimination matter here too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_CFA_CLOSUREANALYSIS_H
+#define POCE_CFA_CLOSUREANALYSIS_H
+
+#include "cfa/Lambda.h"
+#include "setcon/ConstraintSolver.h"
+#include "setcon/Oracle.h"
+#include "setcon/SolverOptions.h"
+#include "setcon/SolverStats.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace cfa {
+
+/// Result of one closure-analysis run.
+struct CFAResult {
+  /// Call site id -> sorted lambda labels that may be applied there.
+  std::map<uint32_t, std::vector<uint32_t>> CallTargets;
+  /// Unbound variable names encountered (treated as empty sets).
+  std::vector<std::string> UnboundVariables;
+  SolverStats Stats;
+  uint64_t FinalEdges = 0;
+  double AnalysisSeconds = 0;
+
+  std::vector<uint32_t> targetsOf(uint32_t AppSite) const {
+    auto It = CallTargets.find(AppSite);
+    return It == CallTargets.end() ? std::vector<uint32_t>() : It->second;
+  }
+};
+
+/// Runs 0CFA over \p Program under \p Options. \p Constructors is shared
+/// across runs for stable ids; \p WitnessOracle must be supplied iff
+/// Options.Elim is Oracle.
+CFAResult runClosureAnalysis(const LambdaProgram &Program,
+                             ConstructorTable &Constructors,
+                             const SolverOptions &Options,
+                             const Oracle *WitnessOracle = nullptr);
+
+/// Generator adapter for buildOracle().
+GeneratorFn makeGenerator(const LambdaProgram &Program);
+
+/// Deterministic generator of synthetic lambda programs for the
+/// closure-analysis bench: \p NumGroups chains of self- and mutually
+/// recursive higher-order combinators, producing the cyclic constraints
+/// the paper's future work targets.
+std::string generateLambdaProgram(uint32_t NumGroups, uint64_t Seed);
+
+} // namespace cfa
+} // namespace poce
+
+#endif // POCE_CFA_CLOSUREANALYSIS_H

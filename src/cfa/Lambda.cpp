@@ -1,0 +1,324 @@
+//===- cfa/Lambda.cpp - Mini functional language ----------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfa/Lambda.h"
+
+#include <cctype>
+
+using namespace poce;
+using namespace poce::cfa;
+
+Term *LambdaProgram::make(Term::Kind K) {
+  Pool.push_back(std::make_unique<Term>());
+  Pool.back()->K = K;
+  return Pool.back().get();
+}
+
+namespace {
+
+/// Hand-rolled scanner/parser; the language is small enough that a token
+/// enum would be overkill.
+class Parser {
+public:
+  Parser(const std::string &Source, LambdaProgram &Program)
+      : Source(Source), Program(Program) {}
+
+  Term *parse(std::string &Error) {
+    Term *Root = parseExpr();
+    skipSpace();
+    if (!Root) {
+      Error = Failure;
+      return nullptr;
+    }
+    if (Pos != Source.size()) {
+      Error = "unexpected trailing input at offset " + std::to_string(Pos);
+      return nullptr;
+    }
+    return Root;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Source.size()) {
+      if (std::isspace(static_cast<unsigned char>(Source[Pos]))) {
+        ++Pos;
+        continue;
+      }
+      // Comments: "-- to end of line".
+      if (Source[Pos] == '-' && Pos + 1 < Source.size() &&
+          Source[Pos + 1] == '-') {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool eatChar(char C) {
+    skipSpace();
+    if (Pos < Source.size() && Source[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peekChar(char C) {
+    skipSpace();
+    return Pos < Source.size() && Source[Pos] == C;
+  }
+
+  bool eatArrow() {
+    skipSpace();
+    if (Pos + 1 < Source.size() && Source[Pos] == '-' &&
+        Source[Pos + 1] == '>') {
+      Pos += 2;
+      return true;
+    }
+    return false;
+  }
+
+  std::string peekWord() {
+    skipSpace();
+    size_t P = Pos;
+    std::string Word;
+    while (P < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(Source[P])) ||
+            Source[P] == '_'))
+      Word.push_back(Source[P++]);
+    return Word;
+  }
+
+  bool eatKeyword(const char *Keyword) {
+    if (peekWord() != Keyword)
+      return false;
+    Pos += std::string(Keyword).size();
+    return true;
+  }
+
+  std::string parseIdent() {
+    std::string Word = peekWord();
+    if (Word.empty() || std::isdigit(static_cast<unsigned char>(Word[0]))) {
+      fail("expected identifier");
+      return std::string();
+    }
+    if (Word == "fun" || Word == "let" || Word == "rec" || Word == "in" ||
+        Word == "if0" || Word == "then" || Word == "else") {
+      fail("expected identifier, found keyword '" + Word + "'");
+      return std::string();
+    }
+    Pos += Word.size();
+    return Word;
+  }
+
+  Term *fail(const std::string &Message) {
+    if (Failure.empty())
+      Failure = Message + " at offset " + std::to_string(Pos);
+    return nullptr;
+  }
+
+  // expr := lambda | let | if0 | arith
+  Term *parseExpr() {
+    skipSpace();
+    if (peekChar('\\') || peekWord() == "fun")
+      return parseLambda();
+    if (peekWord() == "let")
+      return parseLet();
+    if (peekWord() == "if0")
+      return parseIf0();
+    return parseArith();
+  }
+
+  Term *parseLambda() {
+    if (!eatChar('\\'))
+      eatKeyword("fun");
+    std::string Param = parseIdent();
+    if (Param.empty())
+      return nullptr;
+    // "\x. e" or "fun x -> e".
+    if (!eatArrow() && !eatChar('.'))
+      return fail("expected '->' or '.' after lambda parameter");
+    Term *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    Term *Lam = Program.make(Term::Kind::Lam);
+    Lam->Name = std::move(Param);
+    Lam->A = Body;
+    return Lam;
+  }
+
+  Term *parseLet() {
+    eatKeyword("let");
+    bool Recursive = eatKeyword("rec");
+    std::string Name = parseIdent();
+    if (Name.empty())
+      return nullptr;
+    if (!eatChar('='))
+      return fail("expected '=' in let");
+    Term *Bound = parseExpr();
+    if (!Bound)
+      return nullptr;
+    if (!eatKeyword("in"))
+      return fail("expected 'in' after let binding");
+    Term *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    Term *Let = Program.make(Term::Kind::Let);
+    Let->Name = std::move(Name);
+    Let->Recursive = Recursive;
+    Let->A = Bound;
+    Let->B = Body;
+    return Let;
+  }
+
+  Term *parseIf0() {
+    eatKeyword("if0");
+    Term *Cond = parseExpr();
+    if (!Cond || !eatKeyword("then"))
+      return Cond ? fail("expected 'then'") : nullptr;
+    Term *Then = parseExpr();
+    if (!Then || !eatKeyword("else"))
+      return Then ? fail("expected 'else'") : nullptr;
+    Term *Else = parseExpr();
+    if (!Else)
+      return nullptr;
+    Term *If = Program.make(Term::Kind::If0);
+    If->A = Cond;
+    If->B = Then;
+    If->C = Else;
+    return If;
+  }
+
+  // arith := app (('+' | '-') app)*
+  Term *parseArith() {
+    Term *Lhs = parseApp();
+    if (!Lhs)
+      return nullptr;
+    while (true) {
+      skipSpace();
+      // '-' could start '->' only inside lambda, which parseExpr handles.
+      if (Pos < Source.size() &&
+          (Source[Pos] == '+' || Source[Pos] == '-')) {
+        char Op = Source[Pos++];
+        Term *Rhs = parseApp();
+        if (!Rhs)
+          return nullptr;
+        Term *Bin = Program.make(Term::Kind::Binop);
+        Bin->Op = Op;
+        Bin->A = Lhs;
+        Bin->B = Rhs;
+        Lhs = Bin;
+        continue;
+      }
+      return Lhs;
+    }
+  }
+
+  // app := atom atom* (left associative)
+  Term *parseApp() {
+    Term *Lhs = parseAtom();
+    if (!Lhs)
+      return nullptr;
+    while (true) {
+      if (!startsAtom())
+        return Lhs;
+      Term *Rhs = parseAtom();
+      if (!Rhs)
+        return nullptr;
+      Term *App = Program.make(Term::Kind::App);
+      App->A = Lhs;
+      App->B = Rhs;
+      Lhs = App;
+    }
+  }
+
+  bool startsAtom() {
+    skipSpace();
+    if (Pos >= Source.size())
+      return false;
+    char C = Source[Pos];
+    if (C == '(')
+      return true;
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return true;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word = peekWord();
+      return Word != "in" && Word != "then" && Word != "else" &&
+             Word != "let" && Word != "if0" && Word != "fun" &&
+             Word != "rec";
+    }
+    return false;
+  }
+
+  Term *parseAtom() {
+    skipSpace();
+    if (eatChar('(')) {
+      Term *Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!eatChar(')'))
+        return fail("expected ')'");
+      return Inner;
+    }
+    if (Pos < Source.size() &&
+        std::isdigit(static_cast<unsigned char>(Source[Pos]))) {
+      long long Value = 0;
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        Value = Value * 10 + (Source[Pos++] - '0');
+      Term *Int = Program.make(Term::Kind::Int);
+      Int->Value = Value;
+      return Int;
+    }
+    std::string Name = parseIdent();
+    if (Name.empty())
+      return nullptr;
+    Term *Var = Program.make(Term::Kind::Var);
+    Var->Name = std::move(Name);
+    return Var;
+  }
+
+  const std::string &Source;
+  LambdaProgram &Program;
+  size_t Pos = 0;
+  std::string Failure;
+};
+
+void assignLabelsWalk(Term *T, uint32_t &NextLam, uint32_t &NextApp) {
+  if (!T)
+    return;
+  if (T->K == Term::Kind::Lam)
+    T->LamLabel = NextLam++;
+  if (T->K == Term::Kind::App)
+    T->AppSite = NextApp++;
+  assignLabelsWalk(T->A, NextLam, NextApp);
+  assignLabelsWalk(T->B, NextLam, NextApp);
+  assignLabelsWalk(T->C, NextLam, NextApp);
+}
+
+} // namespace
+
+void LambdaProgram::assignLabels() {
+  NumLambdas = 0;
+  NumAppSites = 0;
+  assignLabelsWalk(Root, NumLambdas, NumAppSites);
+}
+
+bool LambdaProgram::parse(const std::string &Source, std::string *ErrorOut) {
+  Pool.clear();
+  Root = nullptr;
+  std::string Error;
+  Parser P(Source, *this);
+  Root = P.parse(Error);
+  if (!Root) {
+    if (ErrorOut)
+      *ErrorOut = Error.empty() ? "parse error" : Error;
+    return false;
+  }
+  assignLabels();
+  return true;
+}

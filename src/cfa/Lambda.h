@@ -1,0 +1,77 @@
+//===- cfa/Lambda.h - Mini functional language ------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small call-by-value functional language for the closure-analysis
+/// client (the paper's stated future work: "We plan to study the impact of
+/// online cycle elimination on the performance of closure analysis").
+///
+///   e ::= x | n | fun x -> e | e1 e2 | let [rec] x = e1 in e2
+///       | if0 e1 then e2 else e3 | e1 + e2 | e1 - e2 | (e)
+///
+/// `\x. e` is accepted as a synonym for `fun x -> e`. Application is left
+/// associative and binds tighter than arithmetic. Every lambda gets a
+/// label (L0, L1, ... in source order); closure analysis reports which
+/// labels reach each application site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_CFA_LAMBDA_H
+#define POCE_CFA_LAMBDA_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace cfa {
+
+/// One term of the language; nodes are owned by their LambdaProgram.
+struct Term {
+  enum class Kind : uint8_t { Var, Int, Lam, App, Let, If0, Binop };
+
+  Kind K;
+  std::string Name;   ///< Var: name; Lam: parameter; Let: binder.
+  long long Value = 0; ///< Int.
+  uint32_t LamLabel = 0; ///< Lam: source-order label.
+  uint32_t AppSite = 0;  ///< App: source-order call-site id.
+  bool Recursive = false; ///< Let: binder visible in its own definition.
+  char Op = 0;            ///< Binop: '+' or '-'.
+  Term *A = nullptr, *B = nullptr, *C = nullptr;
+};
+
+/// A parsed program: the term pool, the root, and label counts.
+class LambdaProgram {
+public:
+  /// Parses \p Source; returns false and fills \p ErrorOut on failure.
+  bool parse(const std::string &Source, std::string *ErrorOut = nullptr);
+
+  const Term *root() const { return Root; }
+  uint32_t numLambdas() const { return NumLambdas; }
+  uint32_t numAppSites() const { return NumAppSites; }
+  uint32_t numTerms() const { return static_cast<uint32_t>(Pool.size()); }
+
+  /// Allocates a term (used by the parser and by programmatic builders).
+  Term *make(Term::Kind K);
+
+  /// Marks \p T as the program root (for programmatic construction).
+  void setRoot(Term *T) { Root = T; }
+  /// Assigns labels/app-site ids in a source-order walk (the parser does
+  /// this automatically; call after programmatic construction).
+  void assignLabels();
+
+private:
+  std::vector<std::unique_ptr<Term>> Pool;
+  Term *Root = nullptr;
+  uint32_t NumLambdas = 0;
+  uint32_t NumAppSites = 0;
+};
+
+} // namespace cfa
+} // namespace poce
+
+#endif // POCE_CFA_LAMBDA_H

@@ -1,0 +1,151 @@
+//===- driver/scsolve.cpp - Standalone constraint solver tool --------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// scsolve: solves a textual inclusion-constraint system (.scs file, see
+/// setcon/ConstraintFile.h) under any configuration and prints least
+/// solutions, statistics, or the solved graph.
+///
+/// Examples:
+///   scsolve system.scs                      # least solutions, IF-Online
+///   scsolve --config=sf-plain --stats system.scs
+///   scsolve --dump system.scs               # solved constraint graph
+///   scsolve --echo system.scs               # normalized re-print
+///
+//===----------------------------------------------------------------------===//
+
+#include "setcon/ConstraintFile.h"
+#include "setcon/Oracle.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace poce;
+
+static bool parseConfig(const std::string &Name, SolverOptions &Options) {
+  if (Name == "sf-plain")
+    Options = makeConfig(GraphForm::Standard, CycleElim::None);
+  else if (Name == "if-plain")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::None);
+  else if (Name == "sf-online")
+    Options = makeConfig(GraphForm::Standard, CycleElim::Online);
+  else if (Name == "if-online")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  else if (Name == "sf-oracle")
+    Options = makeConfig(GraphForm::Standard, CycleElim::Oracle);
+  else if (Name == "if-oracle")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::Oracle);
+  else if (Name == "if-periodic")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::Periodic);
+  else
+    return false;
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  CommandLine Cmd("scsolve",
+                  "standalone inclusion-constraint solver (PLDI 1998 "
+                  "reproduction)");
+  std::string Config = "if-online";
+  bool ShowStats = false, Dump = false, Echo = false;
+  int64_t Seed = 0x706f6365;
+  Cmd.addString("config", &Config,
+                "{sf,if}-{plain,online,oracle} or if-periodic");
+  Cmd.addInt("seed", &Seed, "variable-order seed");
+  Cmd.addFlag("stats", &ShowStats, "print solver statistics");
+  Cmd.addFlag("dump", &Dump, "dump the solved constraint graph");
+  Cmd.addFlag("echo", &Echo, "re-print the parsed system and exit");
+  if (!Cmd.parse(Argc, Argv))
+    return 1;
+
+  if (Cmd.positionals().size() != 1) {
+    std::fprintf(stderr, "scsolve: expected exactly one input file; "
+                         "try --help\n");
+    return 1;
+  }
+  std::ifstream In(Cmd.positionals()[0]);
+  if (!In) {
+    std::fprintf(stderr, "scsolve: cannot open '%s'\n",
+                 Cmd.positionals()[0].c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ConstraintSystemFile System;
+  std::string Error;
+  if (!System.parse(Buffer.str(), &Error)) {
+    std::fprintf(stderr, "scsolve: %s: %s\n", Cmd.positionals()[0].c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  if (Echo) {
+    std::fputs(System.str().c_str(), stdout);
+    return 0;
+  }
+
+  SolverOptions Options;
+  if (!parseConfig(Config, Options)) {
+    std::fprintf(stderr, "scsolve: unknown configuration '%s'\n",
+                 Config.c_str());
+    return 1;
+  }
+  Options.Seed = static_cast<uint64_t>(Seed);
+
+  ConstructorTable Constructors;
+  Oracle WitnessOracle;
+  const Oracle *OraclePtr = nullptr;
+  if (Options.Elim == CycleElim::Oracle) {
+    WitnessOracle = buildOracle(System.generator(), Constructors, Options);
+    OraclePtr = &WitnessOracle;
+  }
+
+  TermTable Terms(Constructors);
+  ConstraintSolver Solver(Terms, Options, OraclePtr);
+  System.emit(Solver);
+  Solver.finalize();
+
+  if (Dump) {
+    std::fputs(Solver.dumpGraph().c_str(), stdout);
+  } else if (!ShowStats) {
+    // Default: least solutions of the declared variables.
+    for (uint32_t I = 0; I != System.varNames().size(); ++I) {
+      VarId Var = Solver.varOfCreation(I);
+      std::printf("%s = {", System.varNames()[I].c_str());
+      bool FirstTerm = true;
+      for (ExprId Term : Solver.leastSolution(Var)) {
+        std::printf("%s %s", FirstTerm ? "" : ",",
+                    Solver.exprStr(Term).c_str());
+        FirstTerm = false;
+      }
+      std::printf(" }\n");
+    }
+  }
+
+  if (ShowStats) {
+    const SolverStats &Stats = Solver.stats();
+    std::printf("configuration:    %s\n", Options.configName().c_str());
+    std::printf("variables:        %s (%s live)\n",
+                formatGrouped(Stats.VarsCreated).c_str(),
+                formatGrouped(Solver.numLiveVars()).c_str());
+    std::printf("constraints:      %s\n",
+                formatGrouped(System.numConstraints()).c_str());
+    std::printf("final edges:      %s\n",
+                formatGrouped(Solver.countFinalEdges()).c_str());
+    std::printf("work:             %s\n",
+                formatGrouped(Stats.Work).c_str());
+    std::printf("redundant adds:   %s\n",
+                formatGrouped(Stats.RedundantAdds).c_str());
+    std::printf("vars eliminated:  %s\n",
+                formatGrouped(Stats.VarsEliminated).c_str());
+    std::printf("mismatches:       %s\n",
+                formatGrouped(Stats.Mismatches).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- graph/TarjanSCC.cpp - Strongly connected components ----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/TarjanSCC.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace poce;
+
+uint32_t SCCResult::numNodesInNontrivialSCCs() const {
+  uint32_t Count = 0;
+  for (const auto &Component : Components)
+    if (Component.size() >= 2)
+      Count += static_cast<uint32_t>(Component.size());
+  return Count;
+}
+
+uint32_t SCCResult::maxComponentSize() const {
+  uint32_t Max = 0;
+  for (const auto &Component : Components)
+    Max = std::max(Max, static_cast<uint32_t>(Component.size()));
+  return Max;
+}
+
+uint32_t SCCResult::numNontrivialSCCs() const {
+  uint32_t Count = 0;
+  for (const auto &Component : Components)
+    if (Component.size() >= 2)
+      ++Count;
+  return Count;
+}
+
+SCCResult poce::computeSCCs(const Digraph &G) {
+  const uint32_t N = G.numNodes();
+  constexpr uint32_t Unvisited = ~0U;
+
+  SCCResult Result;
+  Result.ComponentOf.assign(N, Unvisited);
+
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+  // Explicit DFS frames: (node, position in its successor list).
+  struct Frame {
+    uint32_t Node;
+    uint32_t SuccPos;
+  };
+  std::vector<Frame> CallStack;
+
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    CallStack.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      Frame &Top = CallStack.back();
+      const auto &Succs = G.successors(Top.Node);
+      if (Top.SuccPos < Succs.size()) {
+        uint32_t Succ = Succs[Top.SuccPos++];
+        if (Index[Succ] == Unvisited) {
+          Index[Succ] = LowLink[Succ] = NextIndex++;
+          Stack.push_back(Succ);
+          OnStack[Succ] = true;
+          CallStack.push_back({Succ, 0});
+        } else if (OnStack[Succ]) {
+          LowLink[Top.Node] = std::min(LowLink[Top.Node], Index[Succ]);
+        }
+        continue;
+      }
+
+      // All successors explored: maybe pop a component, then return.
+      uint32_t Node = Top.Node;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[Node]);
+      }
+      if (LowLink[Node] == Index[Node]) {
+        uint32_t ComponentId = Result.numComponents();
+        Result.Components.emplace_back();
+        while (true) {
+          uint32_t Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          Result.ComponentOf[Member] = ComponentId;
+          Result.Components.back().push_back(Member);
+          if (Member == Node)
+            break;
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+Digraph poce::condense(const Digraph &G, const SCCResult &SCCs) {
+  Digraph Condensed(SCCs.numComponents());
+  for (uint32_t Node = 0; Node != G.numNodes(); ++Node) {
+    uint32_t From = SCCs.ComponentOf[Node];
+    for (uint32_t Succ : G.successors(Node)) {
+      uint32_t To = SCCs.ComponentOf[Succ];
+      if (From != To)
+        Condensed.addEdge(From, To);
+    }
+  }
+  return Condensed;
+}

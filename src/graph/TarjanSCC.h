@@ -1,0 +1,57 @@
+//===- graph/TarjanSCC.h - Strongly connected components --------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative Tarjan SCC computation. Used as the ground truth for cycle
+/// statistics (Table 1's "variables in SCCs" columns, Figure 11's
+/// detection rates) and to build the oracle's variable -> witness map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_GRAPH_TARJANSCC_H
+#define POCE_GRAPH_TARJANSCC_H
+
+#include "graph/Digraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace poce {
+
+/// Result of an SCC computation over a Digraph.
+struct SCCResult {
+  /// Component id of every node; components are numbered in reverse
+  /// topological order of the condensation (Tarjan's natural order).
+  std::vector<uint32_t> ComponentOf;
+
+  /// Members of each component.
+  std::vector<std::vector<uint32_t>> Components;
+
+  uint32_t numComponents() const {
+    return static_cast<uint32_t>(Components.size());
+  }
+
+  /// Number of nodes that live in a non-trivial (size >= 2) component.
+  uint32_t numNodesInNontrivialSCCs() const;
+
+  /// Size of the largest component.
+  uint32_t maxComponentSize() const;
+
+  /// Number of non-trivial (size >= 2) components.
+  uint32_t numNontrivialSCCs() const;
+};
+
+/// Computes strongly connected components of \p G (iterative Tarjan; safe
+/// for graphs with millions of nodes).
+SCCResult computeSCCs(const Digraph &G);
+
+/// Builds the condensation of \p G given its SCC decomposition: one node
+/// per component, deduplicated edges, no self-loops.
+Digraph condense(const Digraph &G, const SCCResult &SCCs);
+
+} // namespace poce
+
+#endif // POCE_GRAPH_TARJANSCC_H

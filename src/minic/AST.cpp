@@ -1,0 +1,84 @@
+//===- minic/AST.cpp - MiniC abstract syntax tree --------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/AST.h"
+
+using namespace poce;
+using namespace poce::minic;
+
+const char *poce::minic::nodeKindName(Node::Kind Kind) {
+  switch (Kind) {
+  case Node::Kind::IntLiteral:
+    return "IntLiteral";
+  case Node::Kind::FloatLiteral:
+    return "FloatLiteral";
+  case Node::Kind::CharLiteral:
+    return "CharLiteral";
+  case Node::Kind::StringLiteral:
+    return "StringLiteral";
+  case Node::Kind::Ident:
+    return "Ident";
+  case Node::Kind::Unary:
+    return "Unary";
+  case Node::Kind::Binary:
+    return "Binary";
+  case Node::Kind::Assign:
+    return "Assign";
+  case Node::Kind::Conditional:
+    return "Conditional";
+  case Node::Kind::Call:
+    return "Call";
+  case Node::Kind::Index:
+    return "Index";
+  case Node::Kind::Member:
+    return "Member";
+  case Node::Kind::Cast:
+    return "Cast";
+  case Node::Kind::Sizeof:
+    return "Sizeof";
+  case Node::Kind::Comma:
+    return "Comma";
+  case Node::Kind::InitList:
+    return "InitList";
+  case Node::Kind::Compound:
+    return "Compound";
+  case Node::Kind::DeclStmt:
+    return "DeclStmt";
+  case Node::Kind::ExprStmt:
+    return "ExprStmt";
+  case Node::Kind::If:
+    return "If";
+  case Node::Kind::While:
+    return "While";
+  case Node::Kind::Do:
+    return "Do";
+  case Node::Kind::For:
+    return "For";
+  case Node::Kind::Return:
+    return "Return";
+  case Node::Kind::Break:
+    return "Break";
+  case Node::Kind::Continue:
+    return "Continue";
+  case Node::Kind::Switch:
+    return "Switch";
+  case Node::Kind::Case:
+    return "Case";
+  case Node::Kind::Null:
+    return "Null";
+  case Node::Kind::Var:
+    return "Var";
+  case Node::Kind::Function:
+    return "Function";
+  case Node::Kind::Record:
+    return "Record";
+  case Node::Kind::Typedef:
+    return "Typedef";
+  case Node::Kind::Enum:
+    return "Enum";
+  }
+  return "Unknown";
+}

@@ -1,0 +1,593 @@
+//===- minic/AST.h - MiniC abstract syntax tree -----------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC AST: a closed node hierarchy with tag-based dispatch
+/// (LLVM-style lightweight RTTI via node kinds). All nodes are owned by
+/// the TranslationUnit's pool; raw pointers inside the tree are non-owning.
+///
+/// Andersen's analysis is flow-insensitive and field-insensitive, so the
+/// AST keeps types as rendered strings for diagnostics and preserves only
+/// the structure the analysis consumes: declarations, assignments,
+/// address-of/dereference, calls, and initializers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_AST_H
+#define POCE_MINIC_AST_H
+
+#include "minic/Token.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace minic {
+
+class Node {
+public:
+  /// Discriminator for the closed node hierarchy. Kinds are grouped so
+  /// that classification predicates are range checks.
+  enum class Kind : uint8_t {
+    // Expressions.
+    IntLiteral,
+    FloatLiteral,
+    CharLiteral,
+    StringLiteral,
+    Ident,
+    Unary,
+    Binary,
+    Assign,
+    Conditional,
+    Call,
+    Index,
+    Member,
+    Cast,
+    Sizeof,
+    Comma,
+    InitList,
+    ExprFirst = IntLiteral,
+    ExprLast = InitList,
+
+    // Statements.
+    Compound,
+    DeclStmt,
+    ExprStmt,
+    If,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Switch,
+    Case,
+    Null,
+    StmtFirst = Compound,
+    StmtLast = Null,
+
+    // Declarations.
+    Var,
+    Function,
+    Record,
+    Typedef,
+    Enum,
+    DeclFirst = Var,
+    DeclLast = Enum,
+  };
+
+  Kind kind() const { return NodeKind; }
+  SourceLocation loc() const { return Loc; }
+
+protected:
+  Node(Kind NodeKind, SourceLocation Loc) : NodeKind(NodeKind), Loc(Loc) {}
+  ~Node() = default;
+
+private:
+  Kind NodeKind;
+  SourceLocation Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= Kind::ExprFirst && N->kind() <= Kind::ExprLast;
+  }
+
+protected:
+  Expr(Kind NodeKind, SourceLocation Loc) : Node(NodeKind, Loc) {}
+};
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLocation Loc, long long Value)
+      : Expr(Kind::IntLiteral, Loc), Value(Value) {}
+  long long Value;
+  static bool classof(const Node *N) { return N->kind() == Kind::IntLiteral; }
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(SourceLocation Loc, double Value)
+      : Expr(Kind::FloatLiteral, Loc), Value(Value) {}
+  double Value;
+  static bool classof(const Node *N) {
+    return N->kind() == Kind::FloatLiteral;
+  }
+};
+
+class CharLiteralExpr : public Expr {
+public:
+  CharLiteralExpr(SourceLocation Loc, std::string Value)
+      : Expr(Kind::CharLiteral, Loc), Value(std::move(Value)) {}
+  std::string Value;
+  static bool classof(const Node *N) {
+    return N->kind() == Kind::CharLiteral;
+  }
+};
+
+/// A string literal; each occurrence denotes a distinct abstract location.
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(SourceLocation Loc, std::string Value, uint32_t LiteralId)
+      : Expr(Kind::StringLiteral, Loc), Value(std::move(Value)),
+        LiteralId(LiteralId) {}
+  std::string Value;
+  uint32_t LiteralId;
+  static bool classof(const Node *N) {
+    return N->kind() == Kind::StringLiteral;
+  }
+};
+
+class IdentExpr : public Expr {
+public:
+  IdentExpr(SourceLocation Loc, std::string Name)
+      : Expr(Kind::Ident, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  static bool classof(const Node *N) { return N->kind() == Kind::Ident; }
+};
+
+enum class UnaryOp : uint8_t {
+  AddressOf,
+  Deref,
+  Plus,
+  Minus,
+  Not,
+  LogicalNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, Expr *Sub)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(Sub) {}
+  UnaryOp Op;
+  Expr *Sub;
+  static bool classof(const Node *N) { return N->kind() == Kind::Unary; }
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+  Xor,
+  LogicalAnd,
+  LogicalOr,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(Kind::Binary, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinaryOp Op;
+  Expr *Lhs, *Rhs;
+  static bool classof(const Node *N) { return N->kind() == Kind::Binary; }
+};
+
+enum class AssignOp : uint8_t {
+  Assign,
+  AddAssign,
+  SubAssign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  AndAssign,
+  OrAssign,
+  XorAssign,
+  ShlAssign,
+  ShrAssign,
+};
+
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLocation Loc, AssignOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(Kind::Assign, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  AssignOp Op;
+  Expr *Lhs, *Rhs;
+  static bool classof(const Node *N) { return N->kind() == Kind::Assign; }
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLocation Loc, Expr *Cond, Expr *TrueExpr,
+                  Expr *FalseExpr)
+      : Expr(Kind::Conditional, Loc), Cond(Cond), TrueExpr(TrueExpr),
+        FalseExpr(FalseExpr) {}
+  Expr *Cond, *TrueExpr, *FalseExpr;
+  static bool classof(const Node *N) {
+    return N->kind() == Kind::Conditional;
+  }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLocation Loc, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(Kind::Call, Loc), Callee(Callee), Args(std::move(Args)) {}
+  Expr *Callee;
+  std::vector<Expr *> Args;
+  static bool classof(const Node *N) { return N->kind() == Kind::Call; }
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLocation Loc, Expr *Base, Expr *Index)
+      : Expr(Kind::Index, Loc), Base(Base), Index(Index) {}
+  Expr *Base, *Index;
+  static bool classof(const Node *N) { return N->kind() == Kind::Index; }
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLocation Loc, Expr *Base, std::string Member, bool IsArrow)
+      : Expr(Kind::Member, Loc), Base(Base), Member(std::move(Member)),
+        IsArrow(IsArrow) {}
+  Expr *Base;
+  std::string Member;
+  bool IsArrow;
+  static bool classof(const Node *N) { return N->kind() == Kind::Member; }
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLocation Loc, std::string TypeText, Expr *Sub)
+      : Expr(Kind::Cast, Loc), TypeText(std::move(TypeText)), Sub(Sub) {}
+  std::string TypeText;
+  Expr *Sub;
+  static bool classof(const Node *N) { return N->kind() == Kind::Cast; }
+};
+
+/// sizeof(expr) or sizeof(type); Sub is null for the type form.
+class SizeofExpr : public Expr {
+public:
+  SizeofExpr(SourceLocation Loc, Expr *Sub, std::string TypeText)
+      : Expr(Kind::Sizeof, Loc), Sub(Sub), TypeText(std::move(TypeText)) {}
+  Expr *Sub;
+  std::string TypeText;
+  static bool classof(const Node *N) { return N->kind() == Kind::Sizeof; }
+};
+
+class CommaExpr : public Expr {
+public:
+  CommaExpr(SourceLocation Loc, Expr *Lhs, Expr *Rhs)
+      : Expr(Kind::Comma, Loc), Lhs(Lhs), Rhs(Rhs) {}
+  Expr *Lhs, *Rhs;
+  static bool classof(const Node *N) { return N->kind() == Kind::Comma; }
+};
+
+class InitListExpr : public Expr {
+public:
+  InitListExpr(SourceLocation Loc, std::vector<Expr *> Inits)
+      : Expr(Kind::InitList, Loc), Inits(std::move(Inits)) {}
+  std::vector<Expr *> Inits;
+  static bool classof(const Node *N) { return N->kind() == Kind::InitList; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= Kind::StmtFirst && N->kind() <= Kind::StmtLast;
+  }
+
+protected:
+  Stmt(Kind NodeKind, SourceLocation Loc) : Node(NodeKind, Loc) {}
+};
+
+class VarDecl;
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLocation Loc, std::vector<Stmt *> Body)
+      : Stmt(Kind::Compound, Loc), Body(std::move(Body)) {}
+  std::vector<Stmt *> Body;
+  static bool classof(const Node *N) { return N->kind() == Kind::Compound; }
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLocation Loc, std::vector<VarDecl *> Decls)
+      : Stmt(Kind::DeclStmt, Loc), Decls(std::move(Decls)) {}
+  std::vector<VarDecl *> Decls;
+  static bool classof(const Node *N) { return N->kind() == Kind::DeclStmt; }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLocation Loc, Expr *E) : Stmt(Kind::ExprStmt, Loc), E(E) {}
+  Expr *E;
+  static bool classof(const Node *N) { return N->kind() == Kind::ExprStmt; }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *Cond;
+  Stmt *Then, *Else; ///< Else may be null.
+  static bool classof(const Node *N) { return N->kind() == Kind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, Expr *Cond, Stmt *Body)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+  Expr *Cond;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == Kind::While; }
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(SourceLocation Loc, Stmt *Body, Expr *Cond)
+      : Stmt(Kind::Do, Loc), Body(Body), Cond(Cond) {}
+  Stmt *Body;
+  Expr *Cond;
+  static bool classof(const Node *N) { return N->kind() == Kind::Do; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Inc(Inc), Body(Body) {}
+  Stmt *Init; ///< DeclStmt, ExprStmt, or null.
+  Expr *Cond, *Inc; ///< May be null.
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == Kind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, Expr *Value)
+      : Stmt(Kind::Return, Loc), Value(Value) {}
+  Expr *Value; ///< May be null.
+  static bool classof(const Node *N) { return N->kind() == Kind::Return; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Node *N) { return N->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Node *N) { return N->kind() == Kind::Continue; }
+};
+
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(SourceLocation Loc, Expr *Cond, Stmt *Body)
+      : Stmt(Kind::Switch, Loc), Cond(Cond), Body(Body) {}
+  Expr *Cond;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == Kind::Switch; }
+};
+
+/// Case label (Value non-null) or default label (Value null), with the
+/// labeled substatement.
+class CaseStmt : public Stmt {
+public:
+  CaseStmt(SourceLocation Loc, Expr *Value, Stmt *Sub)
+      : Stmt(Kind::Case, Loc), Value(Value), Sub(Sub) {}
+  Expr *Value;
+  Stmt *Sub;
+  static bool classof(const Node *N) { return N->kind() == Kind::Case; }
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLocation Loc) : Stmt(Kind::Null, Loc) {}
+  static bool classof(const Node *N) { return N->kind() == Kind::Null; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class Decl : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= Kind::DeclFirst && N->kind() <= Kind::DeclLast;
+  }
+  std::string Name;
+
+protected:
+  Decl(Kind NodeKind, SourceLocation Loc, std::string Name)
+      : Node(NodeKind, Loc), Name(std::move(Name)) {}
+};
+
+/// A variable, parameter, or struct field. TypeText is the rendered
+/// declaration type (for diagnostics only — the analysis is untyped).
+class VarDecl : public Decl {
+public:
+  VarDecl(SourceLocation Loc, std::string Name, std::string TypeText,
+          Expr *Init)
+      : Decl(Kind::Var, Loc, std::move(Name)), TypeText(std::move(TypeText)),
+        Init(Init) {}
+  std::string TypeText;
+  Expr *Init; ///< Scalar expression or InitListExpr; may be null.
+  static bool classof(const Node *N) { return N->kind() == Kind::Var; }
+};
+
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(SourceLocation Loc, std::string Name,
+               std::string ReturnTypeText, std::vector<VarDecl *> Params,
+               bool Variadic, CompoundStmt *Body)
+      : Decl(Kind::Function, Loc, std::move(Name)),
+        ReturnTypeText(std::move(ReturnTypeText)), Params(std::move(Params)),
+        Variadic(Variadic), Body(Body) {}
+  std::string ReturnTypeText;
+  std::vector<VarDecl *> Params;
+  bool Variadic;
+  CompoundStmt *Body; ///< Null for prototypes.
+  static bool classof(const Node *N) { return N->kind() == Kind::Function; }
+};
+
+class RecordDecl : public Decl {
+public:
+  RecordDecl(SourceLocation Loc, std::string Tag, bool IsUnion,
+             std::vector<VarDecl *> Fields)
+      : Decl(Kind::Record, Loc, std::move(Tag)), IsUnion(IsUnion),
+        Fields(std::move(Fields)) {}
+  bool IsUnion;
+  std::vector<VarDecl *> Fields;
+  static bool classof(const Node *N) { return N->kind() == Kind::Record; }
+};
+
+class TypedefDecl : public Decl {
+public:
+  TypedefDecl(SourceLocation Loc, std::string Name, std::string TypeText)
+      : Decl(Kind::Typedef, Loc, std::move(Name)),
+        TypeText(std::move(TypeText)) {}
+  std::string TypeText;
+  static bool classof(const Node *N) { return N->kind() == Kind::Typedef; }
+};
+
+class EnumDecl : public Decl {
+public:
+  EnumDecl(SourceLocation Loc, std::string Tag,
+           std::vector<std::string> Enumerators)
+      : Decl(Kind::Enum, Loc, std::move(Tag)),
+        Enumerators(std::move(Enumerators)) {}
+  std::vector<std::string> Enumerators;
+  static bool classof(const Node *N) { return N->kind() == Kind::Enum; }
+};
+
+//===----------------------------------------------------------------------===//
+// isa / cast / dyn_cast
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *N) {
+  return To::classof(N);
+}
+
+template <typename To, typename From> To *cast(From *N) {
+  assert(isa<To>(N) && "cast<> on node of wrong kind!");
+  return static_cast<To *>(N);
+}
+
+template <typename To, typename From> const To *cast(const From *N) {
+  assert(isa<To>(N) && "cast<> on node of wrong kind!");
+  return static_cast<const To *>(N);
+}
+
+template <typename To, typename From> To *dyn_cast(From *N) {
+  return isa<To>(N) ? static_cast<To *>(N) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *N) {
+  return isa<To>(N) ? static_cast<const To *>(N) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// TranslationUnit
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node of one parsed source file.
+class TranslationUnit {
+public:
+  /// Allocates a node in the pool.
+  template <typename NodeT, typename... ArgTypes>
+  NodeT *create(ArgTypes &&...Args) {
+    auto Owned = std::make_unique<NodeT>(std::forward<ArgTypes>(Args)...);
+    NodeT *Raw = Owned.get();
+    Pool.push_back(PoolEntry(Owned.release(), &destroyNode<NodeT>));
+    return Raw;
+  }
+
+  std::vector<Decl *> Decls;
+
+  /// Number of nodes allocated (the paper's "AST nodes" metric).
+  uint64_t numNodes() const { return Pool.size(); }
+
+private:
+  // Nodes have no virtual destructor (closed hierarchy, no vtables); the
+  // pool remembers each node's deleter.
+  template <typename NodeT> static void destroyNode(Node *N) {
+    delete static_cast<NodeT *>(N);
+  }
+
+  struct PoolEntry {
+    PoolEntry(Node *N, void (*Deleter)(Node *)) : N(N), Deleter(Deleter) {}
+    PoolEntry(PoolEntry &&RHS) noexcept : N(RHS.N), Deleter(RHS.Deleter) {
+      RHS.N = nullptr;
+    }
+    PoolEntry(const PoolEntry &) = delete;
+    PoolEntry &operator=(const PoolEntry &) = delete;
+    PoolEntry &operator=(PoolEntry &&RHS) noexcept {
+      if (this != &RHS) {
+        if (N)
+          Deleter(N);
+        N = RHS.N;
+        Deleter = RHS.Deleter;
+        RHS.N = nullptr;
+      }
+      return *this;
+    }
+    ~PoolEntry() {
+      if (N)
+        Deleter(N);
+    }
+    Node *N;
+    void (*Deleter)(Node *);
+  };
+
+  std::vector<PoolEntry> Pool;
+};
+
+/// Returns the name of \p Kind for diagnostics and test output.
+const char *nodeKindName(Node::Kind Kind);
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_AST_H

@@ -1,0 +1,19 @@
+//===- minic/Diagnostics.cpp - Frontend diagnostics -----------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Diagnostics.h"
+
+using namespace poce;
+using namespace poce::minic;
+
+void Diagnostics::error(SourceLocation Loc, const std::string &Message) {
+  Errors.push_back(FileName + ":" + Loc.str() + ": error: " + Message);
+}
+
+void Diagnostics::printAll(std::FILE *Out) const {
+  for (const std::string &Error : Errors)
+    std::fprintf(Out, "%s\n", Error.c_str());
+}

@@ -1,0 +1,49 @@
+//===- minic/Diagnostics.h - Frontend diagnostics ---------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error collection for the MiniC frontend. Messages follow tool style
+/// (lowercase first word, no trailing period) and carry source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_DIAGNOSTICS_H
+#define POCE_MINIC_DIAGNOSTICS_H
+
+#include "minic/Token.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace minic {
+
+/// Collects frontend errors; parsing continues after errors where
+/// possible so multiple problems surface in one run.
+class Diagnostics {
+public:
+  explicit Diagnostics(std::string FileName = "<input>")
+      : FileName(std::move(FileName)) {}
+
+  void error(SourceLocation Loc, const std::string &Message);
+
+  bool hasErrors() const { return !Errors.empty(); }
+  unsigned errorCount() const { return static_cast<unsigned>(Errors.size()); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  /// Prints all collected errors to \p Out.
+  void printAll(std::FILE *Out = stderr) const;
+
+private:
+  std::string FileName;
+  std::vector<std::string> Errors;
+};
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_DIAGNOSTICS_H

@@ -1,0 +1,513 @@
+//===- minic/Lexer.cpp - MiniC lexer ---------------------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace poce;
+using namespace poce::minic;
+
+const char *poce::minic::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwEnum:
+    return "'enum'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwShort:
+    return "'short'";
+  case TokenKind::KwSigned:
+    return "'signed'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwTypedef:
+    return "'typedef'";
+  case TokenKind::KwUnion:
+    return "'union'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Ellipsis:
+    return "'...'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Exclaim:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::ExclaimEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::AmpEqual:
+    return "'&='";
+  case TokenKind::PipeEqual:
+    return "'|='";
+  case TokenKind::CaretEqual:
+    return "'^='";
+  case TokenKind::LessLessEqual:
+    return "'<<='";
+  case TokenKind::GreaterGreaterEqual:
+    return "'>>='";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Source, Diagnostics &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    // Preprocessor lines: inputs are preprocessed, but #line markers and
+    // stray directives are tolerated by skipping to end of line.
+    if (C == '#' && Column == 1) {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = location();
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Text = std::move(Text);
+  Tok.Loc = Loc;
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"break", TokenKind::KwBreak},       {"case", TokenKind::KwCase},
+      {"char", TokenKind::KwChar},         {"const", TokenKind::KwConst},
+      {"continue", TokenKind::KwContinue}, {"default", TokenKind::KwDefault},
+      {"do", TokenKind::KwDo},             {"double", TokenKind::KwDouble},
+      {"else", TokenKind::KwElse},         {"enum", TokenKind::KwEnum},
+      {"extern", TokenKind::KwExtern},     {"float", TokenKind::KwFloat},
+      {"for", TokenKind::KwFor},           {"if", TokenKind::KwIf},
+      {"int", TokenKind::KwInt},           {"long", TokenKind::KwLong},
+      {"return", TokenKind::KwReturn},     {"short", TokenKind::KwShort},
+      {"signed", TokenKind::KwSigned},     {"sizeof", TokenKind::KwSizeof},
+      {"static", TokenKind::KwStatic},     {"struct", TokenKind::KwStruct},
+      {"switch", TokenKind::KwSwitch},     {"typedef", TokenKind::KwTypedef},
+      {"union", TokenKind::KwUnion},       {"unsigned", TokenKind::KwUnsigned},
+      {"void", TokenKind::KwVoid},         {"while", TokenKind::KwWhile},
+  };
+
+  size_t Start = Pos - 1;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc);
+  return makeToken(TokenKind::Identifier, Loc, std::string(Text));
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Start = Pos - 1;
+  bool IsFloat = false;
+
+  if (Source[Start] == '0' && (peek() == 'x' || peek() == 'X')) {
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Sign = peek(1);
+      unsigned DigitPos = (Sign == '+' || Sign == '-') ? 2 : 1;
+      if (std::isdigit(static_cast<unsigned char>(peek(DigitPos)))) {
+        IsFloat = true;
+        advance();
+        if (Sign == '+' || Sign == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+  // Consume integer/float suffixes.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'f' || peek() == 'F')
+    advance();
+
+  std::string Text(Source.substr(Start, Pos - Start));
+  return makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   Loc, std::move(Text));
+}
+
+void Lexer::lexEscape(std::string &Out) {
+  // Called after the backslash was consumed.
+  if (Pos >= Source.size())
+    return;
+  char C = advance();
+  switch (C) {
+  case 'n':
+    Out.push_back('\n');
+    break;
+  case 't':
+    Out.push_back('\t');
+    break;
+  case 'r':
+    Out.push_back('\r');
+    break;
+  case '0':
+    Out.push_back('\0');
+    break;
+  case '\\':
+  case '\'':
+  case '"':
+    Out.push_back(C);
+    break;
+  default:
+    Out.push_back(C); // Unknown escapes pass through.
+    break;
+  }
+}
+
+Token Lexer::lexCharLiteral(SourceLocation Loc) {
+  std::string Text;
+  while (Pos < Source.size() && peek() != '\'') {
+    if (peek() == '\n') {
+      Diags.error(Loc, "unterminated character literal");
+      return makeToken(TokenKind::CharLiteral, Loc, std::move(Text));
+    }
+    if (advance() == '\\')
+      lexEscape(Text);
+    else
+      Text.push_back(Source[Pos - 1]);
+  }
+  if (Pos >= Source.size())
+    Diags.error(Loc, "unterminated character literal");
+  else
+    advance(); // Closing quote.
+  return makeToken(TokenKind::CharLiteral, Loc, std::move(Text));
+}
+
+Token Lexer::lexStringLiteral(SourceLocation Loc) {
+  std::string Text;
+  while (Pos < Source.size() && peek() != '"') {
+    if (peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      return makeToken(TokenKind::StringLiteral, Loc, std::move(Text));
+    }
+    if (advance() == '\\')
+      lexEscape(Text);
+    else
+      Text.push_back(Source[Pos - 1]);
+  }
+  if (Pos >= Source.size())
+    Diags.error(Loc, "unterminated string literal");
+  else
+    advance(); // Closing quote.
+  return makeToken(TokenKind::StringLiteral, Loc, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = location();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::EndOfFile, Loc);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+
+  switch (C) {
+  case '\'':
+    return lexCharLiteral(Loc);
+  case '"':
+    return lexStringLiteral(Loc);
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return makeToken(TokenKind::Ellipsis, Loc);
+    }
+    return makeToken(TokenKind::Dot, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Loc);
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc);
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Loc);
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Loc);
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Loc);
+    return makeToken(TokenKind::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    if (match('='))
+      return makeToken(TokenKind::AmpEqual, Loc);
+    return makeToken(TokenKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PipeEqual, Loc);
+    return makeToken(TokenKind::Pipe, Loc);
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEqual, Loc);
+    return makeToken(TokenKind::Caret, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::ExclaimEqual, Loc);
+    return makeToken(TokenKind::Exclaim, Loc);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::LessLessEqual, Loc);
+      return makeToken(TokenKind::LessLess, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc);
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::GreaterGreaterEqual, Loc);
+      return makeToken(TokenKind::GreaterGreater, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc);
+    return makeToken(TokenKind::Greater, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc);
+    return makeToken(TokenKind::Equal, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

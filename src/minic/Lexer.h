@@ -1,0 +1,63 @@
+//===- minic/Lexer.h - MiniC lexer ------------------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Handles C89/C99 tokens, both comment
+/// styles, string/char escapes, and skips preprocessor lines (inputs are
+/// expected to be preprocessed, as in the paper's benchmark setup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_LEXER_H
+#define POCE_MINIC_LEXER_H
+
+#include "minic/Diagnostics.h"
+#include "minic/Token.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poce {
+namespace minic {
+
+/// Lexes a MiniC source buffer into tokens.
+class Lexer {
+public:
+  Lexer(std::string_view Source, Diagnostics &Diags);
+
+  /// Lexes and returns the next token (EndOfFile at the end, repeatedly).
+  Token next();
+
+  /// Lexes the whole buffer, including the trailing EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLocation location() const { return {Line, Column}; }
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc,
+                  std::string Text = std::string());
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexCharLiteral(SourceLocation Loc);
+  Token lexStringLiteral(SourceLocation Loc);
+  void lexEscape(std::string &Out);
+
+  std::string_view Source;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_LEXER_H

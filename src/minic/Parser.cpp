@@ -1,0 +1,946 @@
+//===- minic/Parser.cpp - MiniC recursive-descent parser -------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Parser.h"
+
+#include <cstdlib>
+
+using namespace poce;
+using namespace poce::minic;
+
+Parser::Parser(std::vector<Token> Tokens, Diagnostics &Diags,
+               TranslationUnit &Unit)
+    : Tokens(std::move(Tokens)), Diags(Diags), Unit(Unit) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EndOfFile!");
+}
+
+//===----------------------------------------------------------------------===//
+// Token stream
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EndOfFile.
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token Tok = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!current().is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::synchronizeToDeclBoundary() {
+  while (!current().is(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semi))
+      return;
+    if (current().is(TokenKind::RBrace)) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!current().is(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semi))
+      return;
+    if (current().is(TokenKind::RBrace))
+      return; // Let the enclosing block consume it.
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration specifiers
+//===----------------------------------------------------------------------===//
+
+static bool isBuiltinTypeKeyword(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwInt:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwLong:
+  case TokenKind::KwShort:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool isQualifierKeyword(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::KwConst:
+  case TokenKind::KwStatic:
+  case TokenKind::KwExtern:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::startsDeclSpecifiers() const {
+  const Token &Tok = current();
+  if (isBuiltinTypeKeyword(Tok.Kind) || isQualifierKeyword(Tok.Kind))
+    return true;
+  switch (Tok.Kind) {
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+  case TokenKind::KwTypedef:
+    return true;
+  case TokenKind::Identifier:
+    return TypedefNames.count(Tok.Text) != 0;
+  default:
+    return false;
+  }
+}
+
+bool Parser::parseDeclSpecifiers(DeclSpec &Spec) {
+  bool Any = false;
+  bool HasType = false;
+
+  auto appendText = [&](const std::string &Text) {
+    if (!Spec.Text.empty())
+      Spec.Text += " ";
+    Spec.Text += Text;
+  };
+
+  while (true) {
+    const Token &Tok = current();
+    if (isQualifierKeyword(Tok.Kind)) {
+      consume();
+      Any = true;
+      continue;
+    }
+    if (Tok.is(TokenKind::KwTypedef)) {
+      consume();
+      Spec.IsTypedef = true;
+      Any = true;
+      continue;
+    }
+    if (isBuiltinTypeKeyword(Tok.Kind)) {
+      // Strip the quotes from the keyword spelling ("'int'" -> "int").
+      std::string Name = tokenKindName(Tok.Kind);
+      appendText(Name.substr(1, Name.size() - 2));
+      consume();
+      Any = true;
+      HasType = true;
+      continue;
+    }
+    if (Tok.is(TokenKind::KwStruct) || Tok.is(TokenKind::KwUnion)) {
+      bool IsUnion = Tok.is(TokenKind::KwUnion);
+      SourceLocation Loc = Tok.Loc;
+      consume();
+      std::string Tag;
+      if (current().is(TokenKind::Identifier))
+        Tag = consume().Text;
+      if (current().is(TokenKind::LBrace))
+        parseRecordBody(Loc, Tag, IsUnion);
+      appendText((IsUnion ? "union " : "struct ") + Tag);
+      Any = true;
+      HasType = true;
+      continue;
+    }
+    if (Tok.is(TokenKind::KwEnum)) {
+      SourceLocation Loc = Tok.Loc;
+      consume();
+      std::string Tag;
+      if (current().is(TokenKind::Identifier))
+        Tag = consume().Text;
+      if (current().is(TokenKind::LBrace))
+        parseEnumBody(Loc, Tag);
+      appendText("enum " + Tag);
+      Any = true;
+      HasType = true;
+      continue;
+    }
+    if (Tok.is(TokenKind::Identifier) && !HasType &&
+        TypedefNames.count(Tok.Text)) {
+      appendText(Tok.Text);
+      consume();
+      Any = true;
+      HasType = true;
+      continue;
+    }
+    break;
+  }
+  return Any;
+}
+
+RecordDecl *Parser::parseRecordBody(SourceLocation Loc, std::string Tag,
+                                    bool IsUnion) {
+  expect(TokenKind::LBrace, "to begin struct body");
+  std::vector<VarDecl *> Fields;
+  while (!current().is(TokenKind::RBrace) &&
+         !current().is(TokenKind::EndOfFile)) {
+    DeclSpec Spec;
+    if (!parseDeclSpecifiers(Spec)) {
+      Diags.error(current().Loc, "expected field declaration");
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    // Field declarator list.
+    while (true) {
+      Declarator D;
+      if (!parseDeclarator(D)) {
+        synchronizeToStmtBoundary();
+        break;
+      }
+      // Bit-fields: "int x : 3".
+      if (match(TokenKind::Colon))
+        parseConditionalExpr();
+      Fields.push_back(Unit.create<VarDecl>(D.Loc, D.Name,
+                                            Spec.Text + D.Text,
+                                            /*Init=*/nullptr));
+      if (match(TokenKind::Comma))
+        continue;
+      expect(TokenKind::Semi, "after field declaration");
+      break;
+    }
+  }
+  expect(TokenKind::RBrace, "to end struct body");
+  RecordDecl *Record =
+      Unit.create<RecordDecl>(Loc, std::move(Tag), IsUnion, std::move(Fields));
+  Unit.Decls.push_back(Record);
+  return Record;
+}
+
+EnumDecl *Parser::parseEnumBody(SourceLocation Loc, std::string Tag) {
+  expect(TokenKind::LBrace, "to begin enum body");
+  std::vector<std::string> Enumerators;
+  while (current().is(TokenKind::Identifier)) {
+    Enumerators.push_back(consume().Text);
+    if (match(TokenKind::Equal))
+      parseConditionalExpr();
+    if (!match(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RBrace, "to end enum body");
+  EnumDecl *Enum =
+      Unit.create<EnumDecl>(Loc, std::move(Tag), std::move(Enumerators));
+  Unit.Decls.push_back(Enum);
+  return Enum;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarators
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseDeclarator(Declarator &D) {
+  while (match(TokenKind::Star)) {
+    D.Text += "*";
+    while (match(TokenKind::KwConst)) {
+    }
+  }
+  return parseDirectDeclarator(D, /*SawPointer=*/!D.Text.empty());
+}
+
+bool Parser::parseDirectDeclarator(Declarator &D, bool SawPointer) {
+  bool Grouped = false;
+  if (current().is(TokenKind::Identifier)) {
+    Token Tok = consume();
+    D.Name = Tok.Text;
+    D.Loc = Tok.Loc;
+  } else if (current().is(TokenKind::LParen) &&
+             !peek(1).is(TokenKind::RParen) && !lparenStartsTypeName()) {
+    // Grouping parentheses: "(*fp)(int)", "(*tab[4])(void)".
+    consume();
+    Declarator Inner;
+    if (!parseDeclarator(Inner))
+      return false;
+    expect(TokenKind::RParen, "to close declarator group");
+    D.Name = Inner.Name;
+    D.Loc = Inner.Loc;
+    D.Text += "(" + Inner.Text + ")";
+    // A function declarator inside the group ("(*get(void))(int *)")
+    // makes the whole declaration a function; the group's own suffixes
+    // describe the returned pointer type.
+    D.IsDirectFunction = Inner.IsDirectFunction;
+    D.Params = std::move(Inner.Params);
+    D.Variadic = Inner.Variadic;
+    Grouped = true;
+  } else {
+    // Abstract declarator (unnamed parameter or type name).
+    D.Loc = current().Loc;
+  }
+
+  bool FirstSuffix = true;
+  while (true) {
+    if (current().is(TokenKind::LParen)) {
+      consume();
+      if (FirstSuffix && !Grouped && !D.Name.empty()) {
+        // A function declarator: the name is directly suffixed by the
+        // parameter list (possibly under pointers, i.e. a function
+        // returning a pointer).
+        D.IsDirectFunction = true;
+        if (!parseParameterList(D))
+          return false;
+      } else {
+        // Function type applied to a grouped declarator (pointer to
+        // function) or an abstract declarator; parameters are parsed and
+        // discarded — they do not declare analyzable objects.
+        Declarator Discard;
+        if (!parseParameterList(Discard))
+          return false;
+        D.Text += "(fn)";
+      }
+      FirstSuffix = false;
+      continue;
+    }
+    if (current().is(TokenKind::LBracket)) {
+      consume();
+      if (!current().is(TokenKind::RBracket))
+        parseConditionalExpr(); // Array size; value irrelevant here.
+      expect(TokenKind::RBracket, "to close array declarator");
+      D.Text += "[]";
+      FirstSuffix = false;
+      continue;
+    }
+    return true;
+  }
+}
+
+bool Parser::parseParameterList(Declarator &D) {
+  if (match(TokenKind::RParen))
+    return true; // "f()".
+  if (current().is(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+    consume();
+    consume();
+    return true; // "f(void)".
+  }
+  while (true) {
+    if (match(TokenKind::Ellipsis)) {
+      D.Variadic = true;
+      break;
+    }
+    DeclSpec Spec;
+    if (!parseDeclSpecifiers(Spec)) {
+      Diags.error(current().Loc, "expected parameter declaration");
+      // Recover to ',' or ')'.
+      while (!current().is(TokenKind::Comma) &&
+             !current().is(TokenKind::RParen) &&
+             !current().is(TokenKind::EndOfFile))
+        consume();
+    } else {
+      Declarator Param;
+      if (!parseDeclarator(Param))
+        return false;
+      D.Params.push_back(Unit.create<VarDecl>(
+          Param.Name.empty() ? current().Loc : Param.Loc, Param.Name,
+          Spec.Text + Param.Text, /*Init=*/nullptr));
+    }
+    if (match(TokenKind::Comma))
+      continue;
+    break;
+  }
+  return expect(TokenKind::RParen, "to close parameter list");
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTranslationUnit() {
+  while (!current().is(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
+    parseTopLevelDecl();
+    if (Pos == Before)
+      consume(); // Guarantee progress even on malformed input.
+  }
+  return !Diags.hasErrors();
+}
+
+void Parser::parseTopLevelDecl() {
+  if (match(TokenKind::Semi))
+    return; // Stray semicolon.
+
+  DeclSpec Spec;
+  if (!parseDeclSpecifiers(Spec)) {
+    Diags.error(current().Loc, "expected declaration");
+    synchronizeToDeclBoundary();
+    return;
+  }
+  if (match(TokenKind::Semi))
+    return; // "struct S { ... };" or "enum E { ... };".
+
+  Declarator D;
+  if (!parseDeclarator(D)) {
+    synchronizeToDeclBoundary();
+    return;
+  }
+
+  if (D.IsDirectFunction && current().is(TokenKind::LBrace) &&
+      !Spec.IsTypedef) {
+    CompoundStmt *Body = parseCompoundStmt();
+    Unit.Decls.push_back(Unit.create<FunctionDecl>(
+        D.Loc, D.Name, Spec.Text + D.Text, std::move(D.Params), D.Variadic,
+        Body));
+    return;
+  }
+  parseInitDeclarators(Spec, std::move(D), /*LocalOut=*/nullptr);
+}
+
+void Parser::parseInitDeclarators(const DeclSpec &Spec, Declarator First,
+                                  std::vector<VarDecl *> *LocalOut) {
+  Declarator D = std::move(First);
+  while (true) {
+    if (Spec.IsTypedef) {
+      if (D.Name.empty())
+        Diags.error(current().Loc, "typedef declarator requires a name");
+      else
+        TypedefNames.insert(D.Name);
+      Unit.Decls.push_back(
+          Unit.create<TypedefDecl>(D.Loc, D.Name, Spec.Text + D.Text));
+    } else if (D.IsDirectFunction) {
+      Unit.Decls.push_back(Unit.create<FunctionDecl>(
+          D.Loc, D.Name, Spec.Text + D.Text, std::move(D.Params), D.Variadic,
+          /*Body=*/nullptr));
+    } else {
+      Expr *Init = nullptr;
+      if (match(TokenKind::Equal))
+        Init = parseInitializer();
+      VarDecl *Var =
+          Unit.create<VarDecl>(D.Loc, D.Name, Spec.Text + D.Text, Init);
+      if (LocalOut)
+        LocalOut->push_back(Var);
+      else
+        Unit.Decls.push_back(Var);
+    }
+    if (match(TokenKind::Comma)) {
+      Declarator Next;
+      if (!parseDeclarator(Next)) {
+        synchronizeToStmtBoundary();
+        return;
+      }
+      D = std::move(Next);
+      continue;
+    }
+    expect(TokenKind::Semi, "after declaration");
+    return;
+  }
+}
+
+Expr *Parser::parseInitializer() {
+  if (current().is(TokenKind::LBrace)) {
+    SourceLocation Loc = consume().Loc;
+    std::vector<Expr *> Inits;
+    while (!current().is(TokenKind::RBrace) &&
+           !current().is(TokenKind::EndOfFile)) {
+      Inits.push_back(parseInitializer());
+      if (!match(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "to close initializer list");
+    return Unit.create<InitListExpr>(Loc, std::move(Inits));
+  }
+  return parseAssignExpr();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Parser::parseCompoundStmt() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  std::vector<Stmt *> Body;
+  while (!current().is(TokenKind::RBrace) &&
+         !current().is(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
+    Body.push_back(parseStmt());
+    if (Pos == Before)
+      consume(); // Guarantee progress.
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return Unit.create<CompoundStmt>(Loc, std::move(Body));
+}
+
+Stmt *Parser::parseDeclStmt() {
+  SourceLocation Loc = current().Loc;
+  DeclSpec Spec;
+  parseDeclSpecifiers(Spec);
+  std::vector<VarDecl *> Locals;
+  if (!match(TokenKind::Semi)) {
+    Declarator D;
+    if (!parseDeclarator(D)) {
+      synchronizeToStmtBoundary();
+      return Unit.create<NullStmt>(Loc);
+    }
+    parseInitDeclarators(Spec, std::move(D), &Locals);
+  }
+  return Unit.create<DeclStmt>(Loc, std::move(Locals));
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseCompoundStmt();
+  case TokenKind::Semi:
+    consume();
+    return Unit.create<NullStmt>(Loc);
+  case TokenKind::KwIf: {
+    consume();
+    expect(TokenKind::LParen, "after 'if'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after if condition");
+    Stmt *Then = parseStmt();
+    Stmt *Else = nullptr;
+    if (match(TokenKind::KwElse))
+      Else = parseStmt();
+    return Unit.create<IfStmt>(Loc, Cond, Then, Else);
+  }
+  case TokenKind::KwWhile: {
+    consume();
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after while condition");
+    return Unit.create<WhileStmt>(Loc, Cond, parseStmt());
+  }
+  case TokenKind::KwDo: {
+    consume();
+    Stmt *Body = parseStmt();
+    expect(TokenKind::KwWhile, "after do body");
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after do-while condition");
+    expect(TokenKind::Semi, "after do-while");
+    return Unit.create<DoStmt>(Loc, Body, Cond);
+  }
+  case TokenKind::KwFor: {
+    consume();
+    expect(TokenKind::LParen, "after 'for'");
+    Stmt *Init = nullptr;
+    if (!match(TokenKind::Semi)) {
+      if (startsDeclSpecifiers()) {
+        Init = parseDeclStmt();
+      } else {
+        Expr *E = parseExpr();
+        Init = Unit.create<ExprStmt>(E->loc(), E);
+        expect(TokenKind::Semi, "after for initializer");
+      }
+    }
+    Expr *Cond = nullptr;
+    if (!current().is(TokenKind::Semi))
+      Cond = parseExpr();
+    expect(TokenKind::Semi, "after for condition");
+    Expr *Inc = nullptr;
+    if (!current().is(TokenKind::RParen))
+      Inc = parseExpr();
+    expect(TokenKind::RParen, "after for clauses");
+    return Unit.create<ForStmt>(Loc, Init, Cond, Inc, parseStmt());
+  }
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = nullptr;
+    if (!current().is(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return Unit.create<ReturnStmt>(Loc, Value);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semi, "after 'break'");
+    return Unit.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semi, "after 'continue'");
+    return Unit.create<ContinueStmt>(Loc);
+  case TokenKind::KwSwitch: {
+    consume();
+    expect(TokenKind::LParen, "after 'switch'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after switch condition");
+    return Unit.create<SwitchStmt>(Loc, Cond, parseStmt());
+  }
+  case TokenKind::KwCase: {
+    consume();
+    Expr *Value = parseConditionalExpr();
+    expect(TokenKind::Colon, "after case value");
+    return Unit.create<CaseStmt>(Loc, Value, parseStmt());
+  }
+  case TokenKind::KwDefault:
+    consume();
+    expect(TokenKind::Colon, "after 'default'");
+    return Unit.create<CaseStmt>(Loc, /*Value=*/nullptr, parseStmt());
+  default:
+    break;
+  }
+
+  if (startsDeclSpecifiers())
+    return parseDeclStmt();
+
+  Expr *E = parseExpr();
+  if (!expect(TokenKind::Semi, "after expression"))
+    synchronizeToStmtBoundary();
+  return Unit.create<ExprStmt>(Loc, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::errorExpr(SourceLocation Loc) {
+  return Unit.create<IntLiteralExpr>(Loc, 0);
+}
+
+Expr *Parser::parseExpr() {
+  Expr *Lhs = parseAssignExpr();
+  while (current().is(TokenKind::Comma)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *Rhs = parseAssignExpr();
+    Lhs = Unit.create<CommaExpr>(Loc, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+static bool tokenToAssignOp(TokenKind Kind, AssignOp &Op) {
+  switch (Kind) {
+  case TokenKind::Equal:
+    Op = AssignOp::Assign;
+    return true;
+  case TokenKind::PlusEqual:
+    Op = AssignOp::AddAssign;
+    return true;
+  case TokenKind::MinusEqual:
+    Op = AssignOp::SubAssign;
+    return true;
+  case TokenKind::StarEqual:
+    Op = AssignOp::MulAssign;
+    return true;
+  case TokenKind::SlashEqual:
+    Op = AssignOp::DivAssign;
+    return true;
+  case TokenKind::PercentEqual:
+    Op = AssignOp::RemAssign;
+    return true;
+  case TokenKind::AmpEqual:
+    Op = AssignOp::AndAssign;
+    return true;
+  case TokenKind::PipeEqual:
+    Op = AssignOp::OrAssign;
+    return true;
+  case TokenKind::CaretEqual:
+    Op = AssignOp::XorAssign;
+    return true;
+  case TokenKind::LessLessEqual:
+    Op = AssignOp::ShlAssign;
+    return true;
+  case TokenKind::GreaterGreaterEqual:
+    Op = AssignOp::ShrAssign;
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseAssignExpr() {
+  Expr *Lhs = parseConditionalExpr();
+  AssignOp Op = AssignOp::Assign;
+  if (!tokenToAssignOp(current().Kind, Op))
+    return Lhs;
+  SourceLocation Loc = consume().Loc;
+  Expr *Rhs = parseAssignExpr(); // Right associative.
+  return Unit.create<AssignExpr>(Loc, Op, Lhs, Rhs);
+}
+
+Expr *Parser::parseConditionalExpr() {
+  Expr *Cond = parseBinaryExpr(/*MinPrecedence=*/1);
+  if (!current().is(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = consume().Loc;
+  Expr *TrueExpr = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseExpr = parseConditionalExpr();
+  return Unit.create<ConditionalExpr>(Loc, Cond, TrueExpr, FalseExpr);
+}
+
+// Returns the precedence of a binary operator token (higher binds
+// tighter), or 0 if the token is not a binary operator.
+static int binaryPrecedence(TokenKind Kind, BinaryOp &Op) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    Op = BinaryOp::LogicalOr;
+    return 1;
+  case TokenKind::AmpAmp:
+    Op = BinaryOp::LogicalAnd;
+    return 2;
+  case TokenKind::Pipe:
+    Op = BinaryOp::Or;
+    return 3;
+  case TokenKind::Caret:
+    Op = BinaryOp::Xor;
+    return 4;
+  case TokenKind::Amp:
+    Op = BinaryOp::And;
+    return 5;
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::Eq;
+    return 6;
+  case TokenKind::ExclaimEqual:
+    Op = BinaryOp::Ne;
+    return 6;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    return 7;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    return 7;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::Le;
+    return 7;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::Ge;
+    return 7;
+  case TokenKind::LessLess:
+    Op = BinaryOp::Shl;
+    return 8;
+  case TokenKind::GreaterGreater:
+    Op = BinaryOp::Shr;
+    return 8;
+  case TokenKind::Plus:
+    Op = BinaryOp::Add;
+    return 9;
+  case TokenKind::Minus:
+    Op = BinaryOp::Sub;
+    return 9;
+  case TokenKind::Star:
+    Op = BinaryOp::Mul;
+    return 10;
+  case TokenKind::Slash:
+    Op = BinaryOp::Div;
+    return 10;
+  case TokenKind::Percent:
+    Op = BinaryOp::Rem;
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+Expr *Parser::parseBinaryExpr(int MinPrecedence) {
+  Expr *Lhs = parseCastExpr();
+  while (true) {
+    BinaryOp Op = BinaryOp::Add;
+    int Precedence = binaryPrecedence(current().Kind, Op);
+    if (Precedence < MinPrecedence)
+      return Lhs;
+    SourceLocation Loc = consume().Loc;
+    Expr *Rhs = parseBinaryExpr(Precedence + 1);
+    Lhs = Unit.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+bool Parser::lparenStartsTypeName() const {
+  if (!current().is(TokenKind::LParen))
+    return false;
+  const Token &Next = peek(1);
+  if (isBuiltinTypeKeyword(Next.Kind) || isQualifierKeyword(Next.Kind))
+    return true;
+  switch (Next.Kind) {
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+    return true;
+  case TokenKind::Identifier:
+    return TypedefNames.count(Next.Text) != 0;
+  default:
+    return false;
+  }
+}
+
+std::string Parser::parseTypeName() {
+  DeclSpec Spec;
+  parseDeclSpecifiers(Spec);
+  Declarator Abstract;
+  parseDeclarator(Abstract);
+  if (!Abstract.Name.empty())
+    Diags.error(Abstract.Loc, "type name cannot declare '" + Abstract.Name +
+                                  "'");
+  return Spec.Text + Abstract.Text;
+}
+
+Expr *Parser::parseCastExpr() {
+  if (lparenStartsTypeName()) {
+    SourceLocation Loc = consume().Loc; // '('.
+    std::string TypeText = parseTypeName();
+    expect(TokenKind::RParen, "to close cast");
+    Expr *Sub = parseCastExpr();
+    return Unit.create<CastExpr>(Loc, std::move(TypeText), Sub);
+  }
+  return parseUnaryExpr();
+}
+
+Expr *Parser::parseUnaryExpr() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Amp:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::AddressOf, parseCastExpr());
+  case TokenKind::Star:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::Deref, parseCastExpr());
+  case TokenKind::Plus:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::Plus, parseCastExpr());
+  case TokenKind::Minus:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::Minus, parseCastExpr());
+  case TokenKind::Tilde:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::Not, parseCastExpr());
+  case TokenKind::Exclaim:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::LogicalNot, parseCastExpr());
+  case TokenKind::PlusPlus:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::PreInc, parseUnaryExpr());
+  case TokenKind::MinusMinus:
+    consume();
+    return Unit.create<UnaryExpr>(Loc, UnaryOp::PreDec, parseUnaryExpr());
+  case TokenKind::KwSizeof: {
+    consume();
+    if (lparenStartsTypeName()) {
+      consume(); // '('.
+      std::string TypeText = parseTypeName();
+      expect(TokenKind::RParen, "to close sizeof");
+      return Unit.create<SizeofExpr>(Loc, /*Sub=*/nullptr,
+                                     std::move(TypeText));
+    }
+    return Unit.create<SizeofExpr>(Loc, parseUnaryExpr(), std::string());
+  }
+  default:
+    return parsePostfixExpr();
+  }
+}
+
+Expr *Parser::parsePostfixExpr() {
+  Expr *E = parsePrimaryExpr();
+  while (true) {
+    SourceLocation Loc = current().Loc;
+    switch (current().Kind) {
+    case TokenKind::LParen: {
+      consume();
+      std::vector<Expr *> Args;
+      if (!current().is(TokenKind::RParen)) {
+        while (true) {
+          Args.push_back(parseAssignExpr());
+          if (!match(TokenKind::Comma))
+            break;
+        }
+      }
+      expect(TokenKind::RParen, "to close call");
+      E = Unit.create<CallExpr>(Loc, E, std::move(Args));
+      continue;
+    }
+    case TokenKind::LBracket: {
+      consume();
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "to close index");
+      E = Unit.create<IndexExpr>(Loc, E, Index);
+      continue;
+    }
+    case TokenKind::Dot: {
+      consume();
+      std::string Member;
+      if (current().is(TokenKind::Identifier))
+        Member = consume().Text;
+      else
+        Diags.error(current().Loc, "expected member name after '.'");
+      E = Unit.create<MemberExpr>(Loc, E, std::move(Member),
+                                  /*IsArrow=*/false);
+      continue;
+    }
+    case TokenKind::Arrow: {
+      consume();
+      std::string Member;
+      if (current().is(TokenKind::Identifier))
+        Member = consume().Text;
+      else
+        Diags.error(current().Loc, "expected member name after '->'");
+      E = Unit.create<MemberExpr>(Loc, E, std::move(Member),
+                                  /*IsArrow=*/true);
+      continue;
+    }
+    case TokenKind::PlusPlus:
+      consume();
+      E = Unit.create<UnaryExpr>(Loc, UnaryOp::PostInc, E);
+      continue;
+    case TokenKind::MinusMinus:
+      consume();
+      E = Unit.create<UnaryExpr>(Loc, UnaryOp::PostDec, E);
+      continue;
+    default:
+      return E;
+    }
+  }
+}
+
+Expr *Parser::parsePrimaryExpr() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Identifier:
+    return Unit.create<IdentExpr>(Loc, consume().Text);
+  case TokenKind::IntLiteral: {
+    Token Tok = consume();
+    long long Value = std::strtoll(Tok.Text.c_str(), nullptr, 0);
+    return Unit.create<IntLiteralExpr>(Loc, Value);
+  }
+  case TokenKind::FloatLiteral: {
+    Token Tok = consume();
+    return Unit.create<FloatLiteralExpr>(Loc,
+                                         std::strtod(Tok.Text.c_str(),
+                                                     nullptr));
+  }
+  case TokenKind::CharLiteral:
+    return Unit.create<CharLiteralExpr>(Loc, consume().Text);
+  case TokenKind::StringLiteral: {
+    std::string Value = consume().Text;
+    // Adjacent string literals concatenate.
+    while (current().is(TokenKind::StringLiteral))
+      Value += consume().Text;
+    return Unit.create<StringLiteralExpr>(Loc, std::move(Value),
+                                          NextStringLiteralId++);
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(current().Kind));
+    consume();
+    return errorExpr(Loc);
+  }
+}

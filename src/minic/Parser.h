@@ -1,0 +1,147 @@
+//===- minic/Parser.h - MiniC recursive-descent parser ----------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC: declarations with full C declarator
+/// syntax (pointers, arrays, function pointers, grouping parentheses),
+/// struct/union/enum/typedef declarations, the complete statement grammar,
+/// and all C expression forms with standard precedence. Typedef names are
+/// tracked to disambiguate declarations from expressions and casts from
+/// parenthesized expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_PARSER_H
+#define POCE_MINIC_PARSER_H
+
+#include "minic/AST.h"
+#include "minic/Diagnostics.h"
+#include "minic/Token.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace minic {
+
+/// Parses a token stream into \p Unit. Errors are reported to the
+/// Diagnostics engine and parsing synchronizes at statement/declaration
+/// boundaries, so one run surfaces multiple errors.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Diagnostics &Diags,
+         TranslationUnit &Unit);
+
+  /// Parses the whole translation unit; returns true if no errors were
+  /// reported.
+  bool parseTranslationUnit();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token stream
+  //===--------------------------------------------------------------------===
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToDeclBoundary();
+  void synchronizeToStmtBoundary();
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  /// True if the upcoming token begins declaration specifiers (includes
+  /// tracked typedef names).
+  bool startsDeclSpecifiers() const;
+
+  /// Parsed declaration specifiers: the rendered base type plus any
+  /// record/enum declarations encountered inline.
+  struct DeclSpec {
+    std::string Text;
+    bool IsTypedef = false;
+  };
+
+  /// Parses declaration specifiers; returns false without consuming
+  /// anything definite on failure.
+  bool parseDeclSpecifiers(DeclSpec &Spec);
+
+  /// Parsed declarator: the declared name plus shape information needed to
+  /// classify the entity.
+  struct Declarator {
+    std::string Name;
+    SourceLocation Loc;
+    std::string Text; ///< Rendered pointer/array decoration.
+    /// True when the identifier is directly suffixed by a parameter list
+    /// (a function declarator, e.g. "f(int)"), as opposed to a
+    /// pointer-to-function variable "(*fp)(int)".
+    bool IsDirectFunction = false;
+    std::vector<VarDecl *> Params;
+    bool Variadic = false;
+  };
+
+  bool parseDeclarator(Declarator &D);
+  bool parseDirectDeclarator(Declarator &D, bool SawPointer);
+  bool parseParameterList(Declarator &D);
+
+  /// Parses one top-level declaration (function definition, prototype,
+  /// global variables, struct/enum/typedef).
+  void parseTopLevelDecl();
+
+  /// Parses the init-declarator list following \p Spec and the already
+  /// parsed first declarator, emitting VarDecls/prototypes into \p Out.
+  void parseInitDeclarators(const DeclSpec &Spec, Declarator First,
+                            std::vector<VarDecl *> *LocalOut);
+
+  RecordDecl *parseRecordBody(SourceLocation Loc, std::string Tag,
+                              bool IsUnion);
+  EnumDecl *parseEnumBody(SourceLocation Loc, std::string Tag);
+
+  Expr *parseInitializer();
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+  Stmt *parseStmt();
+  CompoundStmt *parseCompoundStmt();
+  Stmt *parseDeclStmt();
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+  Expr *parseExpr(); // Comma expression.
+  Expr *parseAssignExpr();
+  Expr *parseConditionalExpr();
+  Expr *parseBinaryExpr(int MinPrecedence);
+  Expr *parseCastExpr();
+  Expr *parseUnaryExpr();
+  Expr *parsePostfixExpr();
+  Expr *parsePrimaryExpr();
+
+  /// True if '(' at the current position starts a type name (cast or
+  /// sizeof(type)).
+  bool lparenStartsTypeName() const;
+
+  /// Consumes a type name (specifiers + abstract declarator) and returns
+  /// its rendered text.
+  std::string parseTypeName();
+
+  Expr *errorExpr(SourceLocation Loc);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Diagnostics &Diags;
+  TranslationUnit &Unit;
+  std::set<std::string> TypedefNames;
+  uint32_t NextStringLiteralId = 0;
+};
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_PARSER_H

@@ -1,0 +1,617 @@
+//===- minic/PrettyPrinter.cpp - AST rendering ------------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/PrettyPrinter.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace poce;
+using namespace poce::minic;
+
+//===----------------------------------------------------------------------===//
+// Declaration type normalization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits a rendered declaration type ("int *[]", "struct node *") into a
+/// base type, pointer depth, and array dimension count, producing source
+/// text that parses back to an analysis-equivalent declaration. Function
+/// deriving ("(fn)") is normalized to a pointer: the analysis only
+/// distinguishes array-ness and (separately tracked) function-ness.
+struct NormalizedType {
+  std::string Base;
+  unsigned Pointers = 0;
+  unsigned ArrayDims = 0;
+};
+
+NormalizedType normalizeType(const std::string &TypeText) {
+  NormalizedType Result;
+  size_t Pos = 0;
+  // The base runs until the first deriving token.
+  while (Pos < TypeText.size() && TypeText[Pos] != '*' &&
+         TypeText[Pos] != '[' && TypeText[Pos] != '(')
+    Result.Base.push_back(TypeText[Pos++]);
+  while (!Result.Base.empty() && Result.Base.back() == ' ')
+    Result.Base.pop_back();
+  for (; Pos < TypeText.size(); ++Pos) {
+    if (TypeText[Pos] == '*')
+      ++Result.Pointers;
+    else if (TypeText[Pos] == '[')
+      ++Result.ArrayDims;
+    else if (TypeText[Pos] == '(')
+      ++Result.Pointers; // Grouping/function deriving: a pointer suffices.
+  }
+  if (Result.Base.empty())
+    Result.Base = "int";
+  return Result;
+}
+
+std::string declToSource(const std::string &Name,
+                         const std::string &TypeText) {
+  NormalizedType Type = normalizeType(TypeText);
+  std::string Out = Type.Base + " ";
+  for (unsigned I = 0; I != Type.Pointers; ++I)
+    Out += "*";
+  Out += Name;
+  for (unsigned I = 0; I != Type.ArrayDims; ++I)
+    Out += "[1]";
+  return Out;
+}
+
+std::string indentBy(unsigned Indent) { return std::string(Indent, ' '); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static const char *binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Or:
+    return "|";
+  case BinaryOp::Xor:
+    return "^";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  }
+  poce_unreachable("invalid binary operator");
+}
+
+static const char *assignOpSpelling(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign:
+    return "=";
+  case AssignOp::AddAssign:
+    return "+=";
+  case AssignOp::SubAssign:
+    return "-=";
+  case AssignOp::MulAssign:
+    return "*=";
+  case AssignOp::DivAssign:
+    return "/=";
+  case AssignOp::RemAssign:
+    return "%=";
+  case AssignOp::AndAssign:
+    return "&=";
+  case AssignOp::OrAssign:
+    return "|=";
+  case AssignOp::XorAssign:
+    return "^=";
+  case AssignOp::ShlAssign:
+    return "<<=";
+  case AssignOp::ShrAssign:
+    return ">>=";
+  }
+  poce_unreachable("invalid assignment operator");
+}
+
+static std::string escapeString(const std::string &Value) {
+  std::string Out;
+  for (char C : Value) {
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\0':
+      Out += "\\0";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+std::string poce::minic::printExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Node::Kind::IntLiteral:
+    return std::to_string(cast<IntLiteralExpr>(E)->Value);
+  case Node::Kind::FloatLiteral:
+    return std::to_string(cast<FloatLiteralExpr>(E)->Value);
+  case Node::Kind::CharLiteral: {
+    const auto *Char = cast<CharLiteralExpr>(E);
+    return "'" + escapeString(Char->Value) + "'";
+  }
+  case Node::Kind::StringLiteral:
+    return "\"" + escapeString(cast<StringLiteralExpr>(E)->Value) + "\"";
+  case Node::Kind::Ident:
+    return cast<IdentExpr>(E)->Name;
+  case Node::Kind::Unary: {
+    const auto *Unary = cast<UnaryExpr>(E);
+    std::string Sub = printExpr(Unary->Sub);
+    switch (Unary->Op) {
+    case UnaryOp::AddressOf:
+      return "(&" + Sub + ")";
+    case UnaryOp::Deref:
+      return "(*" + Sub + ")";
+    case UnaryOp::Plus:
+      return "(+" + Sub + ")";
+    case UnaryOp::Minus:
+      return "(-" + Sub + ")";
+    case UnaryOp::Not:
+      return "(~" + Sub + ")";
+    case UnaryOp::LogicalNot:
+      return "(!" + Sub + ")";
+    case UnaryOp::PreInc:
+      return "(++" + Sub + ")";
+    case UnaryOp::PreDec:
+      return "(--" + Sub + ")";
+    case UnaryOp::PostInc:
+      return "(" + Sub + "++)";
+    case UnaryOp::PostDec:
+      return "(" + Sub + "--)";
+    }
+    poce_unreachable("invalid unary operator");
+  }
+  case Node::Kind::Binary: {
+    const auto *Binary = cast<BinaryExpr>(E);
+    return "(" + printExpr(Binary->Lhs) + " " +
+           binaryOpSpelling(Binary->Op) + " " + printExpr(Binary->Rhs) + ")";
+  }
+  case Node::Kind::Assign: {
+    const auto *Assign = cast<AssignExpr>(E);
+    return "(" + printExpr(Assign->Lhs) + " " +
+           assignOpSpelling(Assign->Op) + " " + printExpr(Assign->Rhs) + ")";
+  }
+  case Node::Kind::Conditional: {
+    const auto *Cond = cast<ConditionalExpr>(E);
+    return "(" + printExpr(Cond->Cond) + " ? " + printExpr(Cond->TrueExpr) +
+           " : " + printExpr(Cond->FalseExpr) + ")";
+  }
+  case Node::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    std::string Out = printExpr(Call->Callee) + "(";
+    for (size_t I = 0; I != Call->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(Call->Args[I]);
+    }
+    return Out + ")";
+  }
+  case Node::Kind::Index: {
+    const auto *Index = cast<IndexExpr>(E);
+    return printExpr(Index->Base) + "[" + printExpr(Index->Index) + "]";
+  }
+  case Node::Kind::Member: {
+    const auto *Member = cast<MemberExpr>(E);
+    return printExpr(Member->Base) + (Member->IsArrow ? "->" : ".") +
+           Member->Member;
+  }
+  case Node::Kind::Cast: {
+    const auto *Cast = cast<CastExpr>(E);
+    NormalizedType Type = normalizeType(Cast->TypeText);
+    std::string Text = Type.Base;
+    for (unsigned I = 0; I != Type.Pointers + Type.ArrayDims; ++I)
+      Text += "*";
+    return "((" + Text + ")" + printExpr(Cast->Sub) + ")";
+  }
+  case Node::Kind::Sizeof: {
+    const auto *Sizeof = cast<SizeofExpr>(E);
+    if (Sizeof->Sub)
+      return "sizeof(" + printExpr(Sizeof->Sub) + ")";
+    NormalizedType Type = normalizeType(Sizeof->TypeText);
+    std::string Text = Type.Base;
+    for (unsigned I = 0; I != Type.Pointers + Type.ArrayDims; ++I)
+      Text += "*";
+    return "sizeof(" + Text + ")";
+  }
+  case Node::Kind::Comma: {
+    const auto *Comma = cast<CommaExpr>(E);
+    return "(" + printExpr(Comma->Lhs) + ", " + printExpr(Comma->Rhs) + ")";
+  }
+  case Node::Kind::InitList: {
+    const auto *List = cast<InitListExpr>(E);
+    std::string Out = "{";
+    for (size_t I = 0; I != List->Inits.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(List->Inits[I]);
+    }
+    return Out + "}";
+  }
+  default:
+    poce_unreachable("non-expression node");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+static std::string printVarDecl(const VarDecl *Var) {
+  std::string Out = declToSource(Var->Name, Var->TypeText);
+  if (Var->Init)
+    Out += " = " + printExpr(Var->Init);
+  return Out + ";";
+}
+
+std::string poce::minic::printStmt(const Stmt *S, unsigned Indent) {
+  std::string Pad = indentBy(Indent);
+  switch (S->kind()) {
+  case Node::Kind::Compound: {
+    std::string Out = Pad + "{\n";
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+      Out += printStmt(Sub, Indent + 2);
+    return Out + Pad + "}\n";
+  }
+  case Node::Kind::DeclStmt: {
+    std::string Out;
+    for (const VarDecl *Var : cast<DeclStmt>(S)->Decls)
+      Out += Pad + printVarDecl(Var) + "\n";
+    return Out;
+  }
+  case Node::Kind::ExprStmt:
+    return Pad + printExpr(cast<ExprStmt>(S)->E) + ";\n";
+  case Node::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    std::string Out = Pad + "if (" + printExpr(If->Cond) + ")\n" +
+                      printStmt(If->Then, Indent + 2);
+    if (If->Else)
+      Out += Pad + "else\n" + printStmt(If->Else, Indent + 2);
+    return Out;
+  }
+  case Node::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    return Pad + "while (" + printExpr(While->Cond) + ")\n" +
+           printStmt(While->Body, Indent + 2);
+  }
+  case Node::Kind::Do: {
+    const auto *Do = cast<DoStmt>(S);
+    return Pad + "do\n" + printStmt(Do->Body, Indent + 2) + Pad +
+           "while (" + printExpr(Do->Cond) + ");\n";
+  }
+  case Node::Kind::For: {
+    const auto *For = cast<ForStmt>(S);
+    std::string Init;
+    if (For->Init) {
+      // Inline the initializer without its trailing newline/indent.
+      std::string InitText = printStmt(For->Init, 0);
+      while (!InitText.empty() &&
+             (InitText.back() == '\n' || InitText.back() == ' '))
+        InitText.pop_back();
+      Init = InitText;
+    } else {
+      Init = ";";
+    }
+    return Pad + "for (" + Init + " " +
+           (For->Cond ? printExpr(For->Cond) : std::string()) + "; " +
+           (For->Inc ? printExpr(For->Inc) : std::string()) + ")\n" +
+           printStmt(For->Body, Indent + 2);
+  }
+  case Node::Kind::Return: {
+    const auto *Return = cast<ReturnStmt>(S);
+    if (Return->Value)
+      return Pad + "return " + printExpr(Return->Value) + ";\n";
+    return Pad + "return;\n";
+  }
+  case Node::Kind::Break:
+    return Pad + "break;\n";
+  case Node::Kind::Continue:
+    return Pad + "continue;\n";
+  case Node::Kind::Switch: {
+    const auto *Switch = cast<SwitchStmt>(S);
+    return Pad + "switch (" + printExpr(Switch->Cond) + ")\n" +
+           printStmt(Switch->Body, Indent + 2);
+  }
+  case Node::Kind::Case: {
+    const auto *Case = cast<CaseStmt>(S);
+    std::string Label =
+        Case->Value ? "case " + printExpr(Case->Value) + ":" : "default:";
+    return Pad + Label + "\n" + printStmt(Case->Sub, Indent + 2);
+  }
+  case Node::Kind::Null:
+    return Pad + ";\n";
+  default:
+    poce_unreachable("non-statement node");
+  }
+}
+
+std::string poce::minic::printUnit(const TranslationUnit &Unit) {
+  std::string Out;
+  for (const Decl *D : Unit.Decls) {
+    switch (D->kind()) {
+    case Node::Kind::Var:
+      Out += printVarDecl(cast<VarDecl>(D)) + "\n";
+      break;
+    case Node::Kind::Function: {
+      const auto *Fn = cast<FunctionDecl>(D);
+      NormalizedType Return = normalizeType(Fn->ReturnTypeText);
+      Out += Return.Base + " ";
+      for (unsigned I = 0; I != Return.Pointers + Return.ArrayDims; ++I)
+        Out += "*";
+      Out += Fn->Name + "(";
+      if (Fn->Params.empty() && !Fn->Variadic)
+        Out += "void";
+      for (size_t I = 0; I != Fn->Params.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += declToSource(Fn->Params[I]->Name, Fn->Params[I]->TypeText);
+      }
+      if (Fn->Variadic)
+        Out += ", ...";
+      Out += ")";
+      if (Fn->Body) {
+        Out += "\n" + printStmt(Fn->Body, 0);
+      } else {
+        Out += ";\n";
+      }
+      break;
+    }
+    case Node::Kind::Record: {
+      const auto *Record = cast<RecordDecl>(D);
+      Out += std::string(Record->IsUnion ? "union " : "struct ") +
+             Record->Name + " {\n";
+      for (const VarDecl *Field : Record->Fields)
+        Out += "  " + printVarDecl(Field) + "\n";
+      Out += "};\n";
+      break;
+    }
+    case Node::Kind::Typedef: {
+      const auto *Typedef = cast<TypedefDecl>(D);
+      Out += "typedef " + declToSource(Typedef->Name, Typedef->TypeText) +
+             ";\n";
+      break;
+    }
+    case Node::Kind::Enum: {
+      const auto *Enum = cast<EnumDecl>(D);
+      Out += "enum " + Enum->Name + " {";
+      for (size_t I = 0; I != Enum->Enumerators.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += " " + Enum->Enumerators[I];
+      }
+      Out += " };\n";
+      break;
+    }
+    default:
+      poce_unreachable("non-declaration node at top level");
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural dump
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Dumper {
+public:
+  std::string run(const TranslationUnit &Unit) {
+    for (const Decl *D : Unit.Decls)
+      dumpDecl(D, 0);
+    return std::move(Out);
+  }
+
+private:
+  void lineAt(unsigned Indent, const std::string &Text) {
+    Out += indentBy(Indent) + Text + "\n";
+  }
+
+  void dumpDecl(const Decl *D, unsigned Indent) {
+    std::string Header = std::string(nodeKindName(D->kind())) + " '" +
+                         D->Name + "'";
+    if (const auto *Var = dyn_cast<VarDecl>(D)) {
+      lineAt(Indent, Header + " : " + Var->TypeText);
+      if (Var->Init)
+        dumpExpr(Var->Init, Indent + 2);
+      return;
+    }
+    if (const auto *Fn = dyn_cast<FunctionDecl>(D)) {
+      lineAt(Indent, Header + (Fn->Body ? "" : " (prototype)"));
+      for (const VarDecl *Param : Fn->Params)
+        dumpDecl(Param, Indent + 2);
+      if (Fn->Body)
+        dumpStmt(Fn->Body, Indent + 2);
+      return;
+    }
+    if (const auto *Record = dyn_cast<RecordDecl>(D)) {
+      lineAt(Indent, Header);
+      for (const VarDecl *Field : Record->Fields)
+        dumpDecl(Field, Indent + 2);
+      return;
+    }
+    lineAt(Indent, Header);
+  }
+
+  void dumpStmt(const Stmt *S, unsigned Indent) {
+    lineAt(Indent, nodeKindName(S->kind()));
+    switch (S->kind()) {
+    case Node::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        dumpStmt(Sub, Indent + 2);
+      return;
+    case Node::Kind::DeclStmt:
+      for (const VarDecl *Var : cast<DeclStmt>(S)->Decls)
+        dumpDecl(Var, Indent + 2);
+      return;
+    case Node::Kind::ExprStmt:
+      dumpExpr(cast<ExprStmt>(S)->E, Indent + 2);
+      return;
+    case Node::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      dumpExpr(If->Cond, Indent + 2);
+      dumpStmt(If->Then, Indent + 2);
+      if (If->Else)
+        dumpStmt(If->Else, Indent + 2);
+      return;
+    }
+    case Node::Kind::While: {
+      dumpExpr(cast<WhileStmt>(S)->Cond, Indent + 2);
+      dumpStmt(cast<WhileStmt>(S)->Body, Indent + 2);
+      return;
+    }
+    case Node::Kind::Do: {
+      dumpStmt(cast<DoStmt>(S)->Body, Indent + 2);
+      dumpExpr(cast<DoStmt>(S)->Cond, Indent + 2);
+      return;
+    }
+    case Node::Kind::For: {
+      const auto *For = cast<ForStmt>(S);
+      if (For->Init)
+        dumpStmt(For->Init, Indent + 2);
+      if (For->Cond)
+        dumpExpr(For->Cond, Indent + 2);
+      if (For->Inc)
+        dumpExpr(For->Inc, Indent + 2);
+      dumpStmt(For->Body, Indent + 2);
+      return;
+    }
+    case Node::Kind::Return:
+      if (cast<ReturnStmt>(S)->Value)
+        dumpExpr(cast<ReturnStmt>(S)->Value, Indent + 2);
+      return;
+    case Node::Kind::Switch:
+      dumpExpr(cast<SwitchStmt>(S)->Cond, Indent + 2);
+      dumpStmt(cast<SwitchStmt>(S)->Body, Indent + 2);
+      return;
+    case Node::Kind::Case: {
+      const auto *Case = cast<CaseStmt>(S);
+      if (Case->Value)
+        dumpExpr(Case->Value, Indent + 2);
+      dumpStmt(Case->Sub, Indent + 2);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void dumpExpr(const Expr *E, unsigned Indent) {
+    std::string Detail;
+    if (const auto *Int = dyn_cast<IntLiteralExpr>(E))
+      Detail = " " + std::to_string(Int->Value);
+    else if (const auto *Ident = dyn_cast<IdentExpr>(E))
+      Detail = " '" + Ident->Name + "'";
+    else if (const auto *Member = dyn_cast<MemberExpr>(E))
+      Detail = std::string(" ") + (Member->IsArrow ? "->" : ".") +
+               Member->Member;
+    else if (const auto *Str = dyn_cast<StringLiteralExpr>(E))
+      Detail = " \"" + escapeString(Str->Value) + "\"";
+    lineAt(Indent, std::string(nodeKindName(E->kind())) + Detail);
+    switch (E->kind()) {
+    case Node::Kind::Unary:
+      dumpExpr(cast<UnaryExpr>(E)->Sub, Indent + 2);
+      return;
+    case Node::Kind::Binary:
+      dumpExpr(cast<BinaryExpr>(E)->Lhs, Indent + 2);
+      dumpExpr(cast<BinaryExpr>(E)->Rhs, Indent + 2);
+      return;
+    case Node::Kind::Assign:
+      dumpExpr(cast<AssignExpr>(E)->Lhs, Indent + 2);
+      dumpExpr(cast<AssignExpr>(E)->Rhs, Indent + 2);
+      return;
+    case Node::Kind::Conditional:
+      dumpExpr(cast<ConditionalExpr>(E)->Cond, Indent + 2);
+      dumpExpr(cast<ConditionalExpr>(E)->TrueExpr, Indent + 2);
+      dumpExpr(cast<ConditionalExpr>(E)->FalseExpr, Indent + 2);
+      return;
+    case Node::Kind::Call: {
+      dumpExpr(cast<CallExpr>(E)->Callee, Indent + 2);
+      for (const Expr *Arg : cast<CallExpr>(E)->Args)
+        dumpExpr(Arg, Indent + 2);
+      return;
+    }
+    case Node::Kind::Index:
+      dumpExpr(cast<IndexExpr>(E)->Base, Indent + 2);
+      dumpExpr(cast<IndexExpr>(E)->Index, Indent + 2);
+      return;
+    case Node::Kind::Member:
+      dumpExpr(cast<MemberExpr>(E)->Base, Indent + 2);
+      return;
+    case Node::Kind::Cast:
+      dumpExpr(cast<CastExpr>(E)->Sub, Indent + 2);
+      return;
+    case Node::Kind::Sizeof:
+      if (cast<SizeofExpr>(E)->Sub)
+        dumpExpr(cast<SizeofExpr>(E)->Sub, Indent + 2);
+      return;
+    case Node::Kind::Comma:
+      dumpExpr(cast<CommaExpr>(E)->Lhs, Indent + 2);
+      dumpExpr(cast<CommaExpr>(E)->Rhs, Indent + 2);
+      return;
+    case Node::Kind::InitList:
+      for (const Expr *Init : cast<InitListExpr>(E)->Inits)
+        dumpExpr(Init, Indent + 2);
+      return;
+    default:
+      return;
+    }
+  }
+
+  std::string Out;
+};
+
+} // namespace
+
+std::string poce::minic::dumpAST(const TranslationUnit &Unit) {
+  return Dumper().run(Unit);
+}

@@ -1,0 +1,41 @@
+//===- minic/PrettyPrinter.h - AST rendering --------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MiniC ASTs back to C-like source text and to an indented
+/// structural dump. The printer is for diagnostics and tests: the emitted
+/// source parses back to an equivalent tree (round-trip checked in the
+/// test suite), and the dump makes generator/parser bugs visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_PRETTYPRINTER_H
+#define POCE_MINIC_PRETTYPRINTER_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace poce {
+namespace minic {
+
+/// Renders \p E as a C expression (fully parenthesized, so precedence is
+/// explicit and re-parsing is unambiguous).
+std::string printExpr(const Expr *E);
+
+/// Renders \p S as C statements with \p Indent leading spaces.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders a whole translation unit as C-like source.
+std::string printUnit(const TranslationUnit &Unit);
+
+/// Indented one-node-per-line structural dump (kinds + salient fields).
+std::string dumpAST(const TranslationUnit &Unit);
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_PRETTYPRINTER_H

@@ -1,0 +1,137 @@
+//===- minic/Token.h - MiniC tokens -----------------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the MiniC lexer. MiniC
+/// is the C subset consumed by the points-to case study: everything a
+/// flow-insensitive, field-insensitive Andersen analysis can observe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MINIC_TOKEN_H
+#define POCE_MINIC_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace poce {
+namespace minic {
+
+/// Source position (1-based line and column).
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwBreak,
+  KwCase,
+  KwChar,
+  KwConst,
+  KwContinue,
+  KwDefault,
+  KwDo,
+  KwDouble,
+  KwElse,
+  KwEnum,
+  KwExtern,
+  KwFloat,
+  KwFor,
+  KwIf,
+  KwInt,
+  KwLong,
+  KwReturn,
+  KwShort,
+  KwSigned,
+  KwSizeof,
+  KwStatic,
+  KwStruct,
+  KwSwitch,
+  KwTypedef,
+  KwUnion,
+  KwUnsigned,
+  KwVoid,
+  KwWhile,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Dot,
+  Arrow,
+  Ellipsis,
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Exclaim,
+  Less,
+  Greater,
+  LessLess,
+  GreaterGreater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  ExclaimEqual,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,
+  MinusMinus,
+
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+};
+
+/// Returns a human-readable spelling of \p Kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text holds the identifier/literal spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  SourceLocation Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace minic
+} // namespace poce
+
+#endif // POCE_MINIC_TOKEN_H

@@ -1,0 +1,230 @@
+//===- model/Model.cpp - Analytical model of Section 5 ---------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Model.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+using namespace poce;
+using namespace poce::model;
+
+namespace {
+
+/// Sums sum_{i=1}^{Limit} [C(Limit, i) i!] p^{i+1} * Weight(i), where
+/// C(Limit, i) i! is the falling factorial Limit (Limit-1) ... (Limit-i+1).
+/// The running term is updated multiplicatively; the sum is truncated when
+/// terms stop contributing.
+template <typename WeightFn>
+double pathSeries(uint64_t Limit, double P, WeightFn Weight) {
+  long double Sum = 0;
+  long double Term = P; // Will become (falling factorial) * p^{i+1}.
+  for (uint64_t I = 1; I <= Limit; ++I) {
+    Term *= static_cast<long double>(Limit - (I - 1)) * P;
+    long double Contribution = Term * Weight(I);
+    Sum += Contribution;
+    if (Contribution < Sum * 1e-16L && (Limit - I) * P < 1.0L)
+      break;
+  }
+  return static_cast<double>(Sum);
+}
+
+} // namespace
+
+double poce::model::expectedAdditionsSF(uint64_t N, uint64_t M, double P) {
+  // (c, X): intermediates drawn from the n-1 other variables.
+  double EdgeCX = pathSeries(N >= 1 ? N - 1 : 0, P, [](uint64_t) {
+    return 1.0L;
+  });
+  // (c, c'): intermediates drawn from all n variables.
+  double EdgeCC = pathSeries(N, P, [](uint64_t) { return 1.0L; });
+  double Md = static_cast<double>(M);
+  return Md * static_cast<double>(N) * EdgeCX + Md * (Md - 1.0) * EdgeCC;
+}
+
+double poce::model::expectedAdditionsIF(uint64_t N, uint64_t M, double P) {
+  // (X1, X2): a path with i intermediates has l = i + 2 nodes; the
+  // addition happens with probability 2/(l(l-1)).
+  double EdgeXX = pathSeries(N >= 2 ? N - 2 : 0, P, [](uint64_t I) {
+    return 2.0L / ((I + 2.0L) * (I + 1.0L));
+  });
+  // (X, c) and (c, X): probability 1/(l-1).
+  double EdgeXC = pathSeries(N >= 1 ? N - 1 : 0, P,
+                             [](uint64_t I) { return 1.0L / (I + 1.0L); });
+  // (c, c'): always added.
+  double EdgeCC = pathSeries(N, P, [](uint64_t) { return 1.0L; });
+  double Nd = static_cast<double>(N);
+  double Md = static_cast<double>(M);
+  return Md * (Md - 1.0) * EdgeCC + 2.0 * Md * Nd * EdgeXC +
+         Nd * (Nd - 1.0) * EdgeXX;
+}
+
+double poce::model::expectedReachable(uint64_t N, double P) {
+  if (N < 2)
+    return 0.0;
+  // sum_i C(n-1, i) i! p^i / (i+1)!; the running term tracks
+  // C(n-1, i) i! p^i, divided pointwise by (i+1)!.
+  long double Sum = 0;
+  long double Term = 1; // falling-factorial * p^i
+  long double Factorial = 1; // (i+1)!
+  for (uint64_t I = 1; I <= N - 1; ++I) {
+    Term *= static_cast<long double>(N - I) * P;
+    Factorial *= static_cast<long double>(I + 1);
+    long double Contribution = Term / Factorial;
+    Sum += Contribution;
+    if (Contribution < Sum * 1e-16L)
+      break;
+  }
+  return static_cast<double>(Sum);
+}
+
+double poce::model::reachableClosedForm(double K) {
+  return (std::exp(K) - 1.0 - K) / K;
+}
+
+double poce::model::approxAdditionsSF(uint64_t N, uint64_t M) {
+  double Nd = static_cast<double>(N), Md = static_cast<double>(M);
+  double Root = std::sqrt(3.14159265358979323846 * Nd / 2.0);
+  return Md * (Root - 1.0) + (Md * (Md - 1.0) / Nd) * Root;
+}
+
+double poce::model::approxAdditionsIF(uint64_t N, uint64_t M) {
+  double Nd = static_cast<double>(N), Md = static_cast<double>(M);
+  double Root = std::sqrt(3.14159265358979323846 * Nd / 2.0);
+  return (Md * (Md - 1.0) / Nd) * Root + 2.0 * Md * std::log(Nd) + Nd;
+}
+
+double poce::model::theorem51Ratio(uint64_t N) {
+  uint64_t M = (2 * N) / 3;
+  double P = 1.0 / static_cast<double>(N);
+  return expectedAdditionsSF(N, M, P) / expectedAdditionsIF(N, M, P);
+}
+
+//===----------------------------------------------------------------------===//
+// Monte-Carlo validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One sampled random graph: N variables (ids 0..N-1) followed by M
+/// constructed nodes. Enumerates all simple paths with variable
+/// intermediates and applies the model's addition conditions.
+class TrialGraph {
+public:
+  TrialGraph(uint64_t N, uint64_t M, double P, PRNG &Rng)
+      : N(N), Total(N + M), Adjacency(Total * Total, false), Rank(N) {
+    for (uint64_t From = 0; From != Total; ++From)
+      for (uint64_t To = 0; To != Total; ++To)
+        if (From != To && Rng.nextBool(P))
+          Adjacency[From * Total + To] = true;
+    for (uint64_t I = 0; I != N; ++I)
+      Rank[I] = static_cast<uint32_t>(I);
+    Rng.shuffle(Rank.begin(), Rank.end());
+  }
+
+  bool isVar(uint64_t Node) const { return Node < N; }
+
+  /// Counts model additions (SF and IF) over all simple paths.
+  void countAdditions(double &SF, double &IF) {
+    for (uint64_t Start = 0; Start != Total; ++Start) {
+      Path.clear();
+      OnPath.assign(Total, false);
+      OnPath[Start] = true;
+      extend(Start, Start, SF, IF);
+      OnPath[Start] = false;
+    }
+  }
+
+  /// Average number of variables reachable along predecessor chains
+  /// (edges traversed backwards toward strictly smaller ranks).
+  double averageReachable() {
+    double Sum = 0;
+    std::vector<bool> Visited(N);
+    std::vector<uint64_t> Stack;
+    for (uint64_t Start = 0; Start != N; ++Start) {
+      Visited.assign(N, false);
+      Visited[Start] = true;
+      Stack.assign(1, Start);
+      uint64_t Count = 0;
+      while (!Stack.empty()) {
+        uint64_t Node = Stack.back();
+        Stack.pop_back();
+        for (uint64_t Pred = 0; Pred != N; ++Pred) {
+          if (Visited[Pred] || !Adjacency[Pred * Total + Node] ||
+              Rank[Pred] >= Rank[Node])
+            continue;
+          Visited[Pred] = true;
+          ++Count;
+          Stack.push_back(Pred);
+        }
+      }
+      Sum += static_cast<double>(Count);
+    }
+    return Sum / static_cast<double>(N);
+  }
+
+private:
+  void extend(uint64_t Start, uint64_t Last, double &SF, double &IF) {
+    for (uint64_t Next = 0; Next != Total; ++Next) {
+      if (Next == Start || !Adjacency[Last * Total + Next] || OnPath[Next])
+        continue;
+      // Paths with at least one (variable) intermediate represent
+      // closure-added edges (Start, Next).
+      if (!Path.empty())
+        recordAddition(Start, Next, SF, IF);
+      if (isVar(Next)) {
+        Path.push_back(Next);
+        OnPath[Next] = true;
+        extend(Start, Next, SF, IF);
+        OnPath[Next] = false;
+        Path.pop_back();
+      }
+    }
+  }
+
+  void recordAddition(uint64_t Start, uint64_t End, double &SF, double &IF) {
+    bool StartVar = isVar(Start);
+    bool EndVar = isVar(End);
+
+    // Standard form propagates sources forward: additions are (c, X) and
+    // (c, c').
+    if (!StartVar)
+      SF += 1.0;
+
+    // Inductive form adds the edge through this path iff the endpoints'
+    // ranks are minimal among the path's variables (Lemma 5.3).
+    uint32_t MinIntermediate = ~0U;
+    for (uint64_t Node : Path)
+      MinIntermediate = std::min(MinIntermediate, Rank[Node]);
+    bool StartOk = !StartVar || Rank[Start] < MinIntermediate;
+    bool EndOk = !EndVar || Rank[End] < MinIntermediate;
+    if (StartOk && EndOk)
+      IF += 1.0;
+  }
+
+  uint64_t N, Total;
+  std::vector<bool> Adjacency;
+  std::vector<uint32_t> Rank;
+  std::vector<uint64_t> Path;
+  std::vector<bool> OnPath;
+};
+
+} // namespace
+
+SimulationResult poce::model::simulateModel(uint64_t N, uint64_t M, double P,
+                                            unsigned Trials, PRNG &Rng) {
+  SimulationResult Result;
+  for (unsigned Trial = 0; Trial != Trials; ++Trial) {
+    TrialGraph Graph(N, M, P, Rng);
+    Graph.countAdditions(Result.AdditionsSF, Result.AdditionsIF);
+    Result.Reachable += Graph.averageReachable();
+  }
+  Result.AdditionsSF /= Trials;
+  Result.AdditionsIF /= Trials;
+  Result.Reachable /= Trials;
+  return Result;
+}

@@ -1,0 +1,86 @@
+//===- model/Model.h - Analytical model of Section 5 ------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytical model of edge additions in random constraint
+/// graphs (Section 5). Graphs have n variable nodes and m source/sink
+/// nodes; every legal edge exists independently with probability p; the
+/// variable order is a uniformly random permutation; only additions
+/// through simple paths are counted (perfect cycle elimination, matching
+/// the *-Oracle configurations).
+///
+/// Expected additions, standard form (Section 5.1):
+///   E[X_SF(c,X)]  = sum_{i=1}^{n-1} C(n-1,i) i! p^{i+1}
+///   E[X_SF(c,c')] = sum_{i=1}^{n}   C(n,i)   i! p^{i+1}
+///   E[X_SF] = m n E[X_SF(c,X)] + m(m-1) E[X_SF(c,c')]
+///
+/// Expected additions, inductive form (Section 5.2, using Lemma 5.3's
+/// per-path probabilities 2/(l(l-1)), 1/(l-1), and 1 for paths with l
+/// nodes):
+///   E[X_IF(X1,X2)] = sum_{i=1}^{n-2} C(n-2,i) i! p^{i+1} * 2/((i+2)(i+1))
+///   E[X_IF(X,c)]   = sum_{i=1}^{n-1} C(n-1,i) i! p^{i+1} * 1/(i+1)
+///   E[X_IF(c,c')]  = sum_{i=1}^{n}   C(n,i)   i! p^{i+1}
+///   E[X_IF] = m(m-1) E[X_IF(c,c')] + 2mn E[X_IF(X,c)]
+///           + n(n-1) E[X_IF(X1,X2)]
+///
+/// Expected nodes reachable along predecessor chains (Section 5.4):
+///   E[R_X] <= sum_{i=1}^{n-1} C(n-1,i) i! p^i / (i+1)!
+///          <  (e^k - 1 - k)/k          for p = k/n.
+///
+/// Theorem 5.1: at p = 1/n and m/n = 2/3 the SF/IF ratio approaches ~2.5.
+/// Theorem 5.2: at p = 2/n, E[R_X] < 2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_MODEL_MODEL_H
+#define POCE_MODEL_MODEL_H
+
+#include "support/PRNG.h"
+
+#include <cstdint>
+
+namespace poce {
+namespace model {
+
+/// Exact (numerically summed) expected edge additions for standard form.
+double expectedAdditionsSF(uint64_t N, uint64_t M, double P);
+
+/// Exact expected edge additions for inductive form.
+double expectedAdditionsIF(uint64_t N, uint64_t M, double P);
+
+/// Exact expected number of variables reachable along predecessor chains
+/// from a fixed variable.
+double expectedReachable(uint64_t N, double P);
+
+/// Closed-form bound (e^k - 1 - k)/k of Theorem 5.2 for p = k/n.
+double reachableClosedForm(double K);
+
+/// Section 5.3's closed-form approximations at p = 1/n (via equation (2),
+/// sum C(n,i) i! n^-i ~ sqrt(pi n / 2)):
+///   E[X_SF] ~ m (sqrt(pi n / 2) - 1) + (m(m-1)/n) sqrt(pi n / 2)
+double approxAdditionsSF(uint64_t N, uint64_t M);
+///   E[X_IF] ~ (m(m-1)/n) sqrt(pi n / 2) + 2 m ln n + n
+double approxAdditionsIF(uint64_t N, uint64_t M);
+
+/// Theorem 5.1's ratio E[X_SF]/E[X_IF] at p = 1/n, m = 2n/3.
+double theorem51Ratio(uint64_t N);
+
+/// Monte-Carlo estimates of the same quantities by sampling random graphs
+/// and enumerating simple paths with the model's addition conditions.
+/// Intended for small N (path enumeration is exponential); validates the
+/// formulas in tests and in the model bench.
+struct SimulationResult {
+  double AdditionsSF = 0;
+  double AdditionsIF = 0;
+  double Reachable = 0;
+};
+SimulationResult simulateModel(uint64_t N, uint64_t M, double P,
+                               unsigned Trials, PRNG &Rng);
+
+} // namespace model
+} // namespace poce
+
+#endif // POCE_MODEL_MODEL_H

@@ -1,0 +1,293 @@
+//===- setcon/ConstraintFile.cpp - Textual constraint systems --------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/ConstraintFile.h"
+
+#include <cassert>
+#include <cctype>
+#include <functional>
+#include <sstream>
+
+using namespace poce;
+
+namespace {
+
+/// Character-level cursor over one line.
+struct LineCursor {
+  const std::string &Line;
+  size_t Pos = 0;
+
+  void skipSpace() {
+    while (Pos < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Line.size() || Line[Pos] == '#';
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos < Line.size() && Line[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eatArrowLE() {
+    skipSpace();
+    if (Pos + 1 < Line.size() && Line[Pos] == '<' && Line[Pos + 1] == '=') {
+      Pos += 2;
+      return true;
+    }
+    return false;
+  }
+
+  std::string word() {
+    skipSpace();
+    std::string Out;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '_' || Line[Pos] == '@' || Line[Pos] == '$' ||
+            Line[Pos] == '.'))
+      Out.push_back(Line[Pos++]);
+    return Out;
+  }
+};
+
+} // namespace
+
+uint32_t ConstraintSystemFile::varIndex(const std::string &Name) const {
+  auto It = VarIndexOf.find(Name);
+  return It == VarIndexOf.end() ? NotFound : It->second;
+}
+
+bool ConstraintSystemFile::parse(const std::string &Text,
+                                 std::string *ErrorOut) {
+  VarNames.clear();
+  VarIndexOf.clear();
+  ConsDecls.clear();
+  ConsIndexOf.clear();
+  Constraints.clear();
+
+  auto Fail = [&](unsigned LineNo, const std::string &Message) {
+    if (ErrorOut)
+      *ErrorOut = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  };
+
+  // Recursive-descent expression parser over a cursor.
+  std::function<bool(LineCursor &, FileExpr &, std::string &)> ParseExpr =
+      [&](LineCursor &Cursor, FileExpr &Out, std::string &Error) -> bool {
+    Cursor.skipSpace();
+    std::string Name = Cursor.word();
+    if (Name.empty()) {
+      Error = "expected expression";
+      return false;
+    }
+    if (Name == "0") {
+      Out.K = FileExpr::Kind::Zero;
+      return true;
+    }
+    if (Name == "1") {
+      Out.K = FileExpr::Kind::One;
+      return true;
+    }
+    auto Var = VarIndexOf.find(Name);
+    if (Var != VarIndexOf.end()) {
+      Out.K = FileExpr::Kind::Var;
+      Out.VarIndex = Var->second;
+      return true;
+    }
+    auto Cons = ConsIndexOf.find(Name);
+    if (Cons == ConsIndexOf.end()) {
+      Error = "undeclared name '" + Name + "'";
+      return false;
+    }
+    Out.K = FileExpr::Kind::Apply;
+    Out.ConsIndex = Cons->second;
+    unsigned Arity =
+        static_cast<unsigned>(ConsDecls[Cons->second].ArgVariance.size());
+    if (Arity == 0) {
+      // Optional empty parens on nullary constructors.
+      if (Cursor.eat('(') && !Cursor.eat(')')) {
+        Error = "nullary constructor '" + Name + "' applied to arguments";
+        return false;
+      }
+      return true;
+    }
+    if (!Cursor.eat('(')) {
+      Error = "constructor '" + Name + "' needs " + std::to_string(Arity) +
+              " argument(s)";
+      return false;
+    }
+    for (unsigned I = 0; I != Arity; ++I) {
+      if (I && !Cursor.eat(',')) {
+        Error = "expected ',' in arguments of '" + Name + "'";
+        return false;
+      }
+      FileExpr Arg;
+      if (!ParseExpr(Cursor, Arg, Error))
+        return false;
+      Out.Args.push_back(std::move(Arg));
+    }
+    if (!Cursor.eat(')')) {
+      Error = "expected ')' after arguments of '" + Name + "'";
+      return false;
+    }
+    return true;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    LineCursor Cursor{Line};
+    if (Cursor.atEnd())
+      continue;
+
+    size_t Mark = Cursor.Pos;
+    std::string First = Cursor.word();
+    if (First == "var") {
+      while (!Cursor.atEnd()) {
+        std::string Name = Cursor.word();
+        if (Name.empty())
+          return Fail(LineNo, "expected variable name");
+        if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) ||
+            Name == "0" || Name == "1")
+          return Fail(LineNo, "name '" + Name + "' already in use");
+        VarIndexOf[Name] = static_cast<uint32_t>(VarNames.size());
+        VarNames.push_back(Name);
+      }
+      continue;
+    }
+    if (First == "cons") {
+      std::string Name = Cursor.word();
+      if (Name.empty())
+        return Fail(LineNo, "expected constructor name");
+      if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) ||
+          Name == "0" || Name == "1")
+        return Fail(LineNo, "name '" + Name + "' already in use");
+      ConsDecl Decl;
+      Decl.Name = Name;
+      while (!Cursor.atEnd()) {
+        if (Cursor.eat('+')) {
+          Decl.ArgVariance.push_back(Variance::Covariant);
+        } else if (Cursor.eat('-')) {
+          Decl.ArgVariance.push_back(Variance::Contravariant);
+        } else {
+          return Fail(LineNo, "expected '+' or '-' variance marker");
+        }
+      }
+      ConsIndexOf[Name] = static_cast<uint32_t>(ConsDecls.size());
+      ConsDecls.push_back(std::move(Decl));
+      continue;
+    }
+
+    // A constraint line: expr <= expr.
+    Cursor.Pos = Mark;
+    FileExpr Lhs, Rhs;
+    std::string Error;
+    if (!ParseExpr(Cursor, Lhs, Error))
+      return Fail(LineNo, Error);
+    if (!Cursor.eatArrowLE())
+      return Fail(LineNo, "expected '<=' between expressions");
+    if (!ParseExpr(Cursor, Rhs, Error))
+      return Fail(LineNo, Error);
+    if (!Cursor.atEnd())
+      return Fail(LineNo, "unexpected trailing input");
+    Constraints.push_back({std::move(Lhs), std::move(Rhs)});
+  }
+  return true;
+}
+
+ExprId ConstraintSystemFile::build(const FileExpr &E,
+                                   ConstraintSolver &Solver,
+                                   const std::vector<VarId> &Vars) const {
+  TermTable &Terms = Solver.terms();
+  switch (E.K) {
+  case FileExpr::Kind::Zero:
+    return Terms.zero();
+  case FileExpr::Kind::One:
+    return Terms.one();
+  case FileExpr::Kind::Var:
+    return Terms.var(Vars[E.VarIndex]);
+  case FileExpr::Kind::Apply: {
+    const ConsDecl &Decl = ConsDecls[E.ConsIndex];
+    SmallVector<Variance, 4> Variances;
+    Variances.append(Decl.ArgVariance.begin(), Decl.ArgVariance.end());
+    ConsId Cons =
+        Terms.mutableConstructors().getOrCreate(Decl.Name, Variances);
+    SmallVector<ExprId, 4> Args;
+    for (const FileExpr &Arg : E.Args)
+      Args.push_back(build(Arg, Solver, Vars));
+    return Terms.cons(Cons, Args);
+  }
+  }
+  assert(false && "invalid file expression kind");
+  return Terms.zero();
+}
+
+void ConstraintSystemFile::emit(ConstraintSolver &Solver) const {
+  std::vector<VarId> Vars;
+  Vars.reserve(VarNames.size());
+  for (const std::string &Name : VarNames)
+    Vars.push_back(Solver.freshVar(Name));
+  for (const auto &[Lhs, Rhs] : Constraints)
+    Solver.addConstraint(build(Lhs, Solver, Vars), build(Rhs, Solver, Vars));
+}
+
+GeneratorFn ConstraintSystemFile::generator() const {
+  return [this](ConstraintSolver &Solver) { emit(Solver); };
+}
+
+std::string ConstraintSystemFile::exprToText(const FileExpr &E) const {
+  switch (E.K) {
+  case FileExpr::Kind::Zero:
+    return "0";
+  case FileExpr::Kind::One:
+    return "1";
+  case FileExpr::Kind::Var:
+    return VarNames[E.VarIndex];
+  case FileExpr::Kind::Apply: {
+    std::string Out = ConsDecls[E.ConsIndex].Name;
+    if (E.Args.empty())
+      return Out;
+    Out += "(";
+    for (size_t I = 0; I != E.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += exprToText(E.Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  assert(false && "invalid file expression kind");
+  return std::string();
+}
+
+std::string ConstraintSystemFile::str() const {
+  std::string Out;
+  if (!VarNames.empty()) {
+    Out += "var";
+    for (const std::string &Name : VarNames)
+      Out += " " + Name;
+    Out += "\n";
+  }
+  for (const ConsDecl &Decl : ConsDecls) {
+    Out += "cons " + Decl.Name;
+    for (Variance V : Decl.ArgVariance)
+      Out += V == Variance::Covariant ? " +" : " -";
+    Out += "\n";
+  }
+  for (const auto &[Lhs, Rhs] : Constraints)
+    Out += exprToText(Lhs) + " <= " + exprToText(Rhs) + "\n";
+  return Out;
+}

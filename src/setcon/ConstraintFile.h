@@ -1,0 +1,99 @@
+//===- setcon/ConstraintFile.h - Textual constraint systems -----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain-text interchange format for inclusion constraint systems, so
+/// the solver can be driven without a language frontend (and so systems
+/// can be captured, replayed, and golden-tested). Format:
+///
+///     # comment
+///     var X Y Z T                 # declare set variables
+///     cons a                      # nullary constructor
+///     cons ref + + -              # arity/variance: + covariant, - contra
+///
+///     a <= X                      # one constraint per line
+///     X <= Y
+///     ref(a, X, X) <= ref(1, T, 0)
+///
+/// Every name must be declared before use; `0` and `1` are the constants.
+/// Parsing retains the system in a replayable form: emit() can feed any
+/// number of solvers (deterministically, so oracle construction works).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SETCON_CONSTRAINTFILE_H
+#define POCE_SETCON_CONSTRAINTFILE_H
+
+#include "setcon/ConstraintSolver.h"
+#include "setcon/Oracle.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace poce {
+
+/// A parsed, replayable constraint system.
+class ConstraintSystemFile {
+public:
+  /// Parses \p Text; on failure returns false and fills \p ErrorOut with a
+  /// line-numbered message.
+  bool parse(const std::string &Text, std::string *ErrorOut = nullptr);
+
+  /// Feeds the system into \p Solver: declares constructors (idempotent),
+  /// creates the variables in declaration order, and adds every
+  /// constraint.
+  void emit(ConstraintSolver &Solver) const;
+
+  /// Adapter for buildOracle().
+  GeneratorFn generator() const;
+
+  /// Renders the system back to the file format (normalized whitespace).
+  std::string str() const;
+
+  const std::vector<std::string> &varNames() const { return VarNames; }
+
+  /// The VarId of \p Name in a solver the system was emitted into
+  /// (variables are created in declaration order, so ids equal indices —
+  /// modulo oracle witness substitution, which callers resolve via the
+  /// solver's creation-index API).
+  uint32_t varIndex(const std::string &Name) const;
+
+  uint32_t numConstraints() const {
+    return static_cast<uint32_t>(Constraints.size());
+  }
+
+  static constexpr uint32_t NotFound = ~0U;
+
+private:
+  /// A parsed set expression, independent of any TermTable.
+  struct FileExpr {
+    enum class Kind : uint8_t { Zero, One, Var, Apply };
+    Kind K = Kind::Zero;
+    uint32_t VarIndex = 0;  ///< Var.
+    uint32_t ConsIndex = 0; ///< Apply: index into ConsDecls.
+    std::vector<FileExpr> Args;
+  };
+
+  struct ConsDecl {
+    std::string Name;
+    std::vector<Variance> ArgVariance;
+  };
+
+  ExprId build(const FileExpr &E, ConstraintSolver &Solver,
+               const std::vector<VarId> &Vars) const;
+  std::string exprToText(const FileExpr &E) const;
+
+  std::vector<std::string> VarNames;
+  std::map<std::string, uint32_t> VarIndexOf;
+  std::vector<ConsDecl> ConsDecls;
+  std::map<std::string, uint32_t> ConsIndexOf;
+  std::vector<std::pair<FileExpr, FileExpr>> Constraints;
+};
+
+} // namespace poce
+
+#endif // POCE_SETCON_CONSTRAINTFILE_H

@@ -1,0 +1,679 @@
+//===- setcon/ConstraintSolver.cpp - Inclusion constraint solver ----------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/ConstraintSolver.h"
+
+#include "graph/TarjanSCC.h"
+#include "setcon/Oracle.h"
+#include "support/Debug.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+#define POCE_DEBUG_TYPE "setcon"
+
+using namespace poce;
+
+ConstraintSolver::ConstraintSolver(TermTable &Terms, SolverOptions Options,
+                                   const Oracle *WitnessOracle)
+    : Terms(Terms), Options(Options), WitnessOracle(WitnessOracle),
+      OrderRng(Options.Seed) {
+  if (Options.Elim == CycleElim::Oracle && !WitnessOracle)
+    reportFatalError("oracle cycle elimination requires an Oracle instance");
+  if (Options.Elim == CycleElim::Periodic && Options.PeriodicInterval == 0)
+    reportFatalError("periodic cycle elimination requires a nonzero interval");
+  NextPeriodicWork = Options.PeriodicInterval;
+}
+
+//===----------------------------------------------------------------------===//
+// Variable creation
+//===----------------------------------------------------------------------===//
+
+VarId ConstraintSolver::freshVar(std::string_view Name) {
+  invalidateSolutions();
+  uint32_t CreationIndex = numCreations();
+
+  if (WitnessOracle && Options.Elim == CycleElim::Oracle) {
+    uint32_t Witness = WitnessOracle->witness(CreationIndex);
+    if (Witness != CreationIndex) {
+      assert(Witness < CreationIndex &&
+             "oracle witness must be created before its members!");
+      VarId Existing = VarOfCreation[Witness];
+      VarOfCreation.push_back(Existing);
+      ++Stats.OracleSubstitutions;
+      return Existing;
+    }
+  }
+
+  VarId Var = static_cast<VarId>(Vars.size());
+  Vars.emplace_back();
+  VarNode &Node = Vars.back();
+  Node.Name = std::string(Name);
+  Node.CreationIndex = CreationIndex;
+  switch (Options.Order) {
+  case OrderKind::Random:
+    Node.Order = (static_cast<uint64_t>(OrderRng.nextU32()) << 32) | Var;
+    break;
+  case OrderKind::Creation:
+    Node.Order = Var;
+    break;
+  case OrderKind::ReverseCreation:
+    Node.Order = ~static_cast<uint64_t>(Var);
+    break;
+  }
+  uint32_t ForwardingId = Forwarding.makeSet();
+  assert(ForwardingId == Var && "forwarding table out of sync!");
+  (void)ForwardingId;
+  VarOfCreation.push_back(Var);
+  ++Stats.VarsCreated;
+  return Var;
+}
+
+uint32_t ConstraintSolver::numLiveVars() const {
+  uint32_t Count = 0;
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (Forwarding.isRepresentative(Var))
+      ++Count;
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Worklist and resolution rules
+//===----------------------------------------------------------------------===//
+
+void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs) {
+  invalidateSolutions();
+  enqueue(Lhs, Rhs, /*Derived=*/false);
+  drainWorklist();
+}
+
+void ConstraintSolver::invalidateSolutions() {
+  if (!Finalized)
+    return;
+  Finalized = false;
+  LS.clear();
+}
+
+void ConstraintSolver::enqueue(ExprId Lhs, ExprId Rhs, bool Derived) {
+  if (!Stats.Aborted)
+    Worklist.push_back({Lhs, Rhs, Derived});
+}
+
+void ConstraintSolver::drainWorklist() {
+  if (Draining)
+    return;
+  Draining = true;
+  while (!Worklist.empty() && !Stats.Aborted) {
+    WorkItem Item = Worklist.back();
+    Worklist.pop_back();
+    ++Stats.ConstraintsProcessed;
+    resolve(Item.Lhs, Item.Rhs, Item.Derived);
+    // Offline passes run at a safe point, between worklist items.
+    if (Options.Elim == CycleElim::Periodic && Stats.Work >= NextPeriodicWork) {
+      runPeriodicPass();
+      NextPeriodicWork = Stats.Work + Options.PeriodicInterval;
+    }
+  }
+  Draining = false;
+}
+
+// Applies the resolution rules R (Figure 1) to Lhs <= Rhs until atomic
+// constraints are reached, which become graph edges.
+void ConstraintSolver::resolve(ExprId Lhs, ExprId Rhs, bool Derived) {
+  if (Stats.Aborted)
+    return;
+  if (Lhs == Rhs)
+    return; // Reflexive constraints are trivially satisfied.
+
+  ExprKind LhsKind = Terms.kind(Lhs);
+  ExprKind RhsKind = Terms.kind(Rhs);
+
+  if (LhsKind == ExprKind::Zero || RhsKind == ExprKind::One)
+    return; // 0 <= R and L <= 1 always hold.
+
+  switch (LhsKind) {
+  case ExprKind::Zero:
+    poce_unreachable("handled above");
+  case ExprKind::Var:
+    if (RhsKind == ExprKind::Var)
+      insertVarVar(Terms.varOf(Lhs), Terms.varOf(Rhs), Derived);
+    else // Cons or Zero sink.
+      insertVarSink(Terms.varOf(Lhs), Rhs, Derived);
+    return;
+  case ExprKind::One:
+    if (RhsKind == ExprKind::Var)
+      insertSourceVar(Lhs, Terms.varOf(Rhs), Derived);
+    else // 1 <= c(...) and 1 <= 0 are unsatisfiable.
+      handleMismatch(Lhs, Rhs);
+    return;
+  case ExprKind::Cons:
+    if (RhsKind == ExprKind::Var) {
+      insertSourceVar(Lhs, Terms.varOf(Rhs), Derived);
+      return;
+    }
+    if (RhsKind == ExprKind::Zero || Terms.consOf(Lhs) != Terms.consOf(Rhs)) {
+      handleMismatch(Lhs, Rhs);
+      return;
+    }
+    // c(L1..Ln) <= c(R1..Rn): decompose by variance.
+    {
+      const ConstructorSignature &Sig =
+          Terms.constructors().signature(Terms.consOf(Lhs));
+      const ExprId *LhsArgs = Terms.argsOf(Lhs);
+      const ExprId *RhsArgs = Terms.argsOf(Rhs);
+      for (unsigned I = 0; I != Sig.arity(); ++I) {
+        if (Sig.ArgVariance[I] == Variance::Covariant)
+          resolve(LhsArgs[I], RhsArgs[I], Derived);
+        else
+          resolve(RhsArgs[I], LhsArgs[I], Derived);
+      }
+    }
+    return;
+  }
+  poce_unreachable("invalid expression kind");
+}
+
+void ConstraintSolver::handleMismatch(ExprId Lhs, ExprId Rhs) {
+  ++Stats.Mismatches;
+  if (Options.Mismatch == MismatchPolicy::Collect)
+    Inconsistencies.push_back(exprStr(Lhs) + " <= " + exprStr(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic edge insertion
+//===----------------------------------------------------------------------===//
+
+void ConstraintSolver::countWork() {
+  ++Stats.Work;
+  if (Options.MaxWork && Stats.Work > Options.MaxWork && !Stats.Aborted) {
+    Stats.Aborted = true;
+    Worklist.clear();
+  }
+}
+
+ExprId ConstraintSolver::exprOfRef(uint32_t Ref) {
+  return isTermRef(Ref) ? payloadOf(Ref) : Terms.var(payloadOf(Ref));
+}
+
+bool ConstraintSolver::insertPred(VarId Owner, uint32_t Entry, bool Derived) {
+  VarNode &Node = Vars[Owner];
+  if (!Node.PredSet.insert(Entry)) {
+    ++Stats.RedundantAdds;
+    return false;
+  }
+  Node.Preds.push_back(Entry);
+  if (!Derived)
+    ++Stats.InitialEdges;
+  // Closure rule at Owner: the new predecessor pairs with every successor.
+  ExprId Lhs = exprOfRef(Entry);
+  for (uint32_t Succ : Node.Succs)
+    enqueue(Lhs, exprOfRef(Succ), /*Derived=*/true);
+  return true;
+}
+
+bool ConstraintSolver::insertSucc(VarId Owner, uint32_t Entry, bool Derived) {
+  VarNode &Node = Vars[Owner];
+  if (!Node.SuccSet.insert(Entry)) {
+    ++Stats.RedundantAdds;
+    return false;
+  }
+  Node.Succs.push_back(Entry);
+  if (!Derived)
+    ++Stats.InitialEdges;
+  // Closure rule at Owner: every predecessor pairs with the new successor.
+  ExprId Rhs = exprOfRef(Entry);
+  for (uint32_t Pred : Node.Preds)
+    enqueue(exprOfRef(Pred), Rhs, /*Derived=*/true);
+  return true;
+}
+
+void ConstraintSolver::insertVarVar(VarId Lhs, VarId Rhs, bool Derived) {
+  Lhs = Forwarding.find(Lhs);
+  Rhs = Forwarding.find(Rhs);
+  countWork();
+  if (Stats.Aborted)
+    return;
+  if (Lhs == Rhs) {
+    ++Stats.SelfEdges;
+    return;
+  }
+  if (Options.RecordVarVar)
+    recordVarVar(Lhs, Rhs, Derived);
+
+  if (Options.Elim == CycleElim::Online && detectAndCollapse(Lhs, Rhs))
+    return; // The cycle was collapsed; the constraint holds by equality.
+
+  bool AsSucc = Options.Form == GraphForm::Standard ||
+                orderOf(Lhs) > orderOf(Rhs);
+  if (AsSucc)
+    insertSucc(Lhs, varRef(Rhs), Derived);
+  else
+    insertPred(Rhs, varRef(Lhs), Derived);
+}
+
+void ConstraintSolver::insertSourceVar(ExprId Source, VarId Var,
+                                       bool Derived) {
+  Var = Forwarding.find(Var);
+  countWork();
+  if (Stats.Aborted)
+    return;
+  if (insertPred(Var, termRef(Source), Derived))
+    if (SeenSources.insert(Source))
+      ++Stats.DistinctSources;
+}
+
+void ConstraintSolver::insertVarSink(VarId Var, ExprId Sink, bool Derived) {
+  Var = Forwarding.find(Var);
+  countWork();
+  if (Stats.Aborted)
+    return;
+  if (insertSucc(Var, termRef(Sink), Derived))
+    if (SeenSinks.insert(Sink))
+      ++Stats.DistinctSinks;
+}
+
+void ConstraintSolver::recordVarVar(VarId Lhs, VarId Rhs, bool Derived) {
+  uint32_t LhsIndex = Vars[Lhs].CreationIndex;
+  uint32_t RhsIndex = Vars[Rhs].CreationIndex;
+  uint64_t Key = (static_cast<uint64_t>(LhsIndex) << 32) | RhsIndex;
+  if (RecordedSet.insert(Key))
+    RecordedVarVar.push_back({LhsIndex, RhsIndex});
+  if (!Derived && RecordedInitialSet.insert(Key))
+    RecordedInitialVarVar.push_back({LhsIndex, RhsIndex});
+}
+
+//===----------------------------------------------------------------------===//
+// Partial online cycle detection (Figure 3)
+//===----------------------------------------------------------------------===//
+
+bool ConstraintSolver::detectAndCollapse(VarId Lhs, VarId Rhs) {
+  // The new constraint is Lhs <= Rhs; a cycle exists iff a chain
+  // Rhs <= ... <= Lhs is already present.
+  std::vector<VarId> Path;
+  bool Found = false;
+  if (Options.Form == GraphForm::Inductive) {
+    if (orderOf(Lhs) > orderOf(Rhs)) {
+      // New successor edge at Lhs: search predecessor chains from Lhs for
+      // Rhs (each hop P in pred(V) means P <= V, so reaching Rhs proves
+      // Rhs <= ... <= Lhs).
+      Found = searchChain(Lhs, Rhs, ChainKind::Pred, Path);
+    } else {
+      // New predecessor edge at Rhs: search successor chains from Rhs for
+      // Lhs (each hop S in succ(V) means V <= S).
+      Found = searchChain(Rhs, Lhs, ChainKind::Succ, Path);
+    }
+  } else {
+    // Standard form: all variable-variable edges are successors; search
+    // from Rhs for Lhs, restricted to monotone chains to bound the cost.
+    switch (Options.SFChains) {
+    case SFChainMode::Decreasing:
+      Found = searchChain(Rhs, Lhs, ChainKind::SuccDecreasing, Path);
+      break;
+    case SFChainMode::Increasing:
+      Found = searchChain(Rhs, Lhs, ChainKind::SuccIncreasing, Path);
+      break;
+    case SFChainMode::Both:
+      Found = searchChain(Rhs, Lhs, ChainKind::SuccDecreasing, Path) ||
+              searchChain(Rhs, Lhs, ChainKind::SuccIncreasing, Path);
+      break;
+    }
+  }
+  if (!Found)
+    return false;
+  collapseCycle(Path);
+  return true;
+}
+
+bool ConstraintSolver::searchChain(VarId Start, VarId Target, ChainKind Kind,
+                                   std::vector<VarId> &Path) {
+  ++Stats.CycleSearches;
+  ++CurrentEpoch;
+  bool UsePreds = Kind == ChainKind::Pred;
+
+  struct Frame {
+    VarId Node;
+    uint32_t NextIndex;
+  };
+  std::vector<Frame> Frames;
+  Path.clear();
+  Path.push_back(Start);
+  Frames.push_back({Start, 0});
+  Vars[Start].VisitEpoch = CurrentEpoch;
+
+  while (!Frames.empty()) {
+    Frame &Top = Frames.back();
+    const std::vector<uint32_t> &List =
+        UsePreds ? Vars[Top.Node].Preds : Vars[Top.Node].Succs;
+    if (Top.NextIndex >= List.size()) {
+      Frames.pop_back();
+      Path.pop_back();
+      continue;
+    }
+    uint32_t Entry = List[Top.NextIndex++];
+    if (isTermRef(Entry))
+      continue;
+    VarId Next = Forwarding.find(payloadOf(Entry));
+    if (Next == Top.Node)
+      continue; // Stale self reference after a collapse.
+    ++Stats.CycleSearchSteps;
+
+    // Only monotone chains are explored; for inductive form the stored
+    // representation already guarantees decreasing order.
+    bool OrderOk = false;
+    switch (Kind) {
+    case ChainKind::Pred:
+    case ChainKind::Succ:
+    case ChainKind::SuccDecreasing:
+      OrderOk = orderOf(Next) < orderOf(Top.Node);
+      break;
+    case ChainKind::SuccIncreasing:
+      OrderOk = orderOf(Next) > orderOf(Top.Node);
+      break;
+    }
+    if ((Kind == ChainKind::Pred || Kind == ChainKind::Succ) && !OrderOk)
+      poce_unreachable("inductive form stores only decreasing chains");
+    if (!OrderOk)
+      continue;
+
+    if (Next == Target) {
+      Path.push_back(Next);
+      return true;
+    }
+    if (Vars[Next].VisitEpoch == CurrentEpoch)
+      continue;
+    Vars[Next].VisitEpoch = CurrentEpoch;
+    Path.push_back(Next);
+    Frames.push_back({Next, 0});
+  }
+  Path.clear();
+  return false;
+}
+
+void ConstraintSolver::collapseCycle(const std::vector<VarId> &Cycle) {
+  assert(Cycle.size() >= 2 && "collapse of a trivial cycle!");
+  VarId Witness = Cycle[0];
+  for (VarId Var : Cycle)
+    if (orderOf(Var) < orderOf(Witness))
+      Witness = Var;
+
+  POCE_DEBUG({
+    std::string Msg = "collapse onto " + Vars[Witness].Name + ":";
+    for (VarId Var : Cycle)
+      Msg += " " + Vars[Var].Name;
+    std::fprintf(stderr, "[setcon] %s\n", Msg.c_str());
+  });
+
+  ++Stats.CyclesCollapsed;
+  // Unite first so representative lookups during re-adding see the final
+  // classes.
+  for (VarId Var : Cycle) {
+    if (Var == Witness)
+      continue;
+    bool United = Forwarding.unite(Var, Witness);
+    assert(United && "cycle contained duplicate representatives!");
+    (void)United;
+    ++Stats.VarsEliminated;
+  }
+  // Move the collapsed variables' constraints onto the witness.
+  ExprId WitnessExpr = Terms.var(Witness);
+  for (VarId Var : Cycle) {
+    if (Var == Witness)
+      continue;
+    VarNode &Node = Vars[Var];
+    std::vector<uint32_t> Preds = std::move(Node.Preds);
+    std::vector<uint32_t> Succs = std::move(Node.Succs);
+    Node.Preds.clear();
+    Node.Succs.clear();
+    Node.PredSet = DenseU64Set();
+    Node.SuccSet = DenseU64Set();
+    for (uint32_t Pred : Preds)
+      enqueue(exprOfRef(Pred), WitnessExpr, /*Derived=*/true);
+    for (uint32_t Succ : Succs)
+      enqueue(WitnessExpr, exprOfRef(Succ), /*Derived=*/true);
+  }
+}
+
+void ConstraintSolver::runPeriodicPass() {
+  ++Stats.PeriodicPasses;
+  Digraph G = varVarDigraph();
+  SCCResult SCCs = computeSCCs(G);
+  for (const auto &Component : SCCs.Components)
+    if (Component.size() >= 2)
+      collapseCycle(Component);
+}
+
+//===----------------------------------------------------------------------===//
+// Least solution
+//===----------------------------------------------------------------------===//
+
+void ConstraintSolver::finalize() {
+  if (Finalized)
+    return;
+  drainWorklist();
+  Finalized = true;
+  if (Options.Form == GraphForm::Standard)
+    computeLeastSolutionSF();
+  else
+    computeLeastSolutionIF();
+}
+
+const std::vector<ExprId> &ConstraintSolver::leastSolution(VarId Var) {
+  finalize();
+  return LS[Forwarding.find(Var)];
+}
+
+// In standard form the closed graph is explicit: the least solution of X
+// is exactly the set of sources in pred(X).
+void ConstraintSolver::computeLeastSolutionSF() {
+  LS.assign(numVars(), {});
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    std::vector<ExprId> &Out = LS[Var];
+    for (uint32_t Pred : Vars[Var].Preds)
+      if (isTermRef(Pred))
+        Out.push_back(payloadOf(Pred));
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+}
+
+// In inductive form every variable predecessor has a smaller order index,
+// so processing representatives in increasing order makes equation (1) of
+// the paper a single pass:
+//   LS(Y) = {c | c in pred(Y)} ∪ ⋃_{X in pred(Y)} LS(X).
+void ConstraintSolver::computeLeastSolutionIF() {
+  LS.assign(numVars(), {});
+  std::vector<VarId> Live;
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (Forwarding.isRepresentative(Var))
+      Live.push_back(Var);
+  std::sort(Live.begin(), Live.end(), [&](VarId A, VarId B) {
+    return Vars[A].Order < Vars[B].Order;
+  });
+
+  for (VarId Var : Live) {
+    std::vector<ExprId> Acc;
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred)) {
+        Acc.push_back(payloadOf(Pred));
+        continue;
+      }
+      VarId PredRep = Forwarding.find(payloadOf(Pred));
+      if (PredRep == Var)
+        continue; // Stale self reference after a collapse.
+      assert(Vars[PredRep].Order < Vars[Var].Order &&
+             "inductive form violated: predecessor with larger order");
+      const std::vector<ExprId> &PredLS = LS[PredRep];
+      Acc.insert(Acc.end(), PredLS.begin(), PredLS.end());
+    }
+    std::sort(Acc.begin(), Acc.end());
+    Acc.erase(std::unique(Acc.begin(), Acc.end()), Acc.end());
+    LS[Var] = std::move(Acc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+uint64_t ConstraintSolver::countFinalEdges() {
+  uint64_t Count = 0;
+  DenseU64Set Resolved;
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    Resolved.clear();
+    for (uint32_t Pred : Vars[Var].Preds) {
+      uint32_t Ref =
+          isTermRef(Pred) ? Pred : varRef(Forwarding.find(payloadOf(Pred)));
+      if (!isTermRef(Ref) && payloadOf(Ref) == Var)
+        continue;
+      if (Resolved.insert(Ref))
+        ++Count;
+    }
+    for (uint32_t Succ : Vars[Var].Succs) {
+      uint32_t Ref =
+          isTermRef(Succ) ? Succ : varRef(Forwarding.find(payloadOf(Succ)));
+      if (!isTermRef(Ref) && payloadOf(Ref) == Var)
+        continue;
+      // Distinguish succ entries from pred entries of the same neighbor.
+      if (Resolved.insert(static_cast<uint64_t>(Ref) | (1ULL << 62)))
+        ++Count;
+    }
+  }
+  return Count;
+}
+
+Digraph ConstraintSolver::varVarDigraph() {
+  Digraph G(numVars());
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred))
+        continue;
+      VarId PredRep = Forwarding.find(payloadOf(Pred));
+      if (PredRep != Var)
+        G.addEdge(PredRep, Var);
+    }
+    for (uint32_t Succ : Vars[Var].Succs) {
+      if (isTermRef(Succ))
+        continue;
+      VarId SuccRep = Forwarding.find(payloadOf(Succ));
+      if (SuccRep != Var)
+        G.addEdge(Var, SuccRep);
+    }
+  }
+  return G;
+}
+
+uint64_t ConstraintSolver::countPredChainReachable(VarId Var) {
+  Var = Forwarding.find(Var);
+  ++CurrentEpoch;
+  Vars[Var].VisitEpoch = CurrentEpoch;
+  std::vector<VarId> Stack = {Var};
+  uint64_t Count = 0;
+  while (!Stack.empty()) {
+    VarId Node = Stack.back();
+    Stack.pop_back();
+    for (uint32_t Pred : Vars[Node].Preds) {
+      if (isTermRef(Pred))
+        continue;
+      VarId Next = Forwarding.find(payloadOf(Pred));
+      if (Vars[Next].VisitEpoch == CurrentEpoch)
+        continue;
+      Vars[Next].VisitEpoch = CurrentEpoch;
+      ++Count;
+      Stack.push_back(Next);
+    }
+  }
+  return Count;
+}
+
+uint64_t ConstraintSolver::compact() {
+  uint64_t Removed = 0;
+  DenseU64Set Seen;
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    VarNode &Node = Vars[Var];
+    if (!Forwarding.isRepresentative(Var)) {
+      // Dead variables were already drained during their collapse; make
+      // sure nothing lingers.
+      Removed += Node.Preds.size() + Node.Succs.size();
+      Node.Preds.clear();
+      Node.Succs.clear();
+      Node.PredSet = DenseU64Set();
+      Node.SuccSet = DenseU64Set();
+      continue;
+    }
+    auto Rebuild = [&](std::vector<uint32_t> &List, DenseU64Set &Set) {
+      Seen.clear();
+      std::vector<uint32_t> Fresh;
+      Fresh.reserve(List.size());
+      for (uint32_t Entry : List) {
+        uint32_t Resolved =
+            isTermRef(Entry) ? Entry
+                             : varRef(Forwarding.find(payloadOf(Entry)));
+        if (!isTermRef(Resolved) && payloadOf(Resolved) == Var) {
+          ++Removed;
+          continue; // Self reference left by a collapse.
+        }
+        if (!Seen.insert(Resolved)) {
+          ++Removed;
+          continue; // Duplicate after resolution.
+        }
+        Fresh.push_back(Resolved);
+      }
+      List = std::move(Fresh);
+      DenseU64Set FreshSet;
+      for (uint32_t Entry : List)
+        FreshSet.insert(Entry);
+      Set = std::move(FreshSet);
+    };
+    Rebuild(Node.Preds, Node.PredSet);
+    Rebuild(Node.Succs, Node.SuccSet);
+  }
+  return Removed;
+}
+
+std::string ConstraintSolver::dumpGraph() {
+  std::string Out;
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    const VarNode &Node = Vars[Var];
+    Out += "var " + (Node.Name.empty() ? "X" + std::to_string(Var)
+                                       : Node.Name);
+    Out += " (order " + std::to_string(Node.Order) + ")\n";
+    auto Dump = [&](const char *Label, const std::vector<uint32_t> &List) {
+      if (List.empty())
+        return;
+      Out += std::string("  ") + Label + ":";
+      for (uint32_t Entry : List) {
+        Out += " ";
+        if (isTermRef(Entry)) {
+          Out += exprStr(payloadOf(Entry));
+        } else {
+          VarId Rep = Forwarding.find(payloadOf(Entry));
+          Out += Vars[Rep].Name.empty() ? "X" + std::to_string(Rep)
+                                        : Vars[Rep].Name;
+        }
+      }
+      Out += "\n";
+    };
+    Dump("pred", Node.Preds);
+    Dump("succ", Node.Succs);
+  }
+  return Out;
+}
+
+std::string ConstraintSolver::exprStr(ExprId Id) const {
+  return Terms.str(Id, [this](VarId Var) {
+    return Vars[Var].Name.empty() ? "X" + std::to_string(Var)
+                                  : Vars[Var].Name;
+  });
+}

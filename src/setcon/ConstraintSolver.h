@@ -1,0 +1,294 @@
+//===- setcon/ConstraintSolver.h - Inclusion constraint solver --*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online inclusion-constraint solver at the heart of the paper.
+///
+/// Constraints L <= R are rewritten to atomic form by the resolution rules
+/// R of Figure 1 and stored as edges of a constraint graph whose nodes are
+/// variables, sources (constructed terms left of an inclusion), and sinks
+/// (constructed terms right of an inclusion). The graph is closed under the
+/// local rule
+///
+///     L in pred(X),  R in succ(X)   ==>   L <= R
+///
+/// applied eagerly at every edge insertion. Variable-variable edges are
+/// represented according to the configured GraphForm:
+///
+///  * Standard form (SF): X <= Y is always a successor edge of X; sources
+///    propagate forward and pred lists hold sources only, so the closed
+///    graph contains the least solution explicitly.
+///  * Inductive form (IF): X <= Y is a predecessor edge of Y if
+///    o(X) < o(Y) under a fixed (random) total order o(.), and a successor
+///    edge of X otherwise. The least solution is computed afterwards by
+///    LS(Y) = {c | c in pred(Y)} ∪ ⋃_{X in pred(Y)} LS(X).
+///
+/// With CycleElim::Online, every variable-variable insertion runs the
+/// paper's partial cycle detection (Figure 3): a depth-first search along
+/// predecessor chains (respectively successor chains restricted to
+/// decreasing order for SF) for a chain closing a cycle with the new edge.
+/// Detected cycles are collapsed onto the lowest-ordered witness through
+/// forwarding pointers (union-find), re-adding the collapsed variables'
+/// edges to the witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SETCON_CONSTRAINTSOLVER_H
+#define POCE_SETCON_CONSTRAINTSOLVER_H
+
+#include "graph/Digraph.h"
+#include "setcon/SolverOptions.h"
+#include "setcon/SolverStats.h"
+#include "setcon/Term.h"
+#include "support/DenseU64Set.h"
+#include "support/PRNG.h"
+#include "support/UnionFind.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poce {
+
+class Oracle;
+
+/// Online solver for one system of inclusion constraints.
+class ConstraintSolver {
+public:
+  /// Creates a solver over \p Terms. If \p WitnessOracle is non-null and
+  /// the configuration uses CycleElim::Oracle, fresh-variable requests are
+  /// answered with SCC witnesses (perfect cycle elimination).
+  ConstraintSolver(TermTable &Terms, SolverOptions Options,
+                   const Oracle *WitnessOracle = nullptr);
+
+  //===--------------------------------------------------------------------===
+  // Constraint generation interface
+  //===--------------------------------------------------------------------===
+
+  /// Creates a fresh set variable (or returns its SCC witness under an
+  /// oracle). \p Name is kept for diagnostics.
+  VarId freshVar(std::string_view Name);
+
+  /// Returns the expression denoting \p Var.
+  ExprId varExpr(VarId Var) { return Terms.var(Var); }
+
+  /// Adds the constraint L <= R and eagerly processes all consequences
+  /// (this solver is fully online).
+  void addConstraint(ExprId L, ExprId R);
+
+  TermTable &terms() { return Terms; }
+  const TermTable &terms() const { return Terms; }
+
+  //===--------------------------------------------------------------------===
+  // Solutions
+  //===--------------------------------------------------------------------===
+
+  /// Computes least solutions for all variables. Idempotent; implied by
+  /// leastSolution(). Adding constraints afterwards invalidates the cached
+  /// solutions, which are recomputed on the next query.
+  void finalize();
+
+  /// The least solution of \p Var: the sorted set of constructed source
+  /// terms (by ExprId) contained in every solution's value for Var.
+  const std::vector<ExprId> &leastSolution(VarId Var);
+
+  //===--------------------------------------------------------------------===
+  // Introspection (tests, benches, oracle construction)
+  //===--------------------------------------------------------------------===
+
+  const SolverOptions &options() const { return Options; }
+  const SolverStats &stats() const { return Stats; }
+
+  /// Current representative of \p Var's equality class.
+  VarId rep(VarId Var) { return Forwarding.find(Var); }
+
+  /// True if \p Var has not been collapsed into another variable.
+  bool isLive(VarId Var) const { return Forwarding.isRepresentative(Var); }
+
+  /// Order index o(Var) used by the inductive form and chain searches.
+  uint64_t orderOf(VarId Var) const { return Vars[Var].Order; }
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Vars.size()); }
+  uint32_t numLiveVars() const;
+  const std::string &varName(VarId Var) const { return Vars[Var].Name; }
+
+  /// Total fresh-variable requests (creation indices are 0..N-1).
+  uint32_t numCreations() const {
+    return static_cast<uint32_t>(VarOfCreation.size());
+  }
+  /// The variable answering creation index \p CreationIndex.
+  VarId varOfCreation(uint32_t CreationIndex) const {
+    return VarOfCreation[CreationIndex];
+  }
+  /// Creation index of variable \p Var.
+  uint32_t creationIndexOf(VarId Var) const {
+    return Vars[Var].CreationIndex;
+  }
+
+  /// With SolverOptions::RecordVarVar, every distinct variable-variable
+  /// constraint in creation-index space (used for ground-truth SCCs and
+  /// oracle construction).
+  const std::vector<std::pair<uint32_t, uint32_t>> &recordedVarVar() const {
+    return RecordedVarVar;
+  }
+
+  /// The subset of recorded variable-variable constraints that stem
+  /// directly from input constraints (the initial graph, pre-closure).
+  const std::vector<std::pair<uint32_t, uint32_t>> &
+  recordedInitialVarVar() const {
+    return RecordedInitialVarVar;
+  }
+
+  /// Structural mismatches collected under MismatchPolicy::Collect.
+  const std::vector<std::string> &inconsistencies() const {
+    return Inconsistencies;
+  }
+
+  /// Counts distinct edges in the current graph (live variables only,
+  /// entries resolved through forwarding) — the paper's "Edges" column.
+  uint64_t countFinalEdges();
+
+  /// Projects the current variable-variable graph (edges between live
+  /// representatives) for SCC analysis and visualization.
+  Digraph varVarDigraph();
+
+  /// Number of variables reachable from \p Var along predecessor chains
+  /// (Theorem 5.2 measurement).
+  uint64_t countPredChainReachable(VarId Var);
+
+  /// Renders \p Id with variable names for diagnostics.
+  std::string exprStr(ExprId Id) const;
+
+  /// Rewrites every live variable's adjacency lists, resolving entries
+  /// through forwarding pointers and dropping duplicates and self
+  /// references that collapses left behind. Purely an internal
+  /// maintenance operation: solutions and counters are unaffected (except
+  /// that subsequent redundant-addition counts drop). Returns the number
+  /// of entries removed.
+  uint64_t compact();
+
+  /// Serializes the current graph as human-readable text: one line per
+  /// live variable with its order index and resolved predecessor and
+  /// successor entries. Intended for debugging and golden tests.
+  std::string dumpGraph();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Graph node references
+  //===--------------------------------------------------------------------===
+
+  /// Adjacency entries are 32-bit tagged references: variables carry their
+  /// VarId, constructed terms their ExprId with the top bit set.
+  static constexpr uint32_t TermTag = 0x80000000U;
+  static uint32_t varRef(VarId Var) { return Var; }
+  static uint32_t termRef(ExprId Term) { return Term | TermTag; }
+  static bool isTermRef(uint32_t Ref) { return Ref & TermTag; }
+  static uint32_t payloadOf(uint32_t Ref) { return Ref & ~TermTag; }
+
+  struct VarNode {
+    std::string Name;
+    uint64_t Order = 0;
+    uint32_t CreationIndex = 0;
+    std::vector<uint32_t> Preds, Succs;
+    DenseU64Set PredSet, SuccSet;
+    uint32_t VisitEpoch = 0;
+  };
+
+  struct WorkItem {
+    ExprId Lhs, Rhs;
+    bool Derived;
+  };
+
+  //===--------------------------------------------------------------------===
+  // Resolution and closure
+  //===--------------------------------------------------------------------===
+
+  void drainWorklist();
+  void resolve(ExprId Lhs, ExprId Rhs, bool Derived);
+  void handleMismatch(ExprId Lhs, ExprId Rhs);
+
+  void insertVarVar(VarId Lhs, VarId Rhs, bool Derived);
+  void insertSourceVar(ExprId Source, VarId Var, bool Derived);
+  void insertVarSink(VarId Var, ExprId Sink, bool Derived);
+
+  /// Inserts NodeRef \p Entry into the pred (or succ) side of live
+  /// variable \p Owner, generating closure pairings; returns false if the
+  /// edge was already present.
+  bool insertPred(VarId Owner, uint32_t Entry, bool Derived);
+  bool insertSucc(VarId Owner, uint32_t Entry, bool Derived);
+
+  ExprId exprOfRef(uint32_t Ref);
+  void enqueue(ExprId Lhs, ExprId Rhs, bool Derived);
+  void countWork();
+
+  //===--------------------------------------------------------------------===
+  // Cycle detection and elimination
+  //===--------------------------------------------------------------------===
+
+  /// Chain-search direction/representation variants.
+  enum class ChainKind {
+    Pred,           ///< IF: predecessor chains.
+    Succ,           ///< IF: successor chains.
+    SuccDecreasing, ///< SF: successor edges toward lower order.
+    SuccIncreasing, ///< SF: successor edges toward higher order.
+  };
+
+  /// Runs partial detection for the new constraint Lhs <= Rhs; on success
+  /// collapses the cycle and returns true.
+  bool detectAndCollapse(VarId Lhs, VarId Rhs);
+
+  /// DFS from \p Start along \p Kind chains looking for \p Target; fills
+  /// \p Path with the chain (Start first) when found.
+  bool searchChain(VarId Start, VarId Target, ChainKind Kind,
+                   std::vector<VarId> &Path);
+
+  /// Collapses the distinct live variables in \p Cycle onto the
+  /// lowest-ordered witness and re-enqueues their constraints.
+  void collapseCycle(const std::vector<VarId> &Cycle);
+
+  /// Offline pass for CycleElim::Periodic: Tarjan over the current
+  /// variable graph, collapsing every non-trivial SCC.
+  void runPeriodicPass();
+
+  void recordVarVar(VarId Lhs, VarId Rhs, bool Derived);
+
+  //===--------------------------------------------------------------------===
+  // Least solution
+  //===--------------------------------------------------------------------===
+
+  void computeLeastSolutionSF();
+  void computeLeastSolutionIF();
+  void invalidateSolutions();
+
+  TermTable &Terms;
+  SolverOptions Options;
+  const Oracle *WitnessOracle;
+  PRNG OrderRng;
+
+  std::vector<VarNode> Vars;
+  UnionFind Forwarding;
+  std::vector<VarId> VarOfCreation;
+
+  std::vector<WorkItem> Worklist;
+  bool Draining = false;
+  uint64_t NextPeriodicWork = 0;
+  uint32_t CurrentEpoch = 0;
+
+  DenseU64Set SeenSources, SeenSinks;
+  DenseU64Set RecordedSet, RecordedInitialSet;
+  std::vector<std::pair<uint32_t, uint32_t>> RecordedVarVar;
+  std::vector<std::pair<uint32_t, uint32_t>> RecordedInitialVarVar;
+  std::vector<std::string> Inconsistencies;
+
+  bool Finalized = false;
+  std::vector<std::vector<ExprId>> LS;
+
+  SolverStats Stats;
+};
+
+} // namespace poce
+
+#endif // POCE_SETCON_CONSTRAINTSOLVER_H

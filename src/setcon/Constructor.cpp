@@ -1,0 +1,49 @@
+//===- setcon/Constructor.cpp - Constructor signatures --------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/Constructor.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace poce;
+
+ConsId ConstructorTable::getOrCreate(
+    std::string_view Name, const SmallVectorImpl<Variance> &ArgVariance) {
+  uint32_t NameId = Names.intern(Name);
+  if (NameId < Signatures.size()) {
+    const ConstructorSignature &Existing = Signatures[NameId];
+    if (Existing.ArgVariance != ArgVariance)
+      reportFatalError("constructor '" + std::string(Name) +
+                       "' re-registered with a different signature");
+    return NameId;
+  }
+  assert(NameId == Signatures.size() &&
+         "interner and signature table out of sync!");
+  ConstructorSignature Sig;
+  Sig.Name = std::string(Name);
+  Sig.ArgVariance = ArgVariance;
+  Signatures.push_back(std::move(Sig));
+  return NameId;
+}
+
+ConsId ConstructorTable::getOrCreate(
+    std::string_view Name, std::initializer_list<Variance> ArgVariance) {
+  SmallVector<Variance, 4> Variances;
+  Variances.append(ArgVariance.begin(), ArgVariance.end());
+  return getOrCreate(Name, Variances);
+}
+
+ConsId ConstructorTable::lookup(std::string_view Name) const {
+  uint32_t NameId = Names.lookup(Name);
+  return NameId == StringInterner::NotFound ? NotFound : NameId;
+}
+
+const ConstructorSignature &ConstructorTable::signature(ConsId Id) const {
+  assert(Id < Signatures.size() && "constructor id out of range!");
+  return Signatures[Id];
+}

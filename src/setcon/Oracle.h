@@ -1,0 +1,94 @@
+//===- setcon/Oracle.h - Perfect cycle elimination oracle -------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle of the paper's *-Oracle experiments: "Whenever a fresh set
+/// variable is created, the oracle predicts to which strongly connected
+/// component the variable will eventually belong. We substitute the
+/// witness variable of that component for the fresh variable." The
+/// resulting graphs are acyclic, giving a lower bound on the cost any
+/// cycle-elimination strategy can reach.
+///
+/// buildOracle() constructs the prediction by replaying constraint
+/// generation: a recording IF-Online pass discovers the variable-variable
+/// constraint relation; strongly connected components of that relation are
+/// the equality classes; further recording passes with the partial oracle
+/// catch cycles only exposed once earlier classes are merged. Iteration
+/// stops at a fixpoint (almost always after the second pass).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SETCON_ORACLE_H
+#define POCE_SETCON_ORACLE_H
+
+#include "setcon/SolverOptions.h"
+#include "support/UnionFind.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace poce {
+
+class ConstraintSolver;
+class ConstructorTable;
+class TermTable;
+
+/// Predicts the final equality class of every fresh-variable request.
+/// Indices are creation indices (the N-th freshVar() call has index N-1),
+/// which are stable across solver configurations because constraint
+/// generation is deterministic.
+class Oracle {
+public:
+  /// The witness (earliest-created member) of \p CreationIndex's class.
+  uint32_t witness(uint32_t CreationIndex) const {
+    return CreationIndex < WitnessOf.size() ? WitnessOf[CreationIndex]
+                                            : CreationIndex;
+  }
+
+  uint32_t numCreations() const {
+    return static_cast<uint32_t>(WitnessOf.size());
+  }
+
+  /// Ground-truth cycle statistics of the final constraint relation.
+  uint32_t numNontrivialClasses() const { return NontrivialClasses; }
+  uint32_t varsInNontrivialClasses() const { return VarsInNontrivial; }
+  uint32_t maxClassSize() const { return MaxClass; }
+  /// Variables a perfect eliminator removes: sum of (size - 1) over
+  /// non-trivial classes.
+  uint32_t eliminableVars() const {
+    return VarsInNontrivial - NontrivialClasses;
+  }
+
+  /// Builds an oracle directly from equality classes over creation
+  /// indices.
+  static Oracle fromClasses(UnionFind &Classes);
+
+private:
+  std::vector<uint32_t> WitnessOf;
+  uint32_t NontrivialClasses = 0;
+  uint32_t VarsInNontrivial = 0;
+  uint32_t MaxClass = 0;
+};
+
+/// Callback that replays constraint generation against a solver. It must
+/// be deterministic: every invocation performs the same sequence of
+/// freshVar() and addConstraint() calls (modulo oracle witness
+/// substitution, which is transparent to the caller).
+using GeneratorFn = std::function<void(ConstraintSolver &)>;
+
+/// Constructs the oracle for \p Generate. \p BaseOptions supplies the
+/// variable-order seed (shared with the final measured runs so orders
+/// agree). Returns the fixpoint oracle; \p MaxIterations bounds the
+/// (rarely needed) refinement passes.
+Oracle buildOracle(const GeneratorFn &Generate,
+                   ConstructorTable &Constructors,
+                   const SolverOptions &BaseOptions,
+                   unsigned MaxIterations = 6);
+
+} // namespace poce
+
+#endif // POCE_SETCON_ORACLE_H

@@ -1,0 +1,72 @@
+//===- setcon/SolverStats.h - Per-solve measurements ------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters gathered during one constraint solve. These are the quantities
+/// the paper's Tables 2 and 3 report: edges in the final graph, total work
+/// (edge additions including redundant ones), and the number of variables
+/// eliminated by cycle detection, plus supporting detail used by the
+/// analysis benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SETCON_SOLVERSTATS_H
+#define POCE_SETCON_SOLVERSTATS_H
+
+#include <cstdint>
+
+namespace poce {
+
+/// Measurements of a single solve.
+struct SolverStats {
+  /// Variables ever created (including ones later collapsed away).
+  uint64_t VarsCreated = 0;
+  /// Fresh-variable requests answered by the oracle with an existing
+  /// witness instead of a new variable.
+  uint64_t OracleSubstitutions = 0;
+
+  /// Edge additions performed directly by input constraints (successful
+  /// only): the size of the initial graph.
+  uint64_t InitialEdges = 0;
+  /// Distinct constructed source terms inserted.
+  uint64_t DistinctSources = 0;
+  /// Distinct constructed sink terms inserted.
+  uint64_t DistinctSinks = 0;
+
+  /// Total edge additions, including redundant re-additions along
+  /// alternate paths — the paper's "Work" column.
+  uint64_t Work = 0;
+  /// Additions that found the edge already present.
+  uint64_t RedundantAdds = 0;
+  /// Additions that degenerated to X <= X after representative lookup.
+  uint64_t SelfEdges = 0;
+
+  /// Variables eliminated by collapsing detected cycles.
+  uint64_t VarsEliminated = 0;
+  /// Number of collapse events (cycles found).
+  uint64_t CyclesCollapsed = 0;
+  /// Nodes visited across all online chain searches.
+  uint64_t CycleSearchSteps = 0;
+  /// Number of chain searches started.
+  uint64_t CycleSearches = 0;
+  /// Offline SCC passes run under CycleElim::Periodic.
+  uint64_t PeriodicPasses = 0;
+
+  /// Structurally mismatched constraints skipped (or collected).
+  uint64_t Mismatches = 0;
+  /// Constraints processed from the worklist.
+  uint64_t ConstraintsProcessed = 0;
+
+  /// True if the solve hit SolverOptions::MaxWork and stopped early.
+  bool Aborted = false;
+
+  /// Work minus redundant and self additions: distinct edges ever added.
+  uint64_t distinctAdds() const { return Work - RedundantAdds - SelfEdges; }
+};
+
+} // namespace poce
+
+#endif // POCE_SETCON_SOLVERSTATS_H

@@ -1,0 +1,133 @@
+//===- setcon/Term.cpp - Hash-consed set expressions ----------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/Term.h"
+
+#include "support/DenseU64Set.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace poce;
+
+TermTable::TermTable(ConstructorTable &Constructors)
+    : Constructors(Constructors) {
+  // Ids 0 and 1 are the constants Zero and One.
+  ExprId ZeroId = allocate(ExprKind::Zero, 0, 0, 0);
+  ExprId OneId = allocate(ExprKind::One, 0, 0, 0);
+  assert(ZeroId == 0 && OneId == 1 && "constant ids out of place!");
+  (void)ZeroId;
+  (void)OneId;
+}
+
+ExprId TermTable::allocate(ExprKind Kind, uint32_t Payload, uint32_t ArgsBegin,
+                           uint32_t NumArgs) {
+  ExprId Id = static_cast<ExprId>(Kinds.size());
+  Kinds.push_back(Kind);
+  Payloads.push_back(Payload);
+  ArgSlices.push_back({ArgsBegin, NumArgs});
+  return Id;
+}
+
+ExprId TermTable::var(VarId Var) {
+  if (Var < VarExprs.size() && VarExprs[Var] != 0)
+    return VarExprs[Var];
+  if (Var >= VarExprs.size())
+    VarExprs.resize(Var + 1, 0);
+  ExprId Id = allocate(ExprKind::Var, Var, 0, 0);
+  VarExprs[Var] = Id;
+  return Id;
+}
+
+ExprId TermTable::cons(ConsId Cons, const SmallVectorImpl<ExprId> &Args) {
+  assert(Args.size() == Constructors.signature(Cons).arity() &&
+         "constructor applied with wrong arity!");
+
+  uint64_t Hash = denseU64Hash(0x636f6e73ULL ^ Cons);
+  for (ExprId Arg : Args)
+    Hash = denseU64Hash(Hash ^ Arg);
+
+  SmallVector<ExprId, 2> &Candidates = ConsIndex[Hash];
+  for (ExprId Candidate : Candidates) {
+    if (consOf(Candidate) != Cons || numArgs(Candidate) != Args.size())
+      continue;
+    const ExprId *CandidateArgs = argsOf(Candidate);
+    bool Same = true;
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (CandidateArgs[I] != Args[I]) {
+        Same = false;
+        break;
+      }
+    }
+    if (Same)
+      return Candidate;
+  }
+
+  uint32_t Begin = static_cast<uint32_t>(ArgPool.size());
+  for (ExprId Arg : Args)
+    ArgPool.push_back(Arg);
+  ExprId Id =
+      allocate(ExprKind::Cons, Cons, Begin, static_cast<uint32_t>(Args.size()));
+  Candidates.push_back(Id);
+  return Id;
+}
+
+ExprId TermTable::cons(ConsId Cons, std::initializer_list<ExprId> Args) {
+  SmallVector<ExprId, 4> ArgVec;
+  ArgVec.append(Args.begin(), Args.end());
+  return cons(Cons, ArgVec);
+}
+
+VarId TermTable::varOf(ExprId Id) const {
+  assert(kind(Id) == ExprKind::Var && "varOf() on non-variable expression!");
+  return Payloads[Id];
+}
+
+ConsId TermTable::consOf(ExprId Id) const {
+  assert(kind(Id) == ExprKind::Cons && "consOf() on non-constructed term!");
+  return Payloads[Id];
+}
+
+const ExprId *TermTable::argsOf(ExprId Id) const {
+  assert(kind(Id) == ExprKind::Cons && "argsOf() on non-constructed term!");
+  return ArgPool.data() + ArgSlices[Id].first;
+}
+
+unsigned TermTable::numArgs(ExprId Id) const {
+  assert(kind(Id) == ExprKind::Cons && "numArgs() on non-constructed term!");
+  return ArgSlices[Id].second;
+}
+
+std::string
+TermTable::str(ExprId Id,
+               const std::function<std::string(VarId)> &VarName) const {
+  switch (kind(Id)) {
+  case ExprKind::Zero:
+    return "0";
+  case ExprKind::One:
+    return "1";
+  case ExprKind::Var:
+    return VarName ? VarName(varOf(Id)) : "X" + std::to_string(varOf(Id));
+  case ExprKind::Cons: {
+    const ConstructorSignature &Sig = Constructors.signature(consOf(Id));
+    std::string Out = Sig.Name;
+    if (!Sig.arity())
+      return Out;
+    Out += "(";
+    const ExprId *Args = argsOf(Id);
+    for (unsigned I = 0; I != numArgs(Id); ++I) {
+      if (I)
+        Out += ", ";
+      if (Sig.ArgVariance[I] == Variance::Contravariant)
+        Out += "~";
+      Out += str(Args[I], VarName);
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  poce_unreachable("invalid expression kind");
+}

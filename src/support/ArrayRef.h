@@ -1,0 +1,136 @@
+//===- support/ArrayRef.h - Non-owning array view ---------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A constant, non-owning view of a contiguous sequence — the preferred
+/// parameter type for APIs that only read a list of elements (callers can
+/// pass C arrays, std::vector, SmallVector, or initializer lists without
+/// copies). Modeled on llvm::ArrayRef. Like StringRef, an ArrayRef never
+/// outlives the storage it points into; pass it by value and do not store
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_ARRAYREF_H
+#define POCE_SUPPORT_ARRAYREF_H
+
+#include "support/SmallVector.h"
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace poce {
+
+/// Constant reference to [Data, Data + Length).
+template <typename T> class ArrayRef {
+public:
+  using value_type = T;
+  using iterator = const T *;
+  using const_iterator = const T *;
+
+  ArrayRef() = default;
+  ArrayRef(const T *Data, size_t Length) : Data(Data), Length(Length) {}
+  ArrayRef(const T *Begin, const T *End)
+      : Data(Begin), Length(static_cast<size_t>(End - Begin)) {}
+
+  /// From a single element.
+  ArrayRef(const T &Element) : Data(&Element), Length(1) {}
+
+  /// From containers with contiguous storage.
+  ArrayRef(const std::vector<T> &V) : Data(V.data()), Length(V.size()) {}
+  ArrayRef(const SmallVectorImpl<T> &V) : Data(V.data()), Length(V.size()) {}
+
+  /// From a C array.
+  template <size_t N>
+  constexpr ArrayRef(const T (&Array)[N]) : Data(Array), Length(N) {}
+
+  /// From an initializer list (must not outlive the full-expression it
+  /// appears in).
+  ArrayRef(std::initializer_list<T> IL)
+      : Data(IL.begin() == IL.end() ? nullptr : IL.begin()),
+        Length(IL.size()) {}
+
+  const T *data() const { return Data; }
+  size_t size() const { return Length; }
+  bool empty() const { return Length == 0; }
+
+  iterator begin() const { return Data; }
+  iterator end() const { return Data + Length; }
+
+  const T &operator[](size_t Index) const {
+    assert(Index < Length && "ArrayRef index out of range!");
+    return Data[Index];
+  }
+
+  const T &front() const {
+    assert(!empty() && "front() on empty ArrayRef!");
+    return Data[0];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty ArrayRef!");
+    return Data[Length - 1];
+  }
+
+  /// The sub-array [Start, Start + Count) (Count clamped to the end).
+  ArrayRef<T> slice(size_t Start, size_t Count) const {
+    assert(Start <= Length && "slice start out of range!");
+    return ArrayRef<T>(Data + Start,
+                       Count < Length - Start ? Count : Length - Start);
+  }
+
+  /// Everything from \p Start on.
+  ArrayRef<T> dropFront(size_t Count = 1) const {
+    assert(Count <= Length && "dropFront() past the end!");
+    return ArrayRef<T>(Data + Count, Length - Count);
+  }
+
+  ArrayRef<T> dropBack(size_t Count = 1) const {
+    assert(Count <= Length && "dropBack() past the end!");
+    return ArrayRef<T>(Data, Length - Count);
+  }
+
+  bool equals(ArrayRef<T> RHS) const {
+    if (Length != RHS.Length)
+      return false;
+    for (size_t I = 0; I != Length; ++I)
+      if (!(Data[I] == RHS.Data[I]))
+        return false;
+    return true;
+  }
+
+  /// Materializes an owning copy.
+  std::vector<T> vec() const { return std::vector<T>(begin(), end()); }
+
+private:
+  const T *Data = nullptr;
+  size_t Length = 0;
+};
+
+template <typename T> bool operator==(ArrayRef<T> LHS, ArrayRef<T> RHS) {
+  return LHS.equals(RHS);
+}
+template <typename T> bool operator!=(ArrayRef<T> LHS, ArrayRef<T> RHS) {
+  return !LHS.equals(RHS);
+}
+
+/// Deduces an ArrayRef from any supported source.
+template <typename T> ArrayRef<T> makeArrayRef(const std::vector<T> &V) {
+  return ArrayRef<T>(V);
+}
+template <typename T>
+ArrayRef<T> makeArrayRef(const SmallVectorImpl<T> &V) {
+  return ArrayRef<T>(V);
+}
+template <typename T, size_t N>
+ArrayRef<T> makeArrayRef(const T (&Array)[N]) {
+  return ArrayRef<T>(Array);
+}
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_ARRAYREF_H

@@ -1,0 +1,49 @@
+//===- support/Debug.cpp - Debug output macro -----------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+using namespace poce;
+
+namespace {
+/// Parsed POCE_DEBUG environment variable state.
+struct DebugTypes {
+  bool All = false;
+  std::set<std::string> Types;
+
+  DebugTypes() {
+    const char *Env = std::getenv("POCE_DEBUG");
+    if (!Env)
+      return;
+    if (!std::strcmp(Env, "all") || !std::strcmp(Env, "1")) {
+      All = true;
+      return;
+    }
+    std::string Current;
+    for (const char *P = Env;; ++P) {
+      if (*P == ',' || *P == '\0') {
+        if (!Current.empty())
+          Types.insert(Current);
+        Current.clear();
+        if (*P == '\0')
+          break;
+      } else {
+        Current.push_back(*P);
+      }
+    }
+  }
+};
+} // namespace
+
+bool poce::isDebugTypeEnabled(const char *Type) {
+  static DebugTypes Parsed;
+  return Parsed.All || Parsed.Types.count(Type);
+}

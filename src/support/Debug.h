@@ -1,0 +1,42 @@
+//===- support/Debug.h - Debug output macro ---------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// POCE_DEBUG(stmt) executes stmt only when debug output is enabled for the
+/// translation unit's POCE_DEBUG_TYPE (set before including this header).
+/// Enable at runtime with the environment variable POCE_DEBUG, either
+/// "all" or a comma-separated list of debug types. Compiled out entirely
+/// in NDEBUG builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_DEBUG_H
+#define POCE_SUPPORT_DEBUG_H
+
+namespace poce {
+
+/// Returns true if debug output for \p Type is enabled via the POCE_DEBUG
+/// environment variable.
+bool isDebugTypeEnabled(const char *Type);
+
+} // namespace poce
+
+// Translation units using POCE_DEBUG must #define POCE_DEBUG_TYPE before
+// the first use (the macro expands it at the use site).
+#ifdef NDEBUG
+#define POCE_DEBUG(stmt)                                                       \
+  do {                                                                         \
+  } while (false)
+#else
+#define POCE_DEBUG(stmt)                                                       \
+  do {                                                                         \
+    if (::poce::isDebugTypeEnabled(POCE_DEBUG_TYPE)) {                         \
+      stmt;                                                                    \
+    }                                                                          \
+  } while (false)
+#endif
+
+#endif // POCE_SUPPORT_DEBUG_H

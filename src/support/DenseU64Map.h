@@ -1,0 +1,198 @@
+//===- support/DenseU64Map.h - Open-addressing uint64 map ------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast open-addressing hash map from 64-bit integer keys to a trivially
+/// copyable value type. The key 0xFFFFFFFFFFFFFFFF is reserved as the empty
+/// marker. Used on the solver's hot paths (term hash-consing, oracle
+/// witness lookup) where std::unordered_map's per-node allocations would
+/// dominate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_DENSEU64MAP_H
+#define POCE_SUPPORT_DENSEU64MAP_H
+
+#include "support/DenseU64Set.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+namespace poce {
+
+/// Open-addressing (linear probing) map from uint64 keys to trivially
+/// copyable values.
+template <typename ValueT> class DenseU64Map {
+  static_assert(std::is_trivially_copyable_v<ValueT>,
+                "DenseU64Map requires a trivially copyable value type");
+
+public:
+  static constexpr uint64_t EmptyKey = ~0ULL;
+
+  DenseU64Map() = default;
+  DenseU64Map(const DenseU64Map &RHS) { copyFrom(RHS); }
+  DenseU64Map &operator=(const DenseU64Map &RHS) {
+    if (this == &RHS)
+      return *this;
+    freeBuckets();
+    copyFrom(RHS);
+    return *this;
+  }
+  DenseU64Map(DenseU64Map &&RHS) noexcept
+      : Keys(RHS.Keys), Values(RHS.Values), NumBuckets(RHS.NumBuckets),
+        Size(RHS.Size) {
+    RHS.Keys = nullptr;
+    RHS.Values = nullptr;
+    RHS.NumBuckets = 0;
+    RHS.Size = 0;
+  }
+  DenseU64Map &operator=(DenseU64Map &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    freeBuckets();
+    Keys = RHS.Keys;
+    Values = RHS.Values;
+    NumBuckets = RHS.NumBuckets;
+    Size = RHS.Size;
+    RHS.Keys = nullptr;
+    RHS.Values = nullptr;
+    RHS.NumBuckets = 0;
+    RHS.Size = 0;
+    return *this;
+  }
+  ~DenseU64Map() { freeBuckets(); }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  /// Inserts (Key, Value) if Key is absent; returns true on insertion.
+  bool insert(uint64_t Key, ValueT Value) {
+    assert(Key != EmptyKey && "reserved key inserted into DenseU64Map!");
+    if ((Size + 1) * 4 >= NumBuckets * 3)
+      grow();
+    size_t Idx = findBucket(Key);
+    if (Keys[Idx] == Key)
+      return false;
+    Keys[Idx] = Key;
+    Values[Idx] = Value;
+    ++Size;
+    return true;
+  }
+
+  /// Returns a pointer to the value for \p Key, or null if absent. The
+  /// pointer is invalidated by any insertion.
+  ValueT *lookup(uint64_t Key) {
+    assert(Key != EmptyKey && "reserved key queried in DenseU64Map!");
+    if (!NumBuckets)
+      return nullptr;
+    size_t Idx = findBucket(Key);
+    return Keys[Idx] == Key ? Values + Idx : nullptr;
+  }
+
+  const ValueT *lookup(uint64_t Key) const {
+    return const_cast<DenseU64Map *>(this)->lookup(Key);
+  }
+
+  /// Returns a reference to the value for \p Key, default-inserting it if
+  /// absent.
+  ValueT &operator[](uint64_t Key) {
+    assert(Key != EmptyKey && "reserved key inserted into DenseU64Map!");
+    if ((Size + 1) * 4 >= NumBuckets * 3)
+      grow();
+    size_t Idx = findBucket(Key);
+    if (Keys[Idx] != Key) {
+      Keys[Idx] = Key;
+      Values[Idx] = ValueT();
+      ++Size;
+    }
+    return Values[Idx];
+  }
+
+  bool contains(uint64_t Key) const { return lookup(Key) != nullptr; }
+
+  void clear() {
+    if (Keys)
+      std::memset(Keys, 0xFF, NumBuckets * sizeof(uint64_t));
+    Size = 0;
+  }
+
+  /// Visits each (key, value) pair; \p F takes (uint64_t, ValueT).
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t I = 0; I != NumBuckets; ++I)
+      if (Keys[I] != EmptyKey)
+        F(Keys[I], Values[I]);
+  }
+
+private:
+  size_t findBucket(uint64_t Key) const {
+    size_t Mask = NumBuckets - 1;
+    size_t Idx = static_cast<size_t>(denseU64Hash(Key)) & Mask;
+    while (true) {
+      if (Keys[Idx] == Key || Keys[Idx] == EmptyKey)
+        return Idx;
+      Idx = (Idx + 1) & Mask;
+    }
+  }
+
+  void grow() {
+    size_t NewNumBuckets = NumBuckets ? NumBuckets * 2 : 16;
+    uint64_t *OldKeys = Keys;
+    ValueT *OldValues = Values;
+    size_t OldNumBuckets = NumBuckets;
+    Keys =
+        static_cast<uint64_t *>(std::malloc(NewNumBuckets * sizeof(uint64_t)));
+    Values = static_cast<ValueT *>(std::malloc(NewNumBuckets * sizeof(ValueT)));
+    if (!Keys || !Values)
+      std::abort();
+    std::memset(Keys, 0xFF, NewNumBuckets * sizeof(uint64_t));
+    NumBuckets = NewNumBuckets;
+    for (size_t I = 0; I != OldNumBuckets; ++I) {
+      if (OldKeys[I] == EmptyKey)
+        continue;
+      size_t Idx = findBucket(OldKeys[I]);
+      Keys[Idx] = OldKeys[I];
+      Values[Idx] = OldValues[I];
+    }
+    std::free(OldKeys);
+    std::free(OldValues);
+  }
+
+  void copyFrom(const DenseU64Map &RHS) {
+    if (!RHS.NumBuckets)
+      return;
+    Keys = static_cast<uint64_t *>(
+        std::malloc(RHS.NumBuckets * sizeof(uint64_t)));
+    Values =
+        static_cast<ValueT *>(std::malloc(RHS.NumBuckets * sizeof(ValueT)));
+    if (!Keys || !Values)
+      std::abort();
+    std::memcpy(Keys, RHS.Keys, RHS.NumBuckets * sizeof(uint64_t));
+    std::memcpy(Values, RHS.Values, RHS.NumBuckets * sizeof(ValueT));
+    NumBuckets = RHS.NumBuckets;
+    Size = RHS.Size;
+  }
+
+  void freeBuckets() {
+    std::free(Keys);
+    std::free(Values);
+    Keys = nullptr;
+    Values = nullptr;
+    NumBuckets = 0;
+    Size = 0;
+  }
+
+  uint64_t *Keys = nullptr;
+  ValueT *Values = nullptr;
+  size_t NumBuckets = 0;
+  size_t Size = 0;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_DENSEU64MAP_H

@@ -1,0 +1,163 @@
+//===- support/DenseU64Set.h - Open-addressing uint64 set ------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast open-addressing hash set for 64-bit integer keys. One key value
+/// (all bits set) is reserved as the empty bucket marker and cannot be
+/// inserted. The constraint solver packs (edge kind, node id) pairs into
+/// uint64 keys, so membership tests on adjacency lists are a single probe
+/// sequence with no indirection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_DENSEU64SET_H
+#define POCE_SUPPORT_DENSEU64SET_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace poce {
+
+/// Mixes the bits of \p X; used as the hash for integer-keyed dense
+/// containers (finalizer of SplitMix64).
+inline uint64_t denseU64Hash(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Open-addressing (linear probing) set of uint64 keys. The key
+/// 0xFFFFFFFFFFFFFFFF is reserved.
+class DenseU64Set {
+public:
+  static constexpr uint64_t EmptyKey = ~0ULL;
+
+  DenseU64Set() = default;
+
+  DenseU64Set(const DenseU64Set &RHS) { copyFrom(RHS); }
+
+  DenseU64Set(DenseU64Set &&RHS) noexcept
+      : Buckets(RHS.Buckets), NumBuckets(RHS.NumBuckets), Size(RHS.Size) {
+    RHS.Buckets = nullptr;
+    RHS.NumBuckets = 0;
+    RHS.Size = 0;
+  }
+
+  DenseU64Set &operator=(const DenseU64Set &RHS) {
+    if (this == &RHS)
+      return *this;
+    std::free(Buckets);
+    Buckets = nullptr;
+    NumBuckets = 0;
+    Size = 0;
+    copyFrom(RHS);
+    return *this;
+  }
+
+  DenseU64Set &operator=(DenseU64Set &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    std::free(Buckets);
+    Buckets = RHS.Buckets;
+    NumBuckets = RHS.NumBuckets;
+    Size = RHS.Size;
+    RHS.Buckets = nullptr;
+    RHS.NumBuckets = 0;
+    RHS.Size = 0;
+    return *this;
+  }
+
+  ~DenseU64Set() { std::free(Buckets); }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  /// Inserts \p Key; returns true if the key was newly inserted, false if
+  /// it was already present.
+  bool insert(uint64_t Key) {
+    assert(Key != EmptyKey && "reserved key inserted into DenseU64Set!");
+    if ((Size + 1) * 4 >= NumBuckets * 3)
+      grow();
+    uint64_t *Bucket = findBucket(Key);
+    if (*Bucket == Key)
+      return false;
+    *Bucket = Key;
+    ++Size;
+    return true;
+  }
+
+  bool contains(uint64_t Key) const {
+    assert(Key != EmptyKey && "reserved key queried in DenseU64Set!");
+    if (!NumBuckets)
+      return false;
+    return *findBucket(Key) == Key;
+  }
+
+  void clear() {
+    if (Buckets)
+      std::memset(Buckets, 0xFF, NumBuckets * sizeof(uint64_t));
+    Size = 0;
+  }
+
+  /// Visits each stored key; \p F takes a uint64_t.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t I = 0; I != NumBuckets; ++I)
+      if (Buckets[I] != EmptyKey)
+        F(Buckets[I]);
+  }
+
+private:
+  uint64_t *findBucket(uint64_t Key) const {
+    size_t Mask = NumBuckets - 1;
+    size_t Idx = static_cast<size_t>(denseU64Hash(Key)) & Mask;
+    while (true) {
+      if (Buckets[Idx] == Key || Buckets[Idx] == EmptyKey)
+        return Buckets + Idx;
+      Idx = (Idx + 1) & Mask;
+    }
+  }
+
+  void grow() {
+    size_t NewNumBuckets = NumBuckets ? NumBuckets * 2 : 16;
+    uint64_t *OldBuckets = Buckets;
+    size_t OldNumBuckets = NumBuckets;
+    Buckets =
+        static_cast<uint64_t *>(std::malloc(NewNumBuckets * sizeof(uint64_t)));
+    if (!Buckets)
+      std::abort();
+    std::memset(Buckets, 0xFF, NewNumBuckets * sizeof(uint64_t));
+    NumBuckets = NewNumBuckets;
+    for (size_t I = 0; I != OldNumBuckets; ++I)
+      if (OldBuckets[I] != EmptyKey)
+        *findBucket(OldBuckets[I]) = OldBuckets[I];
+    std::free(OldBuckets);
+  }
+
+  void copyFrom(const DenseU64Set &RHS) {
+    if (!RHS.NumBuckets)
+      return;
+    Buckets = static_cast<uint64_t *>(
+        std::malloc(RHS.NumBuckets * sizeof(uint64_t)));
+    if (!Buckets)
+      std::abort();
+    std::memcpy(Buckets, RHS.Buckets, RHS.NumBuckets * sizeof(uint64_t));
+    NumBuckets = RHS.NumBuckets;
+    Size = RHS.Size;
+  }
+
+  uint64_t *Buckets = nullptr;
+  size_t NumBuckets = 0;
+  size_t Size = 0;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_DENSEU64SET_H

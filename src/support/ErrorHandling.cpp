@@ -1,0 +1,26 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting ------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace poce;
+
+void poce::reportFatalError(const std::string &Reason) {
+  std::fprintf(stderr, "poce fatal error: %s\n", Reason.c_str());
+  std::fflush(stderr);
+  std::exit(1);
+}
+
+void poce::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,38 @@
+//===- support/ErrorHandling.h - Fatal error reporting ----------*- C++ -*-===//
+//
+// Part of the poce project, a reproduction of "Partial Online Cycle
+// Elimination in Inclusion Constraint Graphs" (PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and the poce_unreachable marker for control flow
+/// that must never be reached if program invariants hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_ERRORHANDLING_H
+#define POCE_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace poce {
+
+/// Reports a fatal usage or environment error to stderr and exits with a
+/// nonzero status. The message should follow tool style: lowercase first
+/// word, no trailing period.
+[[noreturn]] void reportFatalError(const std::string &Reason);
+
+/// Internal implementation of the poce_unreachable macro; prints the
+/// message with its source location and aborts.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace poce
+
+/// Marks a point in code that should never be reached. Unlike assert, the
+/// check is kept in all build modes.
+#define poce_unreachable(msg)                                                  \
+  ::poce::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // POCE_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,69 @@
+//===- support/Format.cpp - Text tables and number formatting -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace poce;
+
+std::string poce::formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string poce::formatGrouped(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+TextTable::TextTable(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Rows[0].size() && "row width mismatch!");
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::print(std::FILE *Out) const {
+  size_t NumCols = Rows[0].size();
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != NumCols; ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != NumCols; ++C) {
+      if (C == 0)
+        std::fprintf(Out, "%-*s", static_cast<int>(Widths[C]), Row[C].c_str());
+      else
+        std::fprintf(Out, "  %*s", static_cast<int>(Widths[C]),
+                     Row[C].c_str());
+    }
+    std::fputc('\n', Out);
+  };
+
+  printRow(Rows[0]);
+  size_t TotalWidth = 0;
+  for (size_t C = 0; C != NumCols; ++C)
+    TotalWidth += Widths[C] + (C ? 2 : 0);
+  for (size_t I = 0; I != TotalWidth; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (size_t R = 1; R != Rows.size(); ++R)
+    printRow(Rows[R]);
+}

@@ -1,0 +1,48 @@
+//===- support/Format.h - Text tables and number formatting ----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the bench harnesses: aligned text tables that mirror the
+/// paper's tables, plus number formatting utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_FORMAT_H
+#define POCE_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace poce {
+
+/// Formats \p Value with fixed \p Decimals digits after the point.
+std::string formatDouble(double Value, int Decimals);
+
+/// Formats \p Value with thousands separators ("1,234,567").
+std::string formatGrouped(uint64_t Value);
+
+/// An aligned plain-text table. Columns are right-aligned except the
+/// first, which is left-aligned (matching the paper's layout: benchmark
+/// name first, numbers after).
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends a data row; must have as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with a separator line under the header.
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows; // Rows[0] is the header.
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_FORMAT_H

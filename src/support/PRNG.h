@@ -1,0 +1,110 @@
+//===- support/PRNG.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64).
+/// Everything random in this project — variable orders, synthetic
+/// workloads, random constraint graphs — flows through this class so that
+/// experiments are reproducible from a single seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_PRNG_H
+#define POCE_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace poce {
+
+/// SplitMix64 step; used for seeding and as a standalone mixer.
+inline uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// xoshiro256** generator with convenience helpers.
+class PRNG {
+public:
+  explicit PRNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  void reseed(uint64_t Seed) {
+    uint64_t SM = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(SM);
+  }
+
+  uint64_t nextU64() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  uint32_t nextU32() { return static_cast<uint32_t>(nextU64() >> 32); }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) has no valid result!");
+    // Lemire's unbiased multiply-shift rejection method.
+    uint64_t X = nextU64();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t Low = static_cast<uint64_t>(M);
+    if (Low < Bound) {
+      uint64_t Threshold = (0 - Bound) % Bound;
+      while (Low < Threshold) {
+        X = nextU64();
+        M = static_cast<__uint128_t>(X) * Bound;
+        Low = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "nextRange() with empty range!");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher–Yates shuffles a random-access range.
+  template <typename RandomIt> void shuffle(RandomIt First, RandomIt Last) {
+    auto N = Last - First;
+    for (decltype(N) I = N - 1; I > 0; --I) {
+      auto J = static_cast<decltype(N)>(nextBelow(static_cast<uint64_t>(I) + 1));
+      using std::swap;
+      swap(First[I], First[J]);
+    }
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_PRNG_H

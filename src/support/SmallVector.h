@@ -1,0 +1,298 @@
+//===- support/SmallVector.h - Vector with inline storage -------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector that stores its first N elements inline, avoiding heap
+/// allocation for small sizes. Modeled on llvm::SmallVector; APIs follow
+/// std::vector. Pass SmallVectorImpl<T>& in interfaces so callers can pick
+/// any inline size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_SMALLVECTOR_H
+#define POCE_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace poce {
+
+/// Size-erased base of SmallVector. Holds the heap/inline buffer pointer and
+/// size/capacity bookkeeping; all mutation logic lives here so that code
+/// using SmallVectorImpl<T>& does not depend on the inline element count.
+template <typename T> class SmallVectorImpl {
+public:
+  using value_type = T;
+  using size_type = size_t;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using reference = T &;
+  using const_reference = const T &;
+
+  SmallVectorImpl(const SmallVectorImpl &) = delete;
+
+  iterator begin() { return Data; }
+  iterator end() { return Data + Size; }
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  size_t capacity() const { return Capacity; }
+  bool empty() const { return Size == 0; }
+
+  reference operator[](size_t I) {
+    assert(I < Size && "SmallVector index out of range!");
+    return Data[I];
+  }
+  const_reference operator[](size_t I) const {
+    assert(I < Size && "SmallVector index out of range!");
+    return Data[I];
+  }
+
+  reference front() {
+    assert(!empty() && "front() on empty SmallVector!");
+    return Data[0];
+  }
+  const_reference front() const {
+    assert(!empty() && "front() on empty SmallVector!");
+    return Data[0];
+  }
+  reference back() {
+    assert(!empty() && "back() on empty SmallVector!");
+    return Data[Size - 1];
+  }
+  const_reference back() const {
+    assert(!empty() && "back() on empty SmallVector!");
+    return Data[Size - 1];
+  }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+  void push_back(const T &V) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    new (Data + Size) T(V);
+    ++Size;
+  }
+  void push_back(T &&V) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    new (Data + Size) T(std::move(V));
+    ++Size;
+  }
+
+  template <typename... ArgTypes> reference emplace_back(ArgTypes &&...Args) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    new (Data + Size) T(std::forward<ArgTypes>(Args)...);
+    return Data[Size++];
+  }
+
+  void pop_back() {
+    assert(!empty() && "pop_back() on empty SmallVector!");
+    --Size;
+    Data[Size].~T();
+  }
+
+  /// Removes the last element and returns it by value.
+  T pop_back_val() {
+    T Result = std::move(back());
+    pop_back();
+    return Result;
+  }
+
+  void clear() {
+    destroyRange(Data, Data + Size);
+    Size = 0;
+  }
+
+  void resize(size_t N) {
+    if (N < Size) {
+      destroyRange(Data + N, Data + Size);
+    } else if (N > Size) {
+      if (N > Capacity)
+        grow(N);
+      for (size_t I = Size; I != N; ++I)
+        new (Data + I) T();
+    }
+    Size = N;
+  }
+
+  void resize(size_t N, const T &V) {
+    if (N < Size) {
+      destroyRange(Data + N, Data + Size);
+    } else if (N > Size) {
+      if (N > Capacity)
+        grow(N);
+      for (size_t I = Size; I != N; ++I)
+        new (Data + I) T(V);
+    }
+    Size = N;
+  }
+
+  void reserve(size_t N) {
+    if (N > Capacity)
+      grow(N);
+  }
+
+  void assign(size_t N, const T &V) {
+    clear();
+    resize(N, V);
+  }
+
+  template <typename It> void append(It First, It Last) {
+    size_t N = static_cast<size_t>(std::distance(First, Last));
+    reserve(Size + N);
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  void append(std::initializer_list<T> IL) { append(IL.begin(), IL.end()); }
+
+  /// Erases the element at \p Pos, shifting later elements down. Returns an
+  /// iterator to the element after the erased one.
+  iterator erase(iterator Pos) {
+    assert(Pos >= begin() && Pos < end() && "erase() out of range!");
+    std::move(Pos + 1, end(), Pos);
+    pop_back();
+    return Pos;
+  }
+
+  iterator erase(iterator First, iterator Last) {
+    assert(First >= begin() && Last <= end() && First <= Last &&
+           "erase() range invalid!");
+    iterator NewEnd = std::move(Last, end(), First);
+    destroyRange(NewEnd, end());
+    Size = static_cast<size_t>(NewEnd - begin());
+    return First;
+  }
+
+  iterator insert(iterator Pos, const T &V) {
+    size_t Idx = static_cast<size_t>(Pos - begin());
+    assert(Idx <= Size && "insert() out of range!");
+    push_back(V); // may reallocate; recompute Pos
+    std::rotate(begin() + Idx, end() - 1, end());
+    return begin() + Idx;
+  }
+
+  bool operator==(const SmallVectorImpl &RHS) const {
+    return Size == RHS.Size && std::equal(begin(), end(), RHS.begin());
+  }
+  bool operator!=(const SmallVectorImpl &RHS) const { return !(*this == RHS); }
+
+  SmallVectorImpl &operator=(const SmallVectorImpl &RHS) {
+    if (this == &RHS)
+      return *this;
+    clear();
+    append(RHS.begin(), RHS.end());
+    return *this;
+  }
+
+protected:
+  SmallVectorImpl(T *InlineData, size_t InlineCapacity)
+      : Data(InlineData), Size(0), Capacity(InlineCapacity),
+        InlineBuffer(InlineData) {}
+
+  ~SmallVectorImpl() {
+    destroyRange(Data, Data + Size);
+    if (!isInline())
+      std::free(Data);
+  }
+
+  bool isInline() const { return Data == InlineBuffer; }
+
+  void grow(size_t MinCapacity) {
+    size_t NewCapacity = std::max<size_t>(Capacity ? Capacity * 2 : 4,
+                                          MinCapacity);
+    T *NewData = static_cast<T *>(std::malloc(NewCapacity * sizeof(T)));
+    if (!NewData)
+      std::abort();
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (Size)
+        std::memcpy(static_cast<void *>(NewData), Data, Size * sizeof(T));
+    } else {
+      std::uninitialized_move(Data, Data + Size, NewData);
+      destroyRange(Data, Data + Size);
+    }
+    if (!isInline())
+      std::free(Data);
+    Data = NewData;
+    Capacity = NewCapacity;
+  }
+
+  static void destroyRange(T *First, T *Last) {
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      for (; First != Last; ++First)
+        First->~T();
+  }
+
+  T *Data;
+  size_t Size;
+  size_t Capacity;
+  T *InlineBuffer;
+};
+
+/// A vector holding up to \p N elements without heap allocation.
+template <typename T, unsigned N = 8>
+class SmallVector : public SmallVectorImpl<T> {
+public:
+  SmallVector() : SmallVectorImpl<T>(reinterpret_cast<T *>(Storage), N) {}
+
+  SmallVector(std::initializer_list<T> IL) : SmallVector() {
+    this->append(IL.begin(), IL.end());
+  }
+
+  SmallVector(const SmallVector &RHS) : SmallVector() {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(const SmallVectorImpl<T> &RHS) : SmallVector() {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(SmallVector &&RHS) : SmallVector() {
+    for (T &V : RHS)
+      this->push_back(std::move(V));
+    RHS.clear();
+  }
+
+  SmallVector &operator=(const SmallVector &RHS) {
+    SmallVectorImpl<T>::operator=(RHS);
+    return *this;
+  }
+
+  SmallVector &operator=(const SmallVectorImpl<T> &RHS) {
+    SmallVectorImpl<T>::operator=(RHS);
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&RHS) {
+    if (this == &RHS)
+      return *this;
+    this->clear();
+    for (T &V : RHS)
+      this->push_back(std::move(V));
+    RHS.clear();
+    return *this;
+  }
+
+private:
+  alignas(T) unsigned char Storage[sizeof(T) * N];
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_SMALLVECTOR_H

@@ -1,0 +1,34 @@
+//===- support/Statistic.cpp - Named counters -----------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+using namespace poce;
+
+// Head of the singly linked registry. Statistics are static-storage
+// objects whose constructors only link pointers, so registration order is
+// irrelevant and there is no destruction hazard.
+static Statistic *StatisticListHead = nullptr;
+
+Statistic::Statistic(const char *Component, const char *Description)
+    : Component(Component), Description(Description) {
+  Next = StatisticListHead;
+  StatisticListHead = this;
+}
+
+void poce::printAllStatistics(std::FILE *Out) {
+  std::fprintf(Out, "=== poce statistics ===\n");
+  for (Statistic *S = StatisticListHead; S; S = S->Next)
+    if (S->Value)
+      std::fprintf(Out, "%12llu %s - %s\n",
+                   static_cast<unsigned long long>(S->Value), S->Component,
+                   S->Description);
+}
+
+void poce::resetAllStatistics() {
+  for (Statistic *S = StatisticListHead; S; S = S->Next)
+    S->Value = 0;
+}

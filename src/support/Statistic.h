@@ -1,0 +1,64 @@
+//===- support/Statistic.h - Named counters ---------------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight named statistics counters in the spirit of llvm::Statistic.
+/// A Statistic registers itself in a global registry on first use; tools
+/// can dump all counters with printAllStatistics(). Counters are intended
+/// for single-threaded use, matching the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_STATISTIC_H
+#define POCE_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <cstdio>
+
+namespace poce {
+
+/// A named monotonic counter. Define one per interesting event:
+/// \code
+///   static Statistic NumCollapsed("setcon", "Variables collapsed");
+///   ++NumCollapsed;
+/// \endcode
+class Statistic {
+public:
+  Statistic(const char *Component, const char *Description);
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  uint64_t value() const { return Value; }
+  void reset() { Value = 0; }
+
+  const char *component() const { return Component; }
+  const char *description() const { return Description; }
+
+private:
+  friend void printAllStatistics(std::FILE *Out);
+  friend void resetAllStatistics();
+
+  const char *Component;
+  const char *Description;
+  uint64_t Value = 0;
+  Statistic *Next = nullptr;
+};
+
+/// Prints every registered counter to \p Out (default stderr).
+void printAllStatistics(std::FILE *Out = stderr);
+
+/// Zeroes every registered counter; used between benchmark runs.
+void resetAllStatistics();
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_STATISTIC_H

@@ -1,0 +1,32 @@
+//===- support/StringInterner.cpp - String uniquing -----------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace poce;
+
+uint32_t StringInterner::intern(std::string_view Str) {
+  auto It = Ids.find(std::string(Str));
+  if (It != Ids.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Strings.size());
+  auto [Inserted, IsNew] = Ids.emplace(std::string(Str), Id);
+  (void)IsNew;
+  Strings.push_back(&Inserted->first);
+  return Id;
+}
+
+uint32_t StringInterner::lookup(std::string_view Str) const {
+  auto It = Ids.find(std::string(Str));
+  return It == Ids.end() ? NotFound : It->second;
+}
+
+const std::string &StringInterner::str(uint32_t Id) const {
+  assert(Id < Strings.size() && "string id out of range!");
+  return *Strings[Id];
+}

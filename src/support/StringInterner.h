@@ -1,0 +1,49 @@
+//===- support/StringInterner.h - String uniquing ---------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense 32-bit ids with stable storage. Identifiers in
+/// MiniC sources and constructor names in the solver are compared by id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_STRINGINTERNER_H
+#define POCE_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace poce {
+
+/// Maps strings to dense ids and back. Ids are assigned in first-seen
+/// order, so interning the same sequence of strings always yields the same
+/// ids — important for reproducible experiments.
+class StringInterner {
+public:
+  /// Returns the id for \p Str, interning it if new.
+  uint32_t intern(std::string_view Str);
+
+  /// Returns the id for \p Str, or NotFound if it was never interned.
+  uint32_t lookup(std::string_view Str) const;
+
+  /// Returns the string for a previously returned id.
+  const std::string &str(uint32_t Id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(Strings.size()); }
+
+  static constexpr uint32_t NotFound = ~0U;
+
+private:
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::vector<const std::string *> Strings;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_STRINGINTERNER_H

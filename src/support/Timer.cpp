@@ -1,0 +1,9 @@
+//===- support/Timer.cpp - Wall-clock timing ------------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Header-only; this file anchors the translation unit for the library.

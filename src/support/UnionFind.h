@@ -1,0 +1,93 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set forest with path compression. Unlike the classic
+/// union-by-rank structure, the representative of a merged class is chosen
+/// by the *caller*: the constraint solver must keep the lowest-ordered
+/// variable of a collapsed cycle as the witness to preserve inductive form,
+/// so unite(Child, Parent) always makes Parent the representative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_UNIONFIND_H
+#define POCE_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace poce {
+
+/// Disjoint-set forest over dense uint32 ids with caller-chosen
+/// representatives.
+class UnionFind {
+public:
+  /// Adds a fresh singleton class and returns its id.
+  uint32_t makeSet() {
+    uint32_t Id = static_cast<uint32_t>(Parent.size());
+    Parent.push_back(Id);
+    return Id;
+  }
+
+  /// Grows the forest so ids [0, N) are valid singletons.
+  void growTo(uint32_t N) {
+    while (Parent.size() < N)
+      makeSet();
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Returns the representative of \p Id's class, compressing the path.
+  uint32_t find(uint32_t Id) {
+    assert(Id < Parent.size() && "find() id out of range!");
+    uint32_t Root = Id;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression.
+    while (Parent[Id] != Root) {
+      uint32_t Next = Parent[Id];
+      Parent[Id] = Root;
+      Id = Next;
+    }
+    return Root;
+  }
+
+  /// Returns the representative without mutating the forest.
+  uint32_t findConst(uint32_t Id) const {
+    assert(Id < Parent.size() && "findConst() id out of range!");
+    while (Parent[Id] != Id)
+      Id = Parent[Id];
+    return Id;
+  }
+
+  bool isRepresentative(uint32_t Id) const {
+    assert(Id < Parent.size() && "isRepresentative() id out of range!");
+    return Parent[Id] == Id;
+  }
+
+  /// Merges \p Child's class into \p Parent's class; the representative of
+  /// \p ParentId's class becomes the representative of the union. Both
+  /// arguments may be non-representatives. Returns false if the two ids
+  /// were already in the same class.
+  bool unite(uint32_t ChildId, uint32_t ParentId) {
+    uint32_t ChildRoot = find(ChildId);
+    uint32_t ParentRoot = find(ParentId);
+    if (ChildRoot == ParentRoot)
+      return false;
+    Parent[ChildRoot] = ParentRoot;
+    return true;
+  }
+
+  bool inSameSet(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_UNIONFIND_H

@@ -1,0 +1,48 @@
+//===- workload/RandomConstraints.cpp - Random constraint systems ---------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/RandomConstraints.h"
+
+using namespace poce;
+using namespace poce::workload;
+
+void poce::workload::emitRandomConstraints(const RandomConstraintShape &Shape,
+                                           ConstraintSolver &Solver) {
+  TermTable &Terms = Solver.terms();
+  ConstructorTable &Constructors = Terms.mutableConstructors();
+
+  std::vector<ExprId> Vars;
+  Vars.reserve(Shape.NumVars);
+  for (uint32_t I = 0; I != Shape.NumVars; ++I)
+    Vars.push_back(Terms.var(Solver.freshVar("X" + std::to_string(I))));
+
+  std::vector<ExprId> Sources;
+  Sources.reserve(Shape.NumSources);
+  for (uint32_t I = 0; I != Shape.NumSources; ++I)
+    Sources.push_back(
+        Terms.cons(Constructors.getOrCreate("src" + std::to_string(I), {}),
+                   {}));
+  std::vector<ExprId> Sinks;
+  Sinks.reserve(Shape.NumSinks);
+  for (uint32_t I = 0; I != Shape.NumSinks; ++I)
+    Sinks.push_back(
+        Terms.cons(Constructors.getOrCreate("snk" + std::to_string(I), {}),
+                   {}));
+
+  for (const auto &[From, To] : Shape.VarVar)
+    Solver.addConstraint(Vars[From], Vars[To]);
+  for (const auto &[Source, Var] : Shape.SourceVar)
+    Solver.addConstraint(Sources[Source], Vars[Var]);
+  for (const auto &[Var, Sink] : Shape.VarSink)
+    Solver.addConstraint(Vars[Var], Sinks[Sink]);
+}
+
+GeneratorFn
+poce::workload::makeRandomGenerator(const RandomConstraintShape &Shape) {
+  return [&Shape](ConstraintSolver &Solver) {
+    emitRandomConstraints(Shape, Solver);
+  };
+}

@@ -1,0 +1,38 @@
+//===- workload/RandomConstraints.h - Random constraint systems -*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feeds the random constraint systems of the analytical model (Section 5)
+/// into a solver: n variables, m constructed nodes split into sources and
+/// sinks, each legal edge present with probability p. Sources and sinks
+/// are distinct nullary constructors, so source-to-sink flows count as
+/// structural mismatches, mirroring the model's (c, c') edge additions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_WORKLOAD_RANDOMCONSTRAINTS_H
+#define POCE_WORKLOAD_RANDOMCONSTRAINTS_H
+
+#include "graph/RandomGraph.h"
+#include "setcon/ConstraintSolver.h"
+#include "setcon/Oracle.h"
+
+namespace poce {
+namespace workload {
+
+/// Emits \p Shape's constraints into \p Solver in a deterministic order
+/// (all variables first, then variable-variable, source-variable, and
+/// variable-sink constraints).
+void emitRandomConstraints(const RandomConstraintShape &Shape,
+                           ConstraintSolver &Solver);
+
+/// Generator adapter for buildOracle().
+GeneratorFn makeRandomGenerator(const RandomConstraintShape &Shape);
+
+} // namespace workload
+} // namespace poce
+
+#endif // POCE_WORKLOAD_RANDOMCONSTRAINTS_H

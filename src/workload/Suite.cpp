@@ -1,0 +1,70 @@
+//===- workload/Suite.cpp - Benchmark suite catalog -------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Suite.h"
+
+#include "andersen/Andersen.h"
+
+#include <algorithm>
+
+using namespace poce;
+using namespace poce::workload;
+
+namespace {
+struct SuiteEntry {
+  const char *Name;
+  uint32_t AstNodes; ///< The paper's Table 1 AST-node count (target size).
+};
+} // namespace
+
+// Names and sizes follow the paper's Table 1 (smallest to largest).
+static const SuiteEntry PaperSuite[] = {
+    {"allroots", 700},       {"diff.diffh", 935},
+    {"anagram", 1078},       {"genetic", 1412},
+    {"ks", 2284},            {"ul", 2395},
+    {"ft", 3027},            {"compress", 3333},
+    {"ratfor", 5269},        {"compiler", 5326},
+    {"assembler", 6516},     {"ML-typecheck", 6752},
+    {"eqntott", 8117},       {"simulator", 10946},
+    {"less-177", 15179},     {"li", 16828},
+    {"flex-2.4.7", 19056},   {"pmake", 31148},
+    {"make-3.72.1", 36892},  {"inform-5.5", 38874},
+    {"tar-1.11.2", 41035},   {"sgmls-1.1", 44533},
+    {"screen-3.5.2", 49292}, {"cvs-1.3", 51223},
+    {"espresso", 56938},     {"gawk-3.0.3", 71140},
+    {"povray-2.2", 87391},
+};
+
+std::vector<ProgramSpec> poce::workload::paperSuite(double Scale,
+                                                    uint32_t MaxAstNodes) {
+  std::vector<ProgramSpec> Specs;
+  uint64_t Seed = 0x706f6365'00000001ULL;
+  for (const SuiteEntry &Entry : PaperSuite) {
+    uint32_t Target =
+        static_cast<uint32_t>(std::max(1.0, Entry.AstNodes * Scale));
+    if (MaxAstNodes && Target > MaxAstNodes)
+      continue;
+    ProgramSpec Spec;
+    Spec.Name = Entry.Name;
+    Spec.TargetAstNodes = Target;
+    Spec.Seed = Seed++;
+    Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}
+
+std::unique_ptr<PreparedProgram>
+poce::workload::prepareProgram(const ProgramSpec &Spec) {
+  auto Prepared = std::make_unique<PreparedProgram>();
+  Prepared->Spec = Spec;
+  Prepared->Source = generateProgram(Spec);
+  Prepared->Lines = static_cast<uint32_t>(
+      std::count(Prepared->Source.begin(), Prepared->Source.end(), '\n'));
+  Prepared->Ok = andersen::parseSource(Prepared->Source, Prepared->Unit,
+                                       &Prepared->Errors, Spec.Name);
+  Prepared->AstNodes = Prepared->Unit.numNodes();
+  return Prepared;
+}

@@ -1,0 +1,484 @@
+//===- tests/andersen_test.cpp - Points-to analysis unit tests -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Andersen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace poce;
+using namespace poce::andersen;
+
+namespace {
+
+/// Runs the analysis (IF-Online by default) and exposes points-to sets.
+struct Analyzed {
+  minic::TranslationUnit Unit;
+  ConstructorTable Constructors;
+  AnalysisResult Result;
+  bool Ok = false;
+
+  std::set<std::string> pts(const std::string &Name) const {
+    auto Targets = Result.pointsTo(Name);
+    return std::set<std::string>(Targets.begin(), Targets.end());
+  }
+  bool pointsToItselfOnly(const std::string &Name) const {
+    return pts(Name) == std::set<std::string>{Name};
+  }
+};
+
+std::unique_ptr<Analyzed>
+analyze(const std::string &Source,
+        SolverOptions Options = makeConfig(GraphForm::Inductive,
+                                           CycleElim::Online)) {
+  auto A = std::make_unique<Analyzed>();
+  std::vector<std::string> Errors;
+  A->Ok = parseSource(Source, A->Unit, &Errors);
+  EXPECT_TRUE(A->Ok) << (Errors.empty() ? "?" : Errors[0]);
+  if (A->Ok)
+    A->Result = runAnalysis(A->Unit, A->Constructors, Options);
+  return A;
+}
+
+using Set = std::set<std::string>;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Core assignment forms
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, AddressOfAndCopy) {
+  auto A = analyze("int x, y;\n"
+                   "int *p, *q;\n"
+                   "int main(void) { p = &x; q = p; p = &y; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+  // Flow-insensitive: q sees everything p ever holds.
+  EXPECT_EQ(A->pts("q"), (Set{"x", "y"}));
+  EXPECT_TRUE(A->pts("x").empty());
+}
+
+TEST(AndersenTest, StoreThroughPointer) {
+  auto A = analyze("int x; int *p; int **pp;\n"
+                   "int main(void) { pp = &p; *pp = &x; return 0; }");
+  EXPECT_EQ(A->pts("pp"), (Set{"p"}));
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+}
+
+TEST(AndersenTest, LoadThroughPointer) {
+  auto A = analyze("int x; int *p, *q; int **pp;\n"
+                   "int main(void) { p = &x; pp = &p; q = *pp; return 0; }");
+  EXPECT_EQ(A->pts("q"), (Set{"x"}));
+}
+
+TEST(AndersenTest, PaperFigure5Example) {
+  // Figure 5 of the paper: a = &b; a = &c; b = &d; with b,c,d locations.
+  auto A = analyze("int d; int *b, *c; int **a;\n"
+                   "int main(void) { a = &b; a = &c; b = &d; return 0; }");
+  EXPECT_EQ(A->pts("a"), (Set{"b", "c"}));
+  EXPECT_EQ(A->pts("b"), (Set{"d"}));
+  EXPECT_TRUE(A->pts("c").empty());
+}
+
+TEST(AndersenTest, DerefOnLeftAffectsAllTargets) {
+  auto A = analyze("int x, y, z; int *p; int **pp;\n"
+                   "int main(void) { pp = &p; p = &x; p = &y;\n"
+                   "  *pp = &z; return 0; }");
+  // *pp writes into p.
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y", "z"}));
+}
+
+TEST(AndersenTest, CompoundAndChainedAssignment) {
+  auto A = analyze("int x; int *p, *q, *r;\n"
+                   "int main(void) { p = &x; q = r = p; return 0; }");
+  EXPECT_EQ(A->pts("q"), (Set{"x"}));
+  EXPECT_EQ(A->pts("r"), (Set{"x"}));
+}
+
+TEST(AndersenTest, ConditionalExpressionMergesBothArms) {
+  auto A = analyze("int x, y, c; int *p;\n"
+                   "int main(void) { p = c ? &x : &y; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+}
+
+TEST(AndersenTest, CastsArePassThrough) {
+  auto A = analyze("int x; char *p; int *q;\n"
+                   "int main(void) { p = (char *)&x; q = (int *)p; "
+                   "return 0; }");
+  EXPECT_EQ(A->pts("q"), (Set{"x"}));
+}
+
+TEST(AndersenTest, PointerArithmeticPreservesTargets) {
+  auto A = analyze("int a[10]; int *p, *q;\n"
+                   "int main(void) { p = a; q = p + 3; return 0; }");
+  EXPECT_EQ(A->pts("q"), (Set{"a"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Locals, scopes, parameters
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, LocalsAreQualifiedByFunction) {
+  auto A = analyze("int *f(void) { int local; return &local; }\n"
+                   "int *g(void) { int local; return &local; }\n"
+                   "int *p, *q;\n"
+                   "int main(void) { p = f(); q = g(); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"f.local"}));
+  EXPECT_EQ(A->pts("q"), (Set{"g.local"}));
+}
+
+TEST(AndersenTest, BlockScopeShadowing) {
+  auto A = analyze("int x;\n"
+                   "int *p, *q;\n"
+                   "int main(void) {\n"
+                   "  int y;\n"
+                   "  p = &y;\n"
+                   "  { int y; q = &y; }\n"
+                   "  return 0;\n"
+                   "}");
+  Set P = A->pts("p"), Q = A->pts("q");
+  ASSERT_EQ(P.size(), 1u);
+  ASSERT_EQ(Q.size(), 1u);
+  EXPECT_NE(*P.begin(), *Q.begin()); // Distinct shadowed locations.
+}
+
+TEST(AndersenTest, ParametersReceiveArguments) {
+  auto A = analyze("int x, y;\n"
+                   "void f(int *p) { }\n"
+                   "int main(void) { f(&x); f(&y); return 0; }");
+  EXPECT_EQ(A->pts("f.p"), (Set{"x", "y"}));
+}
+
+TEST(AndersenTest, ReturnValuesFlowToCallers) {
+  auto A = analyze("int x;\n"
+                   "int *id(int *p) { return p; }\n"
+                   "int *q;\n"
+                   "int main(void) { q = id(&x); return 0; }");
+  EXPECT_EQ(A->pts("q"), (Set{"x"}));
+}
+
+TEST(AndersenTest, SwapThroughDoublePointers) {
+  auto A = analyze(
+      "int x, y; int *p, *q;\n"
+      "void swap(int **a, int **b) { int *t = *a; *a = *b; *b = t; }\n"
+      "int main(void) { p = &x; q = &y; swap(&p, &q); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+  EXPECT_EQ(A->pts("q"), (Set{"x", "y"}));
+}
+
+TEST(AndersenTest, RecursionThroughParameters) {
+  auto A = analyze("int x, y;\n"
+                   "int *walk(int *p, int *d) {\n"
+                   "  if (x) { return walk(d, p); }\n"
+                   "  return p;\n"
+                   "}\n"
+                   "int *r;\n"
+                   "int main(void) { r = walk(&x, &y); return 0; }");
+  EXPECT_EQ(A->pts("r"), (Set{"x", "y"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Function pointers
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, FunctionPointerAssignmentAndCall) {
+  auto A = analyze("int x;\n"
+                   "int *f(int *p) { return p; }\n"
+                   "int *(*fp)(int *);\n"
+                   "int *r;\n"
+                   "int main(void) { fp = f; r = fp(&x); return 0; }");
+  EXPECT_EQ(A->pts("fp"), (Set{"f"}));
+  EXPECT_EQ(A->pts("r"), (Set{"x"}));
+  EXPECT_EQ(A->pts("f.p"), (Set{"x"}));
+}
+
+TEST(AndersenTest, CallThroughExplicitDeref) {
+  auto A = analyze("int x;\n"
+                   "int *f(int *p) { return p; }\n"
+                   "int *(*fp)(int *);\n"
+                   "int *r;\n"
+                   "int main(void) { fp = &f; r = (*fp)(&x); return 0; }");
+  EXPECT_EQ(A->pts("r"), (Set{"x"}));
+}
+
+TEST(AndersenTest, DispatchOverFunctionTable) {
+  auto A = analyze("int x, y;\n"
+                   "int *fa(int *p) { return p; }\n"
+                   "int *fb(int *p) { return &y; }\n"
+                   "int *(*table[2])(int *);\n"
+                   "int *r;\n"
+                   "int main(void) {\n"
+                   "  table[0] = fa; table[1] = fb;\n"
+                   "  r = table[x](&x);\n"
+                   "  return 0;\n"
+                   "}");
+  EXPECT_EQ(A->pts("r"), (Set{"x", "y"}));
+  EXPECT_EQ(A->pts("fa.p"), (Set{"x"}));
+}
+
+TEST(AndersenTest, ArityMismatchedCallIsIgnoredNotCrashing) {
+  auto A = analyze("int x;\n"
+                   "int *f(int *p) { return p; }\n"
+                   "int *(*fp)(int *);\n"
+                   "int *r;\n"
+                   "int main(void) { fp = f; r = fp(&x, &x); return 0; }");
+  // Wrong arity: the call binds nothing (ill-typed C); no crash, and the
+  // mismatch is counted.
+  EXPECT_TRUE(A->pts("r").empty());
+  EXPECT_GT(A->Result.Stats.Mismatches, 0u);
+}
+
+TEST(AndersenTest, CallingExternalUnknownFunctionIsSafe) {
+  auto A = analyze("int x; int *p;\n"
+                   "int main(void) { unknownfn(&x); p = &x; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Heap, arrays, strings, structs
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, MallocSitesAreDistinct) {
+  auto A = analyze("extern void *malloc(unsigned long);\n"
+                   "int *p, *q;\n"
+                   "int main(void) {\n"
+                   "  p = (int *)malloc(4);\n"
+                   "  q = (int *)malloc(4);\n"
+                   "  return 0;\n"
+                   "}");
+  ASSERT_EQ(A->pts("p").size(), 1u);
+  ASSERT_EQ(A->pts("q").size(), 1u);
+  EXPECT_NE(*A->pts("p").begin(), *A->pts("q").begin());
+  EXPECT_EQ(A->pts("p").begin()->rfind("heap@", 0), 0u);
+}
+
+TEST(AndersenTest, ArrayDecayAndIndexing) {
+  auto A = analyze("int a[8]; int *p; int x;\n"
+                   "int main(void) { p = a; a[0] = x; p[1] = x; "
+                   "return 0; }");
+  Set P = A->pts("p");
+  EXPECT_TRUE(P.count("a"));
+}
+
+TEST(AndersenTest, PointerStoredInArray) {
+  auto A = analyze("int x; int *a[4]; int *q;\n"
+                   "int main(void) { a[0] = &x; q = a[1]; return 0; }");
+  // Field-insensitive array: any element read sees any element written.
+  EXPECT_TRUE(A->pts("q").count("x"));
+}
+
+TEST(AndersenTest, StringLiteralsAreLocations) {
+  auto A = analyze("char *s, *t;\n"
+                   "int main(void) { s = \"hello\"; t = s; return 0; }");
+  ASSERT_EQ(A->pts("s").size(), 1u);
+  EXPECT_EQ(A->pts("s").begin()->rfind("str@", 0), 0u);
+  EXPECT_EQ(A->pts("t"), A->pts("s"));
+}
+
+TEST(AndersenTest, StructFieldInsensitive) {
+  auto A = analyze("struct pair { int *a; int *b; };\n"
+                   "int x; struct pair g; int *q;\n"
+                   "int main(void) { g.a = &x; q = g.b; return 0; }");
+  // Field-insensitive: reading .b sees what was written to .a.
+  EXPECT_EQ(A->pts("q"), (Set{"x"}));
+}
+
+TEST(AndersenTest, LinkedListThroughArrow) {
+  auto A = analyze(
+      "extern void *malloc(unsigned long);\n"
+      "struct node { struct node *next; int *data; };\n"
+      "int x;\n"
+      "struct node *head;\n"
+      "int *r;\n"
+      "int main(void) {\n"
+      "  struct node *n = (struct node *)malloc(16);\n"
+      "  n->data = &x;\n"
+      "  n->next = head;\n"
+      "  head = n;\n"
+      "  r = head->data;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(A->pts("r").count("x"));
+  EXPECT_FALSE(A->pts("head").empty());
+}
+
+TEST(AndersenTest, GlobalInitializers) {
+  auto A = analyze("int x, y;\n"
+                   "int *p = &x;\n"
+                   "int *arr[2] = {&x, &y};\n"
+                   "int *q;\n"
+                   "int main(void) { q = arr[0]; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+  // Field-insensitive arrays conflate the array's decay value with its
+  // contents, so the (sound) result may include the array itself.
+  EXPECT_TRUE(A->pts("q").count("x"));
+  EXPECT_TRUE(A->pts("q").count("y"));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics and modes
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, StatsArePopulated) {
+  auto A = analyze("int x; int *p; int main(void) { p = &x; return 0; }");
+  EXPECT_GT(A->Result.Stats.VarsCreated, 0u);
+  EXPECT_GT(A->Result.Stats.Work, 0u);
+  EXPECT_GT(A->Result.FinalEdges, 0u);
+  EXPECT_GT(A->Result.NumLocations, 2u);
+  EXPECT_GE(A->Result.AnalysisSeconds, 0.0);
+}
+
+TEST(AndersenTest, CyclicCopyChainCollapsesUnderIFOnline) {
+  auto A = analyze("int x; int *a, *b, *c;\n"
+                   "int main(void) { a = &x; b = a; c = b; a = c; "
+                   "return 0; }");
+  EXPECT_GE(A->Result.Stats.VarsEliminated, 1u);
+  EXPECT_EQ(A->pts("a"), (Set{"x"}));
+  EXPECT_EQ(A->pts("b"), (Set{"x"}));
+  EXPECT_EQ(A->pts("c"), (Set{"x"}));
+}
+
+TEST(AndersenTest, SameResultsWithoutExtraction) {
+  minic::TranslationUnit Unit;
+  ASSERT_TRUE(parseSource("int x; int *p;\n"
+                          "int main(void) { p = &x; return 0; }",
+                          Unit));
+  ConstructorTable Constructors;
+  AnalysisResult R =
+      runAnalysis(Unit, Constructors,
+                  makeConfig(GraphForm::Inductive, CycleElim::Online),
+                  nullptr, /*ExtractPointsTo=*/false);
+  EXPECT_TRUE(R.PointsTo.empty());
+  EXPECT_GT(R.Stats.Work, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression corner cases (exercising the copy short-circuits)
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenTest, DoubleDereference) {
+  auto A = analyze("int x; int *p; int **pp; int ***ppp; int *r;\n"
+                   "int main(void) { p = &x; pp = &p; ppp = &pp;\n"
+                   "  r = **ppp; return 0; }");
+  EXPECT_EQ(A->pts("r"), (Set{"x"}));
+}
+
+TEST(AndersenTest, AddressOfArrayElement) {
+  auto A = analyze("int a[4]; int *p;\n"
+                   "int main(void) { p = &a[2]; return 0; }");
+  EXPECT_TRUE(A->pts("p").count("a"));
+}
+
+TEST(AndersenTest, CompoundAssignmentKeepsPointees) {
+  auto A = analyze("int a[8]; int *p;\n"
+                   "int main(void) { p = a; p += 3; p -= 1; return 0; }");
+  EXPECT_TRUE(A->pts("p").count("a"));
+}
+
+TEST(AndersenTest, CommaOperatorYieldsRightOperand) {
+  auto A = analyze("int x, y; int *p;\n"
+                   "int main(void) { p = (x, &y) ; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"y"}));
+}
+
+TEST(AndersenTest, ConditionalOfCalls) {
+  auto A = analyze("int x, y;\n"
+                   "int *fx(void) { return &x; }\n"
+                   "int *fy(void) { return &y; }\n"
+                   "int *p;\n"
+                   "int main(void) { p = x ? fx() : fy(); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+}
+
+TEST(AndersenTest, FunctionReturningFunctionPointer) {
+  auto A = analyze("int x;\n"
+                   "int *id(int *p) { return p; }\n"
+                   "int *(*get(void))(int *) { return id; }\n"
+                   "int *r;\n"
+                   "int main(void) { r = (get())(&x); return 0; }");
+  EXPECT_EQ(A->pts("r"), (Set{"x"}));
+}
+
+TEST(AndersenTest, CallbackStoredInStruct) {
+  auto A = analyze(
+      "extern void *malloc(unsigned long);\n"
+      "typedef void (*cb_t)(int *);\n"
+      "struct widget { cb_t on_event; int *state; };\n"
+      "int hits;\n"
+      "void bump(int *s) { *s = *s + 1; }\n"
+      "int main(void) {\n"
+      "  struct widget *w = (struct widget *)malloc(16);\n"
+      "  w->on_event = bump;\n"
+      "  w->state = &hits;\n"
+      "  w->on_event(w->state);\n"
+      "  return 0;\n"
+      "}");
+  // The field-insensitive struct still routes the callback: bump's
+  // parameter sees &hits.
+  EXPECT_TRUE(A->pts("bump.s").count("hits"));
+}
+
+TEST(AndersenTest, ForScopeIsSeparate) {
+  auto A = analyze("int *p, *q;\n"
+                   "int main(void) {\n"
+                   "  for (int i = 0; i < 1; i++) { p = (int *)&i; }\n"
+                   "  for (int i = 0; i < 1; i++) { q = (int *)&i; }\n"
+                   "  return 0;\n"
+                   "}");
+  Set P = A->pts("p"), Q = A->pts("q");
+  ASSERT_EQ(P.size(), 1u);
+  ASSERT_EQ(Q.size(), 1u);
+  EXPECT_NE(*P.begin(), *Q.begin()); // Distinct loop-scoped locations.
+}
+
+TEST(AndersenTest, NestedBraceInitializers) {
+  auto A = analyze("int x, y;\n"
+                   "struct pair { int *a; int *b; };\n"
+                   "struct pair g[2] = {{&x, 0}, {0, &y}};\n"
+                   "int *r;\n"
+                   "int main(void) { r = g[0].a; return 0; }");
+  EXPECT_TRUE(A->pts("r").count("x"));
+  EXPECT_TRUE(A->pts("r").count("y")); // Field- and index-insensitive.
+}
+
+TEST(AndersenTest, ImplicitIntFunction) {
+  auto A = analyze("int x; int *p;\n"
+                   "static setp(int *v) { p = v; }\n"
+                   "int main(void) { setp(&x); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+}
+
+TEST(AndersenTest, AssignmentResultIsAssignable) {
+  // x = (p = &a) reads the assignment's value (the L-value set of p).
+  auto A = analyze("int a; int *p, *q;\n"
+                   "int main(void) { q = (p = &a); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"a"}));
+  EXPECT_EQ(A->pts("q"), (Set{"a"}));
+}
+
+TEST(AndersenTest, StringLiteralArgument) {
+  auto A = analyze("char *keep(char *s) { return s; }\n"
+                   "char *r;\n"
+                   "int main(void) { r = keep(\"lit\"); return 0; }");
+  ASSERT_EQ(A->pts("r").size(), 1u);
+  EXPECT_EQ(A->pts("r").begin()->rfind("str@", 0), 0u);
+}
+
+TEST(AndersenTest, SelfAssignmentIsHarmless) {
+  auto A = analyze("int x; int *p;\n"
+                   "int main(void) { p = &x; p = p; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+}
+
+TEST(AndersenTest, TakingAddressOfFunctionParameter) {
+  auto A = analyze("int **out;\n"
+                   "void capture(int *p) { out = &p; }\n"
+                   "int x;\n"
+                   "int main(void) { capture(&x); return 0; }");
+  EXPECT_EQ(A->pts("out"), (Set{"capture.p"}));
+  EXPECT_EQ(A->pts("capture.p"), (Set{"x"}));
+}

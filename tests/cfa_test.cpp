@@ -1,0 +1,226 @@
+//===- tests/cfa_test.cpp - Closure analysis unit tests --------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfa/ClosureAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace poce;
+using namespace poce::cfa;
+
+namespace {
+
+struct Analyzed {
+  LambdaProgram Program;
+  ConstructorTable Constructors;
+  CFAResult Result;
+  bool Ok = false;
+};
+
+std::unique_ptr<Analyzed>
+analyze(const std::string &Source,
+        SolverOptions Options = makeConfig(GraphForm::Inductive,
+                                           CycleElim::Online)) {
+  auto A = std::make_unique<Analyzed>();
+  std::string Error;
+  A->Ok = A->Program.parse(Source, &Error);
+  EXPECT_TRUE(A->Ok) << Error;
+  if (A->Ok)
+    A->Result = runClosureAnalysis(A->Program, A->Constructors, Options);
+  return A;
+}
+
+using Labels = std::vector<uint32_t>;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaParserTest, BasicForms) {
+  LambdaProgram P;
+  EXPECT_TRUE(P.parse("\\x. x"));
+  EXPECT_EQ(P.numLambdas(), 1u);
+  EXPECT_TRUE(P.parse("fun x -> x x"));
+  EXPECT_EQ(P.numAppSites(), 1u);
+  EXPECT_TRUE(P.parse("let f = \\x. x in f f"));
+  EXPECT_TRUE(P.parse("let rec f = \\x. f x in f"));
+  EXPECT_TRUE(P.parse("if0 1 then \\x. x else \\y. y"));
+  EXPECT_TRUE(P.parse("1 + 2 - 3"));
+  EXPECT_TRUE(P.parse("(\\x. x) (\\y. y)"));
+  EXPECT_TRUE(P.parse("-- comment\n42"));
+}
+
+TEST(LambdaParserTest, ApplicationIsLeftAssociativeAndTight) {
+  LambdaProgram P;
+  // f a b parses as (f a) b: two app sites.
+  ASSERT_TRUE(P.parse("let f = \\x. \\y. x in f f f"));
+  EXPECT_EQ(P.numAppSites(), 2u);
+  // f 1 + g 2: applications bind tighter than '+'.
+  ASSERT_TRUE(P.parse("let f = \\x. x in f 1 + f 2"));
+  EXPECT_EQ(P.numAppSites(), 2u);
+}
+
+TEST(LambdaParserTest, Errors) {
+  LambdaProgram P;
+  std::string Error;
+  EXPECT_FALSE(P.parse("let x = in x", &Error));
+  EXPECT_FALSE(P.parse("\\", &Error));
+  EXPECT_FALSE(P.parse("(1", &Error));
+  EXPECT_FALSE(P.parse("1 2 extra )", &Error));
+  EXPECT_FALSE(P.parse("let in = 3 in in", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(LambdaParserTest, LabelsAreSourceOrdered) {
+  LambdaProgram P;
+  ASSERT_TRUE(P.parse("(\\a. a) (\\b. b)"));
+  EXPECT_EQ(P.numLambdas(), 2u);
+  EXPECT_EQ(P.numAppSites(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+TEST(CFATest, IdentityApplication) {
+  // (\a. a) (\b. b): the only call site applies L0.
+  auto A = analyze("(\\a. a) (\\b. b)");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{0}));
+}
+
+TEST(CFATest, LetBoundClosure) {
+  auto A = analyze("let f = \\x. x in f 1");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{0}));
+}
+
+TEST(CFATest, HigherOrderFlowsThroughParameter) {
+  // apply = \f. f 0 ; apply id: the inner site f 0 applies id (L1).
+  auto A = analyze("let apply = \\f. f 0 in apply (\\y. y)");
+  // Site ids in source order: "f 0" is site 0, "apply (\y.y)" is site 1.
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{1}));
+  EXPECT_EQ(A->Result.targetsOf(1), (Labels{0}));
+}
+
+TEST(CFATest, MonovarianceMergesCallers) {
+  // 0CFA is monovariant: both uses of apply merge in f.
+  auto A = analyze("let apply = \\f. f 0 in\n"
+                   "let r1 = apply (\\a. a) in\n"
+                   "let r2 = apply (\\b. b) in r1");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{1, 2}));
+}
+
+TEST(CFATest, ConditionalMergesBranches) {
+  auto A = analyze("(if0 1 then \\a. a else \\b. b) 7");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{0, 1}));
+}
+
+TEST(CFATest, RecursionCreatesCyclesAndStillSolves) {
+  auto A = analyze("let rec loop = \\f. if0 f 0 then f else loop f in\n"
+                   "loop (\\x. x)");
+  // "f 0" applies the argument closure; "loop f" and "loop (\x.x)" apply
+  // the recursive binding (L0).
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{1}));
+  EXPECT_EQ(A->Result.targetsOf(1), (Labels{0}));
+  EXPECT_EQ(A->Result.targetsOf(2), (Labels{0}));
+}
+
+TEST(CFATest, SelfApplicationOmega) {
+  // (\x. x x) (\y. y y): sites in preorder are the outer application
+  // (site 0), "x x" (site 1), and "y y" (site 2). The outer site applies
+  // L0; x and y are both bound to L1, so the inner sites apply L1 — and
+  // the analysis terminates despite the self-application.
+  auto A = analyze("(\\x. x x) (\\y. y y)");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{0}));
+  EXPECT_EQ(A->Result.targetsOf(1), (Labels{1}));
+  EXPECT_EQ(A->Result.targetsOf(2), (Labels{1}));
+}
+
+TEST(CFATest, NumbersCarryNoClosures) {
+  auto A = analyze("let f = \\x. x in (f 1) 2");
+  // Preorder sites: "(f 1) 2" is site 0, "f 1" is site 1. The inner call
+  // applies f; the outer applies whatever f returns — its argument, the
+  // number 1 — so no closures reach it.
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{}));
+  EXPECT_EQ(A->Result.targetsOf(1), (Labels{0}));
+}
+
+TEST(CFATest, UnboundVariablesReported) {
+  auto A = analyze("ghost 1");
+  ASSERT_EQ(A->Result.UnboundVariables.size(), 1u);
+  EXPECT_EQ(A->Result.UnboundVariables[0], "ghost");
+  EXPECT_EQ(A->Result.targetsOf(0), (Labels{}));
+}
+
+TEST(CFATest, LetNonRecDoesNotSeeItself) {
+  // Non-recursive let: the bound expression's 'f' is unbound.
+  auto A = analyze("let f = \\x. f x in f");
+  EXPECT_EQ(A->Result.UnboundVariables.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration equivalence and cycle statistics
+//===----------------------------------------------------------------------===//
+
+class CFAEquivalenceTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(CFAEquivalenceTest, AllConfigsAgreeOnSyntheticPrograms) {
+  std::string Source = generateLambdaProgram(GetParam(), GetParam() * 11);
+  LambdaProgram Program;
+  std::string Error;
+  ASSERT_TRUE(Program.parse(Source, &Error)) << Error << "\n" << Source;
+
+  ConstructorTable Constructors;
+  SolverOptions Base = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  Oracle O = buildOracle(makeGenerator(Program), Constructors, Base);
+
+  const std::pair<GraphForm, CycleElim> Configs[] = {
+      {GraphForm::Standard, CycleElim::None},
+      {GraphForm::Inductive, CycleElim::None},
+      {GraphForm::Standard, CycleElim::Online},
+      {GraphForm::Inductive, CycleElim::Online},
+      {GraphForm::Standard, CycleElim::Oracle},
+      {GraphForm::Inductive, CycleElim::Oracle},
+      {GraphForm::Inductive, CycleElim::Periodic},
+  };
+  std::map<uint32_t, std::vector<uint32_t>> Reference;
+  bool HaveReference = false;
+  for (auto [Form, Elim] : Configs) {
+    CFAResult Result = runClosureAnalysis(
+        Program, Constructors, makeConfig(Form, Elim),
+        Elim == CycleElim::Oracle ? &O : nullptr);
+    if (!HaveReference) {
+      Reference = std::move(Result.CallTargets);
+      HaveReference = true;
+    } else {
+      EXPECT_EQ(Result.CallTargets, Reference)
+          << makeConfig(Form, Elim).configName();
+    }
+  }
+  EXPECT_FALSE(Reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CFAEquivalenceTest,
+                         testing::Values(2u, 8u, 25u),
+                         [](const auto &Info) {
+                           return "groups" + std::to_string(Info.param);
+                         });
+
+TEST(CFATest, RecursiveWorkloadsHaveCycles) {
+  std::string Source = generateLambdaProgram(20, 7);
+  LambdaProgram Program;
+  ASSERT_TRUE(Program.parse(Source));
+  ConstructorTable Constructors;
+  CFAResult Online = runClosureAnalysis(
+      Program, Constructors, makeConfig(GraphForm::Inductive,
+                                        CycleElim::Online));
+  EXPECT_GT(Online.Stats.VarsEliminated, 0u);
+  CFAResult Plain = runClosureAnalysis(
+      Program, Constructors, makeConfig(GraphForm::Inductive,
+                                        CycleElim::None));
+  EXPECT_LE(Online.Stats.Work, Plain.Stats.Work);
+}

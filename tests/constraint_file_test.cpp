@@ -1,0 +1,171 @@
+//===- tests/constraint_file_test.cpp - .scs format unit tests -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/ConstraintFile.h"
+#include "setcon/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace poce;
+
+namespace {
+
+const char *const SwapSystem = "cons ref + + -\n"
+                               "cons nx\n"
+                               "cons ny\n"
+                               "var X Y P Q T\n"
+                               "ref(nx, X, X) <= P\n"
+                               "ref(ny, Y, Y) <= Q\n"
+                               "P <= T\n"
+                               "Q <= P\n"
+                               "T <= Q\n";
+
+std::vector<std::string> solve(const ConstraintSystemFile &System,
+                               SolverOptions Options,
+                               const std::string &VarName,
+                               const Oracle *O = nullptr,
+                               SolverStats *StatsOut = nullptr) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConstraintSolver Solver(Terms, Options, O);
+  System.emit(Solver);
+  Solver.finalize();
+  if (StatsOut)
+    *StatsOut = Solver.stats();
+  VarId Var = Solver.varOfCreation(System.varIndex(VarName));
+  std::vector<std::string> Out;
+  for (ExprId Term : Solver.leastSolution(Var))
+    Out.push_back(Solver.exprStr(Term));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(ConstraintFileTest, ParsesDeclarationsAndConstraints) {
+  ConstraintSystemFile System;
+  std::string Error;
+  ASSERT_TRUE(System.parse(SwapSystem, &Error)) << Error;
+  EXPECT_EQ(System.varNames().size(), 5u);
+  EXPECT_EQ(System.numConstraints(), 5u);
+  EXPECT_EQ(System.varIndex("P"), 2u);
+  EXPECT_EQ(System.varIndex("nope"), ConstraintSystemFile::NotFound);
+}
+
+TEST(ConstraintFileTest, SolvesTheSwapSystem) {
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.parse(SwapSystem));
+  // After the copy cycle, both pointers hold both locations.
+  for (const char *Var : {"P", "Q", "T"}) {
+    auto LS = solve(System, makeConfig(GraphForm::Inductive,
+                                       CycleElim::Online),
+                    Var);
+    ASSERT_EQ(LS.size(), 2u) << Var;
+    EXPECT_NE(LS[0].find("nx"), std::string::npos);
+    EXPECT_NE(LS[1].find("ny"), std::string::npos);
+  }
+  // The cycle collapses.
+  SolverStats Stats;
+  solve(System, makeConfig(GraphForm::Inductive, CycleElim::Online), "P",
+        nullptr, &Stats);
+  EXPECT_GE(Stats.VarsEliminated, 1u);
+}
+
+TEST(ConstraintFileTest, AllConfigsAgree) {
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.parse(SwapSystem));
+  ConstructorTable Constructors;
+  SolverOptions Base = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  Oracle O = buildOracle(System.generator(), Constructors, Base);
+  auto Reference =
+      solve(System, makeConfig(GraphForm::Standard, CycleElim::None), "Q");
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive})
+    for (CycleElim Elim : {CycleElim::Online, CycleElim::Oracle,
+                           CycleElim::Periodic})
+      EXPECT_EQ(solve(System, makeConfig(Form, Elim), "Q",
+                      Elim == CycleElim::Oracle ? &O : nullptr),
+                Reference)
+          << makeConfig(Form, Elim).configName();
+}
+
+TEST(ConstraintFileTest, RoundTripThroughWriter) {
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.parse(SwapSystem));
+  std::string Printed = System.str();
+  ConstraintSystemFile Reparsed;
+  std::string Error;
+  ASSERT_TRUE(Reparsed.parse(Printed, &Error)) << Error << "\n" << Printed;
+  EXPECT_EQ(Reparsed.str(), Printed);
+  EXPECT_EQ(solve(System, makeConfig(GraphForm::Inductive,
+                                     CycleElim::Online),
+                  "P"),
+            solve(Reparsed, makeConfig(GraphForm::Inductive,
+                                       CycleElim::Online),
+                  "P"));
+}
+
+TEST(ConstraintFileTest, CommentsAndBlankLines) {
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.parse("# leading comment\n"
+                           "\n"
+                           "var X   # trailing comment\n"
+                           "cons a  # nullary\n"
+                           "a <= X  # constraint\n"));
+  EXPECT_EQ(System.numConstraints(), 1u);
+}
+
+TEST(ConstraintFileTest, ZeroAndOneConstants) {
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.parse("var X\ncons c +\n"
+                           "0 <= X\nX <= 1\nc(1) <= X\nc(0) <= X\n"));
+  auto LS = solve(System, makeConfig(GraphForm::Inductive,
+                                     CycleElim::Online),
+                  "X");
+  EXPECT_EQ(LS.size(), 2u); // c(1) and c(0) are distinct sources.
+}
+
+TEST(ConstraintFileTest, ErrorsAreLineNumbered) {
+  struct Case {
+    const char *Text;
+    const char *Needle;
+  };
+  const Case Cases[] = {
+      {"var X\nX <= Y\n", "undeclared name 'Y'"},
+      {"var X\nX <= \n", "expected expression"},
+      {"var X\nX X\n", "expected '<='"},
+      {"cons c +\nvar X\nc <= X\n", "needs 1 argument"},
+      {"cons c + *\n", "variance marker"},
+      {"var X\nvar X\n", "already in use"},
+      {"cons c\nvar c\n", "already in use"},
+      {"var X\ncons c + +\nc(X) <= X\n", "expected ','"},
+      {"var X Y\nX <= Y extra\n", "trailing input"},
+  };
+  for (const Case &C : Cases) {
+    ConstraintSystemFile System;
+    std::string Error;
+    EXPECT_FALSE(System.parse(C.Text, &Error)) << C.Text;
+    EXPECT_NE(Error.find("line "), std::string::npos) << Error;
+    EXPECT_NE(Error.find(C.Needle), std::string::npos)
+        << "got: " << Error << "\nfor: " << C.Text;
+  }
+}
+
+TEST(ConstraintFileTest, NestedApplications) {
+  ConstraintSystemFile System;
+  std::string Error;
+  ASSERT_TRUE(System.parse("var X Y\n"
+                           "cons pair + +\n"
+                           "cons a\n"
+                           "pair(pair(a, a), a) <= X\n"
+                           "X <= pair(Y, 1)\n",
+                           &Error))
+      << Error;
+  auto LS = solve(System, makeConfig(GraphForm::Inductive,
+                                     CycleElim::Online),
+                  "Y");
+  ASSERT_EQ(LS.size(), 1u);
+  EXPECT_NE(LS[0].find("pair(a, a)"), std::string::npos);
+}

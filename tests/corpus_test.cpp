@@ -1,0 +1,188 @@
+//===- tests/corpus_test.cpp - Hand-written C corpus tests -----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analyzes the realistic C programs under examples/data/ end to end:
+/// parse, run both points-to analyses under every configuration, and
+/// spot-check facts a correct analysis must find (callback resolution,
+/// heap threading, escape through returns).
+///
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Andersen.h"
+#include "andersen/Steensgaard.h"
+#include "setcon/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace poce;
+using namespace poce::andersen;
+
+#ifndef POCE_SOURCE_DIR
+#define POCE_SOURCE_DIR "."
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  minic::TranslationUnit Unit;
+  AnalysisResult Andersen;
+  SteensgaardResult Steens;
+  bool Ok = false;
+
+  std::set<std::string> pts(const std::string &Name) const {
+    auto Targets = Andersen.pointsTo(Name);
+    return std::set<std::string>(Targets.begin(), Targets.end());
+  }
+};
+
+std::unique_ptr<CorpusProgram> load(const std::string &FileName) {
+  auto P = std::make_unique<CorpusProgram>();
+  std::string Path = std::string(POCE_SOURCE_DIR) + "/examples/data/" +
+                     FileName;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  if (!In.good())
+    return P;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::vector<std::string> Errors;
+  P->Ok = parseSource(Buffer.str(), P->Unit, &Errors, FileName);
+  EXPECT_TRUE(P->Ok) << (Errors.empty() ? "?" : Errors[0]);
+  if (!P->Ok)
+    return P;
+  ConstructorTable Constructors;
+  P->Andersen = runAnalysis(
+      P->Unit, Constructors,
+      makeConfig(GraphForm::Inductive, CycleElim::Online));
+  P->Steens = runSteensgaard(P->Unit);
+  return P;
+}
+
+} // namespace
+
+TEST(CorpusTest, LinkedListLibrary) {
+  auto P = load("list.c");
+  ASSERT_TRUE(P->Ok);
+  // head holds heap cells from the single allocation site in cons().
+  std::set<std::string> Head = P->pts("head");
+  ASSERT_FALSE(Head.empty());
+  bool HasHeap = false;
+  for (const std::string &Target : Head)
+    HasHeap |= Target.rfind("heap@", 0) == 0;
+  EXPECT_TRUE(HasHeap);
+  // The payload escape chain: pool addresses flow through push/cons into
+  // cells, and back out through last_payload into main.p.
+  std::set<std::string> Payload = P->pts("main.p");
+  EXPECT_TRUE(Payload.count("pool0"));
+  EXPECT_TRUE(Payload.count("pool1"));
+  EXPECT_TRUE(Payload.count("pool2"));
+}
+
+TEST(CorpusTest, EventLoopCallbacks) {
+  auto P = load("events.c");
+  ASSERT_TRUE(P->Ok);
+  // The indirect call in dispatch_all can reach all three handlers:
+  // their state parameters receive all registered state pointers.
+  for (const char *Handler : {"on_click.state", "on_key.state",
+                              "on_tick.state"}) {
+    std::set<std::string> State = P->pts(Handler);
+    EXPECT_TRUE(State.count("clicks")) << Handler;
+    EXPECT_TRUE(State.count("keys")) << Handler;
+    EXPECT_TRUE(State.count("ticks")) << Handler;
+  }
+  // subscribe's handler parameter sees every handler, including the one
+  // routed through pick()'s returns.
+  std::set<std::string> Handlers = P->pts("subscribe.handler");
+  EXPECT_TRUE(Handlers.count("on_click"));
+  EXPECT_TRUE(Handlers.count("on_key"));
+  EXPECT_TRUE(Handlers.count("on_tick"));
+}
+
+TEST(CorpusTest, InterpreterHeapTree) {
+  auto P = load("calc.c");
+  ASSERT_TRUE(P->Ok);
+  // eval's parameter receives nodes from all three constructors.
+  std::set<std::string> Nodes = P->pts("eval.e");
+  unsigned HeapSites = 0;
+  for (const std::string &Target : Nodes)
+    if (Target.rfind("heap@", 0) == 0)
+      ++HeapSites;
+  EXPECT_GE(HeapSites, 3u);
+  // The environment list threads through bind().
+  EXPECT_FALSE(P->pts("env").empty());
+}
+
+TEST(CorpusTest, StringBuffers) {
+  auto P = load("strings.c");
+  ASSERT_TRUE(P->Ok);
+  std::set<std::string> Cursor = P->pts("cursor");
+  // cursor sees the static scratch buffer, the string literal (through
+  // sb_skip_spaces), and the heap duplicate.
+  EXPECT_TRUE(Cursor.count("scratch"));
+  bool HasHeap = false, HasLiteral = false;
+  for (const std::string &Target : Cursor) {
+    HasHeap |= Target.rfind("heap@", 0) == 0;
+    HasLiteral |= Target.rfind("str@", 0) == 0;
+  }
+  EXPECT_TRUE(HasHeap);
+  EXPECT_TRUE(HasLiteral);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-analysis and cross-configuration checks over the corpus
+//===----------------------------------------------------------------------===//
+
+class CorpusFileTest : public testing::TestWithParam<const char *> {};
+
+TEST_P(CorpusFileTest, AndersenRefinesSteensgaard) {
+  auto P = load(GetParam());
+  ASSERT_TRUE(P->Ok);
+  for (const auto &[Name, Targets] : P->Andersen.PointsTo) {
+    auto It = P->Steens.PointsTo.find(Name);
+    ASSERT_NE(It, P->Steens.PointsTo.end()) << Name;
+    std::set<std::string> SteensSet(It->second.begin(), It->second.end());
+    for (const std::string &Target : Targets)
+      EXPECT_TRUE(SteensSet.count(Target)) << Name << " -> " << Target;
+  }
+}
+
+TEST_P(CorpusFileTest, AllConfigurationsAgree) {
+  auto P = load(GetParam());
+  ASSERT_TRUE(P->Ok);
+  ConstructorTable Constructors;
+  SolverOptions Base = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  Oracle O = buildOracle(makeGenerator(P->Unit), Constructors, Base);
+  std::map<std::string, std::vector<std::string>> Reference;
+  bool HaveReference = false;
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive}) {
+    for (CycleElim Elim : {CycleElim::None, CycleElim::Online,
+                           CycleElim::Oracle, CycleElim::Periodic}) {
+      AnalysisResult Result =
+          runAnalysis(P->Unit, Constructors, makeConfig(Form, Elim),
+                      Elim == CycleElim::Oracle ? &O : nullptr);
+      if (!HaveReference) {
+        Reference = std::move(Result.PointsTo);
+        HaveReference = true;
+      } else {
+        EXPECT_EQ(Result.PointsTo, Reference)
+            << makeConfig(Form, Elim).configName();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, CorpusFileTest,
+                         testing::Values("list.c", "events.c", "calc.c",
+                                         "strings.c"),
+                         [](const auto &Info) {
+                           std::string Name = Info.param;
+                           return Name.substr(0, Name.find('.'));
+                         });

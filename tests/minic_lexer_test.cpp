@@ -1,0 +1,154 @@
+//===- tests/minic_lexer_test.cpp - MiniC lexer unit tests -----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace poce;
+using namespace poce::minic;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       unsigned ExpectedErrors = 0) {
+  Diagnostics Diags("test.c");
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_EQ(Diags.errorCount(), ExpectedErrors) << Source;
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Result;
+  for (const Token &Tok : lex(Source))
+    Result.push_back(Tok.Kind);
+  return Result;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Tokens = lex("int foo while whilex _bar x123");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "foo");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[3].Text, "whilex");
+  EXPECT_EQ(Tokens[4].Text, "_bar");
+  EXPECT_EQ(Tokens[5].Text, "x123");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lex("0 42 0x1F 017 100u 5L 7UL");
+  for (int I = 0; I != 7; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::IntLiteral) << I;
+  EXPECT_EQ(Tokens[2].Text, "0x1F");
+  EXPECT_EQ(Tokens[4].Text, "100u");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lex("1.5 2.0e10 3e-2 1.5f 7");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, DotAfterNumberVsMember) {
+  // "1.x" should not swallow the dot into the number.
+  auto Kinds = kinds("a.b 1 . 2.5");
+  EXPECT_EQ(Kinds[0], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[1], TokenKind::Dot);
+  EXPECT_EQ(Kinds[2], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[3], TokenKind::IntLiteral);
+  EXPECT_EQ(Kinds[4], TokenKind::Dot);
+  EXPECT_EQ(Kinds[5], TokenKind::FloatLiteral);
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  auto Tokens = lex(R"("hello" "with\n" 'a' '\0' '\\')");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "with\n");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[2].Text, "a");
+  EXPECT_EQ(Tokens[3].Text, std::string(1, '\0'));
+  EXPECT_EQ(Tokens[4].Text, "\\");
+}
+
+TEST(LexerTest, UnterminatedLiteralsReportErrors) {
+  lex("\"abc", 1);
+  lex("'a", 1);
+  lex("/* no end", 1);
+}
+
+TEST(LexerTest, Comments) {
+  auto Kinds = kinds("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[1], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[2], TokenKind::Identifier);
+}
+
+TEST(LexerTest, PreprocessorLinesSkipped) {
+  auto Tokens = lex("#include <stdio.h>\nint x;\n#define FOO 1\nchar c;");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwChar);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto Kinds = kinds("<<= >>= << >> <= >= == != && || ++ -- -> ... += &=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LessLessEqual, TokenKind::GreaterGreaterEqual,
+      TokenKind::LessLess,      TokenKind::GreaterGreater,
+      TokenKind::LessEqual,     TokenKind::GreaterEqual,
+      TokenKind::EqualEqual,    TokenKind::ExclaimEqual,
+      TokenKind::AmpAmp,        TokenKind::PipePipe,
+      TokenKind::PlusPlus,      TokenKind::MinusMinus,
+      TokenKind::Arrow,         TokenKind::Ellipsis,
+      TokenKind::PlusEqual,     TokenKind::AmpEqual,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, MaximalMunchAmbiguities) {
+  auto Kinds = kinds("a+++b a--->x");
+  // a ++ + b ; a -- -> x
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::PlusPlus,   TokenKind::Plus,
+      TokenKind::Identifier, TokenKind::Identifier, TokenKind::MinusMinus,
+      TokenKind::Arrow,      TokenKind::Identifier, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lex("int x;\n  char y;");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 5u);
+  EXPECT_EQ(Tokens[3].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[3].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterRecovered) {
+  auto Tokens = lex("a @ b", 1);
+  EXPECT_EQ(Tokens.size(), 3u); // a, b, EOF: '@' reported and skipped.
+}
+
+TEST(LexerTest, AdjacentStringConcatenationIsParserSide) {
+  auto Tokens = lex("\"a\" \"b\"");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::StringLiteral);
+}

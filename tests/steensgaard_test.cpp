@@ -1,0 +1,201 @@
+//===- tests/steensgaard_test.cpp - Unification baseline unit tests --------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "andersen/Andersen.h"
+#include "andersen/Steensgaard.h"
+#include "workload/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace poce;
+using namespace poce::andersen;
+
+namespace {
+
+struct Analyzed {
+  minic::TranslationUnit Unit;
+  SteensgaardResult Steens;
+  bool Ok = false;
+
+  std::set<std::string> pts(const std::string &Name) const {
+    auto Targets = Steens.pointsTo(Name);
+    return std::set<std::string>(Targets.begin(), Targets.end());
+  }
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string &Source) {
+  auto A = std::make_unique<Analyzed>();
+  std::vector<std::string> Errors;
+  A->Ok = parseSource(Source, A->Unit, &Errors);
+  EXPECT_TRUE(A->Ok) << (Errors.empty() ? "?" : Errors[0]);
+  if (A->Ok)
+    A->Steens = runSteensgaard(A->Unit);
+  return A;
+}
+
+using Set = std::set<std::string>;
+
+} // namespace
+
+TEST(SteensgaardTest, SimpleAddressOf) {
+  auto A = analyze("int x; int *p;\n"
+                   "int main(void) { p = &x; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+  EXPECT_TRUE(A->pts("x").empty());
+}
+
+TEST(SteensgaardTest, CopyUnifiesTargets) {
+  // The classic precision loss: after p = &x; q = &y; r = p; r = q;
+  // unification merges x and y's classes, so p "points to" both.
+  auto A = analyze("int x, y; int *p, *q, *r;\n"
+                   "int main(void) { p = &x; q = &y; r = p; r = q; "
+                   "return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+  EXPECT_EQ(A->pts("q"), (Set{"x", "y"}));
+  EXPECT_EQ(A->pts("r"), (Set{"x", "y"}));
+}
+
+TEST(SteensgaardTest, IndependentPointersStaySeparate) {
+  auto A = analyze("int x, y; int *p, *q;\n"
+                   "int main(void) { p = &x; q = &y; return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x"}));
+  EXPECT_EQ(A->pts("q"), (Set{"y"}));
+}
+
+TEST(SteensgaardTest, StoreAndLoadThroughPointer) {
+  auto A = analyze("int x; int *p, *q; int **pp;\n"
+                   "int main(void) { pp = &p; *pp = &x; q = *pp; "
+                   "return 0; }");
+  EXPECT_TRUE(A->pts("pp").count("p"));
+  EXPECT_TRUE(A->pts("p").count("x"));
+  EXPECT_TRUE(A->pts("q").count("x"));
+}
+
+TEST(SteensgaardTest, FunctionsAndReturns) {
+  auto A = analyze("int x;\n"
+                   "int *id(int *p) { return p; }\n"
+                   "int *q;\n"
+                   "int main(void) { q = id(&x); return 0; }");
+  EXPECT_TRUE(A->pts("id.p").count("x"));
+  EXPECT_TRUE(A->pts("q").count("x"));
+}
+
+TEST(SteensgaardTest, FunctionPointers) {
+  auto A = analyze("int x;\n"
+                   "int *f(int *p) { return p; }\n"
+                   "int *(*fp)(int *);\n"
+                   "int *r;\n"
+                   "int main(void) { fp = f; r = fp(&x); return 0; }");
+  EXPECT_TRUE(A->pts("fp").count("f"));
+  EXPECT_TRUE(A->pts("r").count("x"));
+}
+
+TEST(SteensgaardTest, MallocSites) {
+  auto A = analyze("extern void *malloc(unsigned long);\n"
+                   "int *p, *q;\n"
+                   "int main(void) { p = (int *)malloc(4); "
+                   "q = (int *)malloc(4); return 0; }");
+  EXPECT_EQ(A->pts("p").size(), 1u);
+  EXPECT_EQ(A->pts("q").size(), 1u);
+  // The two sites stay separate (nothing forced their unification).
+  EXPECT_NE(*A->pts("p").begin(), *A->pts("q").begin());
+}
+
+TEST(SteensgaardTest, SwapMergesBothPointers) {
+  auto A = analyze(
+      "int x, y; int *p, *q;\n"
+      "void swap(int **a, int **b) { int *t = *a; *a = *b; *b = t; }\n"
+      "int main(void) { p = &x; q = &y; swap(&p, &q); return 0; }");
+  EXPECT_EQ(A->pts("p"), (Set{"x", "y"}));
+  EXPECT_EQ(A->pts("q"), (Set{"x", "y"}));
+}
+
+TEST(SteensgaardTest, RecursiveStructuresTerminate) {
+  auto A = analyze(
+      "extern void *malloc(unsigned long);\n"
+      "struct node { struct node *next; int *data; };\n"
+      "struct node *head;\n"
+      "int main(void) {\n"
+      "  struct node *n = (struct node *)malloc(16);\n"
+      "  n->next = head;\n"
+      "  head = n;\n"
+      "  head = head->next;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(A->pts("head").empty());
+}
+
+TEST(SteensgaardTest, StatsPopulated) {
+  auto A = analyze("int x; int *p; int main(void) { p = &x; return 0; }");
+  EXPECT_GT(A->Steens.NumLocations, 2u);
+  EXPECT_GE(A->Steens.NumCells, A->Steens.NumLocations);
+  EXPECT_GE(A->Steens.AnalysisSeconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The precision relationship that motivates the whole paper
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True if Andersen's points-to sets are contained in Steensgaard's for
+/// every location both analyses know (Andersen refines Steensgaard).
+void expectAndersenRefinesSteensgaard(const minic::TranslationUnit &Unit) {
+  ConstructorTable Constructors;
+  AnalysisResult Andersen = runAnalysis(
+      Unit, Constructors, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  SteensgaardResult Steens = runSteensgaard(Unit);
+
+  uint64_t AndersenTotal = 0, SteensTotal = 0;
+  for (const auto &[Name, Targets] : Andersen.PointsTo) {
+    auto SteensIt = Steens.PointsTo.find(Name);
+    ASSERT_NE(SteensIt, Steens.PointsTo.end())
+        << "location " << Name << " missing from Steensgaard";
+    std::set<std::string> SteensSet(SteensIt->second.begin(),
+                                    SteensIt->second.end());
+    for (const std::string &Target : Targets)
+      EXPECT_TRUE(SteensSet.count(Target))
+          << Name << " -> " << Target
+          << " found by Andersen but not Steensgaard";
+    AndersenTotal += Targets.size();
+    SteensTotal += SteensIt->second.size();
+  }
+  EXPECT_LE(AndersenTotal, SteensTotal);
+}
+
+} // namespace
+
+class SteensgaardRefinementTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SteensgaardRefinementTest, AndersenSubsetOfSteensgaard) {
+  workload::ProgramSpec Spec;
+  Spec.Name = "refine";
+  Spec.TargetAstNodes = 1500;
+  Spec.Seed = GetParam() * 7;
+  auto Program = workload::prepareProgram(Spec);
+  ASSERT_TRUE(Program->Ok);
+  expectAndersenRefinesSteensgaard(Program->Unit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteensgaardRefinementTest,
+                         testing::Range<uint64_t>(1, 9));
+
+TEST(SteensgaardRefinementTest, PrecisionGapIsReal) {
+  // On the classic example Andersen is strictly more precise.
+  const char *Source = "int x, y; int *p, *q, *r;\n"
+                       "int main(void) { p = &x; q = &y; r = p; r = q; "
+                       "return 0; }";
+  minic::TranslationUnit Unit;
+  ASSERT_TRUE(parseSource(Source, Unit));
+  ConstructorTable Constructors;
+  AnalysisResult Andersen = runAnalysis(
+      Unit, Constructors, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  SteensgaardResult Steens = runSteensgaard(Unit);
+  EXPECT_EQ(Andersen.pointsTo("p"), std::vector<std::string>{"x"});
+  EXPECT_EQ(Steens.pointsTo("p"), (std::vector<std::string>{"x", "y"}));
+}

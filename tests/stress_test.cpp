@@ -1,0 +1,220 @@
+//===- tests/stress_test.cpp - Scale and edge-case stress tests ------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/ConstraintSolver.h"
+#include "setcon/Oracle.h"
+#include "support/PRNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace poce;
+
+namespace {
+
+struct SolverHarness {
+  ConstructorTable Constructors;
+  TermTable Terms;
+  ConstraintSolver Solver;
+
+  explicit SolverHarness(SolverOptions Options)
+      : Terms(Constructors), Solver(Terms, Options) {}
+
+  VarId var(const std::string &Name) { return Solver.freshVar(Name); }
+  ExprId v(VarId Var) { return Terms.var(Var); }
+  ExprId source(const std::string &Name) {
+    return Terms.cons(Constructors.getOrCreate(Name, {}), {});
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Deep structures: everything must be iterative or depth-bounded
+//===----------------------------------------------------------------------===//
+
+TEST(StressTest, VeryLongChainBothForms) {
+  const uint32_t N = 100000;
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive}) {
+    SolverHarness H(makeConfig(Form, CycleElim::Online));
+    ExprId S = H.source("s");
+    VarId First = H.var("v0");
+    H.Solver.addConstraint(S, H.v(First));
+    VarId Prev = First;
+    for (uint32_t I = 1; I != N; ++I) {
+      VarId Next = H.var("v" + std::to_string(I));
+      H.Solver.addConstraint(H.v(Prev), H.v(Next));
+      Prev = Next;
+    }
+    // The least solution pass over a 100k-deep pred chain must not
+    // recurse.
+    EXPECT_EQ(H.Solver.leastSolution(Prev), std::vector<ExprId>{S});
+  }
+}
+
+TEST(StressTest, VeryLongCycleCollapses) {
+  // A single 50k-cycle: online detection collapses progressively as the
+  // ring closes; the result is one live variable... or at least a heavily
+  // collapsed class with correct solutions.
+  const uint32_t N = 50000;
+  SolverHarness H(makeConfig(GraphForm::Inductive, CycleElim::Online));
+  std::vector<VarId> Vars;
+  for (uint32_t I = 0; I != N; ++I)
+    Vars.push_back(H.var("r" + std::to_string(I)));
+  ExprId S = H.source("s");
+  H.Solver.addConstraint(S, H.v(Vars[0]));
+  for (uint32_t I = 0; I != N; ++I)
+    H.Solver.addConstraint(H.v(Vars[I]), H.v(Vars[(I + 1) % N]));
+  H.Solver.finalize();
+  // Every ring member sees the source.
+  EXPECT_EQ(H.Solver.leastSolution(Vars[N / 2]), std::vector<ExprId>{S});
+  EXPECT_EQ(H.Solver.leastSolution(Vars[N - 1]), std::vector<ExprId>{S});
+}
+
+TEST(StressTest, WideFanoutNode) {
+  // One variable with tens of thousands of predecessors and successors;
+  // pairing is quadratic in principle but bounded by distinct sources
+  // here.
+  const uint32_t Width = 20000;
+  SolverHarness H(makeConfig(GraphForm::Standard, CycleElim::None));
+  VarId Hub = H.var("hub");
+  ExprId S = H.source("s");
+  H.Solver.addConstraint(S, H.v(Hub));
+  std::vector<VarId> Outs;
+  for (uint32_t I = 0; I != Width; ++I) {
+    VarId Out = H.var("o" + std::to_string(I));
+    H.Solver.addConstraint(H.v(Hub), H.v(Out));
+    Outs.push_back(Out);
+  }
+  H.Solver.finalize();
+  EXPECT_EQ(H.Solver.leastSolution(Outs[Width - 1]),
+            std::vector<ExprId>{S});
+  EXPECT_EQ(H.Solver.stats().RedundantAdds, 0u);
+}
+
+TEST(StressTest, DeepTermNesting) {
+  // Decomposition recursion is bounded by term depth; make sure a
+  // several-hundred-deep term works.
+  SolverHarness H(makeConfig(GraphForm::Inductive, CycleElim::None));
+  ConsId C = H.Constructors.getOrCreate("c", {Variance::Covariant});
+  VarId X = H.var("X"), Y = H.var("Y");
+  ExprId S = H.source("s");
+  H.Solver.addConstraint(S, H.v(X));
+  ExprId Lhs = H.v(X), Rhs = H.v(Y);
+  for (int I = 0; I != 500; ++I) {
+    Lhs = H.Terms.cons(C, {Lhs});
+    Rhs = H.Terms.cons(C, {Rhs});
+  }
+  H.Solver.addConstraint(Lhs, Rhs);
+  EXPECT_EQ(H.Solver.leastSolution(Y), std::vector<ExprId>{S});
+}
+
+//===----------------------------------------------------------------------===//
+// Abort-state behavior
+//===----------------------------------------------------------------------===//
+
+TEST(StressTest, AbortedSolverStaysUsable) {
+  SolverOptions Options = makeConfig(GraphForm::Standard, CycleElim::None);
+  Options.MaxWork = 50;
+  SolverHarness H(Options);
+  std::vector<VarId> Vars;
+  for (int I = 0; I != 30; ++I)
+    Vars.push_back(H.var("v" + std::to_string(I)));
+  for (int I = 0; I != 10; ++I)
+    H.Solver.addConstraint(H.source("s" + std::to_string(I)),
+                           H.v(Vars[0]));
+  for (int I = 0; I + 1 != 30; ++I)
+    H.Solver.addConstraint(H.v(Vars[I]), H.v(Vars[I + 1]));
+  ASSERT_TRUE(H.Solver.stats().Aborted);
+  // Queries on an aborted solver return partial but well-formed data.
+  H.Solver.finalize();
+  EXPECT_NO_FATAL_FAILURE(H.Solver.leastSolution(Vars[29]));
+  EXPECT_NO_FATAL_FAILURE(H.Solver.countFinalEdges());
+  EXPECT_NO_FATAL_FAILURE(H.Solver.varVarDigraph());
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized invariants at moderate scale
+//===----------------------------------------------------------------------===//
+
+class RandomStressTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomStressTest, MixedConstraintSoup) {
+  // Random mixture of all three constraint kinds, decompositions, and
+  // both 0/1 constants; solutions must agree between SF-Plain and
+  // IF-Online (the strongest pairing: different form AND elimination).
+  uint64_t Seed = GetParam();
+  auto Run = [&](SolverOptions Options) {
+    SolverHarness H(Options);
+    PRNG Rng(Seed * 1009);
+    ConsId Ref = H.Constructors.getOrCreate(
+        "ref", {Variance::Covariant, Variance::Contravariant});
+    const uint32_t N = 60;
+    std::vector<VarId> Vars;
+    for (uint32_t I = 0; I != N; ++I)
+      Vars.push_back(H.var("v" + std::to_string(I)));
+    std::vector<ExprId> Sources;
+    for (int I = 0; I != 10; ++I)
+      Sources.push_back(H.source("s" + std::to_string(I)));
+
+    for (int I = 0; I != 300; ++I) {
+      switch (Rng.nextBelow(6)) {
+      case 0:
+        H.Solver.addConstraint(H.v(Vars[Rng.nextBelow(N)]),
+                               H.v(Vars[Rng.nextBelow(N)]));
+        break;
+      case 1:
+        H.Solver.addConstraint(Sources[Rng.nextBelow(10)],
+                               H.v(Vars[Rng.nextBelow(N)]));
+        break;
+      case 2: // ref term as source.
+        H.Solver.addConstraint(
+            H.Terms.cons(Ref, {H.v(Vars[Rng.nextBelow(N)]),
+                               H.v(Vars[Rng.nextBelow(N)])}),
+            H.v(Vars[Rng.nextBelow(N)]));
+        break;
+      case 3: // Read sink.
+        H.Solver.addConstraint(
+            H.v(Vars[Rng.nextBelow(N)]),
+            H.Terms.cons(Ref, {H.v(Vars[Rng.nextBelow(N)]),
+                               H.Terms.zero()}));
+        break;
+      case 4: // Write sink.
+        H.Solver.addConstraint(
+            H.v(Vars[Rng.nextBelow(N)]),
+            H.Terms.cons(Ref, {H.Terms.one(),
+                               H.v(Vars[Rng.nextBelow(N)])}));
+        break;
+      case 5:
+        H.Solver.addConstraint(H.Terms.zero(), H.v(Vars[Rng.nextBelow(N)]));
+        break;
+      }
+    }
+    H.Solver.finalize();
+    std::vector<std::vector<std::string>> Solutions;
+    for (VarId Var : Vars) {
+      std::vector<std::string> Names;
+      for (ExprId Term : H.Solver.leastSolution(Var)) {
+        if (H.Terms.kind(Term) == ExprKind::Cons &&
+            H.Constructors.signature(H.Terms.consOf(Term)).arity() == 0)
+          Names.push_back(
+              H.Constructors.signature(H.Terms.consOf(Term)).Name);
+        else
+          Names.push_back(H.Solver.exprStr(Term));
+      }
+      std::sort(Names.begin(), Names.end());
+      Solutions.push_back(std::move(Names));
+    }
+    return Solutions;
+  };
+
+  auto SFPlain = Run(makeConfig(GraphForm::Standard, CycleElim::None, Seed));
+  auto IFOnline =
+      Run(makeConfig(GraphForm::Inductive, CycleElim::Online, Seed));
+  EXPECT_EQ(SFPlain, IFOnline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStressTest,
+                         testing::Range<uint64_t>(1, 16));

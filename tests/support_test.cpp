@@ -1,0 +1,506 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/DenseU64Map.h"
+#include "support/DenseU64Set.h"
+#include "support/Format.h"
+#include "support/PRNG.h"
+#include "support/SmallVector.h"
+#include "support/Statistic.h"
+#include "support/StringInterner.h"
+#include "support/Timer.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+using namespace poce;
+
+//===----------------------------------------------------------------------===//
+// SmallVector
+//===----------------------------------------------------------------------===//
+
+TEST(SmallVectorTest, StaysInlineUntilCapacity) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  for (int I = 0; I != 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u);
+  V.push_back(4); // Forces heap allocation.
+  EXPECT_GT(V.capacity(), 4u);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVectorTest, GrowPreservesElements) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I != 1000; ++I)
+    V.push_back(I * 7);
+  ASSERT_EQ(V.size(), 1000u);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(V[I], I * 7);
+}
+
+TEST(SmallVectorTest, PopBackAndBack) {
+  SmallVector<int, 4> V = {1, 2, 3};
+  EXPECT_EQ(V.back(), 3);
+  EXPECT_EQ(V.pop_back_val(), 3);
+  EXPECT_EQ(V.size(), 2u);
+  V.pop_back();
+  EXPECT_EQ(V.back(), 1);
+}
+
+TEST(SmallVectorTest, EraseSingleAndRange) {
+  SmallVector<int, 4> V = {0, 1, 2, 3, 4, 5};
+  V.erase(V.begin() + 1);
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V[1], 2);
+  V.erase(V.begin() + 1, V.begin() + 3);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 0);
+  EXPECT_EQ(V[1], 4);
+  EXPECT_EQ(V[2], 5);
+}
+
+TEST(SmallVectorTest, InsertShiftsElements) {
+  SmallVector<int, 2> V = {1, 3};
+  V.insert(V.begin() + 1, 2);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 2);
+  EXPECT_EQ(V[2], 3);
+}
+
+TEST(SmallVectorTest, ResizeDefaultAndValue) {
+  SmallVector<int, 2> V;
+  V.resize(5, 9);
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V[4], 9);
+  V.resize(2);
+  EXPECT_EQ(V.size(), 2u);
+}
+
+namespace {
+struct Tracked {
+  static int Live;
+  int Value = 0;
+  Tracked() { ++Live; }
+  explicit Tracked(int Value) : Value(Value) { ++Live; }
+  Tracked(const Tracked &RHS) : Value(RHS.Value) { ++Live; }
+  Tracked(Tracked &&RHS) noexcept : Value(RHS.Value) { ++Live; }
+  Tracked &operator=(const Tracked &) = default;
+  Tracked &operator=(Tracked &&) = default;
+  ~Tracked() { --Live; }
+};
+int Tracked::Live = 0;
+} // namespace
+
+TEST(SmallVectorTest, NonTrivialTypeDestructorsBalance) {
+  {
+    SmallVector<Tracked, 2> V;
+    for (int I = 0; I != 20; ++I)
+      V.emplace_back(I);
+    EXPECT_EQ(Tracked::Live, 20);
+    V.pop_back();
+    EXPECT_EQ(Tracked::Live, 19);
+    V.clear();
+    EXPECT_EQ(Tracked::Live, 0);
+    for (int I = 0; I != 5; ++I)
+      V.emplace_back(I);
+  }
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(SmallVectorTest, CopyAndMove) {
+  SmallVector<int, 2> A = {1, 2, 3, 4};
+  SmallVector<int, 2> B(A);
+  EXPECT_EQ(A, B);
+  SmallVector<int, 2> C(std::move(B));
+  EXPECT_EQ(A, C);
+  EXPECT_TRUE(B.empty());
+  SmallVector<int, 2> D;
+  D = A;
+  EXPECT_EQ(A, D);
+}
+
+TEST(SmallVectorTest, AppendAndAssign) {
+  SmallVector<int, 2> V;
+  int Data[] = {5, 6, 7};
+  V.append(std::begin(Data), std::end(Data));
+  EXPECT_EQ(V.size(), 3u);
+  V.assign(4, 1);
+  ASSERT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[3], 1);
+}
+
+//===----------------------------------------------------------------------===//
+// DenseU64Set / DenseU64Map
+//===----------------------------------------------------------------------===//
+
+TEST(DenseU64SetTest, InsertContains) {
+  DenseU64Set Set;
+  EXPECT_FALSE(Set.contains(42));
+  EXPECT_TRUE(Set.insert(42));
+  EXPECT_FALSE(Set.insert(42));
+  EXPECT_TRUE(Set.contains(42));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TEST(DenseU64SetTest, ZeroKeyIsValid) {
+  DenseU64Set Set;
+  EXPECT_TRUE(Set.insert(0));
+  EXPECT_TRUE(Set.contains(0));
+}
+
+TEST(DenseU64SetTest, MatchesReferenceUnderRandomWorkload) {
+  DenseU64Set Set;
+  std::unordered_set<uint64_t> Reference;
+  PRNG Rng(7);
+  for (int I = 0; I != 20000; ++I) {
+    uint64_t Key = Rng.nextBelow(5000);
+    EXPECT_EQ(Set.insert(Key), Reference.insert(Key).second);
+  }
+  EXPECT_EQ(Set.size(), Reference.size());
+  for (uint64_t Key = 0; Key != 5000; ++Key)
+    EXPECT_EQ(Set.contains(Key), Reference.count(Key) != 0);
+  uint64_t Visited = 0;
+  Set.forEach([&](uint64_t Key) {
+    ++Visited;
+    EXPECT_TRUE(Reference.count(Key));
+  });
+  EXPECT_EQ(Visited, Reference.size());
+}
+
+TEST(DenseU64SetTest, ClearAndCopy) {
+  DenseU64Set Set;
+  for (uint64_t I = 0; I != 100; ++I)
+    Set.insert(I);
+  DenseU64Set Copy(Set);
+  Set.clear();
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Copy.size(), 100u);
+  EXPECT_TRUE(Copy.contains(99));
+  DenseU64Set Moved(std::move(Copy));
+  EXPECT_TRUE(Moved.contains(50));
+}
+
+TEST(DenseU64MapTest, InsertLookupBracket) {
+  DenseU64Map<uint32_t> Map;
+  EXPECT_EQ(Map.lookup(1), nullptr);
+  EXPECT_TRUE(Map.insert(1, 100));
+  EXPECT_FALSE(Map.insert(1, 200)); // Does not overwrite.
+  ASSERT_NE(Map.lookup(1), nullptr);
+  EXPECT_EQ(*Map.lookup(1), 100u);
+  Map[2] = 5;
+  Map[2] += 1;
+  EXPECT_EQ(*Map.lookup(2), 6u);
+  EXPECT_EQ(Map.size(), 2u);
+}
+
+TEST(DenseU64MapTest, GrowKeepsAssociations) {
+  DenseU64Map<uint64_t> Map;
+  for (uint64_t I = 0; I != 3000; ++I)
+    Map.insert(I * 3 + 1, I);
+  for (uint64_t I = 0; I != 3000; ++I) {
+    ASSERT_NE(Map.lookup(I * 3 + 1), nullptr);
+    EXPECT_EQ(*Map.lookup(I * 3 + 1), I);
+  }
+  EXPECT_FALSE(Map.contains(2));
+}
+
+//===----------------------------------------------------------------------===//
+// UnionFind
+//===----------------------------------------------------------------------===//
+
+TEST(UnionFindTest, SingletonsAreTheirOwnReps) {
+  UnionFind UF;
+  EXPECT_EQ(UF.makeSet(), 0u);
+  EXPECT_EQ(UF.makeSet(), 1u);
+  EXPECT_EQ(UF.find(0), 0u);
+  EXPECT_TRUE(UF.isRepresentative(1));
+}
+
+TEST(UnionFindTest, UniteChoosesParentSide) {
+  UnionFind UF;
+  UF.growTo(4);
+  EXPECT_TRUE(UF.unite(/*Child=*/0, /*Parent=*/1));
+  EXPECT_EQ(UF.find(0), 1u);
+  EXPECT_FALSE(UF.isRepresentative(0));
+  // Parent argument resolved through its representative.
+  EXPECT_TRUE(UF.unite(2, 0));
+  EXPECT_EQ(UF.find(2), 1u);
+  EXPECT_FALSE(UF.unite(2, 1));
+}
+
+TEST(UnionFindTest, TransitiveClosureProperty) {
+  UnionFind UF;
+  const uint32_t N = 200;
+  UF.growTo(N);
+  PRNG Rng(3);
+  std::vector<std::pair<uint32_t, uint32_t>> Merges;
+  for (int I = 0; I != 150; ++I) {
+    uint32_t A = static_cast<uint32_t>(Rng.nextBelow(N));
+    uint32_t B = static_cast<uint32_t>(Rng.nextBelow(N));
+    UF.unite(A, B);
+    Merges.push_back({A, B});
+  }
+  // Reference: naive labels.
+  std::vector<uint32_t> Label(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Label[I] = I;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto [A, B] : Merges) {
+      uint32_t Merged = std::min(Label[A], Label[B]);
+      for (uint32_t I = 0; I != N; ++I)
+        if (Label[I] == Label[A] || Label[I] == Label[B])
+          if (Label[I] != Merged) {
+            Label[I] = Merged;
+            Changed = true;
+          }
+    }
+  }
+  for (uint32_t A = 0; A != N; ++A)
+    for (uint32_t B = A + 1; B != N; ++B)
+      EXPECT_EQ(UF.findConst(A) == UF.findConst(B), Label[A] == Label[B]);
+}
+
+//===----------------------------------------------------------------------===//
+// PRNG
+//===----------------------------------------------------------------------===//
+
+TEST(PRNGTest, DeterministicForSeed) {
+  PRNG A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+  PRNG C(124);
+  EXPECT_NE(A.nextU64(), C.nextU64());
+}
+
+TEST(PRNGTest, NextBelowInRange) {
+  PRNG Rng(5);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Rng.nextBelow(1), 0u);
+}
+
+TEST(PRNGTest, NextBelowRoughlyUniform) {
+  PRNG Rng(11);
+  const int Buckets = 10, Samples = 100000;
+  int Counts[Buckets] = {};
+  for (int I = 0; I != Samples; ++I)
+    ++Counts[Rng.nextBelow(Buckets)];
+  for (int Count : Counts) {
+    EXPECT_GT(Count, Samples / Buckets * 0.9);
+    EXPECT_LT(Count, Samples / Buckets * 1.1);
+  }
+}
+
+TEST(PRNGTest, ShuffleIsPermutation) {
+  PRNG Rng(9);
+  std::vector<int> V(50);
+  for (int I = 0; I != 50; ++I)
+    V[I] = I;
+  Rng.shuffle(V.begin(), V.end());
+  std::vector<int> Sorted = V;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(Sorted[I], I);
+}
+
+TEST(PRNGTest, NextDoubleInUnitInterval) {
+  PRNG Rng(13);
+  for (int I = 0; I != 1000; ++I) {
+    double X = Rng.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(PRNGTest, NextRangeInclusive) {
+  PRNG Rng(17);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 1000; ++I) {
+    int64_t X = Rng.nextRange(-3, 3);
+    EXPECT_GE(X, -3);
+    EXPECT_LE(X, 3);
+    SawLo |= X == -3;
+    SawHi |= X == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInternerTest, StableIdsInFirstSeenOrder) {
+  StringInterner Interner;
+  EXPECT_EQ(Interner.intern("alpha"), 0u);
+  EXPECT_EQ(Interner.intern("beta"), 1u);
+  EXPECT_EQ(Interner.intern("alpha"), 0u);
+  EXPECT_EQ(Interner.str(1), "beta");
+  EXPECT_EQ(Interner.lookup("gamma"), StringInterner::NotFound);
+  EXPECT_EQ(Interner.lookup("beta"), 1u);
+  EXPECT_EQ(Interner.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer, Statistic, Format, CommandLine
+//===----------------------------------------------------------------------===//
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GE(T.seconds(), 0.0);
+  double First = T.seconds();
+  EXPECT_GE(T.seconds(), First);
+}
+
+TEST(TimerTest, BestOfNReturnsMinimum) {
+  int Runs = 0;
+  double Best = bestOfN(3, [&] { ++Runs; });
+  EXPECT_EQ(Runs, 3);
+  EXPECT_GE(Best, 0.0);
+}
+
+TEST(StatisticTest, CountsAndResets) {
+  static Statistic Counter("test", "A test counter");
+  Counter.reset();
+  ++Counter;
+  Counter += 4;
+  EXPECT_EQ(Counter.value(), 5u);
+  resetAllStatistics();
+  EXPECT_EQ(Counter.value(), 0u);
+}
+
+TEST(FormatTest, GroupedNumbers) {
+  EXPECT_EQ(formatGrouped(0), "0");
+  EXPECT_EQ(formatGrouped(999), "999");
+  EXPECT_EQ(formatGrouped(1000), "1,000");
+  EXPECT_EQ(formatGrouped(1234567), "1,234,567");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, TextTableAligns) {
+  TextTable Table({"Name", "Value"});
+  Table.addRow({"short", "1"});
+  Table.addRow({"muchlongername", "12345"});
+  testing::internal::CaptureStdout();
+  Table.print(stdout);
+  std::string Out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("muchlongername"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(CommandLineTest, ParsesAllOptionKinds) {
+  CommandLine Cmd("tool", "overview");
+  bool Flag = false;
+  std::string Str;
+  int64_t Int = 0;
+  double Dbl = 0;
+  Cmd.addFlag("flag", &Flag, "a flag");
+  Cmd.addString("str", &Str, "a string");
+  Cmd.addInt("int", &Int, "an int");
+  Cmd.addDouble("dbl", &Dbl, "a double");
+  const char *Argv[] = {"tool", "--flag", "--str=hello", "--int", "42",
+                        "--dbl=2.5", "positional"};
+  EXPECT_TRUE(Cmd.parse(7, Argv));
+  EXPECT_TRUE(Flag);
+  EXPECT_EQ(Str, "hello");
+  EXPECT_EQ(Int, 42);
+  EXPECT_DOUBLE_EQ(Dbl, 2.5);
+  ASSERT_EQ(Cmd.positionals().size(), 1u);
+  EXPECT_EQ(Cmd.positionals()[0], "positional");
+}
+
+TEST(CommandLineTest, RejectsUnknownOptionAndBadValues) {
+  CommandLine Cmd("tool", "overview");
+  int64_t Int = 0;
+  Cmd.addInt("int", &Int, "an int");
+  const char *Unknown[] = {"tool", "--nope"};
+  EXPECT_FALSE(Cmd.parse(2, Unknown));
+  CommandLine Cmd2("tool", "overview");
+  Cmd2.addInt("int", &Int, "an int");
+  const char *Bad[] = {"tool", "--int=xyz"};
+  EXPECT_FALSE(Cmd2.parse(2, Bad));
+}
+
+//===----------------------------------------------------------------------===//
+// ArrayRef
+//===----------------------------------------------------------------------===//
+
+#include "support/ArrayRef.h"
+
+TEST(ArrayRefTest, ConstructionFromEverySource) {
+  int CArray[] = {1, 2, 3};
+  std::vector<int> Vec = {4, 5};
+  SmallVector<int, 4> Small = {6, 7, 8};
+  int Single = 9;
+
+  ArrayRef<int> FromC(CArray);
+  EXPECT_EQ(FromC.size(), 3u);
+  EXPECT_EQ(FromC[2], 3);
+
+  ArrayRef<int> FromVec(Vec);
+  EXPECT_EQ(FromVec.size(), 2u);
+  EXPECT_EQ(FromVec.front(), 4);
+
+  ArrayRef<int> FromSmall(Small);
+  EXPECT_EQ(FromSmall.back(), 8);
+
+  ArrayRef<int> FromSingle(Single);
+  EXPECT_EQ(FromSingle.size(), 1u);
+  EXPECT_EQ(FromSingle[0], 9);
+
+  ArrayRef<int> Empty;
+  EXPECT_TRUE(Empty.empty());
+}
+
+TEST(ArrayRefTest, SliceDropAndEquality) {
+  int Data[] = {0, 1, 2, 3, 4, 5};
+  ArrayRef<int> Ref(Data);
+  ArrayRef<int> Middle = Ref.slice(1, 3);
+  ASSERT_EQ(Middle.size(), 3u);
+  EXPECT_EQ(Middle[0], 1);
+  EXPECT_EQ(Middle[2], 3);
+  // Count clamps to the end.
+  EXPECT_EQ(Ref.slice(4, 100).size(), 2u);
+  EXPECT_EQ(Ref.dropFront(2).front(), 2);
+  EXPECT_EQ(Ref.dropBack(2).back(), 3);
+  EXPECT_EQ(Ref.dropFront(6).size(), 0u);
+
+  int Same[] = {1, 2, 3};
+  int Different[] = {1, 2, 4};
+  EXPECT_TRUE(ArrayRef<int>(Same) == Ref.slice(1, 3));
+  EXPECT_TRUE(ArrayRef<int>(Different) != Ref.slice(1, 3));
+}
+
+TEST(ArrayRefTest, IterationAndVec) {
+  std::vector<int> Source = {10, 20, 30};
+  ArrayRef<int> Ref = makeArrayRef(Source);
+  int Sum = 0;
+  for (int Value : Ref)
+    Sum += Value;
+  EXPECT_EQ(Sum, 60);
+  std::vector<int> Copy = Ref.vec();
+  EXPECT_EQ(Copy, Source);
+}

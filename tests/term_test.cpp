@@ -1,0 +1,116 @@
+//===- tests/term_test.cpp - Constructor/term table unit tests -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "setcon/Constructor.h"
+#include "setcon/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace poce;
+
+TEST(ConstructorTableTest, RegisterAndLookup) {
+  ConstructorTable Table;
+  ConsId Ref = Table.getOrCreate(
+      "ref", {Variance::Covariant, Variance::Covariant,
+              Variance::Contravariant});
+  EXPECT_EQ(Table.lookup("ref"), Ref);
+  EXPECT_EQ(Table.lookup("nope"), ConstructorTable::NotFound);
+  EXPECT_EQ(Table.signature(Ref).arity(), 3u);
+  EXPECT_EQ(Table.signature(Ref).ArgVariance[2], Variance::Contravariant);
+  EXPECT_EQ(Table.signature(Ref).Name, "ref");
+}
+
+TEST(ConstructorTableTest, ReRegisterSameSignatureIsIdempotent) {
+  ConstructorTable Table;
+  ConsId A = Table.getOrCreate("c", {Variance::Covariant});
+  ConsId B = Table.getOrCreate("c", {Variance::Covariant});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Table.size(), 1u);
+}
+
+TEST(ConstructorTableTest, NullaryConstructors) {
+  ConstructorTable Table;
+  ConsId A = Table.getOrCreate("a", {});
+  ConsId B = Table.getOrCreate("b", {});
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Table.signature(A).arity(), 0u);
+}
+
+TEST(TermTableTest, ConstantsAreFixedIds) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  EXPECT_EQ(Terms.zero(), 0u);
+  EXPECT_EQ(Terms.one(), 1u);
+  EXPECT_EQ(Terms.kind(Terms.zero()), ExprKind::Zero);
+  EXPECT_EQ(Terms.kind(Terms.one()), ExprKind::One);
+}
+
+TEST(TermTableTest, VarExprsAreCached) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ExprId V0 = Terms.var(0);
+  ExprId V1 = Terms.var(1);
+  EXPECT_NE(V0, V1);
+  EXPECT_EQ(Terms.var(0), V0);
+  EXPECT_EQ(Terms.kind(V0), ExprKind::Var);
+  EXPECT_EQ(Terms.varOf(V1), 1u);
+}
+
+TEST(TermTableTest, HashConsing) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConsId C = Constructors.getOrCreate(
+      "c", {Variance::Covariant, Variance::Covariant});
+  ExprId V0 = Terms.var(0);
+  ExprId V1 = Terms.var(1);
+  ExprId A = Terms.cons(C, {V0, V1});
+  ExprId B = Terms.cons(C, {V0, V1});
+  ExprId D = Terms.cons(C, {V1, V0});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(Terms.consOf(A), C);
+  EXPECT_EQ(Terms.numArgs(A), 2u);
+  EXPECT_EQ(Terms.argsOf(A)[0], V0);
+  EXPECT_EQ(Terms.argsOf(A)[1], V1);
+}
+
+TEST(TermTableTest, NestedTermsAndDifferentConstructors) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConsId C = Constructors.getOrCreate("c", {Variance::Covariant});
+  ConsId D = Constructors.getOrCreate("d", {Variance::Covariant});
+  ExprId Inner = Terms.cons(C, {Terms.zero()});
+  ExprId OuterC = Terms.cons(C, {Inner});
+  ExprId OuterD = Terms.cons(D, {Inner});
+  EXPECT_NE(OuterC, OuterD);
+  EXPECT_EQ(Terms.cons(C, {Inner}), OuterC);
+  EXPECT_TRUE(Terms.isConstructed(OuterC));
+  EXPECT_FALSE(Terms.isConstructed(Terms.var(3)));
+  EXPECT_TRUE(Terms.isConstructed(Terms.zero()));
+}
+
+TEST(TermTableTest, ManyTermsSurviveRehash) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConsId C = Constructors.getOrCreate("c", {Variance::Covariant});
+  std::vector<ExprId> Ids;
+  for (uint32_t I = 0; I != 2000; ++I)
+    Ids.push_back(Terms.cons(C, {Terms.var(I)}));
+  for (uint32_t I = 0; I != 2000; ++I)
+    EXPECT_EQ(Terms.cons(C, {Terms.var(I)}), Ids[I]);
+}
+
+TEST(TermTableTest, RenderingWithVariance) {
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConsId Ref = Constructors.getOrCreate(
+      "ref", {Variance::Covariant, Variance::Contravariant});
+  ExprId Term = Terms.cons(Ref, {Terms.var(0), Terms.one()});
+  std::string Str =
+      Terms.str(Term, [](VarId Var) { return "X" + std::to_string(Var); });
+  EXPECT_EQ(Str, "ref(X0, ~1)");
+  EXPECT_EQ(Terms.str(Terms.zero(), nullptr), "0");
+}
