@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_periodic.dir/ablation_periodic.cpp.o"
+  "CMakeFiles/ablation_periodic.dir/ablation_periodic.cpp.o.d"
+  "ablation_periodic"
+  "ablation_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sf_increasing.dir/ablation_sf_increasing.cpp.o"
+  "CMakeFiles/ablation_sf_increasing.dir/ablation_sf_increasing.cpp.o.d"
+  "ablation_sf_increasing"
+  "ablation_sf_increasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sf_increasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_steensgaard.dir/baseline_steensgaard.cpp.o"
+  "CMakeFiles/baseline_steensgaard.dir/baseline_steensgaard.cpp.o.d"
+  "baseline_steensgaard"
+  "baseline_steensgaard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_steensgaard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

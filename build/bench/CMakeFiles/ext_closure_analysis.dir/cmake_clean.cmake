@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_closure_analysis.dir/ext_closure_analysis.cpp.o"
+  "CMakeFiles/ext_closure_analysis.dir/ext_closure_analysis.cpp.o.d"
+  "ext_closure_analysis"
+  "ext_closure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_closure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

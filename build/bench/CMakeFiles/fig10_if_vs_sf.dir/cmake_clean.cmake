@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_if_vs_sf.dir/fig10_if_vs_sf.cpp.o"
+  "CMakeFiles/fig10_if_vs_sf.dir/fig10_if_vs_sf.cpp.o.d"
+  "fig10_if_vs_sf"
+  "fig10_if_vs_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_if_vs_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_detection_rate.dir/fig11_detection_rate.cpp.o"
+  "CMakeFiles/fig11_detection_rate.dir/fig11_detection_rate.cpp.o.d"
+  "fig11_detection_rate"
+  "fig11_detection_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_detection_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

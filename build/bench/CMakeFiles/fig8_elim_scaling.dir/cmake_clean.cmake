@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_elim_scaling.dir/fig8_elim_scaling.cpp.o"
+  "CMakeFiles/fig8_elim_scaling.dir/fig8_elim_scaling.cpp.o.d"
+  "fig8_elim_scaling"
+  "fig8_elim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_elim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_theorem51.dir/model_theorem51.cpp.o"
+  "CMakeFiles/model_theorem51.dir/model_theorem51.cpp.o.d"
+  "model_theorem51"
+  "model_theorem51.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_theorem51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_theorem52.dir/model_theorem52.cpp.o"
+  "CMakeFiles/model_theorem52.dir/model_theorem52.cpp.o.d"
+  "model_theorem52"
+  "model_theorem52.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_theorem52.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

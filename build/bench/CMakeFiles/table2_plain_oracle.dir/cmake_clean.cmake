@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_plain_oracle.dir/table2_plain_oracle.cpp.o"
+  "CMakeFiles/table2_plain_oracle.dir/table2_plain_oracle.cpp.o.d"
+  "table2_plain_oracle"
+  "table2_plain_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_plain_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_online.dir/table3_online.cpp.o"
+  "CMakeFiles/table3_online.dir/table3_online.cpp.o.d"
+  "table3_online"
+  "table3_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_analysis.dir/closure_analysis.cpp.o"
+  "CMakeFiles/closure_analysis.dir/closure_analysis.cpp.o.d"
+  "closure_analysis"
+  "closure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

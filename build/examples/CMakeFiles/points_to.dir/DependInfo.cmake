@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/points_to.cpp" "examples/CMakeFiles/points_to.dir/points_to.cpp.o" "gcc" "examples/CMakeFiles/points_to.dir/points_to.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/poce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/andersen/CMakeFiles/poce_andersen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfa/CMakeFiles/poce_cfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/poce_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/poce_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcon/CMakeFiles/poce_setcon.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/poce_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/poce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

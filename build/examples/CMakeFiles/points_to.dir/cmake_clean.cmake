@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/points_to.dir/points_to.cpp.o"
+  "CMakeFiles/points_to.dir/points_to.cpp.o.d"
+  "points_to"
+  "points_to.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/points_to.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/andersen/Andersen.cpp" "src/andersen/CMakeFiles/poce_andersen.dir/Andersen.cpp.o" "gcc" "src/andersen/CMakeFiles/poce_andersen.dir/Andersen.cpp.o.d"
+  "/root/repo/src/andersen/ConstraintGen.cpp" "src/andersen/CMakeFiles/poce_andersen.dir/ConstraintGen.cpp.o" "gcc" "src/andersen/CMakeFiles/poce_andersen.dir/ConstraintGen.cpp.o.d"
+  "/root/repo/src/andersen/Steensgaard.cpp" "src/andersen/CMakeFiles/poce_andersen.dir/Steensgaard.cpp.o" "gcc" "src/andersen/CMakeFiles/poce_andersen.dir/Steensgaard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/setcon/CMakeFiles/poce_setcon.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/poce_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/poce_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/poce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_andersen.dir/Andersen.cpp.o"
+  "CMakeFiles/poce_andersen.dir/Andersen.cpp.o.d"
+  "CMakeFiles/poce_andersen.dir/ConstraintGen.cpp.o"
+  "CMakeFiles/poce_andersen.dir/ConstraintGen.cpp.o.d"
+  "CMakeFiles/poce_andersen.dir/Steensgaard.cpp.o"
+  "CMakeFiles/poce_andersen.dir/Steensgaard.cpp.o.d"
+  "libpoce_andersen.a"
+  "libpoce_andersen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_andersen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

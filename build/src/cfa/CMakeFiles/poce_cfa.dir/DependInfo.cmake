@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfa/ClosureAnalysis.cpp" "src/cfa/CMakeFiles/poce_cfa.dir/ClosureAnalysis.cpp.o" "gcc" "src/cfa/CMakeFiles/poce_cfa.dir/ClosureAnalysis.cpp.o.d"
+  "/root/repo/src/cfa/Lambda.cpp" "src/cfa/CMakeFiles/poce_cfa.dir/Lambda.cpp.o" "gcc" "src/cfa/CMakeFiles/poce_cfa.dir/Lambda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/setcon/CMakeFiles/poce_setcon.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/poce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/poce_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

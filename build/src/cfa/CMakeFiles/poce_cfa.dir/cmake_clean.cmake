@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_cfa.dir/ClosureAnalysis.cpp.o"
+  "CMakeFiles/poce_cfa.dir/ClosureAnalysis.cpp.o.d"
+  "CMakeFiles/poce_cfa.dir/Lambda.cpp.o"
+  "CMakeFiles/poce_cfa.dir/Lambda.cpp.o.d"
+  "libpoce_cfa.a"
+  "libpoce_cfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_cfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

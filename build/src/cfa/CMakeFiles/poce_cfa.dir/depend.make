@@ -1,0 +1,2 @@
+# Empty dependencies file for poce_cfa.
+# This may be replaced when dependencies are built.

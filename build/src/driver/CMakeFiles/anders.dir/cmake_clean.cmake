@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anders.dir/anders.cpp.o"
+  "CMakeFiles/anders.dir/anders.cpp.o.d"
+  "anders"
+  "anders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsolve.dir/scsolve.cpp.o"
+  "CMakeFiles/scsolve.dir/scsolve.cpp.o.d"
+  "scsolve"
+  "scsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

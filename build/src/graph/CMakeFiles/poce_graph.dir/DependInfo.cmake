@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/Digraph.cpp" "src/graph/CMakeFiles/poce_graph.dir/Digraph.cpp.o" "gcc" "src/graph/CMakeFiles/poce_graph.dir/Digraph.cpp.o.d"
+  "/root/repo/src/graph/DotWriter.cpp" "src/graph/CMakeFiles/poce_graph.dir/DotWriter.cpp.o" "gcc" "src/graph/CMakeFiles/poce_graph.dir/DotWriter.cpp.o.d"
+  "/root/repo/src/graph/RandomGraph.cpp" "src/graph/CMakeFiles/poce_graph.dir/RandomGraph.cpp.o" "gcc" "src/graph/CMakeFiles/poce_graph.dir/RandomGraph.cpp.o.d"
+  "/root/repo/src/graph/TarjanSCC.cpp" "src/graph/CMakeFiles/poce_graph.dir/TarjanSCC.cpp.o" "gcc" "src/graph/CMakeFiles/poce_graph.dir/TarjanSCC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

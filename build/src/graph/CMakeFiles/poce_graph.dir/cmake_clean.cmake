@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_graph.dir/Digraph.cpp.o"
+  "CMakeFiles/poce_graph.dir/Digraph.cpp.o.d"
+  "CMakeFiles/poce_graph.dir/DotWriter.cpp.o"
+  "CMakeFiles/poce_graph.dir/DotWriter.cpp.o.d"
+  "CMakeFiles/poce_graph.dir/RandomGraph.cpp.o"
+  "CMakeFiles/poce_graph.dir/RandomGraph.cpp.o.d"
+  "CMakeFiles/poce_graph.dir/TarjanSCC.cpp.o"
+  "CMakeFiles/poce_graph.dir/TarjanSCC.cpp.o.d"
+  "libpoce_graph.a"
+  "libpoce_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

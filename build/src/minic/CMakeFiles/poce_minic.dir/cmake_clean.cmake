@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_minic.dir/AST.cpp.o"
+  "CMakeFiles/poce_minic.dir/AST.cpp.o.d"
+  "CMakeFiles/poce_minic.dir/Diagnostics.cpp.o"
+  "CMakeFiles/poce_minic.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/poce_minic.dir/Lexer.cpp.o"
+  "CMakeFiles/poce_minic.dir/Lexer.cpp.o.d"
+  "CMakeFiles/poce_minic.dir/Parser.cpp.o"
+  "CMakeFiles/poce_minic.dir/Parser.cpp.o.d"
+  "CMakeFiles/poce_minic.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/poce_minic.dir/PrettyPrinter.cpp.o.d"
+  "libpoce_minic.a"
+  "libpoce_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_model.dir/Model.cpp.o"
+  "CMakeFiles/poce_model.dir/Model.cpp.o.d"
+  "libpoce_model.a"
+  "libpoce_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

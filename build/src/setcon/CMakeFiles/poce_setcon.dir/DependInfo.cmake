@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setcon/ConstraintFile.cpp" "src/setcon/CMakeFiles/poce_setcon.dir/ConstraintFile.cpp.o" "gcc" "src/setcon/CMakeFiles/poce_setcon.dir/ConstraintFile.cpp.o.d"
+  "/root/repo/src/setcon/ConstraintSolver.cpp" "src/setcon/CMakeFiles/poce_setcon.dir/ConstraintSolver.cpp.o" "gcc" "src/setcon/CMakeFiles/poce_setcon.dir/ConstraintSolver.cpp.o.d"
+  "/root/repo/src/setcon/Constructor.cpp" "src/setcon/CMakeFiles/poce_setcon.dir/Constructor.cpp.o" "gcc" "src/setcon/CMakeFiles/poce_setcon.dir/Constructor.cpp.o.d"
+  "/root/repo/src/setcon/Oracle.cpp" "src/setcon/CMakeFiles/poce_setcon.dir/Oracle.cpp.o" "gcc" "src/setcon/CMakeFiles/poce_setcon.dir/Oracle.cpp.o.d"
+  "/root/repo/src/setcon/Term.cpp" "src/setcon/CMakeFiles/poce_setcon.dir/Term.cpp.o" "gcc" "src/setcon/CMakeFiles/poce_setcon.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/poce_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

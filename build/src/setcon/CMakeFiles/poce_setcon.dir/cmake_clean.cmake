@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_setcon.dir/ConstraintFile.cpp.o"
+  "CMakeFiles/poce_setcon.dir/ConstraintFile.cpp.o.d"
+  "CMakeFiles/poce_setcon.dir/ConstraintSolver.cpp.o"
+  "CMakeFiles/poce_setcon.dir/ConstraintSolver.cpp.o.d"
+  "CMakeFiles/poce_setcon.dir/Constructor.cpp.o"
+  "CMakeFiles/poce_setcon.dir/Constructor.cpp.o.d"
+  "CMakeFiles/poce_setcon.dir/Oracle.cpp.o"
+  "CMakeFiles/poce_setcon.dir/Oracle.cpp.o.d"
+  "CMakeFiles/poce_setcon.dir/Term.cpp.o"
+  "CMakeFiles/poce_setcon.dir/Term.cpp.o.d"
+  "libpoce_setcon.a"
+  "libpoce_setcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_setcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

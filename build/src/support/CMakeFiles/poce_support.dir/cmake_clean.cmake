@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/poce_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/poce_support.dir/Debug.cpp.o"
+  "CMakeFiles/poce_support.dir/Debug.cpp.o.d"
+  "CMakeFiles/poce_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/poce_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/poce_support.dir/Format.cpp.o"
+  "CMakeFiles/poce_support.dir/Format.cpp.o.d"
+  "CMakeFiles/poce_support.dir/Statistic.cpp.o"
+  "CMakeFiles/poce_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/poce_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/poce_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/poce_support.dir/Timer.cpp.o"
+  "CMakeFiles/poce_support.dir/Timer.cpp.o.d"
+  "libpoce_support.a"
+  "libpoce_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poce_workload.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/poce_workload.dir/ProgramGenerator.cpp.o.d"
+  "CMakeFiles/poce_workload.dir/RandomConstraints.cpp.o"
+  "CMakeFiles/poce_workload.dir/RandomConstraints.cpp.o.d"
+  "CMakeFiles/poce_workload.dir/Suite.cpp.o"
+  "CMakeFiles/poce_workload.dir/Suite.cpp.o.d"
+  "libpoce_workload.a"
+  "libpoce_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poce_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_tests.dir/andersen_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/andersen_test.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/corpus_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/corpus_test.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/minic_lexer_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/minic_lexer_test.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/minic_parser_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/minic_parser_test.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/minic_printer_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/minic_printer_test.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/steensgaard_test.cpp.o"
+  "CMakeFiles/frontend_tests.dir/steensgaard_test.cpp.o.d"
+  "frontend_tests"
+  "frontend_tests.pdb"
+  "frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

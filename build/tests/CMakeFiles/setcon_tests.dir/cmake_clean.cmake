@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcon_tests.dir/constraint_file_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/constraint_file_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/cycle_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/cycle_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/equivalence_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/equivalence_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/oracle_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/oracle_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/solver_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/solver_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/stress_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/stress_test.cpp.o.d"
+  "CMakeFiles/setcon_tests.dir/term_test.cpp.o"
+  "CMakeFiles/setcon_tests.dir/term_test.cpp.o.d"
+  "setcon_tests"
+  "setcon_tests.pdb"
+  "setcon_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcon_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

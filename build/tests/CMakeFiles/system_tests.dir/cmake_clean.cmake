@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/cfa_test.cpp.o"
+  "CMakeFiles/system_tests.dir/cfa_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/system_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/model_test.cpp.o"
+  "CMakeFiles/system_tests.dir/model_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/system_tests.dir/workload_test.cpp.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
