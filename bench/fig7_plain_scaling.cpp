@@ -24,7 +24,7 @@ int main() {
   Env.print();
 
   TextTable Table({"Benchmark", "AST", "SF-Plain(s)", "IF-Plain(s)",
-                   "IF/SF"});
+                   "IF/SF", "SF-DeltaProps", "SF-Pruned", "IF-LSwords"});
   for (auto &Entry : prepareSuite(Env)) {
     MeasuredRun SF = runConfig(*Entry, GraphForm::Standard, CycleElim::None,
                                Env);
@@ -38,7 +38,10 @@ int main() {
     Table.addRow({Entry->Program->Spec.Name,
                   formatGrouped(Entry->Program->AstNodes),
                   cappedTime(SF.BestSeconds, SF.Capped),
-                  cappedTime(IF.BestSeconds, IF.Capped), Ratio});
+                  cappedTime(IF.BestSeconds, IF.Capped), Ratio,
+                  capped(SF.Result.Stats.DeltaPropagations, SF.Capped),
+                  capped(SF.Result.Stats.PropagationsPruned, SF.Capped),
+                  capped(IF.Result.Stats.LSUnionWords, IF.Capped)});
   }
   Table.print();
   std::printf("\nPlot: time (y) against AST nodes (x); \">\" marks capped "

@@ -24,7 +24,8 @@ int main() {
   Env.print();
 
   TextTable Table({"Benchmark", "AST", "IF-Oracle(s)", "SF-Oracle(s)",
-                   "IF-Online(s)", "SF-Online(s)", "IFon/IForacle"});
+                   "IF-Online(s)", "SF-Online(s)", "IFon/IForacle",
+                   "SFon-DeltaProps", "SFon-Pruned", "IFon-LSwords"});
   double SumRatio = 0;
   unsigned NumRatios = 0;
   for (auto &Entry : prepareSuite(Env)) {
@@ -46,7 +47,10 @@ int main() {
                   formatDouble(SFOracle.BestSeconds, 3),
                   formatDouble(IFOnline.BestSeconds, 3),
                   formatDouble(SFOnline.BestSeconds, 3),
-                  formatDouble(Ratio, 2)});
+                  formatDouble(Ratio, 2),
+                  formatGrouped(SFOnline.Result.Stats.DeltaPropagations),
+                  formatGrouped(SFOnline.Result.Stats.PropagationsPruned),
+                  formatGrouped(IFOnline.Result.Stats.LSUnionWords)});
   }
   Table.print();
   if (NumRatios)

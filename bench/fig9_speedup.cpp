@@ -25,7 +25,8 @@ int main() {
   Env.print();
 
   TextTable Table({"Benchmark", "SF-Plain(s)", "IF-Online(s)",
-                   "SF-Online(s)", "IFon/SFp", "SFon/SFp"});
+                   "SF-Online(s)", "IFon/SFp", "SFon/SFp",
+                   "SFon-DeltaProps", "SFon-Pruned", "IFon-LSwords"});
   for (auto &Entry : prepareSuite(Env)) {
     MeasuredRun SFPlain =
         runConfig(*Entry, GraphForm::Standard, CycleElim::None, Env);
@@ -44,7 +45,10 @@ int main() {
                                1),
          Prefix + formatDouble(SFPlain.BestSeconds /
                                    std::max(SFOnline.BestSeconds, 1e-9),
-                               1)});
+                               1),
+         formatGrouped(SFOnline.Result.Stats.DeltaPropagations),
+         formatGrouped(SFOnline.Result.Stats.PropagationsPruned),
+         formatGrouped(IFOnline.Result.Stats.LSUnionWords)});
   }
   Table.print();
   std::printf("\nPlot: speedup (y) against SF-Plain time (x). \">\" marks "

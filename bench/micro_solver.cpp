@@ -6,9 +6,17 @@
 ///
 /// \file
 /// Microbenchmarks of the primitive operations that dominate constraint
-/// resolution: hash-set membership, union-find, term interning, atomic
-/// edge insertion and closure, online cycle detection/collapse, least
-/// solution computation, and frontend throughput.
+/// resolution: hash-set membership, sparse-bitvector unions, union-find,
+/// term interning, atomic edge insertion and closure, difference
+/// propagation, online cycle detection/collapse, least solution
+/// computation, and frontend throughput.
+///
+/// Run with no arguments (or the usual google-benchmark flags) for the
+/// microbenchmark suite. Run with --emit_trajectory[=path] to instead
+/// A/B the bitvector/difference-propagation hot paths against the seed
+/// algorithms on large random constraint systems and record the result as
+/// JSON (default path: BENCH_micro_solver.json). Trajectory mode honors
+/// POCE_BENCH_SCALE and POCE_BENCH_REPEATS (best-of-N, default 3).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,11 +26,17 @@
 #include "setcon/ConstraintSolver.h"
 #include "support/DenseU64Set.h"
 #include "support/PRNG.h"
+#include "support/SparseBitVector.h"
+#include "support/Timer.h"
 #include "support/UnionFind.h"
 #include "workload/ProgramGenerator.h"
 #include "workload/RandomConstraints.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace poce;
 
@@ -58,6 +72,42 @@ static void BM_DenseSetLookupHit(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DenseSetLookupHit);
+
+static void BM_SparseBitVectorSet(benchmark::State &State) {
+  // Clustered id space, like hash-consed ExprIds.
+  PRNG Rng(21);
+  std::vector<uint32_t> Ids(static_cast<size_t>(State.range(0)));
+  for (uint32_t &Id : Ids)
+    Id = static_cast<uint32_t>(Rng.nextBelow(4 * Ids.size()));
+  for (auto _ : State) {
+    SparseBitVector S;
+    for (uint32_t Id : Ids)
+      benchmark::DoNotOptimize(S.testAndSet(Id));
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SparseBitVectorSet)->Arg(1000)->Arg(100000);
+
+static void BM_SparseBitVectorUnion(benchmark::State &State) {
+  // Word-level union of partially overlapping sets — the inner loop of
+  // both difference propagation and the least-solution pass.
+  PRNG Rng(22);
+  const size_t N = static_cast<size_t>(State.range(0));
+  SparseBitVector Base, Incoming;
+  for (size_t I = 0; I != N; ++I) {
+    Base.set(static_cast<uint32_t>(Rng.nextBelow(8 * N)));
+    Incoming.set(static_cast<uint32_t>(Rng.nextBelow(8 * N)));
+  }
+  for (auto _ : State) {
+    SparseBitVector S;
+    S.unionWith(Base);
+    uint64_t Words = 0;
+    benchmark::DoNotOptimize(S.unionWith(Incoming, &Words));
+    benchmark::DoNotOptimize(Words);
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N);
+}
+BENCHMARK(BM_SparseBitVectorUnion)->Arg(1000)->Arg(50000);
 
 static void BM_UnionFind(benchmark::State &State) {
   const uint32_t N = static_cast<uint32_t>(State.range(0));
@@ -118,6 +168,26 @@ static void BM_EdgeInsertionChain(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * N);
 }
 BENCHMARK(BM_EdgeInsertionChain)->Arg(1000)->Arg(10000);
+
+static void BM_SFClosure(benchmark::State &State) {
+  // Standard-form closure over a random system; Arg(1) uses batched
+  // difference propagation, Arg(0) the element-wise seed scheme. The gap
+  // between the two is the win from delta-only pushes.
+  PRNG Rng(17);
+  RandomConstraintShape Shape =
+      randomConstraintShape(3000, 2000, 2.0 / 3000, Rng);
+  SolverOptions Options = makeConfig(GraphForm::Standard, CycleElim::None);
+  Options.DiffProp = State.range(0) != 0;
+  for (auto _ : State) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms, Options);
+    workload::emitRandomConstraints(Shape, Solver);
+    benchmark::DoNotOptimize(Solver.stats().Work);
+  }
+  State.SetItemsProcessed(State.iterations() * Shape.VarVar.size());
+}
+BENCHMARK(BM_SFClosure)->Arg(0)->Arg(1);
 
 static void BM_OnlineDetectionOverhead(benchmark::State &State) {
   // Acyclic random insertions: measures the pure overhead of running the
@@ -189,21 +259,35 @@ static void BM_Compact(benchmark::State &State) {
 BENCHMARK(BM_Compact);
 
 static void BM_LeastSolutionIF(benchmark::State &State) {
+  // Arg(1) is the bitvector pass (word-level unions plus lazy views for
+  // every variable); Arg(0) replays the seed's vector concat+sort+unique
+  // algorithm via the retained reference oracle.
   PRNG Rng(11);
   RandomConstraintShape Shape =
       randomConstraintShape(2000, 1300, 1.0 / 2000, Rng);
+  const bool Bitvector = State.range(0) != 0;
   for (auto _ : State) {
+    State.PauseTiming();
     ConstructorTable Constructors;
     TermTable Terms(Constructors);
     ConstraintSolver Solver(Terms,
                             makeConfig(GraphForm::Inductive,
                                        CycleElim::Online));
     workload::emitRandomConstraints(Shape, Solver);
-    Solver.finalize();
-    benchmark::DoNotOptimize(Solver.leastSolution(0).size());
+    State.ResumeTiming();
+    size_t Total = 0;
+    if (Bitvector) {
+      Solver.finalize();
+      for (VarId Var = 0; Var != Solver.numVars(); ++Var)
+        Total += Solver.leastSolution(Var).size();
+    } else {
+      for (const std::vector<ExprId> &LS : Solver.referenceLeastSolutions())
+        Total += LS.size();
+    }
+    benchmark::DoNotOptimize(Total);
   }
 }
-BENCHMARK(BM_LeastSolutionIF);
+BENCHMARK(BM_LeastSolutionIF)->Arg(0)->Arg(1);
 
 //===----------------------------------------------------------------------===//
 // Frontend and end-to-end
@@ -255,3 +339,213 @@ static void BM_EndToEndIFOnline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EndToEndIFOnline);
+
+//===----------------------------------------------------------------------===//
+// Trajectory mode: --emit_trajectory[=path]
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TrajectoryConfig {
+  const char *Name;
+  GraphForm Form;
+  CycleElim Elim;
+  uint32_t NumVars;
+  uint32_t NumCons;
+  double Degree; ///< Expected out-degree; edge probability is Degree/NumVars.
+  uint64_t Seed;
+  /// Emission order. facts_first loads every source/sink constraint before
+  /// any variable-variable edge, so each new edge ships the accumulated
+  /// source set as one word-level batch (the bulk-load pattern difference
+  /// propagation is built for). edges_first is the cascade worst case: the
+  /// graph exists before any source arrives and every delta has size one.
+  bool FactsFirst;
+};
+
+/// Like workload::emitRandomConstraints but with a selectable constraint
+/// order (the library emitter is pinned to edges-first for the golden
+/// tests).
+void emitShapeOrdered(const RandomConstraintShape &Shape,
+                      ConstraintSolver &Solver, bool FactsFirst) {
+  TermTable &Terms = Solver.terms();
+  ConstructorTable &Constructors = Terms.mutableConstructors();
+  std::vector<ExprId> Vars, Sources, Sinks;
+  Vars.reserve(Shape.NumVars);
+  for (uint32_t I = 0; I != Shape.NumVars; ++I)
+    Vars.push_back(Terms.var(Solver.freshVar("X" + std::to_string(I))));
+  Sources.reserve(Shape.NumSources);
+  for (uint32_t I = 0; I != Shape.NumSources; ++I)
+    Sources.push_back(Terms.cons(
+        Constructors.getOrCreate("src" + std::to_string(I), {}), {}));
+  Sinks.reserve(Shape.NumSinks);
+  for (uint32_t I = 0; I != Shape.NumSinks; ++I)
+    Sinks.push_back(Terms.cons(
+        Constructors.getOrCreate("snk" + std::to_string(I), {}), {}));
+
+  auto emitFacts = [&] {
+    for (const auto &[Source, Var] : Shape.SourceVar)
+      Solver.addConstraint(Sources[Source], Vars[Var]);
+    for (const auto &[Var, Sink] : Shape.VarSink)
+      Solver.addConstraint(Vars[Var], Sinks[Sink]);
+  };
+  auto emitEdges = [&] {
+    for (const auto &[From, To] : Shape.VarVar)
+      Solver.addConstraint(Vars[From], Vars[To]);
+  };
+  if (FactsFirst) {
+    emitFacts();
+    emitEdges();
+  } else {
+    emitEdges();
+    emitFacts();
+  }
+}
+
+/// One A/B measurement: the optimized paths (difference propagation plus
+/// bitvector least solutions) against the seed algorithms (element-wise
+/// propagation plus the retained reference least-solution pass).
+struct TrajectoryResult {
+  double WallSeconds = 0;         ///< Optimized paths, best of N.
+  double BaselineSeconds = 0;     ///< Seed-style paths, best of N.
+  uint64_t Work = 0;
+  uint64_t Edges = 0;
+  uint64_t LSUnionWords = 0;
+  uint64_t DeltaPropagations = 0;
+  uint64_t PropagationsPruned = 0;
+  size_t SolutionBits = 0; ///< Sink to keep the LS queries observable.
+};
+
+TrajectoryResult measureTrajectory(const TrajectoryConfig &Config,
+                                   unsigned Repeats) {
+  PRNG Rng(Config.Seed);
+  RandomConstraintShape Shape = randomConstraintShape(
+      Config.NumVars, Config.NumCons,
+      Config.Degree / std::max<uint32_t>(Config.NumVars, 1), Rng);
+
+  TrajectoryResult Out;
+  auto solve = [&](bool Optimized) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    SolverOptions Options = makeConfig(Config.Form, Config.Elim, Config.Seed);
+    Options.DiffProp = Optimized;
+    ConstraintSolver Solver(Terms, Options);
+    emitShapeOrdered(Shape, Solver, Config.FactsFirst);
+    size_t Total = 0;
+    if (Optimized) {
+      Solver.finalize();
+      for (VarId Var = 0; Var != Solver.numVars(); ++Var)
+        Total += Solver.leastSolution(Var).size();
+      Out.Work = Solver.stats().Work;
+      Out.Edges = Solver.countFinalEdges();
+      Out.LSUnionWords = Solver.stats().LSUnionWords;
+      Out.DeltaPropagations = Solver.stats().DeltaPropagations;
+      Out.PropagationsPruned = Solver.stats().PropagationsPruned;
+    } else {
+      for (const std::vector<ExprId> &LS : Solver.referenceLeastSolutions())
+        Total += LS.size();
+    }
+    Out.SolutionBits = Total;
+  };
+
+  Out.WallSeconds = bestOfN(Repeats, [&] { solve(true); });
+  Out.BaselineSeconds = bestOfN(Repeats, [&] { solve(false); });
+  return Out;
+}
+
+int emitTrajectory(const std::string &Path) {
+  double Scale = 1.0;
+  if (const char *Env = std::getenv("POCE_BENCH_SCALE"))
+    Scale = std::atof(Env);
+  if (Scale <= 0)
+    Scale = 1.0;
+  unsigned Repeats = 3;
+  if (const char *Env = std::getenv("POCE_BENCH_REPEATS"))
+    Repeats = std::max(1, std::atoi(Env));
+
+  const TrajectoryConfig Configs[] = {
+      {"sf_plain", GraphForm::Standard, CycleElim::None, 6000, 4000, 2.0, 101,
+       /*FactsFirst=*/true},
+      {"sf_online", GraphForm::Standard, CycleElim::Online, 6000, 4000, 2.0,
+       102, /*FactsFirst=*/true},
+      {"sf_cascade", GraphForm::Standard, CycleElim::None, 4000, 2600, 2.0,
+       105, /*FactsFirst=*/false},
+      {"if_plain", GraphForm::Inductive, CycleElim::None, 4000, 2600, 1.2,
+       103, /*FactsFirst=*/false},
+      {"if_online", GraphForm::Inductive, CycleElim::Online, 6000, 4000, 1.5,
+       104, /*FactsFirst=*/false},
+  };
+
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  std::fprintf(File, "{\n  \"bench\": \"micro_solver\",\n"
+                     "  \"mode\": \"emit_trajectory\",\n"
+                     "  \"repeats\": %u,\n  \"scale\": %.2f,\n"
+                     "  \"entries\": [\n",
+               Repeats, Scale);
+  std::printf("=== micro_solver trajectory (best of %u) ===\n", Repeats);
+
+  bool First = true;
+  for (const TrajectoryConfig &Base : Configs) {
+    TrajectoryConfig Config = Base;
+    Config.NumVars = std::max<uint32_t>(
+        8, static_cast<uint32_t>(Config.NumVars * Scale));
+    Config.NumCons = std::max<uint32_t>(
+        4, static_cast<uint32_t>(Config.NumCons * Scale));
+    TrajectoryResult R = measureTrajectory(Config, Repeats);
+    double Speedup = R.BaselineSeconds / std::max(R.WallSeconds, 1e-9);
+    SolverOptions Named = makeConfig(Config.Form, Config.Elim);
+
+    std::fprintf(
+        File,
+        "%s    {\"name\": \"%s\", \"config\": \"%s\", \"order\": \"%s\", "
+        "\"vars\": %u, \"cons\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"work\": %llu, \"edges\": %llu, \"ls_union_words\": %llu,\n"
+        "     \"delta_propagations\": %llu, \"propagations_pruned\": %llu,\n"
+        "     \"solution_bits\": %llu}",
+        First ? "" : ",\n", Config.Name, Named.configName().c_str(),
+        Config.FactsFirst ? "facts_first" : "edges_first", Config.NumVars,
+        Config.NumCons, R.WallSeconds, R.BaselineSeconds,
+        Speedup, (unsigned long long)R.Work, (unsigned long long)R.Edges,
+        (unsigned long long)R.LSUnionWords,
+        (unsigned long long)R.DeltaPropagations,
+        (unsigned long long)R.PropagationsPruned,
+        (unsigned long long)R.SolutionBits);
+    First = false;
+
+    std::printf("%-10s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
+                "speedup=%.2fx work=%llu edges=%llu\n",
+                Config.Name, Named.configName().c_str(), Config.NumVars,
+                R.WallSeconds, R.BaselineSeconds, Speedup,
+                (unsigned long long)R.Work, (unsigned long long)R.Edges);
+  }
+
+  std::fprintf(File, "\n  ]\n}\n");
+  std::fclose(File);
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--emit_trajectory") == 0)
+      return emitTrajectory("BENCH_micro_solver.json");
+    if (std::strncmp(Arg, "--emit_trajectory=", 18) == 0)
+      return emitTrajectory(Arg + 18);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verification (see ROADMAP.md): configure, build, and run the full
+# test suite in one command. Extra arguments are passed to ctest.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="$ROOT/build"
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j
+cd "$BUILD"
+exec ctest --output-on-failure -j "$@"

@@ -95,12 +95,19 @@ void ConstraintSolver::invalidateSolutions() {
   if (!Finalized)
     return;
   Finalized = false;
-  LS.clear();
+  LSBits.clear();
+  LSView.clear();
+  LSViewBuilt.clear();
 }
 
 void ConstraintSolver::enqueue(ExprId Lhs, ExprId Rhs, bool Derived) {
   if (!Stats.Aborted)
-    Worklist.push_back({Lhs, Rhs, Derived});
+    Worklist.push_back({Lhs, Rhs, Derived, /*FlushDelta=*/false});
+}
+
+void ConstraintSolver::scheduleFlush(VarId Var) {
+  if (!Stats.Aborted)
+    Worklist.push_back({Var, 0, /*Derived=*/true, /*FlushDelta=*/true});
 }
 
 void ConstraintSolver::drainWorklist() {
@@ -110,8 +117,12 @@ void ConstraintSolver::drainWorklist() {
   while (!Worklist.empty() && !Stats.Aborted) {
     WorkItem Item = Worklist.back();
     Worklist.pop_back();
-    ++Stats.ConstraintsProcessed;
-    resolve(Item.Lhs, Item.Rhs, Item.Derived);
+    if (Item.FlushDelta) {
+      flushDelta(Item.Lhs);
+    } else {
+      ++Stats.ConstraintsProcessed;
+      resolve(Item.Lhs, Item.Rhs, Item.Derived);
+    }
     // Offline passes run at a safe point, between worklist items.
     if (Options.Elim == CycleElim::Periodic && Stats.Work >= NextPeriodicWork) {
       runPeriodicPass();
@@ -195,13 +206,26 @@ void ConstraintSolver::countWork() {
   }
 }
 
+void ConstraintSolver::countWorkBatch(uint64_t N) {
+  if (!N)
+    return;
+  Stats.Work += N;
+  if (Options.MaxWork && Stats.Work > Options.MaxWork && !Stats.Aborted) {
+    Stats.Aborted = true;
+    Worklist.clear();
+  }
+}
+
 ExprId ConstraintSolver::exprOfRef(uint32_t Ref) {
   return isTermRef(Ref) ? payloadOf(Ref) : Terms.var(payloadOf(Ref));
 }
 
 bool ConstraintSolver::insertPred(VarId Owner, uint32_t Entry, bool Derived) {
   VarNode &Node = Vars[Owner];
-  if (!Node.PredSet.insert(Entry)) {
+  bool Inserted = isTermRef(Entry)
+                      ? Node.PredTerms.testAndSet(payloadOf(Entry))
+                      : Node.PredVarSet.insert(Entry);
+  if (!Inserted) {
     ++Stats.RedundantAdds;
     return false;
   }
@@ -217,13 +241,37 @@ bool ConstraintSolver::insertPred(VarId Owner, uint32_t Entry, bool Derived) {
 
 bool ConstraintSolver::insertSucc(VarId Owner, uint32_t Entry, bool Derived) {
   VarNode &Node = Vars[Owner];
-  if (!Node.SuccSet.insert(Entry)) {
+  bool Inserted = isTermRef(Entry)
+                      ? Node.SuccTerms.testAndSet(payloadOf(Entry))
+                      : Node.SuccVarSet.insert(Entry);
+  if (!Inserted) {
     ++Stats.RedundantAdds;
     return false;
   }
   Node.Succs.push_back(Entry);
   if (!Derived)
     ++Stats.InitialEdges;
+
+  if (sfDiffProp()) {
+    // Standard-form pred lists hold source terms only. Pair the new
+    // successor with the sources that were already flushed; the pending
+    // SrcDelta bits reach it through the scheduled flush, so each source
+    // arrival meets each edge exactly once.
+    const SparseBitVector *OldSrc = &Node.PredTerms;
+    if (!Node.SrcDelta.empty()) {
+      OldSrcScratch.assignDifference(Node.PredTerms, Node.SrcDelta);
+      OldSrc = &OldSrcScratch;
+    }
+    if (isTermRef(Entry)) {
+      ExprId Sink = payloadOf(Entry);
+      OldSrc->forEach(
+          [&](uint32_t Src) { enqueue(Src, Sink, /*Derived=*/true); });
+    } else {
+      deliverSources(Forwarding.find(payloadOf(Entry)), *OldSrc);
+    }
+    return true;
+  }
+
   // Closure rule at Owner: every predecessor pairs with the new successor.
   ExprId Rhs = exprOfRef(Entry);
   for (uint32_t Pred : Node.Preds)
@@ -261,9 +309,27 @@ void ConstraintSolver::insertSourceVar(ExprId Source, VarId Var,
   countWork();
   if (Stats.Aborted)
     return;
-  if (insertPred(Var, termRef(Source), Derived))
-    if (SeenSources.insert(Source))
-      ++Stats.DistinctSources;
+  if (!sfDiffProp()) {
+    if (insertPred(Var, termRef(Source), Derived))
+      if (SeenSources.testAndSet(Source))
+        ++Stats.DistinctSources;
+    return;
+  }
+  // Difference propagation: record the arrival in the source bitmap and
+  // the pending delta; successor pairing happens when the delta flushes.
+  VarNode &Node = Vars[Var];
+  if (!Node.PredTerms.testAndSet(Source)) {
+    ++Stats.RedundantAdds;
+    return;
+  }
+  Node.Preds.push_back(termRef(Source));
+  if (!Derived)
+    ++Stats.InitialEdges;
+  if (SeenSources.testAndSet(Source))
+    ++Stats.DistinctSources;
+  if (Node.SrcDelta.empty())
+    scheduleFlush(Var);
+  Node.SrcDelta.set(Source);
 }
 
 void ConstraintSolver::insertVarSink(VarId Var, ExprId Sink, bool Derived) {
@@ -272,8 +338,70 @@ void ConstraintSolver::insertVarSink(VarId Var, ExprId Sink, bool Derived) {
   if (Stats.Aborted)
     return;
   if (insertSucc(Var, termRef(Sink), Derived))
-    if (SeenSinks.insert(Sink))
+    if (SeenSinks.testAndSet(Sink))
       ++Stats.DistinctSinks;
+}
+
+void ConstraintSolver::deliverSources(VarId Target,
+                                      const SparseBitVector &Batch) {
+  if (Batch.empty())
+    return;
+  // Work accounting matches element-wise insertion: one attempt per
+  // source in the batch, redundant when the bit was already present.
+  countWorkBatch(Batch.count());
+  ++Stats.DeltaPropagations;
+  VarNode &Node = Vars[Target];
+  bool WasIdle = Node.SrcDelta.empty();
+  auto OnNewSource = [&](uint32_t Src) {
+    Node.Preds.push_back(termRef(Src));
+    Node.SrcDelta.set(Src);
+    if (SeenSources.testAndSet(Src))
+      ++Stats.DistinctSources;
+  };
+  // A small batch landing in a large accumulated set is cheaper to probe
+  // bit by bit (the cursor makes clustered probes O(1)) than to merge word
+  // by word across all of the target's elements. Both paths visit new bits
+  // in ascending order, so accounting and Preds order are identical.
+  size_t Added = 0;
+  if (Batch.count() * 8 < Node.PredTerms.numWords()) {
+    Batch.forEach([&](uint32_t Src) {
+      if (Node.PredTerms.testAndSet(Src)) {
+        ++Added;
+        OnNewSource(Src);
+      }
+    });
+  } else {
+    Added = Node.PredTerms.unionWithVisitor(Batch, OnNewSource);
+  }
+  Stats.RedundantAdds += Batch.count() - Added;
+  if (!Added) {
+    ++Stats.PropagationsPruned;
+    return;
+  }
+  if (WasIdle)
+    scheduleFlush(Target);
+}
+
+void ConstraintSolver::flushDelta(VarId Var) {
+  if (Stats.Aborted)
+    return;
+  VarNode &Node = Vars[Var];
+  if (Node.SrcDelta.empty())
+    return; // Collapsed away, or already covered by an earlier flush.
+  DeltaScratch.clear();
+  std::swap(DeltaScratch, Node.SrcDelta);
+  for (size_t I = 0; I != Node.Succs.size() && !Stats.Aborted; ++I) {
+    uint32_t Entry = Node.Succs[I];
+    if (isTermRef(Entry)) {
+      // Sink successors resolve element-wise (constructor decomposition
+      // may derive further constraints per source).
+      ExprId Sink = payloadOf(Entry);
+      DeltaScratch.forEach(
+          [&](uint32_t Src) { enqueue(Src, Sink, /*Derived=*/true); });
+    } else {
+      deliverSources(Forwarding.find(payloadOf(Entry)), DeltaScratch);
+    }
+  }
 }
 
 void ConstraintSolver::recordVarVar(VarId Lhs, VarId Rhs, bool Derived) {
@@ -418,7 +546,10 @@ void ConstraintSolver::collapseCycle(const std::vector<VarId> &Cycle) {
     (void)United;
     ++Stats.VarsEliminated;
   }
-  // Move the collapsed variables' constraints onto the witness.
+  // Move the collapsed variables' constraints onto the witness. Clearing
+  // SrcDelta turns any flush still queued for the dead variable into a
+  // no-op; its pending sources re-arrive at the witness through the
+  // re-enqueued constraints below.
   ExprId WitnessExpr = Terms.var(Witness);
   for (VarId Var : Cycle) {
     if (Var == Witness)
@@ -428,8 +559,11 @@ void ConstraintSolver::collapseCycle(const std::vector<VarId> &Cycle) {
     std::vector<uint32_t> Succs = std::move(Node.Succs);
     Node.Preds.clear();
     Node.Succs.clear();
-    Node.PredSet = DenseU64Set();
-    Node.SuccSet = DenseU64Set();
+    Node.PredVarSet = DenseU64Set();
+    Node.SuccVarSet = DenseU64Set();
+    Node.PredTerms = SparseBitVector();
+    Node.SuccTerms = SparseBitVector();
+    Node.SrcDelta = SparseBitVector();
     for (uint32_t Pred : Preds)
       enqueue(exprOfRef(Pred), WitnessExpr, /*Derived=*/true);
     for (uint32_t Succ : Succs)
@@ -455,39 +589,47 @@ void ConstraintSolver::finalize() {
     return;
   drainWorklist();
   Finalized = true;
-  if (Options.Form == GraphForm::Standard)
-    computeLeastSolutionSF();
-  else
+  LSView.assign(numVars(), {});
+  LSViewBuilt.assign(numVars(), 0);
+  if (Options.Form == GraphForm::Inductive)
     computeLeastSolutionIF();
+  else
+    LSBits.clear(); // SF: the closed graph holds LS in PredTerms already.
 }
 
 const std::vector<ExprId> &ConstraintSolver::leastSolution(VarId Var) {
   finalize();
-  return LS[Forwarding.find(Var)];
+  return materializeLS(Forwarding.find(Var));
 }
 
-// In standard form the closed graph is explicit: the least solution of X
-// is exactly the set of sources in pred(X).
-void ConstraintSolver::computeLeastSolutionSF() {
-  LS.assign(numVars(), {});
-  for (VarId Var = 0; Var != numVars(); ++Var) {
-    if (!Forwarding.isRepresentative(Var))
-      continue;
-    std::vector<ExprId> &Out = LS[Var];
-    for (uint32_t Pred : Vars[Var].Preds)
-      if (isTermRef(Pred))
-        Out.push_back(payloadOf(Pred));
-    std::sort(Out.begin(), Out.end());
-    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+const SparseBitVector &ConstraintSolver::leastSolutionBits(VarId Var) {
+  finalize();
+  VarId Rep = Forwarding.find(Var);
+  return Options.Form == GraphForm::Standard ? Vars[Rep].PredTerms
+                                             : LSBits[Rep];
+}
+
+const std::vector<ExprId> &ConstraintSolver::materializeLS(VarId Rep) {
+  if (!LSViewBuilt[Rep]) {
+    const SparseBitVector &Bits = Options.Form == GraphForm::Standard
+                                      ? Vars[Rep].PredTerms
+                                      : LSBits[Rep];
+    LSView[Rep] = Bits.toVector<ExprId>();
+    LSViewBuilt[Rep] = 1;
   }
+  return LSView[Rep];
 }
 
 // In inductive form every variable predecessor has a smaller order index,
 // so processing representatives in increasing order makes equation (1) of
 // the paper a single pass:
 //   LS(Y) = {c | c in pred(Y)} ∪ ⋃_{X in pred(Y)} LS(X).
+// Each union is a word-level bitmap merge, and predecessor entries that
+// resolve to the same representative (common after collapses) union once
+// per variable thanks to the epoch mark — the accumulation stays linear in
+// bitmap words where the vector version re-sorted every duplicate.
 void ConstraintSolver::computeLeastSolutionIF() {
-  LS.assign(numVars(), {});
+  LSBits.assign(numVars(), SparseBitVector());
   std::vector<VarId> Live;
   for (VarId Var = 0; Var != numVars(); ++Var)
     if (Forwarding.isRepresentative(Var))
@@ -497,6 +639,50 @@ void ConstraintSolver::computeLeastSolutionIF() {
   });
 
   for (VarId Var : Live) {
+    SparseBitVector &Out = LSBits[Var];
+    ++CurrentEpoch;
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred)) {
+        Out.set(payloadOf(Pred));
+        continue;
+      }
+      VarId PredRep = Forwarding.find(payloadOf(Pred));
+      if (PredRep == Var)
+        continue; // Stale self reference after a collapse.
+      assert(Vars[PredRep].Order < Vars[Var].Order &&
+             "inductive form violated: predecessor with larger order");
+      if (Vars[PredRep].VisitEpoch == CurrentEpoch)
+        continue; // Duplicate entry for the same representative.
+      Vars[PredRep].VisitEpoch = CurrentEpoch;
+      Out.unionWith(LSBits[PredRep], &Stats.LSUnionWords);
+    }
+  }
+}
+
+std::vector<std::vector<ExprId>> ConstraintSolver::referenceLeastSolutions() {
+  drainWorklist();
+  std::vector<std::vector<ExprId>> Ref(numVars());
+  if (Options.Form == GraphForm::Standard) {
+    for (VarId Var = 0; Var != numVars(); ++Var) {
+      if (!Forwarding.isRepresentative(Var))
+        continue;
+      std::vector<ExprId> &Out = Ref[Var];
+      for (uint32_t Pred : Vars[Var].Preds)
+        if (isTermRef(Pred))
+          Out.push_back(payloadOf(Pred));
+      std::sort(Out.begin(), Out.end());
+      Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    }
+    return Ref;
+  }
+  std::vector<VarId> Live;
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (Forwarding.isRepresentative(Var))
+      Live.push_back(Var);
+  std::sort(Live.begin(), Live.end(), [&](VarId A, VarId B) {
+    return Vars[A].Order < Vars[B].Order;
+  });
+  for (VarId Var : Live) {
     std::vector<ExprId> Acc;
     for (uint32_t Pred : Vars[Var].Preds) {
       if (isTermRef(Pred)) {
@@ -505,21 +691,42 @@ void ConstraintSolver::computeLeastSolutionIF() {
       }
       VarId PredRep = Forwarding.find(payloadOf(Pred));
       if (PredRep == Var)
-        continue; // Stale self reference after a collapse.
-      assert(Vars[PredRep].Order < Vars[Var].Order &&
-             "inductive form violated: predecessor with larger order");
-      const std::vector<ExprId> &PredLS = LS[PredRep];
+        continue;
+      const std::vector<ExprId> &PredLS = Ref[PredRep];
       Acc.insert(Acc.end(), PredLS.begin(), PredLS.end());
     }
     std::sort(Acc.begin(), Acc.end());
     Acc.erase(std::unique(Acc.begin(), Acc.end()), Acc.end());
-    LS[Var] = std::move(Acc);
+    Ref[Var] = std::move(Acc);
   }
+  return Ref;
 }
 
 //===----------------------------------------------------------------------===//
 // Introspection
 //===----------------------------------------------------------------------===//
+
+bool ConstraintSolver::verifyGraphInvariants() {
+  drainWorklist();
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred))
+        continue;
+      // Standard form stores every variable-variable edge on the successor
+      // side; a variable predecessor would corrupt the explicit LS.
+      if (Options.Form == GraphForm::Standard)
+        return false;
+      VarId PredRep = Forwarding.find(payloadOf(Pred));
+      if (PredRep == Var)
+        continue;
+      if (Vars[PredRep].Order >= Vars[Var].Order)
+        return false;
+    }
+  }
+  return true;
+}
 
 uint64_t ConstraintSolver::countFinalEdges() {
   uint64_t Count = 0;
@@ -527,22 +734,28 @@ uint64_t ConstraintSolver::countFinalEdges() {
   for (VarId Var = 0; Var != numVars(); ++Var) {
     if (!Forwarding.isRepresentative(Var))
       continue;
+    const VarNode &Node = Vars[Var];
+    // Term entries are unique in the adjacency lists by construction, so
+    // the bitmap population counts are exact.
+    Count += Node.PredTerms.count() + Node.SuccTerms.count();
     Resolved.clear();
-    for (uint32_t Pred : Vars[Var].Preds) {
-      uint32_t Ref =
-          isTermRef(Pred) ? Pred : varRef(Forwarding.find(payloadOf(Pred)));
-      if (!isTermRef(Ref) && payloadOf(Ref) == Var)
+    for (uint32_t Pred : Node.Preds) {
+      if (isTermRef(Pred))
         continue;
-      if (Resolved.insert(Ref))
+      VarId Rep = Forwarding.find(payloadOf(Pred));
+      if (Rep == Var)
+        continue;
+      if (Resolved.insert(varRef(Rep)))
         ++Count;
     }
-    for (uint32_t Succ : Vars[Var].Succs) {
-      uint32_t Ref =
-          isTermRef(Succ) ? Succ : varRef(Forwarding.find(payloadOf(Succ)));
-      if (!isTermRef(Ref) && payloadOf(Ref) == Var)
+    for (uint32_t Succ : Node.Succs) {
+      if (isTermRef(Succ))
+        continue;
+      VarId Rep = Forwarding.find(payloadOf(Succ));
+      if (Rep == Var)
         continue;
       // Distinguish succ entries from pred entries of the same neighbor.
-      if (Resolved.insert(static_cast<uint64_t>(Ref) | (1ULL << 62)))
+      if (Resolved.insert(static_cast<uint64_t>(varRef(Rep)) | (1ULL << 62)))
         ++Count;
     }
   }
@@ -606,19 +819,27 @@ uint64_t ConstraintSolver::compact() {
       Removed += Node.Preds.size() + Node.Succs.size();
       Node.Preds.clear();
       Node.Succs.clear();
-      Node.PredSet = DenseU64Set();
-      Node.SuccSet = DenseU64Set();
+      Node.PredVarSet = DenseU64Set();
+      Node.SuccVarSet = DenseU64Set();
+      Node.PredTerms = SparseBitVector();
+      Node.SuccTerms = SparseBitVector();
+      Node.SrcDelta = SparseBitVector();
       continue;
     }
-    auto Rebuild = [&](std::vector<uint32_t> &List, DenseU64Set &Set) {
+    // Term entries are already unique and resolve to themselves, so only
+    // the variable entries need resolution and deduplication; the term
+    // bitmaps carry over unchanged.
+    auto Rebuild = [&](std::vector<uint32_t> &List, DenseU64Set &VarSet) {
       Seen.clear();
       std::vector<uint32_t> Fresh;
       Fresh.reserve(List.size());
       for (uint32_t Entry : List) {
-        uint32_t Resolved =
-            isTermRef(Entry) ? Entry
-                             : varRef(Forwarding.find(payloadOf(Entry)));
-        if (!isTermRef(Resolved) && payloadOf(Resolved) == Var) {
+        if (isTermRef(Entry)) {
+          Fresh.push_back(Entry);
+          continue;
+        }
+        uint32_t Resolved = varRef(Forwarding.find(payloadOf(Entry)));
+        if (payloadOf(Resolved) == Var) {
           ++Removed;
           continue; // Self reference left by a collapse.
         }
@@ -631,11 +852,12 @@ uint64_t ConstraintSolver::compact() {
       List = std::move(Fresh);
       DenseU64Set FreshSet;
       for (uint32_t Entry : List)
-        FreshSet.insert(Entry);
-      Set = std::move(FreshSet);
+        if (!isTermRef(Entry))
+          FreshSet.insert(Entry);
+      VarSet = std::move(FreshSet);
     };
-    Rebuild(Node.Preds, Node.PredSet);
-    Rebuild(Node.Succs, Node.SuccSet);
+    Rebuild(Node.Preds, Node.PredVarSet);
+    Rebuild(Node.Succs, Node.SuccVarSet);
   }
   return Removed;
 }

@@ -34,6 +34,14 @@
 /// forwarding pointers (union-find), re-adding the collapsed variables'
 /// edges to the witness.
 ///
+/// Set-heavy state — the source/sink term sets attached to each variable
+/// and the least solutions — is held in SparseBitVector bitmaps:
+/// membership is a word probe, and standard-form source flow uses batched
+/// difference propagation (only the delta of newly arrived sources is
+/// pushed along successor edges, with word-level unions whose changed flag
+/// prunes fully redundant deliveries). See docs/INTERNALS.md, "Set
+/// representation and difference propagation".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POCE_SETCON_CONSTRAINTSOLVER_H
@@ -45,6 +53,7 @@
 #include "setcon/Term.h"
 #include "support/DenseU64Set.h"
 #include "support/PRNG.h"
+#include "support/SparseBitVector.h"
 #include "support/UnionFind.h"
 
 #include <string>
@@ -92,8 +101,20 @@ public:
   void finalize();
 
   /// The least solution of \p Var: the sorted set of constructed source
-  /// terms (by ExprId) contained in every solution's value for Var.
+  /// terms (by ExprId) contained in every solution's value for Var. The
+  /// solution is held as a bitvector; the sorted vector view is
+  /// materialized lazily per representative and cached until the next
+  /// constraint addition.
   const std::vector<ExprId> &leastSolution(VarId Var);
+
+  /// The least solution of \p Var as a bitmap (no materialization).
+  const SparseBitVector &leastSolutionBits(VarId Var);
+
+  /// Recomputes all least solutions with the pre-bitvector algorithm
+  /// (vector concatenation + sort + unique over the adjacency lists).
+  /// Retained as an independent oracle for the equivalence tests; the
+  /// result is indexed by VarId and filled for live representatives only.
+  std::vector<std::vector<ExprId>> referenceLeastSolutions();
 
   //===--------------------------------------------------------------------===
   // Introspection (tests, benches, oracle construction)
@@ -151,6 +172,13 @@ public:
   /// entries resolved through forwarding) — the paper's "Edges" column.
   uint64_t countFinalEdges();
 
+  /// Checks the representation invariants the least-solution pass relies
+  /// on: in inductive form every live variable's predecessor entries
+  /// resolve to strictly lower-ordered representatives; in standard form
+  /// predecessor lists contain source terms only. Returns false on the
+  /// first violation (the invariant the IF ascending pass asserts).
+  bool verifyGraphInvariants();
+
   /// Projects the current variable-variable graph (edges between live
   /// representatives) for SCC analysis and visualization.
   Digraph varVarDigraph();
@@ -192,14 +220,29 @@ private:
     std::string Name;
     uint64_t Order = 0;
     uint32_t CreationIndex = 0;
+    /// Adjacency in insertion order (tagged refs). Drives pairing order,
+    /// chain searches, collapse re-adding, and dumps.
     std::vector<uint32_t> Preds, Succs;
-    DenseU64Set PredSet, SuccSet;
+    /// Dedup sets for variable entries (raw refs as written, which may go
+    /// stale after collapses — matching the list contents).
+    DenseU64Set PredVarSet, SuccVarSet;
+    /// Bitmaps of the term entries (source ExprIds on the pred side, sink
+    /// ExprIds on the succ side). Membership, least solutions, and edge
+    /// counting all read these instead of hashing.
+    SparseBitVector PredTerms, SuccTerms;
+    /// Standard-form difference propagation: sources that arrived since
+    /// the last flush and still await delivery to the successor edges.
+    /// Always a subset of PredTerms; empty outside SF diff-prop.
+    SparseBitVector SrcDelta;
     uint32_t VisitEpoch = 0;
   };
 
   struct WorkItem {
     ExprId Lhs, Rhs;
     bool Derived;
+    /// SF difference propagation: flush Vars[Lhs].SrcDelta along the
+    /// successor edges instead of resolving Lhs <= Rhs.
+    bool FlushDelta;
   };
 
   //===--------------------------------------------------------------------===
@@ -220,9 +263,29 @@ private:
   bool insertPred(VarId Owner, uint32_t Entry, bool Derived);
   bool insertSucc(VarId Owner, uint32_t Entry, bool Derived);
 
+  /// True if this solve batches standard-form source flow.
+  bool sfDiffProp() const {
+    return Options.Form == GraphForm::Standard && Options.DiffProp;
+  }
+
+  /// Schedules a SrcDelta flush for \p Var unless one is already pending.
+  void scheduleFlush(VarId Var);
+
+  /// Delivers the pending source delta of \p Var along its successor
+  /// edges (batched for variable successors, element-wise resolution for
+  /// sink successors).
+  void flushDelta(VarId Var);
+
+  /// Batched arrival of the source set \p Batch at live variable
+  /// \p Target: word-level union into the target's source bitmap with
+  /// work accounting identical to element-wise insertion.
+  void deliverSources(VarId Target, const SparseBitVector &Batch);
+
   ExprId exprOfRef(uint32_t Ref);
   void enqueue(ExprId Lhs, ExprId Rhs, bool Derived);
   void countWork();
+  /// Batched equivalent of \p N countWork() calls.
+  void countWorkBatch(uint64_t N);
 
   //===--------------------------------------------------------------------===
   // Cycle detection and elimination
@@ -259,9 +322,11 @@ private:
   // Least solution
   //===--------------------------------------------------------------------===
 
-  void computeLeastSolutionSF();
   void computeLeastSolutionIF();
   void invalidateSolutions();
+  /// Builds (or returns) the cached sorted-vector view of \p Rep's least
+  /// solution bitmap.
+  const std::vector<ExprId> &materializeLS(VarId Rep);
 
   TermTable &Terms;
   SolverOptions Options;
@@ -277,14 +342,23 @@ private:
   uint64_t NextPeriodicWork = 0;
   uint32_t CurrentEpoch = 0;
 
-  DenseU64Set SeenSources, SeenSinks;
+  /// Scratch bitmaps reused by flushDelta/insertSucc to avoid per-flush
+  /// allocations.
+  SparseBitVector DeltaScratch, OldSrcScratch;
+
+  SparseBitVector SeenSources, SeenSinks;
   DenseU64Set RecordedSet, RecordedInitialSet;
   std::vector<std::pair<uint32_t, uint32_t>> RecordedVarVar;
   std::vector<std::pair<uint32_t, uint32_t>> RecordedInitialVarVar;
   std::vector<std::string> Inconsistencies;
 
   bool Finalized = false;
-  std::vector<std::vector<ExprId>> LS;
+  /// Inductive-form least solutions per VarId (unused entries empty).
+  /// Standard form reads PredTerms directly instead.
+  std::vector<SparseBitVector> LSBits;
+  /// Lazily materialized sorted views of the solution bitmaps.
+  std::vector<std::vector<ExprId>> LSView;
+  std::vector<uint8_t> LSViewBuilt;
 
   SolverStats Stats;
 };

@@ -96,6 +96,15 @@ struct SolverOptions {
   /// When true, every variable-variable constraint is recorded (in
   /// creation-index space) for SCC ground truth and oracle construction.
   bool RecordVarVar = false;
+  /// Standard form only: propagate sources with batched difference
+  /// propagation (word-level delta flushes along successor edges) instead
+  /// of one worklist item per (source, edge) pair. Least solutions are
+  /// identical either way, and so are the paper's counters on cycle-free
+  /// closures; with collapses the two schemes interleave edge re-adds
+  /// differently, so order-sensitive counters (Work under SF-Online) can
+  /// differ the same way they would under any worklist reordering. Turn
+  /// off to reproduce the element-wise accounting exactly.
+  bool DiffProp = true;
 
   /// Returns the paper's name for this configuration, e.g. "IF-Online".
   std::string configName() const {

@@ -60,6 +60,19 @@ struct SolverStats {
   /// Constraints processed from the worklist.
   uint64_t ConstraintsProcessed = 0;
 
+  /// 64-bit words visited by word-level set unions in the least-solution
+  /// pass (the bitvector backend's cost measure; 0 for standard form,
+  /// whose closed graph needs no union pass).
+  uint64_t LSUnionWords = 0;
+  /// Standard-form difference propagation: batched source-set deliveries
+  /// pushed along successor edges (one per (flush, variable-successor)
+  /// pair). 0 in inductive form or with SolverOptions::DiffProp off.
+  uint64_t DeltaPropagations = 0;
+  /// Batched deliveries whose word-level union added no new source — the
+  /// redundant work the unionWith changed-flag prunes down to a merge
+  /// instead of per-element hash probes.
+  uint64_t PropagationsPruned = 0;
+
   /// True if the solve hit SolverOptions::MaxWork and stopped early.
   bool Aborted = false;
 
