@@ -18,6 +18,11 @@
 ///                       the cap are reported with a ">" prefix, like the
 ///                       paper's oracle runs that "failed" on three
 ///                       programs.
+///   POCE_BENCH_THREADS  execution lanes for suite preparation and the
+///                       thread-scaling entries (default 1; 0 = one per
+///                       hardware thread). Measured solves themselves stay
+///                       sequential so per-config timings remain
+///                       comparable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,7 @@
 #include "andersen/Andersen.h"
 #include "setcon/Oracle.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "workload/Suite.h"
 
@@ -44,6 +50,7 @@ struct BenchEnv {
   uint32_t MaxAst = 0;
   unsigned Repeats = 1;
   uint64_t PlainMaxWork = 150000000;
+  unsigned Threads = 1;
 
   static BenchEnv fromEnv() {
     BenchEnv Env;
@@ -55,16 +62,19 @@ struct BenchEnv {
       Env.Repeats = static_cast<unsigned>(std::atoi(Repeats));
     if (const char *MaxWork = std::getenv("POCE_BENCH_MAXWORK"))
       Env.PlainMaxWork = static_cast<uint64_t>(std::atoll(MaxWork));
+    if (const char *Threads = std::getenv("POCE_BENCH_THREADS"))
+      Env.Threads = static_cast<unsigned>(std::atoi(Threads));
     if (Env.Repeats < 1)
       Env.Repeats = 1;
+    Env.Threads = ThreadPool::resolveThreads(Env.Threads);
     return Env;
   }
 
   void print() const {
     std::string MaxAstNote =
         MaxAst ? " max-ast=" + std::to_string(MaxAst) : std::string();
-    std::printf("# scale=%.2f repeats=%u plain-work-cap=%llu%s\n", Scale,
-                Repeats, (unsigned long long)PlainMaxWork,
+    std::printf("# scale=%.2f repeats=%u plain-work-cap=%llu threads=%u%s\n",
+                Scale, Repeats, (unsigned long long)PlainMaxWork, Threads,
                 MaxAstNote.c_str());
   }
 };
@@ -90,15 +100,27 @@ struct SuiteEntry {
 
 inline std::vector<std::unique_ptr<SuiteEntry>>
 prepareSuite(const BenchEnv &Env) {
+  std::vector<workload::ProgramSpec> Specs =
+      workload::paperSuite(Env.Scale, Env.MaxAst);
+  // Generation + parsing of the suite inputs are independent pure
+  // functions of each spec; prepare them concurrently when the env asks
+  // for threads. Entry order (and everything downstream) is unaffected.
+  std::vector<std::unique_ptr<SuiteEntry>> Prepared(Specs.size());
+  ThreadPool Pool(Env.Threads);
+  Pool.parallelFor(
+      Specs.size(),
+      [&](size_t I, unsigned) {
+        Prepared[I] = std::make_unique<SuiteEntry>();
+        Prepared[I]->Program = workload::prepareProgram(Specs[I]);
+      },
+      /*Grain=*/1);
+
   std::vector<std::unique_ptr<SuiteEntry>> Entries;
-  for (const workload::ProgramSpec &Spec :
-       workload::paperSuite(Env.Scale, Env.MaxAst)) {
-    auto Entry = std::make_unique<SuiteEntry>();
-    Entry->Program = workload::prepareProgram(Spec);
+  for (std::unique_ptr<SuiteEntry> &Entry : Prepared) {
     if (!Entry->Program->Ok) {
       std::fprintf(stderr, "warning: benchmark '%s' failed to parse; "
                            "skipping\n",
-                   Spec.Name.c_str());
+                   Entry->Program->Spec.Name.c_str());
       continue;
     }
     Entries.push_back(std::move(Entry));
@@ -144,6 +166,29 @@ inline std::string capped(uint64_t Value, bool Capped) {
 }
 inline std::string cappedTime(double Seconds, bool Capped) {
   return (Capped ? ">" : "") + formatDouble(Seconds, 3);
+}
+
+/// The figure benches all report the same three bitvector hot-path
+/// counters — the SF run's difference-propagation pair and the IF run's
+/// least-solution union words (SolverStats::hotPathCounters order). These
+/// two helpers build the header and data cells so the column list lives
+/// in one place.
+inline void appendHotPathHeaders(std::vector<std::string> &Header,
+                                 const std::string &SFTag,
+                                 const std::string &IFTag) {
+  auto Counters = SolverStats().hotPathCounters();
+  Header.push_back(SFTag + "-" + Counters[0].Label);
+  Header.push_back(SFTag + "-" + Counters[1].Label);
+  Header.push_back(IFTag + "-" + Counters[2].Label);
+}
+
+inline void appendHotPathCells(std::vector<std::string> &Row,
+                               const MeasuredRun &SF, const MeasuredRun &IF) {
+  auto SFCounters = SF.Result.Stats.hotPathCounters();
+  auto IFCounters = IF.Result.Stats.hotPathCounters();
+  Row.push_back(capped(SFCounters[0].Value, SF.Capped));
+  Row.push_back(capped(SFCounters[1].Value, SF.Capped));
+  Row.push_back(capped(IFCounters[2].Value, IF.Capped));
 }
 
 } // namespace bench

@@ -23,9 +23,12 @@ int main() {
       "=== Figure 8: analysis time with online/oracle elimination ===\n");
   Env.print();
 
-  TextTable Table({"Benchmark", "AST", "IF-Oracle(s)", "SF-Oracle(s)",
-                   "IF-Online(s)", "SF-Online(s)", "IFon/IForacle",
-                   "SFon-DeltaProps", "SFon-Pruned", "IFon-LSwords"});
+  std::vector<std::string> Header = {"Benchmark",    "AST",
+                                     "IF-Oracle(s)", "SF-Oracle(s)",
+                                     "IF-Online(s)", "SF-Online(s)",
+                                     "IFon/IForacle"};
+  appendHotPathHeaders(Header, "SFon", "IFon");
+  TextTable Table(std::move(Header));
   double SumRatio = 0;
   unsigned NumRatios = 0;
   for (auto &Entry : prepareSuite(Env)) {
@@ -41,16 +44,15 @@ int main() {
         IFOnline.BestSeconds / std::max(IFOracle.BestSeconds, 1e-9);
     SumRatio += Ratio;
     ++NumRatios;
-    Table.addRow({Entry->Program->Spec.Name,
-                  formatGrouped(Entry->Program->AstNodes),
-                  formatDouble(IFOracle.BestSeconds, 3),
-                  formatDouble(SFOracle.BestSeconds, 3),
-                  formatDouble(IFOnline.BestSeconds, 3),
-                  formatDouble(SFOnline.BestSeconds, 3),
-                  formatDouble(Ratio, 2),
-                  formatGrouped(SFOnline.Result.Stats.DeltaPropagations),
-                  formatGrouped(SFOnline.Result.Stats.PropagationsPruned),
-                  formatGrouped(IFOnline.Result.Stats.LSUnionWords)});
+    std::vector<std::string> Row = {Entry->Program->Spec.Name,
+                                    formatGrouped(Entry->Program->AstNodes),
+                                    formatDouble(IFOracle.BestSeconds, 3),
+                                    formatDouble(SFOracle.BestSeconds, 3),
+                                    formatDouble(IFOnline.BestSeconds, 3),
+                                    formatDouble(SFOnline.BestSeconds, 3),
+                                    formatDouble(Ratio, 2)};
+    appendHotPathCells(Row, SFOnline, IFOnline);
+    Table.addRow(std::move(Row));
   }
   Table.print();
   if (NumRatios)

@@ -15,8 +15,12 @@
 /// microbenchmark suite. Run with --emit_trajectory[=path] to instead
 /// A/B the bitvector/difference-propagation hot paths against the seed
 /// algorithms on large random constraint systems and record the result as
-/// JSON (default path: BENCH_micro_solver.json). Trajectory mode honors
-/// POCE_BENCH_SCALE and POCE_BENCH_REPEATS (best-of-N, default 3).
+/// JSON (default path: BENCH_micro_solver.json). Each invocation appends
+/// one timestamped run to the file's "runs" array (a pre-existing
+/// flat-format file is migrated to the first run), so successive runs form
+/// a trajectory. Trajectory mode honors POCE_BENCH_SCALE,
+/// POCE_BENCH_REPEATS (best-of-N, default 3), and POCE_BENCH_THREADS
+/// (lanes for the thread-scaling entries; default 4, 0 = hardware).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,15 +31,20 @@
 #include "support/DenseU64Set.h"
 #include "support/PRNG.h"
 #include "support/SparseBitVector.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/UnionFind.h"
 #include "workload/ProgramGenerator.h"
 #include "workload/RandomConstraints.h"
+#include "workload/Suite.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace poce;
@@ -405,13 +414,11 @@ void emitShapeOrdered(const RandomConstraintShape &Shape,
 /// bitvector least solutions) against the seed algorithms (element-wise
 /// propagation plus the retained reference least-solution pass).
 struct TrajectoryResult {
-  double WallSeconds = 0;         ///< Optimized paths, best of N.
-  double BaselineSeconds = 0;     ///< Seed-style paths, best of N.
+  double WallSeconds = 0;     ///< Optimized paths, best of N.
+  double BaselineSeconds = 0; ///< Seed-style paths, best of N.
   uint64_t Work = 0;
   uint64_t Edges = 0;
-  uint64_t LSUnionWords = 0;
-  uint64_t DeltaPropagations = 0;
-  uint64_t PropagationsPruned = 0;
+  SolverStats Stats;       ///< Optimized-run counters (hot paths).
   size_t SolutionBits = 0; ///< Sink to keep the LS queries observable.
 };
 
@@ -437,9 +444,7 @@ TrajectoryResult measureTrajectory(const TrajectoryConfig &Config,
         Total += Solver.leastSolution(Var).size();
       Out.Work = Solver.stats().Work;
       Out.Edges = Solver.countFinalEdges();
-      Out.LSUnionWords = Solver.stats().LSUnionWords;
-      Out.DeltaPropagations = Solver.stats().DeltaPropagations;
-      Out.PropagationsPruned = Solver.stats().PropagationsPruned;
+      Out.Stats = Solver.stats();
     } else {
       for (const std::vector<ExprId> &LS : Solver.referenceLeastSolutions())
         Total += LS.size();
@@ -452,6 +457,123 @@ TrajectoryResult measureTrajectory(const TrajectoryConfig &Config,
   return Out;
 }
 
+/// One thread-scaling measurement: the same computation at 1 lane and at
+/// \p Threads lanes. Checksum must match between the two variants (the
+/// parallel paths are bit-identical by construction).
+struct ScalingResult {
+  double WallSeconds = 0;     ///< At the requested lane count, best of N.
+  double BaselineSeconds = 0; ///< Single lane, best of N.
+  uint64_t Checksum = 0;
+  uint64_t BaselineChecksum = 0;
+};
+
+/// Times the IF least-solution pass (finalize + a full sweep of solution
+/// queries) at 1 vs \p Threads lanes. Constraint emission and closure are
+/// untimed — they are identical in both variants and the parallel layer
+/// only touches the post-closure pass.
+ScalingResult measureLSParallel(double Scale, unsigned Repeats,
+                                unsigned Threads) {
+  PRNG Rng(211);
+  uint32_t NumVars =
+      std::max<uint32_t>(8, static_cast<uint32_t>(6000 * Scale));
+  uint32_t NumCons =
+      std::max<uint32_t>(4, static_cast<uint32_t>(4000 * Scale));
+  RandomConstraintShape Shape =
+      randomConstraintShape(NumVars, NumCons, 1.5 / NumVars, Rng);
+
+  auto timeOnce = [&](unsigned Lanes, uint64_t *Checksum) {
+    double Best = -1;
+    for (unsigned I = 0; I != Repeats; ++I) {
+      ConstructorTable Constructors;
+      TermTable Terms(Constructors);
+      SolverOptions Options =
+          makeConfig(GraphForm::Inductive, CycleElim::Online);
+      Options.Threads = Lanes;
+      ConstraintSolver Solver(Terms, Options);
+      emitShapeOrdered(Shape, Solver, /*FactsFirst=*/false);
+      Timer T;
+      Solver.finalize();
+      uint64_t Bits = 0;
+      for (VarId Var = 0; Var != Solver.numVars(); ++Var)
+        Bits += Solver.leastSolution(Var).size();
+      double Elapsed = T.seconds();
+      if (Best < 0 || Elapsed < Best)
+        Best = Elapsed;
+      *Checksum = Bits;
+    }
+    return Best;
+  };
+
+  ScalingResult Out;
+  Out.BaselineSeconds = timeOnce(1, &Out.BaselineChecksum);
+  Out.WallSeconds = timeOnce(Threads, &Out.Checksum);
+  return Out;
+}
+
+/// Times a whole-suite batch solve (workload::solveSuite) at 1 vs
+/// \p Threads lanes — the outer-level parallelism a build-system client
+/// would use.
+ScalingResult measureBatchSuite(double Scale, unsigned Repeats,
+                                unsigned Threads) {
+  std::vector<workload::ProgramSpec> Specs =
+      workload::paperSuite(0.05 * Scale);
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+
+  auto timeOnce = [&](unsigned Lanes, uint64_t *Checksum) {
+    double Best = -1;
+    for (unsigned I = 0; I != Repeats; ++I) {
+      Timer T;
+      std::vector<workload::BatchSolveResult> Results =
+          workload::solveSuite(Specs, Options, Lanes);
+      double Elapsed = T.seconds();
+      uint64_t Work = 0;
+      for (const workload::BatchSolveResult &R : Results)
+        Work += R.Result.Stats.Work;
+      if (Best < 0 || Elapsed < Best)
+        Best = Elapsed;
+      *Checksum = Work;
+    }
+    return Best;
+  };
+
+  ScalingResult Out;
+  Out.BaselineSeconds = timeOnce(1, &Out.BaselineChecksum);
+  Out.WallSeconds = timeOnce(Threads, &Out.Checksum);
+  return Out;
+}
+
+/// Returns the prior runs of \p Path as the inner text of a JSON "runs"
+/// array (comma-joined objects, no brackets), or "" when the file is
+/// missing/empty. A pre-runs-format file (top-level "entries") is kept
+/// verbatim as the first run.
+std::string readPriorRuns(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Old = Buffer.str();
+
+  auto trim = [](std::string S) {
+    size_t B = S.find_first_not_of(" \t\r\n");
+    size_t E = S.find_last_not_of(" \t\r\n");
+    return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+  };
+
+  size_t RunsPos = Old.find("\"runs\"");
+  if (RunsPos != std::string::npos) {
+    size_t Open = Old.find('[', RunsPos);
+    size_t Close = Old.rfind(']');
+    if (Open == std::string::npos || Close == std::string::npos ||
+        Close <= Open)
+      return "";
+    return trim(Old.substr(Open + 1, Close - Open - 1));
+  }
+  if (Old.find("\"entries\"") != std::string::npos)
+    return trim(Old); // Flat single-run format: migrate as the first run.
+  return "";
+}
+
 int emitTrajectory(const std::string &Path) {
   double Scale = 1.0;
   if (const char *Env = std::getenv("POCE_BENCH_SCALE"))
@@ -461,6 +583,15 @@ int emitTrajectory(const std::string &Path) {
   unsigned Repeats = 3;
   if (const char *Env = std::getenv("POCE_BENCH_REPEATS"))
     Repeats = std::max(1, std::atoi(Env));
+  // Lanes for the thread-scaling entries. The acceptance point of the
+  // parallel layer is 4 lanes; override with POCE_BENCH_THREADS (0 = one
+  // per hardware thread).
+  unsigned Threads = 4;
+  if (const char *Env = std::getenv("POCE_BENCH_THREADS"))
+    Threads = ThreadPool::resolveThreads(
+        static_cast<unsigned>(std::atoi(Env)));
+  if (Threads < 1)
+    Threads = 1;
 
   const TrajectoryConfig Configs[] = {
       {"sf_plain", GraphForm::Standard, CycleElim::None, 6000, 4000, 2.0, 101,
@@ -475,6 +606,13 @@ int emitTrajectory(const std::string &Path) {
        104, /*FactsFirst=*/false},
   };
 
+  std::string Prior = readPriorRuns(Path);
+
+  char Timestamp[32];
+  std::time_t Now = std::time(nullptr);
+  std::strftime(Timestamp, sizeof(Timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&Now));
+
   std::FILE *File = std::fopen(Path.c_str(), "w");
   if (!File) {
     std::fprintf(stderr, "error: cannot open '%s' for writing\n",
@@ -482,12 +620,16 @@ int emitTrajectory(const std::string &Path) {
     return 1;
   }
 
-  std::fprintf(File, "{\n  \"bench\": \"micro_solver\",\n"
-                     "  \"mode\": \"emit_trajectory\",\n"
-                     "  \"repeats\": %u,\n  \"scale\": %.2f,\n"
-                     "  \"entries\": [\n",
-               Repeats, Scale);
-  std::printf("=== micro_solver trajectory (best of %u) ===\n", Repeats);
+  std::fprintf(File, "{\n  \"bench\": \"micro_solver\",\n  \"runs\": [\n");
+  if (!Prior.empty())
+    std::fprintf(File, "%s,\n", Prior.c_str());
+  std::fprintf(File,
+               "  {\"timestamp\": \"%s\", \"mode\": \"emit_trajectory\",\n"
+               "   \"repeats\": %u, \"scale\": %.2f, \"threads\": %u,\n"
+               "   \"entries\": [\n",
+               Timestamp, Repeats, Scale, Threads);
+  std::printf("=== micro_solver trajectory (best of %u, %u lanes) ===\n",
+              Repeats, Threads);
 
   bool First = true;
   for (const TrajectoryConfig &Base : Configs) {
@@ -500,35 +642,73 @@ int emitTrajectory(const std::string &Path) {
     double Speedup = R.BaselineSeconds / std::max(R.WallSeconds, 1e-9);
     SolverOptions Named = makeConfig(Config.Form, Config.Elim);
 
+    // The hot-path counter keys come from SolverStats::hotPathCounters so
+    // the JSON stays in sync with the fig7-9 tables.
+    std::string HotPath;
+    for (const SolverStats::NamedCounter &C : R.Stats.hotPathCounters())
+      HotPath += std::string("\"") + C.Key +
+                 "\": " + std::to_string(C.Value) + ", ";
     std::fprintf(
         File,
         "%s    {\"name\": \"%s\", \"config\": \"%s\", \"order\": \"%s\", "
         "\"vars\": %u, \"cons\": %u,\n"
         "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
         "\"speedup\": %.2f,\n"
-        "     \"work\": %llu, \"edges\": %llu, \"ls_union_words\": %llu,\n"
-        "     \"delta_propagations\": %llu, \"propagations_pruned\": %llu,\n"
-        "     \"solution_bits\": %llu}",
+        "     \"work\": %llu, \"edges\": %llu,\n"
+        "     %s\"solution_bits\": %llu}",
         First ? "" : ",\n", Config.Name, Named.configName().c_str(),
         Config.FactsFirst ? "facts_first" : "edges_first", Config.NumVars,
         Config.NumCons, R.WallSeconds, R.BaselineSeconds,
         Speedup, (unsigned long long)R.Work, (unsigned long long)R.Edges,
-        (unsigned long long)R.LSUnionWords,
-        (unsigned long long)R.DeltaPropagations,
-        (unsigned long long)R.PropagationsPruned,
-        (unsigned long long)R.SolutionBits);
+        HotPath.c_str(), (unsigned long long)R.SolutionBits);
     First = false;
 
-    std::printf("%-10s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
+    std::printf("%-14s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
                 "speedup=%.2fx work=%llu edges=%llu\n",
                 Config.Name, Named.configName().c_str(), Config.NumVars,
                 R.WallSeconds, R.BaselineSeconds, Speedup,
                 (unsigned long long)R.Work, (unsigned long long)R.Edges);
   }
 
-  std::fprintf(File, "\n  ]\n}\n");
+  // Thread-scaling entries: wall_s is the parallel variant, the baseline
+  // a single lane. Checksums are asserted identical (the parallel layer
+  // is bit-deterministic).
+  struct {
+    const char *Name;
+    ScalingResult R;
+  } ScalingEntries[] = {
+      {"if_ls_parallel", measureLSParallel(Scale, Repeats, Threads)},
+      {"batch_suite", measureBatchSuite(Scale, Repeats, Threads)},
+  };
+  for (const auto &Entry : ScalingEntries) {
+    const ScalingResult &R = Entry.R;
+    double Speedup = R.BaselineSeconds / std::max(R.WallSeconds, 1e-9);
+    std::fprintf(
+        File,
+        ",\n    {\"name\": \"%s\", \"kind\": \"thread_scaling\", "
+        "\"threads\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"checksum\": %llu, \"checksum_match\": %s}",
+        Entry.Name, Threads, R.WallSeconds, R.BaselineSeconds, Speedup,
+        (unsigned long long)R.Checksum,
+        R.Checksum == R.BaselineChecksum ? "true" : "false");
+    std::printf("%-14s threads=%-4u wall=%.3fs baseline=%.3fs "
+                "speedup=%.2fx checksum_match=%s\n",
+                Entry.Name, Threads, R.WallSeconds, R.BaselineSeconds,
+                Speedup, R.Checksum == R.BaselineChecksum ? "yes" : "NO");
+    if (R.Checksum != R.BaselineChecksum) {
+      std::fprintf(stderr, "error: %s: parallel result diverged from the "
+                           "single-lane result\n",
+                   Entry.Name);
+      std::fclose(File);
+      return 1;
+    }
+  }
+
+  std::fprintf(File, "\n   ]}\n  ]\n}\n");
   std::fclose(File);
-  std::printf("wrote %s\n", Path.c_str());
+  std::printf("appended run to %s\n", Path.c_str());
   return 0;
 }
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the parallel tests under ThreadSanitizer and runs them.
+#
+# The parallel least-solution pass and the batch-solve API are designed to
+# be TSan-clean (all cross-thread visibility goes through the pool's wave
+# mutex); this script is the check. Uses a dedicated build directory so
+# the instrumented build never mixes with the normal one.
+#
+# Usage: scripts/tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target parallel_tests
+cd "$BUILD_DIR"
+ctest --output-on-failure -R '(ThreadPool|Determinism|BatchSolve)' "$@"

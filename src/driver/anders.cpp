@@ -60,15 +60,24 @@ int main(int Argc, char **Argv) {
   std::string Synth;
   bool ShowStats = false, ShowPointsTo = false, EmitDot = false;
   bool DumpAst = false, EmitC = false, EmitConstraints = false;
-  bool Json = false, PointsToDot = false;
+  bool Json = false, PointsToDot = false, Batch = false;
   int64_t Seed = 0x706f6365;
   int64_t SynthSize = 5000;
+  int64_t Threads = 1;
+  double BatchScale = 0.1;
   Cmd.addString("config", &Config,
                 "solver configuration: {sf,if}-{plain,online,oracle}");
   Cmd.addString("synth", &Synth,
                 "analyze a generated benchmark (name or 'custom')");
   Cmd.addInt("synth-size", &SynthSize, "target AST nodes for --synth=custom");
   Cmd.addInt("seed", &Seed, "variable-order seed");
+  Cmd.addInt("threads", &Threads,
+             "execution lanes: parallel least-solution pass, and with "
+             "--batch concurrent suite inputs (0 = hardware)");
+  Cmd.addFlag("batch", &Batch,
+              "solve the whole generated suite (one row per benchmark)");
+  Cmd.addDouble("batch-scale", &BatchScale,
+                "size scale for --batch (default 0.1)");
   Cmd.addFlag("stats", &ShowStats, "print solver statistics");
   Cmd.addFlag("points-to", &ShowPointsTo, "print points-to sets");
   Cmd.addFlag("dot", &EmitDot, "emit the variable constraint graph as DOT");
@@ -89,10 +98,44 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Options.Seed = static_cast<uint64_t>(Seed);
+  Options.Threads = static_cast<unsigned>(Threads);
   if (Json)
     ShowStats = true;
   if (!ShowStats && !EmitDot && !PointsToDot)
     ShowPointsTo = true;
+
+  if (Batch) {
+    // Independent suite inputs solved concurrently; results are printed in
+    // input order and are identical for any --threads value.
+    Timer BatchTimer;
+    std::vector<workload::BatchSolveResult> Runs = workload::solveSuite(
+        workload::paperSuite(BatchScale), Options,
+        static_cast<unsigned>(Threads));
+    double Wall = BatchTimer.seconds();
+    TextTable Table({"Benchmark", "AST", "Edges", "Work", "Eliminated",
+                     "Entry(s)"});
+    SolverStats Total;
+    for (const workload::BatchSolveResult &Run : Runs) {
+      if (!Run.Ok) {
+        std::fprintf(stderr, "anders: benchmark '%s' failed to parse\n",
+                     Run.Spec.Name.c_str());
+        continue;
+      }
+      Total += Run.Result.Stats;
+      Table.addRow({Run.Spec.Name, formatGrouped(Run.AstNodes),
+                    formatGrouped(Run.Result.FinalEdges),
+                    formatGrouped(Run.Result.Stats.Work),
+                    formatGrouped(Run.Result.Stats.VarsEliminated),
+                    formatDouble(Run.EntrySeconds, 3)});
+    }
+    Table.print();
+    std::printf("\nconfig=%s threads=%lld scale=%.2f  total work=%s "
+                "eliminated=%s  wall=%.3fs\n",
+                Options.configName().c_str(), (long long)Threads, BatchScale,
+                formatGrouped(Total.Work).c_str(),
+                formatGrouped(Total.VarsEliminated).c_str(), Wall);
+    return 0;
+  }
 
   // Obtain the translation unit.
   std::unique_ptr<workload::PreparedProgram> Prepared;

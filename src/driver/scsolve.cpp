@@ -55,9 +55,13 @@ int main(int Argc, char **Argv) {
   std::string Config = "if-online";
   bool ShowStats = false, Dump = false, Echo = false;
   int64_t Seed = 0x706f6365;
+  int64_t Threads = 1;
   Cmd.addString("config", &Config,
                 "{sf,if}-{plain,online,oracle} or if-periodic");
   Cmd.addInt("seed", &Seed, "variable-order seed");
+  Cmd.addInt("threads", &Threads,
+             "execution lanes for the least-solution pass (0 = hardware); "
+             "solutions are identical for any value");
   Cmd.addFlag("stats", &ShowStats, "print solver statistics");
   Cmd.addFlag("dump", &Dump, "dump the solved constraint graph");
   Cmd.addFlag("echo", &Echo, "re-print the parsed system and exit");
@@ -97,6 +101,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Options.Seed = static_cast<uint64_t>(Seed);
+  Options.Threads = static_cast<unsigned>(Threads);
 
   ConstructorTable Constructors;
   Oracle WitnessOracle;

@@ -10,6 +10,7 @@
 #include "setcon/Oracle.h"
 #include "support/Debug.h"
 #include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -591,10 +592,20 @@ void ConstraintSolver::finalize() {
   Finalized = true;
   LSView.assign(numVars(), {});
   LSViewBuilt.assign(numVars(), 0);
+  unsigned Threads = ThreadPool::resolveThreads(Options.Threads);
+  if (Threads <= 1) {
+    if (Options.Form == GraphForm::Inductive)
+      computeLeastSolutionIF();
+    else
+      LSBits.clear(); // SF: the closed graph holds LS in PredTerms already.
+    return;
+  }
+  ThreadPool Pool(Threads);
   if (Options.Form == GraphForm::Inductive)
-    computeLeastSolutionIF();
+    computeLeastSolutionIFParallel(Pool);
   else
-    LSBits.clear(); // SF: the closed graph holds LS in PredTerms already.
+    LSBits.clear();
+  materializeAllSolutions(Pool);
 }
 
 const std::vector<ExprId> &ConstraintSolver::leastSolution(VarId Var) {
@@ -657,6 +668,103 @@ void ConstraintSolver::computeLeastSolutionIF() {
       Out.unionWith(LSBits[PredRep], &Stats.LSUnionWords);
     }
   }
+}
+
+// The parallel variant evaluates the same recurrence as a wavefront. The
+// collapsed representative graph is acyclic with every predecessor at a
+// strictly lower order index, so one ascending sweep assigns each variable
+// a level = 1 + max(level of its predecessors): by construction a level's
+// variables depend only on strictly earlier levels, making each level an
+// embarrassingly parallel batch of word-level unions. Each task writes
+// only its own variable's bitmap and reads bitmaps completed before the
+// previous level's barrier. Determinism: the set of (variable, distinct
+// predecessor representative) unions is schedule-independent, union is
+// commutative, and unionWith's word count depends only on the source
+// bitmap — so LSBits and LSUnionWords are bit-identical to the sequential
+// pass for any thread count.
+void ConstraintSolver::computeLeastSolutionIFParallel(ThreadPool &Pool) {
+  LSBits.assign(numVars(), SparseBitVector());
+  std::vector<VarId> Live;
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (Forwarding.isRepresentative(Var))
+      Live.push_back(Var);
+  std::sort(Live.begin(), Live.end(), [&](VarId A, VarId B) {
+    return Vars[A].Order < Vars[B].Order;
+  });
+
+  // Kahn levels in one ascending pass (predecessors precede their users).
+  // This sequential sweep also path-compresses every forwarding chain the
+  // parallel phase will look up, so the findConst calls below are single
+  // hops on immutable data.
+  std::vector<uint32_t> Depth(numVars(), 0);
+  std::vector<std::vector<VarId>> Levels;
+  for (VarId Var : Live) {
+    uint32_t Level = 0;
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred))
+        continue;
+      VarId PredRep = Forwarding.find(payloadOf(Pred));
+      if (PredRep != Var)
+        Level = std::max(Level, Depth[PredRep] + 1);
+    }
+    Depth[Var] = Level;
+    if (Level >= Levels.size())
+      Levels.resize(Level + 1);
+    Levels[Level].push_back(Var);
+  }
+
+  // Per-lane scratch: an epoch array replaces the shared VisitEpoch marks
+  // (which two lanes would race on) for deduplicating predecessor entries
+  // that resolve to the same representative, plus a SolverStats delta so
+  // counting never touches the shared Stats. The deltas are sums, so
+  // merging them after the waves is order-independent.
+  struct LaneScratch {
+    std::vector<uint32_t> SeenEpoch;
+    uint32_t Epoch = 0;
+    SolverStats Delta;
+  };
+  std::vector<LaneScratch> Scratch(Pool.numLanes());
+  for (LaneScratch &S : Scratch)
+    S.SeenEpoch.assign(numVars(), 0);
+
+  Pool.parallelForLevels(Levels, [&](VarId Var, unsigned Lane) {
+    LaneScratch &S = Scratch[Lane];
+    ++S.Epoch;
+    SparseBitVector &Out = LSBits[Var];
+    for (uint32_t Pred : Vars[Var].Preds) {
+      if (isTermRef(Pred)) {
+        Out.set(payloadOf(Pred));
+        continue;
+      }
+      VarId PredRep = Forwarding.findConst(payloadOf(Pred));
+      if (PredRep == Var)
+        continue; // Stale self reference after a collapse.
+      assert(Vars[PredRep].Order < Vars[Var].Order &&
+             "inductive form violated: predecessor with larger order");
+      if (S.SeenEpoch[PredRep] == S.Epoch)
+        continue; // Duplicate entry for the same representative.
+      S.SeenEpoch[PredRep] = S.Epoch;
+      Out.unionWith(LSBits[PredRep], &S.Delta.LSUnionWords);
+    }
+  });
+
+  for (const LaneScratch &S : Scratch)
+    Stats += S.Delta;
+}
+
+void ConstraintSolver::materializeAllSolutions(ThreadPool &Pool) {
+  std::vector<VarId> Live;
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (Forwarding.isRepresentative(Var))
+      Live.push_back(Var);
+  Pool.parallelFor(Live.size(), [&](size_t I, unsigned) {
+    VarId Rep = Live[I];
+    const SparseBitVector &Bits = Options.Form == GraphForm::Standard
+                                      ? Vars[Rep].PredTerms
+                                      : LSBits[Rep];
+    LSView[Rep] = Bits.toVector<ExprId>();
+    LSViewBuilt[Rep] = 1;
+  });
 }
 
 std::vector<std::vector<ExprId>> ConstraintSolver::referenceLeastSolutions() {

@@ -42,6 +42,12 @@
 /// prunes fully redundant deliveries). See docs/INTERNALS.md, "Set
 /// representation and difference propagation".
 ///
+/// With SolverOptions::Threads > 1 the least-solution post-pass runs as a
+/// level-parallel wavefront over the collapsed representative graph and
+/// solution views are materialized concurrently; solutions and every
+/// counter stay bit-identical to the sequential pass (see
+/// docs/INTERNALS.md, "Parallel execution layer").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POCE_SETCON_CONSTRAINTSOLVER_H
@@ -63,6 +69,7 @@
 namespace poce {
 
 class Oracle;
+class ThreadPool;
 
 /// Online solver for one system of inclusion constraints.
 class ConstraintSolver {
@@ -323,6 +330,16 @@ private:
   //===--------------------------------------------------------------------===
 
   void computeLeastSolutionIF();
+  /// Wavefront evaluation of the same recurrence: Kahn levels over the
+  /// collapsed (acyclic) representative graph, then per-level parallel
+  /// word-level unions — each level's variables only read solutions
+  /// completed by earlier levels and only write their own bitmap.
+  /// Produces bit-identical LSBits and counters to the sequential pass.
+  void computeLeastSolutionIFParallel(ThreadPool &Pool);
+  /// Builds every live representative's sorted solution view concurrently
+  /// (the per-variable work standard form leaves for query time; the
+  /// parallel finalize front-loads it for both forms).
+  void materializeAllSolutions(ThreadPool &Pool);
   void invalidateSolutions();
   /// Builds (or returns) the cached sorted-vector view of \p Rep's least
   /// solution bitmap.

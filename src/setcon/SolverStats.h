@@ -16,6 +16,7 @@
 #ifndef POCE_SETCON_SOLVERSTATS_H
 #define POCE_SETCON_SOLVERSTATS_H
 
+#include <array>
 #include <cstdint>
 
 namespace poce {
@@ -78,6 +79,50 @@ struct SolverStats {
 
   /// Work minus redundant and self additions: distinct edges ever added.
   uint64_t distinctAdds() const { return Work - RedundantAdds - SelfEdges; }
+
+  /// Accumulates \p RHS into this struct: every counter is summed and
+  /// Aborted is ORed. This is both the batch-suite aggregation and the
+  /// primitive the parallel least-solution pass uses to merge per-thread
+  /// deltas — all counters are sums, so the merged totals are independent
+  /// of how work was partitioned across threads.
+  SolverStats &operator+=(const SolverStats &RHS) {
+    VarsCreated += RHS.VarsCreated;
+    OracleSubstitutions += RHS.OracleSubstitutions;
+    InitialEdges += RHS.InitialEdges;
+    DistinctSources += RHS.DistinctSources;
+    DistinctSinks += RHS.DistinctSinks;
+    Work += RHS.Work;
+    RedundantAdds += RHS.RedundantAdds;
+    SelfEdges += RHS.SelfEdges;
+    VarsEliminated += RHS.VarsEliminated;
+    CyclesCollapsed += RHS.CyclesCollapsed;
+    CycleSearchSteps += RHS.CycleSearchSteps;
+    CycleSearches += RHS.CycleSearches;
+    PeriodicPasses += RHS.PeriodicPasses;
+    Mismatches += RHS.Mismatches;
+    ConstraintsProcessed += RHS.ConstraintsProcessed;
+    LSUnionWords += RHS.LSUnionWords;
+    DeltaPropagations += RHS.DeltaPropagations;
+    PropagationsPruned += RHS.PropagationsPruned;
+    Aborted = Aborted || RHS.Aborted;
+    return *this;
+  }
+
+  /// One labeled measurement of the bitvector hot paths.
+  struct NamedCounter {
+    const char *Label; ///< Short label ("DeltaProps").
+    const char *Key;   ///< snake_case key for JSON emitters.
+    uint64_t Value;
+  };
+
+  /// The bitvector hot-path counters in a fixed order — the single source
+  /// for the bench tables (fig7-fig9) and the micro_solver JSON, which
+  /// previously each spelled this list out by hand.
+  std::array<NamedCounter, 3> hotPathCounters() const {
+    return {{{"DeltaProps", "delta_propagations", DeltaPropagations},
+             {"Pruned", "propagations_pruned", PropagationsPruned},
+             {"LSwords", "ls_union_words", LSUnionWords}}};
+  }
 };
 
 } // namespace poce

@@ -1,0 +1,163 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace poce;
+
+unsigned ThreadPool::resolveThreads(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware ? Hardware : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Lanes) : NumLanes(resolveThreads(Lanes)) {
+  this->Lanes.reserve(NumLanes);
+  for (unsigned I = 0; I != NumLanes; ++I)
+    this->Lanes.push_back(std::make_unique<Lane>());
+  Workers.reserve(NumLanes - 1);
+  for (unsigned I = 1; I != NumLanes; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(WaveMutex);
+    Stopping = true;
+  }
+  WaveStart.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+uint64_t ThreadPool::numSteals() const {
+  return Steals.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::grabChunk(unsigned LaneIdx, Chunk &Out) {
+  // Own work first, newest chunk first (cache-warm end of the deque).
+  {
+    Lane &Own = *Lanes[LaneIdx];
+    std::lock_guard<std::mutex> Lock(Own.Mutex);
+    if (!Own.Deque.empty()) {
+      Out = Own.Deque.back();
+      Own.Deque.pop_back();
+      return true;
+    }
+  }
+  // Steal from the front of the other lanes' deques, starting just after
+  // this lane so victims rotate instead of everyone hammering lane 0.
+  for (unsigned Offset = 1; Offset != NumLanes; ++Offset) {
+    Lane &Victim = *Lanes[(LaneIdx + Offset) % NumLanes];
+    std::lock_guard<std::mutex> Lock(Victim.Mutex);
+    if (!Victim.Deque.empty()) {
+      Out = Victim.Deque.front();
+      Victim.Deque.pop_front();
+      Steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::drainAsLane(unsigned LaneIdx) {
+  Chunk C;
+  while (grabChunk(LaneIdx, C)) {
+    const std::function<void(size_t, size_t, unsigned)> *Fn;
+    {
+      std::lock_guard<std::mutex> Lock(WaveMutex);
+      Fn = WaveFn;
+    }
+    try {
+      (*Fn)(C.Begin, C.End, LaneIdx);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ErrorMutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    std::lock_guard<std::mutex> Lock(WaveMutex);
+    if (--ChunksRemaining == 0)
+      WaveDone.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop(unsigned LaneIdx) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(WaveMutex);
+      WaveStart.wait(Lock, [&] {
+        return Stopping ||
+               (WaveGeneration != SeenGeneration && ChunksRemaining != 0);
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = WaveGeneration;
+    }
+    drainAsLane(LaneIdx);
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    size_t N, const std::function<void(size_t, size_t, unsigned)> &Fn,
+    size_t Grain) {
+  if (N == 0)
+    return;
+  if (Grain == 0)
+    Grain = std::max<size_t>(1, N / (size_t(NumLanes) * 8));
+  if (NumLanes == 1 || N <= Grain) {
+    Fn(0, N, 0); // Inline: exceptions propagate directly.
+    return;
+  }
+
+  size_t NumChunks = (N + Grain - 1) / Grain;
+  // Publish the wave state before any chunk becomes grabbable: a worker
+  // lingering from the previous wave may steal a chunk as soon as it is
+  // pushed, and must observe the current WaveFn and a primed counter.
+  {
+    std::lock_guard<std::mutex> Lock(WaveMutex);
+    WaveFn = &Fn;
+    ChunksRemaining = NumChunks;
+    ++WaveGeneration;
+  }
+  for (size_t I = 0; I != NumChunks; ++I) {
+    Lane &Target = *Lanes[I % NumLanes];
+    std::lock_guard<std::mutex> Lock(Target.Mutex);
+    Target.Deque.push_back({I * Grain, std::min(N, (I + 1) * Grain)});
+  }
+  WaveStart.notify_all();
+
+  drainAsLane(0);
+  {
+    std::unique_lock<std::mutex> Lock(WaveMutex);
+    WaveDone.wait(Lock, [&] { return ChunksRemaining == 0; });
+    WaveFn = nullptr;
+  }
+
+  std::exception_ptr Error;
+  {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    Error = FirstError;
+    FirstError = nullptr;
+  }
+  if (Error)
+    std::rethrow_exception(Error);
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t, unsigned)> &Fn,
+                             size_t Grain) {
+  parallelForChunks(
+      N,
+      [&Fn](size_t Begin, size_t End, unsigned LaneIdx) {
+        for (size_t I = Begin; I != End; ++I)
+          Fn(I, LaneIdx);
+      },
+      Grain);
+}

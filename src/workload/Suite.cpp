@@ -7,6 +7,9 @@
 #include "workload/Suite.h"
 
 #include "andersen/Andersen.h"
+#include "setcon/Oracle.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 
@@ -67,4 +70,47 @@ poce::workload::prepareProgram(const ProgramSpec &Spec) {
                                        &Prepared->Errors, Spec.Name);
   Prepared->AstNodes = Prepared->Unit.numNodes();
   return Prepared;
+}
+
+std::vector<BatchSolveResult>
+poce::workload::solveSuite(const std::vector<ProgramSpec> &Specs,
+                           const SolverOptions &Options, unsigned Threads,
+                           bool ExtractPointsTo) {
+  std::vector<BatchSolveResult> Results(Specs.size());
+  unsigned Lanes = ThreadPool::resolveThreads(Threads);
+  SolverOptions EntryOptions = Options;
+  if (Lanes > 1)
+    EntryOptions.Threads = 1; // Parallelism lives at the batch level.
+
+  ThreadPool Pool(Lanes);
+  Pool.parallelFor(
+      Specs.size(),
+      [&](size_t I, unsigned) {
+        Timer EntryTimer;
+        BatchSolveResult &Out = Results[I];
+        Out.Spec = Specs[I];
+        std::unique_ptr<PreparedProgram> Program = prepareProgram(Specs[I]);
+        Out.AstNodes = Program->AstNodes;
+        Out.Lines = Program->Lines;
+        Out.Errors = Program->Errors;
+        if (!Program->Ok) {
+          Out.EntrySeconds = EntryTimer.seconds();
+          return;
+        }
+        ConstructorTable Constructors;
+        Oracle WitnessOracle;
+        const Oracle *OraclePtr = nullptr;
+        if (EntryOptions.Elim == CycleElim::Oracle) {
+          WitnessOracle = buildOracle(andersen::makeGenerator(Program->Unit),
+                                      Constructors, EntryOptions);
+          OraclePtr = &WitnessOracle;
+        }
+        Out.Result = andersen::runAnalysis(Program->Unit, Constructors,
+                                           EntryOptions, OraclePtr,
+                                           ExtractPointsTo);
+        Out.Ok = true;
+        Out.EntrySeconds = EntryTimer.seconds();
+      },
+      /*Grain=*/1);
+  return Results;
 }

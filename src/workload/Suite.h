@@ -16,7 +16,9 @@
 #ifndef POCE_WORKLOAD_SUITE_H
 #define POCE_WORKLOAD_SUITE_H
 
+#include "andersen/Andersen.h"
 #include "minic/AST.h"
+#include "setcon/SolverOptions.h"
 #include "workload/ProgramGenerator.h"
 
 #include <memory>
@@ -44,6 +46,32 @@ struct PreparedProgram {
 
 /// Generates and parses \p Spec. The result owns the AST.
 std::unique_ptr<PreparedProgram> prepareProgram(const ProgramSpec &Spec);
+
+/// One entry of a batch solve: program metrics plus the analysis result.
+struct BatchSolveResult {
+  ProgramSpec Spec;
+  uint64_t AstNodes = 0;
+  uint32_t Lines = 0;
+  bool Ok = false; ///< Generation + parse succeeded and the solve ran.
+  std::vector<std::string> Errors;
+  andersen::AnalysisResult Result;
+  /// Wall seconds for this entry (generate + parse + solve), as seen by
+  /// the lane that ran it.
+  double EntrySeconds = 0;
+};
+
+/// Prepares and solves every spec under \p Options, distributing the
+/// independent inputs over \p Threads execution lanes (0 = one per
+/// hardware thread, 1 = sequential). Results are returned in input order
+/// and are bit-identical for any thread count: each entry owns its
+/// constructor table, terms, solver, and (for oracle configurations) its
+/// witness oracle, so entries share nothing. When \p Threads > 1 each
+/// entry's solve runs with SolverOptions::Threads = 1 — the batch level is
+/// where the hardware parallelism goes, not nested pools per solve.
+std::vector<BatchSolveResult> solveSuite(const std::vector<ProgramSpec> &Specs,
+                                         const SolverOptions &Options,
+                                         unsigned Threads = 1,
+                                         bool ExtractPointsTo = false);
 
 } // namespace workload
 } // namespace poce
