@@ -27,6 +27,8 @@
 #include "andersen/Andersen.h"
 #include "minic/Lexer.h"
 #include "minic/Parser.h"
+#include "serve/GraphSnapshot.h"
+#include "serve/QueryEngine.h"
 #include "setcon/ConstraintSolver.h"
 #include "support/DenseU64Set.h"
 #include "support/PRNG.h"
@@ -40,6 +42,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -542,6 +545,147 @@ ScalingResult measureBatchSuite(double Scale, unsigned Repeats,
   return Out;
 }
 
+/// Serve-layer measurement: snapshot save/load wall time against a fresh
+/// solve, and a mixed query batch (ls/pts/alias) through the QueryEngine
+/// on both paths. The acceptance point is load+queries beating fresh
+/// solve+queries end to end with identical answers.
+struct ServeResult {
+  double SaveSeconds = 0;      ///< serialize(), best of N.
+  size_t SnapshotBytes = 0;
+  double LoadSeconds = 0;      ///< deserialize + view materialization.
+  double FreshSeconds = 0;     ///< emit + closure + view materialization.
+  double LoadPathSeconds = 0;  ///< load + NumQueries mixed queries.
+  double FreshPathSeconds = 0; ///< fresh solve + the same queries.
+  uint64_t P50Micros = 0;      ///< Per-query latency on the load path.
+  uint64_t P99Micros = 0;
+  double HitRate = 0;          ///< Cache hits / queries on the load path.
+  uint64_t Checksum = 0;       ///< Folded query answers, load path.
+  uint64_t BaselineChecksum = 0; ///< Same, fresh path.
+  unsigned NumQueries = 0;
+};
+
+ServeResult measureServe(double Scale, unsigned Repeats, unsigned Threads) {
+  PRNG Rng(303);
+  uint32_t NumVars =
+      std::max<uint32_t>(8, static_cast<uint32_t>(6000 * Scale));
+  uint32_t NumCons =
+      std::max<uint32_t>(4, static_cast<uint32_t>(4000 * Scale));
+  RandomConstraintShape Shape =
+      randomConstraintShape(NumVars, NumCons, 1.5 / NumVars, Rng);
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  Options.Threads = Threads;
+
+  ServeResult Out;
+  Out.NumQueries = 1000;
+
+  // The query script: a deterministic ls/pts/alias mix with enough repeat
+  // touches that the LRU cache matters (clients hammer hot variables).
+  PRNG QueryRng(404);
+  struct Query {
+    uint8_t Kind; // 0 = ls, 1 = pts, 2 = alias
+    uint32_t A, B;
+  };
+  std::vector<Query> Queries(Out.NumQueries);
+  for (Query &Q : Queries) {
+    Q.Kind = static_cast<uint8_t>(QueryRng.nextBelow(3));
+    // Zipf-ish skew: half the traffic goes to a 32-variable hot set.
+    uint32_t Range = QueryRng.nextBelow(2) == 0
+                         ? std::min<uint32_t>(32, NumVars)
+                         : NumVars;
+    Q.A = static_cast<uint32_t>(QueryRng.nextBelow(Range));
+    Q.B = static_cast<uint32_t>(QueryRng.nextBelow(Range));
+  }
+  auto runQueries = [&](serve::QueryEngine &Engine,
+                        std::vector<uint64_t> *Latencies) {
+    uint64_t Checksum = 0;
+    for (const Query &Q : Queries) {
+      Timer T;
+      VarId A = Engine.varOf("X" + std::to_string(Q.A));
+      if (Q.Kind == 2) {
+        VarId B = Engine.varOf("X" + std::to_string(Q.B));
+        Checksum = Checksum * 31 + (Engine.alias(A, B) ? 1 : 0);
+      } else if (Q.Kind == 1) {
+        Checksum = Checksum * 31 + Engine.pts(A).size();
+      } else {
+        Checksum = Checksum * 31 + Engine.ls(A).size();
+      }
+      if (Latencies)
+        Latencies->push_back(
+            static_cast<uint64_t>(T.seconds() * 1e6));
+    }
+    return Checksum;
+  };
+
+  // One solved instance to snapshot.
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConstraintSolver Solver(Terms, Options);
+  emitShapeOrdered(Shape, Solver, /*FactsFirst=*/false);
+  Solver.finalize();
+
+  std::vector<uint8_t> Bytes;
+  std::string Error;
+  Out.SaveSeconds = bestOfN(Repeats, [&] {
+    Bytes.clear();
+    if (!serve::GraphSnapshot::serialize(Solver, Bytes, &Error))
+      std::fprintf(stderr, "error: snapshot_save: %s\n", Error.c_str());
+  });
+  Out.SnapshotBytes = Bytes.size();
+
+  Out.LoadSeconds = bestOfN(Repeats, [&] {
+    serve::SolverBundle Bundle;
+    if (!serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle,
+                                    &Error))
+      std::fprintf(stderr, "error: snapshot_load: %s\n", Error.c_str());
+    else
+      Bundle.Solver->materializeAllViews();
+  });
+  Out.FreshSeconds = bestOfN(Repeats, [&] {
+    ConstructorTable C;
+    TermTable T(C);
+    ConstraintSolver S(T, Options);
+    emitShapeOrdered(Shape, S, /*FactsFirst=*/false);
+    S.materializeAllViews();
+  });
+
+  std::vector<uint64_t> Latencies;
+  double HitRate = 0;
+  Out.LoadPathSeconds = bestOfN(Repeats, [&] {
+    serve::SolverBundle Bundle;
+    if (!serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle,
+                                    &Error)) {
+      std::fprintf(stderr, "error: query_engine: %s\n", Error.c_str());
+      return;
+    }
+    Bundle.Solver->materializeAllViews();
+    serve::QueryEngine Engine(*Bundle.Solver);
+    Latencies.clear();
+    Out.Checksum = runQueries(Engine, &Latencies);
+    HitRate = Engine.counters().Queries
+                  ? static_cast<double>(Engine.counters().CacheHits) /
+                        static_cast<double>(Engine.counters().Queries)
+                  : 0;
+  });
+  Out.FreshPathSeconds = bestOfN(Repeats, [&] {
+    ConstructorTable C;
+    TermTable T(C);
+    ConstraintSolver S(T, Options);
+    emitShapeOrdered(Shape, S, /*FactsFirst=*/false);
+    S.materializeAllViews();
+    serve::QueryEngine Engine(S);
+    Out.BaselineChecksum = runQueries(Engine, nullptr);
+  });
+
+  std::sort(Latencies.begin(), Latencies.end());
+  if (!Latencies.empty()) {
+    Out.P50Micros = Latencies[Latencies.size() / 2];
+    Out.P99Micros = Latencies[std::min(Latencies.size() - 1,
+                                       Latencies.size() * 99 / 100)];
+  }
+  Out.HitRate = HitRate;
+  return Out;
+}
+
 /// Returns the prior runs of \p Path as the inner text of a JSON "runs"
 /// array (comma-joined objects, no brackets), or "" when the file is
 /// missing/empty. A pre-runs-format file (top-level "entries") is kept
@@ -701,6 +845,54 @@ int emitTrajectory(const std::string &Path) {
       std::fprintf(stderr, "error: %s: parallel result diverged from the "
                            "single-lane result\n",
                    Entry.Name);
+      std::fclose(File);
+      return 1;
+    }
+  }
+
+  // Serve-layer entries: snapshot persistence and the query engine. The
+  // contract is that warming a server from a snapshot plus answering a
+  // mixed query batch beats re-solving from the constraints plus the same
+  // batch — and returns the same answers.
+  {
+    ServeResult R = measureServe(Scale, Repeats, Threads);
+    double LoadSpeedup = R.FreshSeconds / std::max(R.LoadSeconds, 1e-9);
+    double PathSpeedup =
+        R.FreshPathSeconds / std::max(R.LoadPathSeconds, 1e-9);
+    std::fprintf(
+        File,
+        ",\n    {\"name\": \"snapshot_save\", \"kind\": \"serve\", "
+        "\"wall_s\": %.6f, \"bytes\": %llu},\n"
+        "    {\"name\": \"snapshot_load\", \"kind\": \"serve\",\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f},\n"
+        "    {\"name\": \"query_engine\", \"kind\": \"serve\", "
+        "\"queries\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"p50_us\": %llu, \"p99_us\": %llu, \"hit_rate\": %.3f,\n"
+        "     \"checksum\": %llu, \"checksum_match\": %s}",
+        R.SaveSeconds, (unsigned long long)R.SnapshotBytes, R.LoadSeconds,
+        R.FreshSeconds, LoadSpeedup, R.NumQueries, R.LoadPathSeconds,
+        R.FreshPathSeconds, PathSpeedup, (unsigned long long)R.P50Micros,
+        (unsigned long long)R.P99Micros, R.HitRate,
+        (unsigned long long)R.Checksum,
+        R.Checksum == R.BaselineChecksum ? "true" : "false");
+    std::printf("%-14s wall=%.3fs bytes=%llu\n", "snapshot_save",
+                R.SaveSeconds, (unsigned long long)R.SnapshotBytes);
+    std::printf("%-14s wall=%.3fs baseline=%.3fs speedup=%.2fx\n",
+                "snapshot_load", R.LoadSeconds, R.FreshSeconds, LoadSpeedup);
+    std::printf("%-14s queries=%-4u wall=%.3fs baseline=%.3fs "
+                "speedup=%.2fx p50=%lluus p99=%lluus hit_rate=%.2f "
+                "checksum_match=%s\n",
+                "query_engine", R.NumQueries, R.LoadPathSeconds,
+                R.FreshPathSeconds, PathSpeedup,
+                (unsigned long long)R.P50Micros,
+                (unsigned long long)R.P99Micros, R.HitRate,
+                R.Checksum == R.BaselineChecksum ? "yes" : "NO");
+    if (R.Checksum != R.BaselineChecksum) {
+      std::fprintf(stderr, "error: query_engine: snapshot-path answers "
+                           "diverged from the fresh-solve answers\n");
       std::fclose(File);
       return 1;
     }

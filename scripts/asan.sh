@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the serve subsystem under AddressSanitizer and runs the snapshot
+# and query-engine tests plus the scserved end-to-end smoke script.
+#
+# The snapshot loader consumes untrusted bytes, so every bounds bug in it
+# is memory-unsafe by definition; this script is the check that the
+# byte-flip/truncation fuzzing in snapshot_test.cpp really exercises
+# clean failure paths. Uses a dedicated build directory so the
+# instrumented build never mixes with the normal one.
+#
+# Usage: scripts/asan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=address
+cmake --build "$BUILD_DIR" -j --target serve_tests core_tests scserved
+(cd "$BUILD_DIR" && ctest --output-on-failure \
+  -R '(Snapshot|QueryEngine|LruCache|ByteStream)' "$@")
+scripts/serve_smoke.sh "$BUILD_DIR"

@@ -1,0 +1,297 @@
+//===- driver/scserved.cpp - Long-running constraint query server ---------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// scserved: solver-as-a-service over stdin/stdout. Loads a warm solved
+/// graph (from a GraphSnapshot, or by solving a .scs file once at
+/// startup) and then answers a newline-delimited request/response
+/// protocol — one request line in, exactly one `ok ...` or `err ...`
+/// line out — so sessions are fully scriptable without sockets:
+///
+///   scserved --snapshot=graph.snap
+///   scserved --config=if-online system.scs
+///
+/// Protocol (see README.md for a copy-pasteable session):
+///   ls X          least solution of X
+///   pts X         points-to location tags of X
+///   alias X Y     may X and Y alias?
+///   add LINE      feed one constraint-file line through the online closure
+///   save PATH     snapshot the current graph
+///   stats         solver statistics
+///   counters      query latency percentiles and cache counters
+///   help | quit
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/GraphSnapshot.h"
+#include "serve/QueryEngine.h"
+#include "support/ByteStream.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace poce;
+using namespace poce::serve;
+
+namespace {
+
+bool parseConfig(const std::string &Name, SolverOptions &Options) {
+  if (Name == "sf-plain")
+    Options = makeConfig(GraphForm::Standard, CycleElim::None);
+  else if (Name == "if-plain")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::None);
+  else if (Name == "sf-online")
+    Options = makeConfig(GraphForm::Standard, CycleElim::Online);
+  else if (Name == "if-online")
+    Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  else
+    return false;
+  return true;
+}
+
+/// Splits a request line on spaces (the constraint payload of `add` keeps
+/// its spacing via the Rest capture).
+struct Request {
+  std::string Verb, Arg1, Arg2, Rest;
+};
+
+Request parseRequest(const std::string &Line) {
+  Request Req;
+  std::istringstream In(Line);
+  In >> Req.Verb >> Req.Arg1 >> Req.Arg2;
+  size_t VerbEnd = Line.find(Req.Verb);
+  if (VerbEnd != std::string::npos) {
+    size_t RestAt = VerbEnd + Req.Verb.size();
+    while (RestAt < Line.size() && Line[RestAt] == ' ')
+      ++RestAt;
+    Req.Rest = Line.substr(RestAt);
+  }
+  return Req;
+}
+
+std::string joinSet(const std::vector<std::string> &Items) {
+  std::string Out = "{";
+  for (size_t I = 0; I != Items.size(); ++I)
+    Out += (I ? ", " : " ") + Items[I];
+  Out += Items.empty() ? "}" : " }";
+  return Out;
+}
+
+uint64_t percentileMicros(std::vector<uint64_t> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Index = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Index >= Sorted.size())
+    Index = Sorted.size() - 1;
+  return Sorted[Index];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cmd("scserved",
+                  "long-running inclusion-constraint query server "
+                  "(newline protocol on stdin/stdout)");
+  std::string Snapshot;
+  std::string Config = "if-online";
+  int64_t Seed = 0x706f6365;
+  int64_t Threads = 1;
+  int64_t CacheCapacity = 256;
+  Cmd.addString("snapshot", &Snapshot, "load this snapshot instead of "
+                                       "solving a .scs file");
+  Cmd.addString("config", &Config, "{sf,if}-{plain,online} for .scs input");
+  Cmd.addInt("seed", &Seed, "variable-order seed for .scs input");
+  Cmd.addInt("threads", &Threads,
+             "lanes for least-solution materialization on load "
+             "(0 = hardware); results identical for any value");
+  Cmd.addInt("cache", &CacheCapacity, "materialized-view LRU capacity");
+  if (!Cmd.parse(Argc, Argv))
+    return 1;
+
+  std::string Error;
+  SolverBundle Bundle;
+  if (!Snapshot.empty()) {
+    if (!Cmd.positionals().empty()) {
+      std::fprintf(stderr,
+                   "scserved: --snapshot and a .scs file are exclusive\n");
+      return 1;
+    }
+    if (!GraphSnapshot::load(Snapshot, Bundle, &Error)) {
+      std::fprintf(stderr, "scserved: %s: %s\n", Snapshot.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+  } else {
+    if (Cmd.positionals().size() != 1) {
+      std::fprintf(stderr, "scserved: expected --snapshot=PATH or exactly "
+                           "one .scs file; try --help\n");
+      return 1;
+    }
+    std::ifstream In(Cmd.positionals()[0]);
+    if (!In) {
+      std::fprintf(stderr, "scserved: cannot open '%s'\n",
+                   Cmd.positionals()[0].c_str());
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    ConstraintSystemFile System;
+    if (!System.parse(Buffer.str(), &Error)) {
+      std::fprintf(stderr, "scserved: %s: %s\n",
+                   Cmd.positionals()[0].c_str(), Error.c_str());
+      return 1;
+    }
+    SolverOptions Options;
+    if (!parseConfig(Config, Options)) {
+      std::fprintf(stderr, "scserved: unknown configuration '%s' (oracle "
+                           "and periodic solvers cannot serve)\n",
+                   Config.c_str());
+      return 1;
+    }
+    Options.Seed = static_cast<uint64_t>(Seed);
+    Bundle.Constructors = std::make_unique<ConstructorTable>();
+    Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
+    Bundle.Solver = std::make_unique<ConstraintSolver>(*Bundle.Terms, Options);
+    System.emit(*Bundle.Solver);
+  }
+
+  ConstraintSolver &Solver = *Bundle.Solver;
+  Solver.setThreads(static_cast<unsigned>(Threads));
+  Solver.materializeAllViews();
+
+  QueryEngine Engine(Solver, static_cast<size_t>(CacheCapacity));
+  if (!Engine.valid()) {
+    std::fprintf(stderr, "scserved: %s\n", Engine.initError().c_str());
+    return 1;
+  }
+
+  std::printf("ok ready config=%s vars=%u live=%u\n",
+              Solver.options().configName().c_str(), Solver.numVars(),
+              Solver.numLiveVars());
+  std::fflush(stdout);
+
+  std::vector<uint64_t> LatencyMicros;
+  auto Reply = [](const std::string &Line) {
+    std::fputs(Line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+  auto ResolveVar = [&](const std::string &Name, VarId &Out) {
+    uint32_t Var = Engine.varOf(Name);
+    if (Var == QueryEngine::NotFound)
+      return false;
+    Out = Var;
+    return true;
+  };
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    Request Req = parseRequest(Line);
+    if (Req.Verb.empty() || Req.Verb[0] == '#')
+      continue;
+
+    if (Req.Verb == "quit" || Req.Verb == "exit") {
+      Reply("ok bye");
+      break;
+    }
+    if (Req.Verb == "help") {
+      Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
+            "save PATH | stats | counters | help | quit");
+      continue;
+    }
+    if (Req.Verb == "stats") {
+      const SolverStats &S = Solver.stats();
+      Reply("ok config=" + Solver.options().configName() +
+            " vars=" + std::to_string(S.VarsCreated) +
+            " live=" + std::to_string(Solver.numLiveVars()) +
+            " work=" + std::to_string(S.Work) +
+            " cycles_collapsed=" + std::to_string(S.CyclesCollapsed) +
+            " vars_eliminated=" + std::to_string(S.VarsEliminated));
+      continue;
+    }
+    if (Req.Verb == "counters") {
+      std::vector<uint64_t> Sorted = LatencyMicros;
+      std::sort(Sorted.begin(), Sorted.end());
+      const QueryEngine::Counters &C = Engine.counters();
+      Reply("ok queries=" + std::to_string(C.Queries) +
+            " hits=" + std::to_string(C.CacheHits) +
+            " misses=" + std::to_string(C.CacheMisses) +
+            " stale=" + std::to_string(C.StaleRebuilds) +
+            " additions=" + std::to_string(C.Additions) +
+            " evictions=" + std::to_string(Engine.cacheEvictions()) +
+            " p50_us=" + std::to_string(percentileMicros(Sorted, 0.50)) +
+            " p99_us=" + std::to_string(percentileMicros(Sorted, 0.99)));
+      continue;
+    }
+    if (Req.Verb == "save") {
+      if (Req.Arg1.empty()) {
+        Reply("err save needs a path");
+        continue;
+      }
+      std::vector<uint8_t> Bytes;
+      if (!GraphSnapshot::serialize(Solver, Bytes, &Error)) {
+        Reply("err " + Error);
+        continue;
+      }
+      if (!writeFileBytes(Req.Arg1, Bytes, &Error)) {
+        Reply("err " + Error);
+        continue;
+      }
+      Reply("ok saved " + Req.Arg1 + " (" + std::to_string(Bytes.size()) +
+            " bytes)");
+      continue;
+    }
+    if (Req.Verb == "add") {
+      if (Req.Rest.empty()) {
+        Reply("err add needs a constraint-file line");
+        continue;
+      }
+      if (!Engine.addConstraint(Req.Rest, &Error)) {
+        Reply("err " + Error);
+        continue;
+      }
+      Reply("ok added");
+      continue;
+    }
+
+    if (Req.Verb == "ls" || Req.Verb == "pts" || Req.Verb == "alias") {
+      auto Start = std::chrono::steady_clock::now();
+      std::string Response;
+      VarId X = 0, Y = 0;
+      if (!ResolveVar(Req.Arg1, X)) {
+        Reply("err unknown variable '" + Req.Arg1 + "'");
+        continue;
+      }
+      if (Req.Verb == "alias") {
+        if (!ResolveVar(Req.Arg2, Y)) {
+          Reply("err unknown variable '" + Req.Arg2 + "'");
+          continue;
+        }
+        Response = Engine.alias(X, Y) ? "ok true" : "ok false";
+      } else if (Req.Verb == "ls") {
+        Response = "ok " + joinSet(Engine.ls(X));
+      } else {
+        Response = "ok " + joinSet(Engine.pts(X));
+      }
+      auto Elapsed = std::chrono::steady_clock::now() - Start;
+      LatencyMicros.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Elapsed)
+              .count()));
+      Reply(Response);
+      continue;
+    }
+
+    Reply("err unknown command '" + Req.Verb + "'; try help");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- serve/QueryEngine.cpp - Queries over a warm solver -----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/QueryEngine.h"
+
+#include <algorithm>
+
+using namespace poce;
+using namespace poce::serve;
+
+QueryEngine::QueryEngine(ConstraintSolver &Solver, size_t CacheCapacity)
+    : Solver(Solver), Cache(CacheCapacity) {
+  Valid = System.adoptDeclarations(Solver, &InitError);
+}
+
+uint32_t QueryEngine::varOf(const std::string &Name) const {
+  uint32_t Index = System.varIndex(Name);
+  if (Index == ConstraintSystemFile::NotFound ||
+      Index >= Solver.numCreations())
+    return NotFound;
+  return Solver.varOfCreation(Index);
+}
+
+std::string QueryEngine::locationTag(ExprId Term) const {
+  const TermTable &Terms = Solver.terms();
+  if (Terms.kind(Term) == ExprKind::Cons) {
+    const ConstructorTable &Cons = Terms.constructors();
+    ConsId C = Terms.consOf(Term);
+    if (Cons.signature(C).arity() == 0)
+      return Cons.signature(C).Name;
+    // ref(l, get, set)-shaped terms: the first argument is the location
+    // name constructor.
+    ExprId First = Terms.argsOf(Term)[0];
+    if (Terms.kind(First) == ExprKind::Cons &&
+        Cons.signature(Terms.consOf(First)).arity() == 0)
+      return Cons.signature(Terms.consOf(First)).Name;
+  }
+  return Solver.exprStr(Term);
+}
+
+const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
+  ++Stats.Queries;
+  VarId Rep = Solver.rep(Var);
+  const SparseBitVector &Bits = Solver.leastSolutionBits(Rep);
+  size_t Fingerprint = Bits.count();
+  uint64_t Key =
+      (static_cast<uint64_t>(static_cast<uint8_t>(Kind)) << 32) | Rep;
+  if (View *Cached = Cache.get(Key)) {
+    if (Cached->Fingerprint == Fingerprint) {
+      ++Stats.CacheHits;
+      return Cached->Items;
+    }
+    ++Stats.StaleRebuilds;
+  } else {
+    ++Stats.CacheMisses;
+  }
+
+  View Fresh;
+  Fresh.Fingerprint = Fingerprint;
+  if (Kind == ViewKind::Ls) {
+    for (ExprId Term : Solver.leastSolution(Rep))
+      Fresh.Items.push_back(Solver.exprStr(Term));
+  } else {
+    // Projection to tags can fold several terms onto one location; keep
+    // the output sorted and deduplicated so responses are canonical.
+    for (ExprId Term : Solver.leastSolution(Rep))
+      Fresh.Items.push_back(locationTag(Term));
+    std::sort(Fresh.Items.begin(), Fresh.Items.end());
+    Fresh.Items.erase(std::unique(Fresh.Items.begin(), Fresh.Items.end()),
+                      Fresh.Items.end());
+  }
+  Cache.put(Key, std::move(Fresh));
+  return Cache.get(Key)->Items;
+}
+
+const std::vector<std::string> &QueryEngine::ls(VarId Var) {
+  return view(ViewKind::Ls, Var);
+}
+
+const std::vector<std::string> &QueryEngine::pts(VarId Var) {
+  return view(ViewKind::Pts, Var);
+}
+
+bool QueryEngine::alias(VarId X, VarId Y) {
+  ++Stats.Queries;
+  if (Solver.rep(X) == Solver.rep(Y))
+    return true;
+  return Solver.leastSolutionBits(X).intersects(Solver.leastSolutionBits(Y));
+}
+
+bool QueryEngine::addConstraint(const std::string &Line,
+                                std::string *ErrorOut) {
+  if (!System.addLine(Line, Solver, ErrorOut))
+    return false;
+  ++Stats.Additions;
+  return true;
+}

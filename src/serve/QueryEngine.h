@@ -1,0 +1,111 @@
+//===- serve/QueryEngine.h - Queries over a warm solver ---------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query layer over a solved ConstraintSolver (typically loaded from a
+/// GraphSnapshot): `ls(x)` renders the least solution, `pts(x)` projects
+/// it to points-to location tags, `alias(x,y)` intersects solution
+/// bitmaps, and `addConstraint(line)` feeds new text constraints through
+/// the solver's fully online closure — cycle elimination keeps running on
+/// the warm graph, exactly as it would have during the original solve.
+///
+/// Rendered views are kept in a bounded LRU cache keyed by (query kind,
+/// representative). Invalidation piggybacks on monotonicity: constraint
+/// addition only ever grows a least solution, so a cached view is valid
+/// iff the live bitmap still has the cached population count — views
+/// whose solutions were untouched by an addition keep serving from cache,
+/// and stale ones are detected (and rebuilt) lazily on their next hit.
+/// Collapses are handled by keying on the current representative: a
+/// variable swallowed by a cycle simply resolves to its witness's view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SERVE_QUERYENGINE_H
+#define POCE_SERVE_QUERYENGINE_H
+
+#include "setcon/ConstraintFile.h"
+#include "setcon/ConstraintSolver.h"
+#include "support/LruCache.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace serve {
+
+class QueryEngine {
+public:
+  /// Query-layer counters (the solver's own stats stay separate and are
+  /// exposed through solver().stats()).
+  struct Counters {
+    uint64_t Queries = 0;       ///< ls/pts/alias calls answered.
+    uint64_t CacheHits = 0;     ///< Served from a still-valid cached view.
+    uint64_t CacheMisses = 0;   ///< View built fresh (first touch).
+    uint64_t StaleRebuilds = 0; ///< Cached view outgrown by additions.
+    uint64_t Additions = 0;     ///< addConstraint lines accepted.
+  };
+
+  /// Wraps \p Solver, adopting its declarations so textual queries and
+  /// constraints can reference every existing variable and constructor.
+  /// Check valid() (adoption fails on duplicate variable names).
+  explicit QueryEngine(ConstraintSolver &Solver, size_t CacheCapacity = 256);
+
+  bool valid() const { return Valid; }
+  const std::string &initError() const { return InitError; }
+
+  /// Resolves a variable name to its VarId, or NotFound.
+  uint32_t varOf(const std::string &Name) const;
+  static constexpr uint32_t NotFound = ~0U;
+
+  /// The least solution of \p Var rendered as term strings (cached).
+  const std::vector<std::string> &ls(VarId Var);
+
+  /// The points-to projection of \p Var's least solution (cached): each
+  /// term contributes its location tag — a nullary constructor's name, or
+  /// the name of a nullary first argument (the ref(l, get, set) shape
+  /// Andersen's analysis uses), or the full rendering otherwise.
+  const std::vector<std::string> &pts(VarId Var);
+
+  /// True if \p X and \p Y may alias: same representative after
+  /// collapses, or intersecting least solutions.
+  bool alias(VarId X, VarId Y);
+
+  /// Feeds one line of the constraint-file format (declaration or
+  /// constraint) through the online closure. Affected cached views are
+  /// invalidated by the fingerprint check on their next access.
+  bool addConstraint(const std::string &Line, std::string *ErrorOut);
+
+  const Counters &counters() const { return Stats; }
+  uint64_t cacheEvictions() const { return Cache.evictions(); }
+  size_t cacheSize() const { return Cache.size(); }
+
+  ConstraintSolver &solver() { return Solver; }
+  const ConstraintSystemFile &system() const { return System; }
+
+private:
+  enum class ViewKind : uint8_t { Ls, Pts };
+
+  struct View {
+    size_t Fingerprint; ///< leastSolutionBits().count() at build time.
+    std::vector<std::string> Items;
+  };
+
+  const std::vector<std::string> &view(ViewKind Kind, VarId Var);
+  std::string locationTag(ExprId Term) const;
+
+  ConstraintSolver &Solver;
+  ConstraintSystemFile System;
+  LruCache<uint64_t, View> Cache;
+  Counters Stats;
+  bool Valid = false;
+  std::string InitError;
+};
+
+} // namespace serve
+} // namespace poce
+
+#endif // POCE_SERVE_QUERYENGINE_H

@@ -82,68 +82,6 @@ bool ConstraintSystemFile::parse(const std::string &Text,
     return false;
   };
 
-  // Recursive-descent expression parser over a cursor.
-  std::function<bool(LineCursor &, FileExpr &, std::string &)> ParseExpr =
-      [&](LineCursor &Cursor, FileExpr &Out, std::string &Error) -> bool {
-    Cursor.skipSpace();
-    std::string Name = Cursor.word();
-    if (Name.empty()) {
-      Error = "expected expression";
-      return false;
-    }
-    if (Name == "0") {
-      Out.K = FileExpr::Kind::Zero;
-      return true;
-    }
-    if (Name == "1") {
-      Out.K = FileExpr::Kind::One;
-      return true;
-    }
-    auto Var = VarIndexOf.find(Name);
-    if (Var != VarIndexOf.end()) {
-      Out.K = FileExpr::Kind::Var;
-      Out.VarIndex = Var->second;
-      return true;
-    }
-    auto Cons = ConsIndexOf.find(Name);
-    if (Cons == ConsIndexOf.end()) {
-      Error = "undeclared name '" + Name + "'";
-      return false;
-    }
-    Out.K = FileExpr::Kind::Apply;
-    Out.ConsIndex = Cons->second;
-    unsigned Arity =
-        static_cast<unsigned>(ConsDecls[Cons->second].ArgVariance.size());
-    if (Arity == 0) {
-      // Optional empty parens on nullary constructors.
-      if (Cursor.eat('(') && !Cursor.eat(')')) {
-        Error = "nullary constructor '" + Name + "' applied to arguments";
-        return false;
-      }
-      return true;
-    }
-    if (!Cursor.eat('(')) {
-      Error = "constructor '" + Name + "' needs " + std::to_string(Arity) +
-              " argument(s)";
-      return false;
-    }
-    for (unsigned I = 0; I != Arity; ++I) {
-      if (I && !Cursor.eat(',')) {
-        Error = "expected ',' in arguments of '" + Name + "'";
-        return false;
-      }
-      FileExpr Arg;
-      if (!ParseExpr(Cursor, Arg, Error))
-        return false;
-      Out.Args.push_back(std::move(Arg));
-    }
-    if (!Cursor.eat(')')) {
-      Error = "expected ')' after arguments of '" + Name + "'";
-      return false;
-    }
-    return true;
-  };
-
   std::istringstream In(Text);
   std::string Line;
   unsigned LineNo = 0;
@@ -195,16 +133,244 @@ bool ConstraintSystemFile::parse(const std::string &Text,
     Cursor.Pos = Mark;
     FileExpr Lhs, Rhs;
     std::string Error;
-    if (!ParseExpr(Cursor, Lhs, Error))
+    if (!parseExprAt(Line, Cursor.Pos, Lhs, Error))
       return Fail(LineNo, Error);
     if (!Cursor.eatArrowLE())
       return Fail(LineNo, "expected '<=' between expressions");
-    if (!ParseExpr(Cursor, Rhs, Error))
+    if (!parseExprAt(Line, Cursor.Pos, Rhs, Error))
       return Fail(LineNo, Error);
     if (!Cursor.atEnd())
       return Fail(LineNo, "unexpected trailing input");
     Constraints.push_back({std::move(Lhs), std::move(Rhs)});
   }
+  return true;
+}
+
+bool ConstraintSystemFile::parseExprAt(const std::string &Line, size_t &Pos,
+                                       FileExpr &Out,
+                                       std::string &Error) const {
+  LineCursor Cursor{Line, Pos};
+  Cursor.skipSpace();
+  std::string Name = Cursor.word();
+  Pos = Cursor.Pos;
+  if (Name.empty()) {
+    Error = "expected expression";
+    return false;
+  }
+  if (Name == "0") {
+    Out.K = FileExpr::Kind::Zero;
+    return true;
+  }
+  if (Name == "1") {
+    Out.K = FileExpr::Kind::One;
+    return true;
+  }
+  auto Var = VarIndexOf.find(Name);
+  if (Var != VarIndexOf.end()) {
+    Out.K = FileExpr::Kind::Var;
+    Out.VarIndex = Var->second;
+    return true;
+  }
+  auto Cons = ConsIndexOf.find(Name);
+  if (Cons == ConsIndexOf.end()) {
+    Error = "undeclared name '" + Name + "'";
+    return false;
+  }
+  Out.K = FileExpr::Kind::Apply;
+  Out.ConsIndex = Cons->second;
+  unsigned Arity =
+      static_cast<unsigned>(ConsDecls[Cons->second].ArgVariance.size());
+  if (Arity == 0) {
+    // Optional empty parens on nullary constructors.
+    if (Cursor.eat('(') && !Cursor.eat(')')) {
+      Pos = Cursor.Pos;
+      Error = "nullary constructor '" + Name + "' applied to arguments";
+      return false;
+    }
+    Pos = Cursor.Pos;
+    return true;
+  }
+  if (!Cursor.eat('(')) {
+    Pos = Cursor.Pos;
+    Error = "constructor '" + Name + "' needs " + std::to_string(Arity) +
+            " argument(s)";
+    return false;
+  }
+  for (unsigned I = 0; I != Arity; ++I) {
+    if (I && !Cursor.eat(',')) {
+      Pos = Cursor.Pos;
+      Error = "expected ',' in arguments of '" + Name + "'";
+      return false;
+    }
+    Pos = Cursor.Pos;
+    FileExpr Arg;
+    if (!parseExprAt(Line, Pos, Arg, Error))
+      return false;
+    Cursor.Pos = Pos;
+    Out.Args.push_back(std::move(Arg));
+  }
+  bool Closed = Cursor.eat(')');
+  Pos = Cursor.Pos;
+  if (!Closed) {
+    Error = "expected ')' after arguments of '" + Name + "'";
+    return false;
+  }
+  return true;
+}
+
+bool ConstraintSystemFile::addLine(const std::string &Line,
+                                   ConstraintSolver &Solver,
+                                   std::string *ErrorOut) {
+  auto Fail = [&](const std::string &Message) {
+    if (ErrorOut)
+      *ErrorOut = Message;
+    return false;
+  };
+
+  LineCursor Cursor{Line};
+  if (Cursor.atEnd())
+    return true; // Blank or comment line.
+
+  size_t Mark = Cursor.Pos;
+  std::string First = Cursor.word();
+
+  if (First == "var") {
+    // Declaration order must stay aligned with solver creation order so
+    // that declaration indices keep mapping through varOfCreation().
+    if (VarNames.size() != Solver.numCreations())
+      return Fail("system/solver variable counts differ (" +
+                  std::to_string(VarNames.size()) + " vs " +
+                  std::to_string(Solver.numCreations()) +
+                  "); adoptDeclarations() first");
+    // Validate every name before touching the solver: a rejected line
+    // must leave no fresh variables behind.
+    std::vector<std::string> Names;
+    while (!Cursor.atEnd()) {
+      std::string Name = Cursor.word();
+      if (Name.empty())
+        return Fail("expected variable name");
+      if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) ||
+          Name == "0" || Name == "1")
+        return Fail("name '" + Name + "' already in use");
+      for (const std::string &Prior : Names)
+        if (Prior == Name)
+          return Fail("name '" + Name + "' repeated in declaration");
+      Names.push_back(std::move(Name));
+    }
+    for (std::string &Name : Names) {
+      VarIndexOf[Name] = static_cast<uint32_t>(VarNames.size());
+      Solver.freshVar(Name);
+      VarNames.push_back(std::move(Name));
+    }
+    return true;
+  }
+
+  if (First == "cons") {
+    std::string Name = Cursor.word();
+    if (Name.empty())
+      return Fail("expected constructor name");
+    if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) || Name == "0" ||
+        Name == "1")
+      return Fail("name '" + Name + "' already in use");
+    ConsDecl Decl;
+    Decl.Name = Name;
+    while (!Cursor.atEnd()) {
+      if (Cursor.eat('+')) {
+        Decl.ArgVariance.push_back(Variance::Covariant);
+      } else if (Cursor.eat('-')) {
+        Decl.ArgVariance.push_back(Variance::Contravariant);
+      } else {
+        return Fail("expected '+' or '-' variance marker");
+      }
+    }
+    // The solver may already know this constructor (e.g. from a loaded
+    // snapshot); a mismatched redeclaration must fail here rather than
+    // trip the fatal signature check inside getOrCreate() later.
+    const ConstructorTable &Table = Solver.terms().constructors();
+    ConsId Existing = Table.lookup(Name);
+    if (Existing != ConstructorTable::NotFound) {
+      const ConstructorSignature &Sig = Table.signature(Existing);
+      bool Same = Sig.ArgVariance.size() == Decl.ArgVariance.size();
+      for (size_t I = 0; Same && I != Decl.ArgVariance.size(); ++I)
+        Same = Sig.ArgVariance[I] == Decl.ArgVariance[I];
+      if (!Same)
+        return Fail("constructor '" + Name +
+                    "' redeclared with a different signature");
+    }
+    ConsIndexOf[Name] = static_cast<uint32_t>(ConsDecls.size());
+    ConsDecls.push_back(std::move(Decl));
+    return true;
+  }
+
+  // A constraint line: expr <= expr.
+  Cursor.Pos = Mark;
+  FileExpr Lhs, Rhs;
+  std::string Error;
+  if (!parseExprAt(Line, Cursor.Pos, Lhs, Error))
+    return Fail(Error);
+  if (!Cursor.eatArrowLE())
+    return Fail("expected '<=' between expressions");
+  if (!parseExprAt(Line, Cursor.Pos, Rhs, Error))
+    return Fail(Error);
+  if (!Cursor.atEnd())
+    return Fail("unexpected trailing input");
+
+  // Map declaration indices to solver variables through creation indices
+  // (collapses and oracle substitution can alias several to one VarId).
+  if (VarNames.size() > Solver.numCreations())
+    return Fail("system declares variables the solver does not have");
+  std::vector<VarId> Vars;
+  Vars.reserve(VarNames.size());
+  for (uint32_t I = 0; I != VarNames.size(); ++I)
+    Vars.push_back(Solver.varOfCreation(I));
+  ExprId L = build(Lhs, Solver, Vars);
+  ExprId R = build(Rhs, Solver, Vars);
+  Constraints.push_back({std::move(Lhs), std::move(Rhs)});
+  Solver.addConstraint(L, R);
+  return true;
+}
+
+bool ConstraintSystemFile::adoptDeclarations(const ConstraintSolver &Solver,
+                                             std::string *ErrorOut) {
+  auto Fail = [&](const std::string &Message) {
+    if (ErrorOut)
+      *ErrorOut = Message;
+    return false;
+  };
+
+  std::vector<std::string> NewVarNames;
+  std::map<std::string, uint32_t> NewVarIndexOf;
+  for (uint32_t I = 0; I != Solver.numCreations(); ++I) {
+    const std::string &Name = Solver.varName(Solver.varOfCreation(I));
+    if (Name == "0" || Name == "1")
+      return Fail("solver variable named '" + Name +
+                  "' collides with a constant");
+    if (!NewVarIndexOf.emplace(Name, I).second)
+      return Fail("duplicate variable name '" + Name +
+                  "'; the textual format needs unique names");
+    NewVarNames.push_back(Name);
+  }
+
+  std::vector<ConsDecl> NewConsDecls;
+  std::map<std::string, uint32_t> NewConsIndexOf;
+  const ConstructorTable &Table = Solver.terms().constructors();
+  for (ConsId Id = 0; Id != Table.size(); ++Id) {
+    const ConstructorSignature &Sig = Table.signature(Id);
+    if (NewVarIndexOf.count(Sig.Name) || Sig.Name == "0" || Sig.Name == "1")
+      return Fail("constructor name '" + Sig.Name +
+                  "' collides with a variable or constant");
+    ConsDecl Decl;
+    Decl.Name = Sig.Name;
+    Decl.ArgVariance.assign(Sig.ArgVariance.begin(), Sig.ArgVariance.end());
+    NewConsIndexOf[Sig.Name] = static_cast<uint32_t>(NewConsDecls.size());
+    NewConsDecls.push_back(std::move(Decl));
+  }
+
+  VarNames = std::move(NewVarNames);
+  VarIndexOf = std::move(NewVarIndexOf);
+  ConsDecls = std::move(NewConsDecls);
+  ConsIndexOf = std::move(NewConsIndexOf);
+  Constraints.clear();
   return true;
 }
 

@@ -48,6 +48,29 @@ public:
   /// constraint.
   void emit(ConstraintSolver &Solver) const;
 
+  /// Parses and applies one line of the file format against a live
+  /// solver: `var`/`cons` lines extend this system's declarations (fresh
+  /// variables are created in \p Solver immediately, keeping declaration
+  /// order aligned with creation order), and a constraint line is
+  /// recorded and fed through Solver.addConstraint — the solver is fully
+  /// online, so consequences (including cycle elimination) propagate
+  /// right away. Blank and comment lines are accepted no-ops. On failure
+  /// returns false with a message and leaves system and solver unchanged.
+  /// This is the serve layer's incremental entry point.
+  bool addLine(const std::string &Line, ConstraintSolver &Solver,
+               std::string *ErrorOut = nullptr);
+
+  /// Rebuilds this system's declarations from a live solver — variables
+  /// from creation order, constructors from the constructor table — so
+  /// subsequent addLine() calls can reference everything the solver
+  /// already knows. Recorded constraints are cleared (the solver's graph
+  /// already contains them). Used after loading a snapshot that has no
+  /// accompanying source text. Fails (leaving the system unchanged) when
+  /// variable names are not unique or collide with constructor names,
+  /// since the textual format keys on names.
+  bool adoptDeclarations(const ConstraintSolver &Solver,
+                         std::string *ErrorOut = nullptr);
+
   /// Adapter for buildOracle().
   GeneratorFn generator() const;
 
@@ -86,6 +109,11 @@ private:
   ExprId build(const FileExpr &E, ConstraintSolver &Solver,
                const std::vector<VarId> &Vars) const;
   std::string exprToText(const FileExpr &E) const;
+
+  /// Recursive-descent expression parser over \p Line starting at
+  /// \p Pos (advanced past the expression on success).
+  bool parseExprAt(const std::string &Line, size_t &Pos, FileExpr &Out,
+                   std::string &Error) const;
 
   std::vector<std::string> VarNames;
   std::map<std::string, uint32_t> VarIndexOf;

@@ -752,6 +752,19 @@ void ConstraintSolver::computeLeastSolutionIFParallel(ThreadPool &Pool) {
     Stats += S.Delta;
 }
 
+void ConstraintSolver::materializeAllViews() {
+  finalize();
+  unsigned Threads = ThreadPool::resolveThreads(Options.Threads);
+  if (Threads <= 1) {
+    for (VarId Var = 0; Var != numVars(); ++Var)
+      if (Forwarding.isRepresentative(Var))
+        (void)materializeLS(Var);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  materializeAllSolutions(Pool);
+}
+
 void ConstraintSolver::materializeAllSolutions(ThreadPool &Pool) {
   std::vector<VarId> Live;
   for (VarId Var = 0; Var != numVars(); ++Var)

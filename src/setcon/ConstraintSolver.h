@@ -71,6 +71,10 @@ namespace poce {
 class Oracle;
 class ThreadPool;
 
+namespace serve {
+class GraphSnapshot;
+} // namespace serve
+
 /// Online solver for one system of inclusion constraints.
 class ConstraintSolver {
 public:
@@ -210,7 +214,22 @@ public:
   /// successor entries. Intended for debugging and golden tests.
   std::string dumpGraph();
 
+  /// Finalizes (if needed) and builds every live representative's sorted
+  /// solution view, using Options.Threads lanes when > 1. The serve layer
+  /// calls this after loading a snapshot so that first queries do not pay
+  /// materialization cost; results are identical for any lane count.
+  void materializeAllViews();
+
+  /// Overrides the thread-count option. Threads only affects wall-clock
+  /// (solutions and counters are bit-identical for any value), so a
+  /// snapshot loader may freely retarget it to the serving machine.
+  void setThreads(unsigned Threads) { Options.Threads = Threads; }
+
 private:
+  /// The snapshot serializer reads and reconstructs the private graph
+  /// state (adjacency lists, bitmaps, forwarding pointers) word-for-word.
+  friend class serve::GraphSnapshot;
+
   //===--------------------------------------------------------------------===
   // Graph node references
   //===--------------------------------------------------------------------===

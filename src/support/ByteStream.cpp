@@ -1,0 +1,123 @@
+//===- support/ByteStream.cpp - Bounds-checked binary IO ------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+
+#include <cstdio>
+
+namespace poce {
+
+uint64_t fnv1a64(const uint8_t *Data, size_t Size, uint64_t Seed) {
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= Data[I];
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+void ByteWriter::patchU64(size_t Offset, uint64_t Value) {
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Buffer[Offset + static_cast<size_t>(Shift / 8)] =
+        static_cast<uint8_t>(Value >> Shift);
+}
+
+bool ByteReader::take(size_t N, const char *What) {
+  if (Failed)
+    return false;
+  if (Size - Pos < N) {
+    Failed = true;
+    Error = std::string("truncated input: need ") + std::to_string(N) +
+            " byte(s) for " + What + " at offset " + std::to_string(Pos) +
+            " but only " + std::to_string(Size - Pos) + " remain";
+    return false;
+  }
+  return true;
+}
+
+bool ByteReader::u8(uint8_t &Out) {
+  if (!take(1, "u8"))
+    return false;
+  Out = Data[Pos++];
+  return true;
+}
+
+bool ByteReader::u32(uint32_t &Out) {
+  if (!take(4, "u32"))
+    return false;
+  uint32_t Value = 0;
+  for (int Shift = 0; Shift != 32; Shift += 8)
+    Value |= static_cast<uint32_t>(Data[Pos++]) << Shift;
+  Out = Value;
+  return true;
+}
+
+bool ByteReader::u64(uint64_t &Out) {
+  if (!take(8, "u64"))
+    return false;
+  uint64_t Value = 0;
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Value |= static_cast<uint64_t>(Data[Pos++]) << Shift;
+  Out = Value;
+  return true;
+}
+
+bool ByteReader::str(std::string &Out) {
+  uint32_t Length;
+  if (!u32(Length))
+    return false;
+  if (!take(Length, "string body"))
+    return false;
+  Out.assign(reinterpret_cast<const char *>(Data + Pos), Length);
+  Pos += Length;
+  return true;
+}
+
+void ByteReader::fail(const std::string &Reason) {
+  if (Failed)
+    return;
+  Failed = true;
+  Error = Reason + " (at offset " + std::to_string(Pos) + ")";
+}
+
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Buffer,
+                    std::string *ErrorOut) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (ErrorOut)
+      *ErrorOut = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written =
+      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  bool Ok = std::fclose(File) == 0 && Written == Buffer.size();
+  if (!Ok && ErrorOut)
+    *ErrorOut = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Buffer,
+                   std::string *ErrorOut) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (ErrorOut)
+      *ErrorOut = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  Buffer.clear();
+  uint8_t Chunk[65536];
+  size_t Got;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Buffer.insert(Buffer.end(), Chunk, Chunk + Got);
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  if (!Ok && ErrorOut)
+    *ErrorOut = "read error on '" + Path + "'";
+  return Ok;
+}
+
+} // namespace poce

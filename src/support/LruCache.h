@@ -1,0 +1,92 @@
+//===- support/LruCache.h - Bounded least-recently-used cache ---*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small bounded LRU map used by serve/QueryEngine to cap the number of
+/// materialized least-solution views held in memory. Keys hash into an
+/// unordered_map whose values live in a recency-ordered list; a hit
+/// splices the entry to the front, an insert past capacity evicts the
+/// back. Eviction count is exposed so the query engine can report cache
+/// pressure alongside hit rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_LRUCACHE_H
+#define POCE_SUPPORT_LRUCACHE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace poce {
+
+template <typename Key, typename Value> class LruCache {
+public:
+  explicit LruCache(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Returns the cached value for \p K and marks it most-recently-used,
+  /// or nullptr when absent. The pointer stays valid until the next
+  /// put() or erase().
+  Value *get(const Key &K) {
+    auto It = Index.find(K);
+    if (It == Index.end())
+      return nullptr;
+    Entries.splice(Entries.begin(), Entries, It->second);
+    return &It->second->second;
+  }
+
+  /// Inserts or overwrites \p K, marking it most-recently-used. Evicts
+  /// the least-recently-used entry if this pushes the cache past
+  /// capacity.
+  void put(const Key &K, Value V) {
+    auto It = Index.find(K);
+    if (It != Index.end()) {
+      It->second->second = std::move(V);
+      Entries.splice(Entries.begin(), Entries, It->second);
+      return;
+    }
+    Entries.emplace_front(K, std::move(V));
+    Index.emplace(K, Entries.begin());
+    if (Entries.size() > Capacity) {
+      Index.erase(Entries.back().first);
+      Entries.pop_back();
+      ++Evicted;
+    }
+  }
+
+  /// Removes \p K if present; returns whether it was.
+  bool erase(const Key &K) {
+    auto It = Index.find(K);
+    if (It == Index.end())
+      return false;
+    Entries.erase(It->second);
+    Index.erase(It);
+    return true;
+  }
+
+  void clear() {
+    Entries.clear();
+    Index.clear();
+  }
+
+  size_t size() const { return Entries.size(); }
+  size_t capacity() const { return Capacity; }
+  uint64_t evictions() const { return Evicted; }
+
+private:
+  size_t Capacity;
+  uint64_t Evicted = 0;
+  std::list<std::pair<Key, Value>> Entries;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      Index;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_LRUCACHE_H

@@ -87,6 +87,20 @@ public:
   /// Returns true with probability \p P.
   bool nextBool(double P) { return nextDouble() < P; }
 
+  /// Copies the raw xoshiro256** state out; paired with setState() this
+  /// lets a snapshot resume the generator mid-stream (the solver's order
+  /// RNG must continue identically after a save/load round trip).
+  void getState(uint64_t Out[4]) const {
+    for (int I = 0; I != 4; ++I)
+      Out[I] = State[I];
+  }
+
+  /// Restores state captured by getState().
+  void setState(const uint64_t In[4]) {
+    for (int I = 0; I != 4; ++I)
+      State[I] = In[I];
+  }
+
   /// Fisher–Yates shuffles a random-access range.
   template <typename RandomIt> void shuffle(RandomIt First, RandomIt Last) {
     auto N = Last - First;

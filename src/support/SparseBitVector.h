@@ -336,6 +336,57 @@ public:
 
   /// Number of 64-bit words currently stored (capacity accounting).
   size_t numWords() const { return Elems.size() * ElementWords; }
+
+  /// Number of stored (non-empty) 128-bit elements.
+  size_t numElements() const { return Elems.size(); }
+
+  /// Visits each stored element as (Index, Words[ElementWords]) in
+  /// ascending index order. Exposes the physical layout so a snapshot can
+  /// serialize the set word-for-word.
+  template <typename Fn> void forEachElement(Fn &&F) const {
+    for (const Element &L : Elems)
+      F(L.Index, L.Words);
+  }
+
+  /// Appends one element with the given raw words. Elements must arrive
+  /// in strictly ascending index order and must be non-empty (the
+  /// invariants a well-formed set maintains); returns false when the
+  /// input violates them, leaving the set unchanged. The inverse of
+  /// forEachElement(), used to reconstruct a set bit-identically from a
+  /// snapshot.
+  bool appendElement(uint32_t Index, const uint64_t W[ElementWords]) {
+    if (!Elems.empty() && Elems.back().Index >= Index)
+      return false;
+    uint64_t Any = 0;
+    for (uint32_t I = 0; I != ElementWords; ++I)
+      Any |= W[I];
+    if (!Any)
+      return false;
+    Element E(Index);
+    for (uint32_t I = 0; I != ElementWords; ++I) {
+      E.Words[I] = W[I];
+      NumBits += popcount(W[I]);
+    }
+    Elems.push_back(E);
+    return true;
+  }
+
+  /// True if this set and \p RHS share at least one bit.
+  bool intersects(const SparseBitVector &RHS) const {
+    size_t J = 0;
+    for (const Element &L : Elems) {
+      while (J != RHS.Elems.size() && RHS.Elems[J].Index < L.Index)
+        ++J;
+      if (J == RHS.Elems.size())
+        return false;
+      if (RHS.Elems[J].Index != L.Index)
+        continue;
+      for (uint32_t W = 0; W != ElementWords; ++W)
+        if (L.Words[W] & RHS.Elems[J].Words[W])
+          return true;
+    }
+    return false;
+  }
 };
 
 } // namespace poce

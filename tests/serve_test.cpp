@@ -1,0 +1,301 @@
+//===- tests/serve_test.cpp - QueryEngine semantics ------------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Behavioral tests for serve/QueryEngine: query semantics over a solved
+// system, LRU cache and fingerprint-invalidation counters, and the
+// incremental path — feeding additions through the warm online closure
+// (directly and through a snapshot round trip) must be provably
+// equivalent to solving the extended system from scratch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/GraphSnapshot.h"
+#include "serve/QueryEngine.h"
+
+#include "support/PRNG.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
+
+#ifndef POCE_SOURCE_DIR
+#define POCE_SOURCE_DIR "."
+#endif
+
+using namespace poce;
+using namespace poce::serve;
+
+namespace {
+
+/// A solver with its tables, built by parsing constraint-file text.
+struct TextSystem {
+  std::unique_ptr<ConstructorTable> Constructors;
+  std::unique_ptr<TermTable> Terms;
+  std::unique_ptr<ConstraintSolver> Solver;
+  std::string Error;
+
+  TextSystem(const std::string &Text, SolverOptions Options)
+      : Constructors(std::make_unique<ConstructorTable>()),
+        Terms(std::make_unique<TermTable>(*Constructors)),
+        Solver(std::make_unique<ConstraintSolver>(*Terms, Options)) {
+    ConstraintSystemFile System;
+    if (System.parse(Text, &Error))
+      System.emit(*Solver);
+  }
+};
+
+std::string readCorpusFile(const char *Name) {
+  std::ifstream In(std::string(POCE_SOURCE_DIR) + "/examples/data/" + Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+TEST(QueryEngineTest, SwapSemantics) {
+  TextSystem Sys(readCorpusFile("swap.scs"),
+                 makeConfig(GraphForm::Inductive, CycleElim::Online));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(*Sys.Solver);
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+
+  VarId P = Engine.varOf("P"), Q = Engine.varOf("Q");
+  VarId X = Engine.varOf("X"), Y = Engine.varOf("Y");
+  ASSERT_NE(P, QueryEngine::NotFound);
+  ASSERT_NE(Q, QueryEngine::NotFound);
+  EXPECT_EQ(Engine.varOf("no_such_var"), QueryEngine::NotFound);
+
+  // The T/P/Q cycle collapses, so both pointers see both locations.
+  EXPECT_EQ(Engine.pts(P), (std::vector<std::string>{"nx", "ny"}));
+  EXPECT_EQ(Engine.pts(Q), (std::vector<std::string>{"nx", "ny"}));
+  EXPECT_EQ(Engine.ls(P).size(), 2u);
+  EXPECT_NE(Engine.ls(P)[0].find("ref("), std::string::npos);
+
+  EXPECT_TRUE(Engine.alias(P, Q));
+  EXPECT_TRUE(Engine.alias(P, P));
+  EXPECT_FALSE(Engine.alias(X, Y));
+}
+
+TEST(QueryEngineTest, CacheCountersAndInvalidation) {
+  const char *Text = "cons a\n"
+                     "cons b\n"
+                     "var X Y\n"
+                     "a <= X\n"
+                     "b <= Y\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(*Sys.Solver);
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  VarId X = Engine.varOf("X"), Y = Engine.varOf("Y");
+
+  EXPECT_EQ(Engine.pts(X), std::vector<std::string>{"a"});
+  EXPECT_EQ(Engine.pts(Y), std::vector<std::string>{"b"});
+  EXPECT_EQ(Engine.counters().CacheMisses, 2u);
+  EXPECT_EQ(Engine.pts(X), std::vector<std::string>{"a"});
+  EXPECT_EQ(Engine.counters().CacheHits, 1u);
+  EXPECT_EQ(Engine.counters().StaleRebuilds, 0u);
+
+  // Growing X must invalidate only X's view: Y keeps serving from cache.
+  std::string Error;
+  ASSERT_TRUE(Engine.addConstraint("b <= X", &Error)) << Error;
+  EXPECT_EQ(Engine.counters().Additions, 1u);
+  EXPECT_EQ(Engine.pts(Y), std::vector<std::string>{"b"});
+  EXPECT_EQ(Engine.counters().CacheHits, 2u);
+  EXPECT_EQ(Engine.counters().StaleRebuilds, 0u);
+  EXPECT_EQ(Engine.pts(X), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Engine.counters().StaleRebuilds, 1u);
+
+  // Declarations work through the same incremental door.
+  ASSERT_TRUE(Engine.addConstraint("var Z", &Error)) << Error;
+  ASSERT_TRUE(Engine.addConstraint("cons c", &Error)) << Error;
+  ASSERT_TRUE(Engine.addConstraint("c <= Z", &Error)) << Error;
+  VarId Z = Engine.varOf("Z");
+  ASSERT_NE(Z, QueryEngine::NotFound);
+  EXPECT_EQ(Engine.pts(Z), std::vector<std::string>{"c"});
+
+  // Malformed and unresolvable lines are rejected without state damage.
+  EXPECT_FALSE(Engine.addConstraint("nope <= X", &Error));
+  EXPECT_FALSE(Engine.addConstraint("var Z", &Error)); // duplicate name
+  EXPECT_EQ(Engine.pts(Z), std::vector<std::string>{"c"});
+}
+
+TEST(QueryEngineTest, LruEvictionIsBounded) {
+  const char *Text = "cons a\n"
+                     "cons b\n"
+                     "cons c\n"
+                     "var X Y Z\n"
+                     "a <= X\n"
+                     "b <= Y\n"
+                     "c <= Z\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Standard, CycleElim::None));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(*Sys.Solver, /*CacheCapacity=*/2);
+  ASSERT_TRUE(Engine.valid());
+
+  VarId X = Engine.varOf("X"), Y = Engine.varOf("Y"), Z = Engine.varOf("Z");
+  (void)Engine.pts(X);
+  (void)Engine.pts(Y);
+  EXPECT_EQ(Engine.cacheEvictions(), 0u);
+  (void)Engine.pts(Z); // evicts X, the least recently used
+  EXPECT_EQ(Engine.cacheEvictions(), 1u);
+  EXPECT_EQ(Engine.cacheSize(), 2u);
+  (void)Engine.pts(Y); // still resident
+  EXPECT_EQ(Engine.counters().CacheHits, 1u);
+  EXPECT_EQ(Engine.pts(X), std::vector<std::string>{"a"}); // rebuilt
+  EXPECT_EQ(Engine.counters().CacheMisses, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental-vs-fresh equivalence
+//===----------------------------------------------------------------------===//
+
+/// Random base system + random additions in the constraint-file format.
+/// Lines only reference variables and constructors already declared by
+/// the time they execute, so the same text works parsed whole (fresh
+/// solve) or split at the base/additions boundary (incremental).
+struct RandomScript {
+  std::string Base;
+  std::vector<std::string> Additions;
+};
+
+RandomScript makeRandomScript(uint64_t Seed) {
+  PRNG Rng(Seed);
+  const uint32_t NumVars = 30, NumSources = 6;
+  std::ostringstream Base;
+  for (uint32_t S = 0; S != NumSources; ++S)
+    Base << "cons src" << S << "\n";
+  Base << "var";
+  for (uint32_t V = 0; V != NumVars; ++V)
+    Base << " x" << V;
+  Base << "\n";
+  // Seed every source into the base so the solver's constructor table
+  // (the namespace additions resolve against) knows all of them.
+  for (uint32_t S = 0; S != NumSources; ++S)
+    Base << "src" << S << " <= x" << S << "\n";
+  auto ConstraintLine = [&](uint32_t MaxVar) {
+    std::ostringstream Line;
+    if (Rng.nextU32() % 3 == 0)
+      Line << "src" << Rng.nextU32() % NumSources << " <= x"
+           << Rng.nextU32() % MaxVar;
+    else
+      Line << "x" << Rng.nextU32() % MaxVar << " <= x"
+           << Rng.nextU32() % MaxVar;
+    return Line.str();
+  };
+  for (int I = 0; I != 50; ++I)
+    Base << ConstraintLine(NumVars) << "\n";
+
+  RandomScript Script;
+  Script.Base = Base.str();
+  // Additions: constraints over old variables, two new variables wired
+  // into the graph (so fresh-var order assignment is exercised), and a
+  // back edge likely to close new cycles through the warm graph.
+  for (int I = 0; I != 10; ++I)
+    Script.Additions.push_back(ConstraintLine(NumVars));
+  Script.Additions.push_back("var y0 y1");
+  Script.Additions.push_back("x0 <= y0");
+  Script.Additions.push_back("y0 <= y1");
+  Script.Additions.push_back("y1 <= x0");
+  Script.Additions.push_back("src0 <= y0");
+  for (int I = 0; I != 5; ++I)
+    Script.Additions.push_back(ConstraintLine(NumVars));
+  return Script;
+}
+
+void expectSolversMatch(ConstraintSolver &Fresh, ConstraintSolver &Inc,
+                        const std::string &Context) {
+  ASSERT_EQ(Fresh.numVars(), Inc.numVars()) << Context;
+  EXPECT_EQ(Fresh.referenceLeastSolutions(), Inc.referenceLeastSolutions())
+      << Context;
+  EXPECT_EQ(Fresh.dumpGraph(), Inc.dumpGraph()) << Context;
+  EXPECT_EQ(Fresh.countFinalEdges(), Inc.countFinalEdges()) << Context;
+  // Collapsed-cycle witnesses must agree variable by variable.
+  for (uint32_t C = 0; C != Fresh.numCreations(); ++C)
+    EXPECT_EQ(Fresh.rep(Fresh.varOfCreation(C)),
+              Inc.rep(Inc.varOfCreation(C)))
+        << Context << " creation " << C;
+  const SolverStats &A = Fresh.stats(), &B = Inc.stats();
+  EXPECT_EQ(A.Work, B.Work) << Context;
+  EXPECT_EQ(A.InitialEdges, B.InitialEdges) << Context;
+  EXPECT_EQ(A.RedundantAdds, B.RedundantAdds) << Context;
+  EXPECT_EQ(A.VarsEliminated, B.VarsEliminated) << Context;
+  EXPECT_EQ(A.CyclesCollapsed, B.CyclesCollapsed) << Context;
+  EXPECT_EQ(A.CycleSearchSteps, B.CycleSearchSteps) << Context;
+  EXPECT_EQ(A.ConstraintsProcessed, B.ConstraintsProcessed) << Context;
+  EXPECT_EQ(A.Mismatches, B.Mismatches) << Context;
+  // LSUnionWords is excluded: it accumulates per finalize() and the
+  // incremental path finalizes once mid-stream for the snapshot.
+}
+
+void runEquivalence(const SolverOptions &Options, uint64_t ScriptSeed,
+                    const std::string &Context) {
+  RandomScript Script = makeRandomScript(ScriptSeed);
+  std::string FullText = Script.Base;
+  for (const std::string &Line : Script.Additions)
+    FullText += Line + "\n";
+
+  // Fresh solve of the extended system.
+  TextSystem Fresh(FullText, Options);
+  ASSERT_TRUE(Fresh.Error.empty()) << Context << ": " << Fresh.Error;
+
+  // Incremental: solve the base, snapshot it, reload, then feed the
+  // additions through the warm closure via the query engine.
+  TextSystem BaseSys(Script.Base, Options);
+  ASSERT_TRUE(BaseSys.Error.empty()) << Context << ": " << BaseSys.Error;
+  BaseSys.Solver->finalize();
+  std::vector<uint8_t> Bytes;
+  std::string Error;
+  ASSERT_TRUE(GraphSnapshot::serialize(*BaseSys.Solver, Bytes, &Error))
+      << Context << ": " << Error;
+  SolverBundle Bundle;
+  ASSERT_TRUE(
+      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle, &Error))
+      << Context << ": " << Error;
+
+  QueryEngine Engine(*Bundle.Solver);
+  ASSERT_TRUE(Engine.valid()) << Context << ": " << Engine.initError();
+  for (const std::string &Line : Script.Additions)
+    ASSERT_TRUE(Engine.addConstraint(Line, &Error))
+        << Context << ": '" << Line << "': " << Error;
+
+  expectSolversMatch(*Fresh.Solver, *Bundle.Solver, Context + " (snapshot)");
+
+  // Same additions against the original in-memory solver (no snapshot in
+  // between) — the snapshot must not be what makes them equivalent.
+  QueryEngine Direct(*BaseSys.Solver);
+  ASSERT_TRUE(Direct.valid()) << Context;
+  for (const std::string &Line : Script.Additions)
+    ASSERT_TRUE(Direct.addConstraint(Line, &Error))
+        << Context << ": '" << Line << "': " << Error;
+  expectSolversMatch(*Fresh.Solver, *BaseSys.Solver, Context + " (direct)");
+
+  // Query answers agree too.
+  QueryEngine FreshEngine(*Fresh.Solver);
+  ASSERT_TRUE(FreshEngine.valid()) << Context;
+  for (const char *Name : {"x0", "x7", "x29", "y0", "y1"}) {
+    VarId F = FreshEngine.varOf(Name), I = Engine.varOf(Name);
+    ASSERT_NE(F, QueryEngine::NotFound) << Context << " " << Name;
+    ASSERT_NE(I, QueryEngine::NotFound) << Context << " " << Name;
+    EXPECT_EQ(FreshEngine.pts(F), Engine.pts(I)) << Context << " " << Name;
+    EXPECT_EQ(FreshEngine.ls(F), Engine.ls(I)) << Context << " " << Name;
+  }
+}
+
+TEST(QueryEngineTest, IncrementalMatchesFreshSolve) {
+  uint64_t ScriptSeed = 0x100;
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive})
+    for (CycleElim Elim : {CycleElim::None, CycleElim::Online})
+      for (bool DiffProp : {false, true}) {
+        SolverOptions Options = makeConfig(Form, Elim);
+        Options.DiffProp = DiffProp;
+        runEquivalence(Options, ScriptSeed++,
+                       Options.configName() +
+                           (DiffProp ? "+diffprop" : "-diffprop"));
+      }
+}
+
+} // namespace

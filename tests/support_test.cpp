@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/CommandLine.h"
+#include "support/ByteStream.h"
 #include "support/DenseU64Map.h"
 #include "support/DenseU64Set.h"
 #include "support/Format.h"
+#include "support/LruCache.h"
 #include "support/PRNG.h"
 #include "support/SmallVector.h"
 #include "support/Statistic.h"
@@ -503,4 +505,127 @@ TEST(ArrayRefTest, IterationAndVec) {
   EXPECT_EQ(Sum, 60);
   std::vector<int> Copy = Ref.vec();
   EXPECT_EQ(Copy, Source);
+}
+
+//===----------------------------------------------------------------------===//
+// LruCache
+//===----------------------------------------------------------------------===//
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> Cache(2);
+  Cache.put(1, "one");
+  Cache.put(2, "two");
+  ASSERT_NE(Cache.get(1), nullptr); // 1 becomes most recent
+  Cache.put(3, "three");            // evicts 2
+  EXPECT_EQ(Cache.get(2), nullptr);
+  ASSERT_NE(Cache.get(1), nullptr);
+  EXPECT_EQ(*Cache.get(1), "one");
+  ASSERT_NE(Cache.get(3), nullptr);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, PutOverwritesInPlace) {
+  LruCache<int, int> Cache(2);
+  Cache.put(1, 10);
+  Cache.put(2, 20);
+  Cache.put(1, 11); // overwrite, no eviction
+  EXPECT_EQ(Cache.evictions(), 0u);
+  EXPECT_EQ(*Cache.get(1), 11);
+  Cache.put(3, 30); // now 2 is the victim (1 was refreshed by put)
+  EXPECT_EQ(Cache.get(2), nullptr);
+  EXPECT_EQ(*Cache.get(1), 11);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int, int> Cache(4);
+  for (int I = 0; I != 4; ++I)
+    Cache.put(I, I * I);
+  Cache.erase(2);
+  EXPECT_EQ(Cache.get(2), nullptr);
+  EXPECT_EQ(Cache.size(), 3u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.get(0), nullptr);
+  Cache.put(9, 81); // usable after clear
+  EXPECT_EQ(*Cache.get(9), 81);
+}
+
+TEST(LruCacheTest, MinimumCapacityIsOne) {
+  LruCache<int, int> Cache(0); // clamped to 1
+  EXPECT_EQ(Cache.capacity(), 1u);
+  Cache.put(1, 10);
+  Cache.put(2, 20);
+  EXPECT_EQ(Cache.get(1), nullptr);
+  EXPECT_EQ(*Cache.get(2), 20);
+  EXPECT_EQ(Cache.evictions(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ByteStream
+//===----------------------------------------------------------------------===//
+
+TEST(ByteStreamTest, RoundTripsScalarsAndStrings) {
+  ByteWriter Writer;
+  Writer.u8(0xab);
+  Writer.u32(0xdeadbeef);
+  Writer.u64(0x0123456789abcdefULL);
+  Writer.str("hello");
+  Writer.str("");
+
+  ByteReader Reader(Writer.buffer().data(), Writer.size());
+  uint8_t Byte = 0;
+  uint32_t Word = 0;
+  uint64_t Wide = 0;
+  std::string Text;
+  EXPECT_TRUE(Reader.u8(Byte));
+  EXPECT_EQ(Byte, 0xab);
+  EXPECT_TRUE(Reader.u32(Word));
+  EXPECT_EQ(Word, 0xdeadbeefu);
+  EXPECT_TRUE(Reader.u64(Wide));
+  EXPECT_EQ(Wide, 0x0123456789abcdefULL);
+  EXPECT_TRUE(Reader.str(Text));
+  EXPECT_EQ(Text, "hello");
+  EXPECT_TRUE(Reader.str(Text));
+  EXPECT_EQ(Text, "");
+  EXPECT_FALSE(Reader.failed());
+  EXPECT_EQ(Reader.remaining(), 0u);
+}
+
+TEST(ByteStreamTest, TruncationFailsStickyWithOffset) {
+  ByteWriter Writer;
+  Writer.u32(7);
+  ByteReader Reader(Writer.buffer().data(), 2);
+  uint32_t Word = 99;
+  EXPECT_FALSE(Reader.u32(Word));
+  EXPECT_EQ(Word, 99u); // output untouched on failure
+  EXPECT_TRUE(Reader.failed());
+  EXPECT_NE(Reader.error().find("truncated"), std::string::npos);
+  // Sticky: further reads keep failing.
+  uint64_t Wide = 0;
+  EXPECT_FALSE(Reader.u64(Wide));
+  EXPECT_TRUE(Reader.failed());
+}
+
+TEST(ByteStreamTest, PatchU64RewritesInPlace) {
+  ByteWriter Writer;
+  Writer.u64(0); // placeholder
+  Writer.u8(0x77);
+  Writer.patchU64(0, 0x1122334455667788ULL);
+  ByteReader Reader(Writer.buffer().data(), Writer.size());
+  uint64_t Wide = 0;
+  uint8_t Byte = 0;
+  EXPECT_TRUE(Reader.u64(Wide));
+  EXPECT_EQ(Wide, 0x1122334455667788ULL);
+  EXPECT_TRUE(Reader.u8(Byte));
+  EXPECT_EQ(Byte, 0x77);
+}
+
+TEST(ByteStreamTest, Fnv1aIsStableAndSensitive) {
+  const uint8_t Data[] = {1, 2, 3, 4};
+  uint64_t Sum = fnv1a64(Data, sizeof(Data));
+  EXPECT_EQ(Sum, fnv1a64(Data, sizeof(Data)));
+  const uint8_t Flipped[] = {1, 2, 3, 5};
+  EXPECT_NE(Sum, fnv1a64(Flipped, sizeof(Flipped)));
+  EXPECT_NE(fnv1a64(Data, 3), Sum);
 }
