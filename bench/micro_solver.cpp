@@ -624,19 +624,22 @@ ServeResult measureServe(double Scale, unsigned Repeats, unsigned Threads) {
   Solver.finalize();
 
   std::vector<uint8_t> Bytes;
-  std::string Error;
   Out.SaveSeconds = bestOfN(Repeats, [&] {
     Bytes.clear();
-    if (!serve::GraphSnapshot::serialize(Solver, Bytes, &Error))
-      std::fprintf(stderr, "error: snapshot_save: %s\n", Error.c_str());
+    Status St = serve::GraphSnapshot::serialize(Solver, Bytes);
+    if (!St)
+      std::fprintf(stderr, "error: snapshot_save: %s\n",
+                   St.toString().c_str());
   });
   Out.SnapshotBytes = Bytes.size();
 
   Out.LoadSeconds = bestOfN(Repeats, [&] {
     serve::SolverBundle Bundle;
-    if (!serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle,
-                                    &Error))
-      std::fprintf(stderr, "error: snapshot_load: %s\n", Error.c_str());
+    Status St =
+        serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle);
+    if (!St)
+      std::fprintf(stderr, "error: snapshot_load: %s\n",
+                   St.toString().c_str());
     else
       Bundle.Solver->materializeAllViews();
   });
@@ -652,13 +655,15 @@ ServeResult measureServe(double Scale, unsigned Repeats, unsigned Threads) {
   double HitRate = 0;
   Out.LoadPathSeconds = bestOfN(Repeats, [&] {
     serve::SolverBundle Bundle;
-    if (!serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle,
-                                    &Error)) {
-      std::fprintf(stderr, "error: query_engine: %s\n", Error.c_str());
+    Status St =
+        serve::GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle);
+    if (!St) {
+      std::fprintf(stderr, "error: query_engine: %s\n",
+                   St.toString().c_str());
       return;
     }
     Bundle.Solver->materializeAllViews();
-    serve::QueryEngine Engine(*Bundle.Solver);
+    serve::QueryEngine Engine(std::move(Bundle));
     Latencies.clear();
     Out.Checksum = runQueries(Engine, &Latencies);
     HitRate = Engine.counters().Queries
@@ -667,12 +672,13 @@ ServeResult measureServe(double Scale, unsigned Repeats, unsigned Threads) {
                   : 0;
   });
   Out.FreshPathSeconds = bestOfN(Repeats, [&] {
-    ConstructorTable C;
-    TermTable T(C);
-    ConstraintSolver S(T, Options);
-    emitShapeOrdered(Shape, S, /*FactsFirst=*/false);
-    S.materializeAllViews();
-    serve::QueryEngine Engine(S);
+    serve::SolverBundle Fresh;
+    Fresh.Constructors = std::make_unique<ConstructorTable>();
+    Fresh.Terms = std::make_unique<TermTable>(*Fresh.Constructors);
+    Fresh.Solver = std::make_unique<ConstraintSolver>(*Fresh.Terms, Options);
+    emitShapeOrdered(Shape, *Fresh.Solver, /*FactsFirst=*/false);
+    Fresh.Solver->materializeAllViews();
+    serve::QueryEngine Engine(std::move(Fresh));
     Out.BaselineChecksum = runQueries(Engine, nullptr);
   });
 
@@ -683,6 +689,157 @@ ServeResult measureServe(double Scale, unsigned Repeats, unsigned Threads) {
                                        Latencies.size() * 99 / 100)];
   }
   Out.HitRate = HitRate;
+  return Out;
+}
+
+/// Fault-tolerance measurements: what a budget abort costs (detect +
+/// rollback to the pre-batch graph) and what warm recovery costs
+/// (snapshot load + journal replay + view materialization) against a
+/// fresh solve of the same constraints. Both assert the recovered state
+/// is bit-identical to the expected one.
+struct FaultToleranceResult {
+  double AbortSeconds = 0;      ///< Budget breach -> rolled back, best of N.
+  double AcceptSeconds = 0;     ///< The same line accepted, budgets off.
+  bool AbortRolledBack = false; ///< Every repeat hit BudgetExceeded.
+  bool AbortStateMatch = false; ///< Post-rollback bytes == pre-batch bytes.
+  double RecoverySeconds = 0;   ///< load + replay + materialize, best of N.
+  double RecoveryFreshSeconds = 0; ///< fresh solve + materialize.
+  unsigned ReplayedLines = 0;
+  bool RecoveryStateMatch = false; ///< Recovered bytes == fresh bytes.
+};
+
+FaultToleranceResult measureFaultTolerance(double Scale, unsigned Repeats) {
+  PRNG Rng(505);
+  uint32_t NumVars =
+      std::max<uint32_t>(16, static_cast<uint32_t>(4000 * Scale));
+  uint32_t NumCons =
+      std::max<uint32_t>(4, static_cast<uint32_t>(2600 * Scale));
+  RandomConstraintShape Shape =
+      randomConstraintShape(NumVars, NumCons, 1.5 / NumVars, Rng);
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+
+  FaultToleranceResult Out;
+
+  // --- budget_abort: a guaranteed-heavy line against an edge budget of
+  // one. The chain makes the cascade deterministic: propagating a fresh
+  // source down it costs one work unit per hop, far over budget.
+  {
+    serve::SolverBundle Bundle;
+    Bundle.Constructors = std::make_unique<ConstructorTable>();
+    Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
+    Bundle.Solver =
+        std::make_unique<ConstraintSolver>(*Bundle.Terms, Options);
+    emitShapeOrdered(Shape, *Bundle.Solver, /*FactsFirst=*/false);
+    Bundle.Solver->finalize();
+    serve::QueryEngine Engine(std::move(Bundle));
+
+    const unsigned ChainLen = 100;
+    bool Ok = static_cast<bool>(Engine.addConstraint("cons heavysrc"));
+    for (unsigned I = 0; Ok && I != ChainLen; ++I)
+      Ok = static_cast<bool>(
+          Engine.addConstraint("var C" + std::to_string(I)));
+    for (unsigned I = 0; Ok && I + 1 != ChainLen; ++I)
+      Ok = static_cast<bool>(
+          Engine.addConstraint("C" + std::to_string(I) + " <= C" +
+                               std::to_string(I + 1)));
+    if (!Ok || !Engine.checkpointBase())
+      return Out;
+
+    Engine.solver().setBudgets(0, /*MaxEdgeBudget=*/1, 0);
+    std::vector<uint8_t> PreBytes;
+    if (!serve::GraphSnapshot::serialize(Engine.solver(), PreBytes))
+      return Out;
+
+    Out.AbortRolledBack = true;
+    Out.AbortSeconds = bestOfN(Repeats, [&] {
+      Status St = Engine.addConstraint("heavysrc <= C0");
+      if (St.ok() || St.code() != ErrorCode::BudgetExceeded)
+        Out.AbortRolledBack = false;
+    });
+
+    std::vector<uint8_t> PostBytes;
+    if (serve::GraphSnapshot::serialize(Engine.solver(), PostBytes))
+      Out.AbortStateMatch = PostBytes == PreBytes;
+
+    // Baseline: the same line accepted with budgets off, measuring the
+    // work the abort path walks away from. Each repeat restores the
+    // pre-batch graph from PreBytes first (restore untimed, add timed).
+    double Best = 1e300;
+    for (unsigned I = 0; I != Repeats; ++I) {
+      serve::SolverBundle Restored;
+      if (!serve::GraphSnapshot::deserialize(PreBytes.data(),
+                                             PreBytes.size(), Restored))
+        return Out;
+      Restored.Solver->setBudgets(0, 0, 0);
+      serve::QueryEngine Accept(std::move(Restored));
+      Timer T;
+      if (!Accept.addConstraint("heavysrc <= C0"))
+        Out.AbortRolledBack = false;
+      Best = std::min(Best, T.seconds());
+    }
+    Out.AcceptSeconds = Best;
+  }
+
+  // --- warm_recovery: the base is the shape minus the last 10% of its
+  // variable-variable edges; those become the replayed journal.
+  {
+    RandomConstraintShape Base = Shape;
+    size_t Keep = Base.VarVar.size() - Base.VarVar.size() / 10;
+    std::vector<std::pair<uint32_t, uint32_t>> Extra(
+        Base.VarVar.begin() + Keep, Base.VarVar.end());
+    Base.VarVar.resize(Keep);
+    Out.ReplayedLines = static_cast<unsigned>(Extra.size());
+
+    std::vector<std::string> Lines;
+    Lines.reserve(Extra.size());
+    for (auto [From, To] : Extra)
+      Lines.push_back("X" + std::to_string(From) + " <= X" +
+                      std::to_string(To));
+
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms, Options);
+    emitShapeOrdered(Base, Solver, /*FactsFirst=*/false);
+    std::vector<uint8_t> BaseBytes;
+    if (!serve::GraphSnapshot::serialize(Solver, BaseBytes))
+      return Out;
+
+    std::vector<uint8_t> RecoveredBytes;
+    Out.RecoverySeconds = bestOfN(Repeats, [&] {
+      serve::SolverBundle Bundle;
+      if (!serve::GraphSnapshot::deserialize(BaseBytes.data(),
+                                             BaseBytes.size(), Bundle))
+        return;
+      ConstraintSystemFile Sys;
+      if (!Sys.adoptDeclarations(*Bundle.Solver))
+        return;
+      for (const std::string &Line : Lines)
+        if (!Sys.addLine(Line, *Bundle.Solver))
+          return;
+      Bundle.Solver->materializeAllViews();
+      RecoveredBytes.clear();
+      serve::GraphSnapshot::serialize(*Bundle.Solver, RecoveredBytes);
+    });
+
+    std::vector<uint8_t> FreshBytes;
+    Out.RecoveryFreshSeconds = bestOfN(Repeats, [&] {
+      ConstructorTable C;
+      TermTable T(C);
+      ConstraintSolver S(T, Options);
+      emitShapeOrdered(Base, S, /*FactsFirst=*/false);
+      ConstraintSystemFile Sys;
+      if (!Sys.adoptDeclarations(S))
+        return;
+      for (const std::string &Line : Lines)
+        if (!Sys.addLine(Line, S))
+          return;
+      S.materializeAllViews();
+      FreshBytes.clear();
+      serve::GraphSnapshot::serialize(S, FreshBytes);
+    });
+    Out.RecoveryStateMatch =
+        !RecoveredBytes.empty() && RecoveredBytes == FreshBytes;
+  }
   return Out;
 }
 
@@ -893,6 +1050,48 @@ int emitTrajectory(const std::string &Path) {
     if (R.Checksum != R.BaselineChecksum) {
       std::fprintf(stderr, "error: query_engine: snapshot-path answers "
                            "diverged from the fresh-solve answers\n");
+      std::fclose(File);
+      return 1;
+    }
+  }
+
+  // Fault-tolerance entries: what a budget abort costs against accepting
+  // the same line, and warm recovery (snapshot + journal replay) against
+  // a fresh solve. Both verify the resulting graphs bit-identical.
+  {
+    FaultToleranceResult R = measureFaultTolerance(Scale, Repeats);
+    double RecoverySpeedup =
+        R.RecoveryFreshSeconds / std::max(R.RecoverySeconds, 1e-9);
+    std::fprintf(
+        File,
+        ",\n    {\"name\": \"budget_abort\", \"kind\": "
+        "\"fault_tolerance\",\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f,\n"
+        "     \"rolled_back\": %s, \"state_match\": %s},\n"
+        "    {\"name\": \"warm_recovery\", \"kind\": "
+        "\"fault_tolerance\", \"replayed_lines\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"state_match\": %s}",
+        R.AbortSeconds, R.AcceptSeconds,
+        R.AbortRolledBack ? "true" : "false",
+        R.AbortStateMatch ? "true" : "false", R.ReplayedLines,
+        R.RecoverySeconds, R.RecoveryFreshSeconds, RecoverySpeedup,
+        R.RecoveryStateMatch ? "true" : "false");
+    std::printf("%-14s wall=%.4fs accept=%.4fs rolled_back=%s "
+                "state_match=%s\n",
+                "budget_abort", R.AbortSeconds, R.AcceptSeconds,
+                R.AbortRolledBack ? "yes" : "NO",
+                R.AbortStateMatch ? "yes" : "NO");
+    std::printf("%-14s wall=%.3fs baseline=%.3fs speedup=%.2fx "
+                "replayed=%u state_match=%s\n",
+                "warm_recovery", R.RecoverySeconds, R.RecoveryFreshSeconds,
+                RecoverySpeedup, R.ReplayedLines,
+                R.RecoveryStateMatch ? "yes" : "NO");
+    if (!R.AbortRolledBack || !R.AbortStateMatch ||
+        !R.RecoveryStateMatch) {
+      std::fprintf(stderr, "error: fault_tolerance: rollback or recovery "
+                           "did not reproduce the expected graph\n");
       std::fclose(File);
       return 1;
     }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Builds the serve subsystem under AddressSanitizer and runs the snapshot
-# and query-engine tests plus the scserved end-to-end smoke script.
+# Builds the serve subsystem under AddressSanitizer and runs the
+# snapshot, query-engine, WAL, and fault-injection tests plus the
+# scserved end-to-end smoke and crash-recovery scripts.
 #
-# The snapshot loader consumes untrusted bytes, so every bounds bug in it
-# is memory-unsafe by definition; this script is the check that the
-# byte-flip/truncation fuzzing in snapshot_test.cpp really exercises
+# The snapshot loader and the WAL replayer consume untrusted bytes, so
+# every bounds bug in them is memory-unsafe by definition; this script is
+# the check that the byte-flip/truncation fuzzing in snapshot_test.cpp
+# and the torn-tail/failpoint cases in fault_test.cpp really exercise
 # clean failure paths. Uses a dedicated build directory so the
 # instrumented build never mixes with the normal one.
 #
@@ -16,5 +18,7 @@ BUILD_DIR=build-asan
 cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target serve_tests core_tests scserved
 (cd "$BUILD_DIR" && ctest --output-on-failure \
-  -R '(Snapshot|QueryEngine|LruCache|ByteStream)' "$@")
+  -R '(Snapshot|QueryEngine|LruCache|ByteStream|Wal|FailPoint|Status|Expected|Budget|WarmRecovery)' \
+  "$@")
 scripts/serve_smoke.sh "$BUILD_DIR"
+scripts/crash_recovery.sh "$BUILD_DIR"

@@ -54,6 +54,7 @@ check "$WORK/s1.out" \
   "ok added" \
   "ok saved $SNAP" \
   "cycles_collapsed=" \
+  "budget_aborts=0" \
   "p99_us="
 # The collapsed T/P/Q cycle makes both pointers see both locations.
 [ "$(grep -c "ok { nx, ny }" "$WORK/s1.out")" -ge 2 ] || {
@@ -62,19 +63,26 @@ check "$WORK/s1.out" \
 }
 
 # Session 2: warm start from the snapshot; the added variable Z and its
-# constraint must still be there, with the same answers.
-"$SCSERVED" --snapshot="$SNAP" --threads=8 > "$WORK/s2.out" << EOF
+# constraint must still be there, with the same answers. Also probe the
+# structured error taxonomy: unknown verb, unknown variable, oversized
+# request.
+LONG_LINE=$(printf 'x%.0s' $(seq 1 300))
+"$SCSERVED" --snapshot="$SNAP" --threads=8 --max-request=200 > "$WORK/s2.out" << EOF
 pts P
 pts Z
 alias Z P
 err-on-purpose
+pts NoSuchVar
+$LONG_LINE
 quit
 EOF
 check "$WORK/s2.out" \
   "ok ready config=IF-Online vars=6" \
   "ok { nx, ny }" \
   "ok true" \
-  "err unknown command"
+  "err invalid_argument unknown verb 'err-on-purpose'" \
+  "err not_found unknown variable 'NoSuchVar'" \
+  "err too_large request is 300 bytes"
 # Z inherited P's whole solution through the added constraint.
 [ "$(grep -c "ok { nx, ny }" "$WORK/s2.out")" -ge 2 ] || {
   echo "FAIL: expected pts Z == pts P == { nx, ny } after warm start" >&2

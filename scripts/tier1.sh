@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 verification (see ROADMAP.md): configure, build, and run the full
-# test suite in one command. Extra arguments are passed to ctest.
+# Tier-1 verification (see ROADMAP.md): configure, build, run the full
+# test suite, then the end-to-end serving harnesses (protocol smoke test
+# and crash-recovery/fault-injection). Extra arguments are passed to
+# ctest.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -8,5 +10,6 @@ BUILD="$ROOT/build"
 
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j
-cd "$BUILD"
-exec ctest --output-on-failure -j "$@"
+(cd "$BUILD" && ctest --output-on-failure -j "$@")
+"$ROOT/scripts/serve_smoke.sh" "$BUILD"
+"$ROOT/scripts/crash_recovery.sh" "$BUILD"

@@ -8,19 +8,36 @@
 /// scserved: solver-as-a-service over stdin/stdout. Loads a warm solved
 /// graph (from a GraphSnapshot, or by solving a .scs file once at
 /// startup) and then answers a newline-delimited request/response
-/// protocol — one request line in, exactly one `ok ...` or `err ...`
-/// line out — so sessions are fully scriptable without sockets:
+/// protocol — one request line in, exactly one `ok ...` or
+/// `err <code> <detail>` line out — so sessions are fully scriptable
+/// without sockets:
 ///
-///   scserved --snapshot=graph.snap
+///   scserved --snapshot=graph.snap --wal=graph.wal
 ///   scserved --config=if-online system.scs
+///
+/// Fault tolerance (see INTERNALS.md for the recovery invariant):
+///   - With --wal, every accepted `add` line is appended (and fsynced) to
+///     the write-ahead log *before* it is applied, so `ok added` implies
+///     the line is durable. On restart the server replays the WAL on top
+///     of the snapshot, which reconstructs exactly the acknowledged
+///     state; a torn tail from a crash mid-append is detected by
+///     checksum and truncated.
+///   - --deadline-ms / --edge-budget / --max-mem-mb bound each `add`'s
+///     closure. A breach aborts the batch, rolls the graph back to the
+///     pre-line state, and answers `err budget_exceeded ...`; the server
+///     keeps serving.
+///   - `checkpoint` (or --checkpoint-every=N) atomically rewrites the
+///     snapshot and resets the WAL, bounding recovery time.
+///   - POCE_FAILPOINTS arms fault injection (see support/FailPoint.h).
 ///
 /// Protocol (see README.md for a copy-pasteable session):
 ///   ls X          least solution of X
 ///   pts X         points-to location tags of X
 ///   alias X Y     may X and Y alias?
 ///   add LINE      feed one constraint-file line through the online closure
-///   save PATH     snapshot the current graph
-///   stats         solver statistics
+///   save PATH     snapshot the current graph (atomic write)
+///   checkpoint [PATH]  snapshot + reset the WAL (default: --snapshot path)
+///   stats         solver statistics + fault-tolerance counters
 ///   counters      query latency percentiles and cache counters
 ///   help | quit
 ///
@@ -28,8 +45,11 @@
 
 #include "serve/GraphSnapshot.h"
 #include "serve/QueryEngine.h"
+#include "serve/Wal.h"
 #include "support/ByteStream.h"
 #include "support/CommandLine.h"
+#include "support/FailPoint.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <chrono>
@@ -96,29 +116,82 @@ uint64_t percentileMicros(std::vector<uint64_t> Sorted, double P) {
   return Sorted[Index];
 }
 
+/// --dump-wal=FILE: print every intact line of a WAL (one per line) and
+/// exit. This is the recovery harness's oracle input: snapshot + these
+/// lines must equal the recovered server's state.
+int dumpWal(const std::string &Path) {
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  if (!Contents.ok()) {
+    std::fprintf(stderr, "scserved: %s\n",
+                 Contents.status().toString().c_str());
+    return 1;
+  }
+  for (const std::string &Line : Contents->Lines)
+    std::printf("%s\n", Line.c_str());
+  if (Contents->TornBytes)
+    std::fprintf(stderr, "scserved: note: %llu torn trailing bytes ignored\n",
+                 static_cast<unsigned long long>(Contents->TornBytes));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  FailPoint::armFromEnv();
+
   CommandLine Cmd("scserved",
                   "long-running inclusion-constraint query server "
                   "(newline protocol on stdin/stdout)");
   std::string Snapshot;
+  std::string WalPath;
+  std::string DumpWal;
   std::string Config = "if-online";
   int64_t Seed = 0x706f6365;
   int64_t Threads = 1;
   int64_t CacheCapacity = 256;
+  int64_t DeadlineMs = 0;
+  int64_t EdgeBudget = 0;
+  int64_t MaxMemMb = 0;
+  int64_t MaxRequest = 64 * 1024;
+  int64_t CheckpointEvery = 0;
   Cmd.addString("snapshot", &Snapshot, "load this snapshot instead of "
                                        "solving a .scs file");
+  Cmd.addString("wal", &WalPath,
+                "write-ahead log: accepted adds are fsynced here before "
+                "application, and replayed on top of the snapshot at "
+                "startup");
+  Cmd.addString("dump-wal", &DumpWal,
+                "print the intact lines of this WAL and exit");
   Cmd.addString("config", &Config, "{sf,if}-{plain,online} for .scs input");
   Cmd.addInt("seed", &Seed, "variable-order seed for .scs input");
   Cmd.addInt("threads", &Threads,
              "lanes for least-solution materialization on load "
              "(0 = hardware); results identical for any value");
   Cmd.addInt("cache", &CacheCapacity, "materialized-view LRU capacity");
+  Cmd.addInt("deadline-ms", &DeadlineMs,
+             "per-add closure deadline in ms (0 = unlimited)");
+  Cmd.addInt("edge-budget", &EdgeBudget,
+             "per-add closure work budget in edges (0 = unlimited)");
+  Cmd.addInt("max-mem-mb", &MaxMemMb,
+             "abort an add when process RSS exceeds this (0 = unlimited)");
+  Cmd.addInt("max-request", &MaxRequest,
+             "longest accepted request line in bytes");
+  Cmd.addInt("checkpoint-every", &CheckpointEvery,
+             "auto-checkpoint after this many accepted adds "
+             "(requires --snapshot and --wal; 0 = never)");
   if (!Cmd.parse(Argc, Argv))
     return 1;
 
-  std::string Error;
+  if (!DumpWal.empty())
+    return dumpWal(DumpWal);
+
+  if (CheckpointEvery > 0 && (Snapshot.empty() || WalPath.empty())) {
+    std::fprintf(stderr,
+                 "scserved: --checkpoint-every requires --snapshot and "
+                 "--wal\n");
+    return 1;
+  }
+
   SolverBundle Bundle;
   if (!Snapshot.empty()) {
     if (!Cmd.positionals().empty()) {
@@ -126,9 +199,9 @@ int main(int Argc, char **Argv) {
                    "scserved: --snapshot and a .scs file are exclusive\n");
       return 1;
     }
-    if (!GraphSnapshot::load(Snapshot, Bundle, &Error)) {
-      std::fprintf(stderr, "scserved: %s: %s\n", Snapshot.c_str(),
-                   Error.c_str());
+    Status Loaded = GraphSnapshot::load(Snapshot, Bundle);
+    if (!Loaded) {
+      std::fprintf(stderr, "scserved: %s\n", Loaded.toString().c_str());
       return 1;
     }
   } else {
@@ -146,9 +219,11 @@ int main(int Argc, char **Argv) {
     std::stringstream Buffer;
     Buffer << In.rdbuf();
     ConstraintSystemFile System;
-    if (!System.parse(Buffer.str(), &Error)) {
+    Status Parsed = System.parse(Buffer.str());
+    if (!Parsed) {
       std::fprintf(stderr, "scserved: %s: %s\n",
-                   Cmd.positionals()[0].c_str(), Error.c_str());
+                   Cmd.positionals()[0].c_str(),
+                   Parsed.toString().c_str());
       return 1;
     }
     SolverOptions Options;
@@ -165,27 +240,78 @@ int main(int Argc, char **Argv) {
     System.emit(*Bundle.Solver);
   }
 
-  ConstraintSolver &Solver = *Bundle.Solver;
-  Solver.setThreads(static_cast<unsigned>(Threads));
-  Solver.materializeAllViews();
+  Bundle.Solver->setThreads(static_cast<unsigned>(Threads));
+  Bundle.Solver->materializeAllViews();
 
-  QueryEngine Engine(Solver, static_cast<size_t>(CacheCapacity));
+  QueryEngine Engine(std::move(Bundle),
+                     static_cast<size_t>(CacheCapacity));
   if (!Engine.valid()) {
     std::fprintf(stderr, "scserved: %s\n", Engine.initError().c_str());
     return 1;
   }
+  // NOTE: never cache a ConstraintSolver reference across requests — a
+  // budget rollback replaces the engine's bundle, freeing the old solver.
 
-  std::printf("ok ready config=%s vars=%u live=%u\n",
-              Solver.options().configName().c_str(), Solver.numVars(),
-              Solver.numLiveVars());
+  // Warm recovery: replay the WAL's intact lines on top of the loaded
+  // graph, budgets off (each line fit its budget when first accepted, and
+  // a snapshot saved with budgets armed must not re-abort here). open()
+  // afterwards truncates any torn tail so appends resume cleanly.
+  WriteAheadLog Wal;
+  uint64_t WalReplayed = 0;
+  if (!WalPath.empty()) {
+    Expected<WalContents> Recovered = WriteAheadLog::replay(WalPath);
+    if (!Recovered.ok()) {
+      std::fprintf(stderr, "scserved: %s\n",
+                   Recovered.status().toString().c_str());
+      return 1;
+    }
+    Engine.solver().setBudgets(0, 0, 0);
+    for (const std::string &ReplayLine : Recovered->Lines) {
+      Status Applied = Engine.addConstraint(ReplayLine);
+      if (!Applied) {
+        std::fprintf(stderr,
+                     "scserved: WAL replay failed (log does not extend "
+                     "this snapshot?): %s\n",
+                     Applied.toString().c_str());
+        return 1;
+      }
+      ++WalReplayed;
+    }
+    Status Opened = Wal.open(WalPath);
+    if (!Opened) {
+      std::fprintf(stderr, "scserved: %s\n", Opened.toString().c_str());
+      return 1;
+    }
+  }
+  Engine.solver().setBudgets(static_cast<uint64_t>(DeadlineMs),
+                    static_cast<uint64_t>(EdgeBudget),
+                    static_cast<uint64_t>(MaxMemMb) * 1024 * 1024);
+  // Budgets configured after recovery apply to every subsequent add; the
+  // rollback base must reflect the recovered (not the loaded) graph.
+  if (WalReplayed) {
+    Status Checkpointed = Engine.checkpointBase();
+    if (!Checkpointed) {
+      std::fprintf(stderr, "scserved: %s\n",
+                   Checkpointed.toString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("ok ready config=%s vars=%u live=%u wal_replayed=%llu\n",
+              Engine.solver().options().configName().c_str(), Engine.solver().numVars(),
+              Engine.solver().numLiveVars(),
+              static_cast<unsigned long long>(WalReplayed));
   std::fflush(stdout);
 
+  uint64_t Checkpoints = 0;
+  uint64_t AddsSinceCheckpoint = 0;
   std::vector<uint64_t> LatencyMicros;
   auto Reply = [](const std::string &Line) {
     std::fputs(Line.c_str(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);
   };
+  auto ReplyErr = [&Reply](const Status &St) { Reply("err " + St.wire()); };
   auto ResolveVar = [&](const std::string &Name, VarId &Out) {
     uint32_t Var = Engine.varOf(Name);
     if (Var == QueryEngine::NotFound)
@@ -194,8 +320,47 @@ int main(int Argc, char **Argv) {
     return true;
   };
 
+  // Atomic snapshot write shared by `save` and `checkpoint`; returns the
+  // byte count through \p SizeOut.
+  auto SaveSnapshot = [&](const std::string &Path,
+                          size_t &SizeOut) -> Status {
+    if (FailPoint::hit("snapshot.save") != FailPoint::Mode::Off)
+      return FailPoint::injectedError("snapshot.save");
+    std::vector<uint8_t> Bytes;
+    Status Serialized = GraphSnapshot::serialize(Engine.solver(), Bytes);
+    if (!Serialized)
+      return Serialized;
+    SizeOut = Bytes.size();
+    return writeFileAtomic(Path, Bytes);
+  };
+
+  auto Checkpoint = [&](const std::string &Path) -> Status {
+    size_t Bytes = 0;
+    Status Saved = SaveSnapshot(Path, Bytes);
+    if (!Saved)
+      return Saved.withContext("checkpoint");
+    Status Based = Engine.checkpointBase();
+    if (!Based)
+      return Based.withContext("checkpoint");
+    if (Wal.isOpen()) {
+      Status Reset = Wal.reset();
+      if (!Reset)
+        return Reset.withContext("checkpoint");
+    }
+    ++Checkpoints;
+    AddsSinceCheckpoint = 0;
+    return Status();
+  };
+
   std::string Line;
   while (std::getline(std::cin, Line)) {
+    if (Line.size() > static_cast<size_t>(MaxRequest)) {
+      ReplyErr(Status::error(ErrorCode::TooLarge,
+                             "request is " + std::to_string(Line.size()) +
+                                 " bytes; limit is " +
+                                 std::to_string(MaxRequest)));
+      continue;
+    }
     Request Req = parseRequest(Line);
     if (Req.Verb.empty() || Req.Verb[0] == '#')
       continue;
@@ -206,17 +371,25 @@ int main(int Argc, char **Argv) {
     }
     if (Req.Verb == "help") {
       Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
-            "save PATH | stats | counters | help | quit");
+            "save PATH | checkpoint [PATH] | stats | counters | help | "
+            "quit");
       continue;
     }
     if (Req.Verb == "stats") {
-      const SolverStats &S = Solver.stats();
-      Reply("ok config=" + Solver.options().configName() +
+      const SolverStats &S = Engine.solver().stats();
+      const QueryEngine::Counters &C = Engine.counters();
+      Reply("ok config=" + Engine.solver().options().configName() +
             " vars=" + std::to_string(S.VarsCreated) +
-            " live=" + std::to_string(Solver.numLiveVars()) +
+            " live=" + std::to_string(Engine.solver().numLiveVars()) +
             " work=" + std::to_string(S.Work) +
             " cycles_collapsed=" + std::to_string(S.CyclesCollapsed) +
-            " vars_eliminated=" + std::to_string(S.VarsEliminated));
+            " vars_eliminated=" + std::to_string(S.VarsEliminated) +
+            " budget_aborts=" + std::to_string(C.BudgetAborts) +
+            " rollbacks=" + std::to_string(C.Rollbacks) +
+            " wal_replayed=" + std::to_string(WalReplayed) +
+            " checkpoints=" + std::to_string(Checkpoints) +
+            " wal_records=" + std::to_string(Wal.records()) +
+            " wal_bytes=" + std::to_string(Wal.sizeBytes()));
       continue;
     }
     if (Req.Verb == "counters") {
@@ -235,30 +408,74 @@ int main(int Argc, char **Argv) {
     }
     if (Req.Verb == "save") {
       if (Req.Arg1.empty()) {
-        Reply("err save needs a path");
+        ReplyErr(Status::error(ErrorCode::InvalidArgument,
+                               "save needs a path"));
         continue;
       }
-      std::vector<uint8_t> Bytes;
-      if (!GraphSnapshot::serialize(Solver, Bytes, &Error)) {
-        Reply("err " + Error);
+      size_t Bytes = 0;
+      Status Saved = SaveSnapshot(Req.Arg1, Bytes);
+      if (!Saved) {
+        ReplyErr(Saved);
         continue;
       }
-      if (!writeFileBytes(Req.Arg1, Bytes, &Error)) {
-        Reply("err " + Error);
-        continue;
-      }
-      Reply("ok saved " + Req.Arg1 + " (" + std::to_string(Bytes.size()) +
+      Reply("ok saved " + Req.Arg1 + " (" + std::to_string(Bytes) +
             " bytes)");
+      continue;
+    }
+    if (Req.Verb == "checkpoint") {
+      std::string Path = Req.Arg1.empty() ? Snapshot : Req.Arg1;
+      if (Path.empty()) {
+        ReplyErr(Status::error(ErrorCode::InvalidArgument,
+                               "checkpoint needs a path (no --snapshot)"));
+        continue;
+      }
+      Status Done = Checkpoint(Path);
+      if (!Done) {
+        ReplyErr(Done);
+        continue;
+      }
+      Reply("ok checkpoint " + Path);
       continue;
     }
     if (Req.Verb == "add") {
       if (Req.Rest.empty()) {
-        Reply("err add needs a constraint-file line");
+        ReplyErr(Status::error(ErrorCode::InvalidArgument,
+                               "add needs a constraint-file line"));
         continue;
       }
-      if (!Engine.addConstraint(Req.Rest, &Error)) {
-        Reply("err " + Error);
+      // Durability before application: once the append returns, a crash
+      // at any later point leaves the line in the WAL, so `ok added`
+      // implies it survives recovery. A rejected line is erased again so
+      // the log only ever contains applicable lines.
+      uint64_t WalMark = Wal.sizeBytes();
+      if (Wal.isOpen()) {
+        Status Logged = Wal.append(Req.Rest);
+        if (!Logged) {
+          ReplyErr(Logged);
+          continue;
+        }
+      }
+      Status Added = Engine.addConstraint(Req.Rest);
+      if (!Added) {
+        if (Wal.isOpen()) {
+          Status Undone = Wal.truncateTo(WalMark);
+          if (!Undone) {
+            ReplyErr(Undone.withContext("unlogging rejected add"));
+            continue;
+          }
+        }
+        ReplyErr(Added);
         continue;
+      }
+      ++AddsSinceCheckpoint;
+      if (CheckpointEvery > 0 &&
+          AddsSinceCheckpoint >= static_cast<uint64_t>(CheckpointEvery)) {
+        Status Done = Checkpoint(Snapshot);
+        if (!Done)
+          // The add itself succeeded and is durable; surface the
+          // checkpoint failure without un-acking it.
+          std::fprintf(stderr, "scserved: auto-checkpoint failed: %s\n",
+                       Done.toString().c_str());
       }
       Reply("ok added");
       continue;
@@ -269,12 +486,14 @@ int main(int Argc, char **Argv) {
       std::string Response;
       VarId X = 0, Y = 0;
       if (!ResolveVar(Req.Arg1, X)) {
-        Reply("err unknown variable '" + Req.Arg1 + "'");
+        ReplyErr(Status::error(ErrorCode::NotFound,
+                               "unknown variable '" + Req.Arg1 + "'"));
         continue;
       }
       if (Req.Verb == "alias") {
         if (!ResolveVar(Req.Arg2, Y)) {
-          Reply("err unknown variable '" + Req.Arg2 + "'");
+          ReplyErr(Status::error(ErrorCode::NotFound,
+                                 "unknown variable '" + Req.Arg2 + "'"));
           continue;
         }
         Response = Engine.alias(X, Y) ? "ok true" : "ok false";
@@ -291,7 +510,8 @@ int main(int Argc, char **Argv) {
       continue;
     }
 
-    Reply("err unknown command '" + Req.Verb + "'; try help");
+    ReplyErr(Status::error(ErrorCode::InvalidArgument,
+                           "unknown verb '" + Req.Verb + "'; try help"));
   }
   return 0;
 }

@@ -83,10 +83,10 @@ int main(int Argc, char **Argv) {
   Buffer << In.rdbuf();
 
   ConstraintSystemFile System;
-  std::string Error;
-  if (!System.parse(Buffer.str(), &Error)) {
+  Status Parsed = System.parse(Buffer.str());
+  if (!Parsed) {
     std::fprintf(stderr, "scsolve: %s: %s\n", Cmd.positionals()[0].c_str(),
-                 Error.c_str());
+                 Parsed.toString().c_str());
     return 1;
   }
   if (Echo) {

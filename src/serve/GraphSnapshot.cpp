@@ -29,6 +29,7 @@
 #include "serve/GraphSnapshot.h"
 
 #include "support/ByteStream.h"
+#include "support/FailPoint.h"
 
 #include <cstring>
 
@@ -82,6 +83,9 @@ bool readBitmap(ByteReader &R, SparseBitVector &Bits, uint32_t MaxBitBound,
   return true;
 }
 
+constexpr uint8_t MaxAbortReason =
+    static_cast<uint8_t>(SolverStats::AbortReason::Injected);
+
 void writeStats(ByteWriter &W, const SolverStats &S) {
   W.u64(S.VarsCreated);
   W.u64(S.OracleSubstitutions);
@@ -102,10 +106,11 @@ void writeStats(ByteWriter &W, const SolverStats &S) {
   W.u64(S.DeltaPropagations);
   W.u64(S.PropagationsPruned);
   W.u8(S.Aborted ? 1 : 0);
+  W.u8(static_cast<uint8_t>(S.Abort));
 }
 
 bool readStats(ByteReader &R, SolverStats &S) {
-  uint8_t Aborted = 0;
+  uint8_t Aborted = 0, Abort = 0;
   bool Ok = R.u64(S.VarsCreated) && R.u64(S.OracleSubstitutions) &&
             R.u64(S.InitialEdges) && R.u64(S.DistinctSources) &&
             R.u64(S.DistinctSinks) && R.u64(S.Work) &&
@@ -115,29 +120,35 @@ bool readStats(ByteReader &R, SolverStats &S) {
             R.u64(S.PeriodicPasses) && R.u64(S.Mismatches) &&
             R.u64(S.ConstraintsProcessed) && R.u64(S.LSUnionWords) &&
             R.u64(S.DeltaPropagations) && R.u64(S.PropagationsPruned) &&
-            R.u8(Aborted);
+            R.u8(Aborted) && R.u8(Abort);
+  if (Ok && Abort > MaxAbortReason) {
+    R.fail("abort reason out of range");
+    return false;
+  }
   S.Aborted = Aborted != 0;
+  S.Abort = static_cast<SolverStats::AbortReason>(Abort);
   return Ok;
 }
 
-bool fail(std::string *ErrorOut, const std::string &Message) {
-  if (ErrorOut)
-    *ErrorOut = Message;
-  return false;
+Status fail(ErrorCode Code, const std::string &Message) {
+  return Status::error(Code, Message);
 }
 
 } // namespace
 
-bool GraphSnapshot::serialize(ConstraintSolver &Solver,
-                              std::vector<uint8_t> &Out,
-                              std::string *ErrorOut) {
+Status GraphSnapshot::serialize(ConstraintSolver &Solver,
+                                std::vector<uint8_t> &Out) {
   if (Solver.Options.Elim == CycleElim::Oracle)
-    return fail(ErrorOut, "oracle-eliminated solvers cannot be snapshotted "
-                          "(the Oracle instance is external state)");
+    return fail(ErrorCode::FailedPrecondition,
+                "oracle-eliminated solvers cannot be snapshotted "
+                "(the Oracle instance is external state)");
   Solver.drainWorklist();
   if (Solver.Stats.Aborted)
-    return fail(ErrorOut,
-                "aborted solves cannot be snapshotted (MaxWork exceeded)");
+    return fail(ErrorCode::FailedPrecondition,
+                "aborted solves cannot be snapshotted (" +
+                    std::string(SolverStats::abortReasonName(
+                        Solver.Stats.Abort)) +
+                    " budget exceeded)");
 
   ByteWriter W;
   W.bytes(Magic, sizeof(Magic));
@@ -159,6 +170,9 @@ bool GraphSnapshot::serialize(ConstraintSolver &Solver,
   W.u8(O.RecordVarVar ? 1 : 0);
   W.u8(O.DiffProp ? 1 : 0);
   W.u32(O.Threads);
+  W.u64(O.DeadlineMs);
+  W.u64(O.MaxEdgeBudget);
+  W.u64(O.MaxMemBytes);
 
   const TermTable &Terms = Solver.Terms;
   const ConstructorTable &Cons = Terms.constructors();
@@ -246,27 +260,32 @@ bool GraphSnapshot::serialize(ConstraintSolver &Solver,
   W.patchU64(ChecksumAt,
              fnv1a64(W.buffer().data() + HeaderSize, PayloadLen));
   Out = W.take();
-  return true;
+  return Status();
 }
 
-bool GraphSnapshot::save(ConstraintSolver &Solver, const std::string &Path,
-                         std::string *ErrorOut) {
+Status GraphSnapshot::save(ConstraintSolver &Solver,
+                           const std::string &Path) {
+  if (FailPoint::hit("snapshot.save") == FailPoint::Mode::Error)
+    return FailPoint::injectedError("snapshot.save");
   std::vector<uint8_t> Buffer;
-  if (!serialize(Solver, Buffer, ErrorOut))
-    return false;
-  return writeFileBytes(Path, Buffer, ErrorOut);
+  Status St = serialize(Solver, Buffer);
+  if (!St.ok())
+    return St;
+  return writeFileAtomic(Path, Buffer);
 }
 
-bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
-                                SolverBundle &Bundle, std::string *ErrorOut) {
+Status GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
+                                  SolverBundle &Bundle) {
   Bundle = SolverBundle();
   if (Size < HeaderSize)
-    return fail(ErrorOut, "truncated snapshot: " + std::to_string(Size) +
-                              " byte(s), header alone needs " +
-                              std::to_string(HeaderSize));
+    return fail(ErrorCode::Corruption,
+                "truncated snapshot: " + std::to_string(Size) +
+                    " byte(s), header alone needs " +
+                    std::to_string(HeaderSize));
   if (std::memcmp(Data, Magic, sizeof(Magic)) != 0)
-    return fail(ErrorOut, "not a poce snapshot (bad magic); expected a file "
-                          "written by GraphSnapshot::save");
+    return fail(ErrorCode::Corruption,
+                "not a poce snapshot (bad magic); expected a file "
+                "written by GraphSnapshot::save");
 
   ByteReader Header(Data + sizeof(Magic), HeaderSize - sizeof(Magic));
   uint32_t FileVersion = 0;
@@ -275,24 +294,27 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   Header.u64(Checksum);
   Header.u64(PayloadLen);
   if (FileVersion != Version)
-    return fail(ErrorOut, "snapshot version " + std::to_string(FileVersion) +
-                              " not supported by this build (expected " +
-                              std::to_string(Version) +
-                              "); re-save the snapshot with this build");
+    return fail(ErrorCode::VersionSkew,
+                "snapshot version " + std::to_string(FileVersion) +
+                    " not supported by this build (expected " +
+                    std::to_string(Version) +
+                    "); re-save the snapshot with this build");
   if (PayloadLen != Size - HeaderSize)
-    return fail(ErrorOut,
+    return fail(ErrorCode::Corruption,
                 "truncated or padded snapshot: header declares " +
                     std::to_string(PayloadLen) + " payload byte(s) but " +
                     std::to_string(Size - HeaderSize) + " present");
   if (fnv1a64(Data + HeaderSize, PayloadLen) != Checksum)
-    return fail(ErrorOut, "snapshot checksum mismatch: the file is "
-                          "corrupted (or was edited); re-save it");
+    return fail(ErrorCode::Corruption,
+                "snapshot checksum mismatch: the file is "
+                "corrupted (or was edited); re-save it");
 
   ByteReader R(Data + HeaderSize, PayloadLen);
   auto Bail = [&](const std::string &Context) {
     Bundle = SolverBundle();
-    return fail(ErrorOut, "invalid snapshot payload (" + Context + "): " +
-                              (R.failed() ? R.error() : "validation failed"));
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (" + Context + "): " +
+                    (R.failed() ? R.error() : "validation failed"));
   };
 
   SolverOptions O;
@@ -301,11 +323,13 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   if (!R.u8(Form) || !R.u8(Elim) || !R.u8(SFChains) || !R.u8(Order) ||
       !R.u8(Mismatch) || !R.u64(O.Seed) || !R.u64(O.MaxWork) ||
       !R.u64(O.PeriodicInterval) || !R.u8(RecordVarVar) ||
-      !R.u8(DiffProp) || !R.u32(Threads))
+      !R.u8(DiffProp) || !R.u32(Threads) || !R.u64(O.DeadlineMs) ||
+      !R.u64(O.MaxEdgeBudget) || !R.u64(O.MaxMemBytes))
     return Bail("options");
   if (Form > 1 || Elim > 3 || SFChains > 2 || Order > 2 || Mismatch > 1)
-    return fail(ErrorOut, "invalid snapshot payload (options): enum value "
-                          "out of range");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (options): enum value "
+                "out of range");
   O.Form = static_cast<GraphForm>(Form);
   O.Elim = static_cast<CycleElim>(Elim);
   O.SFChains = static_cast<SFChainMode>(SFChains);
@@ -315,11 +339,13 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   O.DiffProp = DiffProp != 0;
   O.Threads = Threads;
   if (O.Elim == CycleElim::Oracle)
-    return fail(ErrorOut, "snapshot claims an oracle-eliminated solver, "
-                          "which cannot be serialized");
+    return fail(ErrorCode::Corruption,
+                "snapshot claims an oracle-eliminated solver, "
+                "which cannot be serialized");
   if (O.Elim == CycleElim::Periodic && O.PeriodicInterval == 0)
-    return fail(ErrorOut, "invalid snapshot payload (options): periodic "
-                          "elimination with zero interval");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (options): periodic "
+                "elimination with zero interval");
 
   uint32_t NumCons, NumTerms, NumVars, NumCreations;
   if (!R.u32(NumCons) || !R.u32(NumTerms) || !R.u32(NumVars) ||
@@ -329,14 +355,16 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   // than the remaining payload is corrupt — reject before allocating.
   if (NumCons > R.remaining() || NumTerms > R.remaining() + 2 ||
       NumVars > R.remaining() || NumCreations > R.remaining() / 4)
-    return fail(ErrorOut,
+    return fail(ErrorCode::Corruption,
                 "invalid snapshot payload (counts): implausibly large");
   if (NumTerms < 2)
-    return fail(ErrorOut, "invalid snapshot payload (counts): term table "
-                          "must hold the constants 0 and 1");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (counts): term table "
+                "must hold the constants 0 and 1");
   if (NumCreations < NumVars)
-    return fail(ErrorOut, "invalid snapshot payload (counts): fewer "
-                          "creations than variables");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (counts): fewer "
+                "creations than variables");
 
   Bundle.Constructors = std::make_unique<ConstructorTable>();
   Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
@@ -555,8 +583,9 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   if (!R.u32(NumInconsistencies))
     return Bail("inconsistency log");
   if (NumInconsistencies > R.remaining())
-    return fail(ErrorOut, "invalid snapshot payload (inconsistency log): "
-                          "implausibly large");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (inconsistency log): "
+                "implausibly large");
   S.Inconsistencies.resize(NumInconsistencies);
   for (std::string &Message : S.Inconsistencies)
     if (!R.str(Message))
@@ -570,8 +599,9 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   if (!readStats(R, S.Stats))
     return Bail("stats");
   if (S.Stats.Aborted)
-    return fail(ErrorOut, "invalid snapshot payload (stats): snapshot of "
-                          "an aborted solve");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (stats): snapshot of "
+                "an aborted solve");
 
   uint8_t Finalized;
   if (!R.u8(Finalized))
@@ -589,24 +619,29 @@ bool GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   }
 
   if (R.remaining() != 0)
-    return fail(ErrorOut, "invalid snapshot payload: " +
-                              std::to_string(R.remaining()) +
-                              " unconsumed byte(s) after the last field");
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload: " +
+                    std::to_string(R.remaining()) +
+                    " unconsumed byte(s) after the last field");
   if (R.failed())
     return Bail("payload");
 
   if (!S.verifyGraphInvariants()) {
     Bundle = SolverBundle();
-    return fail(ErrorOut, "snapshot violates the solver's graph "
-                          "invariants; refusing to serve from it");
+    return fail(ErrorCode::Corruption,
+                "snapshot violates the solver's graph "
+                "invariants; refusing to serve from it");
   }
-  return true;
+  return Status();
 }
 
-bool GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle,
-                         std::string *ErrorOut) {
+Status GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle) {
+  if (FailPoint::hit("snapshot.load") == FailPoint::Mode::Error)
+    return FailPoint::injectedError("snapshot.load");
   std::vector<uint8_t> Buffer;
-  if (!readFileBytes(Path, Buffer, ErrorOut))
-    return false;
-  return deserialize(Buffer.data(), Buffer.size(), Bundle, ErrorOut);
+  std::string Error;
+  if (!readFileBytes(Path, Buffer, &Error))
+    return Status::error(ErrorCode::IoError, Error);
+  return deserialize(Buffer.data(), Buffer.size(), Bundle)
+      .withContext("loading '" + Path + "'");
 }

@@ -31,6 +31,7 @@
 #define POCE_SERVE_GRAPHSNAPSHOT_H
 
 #include "setcon/ConstraintSolver.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <memory>
@@ -55,33 +56,34 @@ class GraphSnapshot {
 public:
   /// Format identification. Version is bumped on any wire change; it is
   /// deliberately outside the checksum so that a version-skewed file
-  /// reports as such rather than as corruption.
+  /// reports as such rather than as corruption. Version 2 added the
+  /// resource-budget options (DeadlineMs/MaxEdgeBudget/MaxMemBytes) and
+  /// the abort-reason stat.
   static constexpr char Magic[8] = {'P', 'O', 'C', 'E',
                                     'S', 'N', 'A', 'P'};
-  static constexpr uint32_t Version = 1;
+  static constexpr uint32_t Version = 2;
   /// Header: magic(8) + version(4) + checksum(8) + payload length(8).
   static constexpr size_t HeaderSize = 28;
 
-  /// Serializes \p Solver into \p Out (draining its worklist first). Fails
-  /// for Oracle-eliminated configurations and aborted solves. Returns
-  /// false and fills \p ErrorOut on failure.
-  static bool serialize(ConstraintSolver &Solver, std::vector<uint8_t> &Out,
-                        std::string *ErrorOut = nullptr);
+  /// Serializes \p Solver into \p Out (draining its worklist first).
+  /// Fails (FailedPrecondition) for Oracle-eliminated configurations and
+  /// aborted solves.
+  static Status serialize(ConstraintSolver &Solver,
+                          std::vector<uint8_t> &Out);
 
-  /// serialize() + write to \p Path.
-  static bool save(ConstraintSolver &Solver, const std::string &Path,
-                   std::string *ErrorOut = nullptr);
+  /// serialize() + crash-safe write to \p Path (writeFileAtomic: temp
+  /// file + fsync + rename + directory fsync), so a crash mid-save can
+  /// never leave a truncated snapshot where a good one stood.
+  static Status save(ConstraintSolver &Solver, const std::string &Path);
 
   /// Validates and reconstructs a snapshot into \p Bundle (replacing its
-  /// contents). On failure returns false with an actionable message and
-  /// leaves \p Bundle empty.
-  static bool deserialize(const uint8_t *Data, size_t Size,
-                          SolverBundle &Bundle,
-                          std::string *ErrorOut = nullptr);
+  /// contents). On failure returns Corruption/VersionSkew with an
+  /// actionable message and leaves \p Bundle empty.
+  static Status deserialize(const uint8_t *Data, size_t Size,
+                            SolverBundle &Bundle);
 
-  /// Read \p Path + deserialize().
-  static bool load(const std::string &Path, SolverBundle &Bundle,
-                   std::string *ErrorOut = nullptr);
+  /// Read \p Path + deserialize(). Failpoint: `snapshot.load` (error).
+  static Status load(const std::string &Path, SolverBundle &Bundle);
 };
 
 } // namespace serve

@@ -11,21 +11,36 @@
 using namespace poce;
 using namespace poce::serve;
 
-QueryEngine::QueryEngine(ConstraintSolver &Solver, size_t CacheCapacity)
-    : Solver(Solver), Cache(CacheCapacity) {
-  Valid = System.adoptDeclarations(Solver, &InitError);
+QueryEngine::QueryEngine(SolverBundle InBundle, size_t CacheCapacity)
+    : Bundle(std::move(InBundle)), Cache(CacheCapacity) {
+  if (!Bundle.Solver) {
+    InitError = "empty solver bundle";
+    return;
+  }
+  Status Adopt = System.adoptDeclarations(*Bundle.Solver);
+  if (!Adopt) {
+    InitError = Adopt.message();
+    return;
+  }
+  Valid = true;
+  // The base capture drains the worklist (serialize() solves first), so a
+  // bundle handed over mid-solve settles here before the first query.
+  Status Base = GraphSnapshot::serialize(*Bundle.Solver, BaseBytes);
+  RollbackArmed = Base.ok();
+  if (!RollbackArmed)
+    BaseBytes.clear();
 }
 
 uint32_t QueryEngine::varOf(const std::string &Name) const {
   uint32_t Index = System.varIndex(Name);
   if (Index == ConstraintSystemFile::NotFound ||
-      Index >= Solver.numCreations())
+      Index >= Bundle.Solver->numCreations())
     return NotFound;
-  return Solver.varOfCreation(Index);
+  return Bundle.Solver->varOfCreation(Index);
 }
 
 std::string QueryEngine::locationTag(ExprId Term) const {
-  const TermTable &Terms = Solver.terms();
+  const TermTable &Terms = Bundle.Solver->terms();
   if (Terms.kind(Term) == ExprKind::Cons) {
     const ConstructorTable &Cons = Terms.constructors();
     ConsId C = Terms.consOf(Term);
@@ -38,11 +53,12 @@ std::string QueryEngine::locationTag(ExprId Term) const {
         Cons.signature(Terms.consOf(First)).arity() == 0)
       return Cons.signature(Terms.consOf(First)).Name;
   }
-  return Solver.exprStr(Term);
+  return Bundle.Solver->exprStr(Term);
 }
 
 const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
   ++Stats.Queries;
+  ConstraintSolver &Solver = *Bundle.Solver;
   VarId Rep = Solver.rep(Var);
   const SparseBitVector &Bits = Solver.leastSolutionBits(Rep);
   size_t Fingerprint = Bits.count();
@@ -86,15 +102,88 @@ const std::vector<std::string> &QueryEngine::pts(VarId Var) {
 
 bool QueryEngine::alias(VarId X, VarId Y) {
   ++Stats.Queries;
+  ConstraintSolver &Solver = *Bundle.Solver;
   if (Solver.rep(X) == Solver.rep(Y))
     return true;
   return Solver.leastSolutionBits(X).intersects(Solver.leastSolutionBits(Y));
 }
 
-bool QueryEngine::addConstraint(const std::string &Line,
-                                std::string *ErrorOut) {
-  if (!System.addLine(Line, Solver, ErrorOut))
-    return false;
+Status QueryEngine::addConstraint(const std::string &Line) {
+  if (!Valid)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "engine is invalid: " + InitError);
+  Status St = System.addLine(Line, *Bundle.Solver);
+  if (!St)
+    return St;
+  if (Bundle.Solver->stats().Aborted) {
+    ++Stats.BudgetAborts;
+    SolverStats::AbortReason Why = Bundle.Solver->stats().Abort;
+    Status Restored = rollback();
+    if (!Restored)
+      return Status::error(
+          ErrorCode::Internal,
+          std::string("budget breach (") + SolverStats::abortReasonName(Why) +
+              ") could not be rolled back: " + Restored.message());
+    ++Stats.Rollbacks;
+    return Status::error(ErrorCode::BudgetExceeded,
+                         std::string(SolverStats::abortReasonName(Why)) +
+                             " budget exceeded; batch rolled back");
+  }
+  AcceptedLines.push_back(Line);
   ++Stats.Additions;
-  return true;
+  return Status();
+}
+
+Status QueryEngine::rollback() {
+  if (!RollbackArmed)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "no rollback base (solver was not serializable)");
+
+  // The live solver's budgets win over whatever the base snapshot
+  // recorded (callers may have re-armed them since the base was taken).
+  const SolverOptions Live = Bundle.Solver->options();
+
+  SolverBundle Rebuilt;
+  Status Load =
+      GraphSnapshot::deserialize(BaseBytes.data(), BaseBytes.size(), Rebuilt);
+  if (!Load)
+    return Load.withContext("rebuilding pre-batch solver");
+
+  // The journal was accepted under budgets; replaying it is not a new
+  // batch, so budgets are off for the duration.
+  ConstraintSolver &Fresh = *Rebuilt.Solver;
+  Fresh.setBudgets(0, 0, 0);
+
+  ConstraintSystemFile Replayed;
+  Status Adopt = Replayed.adoptDeclarations(Fresh);
+  if (!Adopt)
+    return Adopt.withContext("re-adopting declarations during rollback");
+  for (const std::string &Line : AcceptedLines) {
+    Status St = Replayed.addLine(Line, Fresh);
+    if (!St)
+      return St.withContext("replaying journal line '" + Line + "'");
+    if (Fresh.stats().Aborted)
+      return Status::error(ErrorCode::Internal,
+                           "journal replay aborted with budgets disabled");
+  }
+  Fresh.setBudgets(Live.DeadlineMs, Live.MaxEdgeBudget, Live.MaxMemBytes);
+
+  Bundle = std::move(Rebuilt);
+  System = std::move(Replayed);
+  Cache.clear();
+  return Status();
+}
+
+Status QueryEngine::checkpointBase() {
+  if (!Valid)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "engine is invalid: " + InitError);
+  std::vector<uint8_t> Fresh;
+  Status St = GraphSnapshot::serialize(*Bundle.Solver, Fresh);
+  if (!St)
+    return St.withContext("checkpointing rollback base");
+  BaseBytes = std::move(Fresh);
+  AcceptedLines.clear();
+  RollbackArmed = true;
+  return Status();
 }

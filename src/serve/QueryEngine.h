@@ -12,6 +12,17 @@
 /// the solver's fully online closure — cycle elimination keeps running on
 /// the warm graph, exactly as it would have during the original solve.
 ///
+/// The engine owns its SolverBundle so it can make constraint batches
+/// transactional against resource budgets: at construction (and at every
+/// checkpointBase()) it captures a serialized base snapshot, and every
+/// accepted constraint line is journaled. When an addition trips a budget
+/// (deadline, edge, or memory — see SolverOptions) the closure aborts
+/// mid-flight and leaves the graph half-propagated; the engine then rolls
+/// back by rebuilding the bundle from the base snapshot and replaying the
+/// journal with budgets disabled, which restores a state bit-identical to
+/// the one before the offending line. The caller sees a clean
+/// BudgetExceeded error and can keep querying.
+///
 /// Rendered views are kept in a bounded LRU cache keyed by (query kind,
 /// representative). Invalidation piggybacks on monotonicity: constraint
 /// addition only ever grows a least solution, so a cached view is valid
@@ -20,15 +31,18 @@
 /// and stale ones are detected (and rebuilt) lazily on their next hit.
 /// Collapses are handled by keying on the current representative: a
 /// variable swallowed by a cycle simply resolves to its witness's view.
+/// Rollback replaces the solver wholesale, so it clears the cache.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef POCE_SERVE_QUERYENGINE_H
 #define POCE_SERVE_QUERYENGINE_H
 
+#include "serve/GraphSnapshot.h"
 #include "setcon/ConstraintFile.h"
 #include "setcon/ConstraintSolver.h"
 #include "support/LruCache.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
@@ -47,15 +61,24 @@ public:
     uint64_t CacheMisses = 0;   ///< View built fresh (first touch).
     uint64_t StaleRebuilds = 0; ///< Cached view outgrown by additions.
     uint64_t Additions = 0;     ///< addConstraint lines accepted.
+    uint64_t BudgetAborts = 0;  ///< Additions rejected by a budget breach.
+    uint64_t Rollbacks = 0;     ///< Successful pre-batch state restores.
   };
 
-  /// Wraps \p Solver, adopting its declarations so textual queries and
-  /// constraints can reference every existing variable and constructor.
-  /// Check valid() (adoption fails on duplicate variable names).
-  explicit QueryEngine(ConstraintSolver &Solver, size_t CacheCapacity = 256);
+  /// Takes ownership of \p Bundle, adopting its declarations so textual
+  /// queries and constraints can reference every existing variable and
+  /// constructor, and captures the rollback base snapshot. Check valid()
+  /// (adoption fails on duplicate variable names). Base capture can fail
+  /// without invalidating the engine (e.g. Oracle-eliminated solvers are
+  /// not serializable); the engine then runs with rollback disarmed and
+  /// budget breaches become unrecoverable for the batch.
+  explicit QueryEngine(SolverBundle Bundle, size_t CacheCapacity = 256);
 
   bool valid() const { return Valid; }
   const std::string &initError() const { return InitError; }
+
+  /// True when a budget abort can be rolled back (base snapshot captured).
+  bool rollbackArmed() const { return RollbackArmed; }
 
   /// Resolves a variable name to its VarId, or NotFound.
   uint32_t varOf(const std::string &Name) const;
@@ -76,14 +99,27 @@ public:
 
   /// Feeds one line of the constraint-file format (declaration or
   /// constraint) through the online closure. Affected cached views are
-  /// invalidated by the fingerprint check on their next access.
-  bool addConstraint(const std::string &Line, std::string *ErrorOut);
+  /// invalidated by the fingerprint check on their next access. On parse
+  /// failure the graph is untouched; on a budget breach the engine rolls
+  /// back to the pre-line state and returns BudgetExceeded (or Internal,
+  /// if rollback itself is impossible — see rollbackArmed()).
+  Status addConstraint(const std::string &Line);
+
+  /// Re-captures the rollback base from the current graph and clears the
+  /// journal. Call after persisting a snapshot so the journal stays in
+  /// lockstep with the on-disk WAL. Fails for non-serializable solvers
+  /// (rollback stays armed on the previous base in that case).
+  Status checkpointBase();
+
+  /// Constraint lines accepted since the last checkpointBase().
+  const std::vector<std::string> &journal() const { return AcceptedLines; }
 
   const Counters &counters() const { return Stats; }
   uint64_t cacheEvictions() const { return Cache.evictions(); }
   size_t cacheSize() const { return Cache.size(); }
 
-  ConstraintSolver &solver() { return Solver; }
+  ConstraintSolver &solver() { return *Bundle.Solver; }
+  const ConstraintSolver &solver() const { return *Bundle.Solver; }
   const ConstraintSystemFile &system() const { return System; }
 
 private:
@@ -97,12 +133,21 @@ private:
   const std::vector<std::string> &view(ViewKind Kind, VarId Var);
   std::string locationTag(ExprId Term) const;
 
-  ConstraintSolver &Solver;
+  /// Rebuilds the bundle from BaseBytes and replays AcceptedLines with
+  /// budgets disabled (they were each within budget when first accepted;
+  /// re-aborting mid-restore would lose the graph). Leaves the engine
+  /// untouched on failure.
+  Status rollback();
+
+  SolverBundle Bundle;
   ConstraintSystemFile System;
   LruCache<uint64_t, View> Cache;
   Counters Stats;
   bool Valid = false;
+  bool RollbackArmed = false;
   std::string InitError;
+  std::vector<uint8_t> BaseBytes;          ///< Rollback base snapshot.
+  std::vector<std::string> AcceptedLines;  ///< Journal since the base.
 };
 
 } // namespace serve

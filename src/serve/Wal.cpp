@@ -1,0 +1,263 @@
+//===- serve/Wal.cpp - Write-ahead log of accepted constraints ------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wal.h"
+
+#include "support/ByteStream.h"
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace poce {
+namespace serve {
+
+constexpr char WriteAheadLog::Magic[8];
+
+namespace {
+
+Status posixError(const std::string &What) {
+  return Status::error(ErrorCode::IoError,
+                       What + ": " + std::strerror(errno));
+}
+
+Status writeAll(int Fd, const uint8_t *Data, size_t Size,
+                const std::string &Path) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(Fd, Data + Done, Size - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return posixError("write to WAL '" + Path + "' failed");
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return Status();
+}
+
+Status fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd < 0)
+    return posixError("cannot open directory '" + Dir + "' for fsync");
+  Status St;
+  if (::fsync(DirFd) != 0)
+    St = posixError("fsync directory '" + Dir + "'");
+  ::close(DirFd);
+  return St;
+}
+
+uint32_t decodeU32(const uint8_t *Data) {
+  uint32_t Value = 0;
+  for (int Shift = 0; Shift != 32; Shift += 8)
+    Value |= static_cast<uint32_t>(*Data++) << Shift;
+  return Value;
+}
+
+uint64_t decodeU64(const uint8_t *Data) {
+  uint64_t Value = 0;
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Value |= static_cast<uint64_t>(*Data++) << Shift;
+  return Value;
+}
+
+/// One record's on-disk bytes: u32 length | u64 checksum | payload.
+std::vector<uint8_t> encodeRecord(const std::string &Line) {
+  ByteWriter Writer;
+  Writer.u32(static_cast<uint32_t>(Line.size()));
+  Writer.u64(fnv1a64(reinterpret_cast<const uint8_t *>(Line.data()),
+                     Line.size()));
+  Writer.bytes(Line.data(), Line.size());
+  return Writer.take();
+}
+
+std::vector<uint8_t> encodeHeader() {
+  ByteWriter Writer;
+  Writer.bytes(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
+  Writer.u32(WriteAheadLog::Version);
+  return Writer.take();
+}
+
+constexpr size_t RecordPrefixSize = 4 + 8; // length + checksum
+
+} // namespace
+
+Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
+  WalContents Contents;
+  if (FailPoint::hit("wal.replay") == FailPoint::Mode::Error)
+    return FailPoint::injectedError("wal.replay");
+  {
+    struct stat StatBuf;
+    if (::stat(Path.c_str(), &StatBuf) != 0 && errno == ENOENT)
+      return Contents; // No WAL yet: nothing to replay.
+  }
+  std::vector<uint8_t> Bytes;
+  std::string Error;
+  if (!readFileBytes(Path, Bytes, &Error))
+    return Status::error(ErrorCode::IoError, Error);
+
+  if (Bytes.size() < HeaderSize)
+    return Status::error(ErrorCode::Corruption,
+                         "WAL '" + Path + "' is shorter than its header");
+  if (std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return Status::error(ErrorCode::Corruption,
+                         "WAL '" + Path + "' has a bad magic");
+  uint32_t FileVersion = decodeU32(Bytes.data() + sizeof(Magic));
+  if (FileVersion != Version)
+    return Status::error(ErrorCode::VersionSkew,
+                         "WAL '" + Path + "' has unsupported version " +
+                             std::to_string(FileVersion));
+
+  // A record that does not fit in the remaining bytes, or whose payload
+  // fails its checksum, is a torn tail — a crash mid-append. Everything
+  // before it is intact by construction (appends are sequential and
+  // fsynced in order).
+  size_t Pos = HeaderSize;
+  while (Pos < Bytes.size()) {
+    if (Bytes.size() - Pos < RecordPrefixSize)
+      break;
+    uint32_t Length = decodeU32(Bytes.data() + Pos);
+    uint64_t Sum = decodeU64(Bytes.data() + Pos + 4);
+    if (Bytes.size() - Pos - RecordPrefixSize < Length)
+      break;
+    const uint8_t *Payload = Bytes.data() + Pos + RecordPrefixSize;
+    if (fnv1a64(Payload, Length) != Sum)
+      break;
+    Contents.Lines.emplace_back(reinterpret_cast<const char *>(Payload),
+                                Length);
+    Pos += RecordPrefixSize + Length;
+  }
+  Contents.ValidBytes = Pos;
+  Contents.TornBytes = Bytes.size() - Pos;
+  return Contents;
+}
+
+Status WriteAheadLog::open(const std::string &OpenPath) {
+  if (isOpen())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "WAL is already open on '" + Path + "'");
+
+  Expected<WalContents> Recovered = replay(OpenPath);
+  if (!Recovered.ok())
+    return Recovered.status().withContext("opening WAL");
+  bool Existed = false;
+  {
+    struct stat StatBuf;
+    Existed = ::stat(OpenPath.c_str(), &StatBuf) == 0;
+  }
+
+  int NewFd = ::open(OpenPath.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (NewFd < 0)
+    return posixError("cannot open WAL '" + OpenPath + "'");
+
+  Status St;
+  if (!Existed) {
+    std::vector<uint8_t> Header = encodeHeader();
+    St = writeAll(NewFd, Header.data(), Header.size(), OpenPath);
+    if (St.ok() && ::fsync(NewFd) != 0)
+      St = posixError("fsync WAL '" + OpenPath + "'");
+    if (St.ok())
+      St = fsyncParentDir(OpenPath);
+  } else {
+    // Drop the torn tail (unacknowledged bytes) so appends extend the
+    // intact prefix.
+    if (Recovered->TornBytes &&
+        ::ftruncate(NewFd, static_cast<off_t>(Recovered->ValidBytes)) != 0)
+      St = posixError("truncate torn tail of WAL '" + OpenPath + "'");
+    if (St.ok() &&
+        ::lseek(NewFd, static_cast<off_t>(Recovered->ValidBytes), SEEK_SET) <
+            0)
+      St = posixError("seek WAL '" + OpenPath + "'");
+  }
+  if (!St.ok()) {
+    ::close(NewFd);
+    return St;
+  }
+
+  Fd = NewFd;
+  Path = OpenPath;
+  Size = Existed ? Recovered->ValidBytes : HeaderSize;
+  RecordOffsets.clear();
+  uint64_t Offset = HeaderSize;
+  for (const std::string &Line : Recovered->Lines) {
+    RecordOffsets.push_back(Offset);
+    Offset += RecordPrefixSize + Line.size();
+  }
+  return Status();
+}
+
+Status WriteAheadLog::append(const std::string &Line) {
+  if (!isOpen())
+    return Status::error(ErrorCode::FailedPrecondition, "WAL is not open");
+
+  if (FailPoint::hit("wal.append.pre") != FailPoint::Mode::Off)
+    return FailPoint::injectedError("wal.append.pre");
+
+  // The record goes out in two halves with the `wal.append.mid`
+  // failpoint between them: a crash armed there dies with exactly the
+  // torn tail a real mid-append SIGKILL would leave. Records are tens of
+  // bytes, so the extra write syscall is noise next to the fsync.
+  std::vector<uint8_t> Record = encodeRecord(Line);
+  size_t Half = Record.size() / 2;
+  Status St = writeAll(Fd, Record.data(), Half, Path);
+  if (St.ok() && FailPoint::hit("wal.append.mid") != FailPoint::Mode::Off)
+    St = FailPoint::injectedError("wal.append.mid");
+  if (St.ok())
+    St = writeAll(Fd, Record.data() + Half, Record.size() - Half, Path);
+  if (St.ok() && ::fsync(Fd) != 0)
+    St = posixError("fsync WAL '" + Path + "'");
+  if (!St.ok()) {
+    // Roll the file back to the last record boundary; if even that
+    // fails, the torn record is handled like a crash at next open.
+    (void)::ftruncate(Fd, static_cast<off_t>(Size));
+    (void)::lseek(Fd, static_cast<off_t>(Size), SEEK_SET);
+    return St;
+  }
+  RecordOffsets.push_back(Size);
+  Size += Record.size();
+  return Status();
+}
+
+Status WriteAheadLog::truncateTo(uint64_t Bytes) {
+  if (!isOpen())
+    return Status::error(ErrorCode::FailedPrecondition, "WAL is not open");
+  if (Bytes < HeaderSize || Bytes > Size)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "WAL truncation target " + std::to_string(Bytes) +
+                             " is not within the log");
+  if (::ftruncate(Fd, static_cast<off_t>(Bytes)) != 0)
+    return posixError("truncate WAL '" + Path + "'");
+  if (::lseek(Fd, static_cast<off_t>(Bytes), SEEK_SET) < 0)
+    return posixError("seek WAL '" + Path + "'");
+  if (::fsync(Fd) != 0)
+    return posixError("fsync WAL '" + Path + "'");
+  Size = Bytes;
+  while (!RecordOffsets.empty() && RecordOffsets.back() >= Bytes)
+    RecordOffsets.pop_back();
+  return Status();
+}
+
+Status WriteAheadLog::reset() { return truncateTo(HeaderSize); }
+
+void WriteAheadLog::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  Path.clear();
+  Size = 0;
+  RecordOffsets.clear();
+}
+
+} // namespace serve
+} // namespace poce

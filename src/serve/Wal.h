@@ -1,0 +1,114 @@
+//===- serve/Wal.h - Write-ahead log of accepted constraints ----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-ahead log of incremental constraint lines. The serving
+/// durability invariant is
+///
+///     acknowledged  =>  durable  =>  replayed
+///
+/// scserved appends every `add` line to the WAL (record + fsync) BEFORE
+/// applying it to the solver, and only acknowledges after both
+/// succeeded. Warm recovery is: load the last good snapshot, then replay
+/// the WAL's lines through the engine — which reproduces the crashed
+/// process's state exactly (a solve is a deterministic function of the
+/// constraint sequence). A checkpoint (atomic snapshot save) resets the
+/// WAL to empty, bounding replay time.
+///
+/// File layout (little-endian):
+///
+///   header:  "POCEWAL\0" (8)  |  u32 format version
+///   record:  u32 payload length  |  u64 fnv1a64(payload)  |  payload
+///
+/// A crash mid-append leaves a torn final record; replay() detects it
+/// (length overruns the file, or checksum mismatch) and reports the
+/// prefix of intact records, which open() truncates away. Torn tails are
+/// expected states, not corruption: they hold only unacknowledged lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SERVE_WAL_H
+#define POCE_SERVE_WAL_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poce {
+namespace serve {
+
+/// What replay() recovered from a WAL file.
+struct WalContents {
+  /// Intact records, oldest first.
+  std::vector<std::string> Lines;
+  /// Byte length of the intact prefix (header + whole records).
+  uint64_t ValidBytes = 0;
+  /// Bytes of torn/corrupt tail past the intact prefix (0 = clean file).
+  uint64_t TornBytes = 0;
+};
+
+/// Append-only log handle. Not thread-safe; scserved is single-threaded
+/// at the protocol layer.
+class WriteAheadLog {
+public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog() { close(); }
+  WriteAheadLog(const WriteAheadLog &) = delete;
+  WriteAheadLog &operator=(const WriteAheadLog &) = delete;
+
+  /// Parses \p Path without opening it for writing. A missing file is ok
+  /// (empty contents); a bad header or a file that is all tail is an
+  /// error. Torn tails are reported, not failed.
+  static Expected<WalContents> replay(const std::string &Path);
+
+  /// Opens \p Path for appending: creates it (with header, fsynced along
+  /// with its directory) if missing, otherwise validates the header and
+  /// truncates any torn tail. Fails if already open.
+  Status open(const std::string &Path);
+
+  /// Appends one record and fsyncs. On any failure the file is truncated
+  /// back to its pre-append length, so the log never accumulates torn
+  /// records from failed appends (a crash can still tear the tail).
+  /// Failpoints: `wal.append.pre` (before any bytes: crash here = record
+  /// absent), `wal.append.mid` (after half the record: crash here = torn
+  /// tail), either in error mode injects a failure.
+  Status append(const std::string &Line);
+
+  /// Truncates the log back to exactly \p Bytes (a value previously read
+  /// from sizeBytes(), i.e. a record boundary). Used to drop a
+  /// just-appended record whose application was rejected, keeping WAL
+  /// contents == accepted lines.
+  Status truncateTo(uint64_t Bytes);
+
+  /// Empties the log back to just the header (after a checkpoint made
+  /// the records redundant).
+  Status reset();
+
+  bool isOpen() const { return Fd >= 0; }
+  uint64_t sizeBytes() const { return Size; }
+  uint64_t records() const { return RecordOffsets.size(); }
+  const std::string &path() const { return Path; }
+
+  void close();
+
+  static constexpr char Magic[8] = {'P', 'O', 'C', 'E', 'W', 'A', 'L', '\0'};
+  static constexpr uint32_t Version = 1;
+  static constexpr size_t HeaderSize = 12;
+
+private:
+  int Fd = -1;
+  std::string Path;
+  uint64_t Size = 0;
+  /// Start offset of every record, so truncateTo can keep records() exact.
+  std::vector<uint64_t> RecordOffsets;
+};
+
+} // namespace serve
+} // namespace poce
+
+#endif // POCE_SERVE_WAL_H

@@ -68,8 +68,7 @@ uint32_t ConstraintSystemFile::varIndex(const std::string &Name) const {
   return It == VarIndexOf.end() ? NotFound : It->second;
 }
 
-bool ConstraintSystemFile::parse(const std::string &Text,
-                                 std::string *ErrorOut) {
+Status ConstraintSystemFile::parse(const std::string &Text) {
   VarNames.clear();
   VarIndexOf.clear();
   ConsDecls.clear();
@@ -77,9 +76,8 @@ bool ConstraintSystemFile::parse(const std::string &Text,
   Constraints.clear();
 
   auto Fail = [&](unsigned LineNo, const std::string &Message) {
-    if (ErrorOut)
-      *ErrorOut = "line " + std::to_string(LineNo) + ": " + Message;
-    return false;
+    return Status::error(ErrorCode::ParseError,
+                         "line " + std::to_string(LineNo) + ": " + Message);
   };
 
   std::istringstream In(Text);
@@ -143,7 +141,7 @@ bool ConstraintSystemFile::parse(const std::string &Text,
       return Fail(LineNo, "unexpected trailing input");
     Constraints.push_back({std::move(Lhs), std::move(Rhs)});
   }
-  return true;
+  return Status();
 }
 
 bool ConstraintSystemFile::parseExprAt(const std::string &Line, size_t &Pos,
@@ -218,18 +216,15 @@ bool ConstraintSystemFile::parseExprAt(const std::string &Line, size_t &Pos,
   return true;
 }
 
-bool ConstraintSystemFile::addLine(const std::string &Line,
-                                   ConstraintSolver &Solver,
-                                   std::string *ErrorOut) {
+Status ConstraintSystemFile::addLine(const std::string &Line,
+                                     ConstraintSolver &Solver) {
   auto Fail = [&](const std::string &Message) {
-    if (ErrorOut)
-      *ErrorOut = Message;
-    return false;
+    return Status::error(ErrorCode::ParseError, Message);
   };
 
   LineCursor Cursor{Line};
   if (Cursor.atEnd())
-    return true; // Blank or comment line.
+    return Status(); // Blank or comment line.
 
   size_t Mark = Cursor.Pos;
   std::string First = Cursor.word();
@@ -238,10 +233,11 @@ bool ConstraintSystemFile::addLine(const std::string &Line,
     // Declaration order must stay aligned with solver creation order so
     // that declaration indices keep mapping through varOfCreation().
     if (VarNames.size() != Solver.numCreations())
-      return Fail("system/solver variable counts differ (" +
-                  std::to_string(VarNames.size()) + " vs " +
-                  std::to_string(Solver.numCreations()) +
-                  "); adoptDeclarations() first");
+      return Status::error(ErrorCode::FailedPrecondition,
+                           "system/solver variable counts differ (" +
+                               std::to_string(VarNames.size()) + " vs " +
+                               std::to_string(Solver.numCreations()) +
+                               "); adoptDeclarations() first");
     // Validate every name before touching the solver: a rejected line
     // must leave no fresh variables behind.
     std::vector<std::string> Names;
@@ -262,7 +258,7 @@ bool ConstraintSystemFile::addLine(const std::string &Line,
       Solver.freshVar(Name);
       VarNames.push_back(std::move(Name));
     }
-    return true;
+    return Status();
   }
 
   if (First == "cons") {
@@ -297,9 +293,14 @@ bool ConstraintSystemFile::addLine(const std::string &Line,
         return Fail("constructor '" + Name +
                     "' redeclared with a different signature");
     }
+    // Register in the solver's table immediately (see emit()): the
+    // declaration must survive a snapshot taken before its first use.
+    SmallVector<Variance, 4> Variances;
+    Variances.append(Decl.ArgVariance.begin(), Decl.ArgVariance.end());
+    Solver.terms().mutableConstructors().getOrCreate(Decl.Name, Variances);
     ConsIndexOf[Name] = static_cast<uint32_t>(ConsDecls.size());
     ConsDecls.push_back(std::move(Decl));
-    return true;
+    return Status();
   }
 
   // A constraint line: expr <= expr.
@@ -318,7 +319,9 @@ bool ConstraintSystemFile::addLine(const std::string &Line,
   // Map declaration indices to solver variables through creation indices
   // (collapses and oracle substitution can alias several to one VarId).
   if (VarNames.size() > Solver.numCreations())
-    return Fail("system declares variables the solver does not have");
+    return Status::error(
+        ErrorCode::FailedPrecondition,
+        "system declares variables the solver does not have");
   std::vector<VarId> Vars;
   Vars.reserve(VarNames.size());
   for (uint32_t I = 0; I != VarNames.size(); ++I)
@@ -327,15 +330,13 @@ bool ConstraintSystemFile::addLine(const std::string &Line,
   ExprId R = build(Rhs, Solver, Vars);
   Constraints.push_back({std::move(Lhs), std::move(Rhs)});
   Solver.addConstraint(L, R);
-  return true;
+  return Status();
 }
 
-bool ConstraintSystemFile::adoptDeclarations(const ConstraintSolver &Solver,
-                                             std::string *ErrorOut) {
+Status ConstraintSystemFile::adoptDeclarations(
+    const ConstraintSolver &Solver) {
   auto Fail = [&](const std::string &Message) {
-    if (ErrorOut)
-      *ErrorOut = Message;
-    return false;
+    return Status::error(ErrorCode::FailedPrecondition, Message);
   };
 
   std::vector<std::string> NewVarNames;
@@ -371,7 +372,7 @@ bool ConstraintSystemFile::adoptDeclarations(const ConstraintSolver &Solver,
   ConsDecls = std::move(NewConsDecls);
   ConsIndexOf = std::move(NewConsIndexOf);
   Constraints.clear();
-  return true;
+  return Status();
 }
 
 ExprId ConstraintSystemFile::build(const FileExpr &E,
@@ -402,6 +403,15 @@ ExprId ConstraintSystemFile::build(const FileExpr &E,
 }
 
 void ConstraintSystemFile::emit(ConstraintSolver &Solver) const {
+  // Register every declared constructor eagerly, including ones no base
+  // constraint uses yet: declarations must survive into snapshots and
+  // adoptDeclarations(), or an incremental constraint naming them later
+  // would be rejected as undeclared.
+  for (const ConsDecl &Decl : ConsDecls) {
+    SmallVector<Variance, 4> Variances;
+    Variances.append(Decl.ArgVariance.begin(), Decl.ArgVariance.end());
+    Solver.terms().mutableConstructors().getOrCreate(Decl.Name, Variances);
+  }
   std::vector<VarId> Vars;
   Vars.reserve(VarNames.size());
   for (const std::string &Name : VarNames)

@@ -29,6 +29,7 @@
 
 #include "setcon/ConstraintSolver.h"
 #include "setcon/Oracle.h"
+#include "support/Status.h"
 
 #include <map>
 #include <string>
@@ -39,9 +40,9 @@ namespace poce {
 /// A parsed, replayable constraint system.
 class ConstraintSystemFile {
 public:
-  /// Parses \p Text; on failure returns false and fills \p ErrorOut with a
+  /// Parses \p Text; on failure returns a ParseError Status with a
   /// line-numbered message.
-  bool parse(const std::string &Text, std::string *ErrorOut = nullptr);
+  Status parse(const std::string &Text);
 
   /// Feeds the system into \p Solver: declares constructors (idempotent),
   /// creates the variables in declaration order, and adds every
@@ -55,10 +56,10 @@ public:
   /// recorded and fed through Solver.addConstraint — the solver is fully
   /// online, so consequences (including cycle elimination) propagate
   /// right away. Blank and comment lines are accepted no-ops. On failure
-  /// returns false with a message and leaves system and solver unchanged.
-  /// This is the serve layer's incremental entry point.
-  bool addLine(const std::string &Line, ConstraintSolver &Solver,
-               std::string *ErrorOut = nullptr);
+  /// returns ParseError (or FailedPrecondition when system and solver
+  /// have diverged) and leaves system and solver unchanged. This is the
+  /// serve layer's incremental entry point.
+  Status addLine(const std::string &Line, ConstraintSolver &Solver);
 
   /// Rebuilds this system's declarations from a live solver — variables
   /// from creation order, constructors from the constructor table — so
@@ -68,8 +69,7 @@ public:
   /// accompanying source text. Fails (leaving the system unchanged) when
   /// variable names are not unique or collide with constructor names,
   /// since the textual format keys on names.
-  bool adoptDeclarations(const ConstraintSolver &Solver,
-                         std::string *ErrorOut = nullptr);
+  Status adoptDeclarations(const ConstraintSolver &Solver);
 
   /// Adapter for buildOracle().
   GeneratorFn generator() const;

@@ -10,10 +10,13 @@
 #include "setcon/Oracle.h"
 #include "support/Debug.h"
 #include "support/ErrorHandling.h"
+#include "support/FailPoint.h"
+#include "support/MemUsage.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #define POCE_DEBUG_TYPE "setcon"
 
@@ -115,6 +118,7 @@ void ConstraintSolver::drainWorklist() {
   if (Draining)
     return;
   Draining = true;
+  beginBatchBudgets();
   while (!Worklist.empty() && !Stats.Aborted) {
     WorkItem Item = Worklist.back();
     Worklist.pop_back();
@@ -129,8 +133,63 @@ void ConstraintSolver::drainWorklist() {
       runPeriodicPass();
       NextPeriodicWork = Stats.Work + Options.PeriodicInterval;
     }
+    checkBatchBudgets();
   }
   Draining = false;
+}
+
+void ConstraintSolver::abortSolve(SolverStats::AbortReason Reason) {
+  if (Stats.Aborted)
+    return;
+  Stats.Aborted = true;
+  Stats.Abort = Reason;
+  Worklist.clear();
+}
+
+void ConstraintSolver::beginBatchBudgets() {
+  BatchTicks = 0;
+  BatchStartWork = Stats.Work;
+  BatchDeadlineNs = 0;
+  if (Options.DeadlineMs) {
+    auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    BatchDeadlineNs =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Now)
+                .count()) +
+        Options.DeadlineMs * 1000000ULL;
+  }
+}
+
+void ConstraintSolver::checkBatchBudgets() {
+  if (Stats.Aborted)
+    return;
+  ++BatchTicks;
+
+  if (FailPoint::hit("solver.step") != FailPoint::Mode::Off ||
+      FailPoint::hit("solver.budget") != FailPoint::Mode::Off)
+    return abortSolve(SolverStats::AbortReason::Injected);
+
+  // The per-batch edge budget is a plain counter delta: check every item.
+  if (Options.MaxEdgeBudget &&
+      Stats.Work - BatchStartWork > Options.MaxEdgeBudget)
+    return abortSolve(SolverStats::AbortReason::EdgeBudget);
+
+  // The clock costs a vDSO call, /proc a real syscall: throttle both so
+  // the closure loop stays hot. 64 items bounds the deadline overshoot
+  // far below the acceptance criterion of 2x the deadline.
+  if (Options.DeadlineMs && (BatchTicks & 63) == 0) {
+    auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    uint64_t NowNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count());
+    if (NowNs > BatchDeadlineNs)
+      return abortSolve(SolverStats::AbortReason::Deadline);
+  }
+
+  if (Options.MaxMemBytes && (BatchTicks & 4095) == 0) {
+    uint64_t RSS = currentRSSBytes();
+    if (RSS && RSS > Options.MaxMemBytes)
+      return abortSolve(SolverStats::AbortReason::MemBudget);
+  }
 }
 
 // Applies the resolution rules R (Figure 1) to Lhs <= Rhs until atomic
@@ -201,20 +260,16 @@ void ConstraintSolver::handleMismatch(ExprId Lhs, ExprId Rhs) {
 
 void ConstraintSolver::countWork() {
   ++Stats.Work;
-  if (Options.MaxWork && Stats.Work > Options.MaxWork && !Stats.Aborted) {
-    Stats.Aborted = true;
-    Worklist.clear();
-  }
+  if (Options.MaxWork && Stats.Work > Options.MaxWork)
+    abortSolve(SolverStats::AbortReason::MaxWork);
 }
 
 void ConstraintSolver::countWorkBatch(uint64_t N) {
   if (!N)
     return;
   Stats.Work += N;
-  if (Options.MaxWork && Stats.Work > Options.MaxWork && !Stats.Aborted) {
-    Stats.Aborted = true;
-    Worklist.clear();
-  }
+  if (Options.MaxWork && Stats.Work > Options.MaxWork)
+    abortSolve(SolverStats::AbortReason::MaxWork);
 }
 
 ExprId ConstraintSolver::exprOfRef(uint32_t Ref) {

@@ -225,6 +225,17 @@ public:
   /// snapshot loader may freely retarget it to the serving machine.
   void setThreads(unsigned Threads) { Options.Threads = Threads; }
 
+  /// Overrides the per-batch resource budgets (0 = unlimited each). Like
+  /// setThreads, budgets never change what a successful solve computes —
+  /// only whether an in-flight batch is aborted — so servers and recovery
+  /// paths may retarget them freely after loading a snapshot.
+  void setBudgets(uint64_t DeadlineMs, uint64_t MaxEdgeBudget,
+                  uint64_t MaxMemBytes) {
+    Options.DeadlineMs = DeadlineMs;
+    Options.MaxEdgeBudget = MaxEdgeBudget;
+    Options.MaxMemBytes = MaxMemBytes;
+  }
+
 private:
   /// The snapshot serializer reads and reconstructs the private graph
   /// state (adjacency lists, bitmaps, forwarding pointers) word-for-word.
@@ -313,6 +324,19 @@ private:
   /// Batched equivalent of \p N countWork() calls.
   void countWorkBatch(uint64_t N);
 
+  /// Marks the solve aborted for \p Reason and clears the worklist; the
+  /// partially closed graph stays structurally valid but is not a closure
+  /// of the input — callers (QueryEngine) roll back to the pre-batch
+  /// state.
+  void abortSolve(SolverStats::AbortReason Reason);
+  /// Captures the batch baselines (start time, start Work) at the top of
+  /// a top-level drain.
+  void beginBatchBudgets();
+  /// Closure-loop budget check: deadline every ~64 items, memory every
+  /// ~4096, edge budget every item. Also hosts the `solver.step` (crash)
+  /// and `solver.budget` (forced-breach) failpoints.
+  void checkBatchBudgets();
+
   //===--------------------------------------------------------------------===
   // Cycle detection and elimination
   //===--------------------------------------------------------------------===
@@ -377,6 +401,14 @@ private:
   bool Draining = false;
   uint64_t NextPeriodicWork = 0;
   uint32_t CurrentEpoch = 0;
+
+  /// Per-batch budget baselines, valid while Draining. BatchDeadlineNs is
+  /// an absolute steady-clock deadline in nanoseconds (0 = none);
+  /// BatchStartWork anchors the MaxEdgeBudget delta; BatchTicks throttles
+  /// the clock and /proc reads.
+  uint64_t BatchDeadlineNs = 0;
+  uint64_t BatchStartWork = 0;
+  uint64_t BatchTicks = 0;
 
   /// Scratch bitmaps reused by flushDelta/insertSucc to avoid per-flush
   /// allocations.

@@ -74,8 +74,38 @@ struct SolverStats {
   /// instead of per-element hash probes.
   uint64_t PropagationsPruned = 0;
 
-  /// True if the solve hit SolverOptions::MaxWork and stopped early.
+  /// Why an aborted solve stopped. None while Aborted is false.
+  enum class AbortReason : uint8_t {
+    None = 0,
+    MaxWork,    ///< Cumulative SolverOptions::MaxWork bound.
+    Deadline,   ///< SolverOptions::DeadlineMs wall-clock budget.
+    EdgeBudget, ///< SolverOptions::MaxEdgeBudget per-batch bound.
+    MemBudget,  ///< SolverOptions::MaxMemBytes resident-set bound.
+    Injected,   ///< Forced by the `solver.budget` failpoint.
+  };
+
+  static const char *abortReasonName(AbortReason Reason) {
+    switch (Reason) {
+    case AbortReason::None:
+      return "none";
+    case AbortReason::MaxWork:
+      return "max_work";
+    case AbortReason::Deadline:
+      return "deadline_ms";
+    case AbortReason::EdgeBudget:
+      return "edge_budget";
+    case AbortReason::MemBudget:
+      return "mem_budget";
+    case AbortReason::Injected:
+      return "injected";
+    }
+    return "none";
+  }
+
+  /// True if the solve hit a work/time/memory budget and stopped early.
   bool Aborted = false;
+  /// Which budget stopped it.
+  AbortReason Abort = AbortReason::None;
 
   /// Work minus redundant and self additions: distinct edges ever added.
   uint64_t distinctAdds() const { return Work - RedundantAdds - SelfEdges; }
@@ -105,6 +135,8 @@ struct SolverStats {
     DeltaPropagations += RHS.DeltaPropagations;
     PropagationsPruned += RHS.PropagationsPruned;
     Aborted = Aborted || RHS.Aborted;
+    if (Abort == AbortReason::None)
+      Abort = RHS.Abort;
     return *this;
   }
 

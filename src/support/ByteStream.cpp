@@ -6,7 +6,14 @@
 
 #include "support/ByteStream.h"
 
+#include "support/FailPoint.h"
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace poce {
 
@@ -86,18 +93,102 @@ void ByteReader::fail(const std::string &Reason) {
 bool writeFileBytes(const std::string &Path,
                     const std::vector<uint8_t> &Buffer,
                     std::string *ErrorOut) {
+  FailPoint::Mode Fault = FailPoint::hit("bytestream.write");
+  if (Fault == FailPoint::Mode::Error) {
+    if (ErrorOut)
+      *ErrorOut = FailPoint::injectedError("bytestream.write").message();
+    return false;
+  }
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File) {
     if (ErrorOut)
       *ErrorOut = "cannot open '" + Path + "' for writing";
     return false;
   }
+  // Short mode writes only half the payload and then reports failure,
+  // leaving the truncated file on disk — exactly the hazard
+  // writeFileAtomic exists to rule out.
+  size_t ToWrite =
+      Fault == FailPoint::Mode::Short ? Buffer.size() / 2 : Buffer.size();
   size_t Written =
-      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+      ToWrite == 0 ? 0 : std::fwrite(Buffer.data(), 1, ToWrite, File);
   bool Ok = std::fclose(File) == 0 && Written == Buffer.size();
   if (!Ok && ErrorOut)
     *ErrorOut = "short write to '" + Path + "'";
   return Ok;
+}
+
+namespace {
+
+Status posixError(const std::string &What) {
+  return Status::error(ErrorCode::IoError,
+                       What + ": " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing \p Path so a just-renamed entry is
+/// durable across power loss.
+Status fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir =
+      Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd < 0)
+    return posixError("cannot open directory '" + Dir + "' for fsync");
+  Status St;
+  if (::fsync(DirFd) != 0)
+    St = posixError("fsync directory '" + Dir + "'");
+  ::close(DirFd);
+  return St;
+}
+
+} // namespace
+
+Status writeFileAtomic(const std::string &Path,
+                       const std::vector<uint8_t> &Buffer) {
+  const std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return posixError("cannot open '" + Tmp + "' for writing");
+
+  Status St;
+  FailPoint::Mode Fault = FailPoint::hit("atomic.write");
+  size_t ToWrite =
+      Fault == FailPoint::Mode::Short ? Buffer.size() / 2 : Buffer.size();
+  size_t Done = 0;
+  while (Done < ToWrite) {
+    ssize_t N = ::write(Fd, Buffer.data() + Done, ToWrite - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      St = posixError("write to '" + Tmp + "' failed");
+      break;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  if (St.ok() && Fault != FailPoint::Mode::Off)
+    St = FailPoint::injectedError("atomic.write");
+
+  if (St.ok() && FailPoint::hit("atomic.before_fsync") != FailPoint::Mode::Off)
+    St = FailPoint::injectedError("atomic.before_fsync");
+  if (St.ok() && ::fsync(Fd) != 0)
+    St = posixError("fsync '" + Tmp + "'");
+  if (::close(Fd) != 0 && St.ok())
+    St = posixError("close '" + Tmp + "'");
+
+  if (St.ok() &&
+      FailPoint::hit("atomic.before_rename") != FailPoint::Mode::Off)
+    St = FailPoint::injectedError("atomic.before_rename");
+  if (St.ok() && ::rename(Tmp.c_str(), Path.c_str()) != 0)
+    St = posixError("rename '" + Tmp + "' to '" + Path + "'");
+
+  if (!St.ok()) {
+    // The target was never touched; drop the partial temp file.
+    ::unlink(Tmp.c_str());
+    return St;
+  }
+  return fsyncParentDir(Path).withContext("after renaming '" + Path + "'");
 }
 
 bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Buffer,

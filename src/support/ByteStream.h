@@ -23,6 +23,8 @@
 #ifndef POCE_SUPPORT_BYTESTREAM_H
 #define POCE_SUPPORT_BYTESTREAM_H
 
+#include "support/Status.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -109,12 +111,24 @@ private:
   std::string Error;
 };
 
-/// Writes \p Buffer to \p Path atomically enough for our purposes
-/// (truncate + write + close). Returns false and fills \p ErrorOut on
-/// failure.
+/// Writes \p Buffer to \p Path directly (truncate + write + close).
+/// NOT crash-safe: an interrupted write leaves a truncated file at
+/// \p Path. Use writeFileAtomic for anything a restart must be able to
+/// trust. Returns false and fills \p ErrorOut on failure. Failpoint:
+/// `bytestream.write` (error, short).
 bool writeFileBytes(const std::string &Path,
                     const std::vector<uint8_t> &Buffer,
                     std::string *ErrorOut);
+
+/// Crash-safe whole-file write: writes `<Path>.tmp`, fsyncs it, renames
+/// it over \p Path, then fsyncs the containing directory so the rename
+/// itself is durable. A crash at any point leaves either the old file
+/// intact or the new file complete — never a truncated \p Path (at worst
+/// a stray `.tmp`). Failpoints: `atomic.write` (error, short, crash),
+/// `atomic.before_fsync` and `atomic.before_rename` (crash between the
+/// corresponding steps; error injects a failure there).
+Status writeFileAtomic(const std::string &Path,
+                       const std::vector<uint8_t> &Buffer);
 
 /// Reads all of \p Path into \p Buffer. Returns false and fills
 /// \p ErrorOut on failure.

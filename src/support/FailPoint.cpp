@@ -1,0 +1,147 @@
+//===- support/FailPoint.cpp - Env-armed fault injection ------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace poce {
+
+std::atomic<int> FailPoint::ArmedCount{0};
+
+namespace {
+
+struct ArmedPoint {
+  std::string Name;
+  FailPoint::Mode Mode;
+  uint64_t FireOnHit; // 1-based hit index that triggers
+  uint64_t Hits = 0;
+  bool Fired = false;
+};
+
+std::mutex &registryMutex() {
+  static std::mutex Mutex;
+  return Mutex;
+}
+
+std::vector<ArmedPoint> &registry() {
+  static std::vector<ArmedPoint> Points;
+  return Points;
+}
+
+bool parseMode(const std::string &Text, FailPoint::Mode &Out) {
+  if (Text == "error")
+    Out = FailPoint::Mode::Error;
+  else if (Text == "short")
+    Out = FailPoint::Mode::Short;
+  else if (Text == "crash")
+    Out = FailPoint::Mode::Crash;
+  else if (Text == "off")
+    Out = FailPoint::Mode::Off;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+FailPoint::Mode FailPoint::hitSlow(const char *Name) {
+  Mode Action = Mode::Off;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    for (ArmedPoint &Point : registry()) {
+      if (Point.Fired || Point.Name != Name)
+        continue;
+      ++Point.Hits;
+      if (Point.Hits != Point.FireOnHit)
+        continue;
+      Point.Fired = true;
+      ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+      Action = Point.Mode;
+      break;
+    }
+  }
+  if (Action == Mode::Crash) {
+    // Simulate SIGKILL at exactly this point: no flushes, no destructors,
+    // no atexit. stderr is unbuffered so the marker still lands.
+    std::fprintf(stderr, "failpoint '%s': crashing (_exit 137)\n", Name);
+    _exit(137);
+  }
+  return Action;
+}
+
+Status FailPoint::armSpec(const std::string &Spec) {
+  std::vector<ArmedPoint> Parsed;
+  size_t Start = 0;
+  while (Start <= Spec.size()) {
+    size_t End = Spec.find(',', Start);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Start, End - Start);
+    Start = End + 1;
+    if (Entry.empty())
+      continue;
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "failpoint spec entry '" + Entry +
+                               "' is not name=mode[@N]");
+    ArmedPoint Point;
+    Point.Name = Entry.substr(0, Eq);
+    std::string ModeText = Entry.substr(Eq + 1);
+    Point.FireOnHit = 1;
+    size_t At = ModeText.find('@');
+    if (At != std::string::npos) {
+      std::string NText = ModeText.substr(At + 1);
+      ModeText = ModeText.substr(0, At);
+      char *EndPtr = nullptr;
+      unsigned long long N = std::strtoull(NText.c_str(), &EndPtr, 10);
+      if (NText.empty() || *EndPtr != '\0' || N == 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "failpoint spec '" + Entry +
+                                 "' has a bad hit count '" + NText + "'");
+      Point.FireOnHit = N;
+    }
+    if (!parseMode(ModeText, Point.Mode))
+      return Status::error(ErrorCode::InvalidArgument,
+                           "failpoint spec '" + Entry +
+                               "' has unknown mode '" + ModeText + "'");
+    if (Point.Mode != Mode::Off)
+      Parsed.push_back(std::move(Point));
+  }
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (ArmedPoint &Point : Parsed) {
+    registry().push_back(std::move(Point));
+    ArmedCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status();
+}
+
+void FailPoint::armFromEnv() {
+  const char *Spec = std::getenv("POCE_FAILPOINTS");
+  if (!Spec || !*Spec)
+    return;
+  Status St = armSpec(Spec);
+  if (!St.ok())
+    reportFatalError("POCE_FAILPOINTS: " + St.toString());
+}
+
+void FailPoint::disarmAll() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (const ArmedPoint &Point : registry())
+    if (!Point.Fired)
+      ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+  registry().clear();
+}
+
+} // namespace poce

@@ -1,0 +1,89 @@
+//===- support/FailPoint.h - Env-armed fault injection ----------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named failpoints for fault-injection testing. Production code calls
+/// FailPoint::hit("site.name") at the exact spot where a fault could
+/// strike (before a write, between write and rename, inside the closure
+/// loop) and acts on the returned mode:
+///
+///   Off    — nothing armed, proceed (the only mode in production)
+///   Error  — simulate the operation failing; return an error Status
+///   Short  — simulate a partial effect (site-specific: truncate the
+///            write, then report failure)
+///   Crash  — _exit(137) right here, simulating a SIGKILL at this
+///            instruction; crash_recovery.sh uses this to prove warm
+///            recovery from every torn state
+///
+/// Failpoints are armed via the POCE_FAILPOINTS environment variable (or
+/// armSpec programmatically): a comma-separated list of
+/// `name=mode[@N]` entries, where `@N` makes the failpoint fire on the
+/// N-th hit only (1-based, default 1) and disarm afterwards. Example:
+///
+///   POCE_FAILPOINTS='wal.append.mid=crash@3,snapshot.save=error'
+///
+/// The disarmed fast path is one relaxed atomic load — safe to call from
+/// the solver's closure loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_FAILPOINT_H
+#define POCE_SUPPORT_FAILPOINT_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace poce {
+
+class FailPoint {
+public:
+  enum class Mode : uint8_t { Off, Error, Short, Crash };
+
+  /// Reports what should happen at this hit of failpoint \p Name.
+  /// Crash mode never returns: it prints the site to stderr and
+  /// _exit(137)s (the SIGKILL exit status). A fired one-shot failpoint
+  /// disarms itself.
+  static Mode hit(const char *Name) {
+    if (ArmedCount.load(std::memory_order_relaxed) == 0)
+      return Mode::Off;
+    return hitSlow(Name);
+  }
+
+  /// Arms failpoints from a `name=mode[@N],...` spec. Unknown modes or
+  /// malformed entries return InvalidArgument and arm nothing.
+  static Status armSpec(const std::string &Spec);
+
+  /// Arms from the POCE_FAILPOINTS environment variable if set. Called
+  /// once by drivers at startup. Malformed specs are fatal here (a typo
+  /// in a fault-injection run must not silently test nothing).
+  static void armFromEnv();
+
+  static void disarmAll();
+
+  /// Number of currently armed failpoints (for stats reporting).
+  static size_t armedCount() {
+    return static_cast<size_t>(ArmedCount.load(std::memory_order_relaxed));
+  }
+
+  /// Convenience: an Error-mode Status for site \p Name.
+  static Status injectedError(const char *Name) {
+    return Status::error(ErrorCode::IoError,
+                         std::string("injected fault at failpoint '") + Name +
+                             "'");
+  }
+
+private:
+  static Mode hitSlow(const char *Name);
+
+  static std::atomic<int> ArmedCount;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_FAILPOINT_H

@@ -1,0 +1,49 @@
+//===- support/MemUsage.h - Process memory introspection --------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// currentRSSBytes(): the process resident set size, used by the
+/// solver's MaxMemBytes budget check. Reads /proc/self/statm on Linux;
+/// returns 0 (= unknown, never breaches a budget) elsewhere, so memory
+/// budgets degrade to no-ops on platforms without the counter rather
+/// than aborting valid work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_MEMUSAGE_H
+#define POCE_SUPPORT_MEMUSAGE_H
+
+#include <cstdint>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace poce {
+
+inline uint64_t currentRSSBytes() {
+#if defined(__linux__)
+  std::FILE *File = std::fopen("/proc/self/statm", "r");
+  if (!File)
+    return 0;
+  unsigned long long SizePages = 0, RSSPages = 0;
+  int Fields = std::fscanf(File, "%llu %llu", &SizePages, &RSSPages);
+  std::fclose(File);
+  if (Fields != 2)
+    return 0;
+  long PageSize = ::sysconf(_SC_PAGESIZE);
+  if (PageSize <= 0)
+    return 0;
+  return static_cast<uint64_t>(RSSPages) * static_cast<uint64_t>(PageSize);
+#else
+  return 0;
+#endif
+}
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_MEMUSAGE_H

@@ -1,0 +1,159 @@
+//===- support/Status.h - Recoverable error values --------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Status and Expected<T>: recoverable errors as values.
+///
+/// Everything a production server can hit at runtime — malformed input,
+/// unwritable paths, corrupt snapshots, exhausted budgets — must surface
+/// as a returned Status the caller can handle, not a process exit.
+/// reportFatalError/poce_unreachable remain only for true invariant
+/// violations (bugs), never for bad input or bad environment.
+///
+/// A Status carries a machine-readable ErrorCode (whose snake_case name
+/// doubles as the wire code in scserved's `err <code> <detail>` replies)
+/// plus a human-readable message. withContext() prepends caller context
+/// as the error propagates up, so the final message reads outermost to
+/// innermost like a one-line backtrace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_STATUS_H
+#define POCE_SUPPORT_STATUS_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace poce {
+
+/// Machine-readable failure taxonomy. Names (errorCodeName) are stable:
+/// they are the wire codes of the serve protocol.
+enum class ErrorCode : uint8_t {
+  Ok = 0,
+  InvalidArgument,    ///< Caller passed something structurally wrong.
+  ParseError,         ///< Text input failed to parse (constraint lines).
+  IoError,            ///< open/read/write/fsync/rename failed.
+  Corruption,         ///< Stored bytes fail checksum/bounds/invariants.
+  VersionSkew,        ///< Valid container, unsupported format version.
+  NotFound,           ///< Named entity does not exist.
+  TooLarge,           ///< Request exceeds a configured size limit.
+  BudgetExceeded,     ///< Deadline/edge/memory budget breached mid-solve.
+  FailedPrecondition, ///< Operation not legal in the current state.
+  Internal,           ///< Invariant held by code, not input, was violated.
+};
+
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid_argument";
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::IoError:
+    return "io_error";
+  case ErrorCode::Corruption:
+    return "corruption";
+  case ErrorCode::VersionSkew:
+    return "version_skew";
+  case ErrorCode::NotFound:
+    return "not_found";
+  case ErrorCode::TooLarge:
+    return "too_large";
+  case ErrorCode::BudgetExceeded:
+    return "budget_exceeded";
+  case ErrorCode::FailedPrecondition:
+    return "failed_precondition";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+class Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status error(ErrorCode Code, std::string Message) {
+    Status St;
+    St.Code_ = Code == ErrorCode::Ok ? ErrorCode::Internal : Code;
+    St.Message_ = std::move(Message);
+    return St;
+  }
+
+  bool ok() const { return Code_ == ErrorCode::Ok; }
+  explicit operator bool() const { return ok(); }
+
+  ErrorCode code() const { return Code_; }
+  const std::string &message() const { return Message_; }
+
+  /// Returns a copy with \p What prepended to the message, keeping the
+  /// code. No-op on success.
+  Status withContext(const std::string &What) const {
+    if (ok())
+      return *this;
+    return error(Code_, What + ": " + Message_);
+  }
+
+  /// "<code>: <message>" for logs, or "ok".
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    return std::string(errorCodeName(Code_)) + ": " + Message_;
+  }
+
+  /// "<code> <message>" — the serve protocol's `err` reply body.
+  std::string wire() const {
+    if (ok())
+      return "ok";
+    return std::string(errorCodeName(Code_)) + " " + Message_;
+  }
+
+private:
+  ErrorCode Code_ = ErrorCode::Ok;
+  std::string Message_;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const Status &St) {
+  return OS << St.toString();
+}
+
+/// A value or the Status explaining why there is none. Minimal variant:
+/// value() must not be called on a failed Expected (checked, fatal).
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value_(std::move(Value)), HasValue_(true) {}
+
+  Expected(Status St) : Status_(std::move(St)), HasValue_(false) {
+    if (Status_.ok())
+      Status_ = Status::error(ErrorCode::Internal,
+                              "Expected constructed from ok Status");
+  }
+
+  bool ok() const { return HasValue_; }
+  explicit operator bool() const { return ok(); }
+
+  /// The error (success Status when a value is present).
+  const Status &status() const { return Status_; }
+
+  T &value() { return Value_; }
+  const T &value() const { return Value_; }
+  T &operator*() { return Value_; }
+  const T &operator*() const { return Value_; }
+  T *operator->() { return &Value_; }
+  const T *operator->() const { return &Value_; }
+
+private:
+  T Value_{};
+  Status Status_;
+  bool HasValue_;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_STATUS_H

@@ -47,8 +47,8 @@ std::vector<std::string> solve(const ConstraintSystemFile &System,
 
 TEST(ConstraintFileTest, ParsesDeclarationsAndConstraints) {
   ConstraintSystemFile System;
-  std::string Error;
-  ASSERT_TRUE(System.parse(SwapSystem, &Error)) << Error;
+  Status Parsed = System.parse(SwapSystem);
+  ASSERT_TRUE(Parsed.ok()) << Parsed;
   EXPECT_EQ(System.varNames().size(), 5u);
   EXPECT_EQ(System.numConstraints(), 5u);
   EXPECT_EQ(System.varIndex("P"), 2u);
@@ -96,8 +96,8 @@ TEST(ConstraintFileTest, RoundTripThroughWriter) {
   ASSERT_TRUE(System.parse(SwapSystem));
   std::string Printed = System.str();
   ConstraintSystemFile Reparsed;
-  std::string Error;
-  ASSERT_TRUE(Reparsed.parse(Printed, &Error)) << Error << "\n" << Printed;
+  Status Reparse = Reparsed.parse(Printed);
+  ASSERT_TRUE(Reparse.ok()) << Reparse << "\n" << Printed;
   EXPECT_EQ(Reparsed.str(), Printed);
   EXPECT_EQ(solve(System, makeConfig(GraphForm::Inductive,
                                      CycleElim::Online),
@@ -145,24 +145,58 @@ TEST(ConstraintFileTest, ErrorsAreLineNumbered) {
   };
   for (const Case &C : Cases) {
     ConstraintSystemFile System;
-    std::string Error;
-    EXPECT_FALSE(System.parse(C.Text, &Error)) << C.Text;
-    EXPECT_NE(Error.find("line "), std::string::npos) << Error;
-    EXPECT_NE(Error.find(C.Needle), std::string::npos)
-        << "got: " << Error << "\nfor: " << C.Text;
+    Status St = System.parse(C.Text);
+    EXPECT_FALSE(St.ok()) << C.Text;
+    EXPECT_EQ(St.code(), ErrorCode::ParseError) << C.Text;
+    EXPECT_NE(St.message().find("line "), std::string::npos) << St;
+    EXPECT_NE(St.message().find(C.Needle), std::string::npos)
+        << "got: " << St << "\nfor: " << C.Text;
   }
+}
+
+TEST(ConstraintFileTest, AddLineErrorTaxonomy) {
+  // Incremental addLine distinguishes malformed text (ParseError) from a
+  // system/solver mismatch (FailedPrecondition), and leaves both the
+  // system and the solver untouched on failure.
+  ConstructorTable Constructors;
+  TermTable Terms(Constructors);
+  ConstraintSolver Solver(Terms,
+                          makeConfig(GraphForm::Inductive,
+                                     CycleElim::Online));
+  ConstraintSystemFile System;
+  ASSERT_TRUE(System.adoptDeclarations(Solver).ok());
+
+  ASSERT_TRUE(System.addLine("var X", Solver).ok());
+  ASSERT_TRUE(System.addLine("cons a", Solver).ok());
+  ASSERT_TRUE(System.addLine("a <= X", Solver).ok());
+
+  Status Parse = System.addLine("a <=", Solver);
+  EXPECT_FALSE(Parse.ok());
+  EXPECT_EQ(Parse.code(), ErrorCode::ParseError);
+
+  // A solver that grew variables behind the system's back: declaring
+  // more would desynchronise declaration order from creation order, so
+  // the precondition check fires before anything is mutated. (Constraint
+  // lines still work — extra solver variables do not break the mapping.)
+  VarId Extra = Solver.freshVar("undeclared");
+  (void)Extra;
+  ConstraintSystemFile Stale;
+  ASSERT_TRUE(Stale.adoptDeclarations(Solver).ok());
+  Solver.freshVar("undeclared2");
+  EXPECT_TRUE(Stale.addLine("a <= X", Solver).ok());
+  Status Skew = Stale.addLine("var W", Solver);
+  EXPECT_FALSE(Skew.ok());
+  EXPECT_EQ(Skew.code(), ErrorCode::FailedPrecondition);
 }
 
 TEST(ConstraintFileTest, NestedApplications) {
   ConstraintSystemFile System;
-  std::string Error;
-  ASSERT_TRUE(System.parse("var X Y\n"
-                           "cons pair + +\n"
-                           "cons a\n"
-                           "pair(pair(a, a), a) <= X\n"
-                           "X <= pair(Y, 1)\n",
-                           &Error))
-      << Error;
+  Status Parsed = System.parse("var X Y\n"
+                               "cons pair + +\n"
+                               "cons a\n"
+                               "pair(pair(a, a), a) <= X\n"
+                               "X <= pair(Y, 1)\n");
+  ASSERT_TRUE(Parsed.ok()) << Parsed;
   auto LS = solve(System, makeConfig(GraphForm::Inductive,
                                      CycleElim::Online),
                   "Y");

@@ -1,0 +1,587 @@
+//===- tests/fault_test.cpp - WAL, budgets, rollback, failpoints ----------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fault-tolerance unit tests: the write-ahead log's record format and
+// torn-tail handling, failpoint-driven IO fault injection, resource-budget
+// aborts with transactional rollback in QueryEngine, and warm-recovery
+// equivalence (snapshot + journal replay == never having crashed).
+// Process-level crash injection (SIGKILL at armed failpoints) lives in
+// scripts/crash_recovery.sh; these tests cover everything observable
+// in-process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/GraphSnapshot.h"
+#include "serve/QueryEngine.h"
+#include "serve/Wal.h"
+#include "support/ByteStream.h"
+#include "support/FailPoint.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace poce;
+using namespace poce::serve;
+
+namespace {
+
+/// Disarms every failpoint on scope exit so a failing ASSERT cannot leak
+/// an armed fault into later tests.
+struct FailPointGuard {
+  ~FailPointGuard() { FailPoint::disarmAll(); }
+};
+
+/// A fresh temp-file path; removes any leftover from a previous run.
+std::string tempPath(const std::string &Name) {
+  std::string Path = testing::TempDir() + "poce_fault_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+/// `cons s` plus a propagation chain C0 <= C1 <= ... <= C(N-1). Feeding
+/// `s <= C0` afterwards floods s through all N variables — a deterministic
+/// way to make one constraint line cost ~N work units.
+std::string chainText(unsigned N) {
+  std::string Text = "cons s\nvar";
+  for (unsigned I = 0; I != N; ++I)
+    Text += " C" + std::to_string(I);
+  Text += "\n";
+  for (unsigned I = 0; I + 1 != N; ++I)
+    Text += "C" + std::to_string(I) + " <= C" + std::to_string(I + 1) + "\n";
+  return Text;
+}
+
+/// Builds an owned bundle by parsing constraint-file text.
+SolverBundle makeBundle(const std::string &Text, SolverOptions Options) {
+  SolverBundle Bundle;
+  Bundle.Constructors = std::make_unique<ConstructorTable>();
+  Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
+  Bundle.Solver = std::make_unique<ConstraintSolver>(*Bundle.Terms, Options);
+  ConstraintSystemFile System;
+  Status Parsed = System.parse(Text);
+  EXPECT_TRUE(Parsed.ok()) << Parsed;
+  if (Parsed.ok())
+    System.emit(*Bundle.Solver);
+  return Bundle;
+}
+
+std::vector<uint8_t> serialized(ConstraintSolver &Solver) {
+  std::vector<uint8_t> Bytes;
+  Status St = GraphSnapshot::serialize(Solver, Bytes);
+  EXPECT_TRUE(St.ok()) << St;
+  return Bytes;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// WriteAheadLog
+//===----------------------------------------------------------------------===//
+
+TEST(WalTest, RoundTripAppendReplay) {
+  std::string Path = tempPath("roundtrip.wal");
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path).ok());
+    EXPECT_EQ(Wal.sizeBytes(), WriteAheadLog::HeaderSize);
+    EXPECT_EQ(Wal.records(), 0u);
+    ASSERT_TRUE(Wal.append("var X").ok());
+    ASSERT_TRUE(Wal.append("cons a").ok());
+    ASSERT_TRUE(Wal.append("a <= X").ok());
+    EXPECT_EQ(Wal.records(), 3u);
+    EXPECT_GT(Wal.sizeBytes(), WriteAheadLog::HeaderSize);
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->Lines,
+            (std::vector<std::string>{"var X", "cons a", "a <= X"}));
+  EXPECT_EQ(Contents->TornBytes, 0u);
+  EXPECT_GT(Contents->ValidBytes, WriteAheadLog::HeaderSize);
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, MissingFileReplaysEmpty) {
+  Expected<WalContents> Contents =
+      WriteAheadLog::replay(tempPath("never_created.wal"));
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_TRUE(Contents->Lines.empty());
+  EXPECT_EQ(Contents->ValidBytes, 0u);
+  EXPECT_EQ(Contents->TornBytes, 0u);
+}
+
+TEST(WalTest, EmptyLineAndBinaryPayloadSurvive) {
+  std::string Path = tempPath("payloads.wal");
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path).ok());
+    ASSERT_TRUE(Wal.append("").ok());
+    ASSERT_TRUE(Wal.append(std::string("a\0b", 3)).ok());
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  ASSERT_EQ(Contents->Lines.size(), 2u);
+  EXPECT_EQ(Contents->Lines[0], "");
+  EXPECT_EQ(Contents->Lines[1], std::string("a\0b", 3));
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, TornTailIsReportedAndTruncatedOnReopen) {
+  std::string Path = tempPath("torn.wal");
+  uint64_t CleanSize = 0;
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path).ok());
+    ASSERT_TRUE(Wal.append("var X").ok());
+    ASSERT_TRUE(Wal.append("var Y").ok());
+    CleanSize = Wal.sizeBytes();
+  }
+  // Simulate a crash mid-append: a record prefix claiming more payload
+  // than the file holds.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    const char Torn[] = {100, 0, 0, 0, 1, 2, 3}; // len=100, partial sum
+    Out.write(Torn, sizeof(Torn));
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"var X", "var Y"}));
+  EXPECT_EQ(Contents->ValidBytes, CleanSize);
+  EXPECT_EQ(Contents->TornBytes, 7u);
+
+  // Reopening truncates the tail and resumes appending at the boundary.
+  WriteAheadLog Wal;
+  ASSERT_TRUE(Wal.open(Path).ok());
+  EXPECT_EQ(Wal.sizeBytes(), CleanSize);
+  EXPECT_EQ(Wal.records(), 2u);
+  ASSERT_TRUE(Wal.append("var Z").ok());
+  Wal.close();
+  Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->Lines,
+            (std::vector<std::string>{"var X", "var Y", "var Z"}));
+  EXPECT_EQ(Contents->TornBytes, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, ChecksumMismatchStopsReplayAtTheFlip) {
+  std::string Path = tempPath("flip.wal");
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path).ok());
+    ASSERT_TRUE(Wal.append("var X").ok());
+    ASSERT_TRUE(Wal.append("var Y").ok());
+  }
+  // Flip one payload byte of the second record (the last byte on disk).
+  {
+    std::fstream File(Path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    File.seekg(-1, std::ios::end);
+    char Byte;
+    File.get(Byte);
+    File.seekp(-1, std::ios::end);
+    File.put(static_cast<char>(Byte ^ 0x40));
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"var X"}));
+  EXPECT_GT(Contents->TornBytes, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, TruncateToAndResetDropRecords) {
+  std::string Path = tempPath("truncate.wal");
+  WriteAheadLog Wal;
+  ASSERT_TRUE(Wal.open(Path).ok());
+  ASSERT_TRUE(Wal.append("one").ok());
+  uint64_t AfterOne = Wal.sizeBytes();
+  ASSERT_TRUE(Wal.append("two").ok());
+  EXPECT_EQ(Wal.records(), 2u);
+
+  // Drop the just-appended record (the rejected-constraint un-ack path).
+  ASSERT_TRUE(Wal.truncateTo(AfterOne).ok());
+  EXPECT_EQ(Wal.records(), 1u);
+  EXPECT_EQ(Wal.sizeBytes(), AfterOne);
+  {
+    Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+    ASSERT_TRUE(Contents.ok()) << Contents.status();
+    EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"one"}));
+  }
+
+  // Appends still work after truncation.
+  ASSERT_TRUE(Wal.append("three").ok());
+  EXPECT_EQ(Wal.records(), 2u);
+
+  // Bad targets are rejected without touching the file.
+  EXPECT_EQ(Wal.truncateTo(WriteAheadLog::HeaderSize - 1).code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(Wal.truncateTo(Wal.sizeBytes() + 1).code(),
+            ErrorCode::InvalidArgument);
+
+  // reset() empties back to the header (the checkpoint path).
+  ASSERT_TRUE(Wal.reset().ok());
+  EXPECT_EQ(Wal.sizeBytes(), WriteAheadLog::HeaderSize);
+  EXPECT_EQ(Wal.records(), 0u);
+  Wal.close();
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_TRUE(Contents->Lines.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, RejectsBadHeaderAndVersionSkew) {
+  std::string Path = tempPath("badheader.wal");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "this is not a WAL header at all";
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_FALSE(Contents.ok());
+  EXPECT_EQ(Contents.status().code(), ErrorCode::Corruption);
+  WriteAheadLog Wal;
+  EXPECT_FALSE(Wal.open(Path).ok());
+  EXPECT_FALSE(Wal.isOpen());
+
+  // Correct magic, future version: VersionSkew, not Corruption.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
+    const char Future[] = {99, 0, 0, 0};
+    Out.write(Future, sizeof(Future));
+  }
+  Contents = WriteAheadLog::replay(Path);
+  ASSERT_FALSE(Contents.ok());
+  EXPECT_EQ(Contents.status().code(), ErrorCode::VersionSkew);
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, AppendFailureLeavesNoTornRecord) {
+  FailPointGuard Guard;
+  std::string Path = tempPath("failpoint.wal");
+  WriteAheadLog Wal;
+  ASSERT_TRUE(Wal.open(Path).ok());
+  ASSERT_TRUE(Wal.append("kept").ok());
+  uint64_t CleanSize = Wal.sizeBytes();
+
+  // Fault before any bytes: nothing written.
+  ASSERT_TRUE(FailPoint::armSpec("wal.append.pre=error").ok());
+  Status Pre = Wal.append("lost");
+  EXPECT_EQ(Pre.code(), ErrorCode::IoError);
+  EXPECT_NE(Pre.message().find("wal.append.pre"), std::string::npos);
+  EXPECT_EQ(Wal.sizeBytes(), CleanSize);
+  EXPECT_EQ(Wal.records(), 1u);
+
+  // Fault mid-record: append truncates its own half-written bytes back.
+  ASSERT_TRUE(FailPoint::armSpec("wal.append.mid=error").ok());
+  EXPECT_EQ(Wal.append("lost too").code(), ErrorCode::IoError);
+  EXPECT_EQ(Wal.sizeBytes(), CleanSize);
+  EXPECT_EQ(Wal.records(), 1u);
+
+  // Both one-shot failpoints have fired and disarmed: appends recover.
+  EXPECT_EQ(FailPoint::armedCount(), 0u);
+  ASSERT_TRUE(Wal.append("kept two").ok());
+  Wal.close();
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->Lines,
+            (std::vector<std::string>{"kept", "kept two"}));
+  EXPECT_EQ(Contents->TornBytes, 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Resource budgets and transactional rollback
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, EdgeBudgetAbortRollsBackBitIdentical) {
+  QueryEngine Engine(makeBundle(
+      chainText(64), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  ASSERT_TRUE(Engine.rollbackArmed());
+
+  // Budgets are part of the serialized options, so the pre-batch
+  // reference bytes are captured with them already armed.
+  Engine.solver().setBudgets(/*DeadlineMs=*/0, /*MaxEdgeBudget=*/1,
+                             /*MaxMemBytes=*/0);
+  std::vector<uint8_t> PreBytes = serialized(Engine.solver());
+
+  // Flooding s through the 64-var chain breaches an edge budget of 1.
+  Status St = Engine.addConstraint("s <= C0");
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrorCode::BudgetExceeded);
+  EXPECT_NE(St.message().find("edge_budget"), std::string::npos);
+
+  // The graph is bit-identical to the pre-batch state — and, checked
+  // independently of the snapshot machinery, structurally sound with
+  // the pre-batch solutions per the reference oracle.
+  EXPECT_EQ(serialized(Engine.solver()), PreBytes);
+  EXPECT_TRUE(Engine.solver().verifyGraphInvariants());
+  SolverBundle Pristine = makeBundle(
+      chainText(64), makeConfig(GraphForm::Inductive, CycleElim::Online));
+  EXPECT_EQ(Engine.solver().referenceLeastSolutions(),
+            Pristine.Solver->referenceLeastSolutions());
+  EXPECT_FALSE(Engine.solver().stats().Aborted);
+  EXPECT_EQ(Engine.counters().BudgetAborts, 1u);
+  EXPECT_EQ(Engine.counters().Rollbacks, 1u);
+  EXPECT_EQ(Engine.counters().Additions, 0u);
+  EXPECT_TRUE(Engine.journal().empty());
+
+  // ...and the engine keeps serving queries.
+  VarId C63 = Engine.varOf("C63");
+  ASSERT_NE(C63, QueryEngine::NotFound);
+  EXPECT_TRUE(Engine.pts(C63).empty());
+
+  // Rollback restored the LIVE budgets, not the (unbudgeted) base ones:
+  // the same offending line aborts again.
+  EXPECT_EQ(Engine.addConstraint("s <= C0").code(),
+            ErrorCode::BudgetExceeded);
+  EXPECT_EQ(Engine.counters().BudgetAborts, 2u);
+  EXPECT_EQ(serialized(Engine.solver()), PreBytes);
+
+  // Disarming the budget lets the identical line through.
+  Engine.solver().setBudgets(0, 0, 0);
+  ASSERT_TRUE(Engine.addConstraint("s <= C0").ok());
+  EXPECT_EQ(Engine.pts(C63), (std::vector<std::string>{"s"}));
+  EXPECT_EQ(Engine.counters().Additions, 1u);
+  EXPECT_EQ(Engine.journal(), (std::vector<std::string>{"s <= C0"}));
+}
+
+TEST(BudgetTest, GenerousBudgetsDoNotFireOnSmallAdds) {
+  QueryEngine Engine(makeBundle(
+      chainText(8), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  Engine.solver().setBudgets(/*DeadlineMs=*/60000, /*MaxEdgeBudget=*/100000,
+                             /*MaxMemBytes=*/0);
+  Status Add = Engine.addConstraint("s <= C0");
+  ASSERT_TRUE(Add.ok()) << Add;
+  EXPECT_EQ(Engine.counters().BudgetAborts, 0u);
+  EXPECT_EQ(Engine.pts(Engine.varOf("C7")),
+            (std::vector<std::string>{"s"}));
+}
+
+TEST(BudgetTest, InjectedAbortViaFailpointRollsBack) {
+  FailPointGuard Guard;
+  QueryEngine Engine(makeBundle(
+      chainText(16), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  std::vector<uint8_t> PreBytes = serialized(Engine.solver());
+
+  ASSERT_TRUE(FailPoint::armSpec("solver.budget=error").ok());
+  Status St = Engine.addConstraint("s <= C0");
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrorCode::BudgetExceeded);
+  EXPECT_NE(St.message().find("injected"), std::string::npos);
+  EXPECT_EQ(serialized(Engine.solver()), PreBytes);
+
+  // One-shot: the failpoint disarmed itself, so the retry succeeds.
+  EXPECT_EQ(FailPoint::armedCount(), 0u);
+  ASSERT_TRUE(Engine.addConstraint("s <= C0").ok());
+  EXPECT_EQ(Engine.pts(Engine.varOf("C15")),
+            (std::vector<std::string>{"s"}));
+}
+
+TEST(BudgetTest, CheckpointBaseMovesTheRollbackTarget) {
+  QueryEngine Engine(makeBundle(
+      chainText(32), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+
+  ASSERT_TRUE(Engine.addConstraint("cons t").ok());
+  ASSERT_TRUE(Engine.addConstraint("t <= C16").ok());
+  EXPECT_EQ(Engine.journal().size(), 2u);
+
+  ASSERT_TRUE(Engine.checkpointBase().ok());
+  EXPECT_TRUE(Engine.journal().empty());
+
+  // An abort after the checkpoint rolls back to the checkpoint, keeping
+  // the pre-checkpoint additions. (Budgets are serialized options, so the
+  // reference bytes are captured after arming them.)
+  Engine.solver().setBudgets(0, 1, 0);
+  std::vector<uint8_t> CheckpointBytes = serialized(Engine.solver());
+  EXPECT_EQ(Engine.addConstraint("s <= C0").code(),
+            ErrorCode::BudgetExceeded);
+  EXPECT_EQ(serialized(Engine.solver()), CheckpointBytes);
+  EXPECT_EQ(Engine.pts(Engine.varOf("C31")),
+            (std::vector<std::string>{"t"}));
+}
+
+TEST(BudgetTest, JournaledLinesSurviveRollback) {
+  // Accepted-but-not-checkpointed lines must be replayed into the rebuilt
+  // solver: rollback undoes only the offending batch, never earlier acks.
+  QueryEngine Engine(makeBundle(
+      chainText(32), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+
+  Engine.solver().setBudgets(0, 1000, 0); // Roomy: accepts small adds.
+  ASSERT_TRUE(Engine.addConstraint("cons t").ok());
+  ASSERT_TRUE(Engine.addConstraint("t <= C16").ok());
+
+  Engine.solver().setBudgets(0, 1, 0);
+  std::vector<uint8_t> AckedBytes = serialized(Engine.solver());
+  EXPECT_EQ(Engine.addConstraint("s <= C0").code(),
+            ErrorCode::BudgetExceeded);
+  EXPECT_EQ(serialized(Engine.solver()), AckedBytes);
+  EXPECT_EQ(Engine.journal(),
+            (std::vector<std::string>{"cons t", "t <= C16"}));
+  EXPECT_EQ(Engine.pts(Engine.varOf("C31")),
+            (std::vector<std::string>{"t"}));
+}
+
+TEST(BudgetTest, UnserializableSolverReportsUnrecoverableBreach) {
+  // A solver that aborted during its initial solve cannot be serialized,
+  // so the engine comes up with rollback disarmed; a later breach is then
+  // an Internal error, not a silent half-propagated graph.
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  Options.MaxWork = 1;
+  QueryEngine Engine(makeBundle(chainText(16) + "s <= C0\n", Options));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  EXPECT_FALSE(Engine.rollbackArmed());
+  EXPECT_TRUE(Engine.solver().stats().Aborted);
+
+  Status St = Engine.addConstraint("C0 <= C1");
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrorCode::Internal);
+  EXPECT_NE(St.message().find("could not be rolled back"), std::string::npos);
+  EXPECT_EQ(Engine.counters().BudgetAborts, 1u);
+  EXPECT_EQ(Engine.counters().Rollbacks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm recovery
+//===----------------------------------------------------------------------===//
+
+TEST(WarmRecoveryTest, SnapshotPlusReplayEqualsUninterrupted) {
+  // The recovery invariant behind scserved: rebuilding from a snapshot
+  // and replaying the WAL's lines yields a solver bit-identical to one
+  // that never crashed. Both sides feed the same lines through
+  // addConstraint; the only difference is the snapshot round trip.
+  const std::vector<std::string> Lines = {
+      "cons t", "var P", "t <= C5", "C5 <= P", "s <= C2"};
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+
+  QueryEngine Uninterrupted(makeBundle(chainText(16), Options));
+  ASSERT_TRUE(Uninterrupted.valid()) << Uninterrupted.initError();
+  std::vector<uint8_t> BaseBytes = serialized(Uninterrupted.solver());
+
+  // "Crash": lose the live engine, keep only BaseBytes + the lines.
+  SolverBundle Recovered;
+  Status Load =
+      GraphSnapshot::deserialize(BaseBytes.data(), BaseBytes.size(), Recovered);
+  ASSERT_TRUE(Load.ok()) << Load;
+  QueryEngine Warm(std::move(Recovered));
+  ASSERT_TRUE(Warm.valid()) << Warm.initError();
+
+  for (const std::string &Line : Lines) {
+    ASSERT_TRUE(Uninterrupted.addConstraint(Line).ok()) << Line;
+    ASSERT_TRUE(Warm.addConstraint(Line).ok()) << Line;
+  }
+  EXPECT_EQ(serialized(Warm.solver()), serialized(Uninterrupted.solver()));
+  EXPECT_EQ(Warm.pts(Warm.varOf("P")),
+            Uninterrupted.pts(Uninterrupted.varOf("P")));
+}
+
+TEST(WarmRecoveryTest, WalBackedRecoveryEndToEnd) {
+  // Same invariant, through the real durability pieces: an atomic
+  // snapshot file plus a WAL on disk, recover from those alone.
+  std::string SnapPath = tempPath("recovery.snap");
+  std::string WalPath = tempPath("recovery.wal");
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+
+  const std::vector<std::string> Lines = {"cons t", "t <= C3", "s <= C0"};
+  {
+    QueryEngine Engine(makeBundle(chainText(8), Options));
+    ASSERT_TRUE(Engine.valid()) << Engine.initError();
+    ASSERT_TRUE(GraphSnapshot::save(Engine.solver(), SnapPath).ok());
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(WalPath).ok());
+    for (const std::string &Line : Lines) {
+      ASSERT_TRUE(Wal.append(Line).ok());
+      ASSERT_TRUE(Engine.addConstraint(Line).ok());
+    }
+    // Engine dies here with both files behind it.
+  }
+
+  SolverBundle Bundle;
+  Status Load = GraphSnapshot::load(SnapPath, Bundle);
+  ASSERT_TRUE(Load.ok()) << Load;
+  QueryEngine Recovered(std::move(Bundle));
+  ASSERT_TRUE(Recovered.valid()) << Recovered.initError();
+  Expected<WalContents> Contents = WriteAheadLog::replay(WalPath);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  ASSERT_EQ(Contents->Lines, Lines);
+  for (const std::string &Line : Contents->Lines)
+    ASSERT_TRUE(Recovered.addConstraint(Line).ok()) << Line;
+
+  // The recovered graph answers exactly like a fresh solve of the full
+  // constraint sequence.
+  QueryEngine Fresh(makeBundle(chainText(8), Options));
+  for (const std::string &Line : Lines)
+    ASSERT_TRUE(Fresh.addConstraint(Line).ok());
+  EXPECT_EQ(serialized(Recovered.solver()), serialized(Fresh.solver()));
+  EXPECT_EQ(Recovered.pts(Recovered.varOf("C7")),
+            (std::vector<std::string>{"s", "t"}));
+  std::remove(SnapPath.c_str());
+  std::remove(WalPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot save/load under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotFaultTest, FailedAtomicSaveLeavesOldSnapshotIntact) {
+  FailPointGuard Guard;
+  std::string Path = tempPath("atomic.snap");
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+
+  SolverBundle First = makeBundle(chainText(4), Options);
+  ASSERT_TRUE(GraphSnapshot::save(*First.Solver, Path).ok());
+  std::vector<uint8_t> Good;
+  std::string Error;
+  ASSERT_TRUE(readFileBytes(Path, Good, &Error)) << Error;
+
+  // A fault anywhere in the write path must leave the old file untouched
+  // and no stray temp file behind.
+  for (const char *Spec :
+       {"atomic.write=error", "atomic.write=short",
+        "atomic.before_fsync=error", "atomic.before_rename=error"}) {
+    ASSERT_TRUE(FailPoint::armSpec(Spec).ok()) << Spec;
+    SolverBundle Second = makeBundle(chainText(6), Options);
+    Status St = GraphSnapshot::save(*Second.Solver, Path);
+    EXPECT_FALSE(St.ok()) << Spec;
+    EXPECT_EQ(St.code(), ErrorCode::IoError) << Spec;
+    std::vector<uint8_t> Now;
+    ASSERT_TRUE(readFileBytes(Path, Now, &Error)) << Error;
+    EXPECT_EQ(Now, Good) << Spec;
+    std::ifstream Tmp(Path + ".tmp");
+    EXPECT_FALSE(Tmp.good()) << Spec << " left a stray temp file";
+  }
+
+  // And the old snapshot still loads.
+  SolverBundle Bundle;
+  Status Load = GraphSnapshot::load(Path, Bundle);
+  ASSERT_TRUE(Load.ok()) << Load;
+  std::remove(Path.c_str());
+}
+
+TEST(SnapshotFaultTest, LoadFailpointInjectsIoError) {
+  FailPointGuard Guard;
+  std::string Path = tempPath("loadfault.snap");
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  SolverBundle Saved = makeBundle(chainText(4), Options);
+  ASSERT_TRUE(GraphSnapshot::save(*Saved.Solver, Path).ok());
+
+  ASSERT_TRUE(FailPoint::armSpec("snapshot.load=error").ok());
+  SolverBundle Bundle;
+  Status Load = GraphSnapshot::load(Path, Bundle);
+  ASSERT_FALSE(Load.ok());
+  EXPECT_EQ(Load.code(), ErrorCode::IoError);
+  EXPECT_EQ(Bundle.Solver, nullptr);
+
+  // One-shot: the retry succeeds.
+  ASSERT_TRUE(GraphSnapshot::load(Path, Bundle).ok());
+  ASSERT_NE(Bundle.Solver, nullptr);
+  std::remove(Path.c_str());
+}

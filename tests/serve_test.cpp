@@ -31,21 +31,27 @@ using namespace poce::serve;
 
 namespace {
 
-/// A solver with its tables, built by parsing constraint-file text.
+/// A solver bundle built by parsing constraint-file text; hand it to a
+/// QueryEngine with take().
 struct TextSystem {
-  std::unique_ptr<ConstructorTable> Constructors;
-  std::unique_ptr<TermTable> Terms;
-  std::unique_ptr<ConstraintSolver> Solver;
+  SolverBundle Bundle;
   std::string Error;
 
-  TextSystem(const std::string &Text, SolverOptions Options)
-      : Constructors(std::make_unique<ConstructorTable>()),
-        Terms(std::make_unique<TermTable>(*Constructors)),
-        Solver(std::make_unique<ConstraintSolver>(*Terms, Options)) {
+  TextSystem(const std::string &Text, SolverOptions Options) {
+    Bundle.Constructors = std::make_unique<ConstructorTable>();
+    Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
+    Bundle.Solver = std::make_unique<ConstraintSolver>(*Bundle.Terms, Options);
     ConstraintSystemFile System;
-    if (System.parse(Text, &Error))
-      System.emit(*Solver);
+    Status Parsed = System.parse(Text);
+    if (!Parsed) {
+      Error = Parsed.toString();
+      return;
+    }
+    System.emit(*Bundle.Solver);
   }
+
+  ConstraintSolver &solver() { return *Bundle.Solver; }
+  SolverBundle take() { return std::move(Bundle); }
 };
 
 std::string readCorpusFile(const char *Name) {
@@ -60,7 +66,7 @@ TEST(QueryEngineTest, SwapSemantics) {
   TextSystem Sys(readCorpusFile("swap.scs"),
                  makeConfig(GraphForm::Inductive, CycleElim::Online));
   ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
-  QueryEngine Engine(*Sys.Solver);
+  QueryEngine Engine(Sys.take());
   ASSERT_TRUE(Engine.valid()) << Engine.initError();
 
   VarId P = Engine.varOf("P"), Q = Engine.varOf("Q");
@@ -88,7 +94,7 @@ TEST(QueryEngineTest, CacheCountersAndInvalidation) {
                      "b <= Y\n";
   TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
   ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
-  QueryEngine Engine(*Sys.Solver);
+  QueryEngine Engine(Sys.take());
   ASSERT_TRUE(Engine.valid()) << Engine.initError();
   VarId X = Engine.varOf("X"), Y = Engine.varOf("Y");
 
@@ -100,9 +106,10 @@ TEST(QueryEngineTest, CacheCountersAndInvalidation) {
   EXPECT_EQ(Engine.counters().StaleRebuilds, 0u);
 
   // Growing X must invalidate only X's view: Y keeps serving from cache.
-  std::string Error;
-  ASSERT_TRUE(Engine.addConstraint("b <= X", &Error)) << Error;
+  Status Added = Engine.addConstraint("b <= X");
+  ASSERT_TRUE(Added.ok()) << Added;
   EXPECT_EQ(Engine.counters().Additions, 1u);
+  EXPECT_EQ(Engine.journal().size(), 1u);
   EXPECT_EQ(Engine.pts(Y), std::vector<std::string>{"b"});
   EXPECT_EQ(Engine.counters().CacheHits, 2u);
   EXPECT_EQ(Engine.counters().StaleRebuilds, 0u);
@@ -110,17 +117,22 @@ TEST(QueryEngineTest, CacheCountersAndInvalidation) {
   EXPECT_EQ(Engine.counters().StaleRebuilds, 1u);
 
   // Declarations work through the same incremental door.
-  ASSERT_TRUE(Engine.addConstraint("var Z", &Error)) << Error;
-  ASSERT_TRUE(Engine.addConstraint("cons c", &Error)) << Error;
-  ASSERT_TRUE(Engine.addConstraint("c <= Z", &Error)) << Error;
+  ASSERT_TRUE(Engine.addConstraint("var Z").ok());
+  ASSERT_TRUE(Engine.addConstraint("cons c").ok());
+  ASSERT_TRUE(Engine.addConstraint("c <= Z").ok());
   VarId Z = Engine.varOf("Z");
   ASSERT_NE(Z, QueryEngine::NotFound);
   EXPECT_EQ(Engine.pts(Z), std::vector<std::string>{"c"});
 
-  // Malformed and unresolvable lines are rejected without state damage.
-  EXPECT_FALSE(Engine.addConstraint("nope <= X", &Error));
-  EXPECT_FALSE(Engine.addConstraint("var Z", &Error)); // duplicate name
+  // Malformed and unresolvable lines are rejected without state damage,
+  // with the error taxonomy distinguishing parse from precondition.
+  Status Bad = Engine.addConstraint("nope <= X");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.code(), ErrorCode::ParseError);
+  Status Dup = Engine.addConstraint("var Z"); // duplicate name
+  EXPECT_FALSE(Dup.ok());
   EXPECT_EQ(Engine.pts(Z), std::vector<std::string>{"c"});
+  EXPECT_EQ(Engine.journal().size(), 4u); // rejected lines not journaled
 }
 
 TEST(QueryEngineTest, LruEvictionIsBounded) {
@@ -133,7 +145,7 @@ TEST(QueryEngineTest, LruEvictionIsBounded) {
                      "c <= Z\n";
   TextSystem Sys(Text, makeConfig(GraphForm::Standard, CycleElim::None));
   ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
-  QueryEngine Engine(*Sys.Solver, /*CacheCapacity=*/2);
+  QueryEngine Engine(Sys.take(), /*CacheCapacity=*/2);
   ASSERT_TRUE(Engine.valid());
 
   VarId X = Engine.varOf("X"), Y = Engine.varOf("Y"), Z = Engine.varOf("Z");
@@ -246,35 +258,37 @@ void runEquivalence(const SolverOptions &Options, uint64_t ScriptSeed,
   // additions through the warm closure via the query engine.
   TextSystem BaseSys(Script.Base, Options);
   ASSERT_TRUE(BaseSys.Error.empty()) << Context << ": " << BaseSys.Error;
-  BaseSys.Solver->finalize();
+  BaseSys.solver().finalize();
   std::vector<uint8_t> Bytes;
-  std::string Error;
-  ASSERT_TRUE(GraphSnapshot::serialize(*BaseSys.Solver, Bytes, &Error))
-      << Context << ": " << Error;
+  Status Serialized = GraphSnapshot::serialize(BaseSys.solver(), Bytes);
+  ASSERT_TRUE(Serialized.ok()) << Context << ": " << Serialized;
   SolverBundle Bundle;
-  ASSERT_TRUE(
-      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle, &Error))
-      << Context << ": " << Error;
+  Status Loaded = GraphSnapshot::deserialize(Bytes.data(), Bytes.size(),
+                                             Bundle);
+  ASSERT_TRUE(Loaded.ok()) << Context << ": " << Loaded;
 
-  QueryEngine Engine(*Bundle.Solver);
+  QueryEngine Engine(std::move(Bundle));
   ASSERT_TRUE(Engine.valid()) << Context << ": " << Engine.initError();
-  for (const std::string &Line : Script.Additions)
-    ASSERT_TRUE(Engine.addConstraint(Line, &Error))
-        << Context << ": '" << Line << "': " << Error;
+  for (const std::string &Line : Script.Additions) {
+    Status Added = Engine.addConstraint(Line);
+    ASSERT_TRUE(Added.ok()) << Context << ": '" << Line << "': " << Added;
+  }
 
-  expectSolversMatch(*Fresh.Solver, *Bundle.Solver, Context + " (snapshot)");
+  expectSolversMatch(Fresh.solver(), Engine.solver(),
+                     Context + " (snapshot)");
 
   // Same additions against the original in-memory solver (no snapshot in
   // between) — the snapshot must not be what makes them equivalent.
-  QueryEngine Direct(*BaseSys.Solver);
+  QueryEngine Direct(BaseSys.take());
   ASSERT_TRUE(Direct.valid()) << Context;
-  for (const std::string &Line : Script.Additions)
-    ASSERT_TRUE(Direct.addConstraint(Line, &Error))
-        << Context << ": '" << Line << "': " << Error;
-  expectSolversMatch(*Fresh.Solver, *BaseSys.Solver, Context + " (direct)");
+  for (const std::string &Line : Script.Additions) {
+    Status Added = Direct.addConstraint(Line);
+    ASSERT_TRUE(Added.ok()) << Context << ": '" << Line << "': " << Added;
+  }
+  expectSolversMatch(Fresh.solver(), Direct.solver(), Context + " (direct)");
 
   // Query answers agree too.
-  QueryEngine FreshEngine(*Fresh.Solver);
+  QueryEngine FreshEngine(Fresh.take());
   ASSERT_TRUE(FreshEngine.valid()) << Context;
   for (const char *Name : {"x0", "x7", "x29", "y0", "y1"}) {
     VarId F = FreshEngine.varOf(Name), I = Engine.varOf(Name);

@@ -88,6 +88,7 @@ void expectStatsEqual(const SolverStats &A, const SolverStats &B,
   EXPECT_EQ(A.DeltaPropagations, B.DeltaPropagations) << Context;
   EXPECT_EQ(A.PropagationsPruned, B.PropagationsPruned) << Context;
   EXPECT_EQ(A.Aborted, B.Aborted) << Context;
+  EXPECT_EQ(A.Abort, B.Abort) << Context;
 }
 
 /// Full answer-equivalence between an original solver and a loaded one:
@@ -103,9 +104,8 @@ void expectEquivalent(ConstraintSolver &Original, ConstraintSolver &Loaded,
   // loaded solver, which (correctly) grows an unfinalized snapshot by the
   // materialized least-solution bitmaps.
   std::vector<uint8_t> Reserialized;
-  std::string Error;
-  ASSERT_TRUE(GraphSnapshot::serialize(Loaded, Reserialized, &Error))
-      << Context << ": " << Error;
+  Status Reserialize = GraphSnapshot::serialize(Loaded, Reserialized);
+  ASSERT_TRUE(Reserialize.ok()) << Context << ": " << Reserialize;
   EXPECT_EQ(OriginalBytes, Reserialized)
       << Context << ": save(load(save)) is not bit-identical";
 
@@ -133,13 +133,12 @@ void expectEquivalent(ConstraintSolver &Original, ConstraintSolver &Loaded,
 
 void roundTrip(ConstraintSolver &Solver, const std::string &Context) {
   std::vector<uint8_t> Bytes;
-  std::string Error;
-  ASSERT_TRUE(GraphSnapshot::serialize(Solver, Bytes, &Error))
-      << Context << ": " << Error;
+  Status Serialized = GraphSnapshot::serialize(Solver, Bytes);
+  ASSERT_TRUE(Serialized.ok()) << Context << ": " << Serialized;
   SolverBundle Bundle;
-  ASSERT_TRUE(
-      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle, &Error))
-      << Context << ": " << Error;
+  Status Loaded = GraphSnapshot::deserialize(Bytes.data(), Bytes.size(),
+                                             Bundle);
+  ASSERT_TRUE(Loaded.ok()) << Context << ": " << Loaded;
   expectEquivalent(Solver, *Bundle.Solver, Bytes, Context);
 }
 
@@ -156,6 +155,30 @@ TEST(SnapshotTest, RandomSystemsRoundTripAcrossConfigs) {
               Options.configName() +
                   (Options.DiffProp ? "+diffprop" : "-diffprop"));
   }
+}
+
+TEST(SnapshotTest, BudgetOptionsRoundTrip) {
+  // Version 2 carries the resource budgets; they must survive the round
+  // trip bit-for-bit (a recovered server re-arms them from the snapshot).
+  PRNG Rng(0xb1d6);
+  RandomConstraintShape Shape = randomConstraintShape(30, 20, 2.0 / 30, Rng);
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  OwnedSolver Original(Options);
+  workload::emitRandomConstraints(Shape, *Original.Solver);
+  Original.Solver->finalize();
+  Original.Solver->setBudgets(/*DeadlineMs=*/1234, /*MaxEdgeBudget=*/56789,
+                              /*MaxMemBytes=*/1ull << 33);
+
+  std::vector<uint8_t> Bytes;
+  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes).ok());
+  SolverBundle Bundle;
+  Status Loaded =
+      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle);
+  ASSERT_TRUE(Loaded.ok()) << Loaded;
+  EXPECT_EQ(Bundle.Solver->options().DeadlineMs, 1234u);
+  EXPECT_EQ(Bundle.Solver->options().MaxEdgeBudget, 56789u);
+  EXPECT_EQ(Bundle.Solver->options().MaxMemBytes, 1ull << 33);
+  roundTrip(*Original.Solver, "budget options");
 }
 
 TEST(SnapshotTest, UnfinalizedSolverRoundTrips) {
@@ -198,20 +221,22 @@ TEST(SnapshotTest, ScsFileRoundTripsThroughDisk) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
   ConstraintSystemFile System;
-  std::string Error;
-  ASSERT_TRUE(System.parse(Buffer.str(), &Error)) << Error;
+  Status Parsed = System.parse(Buffer.str());
+  ASSERT_TRUE(Parsed.ok()) << Parsed;
 
   OwnedSolver Original(makeConfig(GraphForm::Inductive, CycleElim::Online));
   System.emit(*Original.Solver);
   Original.Solver->finalize();
 
   std::string Path = testing::TempDir() + "poce_snapshot_test.snap";
-  ASSERT_TRUE(GraphSnapshot::save(*Original.Solver, Path, &Error)) << Error;
+  Status Saved = GraphSnapshot::save(*Original.Solver, Path);
+  ASSERT_TRUE(Saved.ok()) << Saved;
   SolverBundle Bundle;
-  ASSERT_TRUE(GraphSnapshot::load(Path, Bundle, &Error)) << Error;
+  Status Loaded = GraphSnapshot::load(Path, Bundle);
+  ASSERT_TRUE(Loaded.ok()) << Loaded;
 
   std::vector<uint8_t> Bytes;
-  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes, &Error));
+  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes).ok());
   expectEquivalent(*Original.Solver, *Bundle.Solver, Bytes, "swap.scs");
   std::remove(Path.c_str());
 }
@@ -229,14 +254,13 @@ TEST(SnapshotTest, LoadedSolverContinuesIdenticallyToOriginal) {
   workload::emitRandomConstraints(Shape, *Original.Solver);
 
   std::vector<uint8_t> Bytes;
-  std::string Error;
-  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes, &Error))
-      << Error;
+  Status Serialized = GraphSnapshot::serialize(*Original.Solver, Bytes);
+  ASSERT_TRUE(Serialized.ok()) << Serialized;
   SolverBundle Bundle;
-  ASSERT_TRUE(
-      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Bundle, &Error))
-      << Error;
-  ConstraintSolver &Loaded = *Bundle.Solver;
+  Status Loaded = GraphSnapshot::deserialize(Bytes.data(), Bytes.size(),
+                                             Bundle);
+  ASSERT_TRUE(Loaded.ok()) << Loaded;
+  ConstraintSolver &LoadedSolver = *Bundle.Solver;
 
   auto Extend = [](ConstraintSolver &S) {
     VarId A = S.freshVar("post_a");
@@ -247,14 +271,14 @@ TEST(SnapshotTest, LoadedSolverContinuesIdenticallyToOriginal) {
     S.addConstraint(S.varExpr(First), S.varExpr(A));
   };
   Extend(*Original.Solver);
-  Extend(Loaded);
+  Extend(LoadedSolver);
 
   Original.Solver->finalize();
-  Loaded.finalize();
+  LoadedSolver.finalize();
   EXPECT_EQ(Original.Solver->referenceLeastSolutions(),
-            Loaded.referenceLeastSolutions());
-  EXPECT_EQ(Original.Solver->dumpGraph(), Loaded.dumpGraph());
-  expectStatsEqual(Original.Solver->stats(), Loaded.stats(),
+            LoadedSolver.referenceLeastSolutions());
+  EXPECT_EQ(Original.Solver->dumpGraph(), LoadedSolver.dumpGraph());
+  expectStatsEqual(Original.Solver->stats(), LoadedSolver.stats(),
                    "post-load continuation");
 }
 
@@ -268,14 +292,13 @@ TEST(SnapshotTest, ThreadCountOnLoadIsPurelyWallClock) {
   Original.Solver->finalize();
 
   std::vector<uint8_t> Bytes;
-  std::string Error;
-  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes, &Error));
+  ASSERT_TRUE(GraphSnapshot::serialize(*Original.Solver, Bytes).ok());
 
   SolverBundle One, Eight;
   ASSERT_TRUE(
-      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), One, &Error));
+      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), One).ok());
   ASSERT_TRUE(
-      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Eight, &Error));
+      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Eight).ok());
   One.Solver->setThreads(1);
   Eight.Solver->setThreads(8);
   One.Solver->materializeAllViews();
@@ -295,8 +318,8 @@ TEST(SnapshotTest, ThreadCountOnLoadIsPurelyWallClock) {
   // differ).
   Eight.Solver->setThreads(1);
   std::vector<uint8_t> FromOne, FromEight;
-  ASSERT_TRUE(GraphSnapshot::serialize(*One.Solver, FromOne, &Error));
-  ASSERT_TRUE(GraphSnapshot::serialize(*Eight.Solver, FromEight, &Error));
+  ASSERT_TRUE(GraphSnapshot::serialize(*One.Solver, FromOne).ok());
+  ASSERT_TRUE(GraphSnapshot::serialize(*Eight.Solver, FromEight).ok());
   EXPECT_EQ(FromOne, FromEight);
 }
 
@@ -313,18 +336,23 @@ TEST(SnapshotTest, RejectsOracleAndAbortedSolvers) {
   ConstraintSolver OracleSolver(Terms, OracleOptions, &Witness);
   workload::emitRandomConstraints(Shape, OracleSolver);
   std::vector<uint8_t> Bytes;
-  std::string Error;
-  EXPECT_FALSE(GraphSnapshot::serialize(OracleSolver, Bytes, &Error));
-  EXPECT_NE(Error.find("oracle"), std::string::npos) << Error;
+  Status OracleStatus = GraphSnapshot::serialize(OracleSolver, Bytes);
+  EXPECT_FALSE(OracleStatus.ok());
+  EXPECT_EQ(OracleStatus.code(), ErrorCode::FailedPrecondition);
+  EXPECT_NE(OracleStatus.message().find("oracle"), std::string::npos)
+      << OracleStatus;
 
   SolverOptions Tiny = makeConfig(GraphForm::Standard, CycleElim::None);
   Tiny.MaxWork = 1;
   OwnedSolver Aborted(Tiny);
   workload::emitRandomConstraints(Shape, *Aborted.Solver);
   ASSERT_TRUE(Aborted.Solver->stats().Aborted);
-  Error.clear();
-  EXPECT_FALSE(GraphSnapshot::serialize(*Aborted.Solver, Bytes, &Error));
-  EXPECT_NE(Error.find("aborted"), std::string::npos) << Error;
+  EXPECT_EQ(Aborted.Solver->stats().Abort, SolverStats::AbortReason::MaxWork);
+  Status AbortedStatus = GraphSnapshot::serialize(*Aborted.Solver, Bytes);
+  EXPECT_FALSE(AbortedStatus.ok());
+  EXPECT_EQ(AbortedStatus.code(), ErrorCode::FailedPrecondition);
+  EXPECT_NE(AbortedStatus.message().find("aborted"), std::string::npos)
+      << AbortedStatus;
 }
 
 //===----------------------------------------------------------------------===//
@@ -342,9 +370,8 @@ protected:
         randomConstraintShape(25, 16, 2.0 / 25, Rng);
     workload::emitRandomConstraints(Shape, *Original->Solver);
     Original->Solver->finalize();
-    std::string Error;
-    ASSERT_TRUE(GraphSnapshot::serialize(*Original->Solver, Bytes, &Error))
-        << Error;
+    Status Serialized = GraphSnapshot::serialize(*Original->Solver, Bytes);
+    ASSERT_TRUE(Serialized.ok()) << Serialized;
   }
 
   std::unique_ptr<OwnedSolver> Original;
@@ -353,14 +380,16 @@ protected:
 
 TEST_F(SnapshotFuzzTest, RejectsGarbageAndBadMagic) {
   SolverBundle Bundle;
-  std::string Error;
-  EXPECT_FALSE(GraphSnapshot::deserialize(nullptr, 0, Bundle, &Error));
-  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+  Status Empty = GraphSnapshot::deserialize(nullptr, 0, Bundle);
+  EXPECT_FALSE(Empty.ok());
+  EXPECT_EQ(Empty.code(), ErrorCode::Corruption);
+  EXPECT_NE(Empty.message().find("truncated"), std::string::npos) << Empty;
 
   std::vector<uint8_t> Garbage(64, 0x5a);
-  EXPECT_FALSE(GraphSnapshot::deserialize(Garbage.data(), Garbage.size(),
-                                          Bundle, &Error));
-  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+  Status Bad = GraphSnapshot::deserialize(Garbage.data(), Garbage.size(),
+                                          Bundle);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("magic"), std::string::npos) << Bad;
 }
 
 TEST_F(SnapshotFuzzTest, ReportsVersionSkewAsSuch) {
@@ -369,21 +398,20 @@ TEST_F(SnapshotFuzzTest, ReportsVersionSkewAsSuch) {
   std::vector<uint8_t> Skewed = Bytes;
   Skewed[8] = 0xff;
   SolverBundle Bundle;
-  std::string Error;
-  EXPECT_FALSE(GraphSnapshot::deserialize(Skewed.data(), Skewed.size(),
-                                          Bundle, &Error));
-  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  Status St = GraphSnapshot::deserialize(Skewed.data(), Skewed.size(),
+                                         Bundle);
+  EXPECT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrorCode::VersionSkew);
+  EXPECT_NE(St.message().find("version"), std::string::npos) << St;
 }
 
 TEST_F(SnapshotFuzzTest, RejectsEveryTruncation) {
   SolverBundle Bundle;
-  std::string Error;
   // Every strict prefix must fail cleanly (sampled stride keeps the test
   // fast; the boundaries near the header are covered exhaustively).
   for (size_t Len = 0; Len < Bytes.size();
        Len += (Len < 64 ? 1 : 37)) {
-    EXPECT_FALSE(
-        GraphSnapshot::deserialize(Bytes.data(), Len, Bundle, &Error))
+    EXPECT_FALSE(GraphSnapshot::deserialize(Bytes.data(), Len, Bundle).ok())
         << "prefix of " << Len << " bytes loaded";
   }
 }
@@ -393,14 +421,13 @@ TEST_F(SnapshotFuzzTest, RejectsEveryByteFlip) {
   // (payload flips trip the checksum; header flips trip magic, version,
   // length, or checksum validation) — and never crash.
   SolverBundle Bundle;
-  std::string Error;
   for (size_t I = 0; I != Bytes.size(); ++I) {
     std::vector<uint8_t> Mutated = Bytes;
     Mutated[I] ^= 0xff;
-    EXPECT_FALSE(GraphSnapshot::deserialize(Mutated.data(), Mutated.size(),
-                                            Bundle, &Error))
-        << "byte flip at offset " << I << " loaded";
-    EXPECT_FALSE(Error.empty());
+    Status St = GraphSnapshot::deserialize(Mutated.data(), Mutated.size(),
+                                           Bundle);
+    EXPECT_FALSE(St.ok()) << "byte flip at offset " << I << " loaded";
+    EXPECT_FALSE(St.message().empty());
   }
 }
 
@@ -423,16 +450,16 @@ TEST_F(SnapshotFuzzTest, RejectsCorruptPayloadEvenWithFixedChecksum) {
       Mutated[12 + static_cast<size_t>(Shift / 8)] =
           static_cast<uint8_t>(Sum >> Shift);
     SolverBundle Bundle;
-    std::string Error;
     // Either the structural validation rejects it, or the mutation
     // happened to produce a different-but-valid snapshot (possible for
     // bytes inside stats counters); what must never happen is a crash or
     // an invariant-violating solver.
-    if (GraphSnapshot::deserialize(Mutated.data(), Mutated.size(), Bundle,
-                                   &Error))
+    Status St = GraphSnapshot::deserialize(Mutated.data(), Mutated.size(),
+                                           Bundle);
+    if (St.ok())
       EXPECT_TRUE(Bundle.Solver->verifyGraphInvariants());
     else
-      EXPECT_FALSE(Error.empty());
+      EXPECT_FALSE(St.message().empty());
   }
 }
 

@@ -8,11 +8,13 @@
 #include "support/ByteStream.h"
 #include "support/DenseU64Map.h"
 #include "support/DenseU64Set.h"
+#include "support/FailPoint.h"
 #include "support/Format.h"
 #include "support/LruCache.h"
 #include "support/PRNG.h"
 #include "support/SmallVector.h"
 #include "support/Statistic.h"
+#include "support/Status.h"
 #include "support/StringInterner.h"
 #include "support/Timer.h"
 #include "support/UnionFind.h"
@@ -20,6 +22,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <unordered_set>
 
@@ -561,6 +565,26 @@ TEST(LruCacheTest, MinimumCapacityIsOne) {
   EXPECT_EQ(Cache.evictions(), 1u);
 }
 
+TEST(LruCacheTest, CapacityOneFullLifecycle) {
+  LruCache<int, int> Cache(1);
+  EXPECT_EQ(Cache.capacity(), 1u);
+  EXPECT_EQ(Cache.get(1), nullptr); // miss on empty
+  Cache.put(1, 10);
+  EXPECT_EQ(*Cache.get(1), 10);
+  Cache.put(1, 11); // overwrite in place, no eviction
+  EXPECT_EQ(*Cache.get(1), 11);
+  EXPECT_EQ(Cache.evictions(), 0u);
+  Cache.put(2, 20); // evicts the sole entry
+  EXPECT_EQ(Cache.get(1), nullptr);
+  EXPECT_EQ(*Cache.get(2), 20);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.erase(2);
+  EXPECT_EQ(Cache.size(), 0u);
+  Cache.put(3, 30); // usable after erase
+  EXPECT_EQ(*Cache.get(3), 30);
+}
+
 //===----------------------------------------------------------------------===//
 // ByteStream
 //===----------------------------------------------------------------------===//
@@ -628,4 +652,229 @@ TEST(ByteStreamTest, Fnv1aIsStableAndSensitive) {
   const uint8_t Flipped[] = {1, 2, 3, 5};
   EXPECT_NE(Sum, fnv1a64(Flipped, sizeof(Flipped)));
   EXPECT_NE(fnv1a64(Data, 3), Sum);
+}
+
+namespace {
+
+/// Disarms every failpoint on scope exit so a failing ASSERT cannot leak
+/// an armed fault into later tests.
+struct FailPointGuard {
+  ~FailPointGuard() { FailPoint::disarmAll(); }
+};
+
+std::string supportTempPath(const std::string &Name) {
+  std::string Path = testing::TempDir() + "poce_support_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+std::vector<uint8_t> somePayload(size_t Size) {
+  std::vector<uint8_t> Buffer(Size);
+  for (size_t I = 0; I != Size; ++I)
+    Buffer[I] = static_cast<uint8_t>(I * 7 + 1);
+  return Buffer;
+}
+
+} // namespace
+
+TEST(ByteStreamFileTest, WriteReadRoundTrip) {
+  std::string Path = supportTempPath("roundtrip.bin");
+  std::vector<uint8_t> Payload = somePayload(1000);
+  std::string Error;
+  ASSERT_TRUE(writeFileBytes(Path, Payload, &Error)) << Error;
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, Payload);
+  std::remove(Path.c_str());
+}
+
+TEST(ByteStreamFileTest, ReadMissingFileFails) {
+  std::vector<uint8_t> Buffer;
+  std::string Error;
+  EXPECT_FALSE(
+      readFileBytes(supportTempPath("never_written.bin"), Buffer, &Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+}
+
+TEST(ByteStreamFileTest, ShortWriteLeavesTruncatedFile) {
+  // writeFileBytes is the NOT-crash-safe primitive: a short write leaves
+  // a truncated file in place — the hazard writeFileAtomic exists for.
+  FailPointGuard Guard;
+  std::string Path = supportTempPath("short.bin");
+  std::vector<uint8_t> Payload = somePayload(1000);
+  ASSERT_TRUE(FailPoint::armSpec("bytestream.write=short").ok());
+  std::string Error;
+  EXPECT_FALSE(writeFileBytes(Path, Payload, &Error));
+  EXPECT_NE(Error.find("short write"), std::string::npos);
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back.size(), Payload.size() / 2);
+
+  // Error mode fails before the file is even opened.
+  ASSERT_TRUE(FailPoint::armSpec("bytestream.write=error").ok());
+  EXPECT_FALSE(writeFileBytes(Path, Payload, &Error));
+  EXPECT_NE(Error.find("bytestream.write"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ByteStreamFileTest, AtomicWriteReplacesOrPreservesNeverTears) {
+  FailPointGuard Guard;
+  std::string Path = supportTempPath("atomic.bin");
+  std::vector<uint8_t> Old = somePayload(100);
+  ASSERT_TRUE(writeFileAtomic(Path, Old).ok());
+  std::vector<uint8_t> Back;
+  std::string Error;
+  ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, Old);
+
+  // Any injected fault leaves the previous contents intact and cleans up
+  // the temp file.
+  std::vector<uint8_t> New = somePayload(300);
+  for (const char *Spec :
+       {"atomic.write=error", "atomic.write=short",
+        "atomic.before_fsync=error", "atomic.before_rename=error"}) {
+    ASSERT_TRUE(FailPoint::armSpec(Spec).ok()) << Spec;
+    Status St = writeFileAtomic(Path, New);
+    EXPECT_FALSE(St.ok()) << Spec;
+    EXPECT_EQ(St.code(), ErrorCode::IoError) << Spec;
+    ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+    EXPECT_EQ(Back, Old) << Spec;
+    std::ifstream Tmp(Path + ".tmp");
+    EXPECT_FALSE(Tmp.good()) << Spec << " left a stray temp file";
+  }
+
+  // With faults disarmed the replacement goes through whole.
+  ASSERT_TRUE(writeFileAtomic(Path, New).ok());
+  ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, New);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Status / Expected
+//===----------------------------------------------------------------------===//
+
+TEST(StatusTest, DefaultIsOk) {
+  Status St;
+  EXPECT_TRUE(St.ok());
+  EXPECT_TRUE(static_cast<bool>(St));
+  EXPECT_EQ(St.code(), ErrorCode::Ok);
+  EXPECT_EQ(St.toString(), "ok");
+  EXPECT_EQ(St.wire(), "ok");
+  EXPECT_TRUE(Status().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status St = Status::error(ErrorCode::NotFound, "no such thing");
+  EXPECT_FALSE(St.ok());
+  EXPECT_FALSE(static_cast<bool>(St));
+  EXPECT_EQ(St.code(), ErrorCode::NotFound);
+  EXPECT_EQ(St.message(), "no such thing");
+  EXPECT_EQ(St.toString(), "not_found: no such thing");
+  EXPECT_EQ(St.wire(), "not_found no such thing");
+}
+
+TEST(StatusTest, WireCodesAreStableSnakeCase) {
+  // These strings are the serve protocol's error codes; renaming one is a
+  // wire-format break.
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument), "invalid_argument");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ParseError), "parse_error");
+  EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io_error");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Corruption), "corruption");
+  EXPECT_STREQ(errorCodeName(ErrorCode::VersionSkew), "version_skew");
+  EXPECT_STREQ(errorCodeName(ErrorCode::NotFound), "not_found");
+  EXPECT_STREQ(errorCodeName(ErrorCode::TooLarge), "too_large");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BudgetExceeded), "budget_exceeded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::FailedPrecondition),
+               "failed_precondition");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status St = Status::error(ErrorCode::IoError, "fsync failed")
+                  .withContext("saving snapshot")
+                  .withContext("checkpoint");
+  EXPECT_EQ(St.code(), ErrorCode::IoError);
+  EXPECT_EQ(St.message(), "checkpoint: saving snapshot: fsync failed");
+  // No-op on success.
+  EXPECT_TRUE(Status().withContext("ignored").ok());
+}
+
+TEST(StatusTest, ErrorWithOkCodeCoercesToInternal) {
+  // error() must never manufacture a "successful failure".
+  Status St = Status::error(ErrorCode::Ok, "mislabelled");
+  EXPECT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrorCode::Internal);
+}
+
+TEST(ExpectedTest, HoldsValueOrStatus) {
+  Expected<int> Good(42);
+  ASSERT_TRUE(Good.ok());
+  EXPECT_EQ(Good.value(), 42);
+  EXPECT_EQ(*Good, 42);
+  EXPECT_TRUE(Good.status().ok());
+
+  Expected<int> Bad(Status::error(ErrorCode::ParseError, "nope"));
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), ErrorCode::ParseError);
+
+  Expected<std::string> Str(std::string("hello"));
+  EXPECT_EQ(Str->size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// FailPoint
+//===----------------------------------------------------------------------===//
+
+TEST(FailPointTest, OffByDefault) {
+  EXPECT_EQ(FailPoint::armedCount(), 0u);
+  EXPECT_EQ(FailPoint::hit("some.site"), FailPoint::Mode::Off);
+}
+
+TEST(FailPointTest, ArmedOneShotFiresOnceThenDisarms) {
+  FailPointGuard Guard;
+  ASSERT_TRUE(FailPoint::armSpec("site.a=error").ok());
+  EXPECT_EQ(FailPoint::armedCount(), 1u);
+  EXPECT_EQ(FailPoint::hit("site.other"), FailPoint::Mode::Off);
+  EXPECT_EQ(FailPoint::hit("site.a"), FailPoint::Mode::Error);
+  // Fired and disarmed: subsequent hits pass.
+  EXPECT_EQ(FailPoint::hit("site.a"), FailPoint::Mode::Off);
+  EXPECT_EQ(FailPoint::armedCount(), 0u);
+}
+
+TEST(FailPointTest, NthHitCounting) {
+  FailPointGuard Guard;
+  ASSERT_TRUE(FailPoint::armSpec("site.n=short@3").ok());
+  EXPECT_EQ(FailPoint::hit("site.n"), FailPoint::Mode::Off);
+  EXPECT_EQ(FailPoint::hit("site.n"), FailPoint::Mode::Off);
+  EXPECT_EQ(FailPoint::hit("site.n"), FailPoint::Mode::Short);
+  EXPECT_EQ(FailPoint::hit("site.n"), FailPoint::Mode::Off);
+}
+
+TEST(FailPointTest, MultipleEntriesAndDisarmAll) {
+  FailPointGuard Guard;
+  ASSERT_TRUE(FailPoint::armSpec("site.a=error,site.b=short@2").ok());
+  EXPECT_EQ(FailPoint::armedCount(), 2u);
+  FailPoint::disarmAll();
+  EXPECT_EQ(FailPoint::armedCount(), 0u);
+  EXPECT_EQ(FailPoint::hit("site.a"), FailPoint::Mode::Off);
+}
+
+TEST(FailPointTest, MalformedSpecsArmNothing) {
+  FailPointGuard Guard;
+  for (const char *Bad : {"nosuchmode", "site.a=frobnicate", "site.a=",
+                          "=error", "site.a=error@", "site.a=error@zero",
+                          "site.a=error@0"}) {
+    Status St = FailPoint::armSpec(Bad);
+    EXPECT_FALSE(St.ok()) << Bad;
+    EXPECT_EQ(St.code(), ErrorCode::InvalidArgument) << Bad;
+    EXPECT_EQ(FailPoint::armedCount(), 0u) << Bad;
+  }
+}
+
+TEST(FailPointTest, InjectedErrorNamesTheSite) {
+  Status St = FailPoint::injectedError("wal.append.pre");
+  EXPECT_EQ(St.code(), ErrorCode::IoError);
+  EXPECT_NE(St.message().find("wal.append.pre"), std::string::npos);
 }
