@@ -170,6 +170,150 @@ grep -Eq '^(ok added|err budget_exceeded)' "$WORK/deadline.out" ||
 grep -q "ok bye" "$WORK/deadline.out" ||
   fail "deadline: server died after the deadlined add"
 
+# Crash between the checkpoint's snapshot rename and the WAL reset: the
+# new snapshot is durable but the WAL still holds the acknowledged lines
+# stamped with the OLD base id. Recovery must recognize the log as stale
+# (its records are already contained in the renamed snapshot), skip it
+# instead of double-applying, and end up bit-identical to an oracle that
+# feeds the same lines to the ORIGINAL base.
+CKPT_SNAP="$WORK/ckpt_reset.snap" CKPT_WAL="$WORK/ckpt_reset.wal"
+cp "$BASE" "$CKPT_SNAP"
+set +e
+POCE_FAILPOINTS="checkpoint.before_wal_reset=crash@1" \
+  "$SCSERVED" --snapshot="$CKPT_SNAP" --wal="$CKPT_WAL" \
+  > "$WORK/ckpt_reset.out" 2> "$WORK/ckpt_reset.err" << EOF
+add var Z
+add P <= Z
+checkpoint
+EOF
+code=$?
+set -e
+[ "$code" -eq 137 ] || fail "ckpt_reset: expected crash exit 137, got $code"
+[ "$(grep -c '^ok added$' "$WORK/ckpt_reset.out")" -eq 2 ] ||
+  fail "ckpt_reset: both adds should have been acknowledged pre-crash"
+grep -q "^ok checkpoint" "$WORK/ckpt_reset.out" &&
+  fail "ckpt_reset: checkpoint must not have been acknowledged"
+# The acked lines are still durable (stale, but intact) in the WAL.
+"$SCSERVED" --dump-wal="$CKPT_WAL" > "$WORK/ckpt_reset.wal_lines"
+grep -qxF "var Z" "$WORK/ckpt_reset.wal_lines" &&
+  grep -qxF "P <= Z" "$WORK/ckpt_reset.wal_lines" ||
+  fail "ckpt_reset: acknowledged lines lost from the stale WAL"
+# Recovery: the stale log is skipped, not replayed; the acked lines'
+# effects are served from the renamed snapshot (P <= Z flooded P's
+# points-to set into Z), and the state is bit-identical to recovering
+# with no WAL at all — the semantics of "stale log == already applied".
+"$SCSERVED" --snapshot="$CKPT_SNAP" --wal="$CKPT_WAL" \
+  > "$WORK/ckpt_reset.rec.out" 2> "$WORK/ckpt_reset.rec.err" << EOF
+pts Z
+add var W
+save $WORK/ckpt_reset.recovered.snap
+quit
+EOF
+grep -q "^ok ready.*wal_replayed=0 wal_skipped=2" "$WORK/ckpt_reset.rec.out" ||
+  fail "ckpt_reset: recovery did not skip exactly the 2 stale lines"
+grep -q "stale" "$WORK/ckpt_reset.rec.err" ||
+  fail "ckpt_reset: recovery did not warn about the stale WAL"
+grep -q "ok { nx, ny }" "$WORK/ckpt_reset.rec.out" ||
+  fail "ckpt_reset: the acknowledged adds' effects were lost"
+grep -q "^ok added$" "$WORK/ckpt_reset.rec.out" ||
+  fail "ckpt_reset: recovered server refused a fresh add"
+grep -q "ok saved" "$WORK/ckpt_reset.rec.out" ||
+  fail "ckpt_reset: recovered server could not snapshot"
+{
+  echo "pts Z"
+  echo "add var W"
+  echo "save $WORK/ckpt_reset.oracle.snap"
+  echo "quit"
+} | "$SCSERVED" --snapshot="$CKPT_SNAP" > "$WORK/ckpt_reset.oracle.out"
+grep -q "ok saved" "$WORK/ckpt_reset.oracle.out" ||
+  fail "ckpt_reset: oracle session failed"
+cmp -s "$WORK/ckpt_reset.recovered.snap" "$WORK/ckpt_reset.oracle.snap" ||
+  fail "ckpt_reset: recovering with the stale WAL differs from recovering without it"
+# The re-stamped WAL now holds only the post-recovery add.
+"$SCSERVED" --dump-wal="$CKPT_WAL" > "$WORK/ckpt_reset.wal_after"
+[ "$(cat "$WORK/ckpt_reset.wal_after")" = "var W" ] ||
+  fail "ckpt_reset: restamped WAL should hold exactly the fresh add"
+echo "crash_recovery: ckpt_reset OK (stale lines skipped, state intact)"
+
+# The same window without a crash: a checkpoint that fails after the
+# snapshot rename must disable the WAL (no ack may land in a log that
+# restart will discard) while queries keep serving, and a restart must
+# recover cleanly.
+DEG_SNAP="$WORK/degraded.snap" DEG_WAL="$WORK/degraded.wal"
+cp "$BASE" "$DEG_SNAP"
+POCE_FAILPOINTS="checkpoint.before_wal_reset=error" \
+  "$SCSERVED" --snapshot="$DEG_SNAP" --wal="$DEG_WAL" \
+  > "$WORK/degraded.out" 2> "$WORK/degraded.err" << EOF
+add var Z
+checkpoint
+add var W
+checkpoint
+pts P
+quit
+EOF
+grep -q "err io_error" "$WORK/degraded.out" ||
+  fail "degraded: injected checkpoint fault did not surface"
+grep -q "err failed_precondition" "$WORK/degraded.out" ||
+  fail "degraded: add/checkpoint were not refused after WAL disable"
+grep -q "^ok added$" "$WORK/degraded.out" || fail "degraded: first add failed"
+grep -q "ok { nx, ny }" "$WORK/degraded.out" ||
+  fail "degraded: queries stopped serving in degraded mode"
+grep -q "disabling WAL" "$WORK/degraded.err" ||
+  fail "degraded: no disable notice on stderr"
+"$SCSERVED" --snapshot="$DEG_SNAP" --wal="$DEG_WAL" \
+  > "$WORK/degraded.rec.out" 2> "$WORK/degraded.rec.err" << EOF
+ls Z
+quit
+EOF
+grep -q "^ok ready.*wal_skipped=1" "$WORK/degraded.rec.out" ||
+  fail "degraded: restart did not skip the stale WAL line"
+grep -q "^ok {" "$WORK/degraded.rec.out" ||
+  fail "degraded: the acked variable Z was lost across restart"
+echo "crash_recovery: degraded OK (WAL disabled, restart recovered)"
+
+# A WAL file shorter than its header (crash during creation, or an
+# operator's `: > wal`) holds no acknowledged record; the server must
+# start it over instead of refusing to boot.
+for torn in "" "POCE"; do
+  TH_SNAP="$WORK/tornhdr.snap" TH_WAL="$WORK/tornhdr.wal"
+  cp "$BASE" "$TH_SNAP"
+  printf '%s' "$torn" > "$TH_WAL"
+  "$SCSERVED" --snapshot="$TH_SNAP" --wal="$TH_WAL" \
+    > "$WORK/tornhdr.out" 2> "$WORK/tornhdr.err" << EOF
+add var Z
+quit
+EOF
+  grep -q "^ok ready" "$WORK/tornhdr.out" ||
+    fail "tornhdr: server refused to start on a torn WAL header"
+  grep -q "^ok added$" "$WORK/tornhdr.out" ||
+    fail "tornhdr: add failed after the header rewrite"
+  "$SCSERVED" --dump-wal="$TH_WAL" > "$WORK/tornhdr.wal_lines"
+  [ "$(cat "$WORK/tornhdr.wal_lines")" = "var Z" ] ||
+    fail "tornhdr: rewritten WAL should hold exactly the fresh add"
+done
+echo "crash_recovery: tornhdr OK (torn header rewritten)"
+
+# Validation before durability: a line that cannot apply is rejected
+# before the WAL append, so no crash window can ever make an
+# unreplayable line durable.
+VAL_SNAP="$WORK/validate.snap" VAL_WAL="$WORK/validate.wal"
+cp "$BASE" "$VAL_SNAP"
+"$SCSERVED" --snapshot="$VAL_SNAP" --wal="$VAL_WAL" \
+  > "$WORK/validate.out" << EOF
+add this is !! garbage
+add var P
+add undeclared <= P
+add var Z
+quit
+EOF
+[ "$(grep -c '^err parse_error' "$WORK/validate.out")" -eq 3 ] ||
+  fail "validate: the three bad lines were not all rejected"
+grep -q "^ok added$" "$WORK/validate.out" || fail "validate: good add failed"
+"$SCSERVED" --dump-wal="$VAL_WAL" > "$WORK/validate.wal_lines"
+[ "$(cat "$WORK/validate.wal_lines")" = "var Z" ] ||
+  fail "validate: a rejected line reached the WAL"
+echo "crash_recovery: validate OK (only applicable lines become durable)"
+
 # An injected snapshot-save fault fails the request, not the process, and
 # leaves no file behind.
 POCE_FAILPOINTS="snapshot.save=error" \

@@ -16,12 +16,16 @@
 ///   scserved --config=if-online system.scs
 ///
 /// Fault tolerance (see INTERNALS.md for the recovery invariant):
-///   - With --wal, every accepted `add` line is appended (and fsynced) to
-///     the write-ahead log *before* it is applied, so `ok added` implies
-///     the line is durable. On restart the server replays the WAL on top
-///     of the snapshot, which reconstructs exactly the acknowledged
-///     state; a torn tail from a crash mid-append is detected by
-///     checksum and truncated.
+///   - With --wal, every accepted `add` line is validated (dry-run parse)
+///     and then appended (and fsynced) to the write-ahead log *before* it
+///     is applied, so `ok added` implies the line is durable and will
+///     replay cleanly. On restart the server replays the WAL on top of
+///     the snapshot, which reconstructs exactly the acknowledged state; a
+///     torn tail from a crash mid-append is detected by checksum and
+///     truncated, and a WAL whose base id does not match the snapshot
+///     (a checkpoint interrupted between the snapshot rename and the WAL
+///     reset) is recognized as stale and skipped — its records are
+///     already contained in the snapshot.
 ///   - --deadline-ms / --edge-budget / --max-mem-mb bound each `add`'s
 ///     closure. A breach aborts the batch, rolls the graph back to the
 ///     pre-line state, and answers `err budget_exceeded ...`; the server
@@ -128,7 +132,10 @@ int dumpWal(const std::string &Path) {
   }
   for (const std::string &Line : Contents->Lines)
     std::printf("%s\n", Line.c_str());
-  if (Contents->TornBytes)
+  if (!Contents->HeaderIntact)
+    std::fprintf(stderr, "scserved: note: torn WAL header (crash during "
+                         "creation); the log is empty\n");
+  else if (Contents->TornBytes)
     std::fprintf(stderr, "scserved: note: %llu torn trailing bytes ignored\n",
                  static_cast<unsigned long long>(Contents->TornBytes));
   return 0;
@@ -193,13 +200,17 @@ int main(int Argc, char **Argv) {
   }
 
   SolverBundle Bundle;
+  // The WAL's base id: the loaded snapshot's payload checksum, or 0 when
+  // the base is a fresh .scs solve. A WAL stamped with a different id
+  // does not extend this base (see serve/Wal.h).
+  uint64_t SnapBase = 0;
   if (!Snapshot.empty()) {
     if (!Cmd.positionals().empty()) {
       std::fprintf(stderr,
                    "scserved: --snapshot and a .scs file are exclusive\n");
       return 1;
     }
-    Status Loaded = GraphSnapshot::load(Snapshot, Bundle);
+    Status Loaded = GraphSnapshot::load(Snapshot, Bundle, &SnapBase);
     if (!Loaded) {
       std::fprintf(stderr, "scserved: %s\n", Loaded.toString().c_str());
       return 1;
@@ -257,27 +268,53 @@ int main(int Argc, char **Argv) {
   // a snapshot saved with budgets armed must not re-abort here). open()
   // afterwards truncates any torn tail so appends resume cleanly.
   WriteAheadLog Wal;
+  const bool WalArmed = !WalPath.empty();
   uint64_t WalReplayed = 0;
-  if (!WalPath.empty()) {
+  uint64_t WalSkipped = 0;
+  if (WalArmed) {
     Expected<WalContents> Recovered = WriteAheadLog::replay(WalPath);
     if (!Recovered.ok()) {
       std::fprintf(stderr, "scserved: %s\n",
                    Recovered.status().toString().c_str());
       return 1;
     }
-    Engine.solver().setBudgets(0, 0, 0);
-    for (const std::string &ReplayLine : Recovered->Lines) {
-      Status Applied = Engine.addConstraint(ReplayLine);
-      if (!Applied) {
-        std::fprintf(stderr,
-                     "scserved: WAL replay failed (log does not extend "
-                     "this snapshot?): %s\n",
-                     Applied.toString().c_str());
-        return 1;
+    if (!Recovered->HeaderIntact) {
+      std::fprintf(stderr,
+                   "scserved: note: WAL '%s' has a torn header (crash "
+                   "during creation); no record was acknowledged, "
+                   "starting it over\n",
+                   WalPath.c_str());
+    } else if (Recovered->BaseId != SnapBase &&
+               !Recovered->Lines.empty()) {
+      // A checkpoint crashed between the snapshot rename and the WAL
+      // reset: every record in the log is already contained in the
+      // renamed snapshot. Replaying them would double-apply (and fail on
+      // re-declarations), so skip the log and re-stamp it below.
+      WalSkipped = Recovered->Lines.size();
+      std::fprintf(stderr,
+                   "scserved: note: WAL '%s' is stale (base id %llx does "
+                   "not match the snapshot's %llx; an interrupted "
+                   "checkpoint left it behind); skipping %llu line(s) "
+                   "already contained in the snapshot\n",
+                   WalPath.c_str(),
+                   static_cast<unsigned long long>(Recovered->BaseId),
+                   static_cast<unsigned long long>(SnapBase),
+                   static_cast<unsigned long long>(WalSkipped));
+    } else {
+      Engine.solver().setBudgets(0, 0, 0);
+      for (const std::string &ReplayLine : Recovered->Lines) {
+        Status Applied = Engine.addConstraint(ReplayLine);
+        if (!Applied) {
+          std::fprintf(stderr,
+                       "scserved: WAL replay failed (log does not extend "
+                       "this snapshot?): %s\n",
+                       Applied.toString().c_str());
+          return 1;
+        }
+        ++WalReplayed;
       }
-      ++WalReplayed;
     }
-    Status Opened = Wal.open(WalPath);
+    Status Opened = Wal.open(WalPath, SnapBase);
     if (!Opened) {
       std::fprintf(stderr, "scserved: %s\n", Opened.toString().c_str());
       return 1;
@@ -297,15 +334,22 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::printf("ok ready config=%s vars=%u live=%u wal_replayed=%llu\n",
+  std::printf("ok ready config=%s vars=%u live=%u wal_replayed=%llu "
+              "wal_skipped=%llu\n",
               Engine.solver().options().configName().c_str(), Engine.solver().numVars(),
               Engine.solver().numLiveVars(),
-              static_cast<unsigned long long>(WalReplayed));
+              static_cast<unsigned long long>(WalReplayed),
+              static_cast<unsigned long long>(WalSkipped));
   std::fflush(stdout);
 
   uint64_t Checkpoints = 0;
   uint64_t AddsSinceCheckpoint = 0;
+  // Query latencies for the percentile report, bounded to the most recent
+  // samples so a long-running server neither grows without limit nor
+  // sorts an ever-larger vector in `counters`.
+  constexpr size_t LatencyCap = 64 * 1024;
   std::vector<uint64_t> LatencyMicros;
+  size_t LatencyNext = 0;
   auto Reply = [](const std::string &Line) {
     std::fputs(Line.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -321,9 +365,11 @@ int main(int Argc, char **Argv) {
   };
 
   // Atomic snapshot write shared by `save` and `checkpoint`; returns the
-  // byte count through \p SizeOut.
-  auto SaveSnapshot = [&](const std::string &Path,
-                          size_t &SizeOut) -> Status {
+  // byte count and the serialized payload checksum (the would-be WAL
+  // base id; set as soon as serialization succeeds, even if the write
+  // then fails) through the out-params.
+  auto SaveSnapshot = [&](const std::string &Path, size_t &SizeOut,
+                          uint64_t &ChecksumOut) -> Status {
     if (FailPoint::hit("snapshot.save") != FailPoint::Mode::Off)
       return FailPoint::injectedError("snapshot.save");
     std::vector<uint8_t> Bytes;
@@ -331,22 +377,74 @@ int main(int Argc, char **Argv) {
     if (!Serialized)
       return Serialized;
     SizeOut = Bytes.size();
+    ChecksumOut = GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
     return writeFileAtomic(Path, Bytes);
   };
 
+  // Once a checkpoint has renamed a new snapshot into place, the open
+  // WAL is stale: its records are contained in the snapshot, and its
+  // base id no longer matches. Recovery handles that (the mismatch makes
+  // it skip the log), but a RUNNING server must not keep acknowledging
+  // into a log that restart will discard — so any post-rename checkpoint
+  // failure disables the WAL and `add`/`checkpoint` refuse until
+  // restart, while queries keep serving. WalArmed && !Wal.isOpen() is
+  // the degraded state.
+  auto DisableWal = [&](const std::string &Why) {
+    if (!Wal.isOpen())
+      return;
+    std::fprintf(stderr,
+                 "scserved: disabling WAL '%s' (%s); add/checkpoint are "
+                 "refused until restart, which recovers cleanly\n",
+                 WalPath.c_str(), Why.c_str());
+    Wal.close();
+  };
+
+  // The snapshot's on-disk payload checksum, or 0 if unreadable.
+  auto SnapshotFileChecksum = [](const std::string &Path) -> uint64_t {
+    std::vector<uint8_t> Bytes;
+    std::string Error;
+    if (!readFileBytes(Path, Bytes, &Error))
+      return 0;
+    return GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
+  };
+
   auto Checkpoint = [&](const std::string &Path) -> Status {
+    if (WalArmed && !Wal.isOpen())
+      return Status::error(ErrorCode::FailedPrecondition,
+                           "WAL is disabled after a failed checkpoint; "
+                           "restart to recover");
     size_t Bytes = 0;
-    Status Saved = SaveSnapshot(Path, Bytes);
-    if (!Saved)
+    uint64_t NewBase = 0;
+    Status Saved = SaveSnapshot(Path, Bytes, NewBase);
+    if (!Saved) {
+      // writeFileAtomic can fail after the rename (directory fsync): if
+      // the new snapshot actually landed, the WAL no longer extends the
+      // base under our feet.
+      if (NewBase != 0 && SnapshotFileChecksum(Path) == NewBase)
+        DisableWal("the new snapshot was renamed into place but the "
+                   "checkpoint failed");
       return Saved.withContext("checkpoint");
+    }
+    // The new snapshot is durable; the crash window between here and the
+    // WAL reset is covered by the base id (recovery sees the mismatch
+    // and skips the stale log), and the failpoint lets the harness land
+    // exactly inside it.
+    Status St;
+    if (FailPoint::hit("checkpoint.before_wal_reset") != FailPoint::Mode::Off)
+      St = FailPoint::injectedError("checkpoint.before_wal_reset");
+    if (St.ok() && Wal.isOpen())
+      St = Wal.reset(NewBase);
+    if (!St.ok()) {
+      DisableWal("the snapshot was checkpointed but the WAL reset "
+                 "failed: " + St.message());
+      return St.withContext("checkpoint");
+    }
+    // A checkpointBase failure is benign for durability: the engine just
+    // keeps its older rollback base plus the full journal, which still
+    // restores the current state; the WAL stays live.
     Status Based = Engine.checkpointBase();
     if (!Based)
       return Based.withContext("checkpoint");
-    if (Wal.isOpen()) {
-      Status Reset = Wal.reset();
-      if (!Reset)
-        return Reset.withContext("checkpoint");
-    }
     ++Checkpoints;
     AddsSinceCheckpoint = 0;
     return Status();
@@ -413,10 +511,32 @@ int main(int Argc, char **Argv) {
         continue;
       }
       size_t Bytes = 0;
-      Status Saved = SaveSnapshot(Req.Arg1, Bytes);
+      uint64_t Checksum = 0;
+      Status Saved = SaveSnapshot(Req.Arg1, Bytes, Checksum);
       if (!Saved) {
         ReplyErr(Saved);
         continue;
+      }
+      // Saving over the startup snapshot (under whatever spelling of its
+      // path) makes the open WAL stale: every record is contained in the
+      // file just written. Promote the save to a checkpoint so restart
+      // and the live server agree on what the WAL extends.
+      if (Wal.isOpen() && !Snapshot.empty() &&
+          SnapshotFileChecksum(Snapshot) == Checksum) {
+        Status Reset = Wal.reset(Checksum);
+        if (!Reset) {
+          DisableWal("the save replaced the startup snapshot but the "
+                     "WAL reset failed: " + Reset.message());
+          ReplyErr(Reset.withContext("save"));
+          continue;
+        }
+        Status Based = Engine.checkpointBase();
+        if (!Based) {
+          ReplyErr(Based.withContext("save"));
+          continue;
+        }
+        ++Checkpoints;
+        AddsSinceCheckpoint = 0;
       }
       Reply("ok saved " + Req.Arg1 + " (" + std::to_string(Bytes) +
             " bytes)");
@@ -443,10 +563,25 @@ int main(int Argc, char **Argv) {
                                "add needs a constraint-file line"));
         continue;
       }
-      // Durability before application: once the append returns, a crash
-      // at any later point leaves the line in the WAL, so `ok added`
-      // implies it survives recovery. A rejected line is erased again so
-      // the log only ever contains applicable lines.
+      if (WalArmed && !Wal.isOpen()) {
+        ReplyErr(Status::error(ErrorCode::FailedPrecondition,
+                               "WAL is disabled after a failed "
+                               "checkpoint; restart to recover"));
+        continue;
+      }
+      // Validation before durability, durability before application: a
+      // line reaches the WAL only after a dry-run parse proves it would
+      // apply cleanly (so a crash right after the fsync can never leave
+      // an unreplayable line durable), and once the append returns, a
+      // crash at any later point leaves the line in the WAL, so
+      // `ok added` implies it survives recovery. The only post-append
+      // rejection left is a budget breach, whose line is erased again so
+      // the log only ever contains accepted lines.
+      Status Checked = Engine.checkConstraint(Req.Rest);
+      if (!Checked) {
+        ReplyErr(Checked);
+        continue;
+      }
       uint64_t WalMark = Wal.sizeBytes();
       if (Wal.isOpen()) {
         Status Logged = Wal.append(Req.Rest);
@@ -503,9 +638,15 @@ int main(int Argc, char **Argv) {
         Response = "ok " + joinSet(Engine.pts(X));
       }
       auto Elapsed = std::chrono::steady_clock::now() - Start;
-      LatencyMicros.push_back(static_cast<uint64_t>(
+      uint64_t Micros = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(Elapsed)
-              .count()));
+              .count());
+      if (LatencyMicros.size() < LatencyCap) {
+        LatencyMicros.push_back(Micros);
+      } else {
+        LatencyMicros[LatencyNext] = Micros;
+        LatencyNext = (LatencyNext + 1) % LatencyCap;
+      }
       Reply(Response);
       continue;
     }

@@ -635,13 +635,27 @@ Status GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   return Status();
 }
 
-Status GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle) {
+uint64_t GraphSnapshot::payloadChecksum(const uint8_t *Data, size_t Size) {
+  if (Size < HeaderSize)
+    return 0;
+  const uint8_t *P = Data + sizeof(Magic) + 4;
+  uint64_t Value = 0;
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Value |= static_cast<uint64_t>(*P++) << Shift;
+  return Value;
+}
+
+Status GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle,
+                           uint64_t *ChecksumOut) {
   if (FailPoint::hit("snapshot.load") == FailPoint::Mode::Error)
     return FailPoint::injectedError("snapshot.load");
   std::vector<uint8_t> Buffer;
   std::string Error;
   if (!readFileBytes(Path, Buffer, &Error))
     return Status::error(ErrorCode::IoError, Error);
-  return deserialize(Buffer.data(), Buffer.size(), Bundle)
-      .withContext("loading '" + Path + "'");
+  Status St = deserialize(Buffer.data(), Buffer.size(), Bundle)
+                  .withContext("loading '" + Path + "'");
+  if (St.ok() && ChecksumOut)
+    *ChecksumOut = payloadChecksum(Buffer.data(), Buffer.size());
+  return St;
 }

@@ -82,8 +82,17 @@ public:
   static Status deserialize(const uint8_t *Data, size_t Size,
                             SolverBundle &Bundle);
 
+  /// The payload checksum stored in a snapshot header (0 if \p Size is
+  /// shorter than one). This is the snapshot's durable identity — the
+  /// WAL stamps it as its base id so recovery can tell whether a log
+  /// extends the snapshot beside it (see serve/Wal.h).
+  static uint64_t payloadChecksum(const uint8_t *Data, size_t Size);
+
   /// Read \p Path + deserialize(). Failpoint: `snapshot.load` (error).
-  static Status load(const std::string &Path, SolverBundle &Bundle);
+  /// On success \p ChecksumOut (if non-null) receives the file's
+  /// payloadChecksum().
+  static Status load(const std::string &Path, SolverBundle &Bundle,
+                     uint64_t *ChecksumOut = nullptr);
 };
 
 } // namespace serve

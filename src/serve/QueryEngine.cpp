@@ -108,6 +108,13 @@ bool QueryEngine::alias(VarId X, VarId Y) {
   return Solver.leastSolutionBits(X).intersects(Solver.leastSolutionBits(Y));
 }
 
+Status QueryEngine::checkConstraint(const std::string &Line) const {
+  if (!Valid)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "engine is invalid: " + InitError);
+  return System.checkLine(Line, *Bundle.Solver);
+}
+
 Status QueryEngine::addConstraint(const std::string &Line) {
   if (!Valid)
     return Status::error(ErrorCode::FailedPrecondition,

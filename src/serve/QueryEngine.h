@@ -105,6 +105,12 @@ public:
   /// if rollback itself is impossible — see rollbackArmed()).
   Status addConstraint(const std::string &Line);
 
+  /// Dry-run of addConstraint(): parses and validates \p Line against
+  /// the live system without mutating anything. A line that passes can
+  /// only be rejected later by a resource-budget breach. Lets the server
+  /// WAL-append only lines that are known to replay cleanly.
+  Status checkConstraint(const std::string &Line) const;
+
   /// Re-captures the rollback base from the current graph and clears the
   /// journal. Call after persisting a snapshot so the journal stays in
   /// lockstep with the on-disk WAL. Fails for non-serializable solvers

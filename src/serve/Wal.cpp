@@ -82,14 +82,16 @@ std::vector<uint8_t> encodeRecord(const std::string &Line) {
   return Writer.take();
 }
 
-std::vector<uint8_t> encodeHeader() {
+std::vector<uint8_t> encodeHeader(uint64_t BaseId) {
   ByteWriter Writer;
   Writer.bytes(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
   Writer.u32(WriteAheadLog::Version);
+  Writer.u64(BaseId);
   return Writer.take();
 }
 
 constexpr size_t RecordPrefixSize = 4 + 8; // length + checksum
+constexpr size_t BaseIdOffset = sizeof(WriteAheadLog::Magic) + 4;
 
 } // namespace
 
@@ -107,9 +109,14 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
   if (!readFileBytes(Path, Bytes, &Error))
     return Status::error(ErrorCode::IoError, Error);
 
-  if (Bytes.size() < HeaderSize)
-    return Status::error(ErrorCode::Corruption,
-                         "WAL '" + Path + "' is shorter than its header");
+  // Shorter than the header means a crash during creation: the header is
+  // written and fsynced before appends are possible, so no record can
+  // have been acknowledged. Empty-with-torn-header, not corruption.
+  if (Bytes.size() < HeaderSize) {
+    Contents.HeaderIntact = false;
+    Contents.TornBytes = Bytes.size();
+    return Contents;
+  }
   if (std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
     return Status::error(ErrorCode::Corruption,
                          "WAL '" + Path + "' has a bad magic");
@@ -118,6 +125,7 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
     return Status::error(ErrorCode::VersionSkew,
                          "WAL '" + Path + "' has unsupported version " +
                              std::to_string(FileVersion));
+  Contents.BaseId = decodeU64(Bytes.data() + BaseIdOffset);
 
   // A record that does not fit in the remaining bytes, or whose payload
   // fails its checksum, is a torn tail — a crash mid-append. Everything
@@ -143,7 +151,7 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
   return Contents;
 }
 
-Status WriteAheadLog::open(const std::string &OpenPath) {
+Status WriteAheadLog::open(const std::string &OpenPath, uint64_t OpenBaseId) {
   if (isOpen())
     return Status::error(ErrorCode::FailedPrecondition,
                          "WAL is already open on '" + Path + "'");
@@ -161,13 +169,21 @@ Status WriteAheadLog::open(const std::string &OpenPath) {
   if (NewFd < 0)
     return posixError("cannot open WAL '" + OpenPath + "'");
 
+  // A torn header (crash at creation) or a base-id mismatch (stale log
+  // whose records the caller's snapshot already contains) both mean no
+  // byte of the file extends this base: start it over.
+  bool StartOver = !Existed || !Recovered->HeaderIntact ||
+                   Recovered->BaseId != OpenBaseId;
   Status St;
-  if (!Existed) {
-    std::vector<uint8_t> Header = encodeHeader();
-    St = writeAll(NewFd, Header.data(), Header.size(), OpenPath);
+  if (StartOver) {
+    if (Existed && ::ftruncate(NewFd, 0) != 0)
+      St = posixError("truncate stale WAL '" + OpenPath + "'");
+    std::vector<uint8_t> Header = encodeHeader(OpenBaseId);
+    if (St.ok())
+      St = writeAll(NewFd, Header.data(), Header.size(), OpenPath);
     if (St.ok() && ::fsync(NewFd) != 0)
       St = posixError("fsync WAL '" + OpenPath + "'");
-    if (St.ok())
+    if (St.ok() && !Existed)
       St = fsyncParentDir(OpenPath);
   } else {
     // Drop the torn tail (unacknowledged bytes) so appends extend the
@@ -187,12 +203,15 @@ Status WriteAheadLog::open(const std::string &OpenPath) {
 
   Fd = NewFd;
   Path = OpenPath;
-  Size = Existed ? Recovered->ValidBytes : HeaderSize;
+  Size = StartOver ? HeaderSize : Recovered->ValidBytes;
+  BaseId = OpenBaseId;
   RecordOffsets.clear();
-  uint64_t Offset = HeaderSize;
-  for (const std::string &Line : Recovered->Lines) {
-    RecordOffsets.push_back(Offset);
-    Offset += RecordPrefixSize + Line.size();
+  if (!StartOver) {
+    uint64_t Offset = HeaderSize;
+    for (const std::string &Line : Recovered->Lines) {
+      RecordOffsets.push_back(Offset);
+      Offset += RecordPrefixSize + Line.size();
+    }
   }
   return Status();
 }
@@ -248,7 +267,27 @@ Status WriteAheadLog::truncateTo(uint64_t Bytes) {
   return Status();
 }
 
-Status WriteAheadLog::reset() { return truncateTo(HeaderSize); }
+Status WriteAheadLog::reset(uint64_t NewBaseId) {
+  // Truncate first, stamp second: a crash in between leaves an empty
+  // log with the old base id — recognized as stale and re-stamped at
+  // the next open — never old records paired with the new id.
+  Status St = truncateTo(HeaderSize);
+  if (!St.ok())
+    return St;
+  if (NewBaseId != BaseId) {
+    uint8_t Encoded[8];
+    for (int I = 0; I != 8; ++I)
+      Encoded[I] = static_cast<uint8_t>(NewBaseId >> (8 * I));
+    ssize_t N = ::pwrite(Fd, Encoded, sizeof(Encoded),
+                         static_cast<off_t>(BaseIdOffset));
+    if (N != static_cast<ssize_t>(sizeof(Encoded)))
+      return posixError("stamp base id of WAL '" + Path + "'");
+    if (::fsync(Fd) != 0)
+      return posixError("fsync WAL '" + Path + "'");
+    BaseId = NewBaseId;
+  }
+  return Status();
+}
 
 void WriteAheadLog::close() {
   if (Fd >= 0)
@@ -256,6 +295,7 @@ void WriteAheadLog::close() {
   Fd = -1;
   Path.clear();
   Size = 0;
+  BaseId = 0;
   RecordOffsets.clear();
 }
 

@@ -21,12 +21,28 @@
 /// File layout (little-endian):
 ///
 ///   header:  "POCEWAL\0" (8)  |  u32 format version
+///            |  u64 base id (payload checksum of the snapshot this log
+///               extends; 0 when the base is a fresh .scs solve)
 ///   record:  u32 payload length  |  u64 fnv1a64(payload)  |  payload
+///
+/// The base id makes the checkpoint protocol crash-atomic even though
+/// the snapshot rename and the WAL reset are two separate durable
+/// steps: a checkpoint renames the new snapshot into place first, then
+/// reset()s the WAL stamping the new snapshot's checksum. A crash in
+/// between leaves a WAL whose base id no longer matches the snapshot —
+/// every one of its records is already contained in the renamed
+/// snapshot, so recovery recognizes the log as stale by the mismatch
+/// and skips it instead of re-applying (or dying on) its lines.
 ///
 /// A crash mid-append leaves a torn final record; replay() detects it
 /// (length overruns the file, or checksum mismatch) and reports the
-/// prefix of intact records, which open() truncates away. Torn tails are
-/// expected states, not corruption: they hold only unacknowledged lines.
+/// prefix of intact records, which open() truncates away. A file
+/// shorter than the header is a crash at creation time: the header is
+/// fsynced before the first append can happen, so no record can have
+/// been acknowledged — replay() reports it as empty with a torn header
+/// and open() rewrites the header. Torn tails and torn headers are
+/// expected states, not corruption: they hold only unacknowledged
+/// bytes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,10 +62,15 @@ namespace serve {
 struct WalContents {
   /// Intact records, oldest first.
   std::vector<std::string> Lines;
+  /// Payload checksum of the snapshot this log extends (header field).
+  uint64_t BaseId = 0;
   /// Byte length of the intact prefix (header + whole records).
   uint64_t ValidBytes = 0;
   /// Bytes of torn/corrupt tail past the intact prefix (0 = clean file).
   uint64_t TornBytes = 0;
+  /// False when the file is shorter than the header (a crash during WAL
+  /// creation): Lines is empty, BaseId is 0, and every byte is torn.
+  bool HeaderIntact = true;
 };
 
 /// Append-only log handle. Not thread-safe; scserved is single-threaded
@@ -62,14 +83,21 @@ public:
   WriteAheadLog &operator=(const WriteAheadLog &) = delete;
 
   /// Parses \p Path without opening it for writing. A missing file is ok
-  /// (empty contents); a bad header or a file that is all tail is an
-  /// error. Torn tails are reported, not failed.
+  /// (empty contents), and so is a file shorter than the header
+  /// (HeaderIntact=false — see above); a bad magic or unknown version on
+  /// an intact header is an error. Torn tails are reported, not failed.
   static Expected<WalContents> replay(const std::string &Path);
 
-  /// Opens \p Path for appending: creates it (with header, fsynced along
-  /// with its directory) if missing, otherwise validates the header and
-  /// truncates any torn tail. Fails if already open.
-  Status open(const std::string &Path);
+  /// Opens \p Path for appending against the base snapshot identified
+  /// by \p BaseId: creates the file (header fsynced along with its
+  /// directory) if missing, rewrites the header if torn, validates it
+  /// and truncates any torn tail otherwise. A file whose base id
+  /// differs from \p BaseId does not extend the caller's snapshot; its
+  /// records are DISCARDED and the header re-stamped — callers must
+  /// replay() first and decide (with a warning) that the mismatch is a
+  /// stale log, not a misconfiguration, before opening. Fails if
+  /// already open.
+  Status open(const std::string &Path, uint64_t BaseId = 0);
 
   /// Appends one record and fsyncs. On any failure the file is truncated
   /// back to its pre-append length, so the log never accumulates torn
@@ -85,25 +113,35 @@ public:
   /// contents == accepted lines.
   Status truncateTo(uint64_t Bytes);
 
-  /// Empties the log back to just the header (after a checkpoint made
-  /// the records redundant).
-  Status reset();
+  /// Empties the log back to just the header and stamps \p NewBaseId
+  /// (the checksum of the snapshot that made the records redundant).
+  /// Truncates before stamping: a crash in between leaves an empty log
+  /// with the old base id, which the next open() recognizes as stale
+  /// and re-stamps — never old records paired with the new id.
+  Status reset(uint64_t NewBaseId);
+
+  /// reset() keeping the current base id (the records became redundant
+  /// without the base snapshot changing).
+  Status reset() { return reset(BaseId); }
 
   bool isOpen() const { return Fd >= 0; }
   uint64_t sizeBytes() const { return Size; }
   uint64_t records() const { return RecordOffsets.size(); }
+  uint64_t baseId() const { return BaseId; }
   const std::string &path() const { return Path; }
 
   void close();
 
   static constexpr char Magic[8] = {'P', 'O', 'C', 'E', 'W', 'A', 'L', '\0'};
-  static constexpr uint32_t Version = 1;
-  static constexpr size_t HeaderSize = 12;
+  /// Version 2 added the base id to the header.
+  static constexpr uint32_t Version = 2;
+  static constexpr size_t HeaderSize = 20;
 
 private:
   int Fd = -1;
   std::string Path;
   uint64_t Size = 0;
+  uint64_t BaseId = 0;
   /// Start offset of every record, so truncateTo can keep records() exact.
   std::vector<uint64_t> RecordOffsets;
 };

@@ -216,11 +216,13 @@ bool ConstraintSystemFile::parseExprAt(const std::string &Line, size_t &Pos,
   return true;
 }
 
-Status ConstraintSystemFile::addLine(const std::string &Line,
-                                     ConstraintSolver &Solver) {
+Status ConstraintSystemFile::parseLine(const std::string &Line,
+                                       const ConstraintSolver &Solver,
+                                       ParsedLine &Out) const {
   auto Fail = [&](const std::string &Message) {
     return Status::error(ErrorCode::ParseError, Message);
   };
+  Out = ParsedLine();
 
   LineCursor Cursor{Line};
   if (Cursor.atEnd())
@@ -230,6 +232,7 @@ Status ConstraintSystemFile::addLine(const std::string &Line,
   std::string First = Cursor.word();
 
   if (First == "var") {
+    Out.K = ParsedLine::Kind::Vars;
     // Declaration order must stay aligned with solver creation order so
     // that declaration indices keep mapping through varOfCreation().
     if (VarNames.size() != Solver.numCreations())
@@ -238,9 +241,8 @@ Status ConstraintSystemFile::addLine(const std::string &Line,
                                std::to_string(VarNames.size()) + " vs " +
                                std::to_string(Solver.numCreations()) +
                                "); adoptDeclarations() first");
-    // Validate every name before touching the solver: a rejected line
-    // must leave no fresh variables behind.
-    std::vector<std::string> Names;
+    // Validate every name up front: a rejected line must leave no fresh
+    // variables behind when applied.
     while (!Cursor.atEnd()) {
       std::string Name = Cursor.word();
       if (Name.empty())
@@ -248,33 +250,28 @@ Status ConstraintSystemFile::addLine(const std::string &Line,
       if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) ||
           Name == "0" || Name == "1")
         return Fail("name '" + Name + "' already in use");
-      for (const std::string &Prior : Names)
+      for (const std::string &Prior : Out.Names)
         if (Prior == Name)
           return Fail("name '" + Name + "' repeated in declaration");
-      Names.push_back(std::move(Name));
-    }
-    for (std::string &Name : Names) {
-      VarIndexOf[Name] = static_cast<uint32_t>(VarNames.size());
-      Solver.freshVar(Name);
-      VarNames.push_back(std::move(Name));
+      Out.Names.push_back(std::move(Name));
     }
     return Status();
   }
 
   if (First == "cons") {
+    Out.K = ParsedLine::Kind::Cons;
     std::string Name = Cursor.word();
     if (Name.empty())
       return Fail("expected constructor name");
     if (VarIndexOf.count(Name) || ConsIndexOf.count(Name) || Name == "0" ||
         Name == "1")
       return Fail("name '" + Name + "' already in use");
-    ConsDecl Decl;
-    Decl.Name = Name;
+    Out.Decl.Name = Name;
     while (!Cursor.atEnd()) {
       if (Cursor.eat('+')) {
-        Decl.ArgVariance.push_back(Variance::Covariant);
+        Out.Decl.ArgVariance.push_back(Variance::Covariant);
       } else if (Cursor.eat('-')) {
-        Decl.ArgVariance.push_back(Variance::Contravariant);
+        Out.Decl.ArgVariance.push_back(Variance::Contravariant);
       } else {
         return Fail("expected '+' or '-' variance marker");
       }
@@ -286,50 +283,90 @@ Status ConstraintSystemFile::addLine(const std::string &Line,
     ConsId Existing = Table.lookup(Name);
     if (Existing != ConstructorTable::NotFound) {
       const ConstructorSignature &Sig = Table.signature(Existing);
-      bool Same = Sig.ArgVariance.size() == Decl.ArgVariance.size();
-      for (size_t I = 0; Same && I != Decl.ArgVariance.size(); ++I)
-        Same = Sig.ArgVariance[I] == Decl.ArgVariance[I];
+      bool Same = Sig.ArgVariance.size() == Out.Decl.ArgVariance.size();
+      for (size_t I = 0; Same && I != Out.Decl.ArgVariance.size(); ++I)
+        Same = Sig.ArgVariance[I] == Out.Decl.ArgVariance[I];
       if (!Same)
         return Fail("constructor '" + Name +
                     "' redeclared with a different signature");
     }
-    // Register in the solver's table immediately (see emit()): the
-    // declaration must survive a snapshot taken before its first use.
-    SmallVector<Variance, 4> Variances;
-    Variances.append(Decl.ArgVariance.begin(), Decl.ArgVariance.end());
-    Solver.terms().mutableConstructors().getOrCreate(Decl.Name, Variances);
-    ConsIndexOf[Name] = static_cast<uint32_t>(ConsDecls.size());
-    ConsDecls.push_back(std::move(Decl));
     return Status();
   }
 
   // A constraint line: expr <= expr.
+  Out.K = ParsedLine::Kind::Constraint;
   Cursor.Pos = Mark;
-  FileExpr Lhs, Rhs;
   std::string Error;
-  if (!parseExprAt(Line, Cursor.Pos, Lhs, Error))
+  if (!parseExprAt(Line, Cursor.Pos, Out.Lhs, Error))
     return Fail(Error);
   if (!Cursor.eatArrowLE())
     return Fail("expected '<=' between expressions");
-  if (!parseExprAt(Line, Cursor.Pos, Rhs, Error))
+  if (!parseExprAt(Line, Cursor.Pos, Out.Rhs, Error))
     return Fail(Error);
   if (!Cursor.atEnd())
     return Fail("unexpected trailing input");
-
-  // Map declaration indices to solver variables through creation indices
-  // (collapses and oracle substitution can alias several to one VarId).
   if (VarNames.size() > Solver.numCreations())
     return Status::error(
         ErrorCode::FailedPrecondition,
         "system declares variables the solver does not have");
-  std::vector<VarId> Vars;
-  Vars.reserve(VarNames.size());
-  for (uint32_t I = 0; I != VarNames.size(); ++I)
-    Vars.push_back(Solver.varOfCreation(I));
-  ExprId L = build(Lhs, Solver, Vars);
-  ExprId R = build(Rhs, Solver, Vars);
-  Constraints.push_back({std::move(Lhs), std::move(Rhs)});
-  Solver.addConstraint(L, R);
+  return Status();
+}
+
+Status ConstraintSystemFile::checkLine(const std::string &Line,
+                                       const ConstraintSolver &Solver) const {
+  ParsedLine Parsed;
+  return parseLine(Line, Solver, Parsed);
+}
+
+Status ConstraintSystemFile::addLine(const std::string &Line,
+                                     ConstraintSolver &Solver) {
+  ParsedLine Parsed;
+  Status St = parseLine(Line, Solver, Parsed);
+  if (!St.ok())
+    return St;
+
+  switch (Parsed.K) {
+  case ParsedLine::Kind::Blank:
+    return Status();
+
+  case ParsedLine::Kind::Vars:
+    for (std::string &Name : Parsed.Names) {
+      VarIndexOf[Name] = static_cast<uint32_t>(VarNames.size());
+      Solver.freshVar(Name);
+      VarNames.push_back(std::move(Name));
+    }
+    return Status();
+
+  case ParsedLine::Kind::Cons: {
+    // Register in the solver's table immediately (see emit()): the
+    // declaration must survive a snapshot taken before its first use.
+    SmallVector<Variance, 4> Variances;
+    Variances.append(Parsed.Decl.ArgVariance.begin(),
+                     Parsed.Decl.ArgVariance.end());
+    Solver.terms().mutableConstructors().getOrCreate(Parsed.Decl.Name,
+                                                     Variances);
+    ConsIndexOf[Parsed.Decl.Name] =
+        static_cast<uint32_t>(ConsDecls.size());
+    ConsDecls.push_back(std::move(Parsed.Decl));
+    return Status();
+  }
+
+  case ParsedLine::Kind::Constraint: {
+    // Map declaration indices to solver variables through creation
+    // indices (collapses and oracle substitution can alias several to
+    // one VarId).
+    std::vector<VarId> Vars;
+    Vars.reserve(VarNames.size());
+    for (uint32_t I = 0; I != VarNames.size(); ++I)
+      Vars.push_back(Solver.varOfCreation(I));
+    ExprId L = build(Parsed.Lhs, Solver, Vars);
+    ExprId R = build(Parsed.Rhs, Solver, Vars);
+    Constraints.push_back({std::move(Parsed.Lhs), std::move(Parsed.Rhs)});
+    Solver.addConstraint(L, R);
+    return Status();
+  }
+  }
+  assert(false && "invalid parsed line kind");
   return Status();
 }
 

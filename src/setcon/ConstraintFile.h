@@ -61,6 +61,16 @@ public:
   /// serve layer's incremental entry point.
   Status addLine(const std::string &Line, ConstraintSolver &Solver);
 
+  /// Dry-run of addLine(): parses \p Line and performs every validation
+  /// addLine() would — name clashes, declaration/creation alignment,
+  /// constructor signature agreement with \p Solver — without mutating
+  /// the system or the solver. A line that passes checkLine() cannot be
+  /// rejected by a subsequent addLine() (the solver itself may still
+  /// abort on a resource budget). Lets callers make a line durable (WAL)
+  /// only once it is known to be applicable.
+  Status checkLine(const std::string &Line,
+                   const ConstraintSolver &Solver) const;
+
   /// Rebuilds this system's declarations from a live solver — variables
   /// from creation order, constructors from the constructor table — so
   /// subsequent addLine() calls can reference everything the solver
@@ -105,6 +115,23 @@ private:
     std::string Name;
     std::vector<Variance> ArgVariance;
   };
+
+  /// One line of the file format in parsed-but-unapplied form, shared by
+  /// checkLine() (parse + validate only) and addLine() (parse + validate
+  /// + apply).
+  struct ParsedLine {
+    enum class Kind : uint8_t { Blank, Vars, Cons, Constraint };
+    Kind K = Kind::Blank;
+    std::vector<std::string> Names; ///< Vars: the declared names.
+    ConsDecl Decl;                  ///< Cons.
+    FileExpr Lhs, Rhs;              ///< Constraint.
+  };
+
+  /// Parses one line and checks it against this system's declarations
+  /// and \p Solver's state without mutating either. On success \p Out
+  /// holds everything needed to apply the line.
+  Status parseLine(const std::string &Line, const ConstraintSolver &Solver,
+                   ParsedLine &Out) const;
 
   ExprId build(const FileExpr &E, ConstraintSolver &Solver,
                const std::vector<VarId> &Vars) const;

@@ -246,16 +246,115 @@ TEST(WalTest, RejectsBadHeaderAndVersionSkew) {
   EXPECT_FALSE(Wal.open(Path).ok());
   EXPECT_FALSE(Wal.isOpen());
 
-  // Correct magic, future version: VersionSkew, not Corruption.
+  // Correct magic, future version (on a full-length header so it is not
+  // mistaken for a torn one): VersionSkew, not Corruption.
   {
     std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
     Out.write(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
     const char Future[] = {99, 0, 0, 0};
     Out.write(Future, sizeof(Future));
+    const char BaseId[8] = {};
+    Out.write(BaseId, sizeof(BaseId));
   }
   Contents = WriteAheadLog::replay(Path);
   ASSERT_FALSE(Contents.ok());
   EXPECT_EQ(Contents.status().code(), ErrorCode::VersionSkew);
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, TornHeaderReadsEmptyAndIsRewrittenOnOpen) {
+  // A file shorter than the header is a crash during WAL creation: no
+  // record can have been acknowledged, so it must read as empty (with
+  // HeaderIntact=false), never as corruption — and open() must rewrite
+  // the header and carry on.
+  for (size_t Length : {size_t(0), size_t(3),
+                        WriteAheadLog::HeaderSize - 1}) {
+    std::string Path = tempPath("tornheader.wal");
+    {
+      std::ofstream Out(Path, std::ios::binary);
+      std::string Partial(reinterpret_cast<const char *>(
+                              WriteAheadLog::Magic),
+                          std::min(Length, sizeof(WriteAheadLog::Magic)));
+      Partial.resize(Length, '\0');
+      Out.write(Partial.data(),
+                static_cast<std::streamsize>(Partial.size()));
+    }
+    Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+    ASSERT_TRUE(Contents.ok()) << Length << ": " << Contents.status();
+    EXPECT_FALSE(Contents->HeaderIntact) << Length;
+    EXPECT_TRUE(Contents->Lines.empty()) << Length;
+    EXPECT_EQ(Contents->ValidBytes, 0u) << Length;
+    EXPECT_EQ(Contents->TornBytes, Length) << Length;
+
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path, /*BaseId=*/7).ok()) << Length;
+    EXPECT_EQ(Wal.sizeBytes(), WriteAheadLog::HeaderSize) << Length;
+    ASSERT_TRUE(Wal.append("var X").ok()) << Length;
+    Wal.close();
+    Contents = WriteAheadLog::replay(Path);
+    ASSERT_TRUE(Contents.ok()) << Length << ": " << Contents.status();
+    EXPECT_TRUE(Contents->HeaderIntact) << Length;
+    EXPECT_EQ(Contents->BaseId, 7u) << Length;
+    EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"var X"}))
+        << Length;
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(WalTest, BaseIdRoundTripsAndMismatchDiscardsStaleRecords) {
+  std::string Path = tempPath("baseid.wal");
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path, /*BaseId=*/0xabcdef).ok());
+    EXPECT_EQ(Wal.baseId(), 0xabcdefu);
+    ASSERT_TRUE(Wal.append("var X").ok());
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->BaseId, 0xabcdefu);
+  EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"var X"}));
+
+  // Reopening with the matching base id keeps the records...
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path, 0xabcdef).ok());
+    EXPECT_EQ(Wal.records(), 1u);
+  }
+  // ...and with a different one (the snapshot moved on: the log is
+  // stale) discards them and re-stamps the header.
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path, /*BaseId=*/42).ok());
+    EXPECT_EQ(Wal.records(), 0u);
+    EXPECT_EQ(Wal.sizeBytes(), WriteAheadLog::HeaderSize);
+    EXPECT_EQ(Wal.baseId(), 42u);
+  }
+  Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->BaseId, 42u);
+  EXPECT_TRUE(Contents->Lines.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, ResetStampsTheNewBaseId) {
+  // The checkpoint path: reset(NewBaseId) empties the log and re-stamps
+  // it with the new snapshot's checksum, durably.
+  std::string Path = tempPath("resetbase.wal");
+  {
+    WriteAheadLog Wal;
+    ASSERT_TRUE(Wal.open(Path, 1).ok());
+    ASSERT_TRUE(Wal.append("var X").ok());
+    ASSERT_TRUE(Wal.append("var Y").ok());
+    ASSERT_TRUE(Wal.reset(/*NewBaseId=*/2).ok());
+    EXPECT_EQ(Wal.baseId(), 2u);
+    EXPECT_EQ(Wal.records(), 0u);
+    EXPECT_EQ(Wal.sizeBytes(), WriteAheadLog::HeaderSize);
+    ASSERT_TRUE(Wal.append("var Z").ok());
+  }
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->BaseId, 2u);
+  EXPECT_EQ(Contents->Lines, (std::vector<std::string>{"var Z"}));
   std::remove(Path.c_str());
 }
 
@@ -428,6 +527,38 @@ TEST(BudgetTest, JournaledLinesSurviveRollback) {
             (std::vector<std::string>{"cons t", "t <= C16"}));
   EXPECT_EQ(Engine.pts(Engine.varOf("C31")),
             (std::vector<std::string>{"t"}));
+}
+
+TEST(BudgetTest, CheckConstraintIsANonMutatingDryRun) {
+  // checkConstraint vets the exact validations addConstraint applies —
+  // the server uses it to keep unreplayable lines out of the WAL — and
+  // must not change the graph or the declaration tables.
+  QueryEngine Engine(makeBundle(
+      chainText(8), makeConfig(GraphForm::Inductive, CycleElim::Online)));
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  std::vector<uint8_t> PreBytes = serialized(Engine.solver());
+
+  EXPECT_EQ(Engine.checkConstraint("nonsense !!").code(),
+            ErrorCode::ParseError);
+  EXPECT_EQ(Engine.checkConstraint("undeclared <= C0").code(),
+            ErrorCode::ParseError);
+  EXPECT_EQ(Engine.checkConstraint("var C0").code(), ErrorCode::ParseError);
+  EXPECT_EQ(Engine.checkConstraint("cons s + +").code(),
+            ErrorCode::ParseError); // Redeclared with a new signature.
+  EXPECT_TRUE(Engine.checkConstraint("var P Q").ok());
+  EXPECT_TRUE(Engine.checkConstraint("cons t -").ok());
+  EXPECT_TRUE(Engine.checkConstraint("s <= C0").ok());
+  EXPECT_TRUE(Engine.checkConstraint("# comment").ok());
+
+  // None of the checks (passing or failing) touched anything: the graph
+  // is bit-identical and the vetted declarations are still fresh.
+  EXPECT_EQ(serialized(Engine.solver()), PreBytes);
+  ASSERT_TRUE(Engine.addConstraint("var P Q").ok());
+  ASSERT_TRUE(Engine.addConstraint("cons t -").ok());
+
+  // A line that passed checkConstraint applies cleanly.
+  ASSERT_TRUE(Engine.addConstraint("s <= C0").ok());
+  EXPECT_EQ(Engine.pts(Engine.varOf("C7")), (std::vector<std::string>{"s"}));
 }
 
 TEST(BudgetTest, UnserializableSolverReportsUnrecoverableBreach) {
