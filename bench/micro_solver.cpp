@@ -31,6 +31,7 @@
 #include "serve/QueryEngine.h"
 #include "setcon/ConstraintSolver.h"
 #include "support/DenseU64Set.h"
+#include "support/Metrics.h"
 #include "support/PRNG.h"
 #include "support/SparseBitVector.h"
 #include "support/ThreadPool.h"
@@ -1097,7 +1098,14 @@ int emitTrajectory(const std::string &Path) {
     }
   }
 
-  std::fprintf(File, "\n   ]}\n  ]\n}\n");
+  // The process-wide registry snapshot rides along in the run record:
+  // the unconditionally-recorded histograms (snapshot serialize/load,
+  // WAL, query-view builds) accumulated across the entries above. Kept
+  // inside the run object so readPriorRuns' bracket scan still sees the
+  // runs array as the outermost brackets.
+  std::string Metrics = MetricsRegistry::global().renderJson();
+  std::fprintf(File, "\n   ],\n   \"metrics\": %s}\n  ]\n}\n",
+               Metrics.c_str());
   std::fclose(File);
   std::printf("appended run to %s\n", Path.c_str());
   return 0;

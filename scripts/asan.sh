@@ -18,7 +18,8 @@ BUILD_DIR=build-asan
 cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target serve_tests core_tests scserved
 (cd "$BUILD_DIR" && ctest --output-on-failure \
-  -R '(Snapshot|QueryEngine|LruCache|ByteStream|Wal|FailPoint|Status|Expected|Budget|WarmRecovery)' \
+  -R '(Snapshot|QueryEngine|LruCache|ByteStream|Wal|FailPoint|Status|Expected|Budget|WarmRecovery|Metrics|Histogram|Percentile|Trace|Telemetry)' \
   "$@")
 scripts/serve_smoke.sh "$BUILD_DIR"
 scripts/crash_recovery.sh "$BUILD_DIR"
+scripts/metrics_smoke.sh "$BUILD_DIR"

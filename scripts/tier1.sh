@@ -13,3 +13,4 @@ cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j "$@")
 "$ROOT/scripts/serve_smoke.sh" "$BUILD"
 "$ROOT/scripts/crash_recovery.sh" "$BUILD"
+"$ROOT/scripts/metrics_smoke.sh" "$BUILD"

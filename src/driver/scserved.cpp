@@ -43,20 +43,29 @@
 ///   checkpoint [PATH]  snapshot + reset the WAL (default: --snapshot path)
 ///   stats         solver statistics + fault-tolerance counters
 ///   counters      query latency percentiles and cache counters
+///   metrics       Prometheus text exposition (multi-line, ends "# EOF")
 ///   help | quit
+///
+/// Observability: query latencies land in an O(1)-insert log-bucket
+/// histogram (support/Metrics.h) instead of a sorted ring, the `metrics`
+/// verb exposes every registered series in Prometheus text format, and
+/// --metrics-out=FILE dumps the registry as JSON every --metrics-every=N
+/// handled requests (and at exit). POCE_TRACE=FILE additionally records
+/// Chrome trace-event spans of the solver/WAL/checkpoint phases.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "serve/GraphSnapshot.h"
 #include "serve/QueryEngine.h"
+#include "serve/Telemetry.h"
 #include "serve/Wal.h"
 #include "support/ByteStream.h"
 #include "support/CommandLine.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/Status.h"
+#include "support/Trace.h"
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -111,15 +120,6 @@ std::string joinSet(const std::vector<std::string> &Items) {
   return Out;
 }
 
-uint64_t percentileMicros(std::vector<uint64_t> Sorted, double P) {
-  if (Sorted.empty())
-    return 0;
-  size_t Index = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
-  if (Index >= Sorted.size())
-    Index = Sorted.size() - 1;
-  return Sorted[Index];
-}
-
 /// --dump-wal=FILE: print every intact line of a WAL (one per line) and
 /// exit. This is the recovery harness's oracle input: snapshot + these
 /// lines must equal the recovered server's state.
@@ -161,6 +161,8 @@ int main(int Argc, char **Argv) {
   int64_t MaxMemMb = 0;
   int64_t MaxRequest = 64 * 1024;
   int64_t CheckpointEvery = 0;
+  std::string MetricsOut;
+  int64_t MetricsEvery = 64;
   Cmd.addString("snapshot", &Snapshot, "load this snapshot instead of "
                                        "solving a .scs file");
   Cmd.addString("wal", &WalPath,
@@ -186,8 +188,18 @@ int main(int Argc, char **Argv) {
   Cmd.addInt("checkpoint-every", &CheckpointEvery,
              "auto-checkpoint after this many accepted adds "
              "(requires --snapshot and --wal; 0 = never)");
+  Cmd.addString("metrics-out", &MetricsOut,
+                "dump the metrics registry to this file as JSON every "
+                "--metrics-every requests and at exit");
+  Cmd.addInt("metrics-every", &MetricsEvery,
+             "requests between --metrics-out dumps (default 64)");
   if (!Cmd.parse(Argc, Argv))
     return 1;
+
+  // The server always wants per-phase timings: its request loop is I/O
+  // bound, so the clock reads are noise, and the histograms are what the
+  // `metrics` verb serves.
+  MetricsRegistry::setTimingEnabled(true);
 
   if (!DumpWal.empty())
     return dumpWal(DumpWal);
@@ -344,12 +356,31 @@ int main(int Argc, char **Argv) {
 
   uint64_t Checkpoints = 0;
   uint64_t AddsSinceCheckpoint = 0;
-  // Query latencies for the percentile report, bounded to the most recent
-  // samples so a long-running server neither grows without limit nor
-  // sorts an ever-larger vector in `counters`.
-  constexpr size_t LatencyCap = 64 * 1024;
-  std::vector<uint64_t> LatencyMicros;
-  size_t LatencyNext = 0;
+  uint64_t RequestsHandled = 0;
+  auto ServerNow = [&]() {
+    telemetry::ServerCounters S;
+    S.WalReplayed = WalReplayed;
+    S.WalSkipped = WalSkipped;
+    S.Checkpoints = Checkpoints;
+    S.WalRecords = Wal.records();
+    S.WalBytes = Wal.sizeBytes();
+    return S;
+  };
+  // --metrics-out: the registry as one JSON object, rewritten atomically
+  // so a scraper never reads a half-written dump.
+  auto DumpMetrics = [&]() {
+    if (MetricsOut.empty())
+      return;
+    MetricsRegistry &R = MetricsRegistry::global();
+    Engine.solver().stats().exportTo(R);
+    telemetry::exportServeMetrics(R, Engine, ServerNow());
+    std::string Json = R.renderJson() + "\n";
+    std::vector<uint8_t> Bytes(Json.begin(), Json.end());
+    Status Written = writeFileAtomic(MetricsOut, Bytes);
+    if (!Written)
+      std::fprintf(stderr, "scserved: metrics dump failed: %s\n",
+                   Written.toString().c_str());
+  };
   auto Reply = [](const std::string &Line) {
     std::fputs(Line.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -413,6 +444,7 @@ int main(int Argc, char **Argv) {
       return Status::error(ErrorCode::FailedPrecondition,
                            "WAL is disabled after a failed checkpoint; "
                            "restart to recover");
+    const uint64_t StartUs = trace::nowMicros();
     size_t Bytes = 0;
     uint64_t NewBase = 0;
     Status Saved = SaveSnapshot(Path, Bytes, NewBase);
@@ -447,6 +479,8 @@ int main(int Argc, char **Argv) {
       return Based.withContext("checkpoint");
     ++Checkpoints;
     AddsSinceCheckpoint = 0;
+    telemetry::checkpointHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("serve.checkpoint", StartUs);
     return Status();
   };
 
@@ -463,45 +497,33 @@ int main(int Argc, char **Argv) {
     if (Req.Verb.empty() || Req.Verb[0] == '#')
       continue;
 
+    ++RequestsHandled;
+    if (MetricsEvery > 0 &&
+        RequestsHandled % static_cast<uint64_t>(MetricsEvery) == 0)
+      DumpMetrics();
+
     if (Req.Verb == "quit" || Req.Verb == "exit") {
       Reply("ok bye");
       break;
     }
     if (Req.Verb == "help") {
       Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
-            "save PATH | checkpoint [PATH] | stats | counters | help | "
-            "quit");
+            "save PATH | checkpoint [PATH] | stats | counters | metrics | "
+            "help | quit");
       continue;
     }
     if (Req.Verb == "stats") {
-      const SolverStats &S = Engine.solver().stats();
-      const QueryEngine::Counters &C = Engine.counters();
-      Reply("ok config=" + Engine.solver().options().configName() +
-            " vars=" + std::to_string(S.VarsCreated) +
-            " live=" + std::to_string(Engine.solver().numLiveVars()) +
-            " work=" + std::to_string(S.Work) +
-            " cycles_collapsed=" + std::to_string(S.CyclesCollapsed) +
-            " vars_eliminated=" + std::to_string(S.VarsEliminated) +
-            " budget_aborts=" + std::to_string(C.BudgetAborts) +
-            " rollbacks=" + std::to_string(C.Rollbacks) +
-            " wal_replayed=" + std::to_string(WalReplayed) +
-            " checkpoints=" + std::to_string(Checkpoints) +
-            " wal_records=" + std::to_string(Wal.records()) +
-            " wal_bytes=" + std::to_string(Wal.sizeBytes()));
+      Reply(telemetry::buildStatsReply(Engine, ServerNow()));
       continue;
     }
     if (Req.Verb == "counters") {
-      std::vector<uint64_t> Sorted = LatencyMicros;
-      std::sort(Sorted.begin(), Sorted.end());
-      const QueryEngine::Counters &C = Engine.counters();
-      Reply("ok queries=" + std::to_string(C.Queries) +
-            " hits=" + std::to_string(C.CacheHits) +
-            " misses=" + std::to_string(C.CacheMisses) +
-            " stale=" + std::to_string(C.StaleRebuilds) +
-            " additions=" + std::to_string(C.Additions) +
-            " evictions=" + std::to_string(Engine.cacheEvictions()) +
-            " p50_us=" + std::to_string(percentileMicros(Sorted, 0.50)) +
-            " p99_us=" + std::to_string(percentileMicros(Sorted, 0.99)));
+      Reply(telemetry::buildCountersReply(
+          Engine, telemetry::queryLatencyHistogram()));
+      continue;
+    }
+    if (Req.Verb == "metrics") {
+      Reply(telemetry::buildMetricsReply(MetricsRegistry::global(), Engine,
+                                         ServerNow()));
       continue;
     }
     if (Req.Verb == "save") {
@@ -617,7 +639,7 @@ int main(int Argc, char **Argv) {
     }
 
     if (Req.Verb == "ls" || Req.Verb == "pts" || Req.Verb == "alias") {
-      auto Start = std::chrono::steady_clock::now();
+      const uint64_t StartUs = trace::nowMicros();
       std::string Response;
       VarId X = 0, Y = 0;
       if (!ResolveVar(Req.Arg1, X)) {
@@ -637,16 +659,9 @@ int main(int Argc, char **Argv) {
       } else {
         Response = "ok " + joinSet(Engine.pts(X));
       }
-      auto Elapsed = std::chrono::steady_clock::now() - Start;
-      uint64_t Micros = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(Elapsed)
-              .count());
-      if (LatencyMicros.size() < LatencyCap) {
-        LatencyMicros.push_back(Micros);
-      } else {
-        LatencyMicros[LatencyNext] = Micros;
-        LatencyNext = (LatencyNext + 1) % LatencyCap;
-      }
+      telemetry::queryLatencyHistogram().record(trace::nowMicros() -
+                                                StartUs);
+      trace::complete("serve.query", StartUs);
       Reply(Response);
       continue;
     }
@@ -654,5 +669,6 @@ int main(int Argc, char **Argv) {
     ReplyErr(Status::error(ErrorCode::InvalidArgument,
                            "unknown verb '" + Req.Verb + "'; try help"));
   }
+  DumpMetrics();
   return 0;
 }

@@ -30,6 +30,8 @@
 
 #include "support/ByteStream.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstring>
 
@@ -37,6 +39,22 @@ using namespace poce;
 using namespace poce::serve;
 
 namespace {
+
+/// Snapshot work is graph-sized (far past histogram-record cost), so the
+/// records are unconditional, like the WAL's.
+Histogram &serializeHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_snapshot_serialize_us",
+      "Microseconds to serialize a solver graph (checkpoint capture)");
+  return H;
+}
+
+Histogram &loadHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_snapshot_load_us",
+      "Microseconds to read, verify, and rebuild a snapshot from disk");
+  return H;
+}
 
 void writeBitmap(ByteWriter &W, const SparseBitVector &Bits) {
   W.u32(static_cast<uint32_t>(Bits.numElements()));
@@ -150,6 +168,7 @@ Status GraphSnapshot::serialize(ConstraintSolver &Solver,
                         Solver.Stats.Abort)) +
                     " budget exceeded)");
 
+  const uint64_t StartUs = trace::nowMicros();
   ByteWriter W;
   W.bytes(Magic, sizeof(Magic));
   W.u32(Version);
@@ -260,6 +279,8 @@ Status GraphSnapshot::serialize(ConstraintSolver &Solver,
   W.patchU64(ChecksumAt,
              fnv1a64(W.buffer().data() + HeaderSize, PayloadLen));
   Out = W.take();
+  serializeHistogram().record(trace::nowMicros() - StartUs);
+  trace::complete("snapshot.serialize", StartUs);
   return Status();
 }
 
@@ -649,6 +670,7 @@ Status GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle,
                            uint64_t *ChecksumOut) {
   if (FailPoint::hit("snapshot.load") == FailPoint::Mode::Error)
     return FailPoint::injectedError("snapshot.load");
+  const uint64_t StartUs = trace::nowMicros();
   std::vector<uint8_t> Buffer;
   std::string Error;
   if (!readFileBytes(Path, Buffer, &Error))
@@ -657,5 +679,9 @@ Status GraphSnapshot::load(const std::string &Path, SolverBundle &Bundle,
                   .withContext("loading '" + Path + "'");
   if (St.ok() && ChecksumOut)
     *ChecksumOut = payloadChecksum(Buffer.data(), Buffer.size());
+  if (St.ok()) {
+    loadHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("snapshot.load", StartUs);
+  }
   return St;
 }

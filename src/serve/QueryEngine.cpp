@@ -6,10 +6,25 @@
 
 #include "serve/QueryEngine.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 
 using namespace poce;
 using namespace poce::serve;
+
+namespace {
+
+/// Time spent materializing a query view (cache miss or stale rebuild).
+Histogram &viewBuildHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_query_view_build_us",
+      "Microseconds to build an ls/pts view (cache misses and rebuilds)");
+  return H;
+}
+
+} // namespace
 
 QueryEngine::QueryEngine(SolverBundle InBundle, size_t CacheCapacity)
     : Bundle(std::move(InBundle)), Cache(CacheCapacity) {
@@ -74,6 +89,8 @@ const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
     ++Stats.CacheMisses;
   }
 
+  const bool Timed = MetricsRegistry::timingEnabled() || trace::enabled();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   View Fresh;
   Fresh.Fingerprint = Fingerprint;
   if (Kind == ViewKind::Ls) {
@@ -89,6 +106,10 @@ const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
                       Fresh.Items.end());
   }
   Cache.put(Key, std::move(Fresh));
+  if (Timed) {
+    viewBuildHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("query.view_build", StartUs);
+  }
   return Cache.get(Key)->Items;
 }
 

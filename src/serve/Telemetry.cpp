@@ -1,0 +1,110 @@
+//===- serve/Telemetry.cpp - Server-side telemetry rendering --------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Telemetry.h"
+
+#include "serve/QueryEngine.h"
+
+using namespace poce;
+using namespace poce::serve;
+
+namespace poce {
+namespace serve {
+namespace telemetry {
+
+Histogram &queryLatencyHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_query_latency_us",
+      "End-to-end microseconds per ls/pts/alias request");
+  return H;
+}
+
+Histogram &checkpointHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_checkpoint_us",
+      "Microseconds per checkpoint (snapshot write + WAL reset)");
+  return H;
+}
+
+std::string buildStatsReply(const QueryEngine &Engine,
+                            const ServerCounters &Server) {
+  const SolverStats &S = Engine.solver().stats();
+  const QueryEngine::Counters &C = Engine.counters();
+  return "ok config=" + Engine.solver().options().configName() +
+         " vars=" + std::to_string(S.VarsCreated) +
+         " live=" + std::to_string(Engine.solver().numLiveVars()) +
+         " work=" + std::to_string(S.Work) +
+         " cycles_collapsed=" + std::to_string(S.CyclesCollapsed) +
+         " vars_eliminated=" + std::to_string(S.VarsEliminated) +
+         " budget_aborts=" + std::to_string(C.BudgetAborts) +
+         " rollbacks=" + std::to_string(C.Rollbacks) +
+         " wal_replayed=" + std::to_string(Server.WalReplayed) +
+         " checkpoints=" + std::to_string(Server.Checkpoints) +
+         " wal_records=" + std::to_string(Server.WalRecords) +
+         " wal_bytes=" + std::to_string(Server.WalBytes);
+}
+
+std::string buildCountersReply(const QueryEngine &Engine,
+                               const Histogram &Latency) {
+  const QueryEngine::Counters &C = Engine.counters();
+  HistogramSnapshot Snap = Latency.snapshot();
+  return "ok queries=" + std::to_string(C.Queries) +
+         " hits=" + std::to_string(C.CacheHits) +
+         " misses=" + std::to_string(C.CacheMisses) +
+         " stale=" + std::to_string(C.StaleRebuilds) +
+         " additions=" + std::to_string(C.Additions) +
+         " evictions=" + std::to_string(Engine.cacheEvictions()) +
+         " p50_us=" + std::to_string(Snap.quantile(0.50)) +
+         " p99_us=" + std::to_string(Snap.quantile(0.99));
+}
+
+void exportServeMetrics(MetricsRegistry &Registry, const QueryEngine &Engine,
+                        const ServerCounters &Server) {
+  const QueryEngine::Counters &C = Engine.counters();
+  auto Set = [&Registry](const char *Name, const char *Help, uint64_t Value) {
+    Registry.counter(Name, Help).set(Value);
+  };
+  Set("poce_query_requests_total", "ls/pts/alias queries answered",
+      C.Queries);
+  Set("poce_query_cache_hits_total", "Queries served from a valid view",
+      C.CacheHits);
+  Set("poce_query_cache_misses_total", "Views built on first touch",
+      C.CacheMisses);
+  Set("poce_query_cache_stale_total", "Cached views outgrown and rebuilt",
+      C.StaleRebuilds);
+  Set("poce_query_cache_evictions_total", "Views dropped by LRU pressure",
+      Engine.cacheEvictions());
+  Set("poce_serve_additions_total", "Constraint lines accepted",
+      C.Additions);
+  Set("poce_serve_budget_aborts_total", "Additions rejected by a budget",
+      C.BudgetAborts);
+  Set("poce_serve_rollbacks_total", "Pre-batch state restores",
+      C.Rollbacks);
+  Set("poce_serve_wal_replayed_total", "WAL lines replayed at startup",
+      Server.WalReplayed);
+  Set("poce_serve_wal_skipped_total", "Stale WAL lines skipped at startup",
+      Server.WalSkipped);
+  Set("poce_serve_checkpoints_total", "Checkpoints completed",
+      Server.Checkpoints);
+  Registry.gauge("poce_serve_wal_records", "Records in the open WAL")
+      .set(Server.WalRecords);
+  Registry.gauge("poce_serve_wal_bytes", "Bytes in the open WAL")
+      .set(Server.WalBytes);
+  Registry
+      .gauge("poce_query_cache_size", "Views currently held by the LRU")
+      .set(Engine.cacheSize());
+}
+
+std::string buildMetricsReply(MetricsRegistry &Registry, QueryEngine &Engine,
+                              const ServerCounters &Server) {
+  Engine.solver().stats().exportTo(Registry);
+  exportServeMetrics(Registry, Engine, Server);
+  return "ok metrics\n" + Registry.renderPrometheus() + "# EOF";
+}
+
+} // namespace telemetry
+} // namespace serve
+} // namespace poce

@@ -8,6 +8,8 @@
 
 #include "support/ByteStream.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <cstring>
@@ -93,9 +95,32 @@ std::vector<uint8_t> encodeHeader(uint64_t BaseId) {
 constexpr size_t RecordPrefixSize = 4 + 8; // length + checksum
 constexpr size_t BaseIdOffset = sizeof(WriteAheadLog::Magic) + 4;
 
+/// Appends are fsync-bound (~ms), so the histogram record is free by
+/// comparison and is taken unconditionally — no timing gate here.
+Histogram &appendHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_wal_append_us",
+      "Microseconds per acknowledged WAL append (write + fsync)");
+  return H;
+}
+
+Histogram &replayHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_wal_replay_us", "Microseconds per WAL replay scan");
+  return H;
+}
+
+Counter &replayedLinesCounter() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "poce_wal_replayed_lines_total",
+      "Intact records recovered across WAL replays");
+  return C;
+}
+
 } // namespace
 
 Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
+  const uint64_t StartUs = trace::nowMicros();
   WalContents Contents;
   if (FailPoint::hit("wal.replay") == FailPoint::Mode::Error)
     return FailPoint::injectedError("wal.replay");
@@ -148,6 +173,9 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
   }
   Contents.ValidBytes = Pos;
   Contents.TornBytes = Bytes.size() - Pos;
+  replayHistogram().record(trace::nowMicros() - StartUs);
+  replayedLinesCounter().inc(Contents.Lines.size());
+  trace::complete("wal.replay", StartUs);
   return Contents;
 }
 
@@ -223,6 +251,8 @@ Status WriteAheadLog::append(const std::string &Line) {
   if (FailPoint::hit("wal.append.pre") != FailPoint::Mode::Off)
     return FailPoint::injectedError("wal.append.pre");
 
+  const uint64_t StartUs = trace::nowMicros();
+
   // The record goes out in two halves with the `wal.append.mid`
   // failpoint between them: a crash armed there dies with exactly the
   // torn tail a real mid-append SIGKILL would leave. Records are tens of
@@ -245,6 +275,8 @@ Status WriteAheadLog::append(const std::string &Line) {
   }
   RecordOffsets.push_back(Size);
   Size += Record.size();
+  appendHistogram().record(trace::nowMicros() - StartUs);
+  trace::complete("wal.append", StartUs);
   return Status();
 }
 

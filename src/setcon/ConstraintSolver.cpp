@@ -12,7 +12,9 @@
 #include "support/ErrorHandling.h"
 #include "support/FailPoint.h"
 #include "support/MemUsage.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -21,6 +23,37 @@
 #define POCE_DEBUG_TYPE "setcon"
 
 using namespace poce;
+
+namespace {
+
+// Per-phase timing is off unless a trace is armed or a server enabled
+// MetricsRegistry timing: the closure loop runs once per addConstraint, so
+// the untimed path must stay at a single relaxed load + branch (the <2%
+// micro_solver regression budget).
+inline bool phaseTimingOn() {
+  return MetricsRegistry::timingEnabled() || trace::enabled();
+}
+
+Histogram &closureHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_closure_us", "Closure-loop (worklist drain) wall time");
+  return H;
+}
+
+Histogram &cycleSearchHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_cycle_search_us",
+      "Partial online cycle detection per variable-variable insertion");
+  return H;
+}
+
+Histogram &leastSolutionHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_ls_us", "Least-solution computation wall time");
+  return H;
+}
+
+} // namespace
 
 ConstraintSolver::ConstraintSolver(TermTable &Terms, SolverOptions Options,
                                    const Oracle *WitnessOracle)
@@ -117,6 +150,8 @@ void ConstraintSolver::scheduleFlush(VarId Var) {
 void ConstraintSolver::drainWorklist() {
   if (Draining)
     return;
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   Draining = true;
   beginBatchBudgets();
   while (!Worklist.empty() && !Stats.Aborted) {
@@ -136,6 +171,10 @@ void ConstraintSolver::drainWorklist() {
     checkBatchBudgets();
   }
   Draining = false;
+  if (Timed) {
+    closureHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.closure", StartUs);
+  }
 }
 
 void ConstraintSolver::abortSolve(SolverStats::AbortReason Reason) {
@@ -477,6 +516,8 @@ void ConstraintSolver::recordVarVar(VarId Lhs, VarId Rhs, bool Derived) {
 bool ConstraintSolver::detectAndCollapse(VarId Lhs, VarId Rhs) {
   // The new constraint is Lhs <= Rhs; a cycle exists iff a chain
   // Rhs <= ... <= Lhs is already present.
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   std::vector<VarId> Path;
   bool Found = false;
   if (Options.Form == GraphForm::Inductive) {
@@ -506,9 +547,18 @@ bool ConstraintSolver::detectAndCollapse(VarId Lhs, VarId Rhs) {
       break;
     }
   }
-  if (!Found)
+  if (!Found) {
+    if (Timed)
+      cycleSearchHistogram().record(trace::nowMicros() - StartUs);
     return false;
+  }
   collapseCycle(Path);
+  if (Timed) {
+    cycleSearchHistogram().record(trace::nowMicros() - StartUs);
+    // Successful searches are rare enough to trace individually; the
+    // misses would swamp the viewer and live in the histogram instead.
+    trace::complete("solver.cycle_collapse", StartUs);
+  }
   return true;
 }
 
@@ -645,6 +695,8 @@ void ConstraintSolver::finalize() {
     return;
   drainWorklist();
   Finalized = true;
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   LSView.assign(numVars(), {});
   LSViewBuilt.assign(numVars(), 0);
   unsigned Threads = ThreadPool::resolveThreads(Options.Threads);
@@ -653,14 +705,18 @@ void ConstraintSolver::finalize() {
       computeLeastSolutionIF();
     else
       LSBits.clear(); // SF: the closed graph holds LS in PredTerms already.
-    return;
+  } else {
+    ThreadPool Pool(Threads);
+    if (Options.Form == GraphForm::Inductive)
+      computeLeastSolutionIFParallel(Pool);
+    else
+      LSBits.clear();
+    materializeAllSolutions(Pool);
   }
-  ThreadPool Pool(Threads);
-  if (Options.Form == GraphForm::Inductive)
-    computeLeastSolutionIFParallel(Pool);
-  else
-    LSBits.clear();
-  materializeAllSolutions(Pool);
+  if (Timed) {
+    leastSolutionHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.least_solution", StartUs);
+  }
 }
 
 const std::vector<ExprId> &ConstraintSolver::leastSolution(VarId Var) {
@@ -1074,4 +1130,15 @@ std::string ConstraintSolver::exprStr(ExprId Id) const {
     return Vars[Var].Name.empty() ? "X" + std::to_string(Var)
                                   : Vars[Var].Name;
   });
+}
+
+void SolverStats::exportTo(MetricsRegistry &Registry) const {
+  for (const NamedCounter &C : allCounters())
+    Registry.gauge(std::string("poce_solver_") + C.Key,
+                   "Solver counter (see SolverStats)")
+        .set(C.Value);
+  Registry
+      .gauge("poce_solver_aborted",
+             "1 if the last exported solve hit a budget and stopped early")
+      .set(Aborted ? 1 : 0);
 }

@@ -21,6 +21,8 @@
 
 namespace poce {
 
+class MetricsRegistry;
+
 /// Measurements of a single solve.
 struct SolverStats {
   /// Variables ever created (including ones later collapsed away).
@@ -155,6 +157,35 @@ struct SolverStats {
              {"Pruned", "propagations_pruned", PropagationsPruned},
              {"LSwords", "ls_union_words", LSUnionWords}}};
   }
+
+  /// Every counter with its snake_case key — the single naming source for
+  /// the metrics-registry export and any full JSON emitter.
+  std::array<NamedCounter, 18> allCounters() const {
+    return {{{"VarsCreated", "vars_created", VarsCreated},
+             {"OracleSubs", "oracle_substitutions", OracleSubstitutions},
+             {"InitialEdges", "initial_edges", InitialEdges},
+             {"Sources", "distinct_sources", DistinctSources},
+             {"Sinks", "distinct_sinks", DistinctSinks},
+             {"Work", "work", Work},
+             {"Redundant", "redundant_adds", RedundantAdds},
+             {"SelfEdges", "self_edges", SelfEdges},
+             {"VarsElim", "vars_eliminated", VarsEliminated},
+             {"Cycles", "cycles_collapsed", CyclesCollapsed},
+             {"SearchSteps", "cycle_search_steps", CycleSearchSteps},
+             {"Searches", "cycle_searches", CycleSearches},
+             {"Periodic", "periodic_passes", PeriodicPasses},
+             {"Mismatches", "mismatches", Mismatches},
+             {"Processed", "constraints_processed", ConstraintsProcessed},
+             {"LSwords", "ls_union_words", LSUnionWords},
+             {"DeltaProps", "delta_propagations", DeltaPropagations},
+             {"Pruned", "propagations_pruned", PropagationsPruned}}};
+  }
+
+  /// Mirrors every counter into \p Registry as a gauge named
+  /// `poce_solver_<key>` (observe-only: the registry is written at export
+  /// time, never read back, so counters stay bit-identical to a build
+  /// without metrics). Defined in ConstraintSolver.cpp.
+  void exportTo(MetricsRegistry &Registry) const;
 };
 
 } // namespace poce

@@ -1,0 +1,276 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace poce;
+
+std::atomic<bool> MetricsRegistry::TimingOn{false};
+
+//===----------------------------------------------------------------------===//
+// Histogram reads
+//===----------------------------------------------------------------------===//
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Snap;
+  Snap.Buckets.resize(NumBuckets);
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    Snap.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  for (uint64_t B : Snap.Buckets)
+    Snap.Count += B;
+  Snap.Sum = Sum.load(std::memory_order_relaxed);
+  Snap.Max = Max.load(std::memory_order_relaxed);
+  return Snap;
+}
+
+uint64_t HistogramSnapshot::quantile(double P) const {
+  if (Count == 0)
+    return 0;
+  double Scaled = P * static_cast<double>(Count);
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Scaled));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I != Buckets.size(); ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative >= Rank) {
+      uint64_t Upper = Histogram::bucketUpperBound(static_cast<unsigned>(I));
+      // The overflow bucket has no finite bound; Max is exact for it when
+      // it holds the histogram's largest samples.
+      return Upper == UINT64_MAX ? Max : std::min(Upper, Max);
+    }
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *Registry = new MetricsRegistry();
+  return *Registry;
+}
+
+static bool validMetricName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name)
+    if (!Head(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+MetricsRegistry::Entry &MetricsRegistry::lookup(const std::string &Name,
+                                                MetricSample::Kind Kind,
+                                                const std::string &Help) {
+  if (!validMetricName(Name))
+    reportFatalError("invalid metric name '" + Name +
+                     "' (want [a-zA-Z_:][a-zA-Z0-9_:]*)");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Name);
+  if (It != Entries.end()) {
+    if (It->second.Kind != Kind)
+      reportFatalError("metric '" + Name +
+                       "' re-registered with a different kind");
+    return It->second;
+  }
+  Entry &E = Entries[Name];
+  E.Kind = Kind;
+  E.Help = Help;
+  switch (Kind) {
+  case MetricSample::Kind::Counter:
+    E.C = std::make_unique<Counter>();
+    break;
+  case MetricSample::Kind::Gauge:
+    E.G = std::make_unique<Gauge>();
+    break;
+  case MetricSample::Kind::Histogram:
+    E.H = std::make_unique<Histogram>();
+    break;
+  }
+  return E;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  return *lookup(Name, MetricSample::Kind::Counter, Help).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  return *lookup(Name, MetricSample::Kind::Gauge, Help).G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help) {
+  return *lookup(Name, MetricSample::Kind::Histogram, Help).H;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<MetricSample> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Name, E] : Entries) {
+    MetricSample Sample;
+    Sample.Name = Name;
+    Sample.Help = E.Help;
+    Sample.Type = E.Kind;
+    switch (E.Kind) {
+    case MetricSample::Kind::Counter:
+      Sample.Value = E.C->value();
+      break;
+    case MetricSample::Kind::Gauge:
+      Sample.Value = E.G->value();
+      break;
+    case MetricSample::Kind::Histogram:
+      Sample.Histogram = E.H->snapshot();
+      break;
+    }
+    Out.push_back(std::move(Sample));
+  }
+  return Out; // std::map iteration is already name-sorted.
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, E] : Entries) {
+    (void)Name;
+    switch (E.Kind) {
+    case MetricSample::Kind::Counter:
+      E.C->set(0);
+      break;
+    case MetricSample::Kind::Gauge:
+      E.G->set(0);
+      break;
+    case MetricSample::Kind::Histogram:
+      E.H->reset();
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::string Out;
+  char Buf[160];
+  for (const MetricSample &S : snapshot()) {
+    if (!S.Help.empty())
+      Out += "# HELP " + S.Name + " " + S.Help + "\n";
+    switch (S.Type) {
+    case MetricSample::Kind::Counter:
+      Out += "# TYPE " + S.Name + " counter\n";
+      std::snprintf(Buf, sizeof(Buf), "%s %llu\n", S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Value));
+      Out += Buf;
+      break;
+    case MetricSample::Kind::Gauge:
+      Out += "# TYPE " + S.Name + " gauge\n";
+      std::snprintf(Buf, sizeof(Buf), "%s %llu\n", S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Value));
+      Out += Buf;
+      break;
+    case MetricSample::Kind::Histogram: {
+      Out += "# TYPE " + S.Name + " histogram\n";
+      uint64_t Cumulative = 0;
+      for (size_t I = 0; I != S.Histogram.Buckets.size(); ++I) {
+        // Empty buckets below the first occupied one still render (the
+        // Prometheus format wants a stable bucket schema), but interior
+        // runs of zeros compress to nothing extra anyway at 40 buckets.
+        Cumulative += S.Histogram.Buckets[I];
+        uint64_t Upper = Histogram::bucketUpperBound(static_cast<unsigned>(I));
+        if (Upper == UINT64_MAX)
+          std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                        S.Name.c_str(),
+                        static_cast<unsigned long long>(Cumulative));
+        else
+          std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                        S.Name.c_str(),
+                        static_cast<unsigned long long>(Upper),
+                        static_cast<unsigned long long>(Cumulative));
+        Out += Buf;
+      }
+      std::snprintf(Buf, sizeof(Buf), "%s_sum %llu\n%s_count %llu\n",
+                    S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Histogram.Sum),
+                    S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Histogram.Count));
+      Out += Buf;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  std::string Counters, Gauges, Histograms;
+  char Buf[256];
+  for (const MetricSample &S : snapshot()) {
+    switch (S.Type) {
+    case MetricSample::Kind::Counter:
+      std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %llu",
+                    Counters.empty() ? "" : ", ", S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Value));
+      Counters += Buf;
+      break;
+    case MetricSample::Kind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %llu",
+                    Gauges.empty() ? "" : ", ", S.Name.c_str(),
+                    static_cast<unsigned long long>(S.Value));
+      Gauges += Buf;
+      break;
+    case MetricSample::Kind::Histogram:
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+          "\"p50\": %llu, \"p99\": %llu}",
+          Histograms.empty() ? "" : ", ", S.Name.c_str(),
+          static_cast<unsigned long long>(S.Histogram.Count),
+          static_cast<unsigned long long>(S.Histogram.Sum),
+          static_cast<unsigned long long>(S.Histogram.Max),
+          static_cast<unsigned long long>(S.Histogram.quantile(0.50)),
+          static_cast<unsigned long long>(S.Histogram.quantile(0.99)));
+      Histograms += Buf;
+      break;
+    }
+  }
+  return "{\"counters\": {" + Counters + "}, \"gauges\": {" + Gauges +
+         "}, \"histograms\": {" + Histograms + "}}";
+}
+
+//===----------------------------------------------------------------------===//
+// Exact percentiles
+//===----------------------------------------------------------------------===//
+
+uint64_t poce::exactPercentile(const std::vector<uint64_t> &Sorted,
+                               double P) {
+  if (Sorted.empty())
+    return 0;
+  double Scaled = P * static_cast<double>(Sorted.size());
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Scaled));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}

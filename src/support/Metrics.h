@@ -1,0 +1,231 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges, and fixed-log-bucket
+/// latency histograms — the telemetry substrate every layer (solver, serve,
+/// driver, bench) reports into and every exporter (the `metrics` serve
+/// verb, --metrics-out JSON dumps, the micro_solver trajectory) reads out
+/// of.
+///
+/// Design constraints, in order:
+///
+///  1. Hot-path increments are lock-free: every value is a relaxed
+///     std::atomic<uint64_t>, so a counter bump or histogram record is one
+///     atomic add with no fence — safe from any thread, and on the
+///     single-threaded solver paths it costs the same as a plain add.
+///  2. Reads are snapshot-consistent per metric: a histogram read copies
+///     the bucket array and then reconciles count/sum, so an exporter never
+///     renders a bucket total larger than the advertised count.
+///  3. Registration is rare and locked: metric objects are created once
+///     (named lookup under a mutex), then referenced forever — the
+///     returned references are stable for the process lifetime, so hot
+///     paths cache `static Counter &C = registry.counter(...)`.
+///
+/// Histograms use fixed base-2 log buckets: bucket 0 holds the value 0 and
+/// bucket i >= 1 holds [2^(i-1), 2^i - 1]. Insertion is O(1) (a bit-width
+/// computation indexes the bucket), and quantile estimation walks the
+/// cumulative counts to the ceil-rank bucket and reports its upper bound —
+/// an estimate q with exact <= q < 2*exact for any nonzero exact value.
+/// This replaces scserved's sort-on-demand latency ring (O(64k log 64k)
+/// per `counters` request) with O(1) insert and O(buckets) read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_METRICS_H
+#define POCE_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace poce {
+
+/// A monotonically increasing event count (Prometheus `counter`). Callers
+/// that mirror an externally maintained total at scrape time may also
+/// set() it; the registry does not enforce monotonicity.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A point-in-time measurement (Prometheus `gauge`).
+class Gauge {
+public:
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) {
+    Value.fetch_add(static_cast<uint64_t>(N), std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Read-side copy of a histogram (all loads relaxed, then reconciled so
+/// the bucket sum never exceeds Count).
+struct HistogramSnapshot {
+  std::vector<uint64_t> Buckets; ///< Per-bucket counts (not cumulative).
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+
+  /// Ceil-rank quantile estimate: the upper bound of the bucket holding
+  /// the ⌈P·Count⌉-th smallest sample (the Max for the overflow bucket).
+  /// 0 when empty.
+  uint64_t quantile(double P) const;
+};
+
+/// Fixed-log-bucket histogram with lock-free O(1) inserts. Values are
+/// unitless u64s; by convention the poce_* histograms record microseconds.
+class Histogram {
+public:
+  /// 40 base-2 buckets cover [0, 2^38) with the last bucket as overflow —
+  /// in microseconds that is ~76 hours before precision degrades to "Max".
+  static constexpr unsigned NumBuckets = 40;
+
+  /// Index of the bucket holding \p Value: 0 for 0, else its bit width
+  /// (clamped to the overflow bucket).
+  static unsigned bucketIndex(uint64_t Value) {
+    if (Value == 0)
+      return 0;
+    unsigned Width = 64 - static_cast<unsigned>(__builtin_clzll(Value));
+    return Width < NumBuckets ? Width : NumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket \p Index (UINT64_MAX for overflow).
+  static uint64_t bucketUpperBound(unsigned Index) {
+    if (Index + 1 >= NumBuckets)
+      return UINT64_MAX;
+    return (uint64_t(1) << Index) - 1;
+  }
+
+  void record(uint64_t Value) {
+    Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (Prev < Value &&
+           !Max.compare_exchange_weak(Prev, Value,
+                                      std::memory_order_relaxed))
+      ;
+  }
+
+  /// Zeroes every bucket, the sum, and the max (atomics are not
+  /// assignable, so this is the registry's reset primitive).
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  uint64_t count() const { return snapshot().Count; }
+
+  /// Convenience: quantile of a fresh snapshot.
+  uint64_t quantile(double P) const { return snapshot().quantile(P); }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// One named metric's values at snapshot time.
+struct MetricSample {
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+  std::string Name;
+  std::string Help;
+  Kind Type = Kind::Counter;
+  uint64_t Value = 0;          ///< Counter/gauge value.
+  HistogramSnapshot Histogram; ///< Filled for histograms only.
+};
+
+/// The registry. Usable as a local instance in tests; production code
+/// shares the process-wide global().
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The process-wide registry (never destroyed: hot paths hold references
+  /// into it through static locals, which may outlive file-scope statics).
+  static MetricsRegistry &global();
+
+  /// Looks up or creates a metric. Names must match the Prometheus charset
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (violations are a fatal error — metric names
+  /// are compile-time constants in practice). Looking up an existing name
+  /// with a different metric kind is also fatal.
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  Histogram &histogram(const std::string &Name, const std::string &Help = "");
+
+  /// All registered metrics, sorted by name, values read at call time.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Prometheus text exposition format: `# HELP` / `# TYPE` preamble per
+  /// metric, `_bucket{le="..."}` cumulative series plus `_sum`/`_count`
+  /// for histograms. Ends with a final newline (no `# EOF` marker; the
+  /// serve layer appends one as its framing).
+  std::string renderPrometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count":..,"sum":..,"max":..,"p50":..,"p99":..}}}.
+  std::string renderJson() const;
+
+  /// Zeroes every registered value (registrations survive). Test/bench
+  /// helper; concurrent writers may interleave, which is fine for both.
+  void reset();
+
+  /// Process-wide switch for optional hot-path phase timing (the solver's
+  /// closure/cycle-search/LS timers). Off by default so pure solves pay
+  /// only one relaxed load per batch; servers and traced runs turn it on.
+  static bool timingEnabled() {
+    return TimingOn.load(std::memory_order_relaxed);
+  }
+  static void setTimingEnabled(bool On) {
+    TimingOn.store(On, std::memory_order_relaxed);
+  }
+
+private:
+  struct Entry {
+    MetricSample::Kind Kind;
+    std::string Help;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  Entry &lookup(const std::string &Name, MetricSample::Kind Kind,
+                const std::string &Help);
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Entries;
+
+  static std::atomic<bool> TimingOn;
+};
+
+/// Exact ceil-rank percentile over an already sorted sample vector: the
+/// ⌈P·N⌉-th smallest value (clamped to the ends), 0 for an empty vector.
+/// This is the bias-corrected replacement for scserved's old floor
+/// nearest-rank (`P*size`), which over-reported p50 on small samples —
+/// e.g. for N=2 it picked the larger element as the median.
+uint64_t exactPercentile(const std::vector<uint64_t> &Sorted, double P);
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_METRICS_H

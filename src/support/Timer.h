@@ -39,7 +39,9 @@ private:
 };
 
 /// Runs \p F \p Repeats times and returns the fastest wall-clock seconds —
-/// the paper's "best of three runs" methodology.
+/// the paper's "best of three runs" methodology. Zero repeats returns 0.0
+/// (never a negative sentinel: a mis-parsed --repeats=0 must not poison a
+/// benchmark JSON with -1 timings).
 template <typename Fn> double bestOfN(unsigned Repeats, Fn F) {
   double Best = -1.0;
   for (unsigned I = 0; I != Repeats; ++I) {
@@ -49,7 +51,7 @@ template <typename Fn> double bestOfN(unsigned Repeats, Fn F) {
     if (Best < 0 || Elapsed < Best)
       Best = Elapsed;
   }
-  return Best;
+  return Best < 0 ? 0.0 : Best;
 }
 
 } // namespace poce

@@ -1,0 +1,189 @@
+//===- support/Trace.cpp - Chrome trace-event spans -----------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace poce;
+
+namespace {
+
+struct Event {
+  const char *Name;
+  uint64_t TsUs;
+  uint64_t DurUs; ///< 0 duration + Instant flag renders as an instant.
+  uint32_t Tid;
+  bool Instant;
+};
+
+/// Collector state behind one mutex. Span emission is batch-granular
+/// (closure drains, WAL fsyncs, checkpoints), so contention is nil; the
+/// hot gate is the lock-free Armed flag in the header.
+struct Collector {
+  std::mutex Mutex;
+  std::vector<Event> Events;
+  std::string Path;
+  uint64_t Dropped = 0;
+  /// Bounds the buffer so a pathological run cannot swallow the heap:
+  /// ~1M events is ~40 MB and far beyond what the viewer renders well.
+  static constexpr size_t MaxEvents = 1 << 20;
+};
+
+Collector &collector() {
+  static Collector *C = new Collector();
+  return *C;
+}
+
+uint32_t threadTraceId() {
+  static std::atomic<uint32_t> NextTid{1};
+  thread_local uint32_t Tid = NextTid.fetch_add(1);
+  return Tid;
+}
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+void writeFileLocked(Collector &C) {
+  if (C.Path.empty())
+    return;
+  std::FILE *File = std::fopen(C.Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "poce-trace: cannot open '%s' for writing\n",
+                 C.Path.c_str());
+    return;
+  }
+  std::fprintf(File, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  const long Pid = static_cast<long>(::getpid());
+  for (size_t I = 0; I != C.Events.size(); ++I) {
+    const Event &E = C.Events[I];
+    if (E.Instant)
+      std::fprintf(File,
+                   "{\"name\": \"%s\", \"ph\": \"i\", \"s\": \"g\", "
+                   "\"pid\": %ld, \"tid\": %u, \"ts\": %llu}%s\n",
+                   E.Name, Pid, E.Tid,
+                   static_cast<unsigned long long>(E.TsUs),
+                   I + 1 == C.Events.size() ? "" : ",");
+    else
+      std::fprintf(File,
+                   "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %ld, "
+                   "\"tid\": %u, \"ts\": %llu, \"dur\": %llu}%s\n",
+                   E.Name, Pid, E.Tid,
+                   static_cast<unsigned long long>(E.TsUs),
+                   static_cast<unsigned long long>(E.DurUs),
+                   I + 1 == C.Events.size() ? "" : ",");
+  }
+  std::fprintf(File, "]}\n");
+  std::fclose(File);
+  if (C.Dropped)
+    std::fprintf(stderr,
+                 "poce-trace: dropped %llu events past the %zu-event "
+                 "buffer; the trace is a prefix\n",
+                 static_cast<unsigned long long>(C.Dropped),
+                 Collector::MaxEvents);
+}
+
+void atExitFlush() { trace::disarm(); }
+
+void push(Event E) {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  if (C.Events.size() >= Collector::MaxEvents) {
+    ++C.Dropped;
+    return;
+  }
+  C.Events.push_back(E);
+}
+
+/// File-scope initializer: POCE_TRACE works in every binary that links
+/// poce_support, with no per-main arming call.
+struct EnvInit {
+  EnvInit() { trace::armFromEnv(); }
+} EnvInitializer;
+
+} // namespace
+
+namespace poce {
+namespace trace {
+
+namespace detail {
+std::atomic<bool> Armed{false};
+} // namespace detail
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+void arm(const std::string &Path) {
+  Collector &C = collector();
+  {
+    std::lock_guard<std::mutex> Lock(C.Mutex);
+    if (!C.Path.empty() && C.Path != Path)
+      writeFileLocked(C); // Flush the previous destination first.
+    if (C.Path != Path) {
+      C.Events.clear();
+      C.Dropped = 0;
+    }
+    C.Path = Path;
+  }
+  static std::once_flag AtExitOnce;
+  std::call_once(AtExitOnce, [] { std::atexit(atExitFlush); });
+  (void)traceEpoch(); // Pin ts=0 before the first span.
+  detail::Armed.store(true, std::memory_order_relaxed);
+}
+
+void armFromEnv() {
+  if (const char *Path = std::getenv("POCE_TRACE"))
+    if (*Path)
+      arm(Path);
+}
+
+void disarm() {
+  if (!enabled())
+    return;
+  detail::Armed.store(false, std::memory_order_relaxed);
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  writeFileLocked(C);
+  C.Events.clear();
+  C.Path.clear();
+  C.Dropped = 0;
+}
+
+uint64_t eventCount() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  return C.Events.size();
+}
+
+void complete(const char *Name, uint64_t StartUs) {
+  if (!enabled())
+    return;
+  uint64_t End = nowMicros();
+  push({Name, StartUs, End > StartUs ? End - StartUs : 0, threadTraceId(),
+        /*Instant=*/false});
+}
+
+void instant(const char *Name) {
+  if (!enabled())
+    return;
+  push({Name, nowMicros(), 0, threadTraceId(), /*Instant=*/true});
+}
+
+} // namespace trace
+} // namespace poce

@@ -1,0 +1,95 @@
+//===- support/Trace.h - Chrome trace-event spans ---------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock trace spans emitted as Chrome trace-event JSON (load the
+/// output in chrome://tracing or https://ui.perfetto.dev). Arming is by
+/// environment variable — `POCE_TRACE=/tmp/solve.json` makes every poce
+/// binary collect spans and write the file at exit — or programmatically
+/// via trace::arm()/trace::disarm() (tests, servers that rotate files).
+///
+/// The disarmed path is a single relaxed atomic-bool load: a Span in a
+/// hot loop costs one load+branch when tracing is off, no clock read, no
+/// allocation. Instrumentation sites therefore do not need their own
+/// gating. Events are buffered in memory (bounded; see MaxEvents) and
+/// written once, so tracing never adds I/O to the traced region.
+///
+/// Span names are expected to be string literals: the buffer stores the
+/// pointer, not a copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_TRACE_H
+#define POCE_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace poce {
+namespace trace {
+
+namespace detail {
+extern std::atomic<bool> Armed;
+} // namespace detail
+
+/// True when spans are being collected. One relaxed load.
+inline bool enabled() {
+  return detail::Armed.load(std::memory_order_relaxed);
+}
+
+/// Starts collecting spans and registers the output file. Replaces any
+/// previous destination (pending events are flushed there first).
+void arm(const std::string &Path);
+
+/// Reads POCE_TRACE and arms if set. Called from a static initializer in
+/// Trace.cpp, so every binary honors the variable without per-main wiring;
+/// idempotent and callable again after a disarm().
+void armFromEnv();
+
+/// Stops collecting and writes the JSON file. No-op when disarmed.
+void disarm();
+
+/// Events buffered so far (test hook; also exported as a metric).
+uint64_t eventCount();
+
+/// Microseconds on the trace clock (steady, zero at process start).
+uint64_t nowMicros();
+
+/// Records a completed span [StartUs, nowMicros()] named \p Name (a
+/// string literal). Call only when enabled() was true at span start.
+void complete(const char *Name, uint64_t StartUs);
+
+/// Records an instant event (a vertical line in the viewer).
+void instant(const char *Name);
+
+/// RAII span: captures the clock at construction when tracing is armed,
+/// emits a complete event at destruction.
+class Span {
+public:
+  explicit Span(const char *Name) : Name(Name) {
+    if (enabled()) {
+      StartUs = nowMicros();
+      Active = true;
+    }
+  }
+  ~Span() {
+    if (Active)
+      complete(Name, StartUs);
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  uint64_t StartUs = 0;
+  bool Active = false;
+};
+
+} // namespace trace
+} // namespace poce
+
+#endif // POCE_SUPPORT_TRACE_H

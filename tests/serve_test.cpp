@@ -14,12 +14,15 @@
 
 #include "serve/GraphSnapshot.h"
 #include "serve/QueryEngine.h"
+#include "serve/Telemetry.h"
 
+#include "support/Metrics.h"
 #include "support/PRNG.h"
 
 #include "gtest/gtest.h"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #ifndef POCE_SOURCE_DIR
@@ -310,6 +313,157 @@ TEST(QueryEngineTest, IncrementalMatchesFreshSolve) {
                        Options.configName() +
                            (DiffProp ? "+diffprop" : "-diffprop"));
       }
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry replies (the scserved stats / counters / metrics verbs)
+//===----------------------------------------------------------------------===//
+
+/// Parses "key=value" tokens of a one-line reply into a map.
+std::map<std::string, std::string> parseKv(const std::string &Reply) {
+  std::map<std::string, std::string> Out;
+  std::istringstream In(Reply);
+  std::string Token;
+  while (In >> Token) {
+    size_t Eq = Token.find('=');
+    if (Eq != std::string::npos)
+      Out[Token.substr(0, Eq)] = Token.substr(Eq + 1);
+  }
+  return Out;
+}
+
+QueryEngine makeTelemetryEngine() {
+  const char *Text = "cons a\n"
+                     "cons b\n"
+                     "var X Y Z\n"
+                     "a <= X\n"
+                     "b <= Y\n"
+                     "X <= Z\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  EXPECT_TRUE(Sys.Error.empty()) << Sys.Error;
+  return QueryEngine(Sys.take());
+}
+
+TEST(TelemetryTest, StatsReplyFieldsAndMonotonicity) {
+  QueryEngine Engine = makeTelemetryEngine();
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  telemetry::ServerCounters Server;
+  Server.WalReplayed = 3;
+  Server.Checkpoints = 2;
+
+  std::string Reply = telemetry::buildStatsReply(Engine, Server);
+  ASSERT_EQ(Reply.rfind("ok ", 0), 0u) << Reply;
+  auto Kv = parseKv(Reply);
+  for (const char *Key :
+       {"config", "vars", "live", "work", "cycles_collapsed",
+        "vars_eliminated", "budget_aborts", "rollbacks", "wal_replayed",
+        "checkpoints", "wal_records", "wal_bytes"})
+    EXPECT_TRUE(Kv.count(Key)) << "missing " << Key << " in: " << Reply;
+  EXPECT_EQ(Kv["config"], "IF-Online");
+  EXPECT_EQ(Kv["wal_replayed"], "3");
+  EXPECT_EQ(Kv["budget_aborts"], "0");
+
+  // Work is monotone under additions; the reply must track it.
+  uint64_t WorkBefore = std::stoull(Kv["work"]);
+  ASSERT_TRUE(Engine.addConstraint("b <= X").ok());
+  auto After = parseKv(telemetry::buildStatsReply(Engine, Server));
+  EXPECT_GT(std::stoull(After["work"]), WorkBefore);
+}
+
+TEST(TelemetryTest, CountersReplyReadsTheHistogram) {
+  QueryEngine Engine = makeTelemetryEngine();
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  VarId X = Engine.varOf("X");
+  ASSERT_NE(X, QueryEngine::NotFound);
+  (void)Engine.ls(X);
+  (void)Engine.ls(X);
+
+  Histogram Latency;
+  for (uint64_t V : {10, 20, 30, 40, 1000})
+    Latency.record(V);
+  std::string Reply = telemetry::buildCountersReply(Engine, Latency);
+  ASSERT_EQ(Reply.rfind("ok ", 0), 0u) << Reply;
+  auto Kv = parseKv(Reply);
+  for (const char *Key : {"queries", "hits", "misses", "stale",
+                          "additions", "evictions", "p50_us", "p99_us"})
+    EXPECT_TRUE(Kv.count(Key)) << "missing " << Key << " in: " << Reply;
+  EXPECT_EQ(Kv["queries"], "2");
+  EXPECT_EQ(Kv["hits"], "1");
+  EXPECT_EQ(Kv["misses"], "1");
+
+  // Percentile parity with the exact ceil-rank percentile: the log-bucket
+  // estimate q satisfies exact <= q < 2 * exact.
+  std::vector<uint64_t> Sorted{10, 20, 30, 40, 1000};
+  uint64_t P50 = std::stoull(Kv["p50_us"]);
+  uint64_t P99 = std::stoull(Kv["p99_us"]);
+  EXPECT_GE(P50, exactPercentile(Sorted, 0.50));
+  EXPECT_LT(P50, 2 * exactPercentile(Sorted, 0.50));
+  EXPECT_GE(P99, exactPercentile(Sorted, 0.99));
+  EXPECT_LT(P99, 2 * exactPercentile(Sorted, 0.99));
+}
+
+TEST(TelemetryTest, MetricsReplyIsFramedLintedPrometheus) {
+  QueryEngine Engine = makeTelemetryEngine();
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  VarId X = Engine.varOf("X");
+  ASSERT_NE(X, QueryEngine::NotFound);
+  (void)Engine.pts(X);
+  telemetry::queryLatencyHistogram().record(25);
+
+  telemetry::ServerCounters Server;
+  Server.WalRecords = 4;
+  std::string Reply = telemetry::buildMetricsReply(MetricsRegistry::global(),
+                                                   Engine, Server);
+
+  // Framing: header line, payload, "# EOF" terminator.
+  ASSERT_EQ(Reply.rfind("ok metrics\n", 0), 0u);
+  ASSERT_GE(Reply.size(), 5u);
+  EXPECT_EQ(Reply.substr(Reply.size() - 5), "# EOF");
+
+  // Every layer's series is present: solver, cache, WAL, latency.
+  for (const char *Series :
+       {"poce_solver_work", "poce_solver_cycles_collapsed",
+        "poce_query_requests_total", "poce_query_cache_misses_total",
+        "poce_serve_wal_records", "poce_query_latency_us_bucket",
+        "poce_query_latency_us_count"})
+    EXPECT_NE(Reply.find(Series), std::string::npos)
+        << "missing series " << Series;
+
+  // Structural lint of the payload: every series line is `name value`
+  // with a numeric value, histogram buckets are cumulative and end at
+  // +Inf == _count.
+  std::istringstream In(Reply.substr(std::string("ok metrics\n").size()));
+  std::string Line;
+  uint64_t Cumulative = 0;
+  std::string BucketSeries;
+  while (std::getline(In, Line)) {
+    if (Line == "# EOF")
+      break;
+    ASSERT_FALSE(Line.empty());
+    if (Line[0] == '#') {
+      EXPECT_TRUE(Line.rfind("# HELP ", 0) == 0 ||
+                  Line.rfind("# TYPE ", 0) == 0)
+          << Line;
+      continue;
+    }
+    size_t Space = Line.find_last_of(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    std::string Value = Line.substr(Space + 1);
+    for (char C : Value)
+      EXPECT_TRUE(C >= '0' && C <= '9') << Line;
+    size_t Brace = Line.find("_bucket{");
+    if (Brace != std::string::npos) {
+      std::string Series = Line.substr(0, Brace);
+      if (Series != BucketSeries) {
+        BucketSeries = Series;
+        Cumulative = 0;
+      }
+      uint64_t Count = std::stoull(Value);
+      EXPECT_GE(Count, Cumulative) << "non-cumulative bucket: " << Line;
+      Cumulative = Count;
+    }
+  }
+  EXPECT_EQ(Line, "# EOF") << "payload not terminated";
 }
 
 } // namespace

@@ -383,6 +383,13 @@ TEST(TimerTest, BestOfNReturnsMinimum) {
   EXPECT_GE(Best, 0.0);
 }
 
+TEST(TimerTest, BestOfZeroRepeatsIsZeroNotSentinel) {
+  int Runs = 0;
+  double Best = bestOfN(0, [&] { ++Runs; });
+  EXPECT_EQ(Runs, 0);
+  EXPECT_EQ(Best, 0.0); // Not the internal -1.0 "no sample yet" marker.
+}
+
 TEST(StatisticTest, CountsAndResets) {
   static Statistic Counter("test", "A test counter");
   Counter.reset();
