@@ -461,6 +461,70 @@ TrajectoryResult measureTrajectory(const TrajectoryConfig &Config,
   return Out;
 }
 
+/// Wave-closure A/B on one shape: the wave schedule (topo-ordered delta
+/// sweeps over the CSR layout) against the eager worklist with the same
+/// optimized propagation, and against the seed element-wise path. The
+/// solution checksum must be identical across all three.
+struct WaveResult {
+  double WaveSeconds = 0;     ///< ClosureMode::Wave, best of N.
+  double WorklistSeconds = 0; ///< ClosureMode::Worklist, same DiffProp.
+  double SeedSeconds = 0;     ///< Seed element-wise reference path.
+  uint64_t Work = 0;          ///< Wave-run Work counter.
+  uint64_t Edges = 0;         ///< Wave-run final edges.
+  uint64_t WorklistEdges = 0;
+  SolverStats WaveStats;
+  size_t WaveBits = 0;     ///< Folded solution sizes, wave run.
+  size_t WorklistBits = 0; ///< Same, worklist run.
+  size_t SeedBits = 0;     ///< Same, seed path.
+};
+
+WaveResult measureWave(const TrajectoryConfig &Config, unsigned Repeats) {
+  PRNG Rng(Config.Seed);
+  RandomConstraintShape Shape = randomConstraintShape(
+      Config.NumVars, Config.NumCons,
+      Config.Degree / std::max<uint32_t>(Config.NumVars, 1), Rng);
+
+  WaveResult Out;
+  auto solveClosure = [&](ClosureMode Mode, size_t *Bits) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    SolverOptions Options = makeConfig(Config.Form, Config.Elim, Config.Seed);
+    Options.Closure = Mode;
+    ConstraintSolver Solver(Terms, Options);
+    emitShapeOrdered(Shape, Solver, Config.FactsFirst);
+    Solver.finalize();
+    size_t Total = 0;
+    for (VarId Var = 0; Var != Solver.numVars(); ++Var)
+      Total += Solver.leastSolution(Var).size();
+    *Bits = Total;
+    if (Mode == ClosureMode::Wave) {
+      Out.Work = Solver.stats().Work;
+      Out.Edges = Solver.countFinalEdges();
+      Out.WaveStats = Solver.stats();
+    } else {
+      Out.WorklistEdges = Solver.countFinalEdges();
+    }
+  };
+  Out.WaveSeconds = bestOfN(
+      Repeats, [&] { solveClosure(ClosureMode::Wave, &Out.WaveBits); });
+  Out.WorklistSeconds = bestOfN(Repeats, [&] {
+    solveClosure(ClosureMode::Worklist, &Out.WorklistBits);
+  });
+  Out.SeedSeconds = bestOfN(Repeats, [&] {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    SolverOptions Options = makeConfig(Config.Form, Config.Elim, Config.Seed);
+    Options.DiffProp = false;
+    ConstraintSolver Solver(Terms, Options);
+    emitShapeOrdered(Shape, Solver, Config.FactsFirst);
+    size_t Total = 0;
+    for (const std::vector<ExprId> &LS : Solver.referenceLeastSolutions())
+      Total += LS.size();
+    Out.SeedBits = Total;
+  });
+  return Out;
+}
+
 /// One thread-scaling measurement: the same computation at 1 lane and at
 /// \p Threads lanes. Checksum must match between the two variants (the
 /// parallel paths are bit-identical by construction).
@@ -970,6 +1034,75 @@ int emitTrajectory(const std::string &Path) {
                 Config.Name, Named.configName().c_str(), Config.NumVars,
                 R.WallSeconds, R.BaselineSeconds, Speedup,
                 (unsigned long long)R.Work, (unsigned long long)R.Edges);
+  }
+
+  // Wave-closure entries on the cascade shape (the worst case for eager
+  // singleton deltas, the best case for level-batched sweeps).
+  // wave_closure is the schedule A/B at equal propagation machinery
+  // (wave vs worklist, DiffProp on for both); sf_cascade_wave keeps the
+  // sf_cascade entry's seed-path baseline so the acceptance ratio
+  // against the seed implementation is recorded directly.
+  {
+    TrajectoryConfig Cascade = {"sf_cascade", GraphForm::Standard,
+                                CycleElim::None, 4000, 2600, 2.0, 105,
+                                /*FactsFirst=*/false};
+    Cascade.NumVars = std::max<uint32_t>(
+        8, static_cast<uint32_t>(Cascade.NumVars * Scale));
+    Cascade.NumCons = std::max<uint32_t>(
+        4, static_cast<uint32_t>(Cascade.NumCons * Scale));
+    WaveResult R = measureWave(Cascade, Repeats);
+    bool ChecksumMatch =
+        R.WaveBits == R.WorklistBits && R.WaveBits == R.SeedBits &&
+        R.Edges == R.WorklistEdges;
+    double VsWorklist = R.WorklistSeconds / std::max(R.WaveSeconds, 1e-9);
+    double VsSeed = R.SeedSeconds / std::max(R.WaveSeconds, 1e-9);
+
+    std::string HotPath;
+    for (const SolverStats::NamedCounter &C : R.WaveStats.hotPathCounters())
+      HotPath += std::string("\"") + C.Key +
+                 "\": " + std::to_string(C.Value) + ", ";
+    std::fprintf(
+        File,
+        ",\n    {\"name\": \"wave_closure\", \"config\": \"SF-Plain\", "
+        "\"order\": \"edges_first\", \"vars\": %u, \"cons\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"work\": %llu, \"edges\": %llu,\n"
+        "     \"wave_passes\": %llu, \"levels_propagated\": %llu, "
+        "\"wave_fallbacks\": %llu,\n"
+        "     %s\"solution_bits\": %llu, \"checksum_match\": %s},\n"
+        "    {\"name\": \"sf_cascade_wave\", \"config\": \"SF-Plain\", "
+        "\"order\": \"edges_first\", \"vars\": %u, \"cons\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"work\": %llu, \"edges\": %llu, "
+        "\"solution_bits\": %llu, \"checksum_match\": %s}",
+        Cascade.NumVars, Cascade.NumCons, R.WaveSeconds, R.WorklistSeconds,
+        VsWorklist, (unsigned long long)R.Work, (unsigned long long)R.Edges,
+        (unsigned long long)R.WaveStats.WavePasses,
+        (unsigned long long)R.WaveStats.LevelsPropagated,
+        (unsigned long long)R.WaveStats.WaveFallbacks, HotPath.c_str(),
+        (unsigned long long)R.WaveBits, ChecksumMatch ? "true" : "false",
+        Cascade.NumVars, Cascade.NumCons, R.WaveSeconds, R.SeedSeconds,
+        VsSeed, (unsigned long long)R.Work, (unsigned long long)R.Edges,
+        (unsigned long long)R.WaveBits, ChecksumMatch ? "true" : "false");
+    std::printf("%-14s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
+                "speedup=%.2fx work=%llu edges=%llu passes=%llu\n",
+                "wave_closure", "SF-Plain", Cascade.NumVars, R.WaveSeconds,
+                R.WorklistSeconds, VsWorklist, (unsigned long long)R.Work,
+                (unsigned long long)R.Edges,
+                (unsigned long long)R.WaveStats.WavePasses);
+    std::printf("%-14s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
+                "speedup=%.2fx checksum_match=%s\n",
+                "sf_cascade_wave", "SF-Plain", Cascade.NumVars,
+                R.WaveSeconds, R.SeedSeconds, VsSeed,
+                ChecksumMatch ? "yes" : "NO");
+    if (!ChecksumMatch) {
+      std::fprintf(stderr, "error: wave_closure: wave solutions diverged "
+                           "from the worklist/seed solutions\n");
+      std::fclose(File);
+      return 1;
+    }
   }
 
   // Thread-scaling entries: wall_s is the parallel variant, the baseline

@@ -57,6 +57,7 @@ int main(int Argc, char **Argv) {
                   "Andersen's points-to analysis via inclusion constraints "
                   "(PLDI 1998 reproduction)");
   std::string Config = "if-online";
+  std::string Closure = "worklist";
   std::string Synth;
   bool ShowStats = false, ShowPointsTo = false, EmitDot = false;
   bool DumpAst = false, EmitC = false, EmitConstraints = false;
@@ -67,6 +68,9 @@ int main(int Argc, char **Argv) {
   double BatchScale = 0.1;
   Cmd.addString("config", &Config,
                 "solver configuration: {sf,if}-{plain,online,oracle}");
+  Cmd.addString("closure", &Closure,
+                "closure schedule: worklist (eager) or wave (topo-ordered "
+                "delta sweeps); solutions are identical");
   Cmd.addString("synth", &Synth,
                 "analyze a generated benchmark (name or 'custom')");
   Cmd.addInt("synth-size", &SynthSize, "target AST nodes for --synth=custom");
@@ -99,6 +103,13 @@ int main(int Argc, char **Argv) {
   }
   Options.Seed = static_cast<uint64_t>(Seed);
   Options.Threads = static_cast<unsigned>(Threads);
+  if (Closure == "wave")
+    Options.Closure = ClosureMode::Wave;
+  else if (Closure != "worklist") {
+    std::fprintf(stderr, "anders: unknown closure schedule '%s'\n",
+                 Closure.c_str());
+    return 1;
+  }
   if (Json)
     ShowStats = true;
   if (!ShowStats && !EmitDot && !PointsToDot)

@@ -153,6 +153,7 @@ int main(int Argc, char **Argv) {
   std::string WalPath;
   std::string DumpWal;
   std::string Config = "if-online";
+  std::string Closure = "worklist";
   int64_t Seed = 0x706f6365;
   int64_t Threads = 1;
   int64_t CacheCapacity = 256;
@@ -172,6 +173,11 @@ int main(int Argc, char **Argv) {
   Cmd.addString("dump-wal", &DumpWal,
                 "print the intact lines of this WAL and exit");
   Cmd.addString("config", &Config, "{sf,if}-{plain,online} for .scs input");
+  Cmd.addString("closure", &Closure,
+                "closure schedule for adds: worklist (eager) or wave "
+                "(topo-ordered delta sweeps); responses are identical. "
+                "Applies to snapshot and .scs bases alike (the schedule "
+                "is not serialized)");
   Cmd.addInt("seed", &Seed, "variable-order seed for .scs input");
   Cmd.addInt("threads", &Threads,
              "lanes for least-solution materialization on load "
@@ -203,6 +209,12 @@ int main(int Argc, char **Argv) {
 
   if (!DumpWal.empty())
     return dumpWal(DumpWal);
+
+  if (Closure != "worklist" && Closure != "wave") {
+    std::fprintf(stderr, "scserved: unknown closure schedule '%s'\n",
+                 Closure.c_str());
+    return 1;
+  }
 
   if (CheckpointEvery > 0 && (Snapshot.empty() || WalPath.empty())) {
     std::fprintf(stderr,
@@ -264,6 +276,10 @@ int main(int Argc, char **Argv) {
   }
 
   Bundle.Solver->setThreads(static_cast<unsigned>(Threads));
+  // Snapshots never carry the closure schedule (the loaded graph is
+  // already closed); re-arm it here so subsequent adds use it.
+  if (Closure == "wave")
+    Bundle.Solver->setClosure(ClosureMode::Wave);
   Bundle.Solver->materializeAllViews();
 
   QueryEngine Engine(std::move(Bundle),

@@ -53,11 +53,15 @@ int main(int Argc, char **Argv) {
                   "standalone inclusion-constraint solver (PLDI 1998 "
                   "reproduction)");
   std::string Config = "if-online";
+  std::string Closure = "worklist";
   bool ShowStats = false, Dump = false, Echo = false;
   int64_t Seed = 0x706f6365;
   int64_t Threads = 1;
   Cmd.addString("config", &Config,
                 "{sf,if}-{plain,online,oracle} or if-periodic");
+  Cmd.addString("closure", &Closure,
+                "closure schedule: worklist (eager) or wave (topo-ordered "
+                "delta sweeps); solutions are identical");
   Cmd.addInt("seed", &Seed, "variable-order seed");
   Cmd.addInt("threads", &Threads,
              "execution lanes for the least-solution pass (0 = hardware); "
@@ -102,6 +106,13 @@ int main(int Argc, char **Argv) {
   }
   Options.Seed = static_cast<uint64_t>(Seed);
   Options.Threads = static_cast<unsigned>(Threads);
+  if (Closure == "wave")
+    Options.Closure = ClosureMode::Wave;
+  else if (Closure != "worklist") {
+    std::fprintf(stderr, "scsolve: unknown closure schedule '%s'\n",
+                 Closure.c_str());
+    return 1;
+  }
 
   ConstructorTable Constructors;
   Oracle WitnessOracle;
@@ -151,6 +162,10 @@ int main(int Argc, char **Argv) {
                 formatGrouped(Stats.VarsEliminated).c_str());
     std::printf("mismatches:       %s\n",
                 formatGrouped(Stats.Mismatches).c_str());
+    std::printf("delta props:      %s\n",
+                formatGrouped(Stats.DeltaPropagations).c_str());
+    std::printf("wave passes:      %s\n",
+                formatGrouped(Stats.WavePasses).c_str());
   }
   return 0;
 }

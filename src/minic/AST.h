@@ -20,10 +20,11 @@
 #define POCE_MINIC_AST_H
 
 #include "minic/Token.h"
+#include "support/Arena.h"
 
 #include <cassert>
-#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace poce {
@@ -532,56 +533,55 @@ template <typename To, typename From> const To *dyn_cast(const From *N) {
 // TranslationUnit
 //===----------------------------------------------------------------------===//
 
-/// Owns every AST node of one parsed source file.
+/// Owns every AST node of one parsed source file. Nodes live in a bump
+/// arena — one pointer bump per node instead of a heap allocation — and
+/// are released together when the unit dies. The tree is built once and
+/// never edited node-by-node, the lifetime the arena is made for.
 class TranslationUnit {
 public:
-  /// Allocates a node in the pool.
+  /// Places a node in the arena. Nodes have no virtual destructor (closed
+  /// hierarchy, no vtables); nodes whose members need destruction are
+  /// tracked and destroyed when the unit is, everything else is just
+  /// dropped with the slabs.
   template <typename NodeT, typename... ArgTypes>
   NodeT *create(ArgTypes &&...Args) {
-    auto Owned = std::make_unique<NodeT>(std::forward<ArgTypes>(Args)...);
-    NodeT *Raw = Owned.get();
-    Pool.push_back(PoolEntry(Owned.release(), &destroyNode<NodeT>));
+    NodeT *Raw = Pool.create<NodeT>(std::forward<ArgTypes>(Args)...);
+    if constexpr (!std::is_trivially_destructible_v<NodeT>)
+      NonTrivial.push_back({Raw, &destroyNode<NodeT>});
+    ++NumNodes;
     return Raw;
   }
+
+  ~TranslationUnit() {
+    for (auto It = NonTrivial.rbegin(); It != NonTrivial.rend(); ++It)
+      It->Destroy(It->N);
+  }
+
+  TranslationUnit() = default;
+  TranslationUnit(const TranslationUnit &) = delete;
+  TranslationUnit &operator=(const TranslationUnit &) = delete;
 
   std::vector<Decl *> Decls;
 
   /// Number of nodes allocated (the paper's "AST nodes" metric).
-  uint64_t numNodes() const { return Pool.size(); }
+  uint64_t numNodes() const { return NumNodes; }
+
+  /// Arena bytes backing the tree (observability for the bench tables).
+  size_t poolBytes() const { return Pool.bytesAllocated(); }
 
 private:
-  // Nodes have no virtual destructor (closed hierarchy, no vtables); the
-  // pool remembers each node's deleter.
   template <typename NodeT> static void destroyNode(Node *N) {
-    delete static_cast<NodeT *>(N);
+    static_cast<NodeT *>(N)->~NodeT();
   }
 
-  struct PoolEntry {
-    PoolEntry(Node *N, void (*Deleter)(Node *)) : N(N), Deleter(Deleter) {}
-    PoolEntry(PoolEntry &&RHS) noexcept : N(RHS.N), Deleter(RHS.Deleter) {
-      RHS.N = nullptr;
-    }
-    PoolEntry(const PoolEntry &) = delete;
-    PoolEntry &operator=(const PoolEntry &) = delete;
-    PoolEntry &operator=(PoolEntry &&RHS) noexcept {
-      if (this != &RHS) {
-        if (N)
-          Deleter(N);
-        N = RHS.N;
-        Deleter = RHS.Deleter;
-        RHS.N = nullptr;
-      }
-      return *this;
-    }
-    ~PoolEntry() {
-      if (N)
-        Deleter(N);
-    }
+  struct PendingDestructor {
     Node *N;
-    void (*Deleter)(Node *);
+    void (*Destroy)(Node *);
   };
 
-  std::vector<PoolEntry> Pool;
+  Arena Pool{1 << 14};
+  std::vector<PendingDestructor> NonTrivial;
+  uint64_t NumNodes = 0;
 };
 
 /// Returns the name of \p Kind for diagnostics and test output.

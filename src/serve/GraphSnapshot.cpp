@@ -160,7 +160,7 @@ Status GraphSnapshot::serialize(ConstraintSolver &Solver,
     return fail(ErrorCode::FailedPrecondition,
                 "oracle-eliminated solvers cannot be snapshotted "
                 "(the Oracle instance is external state)");
-  Solver.drainWorklist();
+  Solver.ensureClosed();
   if (Solver.Stats.Aborted)
     return fail(ErrorCode::FailedPrecondition,
                 "aborted solves cannot be snapshotted (" +

@@ -143,6 +143,10 @@ Status QueryEngine::addConstraint(const std::string &Line) {
   Status St = System.addLine(Line, *Bundle.Solver);
   if (!St)
     return St;
+  // Wave closure defers consequences until a solution is needed; force
+  // them now so a budget breach surfaces (and rolls back) at the add that
+  // caused it, exactly as in worklist mode. No-op for worklist closure.
+  Bundle.Solver->ensureClosed();
   if (Bundle.Solver->stats().Aborted) {
     ++Stats.BudgetAborts;
     SolverStats::AbortReason Why = Bundle.Solver->stats().Abort;
@@ -195,6 +199,7 @@ Status QueryEngine::rollback() {
                            "journal replay aborted with budgets disabled");
   }
   Fresh.setBudgets(Live.DeadlineMs, Live.MaxEdgeBudget, Live.MaxMemBytes);
+  Fresh.setClosure(Live.Closure, Live.WaveSoA);
 
   Bundle = std::move(Rebuilt);
   System = std::move(Replayed);

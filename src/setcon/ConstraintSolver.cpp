@@ -53,6 +53,20 @@ Histogram &leastSolutionHistogram() {
   return H;
 }
 
+Histogram &wavePassHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_wave_pass_us",
+      "One topologically ordered wave-propagation sweep");
+  return H;
+}
+
+Histogram &waveOrderHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_wave_order_us",
+      "Wave-order rebuild (condense + level + CSR edge layout)");
+  return H;
+}
+
 } // namespace
 
 ConstraintSolver::ConstraintSolver(TermTable &Terms, SolverOptions Options,
@@ -87,6 +101,7 @@ VarId ConstraintSolver::freshVar(std::string_view Name) {
   }
 
   VarId Var = static_cast<VarId>(Vars.size());
+  invalidateWaveOrder();
   Vars.emplace_back();
   VarNode &Node = Vars.back();
   Node.Name = std::string(Name);
@@ -124,8 +139,22 @@ uint32_t ConstraintSolver::numLiveVars() const {
 
 void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs) {
   invalidateSolutions();
+  if (waveMode()) {
+    // Defer: the wave drain replays roots in input order, so the deferred
+    // schedule of structural work matches the eager one item for item.
+    if (!Stats.Aborted)
+      RootQueue.push_back({Lhs, Rhs, /*Derived=*/false, /*FlushDelta=*/false});
+    return;
+  }
   enqueue(Lhs, Rhs, /*Derived=*/false);
   drainWorklist();
+}
+
+void ConstraintSolver::ensureClosed() {
+  if (waveMode())
+    drainWave();
+  else
+    drainWorklist();
 }
 
 void ConstraintSolver::invalidateSolutions() {
@@ -143,8 +172,19 @@ void ConstraintSolver::enqueue(ExprId Lhs, ExprId Rhs, bool Derived) {
 }
 
 void ConstraintSolver::scheduleFlush(VarId Var) {
-  if (!Stats.Aborted)
-    Worklist.push_back({Var, 0, /*Derived=*/true, /*FlushDelta=*/true});
+  if (Stats.Aborted)
+    return;
+  if (waveMode()) {
+    // Deltas accumulate until the next sweep instead of racing down the
+    // worklist. A delivery at or before the sweep cursor means a cycle
+    // formed after the order was cached pushed sources backwards; the
+    // variable simply re-enters the heap (and is counted).
+    PendingWave.push_back(Var);
+    if (InWavePass && WaveIndex[Var] <= WaveCursor)
+      ++Stats.WaveFallbacks;
+    return;
+  }
+  Worklist.push_back({Var, 0, /*Derived=*/true, /*FlushDelta=*/true});
 }
 
 void ConstraintSolver::drainWorklist() {
@@ -177,12 +217,189 @@ void ConstraintSolver::drainWorklist() {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Wave closure
+//===----------------------------------------------------------------------===//
+
+void ConstraintSolver::drainWave() {
+  if (Draining)
+    return;
+  if (RootQueue.empty() && Worklist.empty() && PendingWave.empty())
+    return;
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
+  Draining = true;
+  beginBatchBudgets();
+  size_t RootHead = 0;
+  while (!Stats.Aborted) {
+    // Structural phase: derived items LIFO, the next deferred root only
+    // when the worklist is empty — exactly the schedule the eager path
+    // produces, so forms without source deltas (inductive form, DiffProp
+    // off) close bit-identically to worklist mode.
+    if (!Worklist.empty() || RootHead != RootQueue.size()) {
+      WorkItem Item;
+      if (!Worklist.empty()) {
+        Item = Worklist.back();
+        Worklist.pop_back();
+      } else {
+        Item = RootQueue[RootHead++];
+      }
+      assert(!Item.FlushDelta && "wave mode keeps flushes off the worklist");
+      ++Stats.ConstraintsProcessed;
+      resolve(Item.Lhs, Item.Rhs, Item.Derived);
+      // Offline passes run at a safe point, between worklist items.
+      if (Options.Elim == CycleElim::Periodic &&
+          Stats.Work >= NextPeriodicWork) {
+        runPeriodicPass();
+        NextPeriodicWork = Stats.Work + Options.PeriodicInterval;
+      }
+      checkBatchBudgets();
+      continue;
+    }
+    // Propagation phase. Sweeps can enqueue sink resolutions (constructor
+    // decomposition happens element-wise), which return to the structural
+    // phase; the drain alternates until both phases run dry.
+    if (PendingWave.empty())
+      break;
+    runWavePass();
+  }
+  RootQueue.clear();
+  Draining = false;
+  if (Timed) {
+    closureHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.closure", StartUs);
+  }
+}
+
+void ConstraintSolver::runWavePass() {
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
+  if (!WaveOrderValid)
+    buildWaveOrder();
+  ++Stats.WavePasses;
+
+  // Min-heap on topological position: a variable is flushed only once
+  // every delta reachable from earlier positions has landed, so acyclic
+  // regions flush exactly once per sweep no matter how deltas interleave.
+  auto ByPosition = [this](VarId A, VarId B) {
+    return WaveIndex[A] > WaveIndex[B];
+  };
+  WaveHeap.clear();
+  WaveHeap.swap(PendingWave);
+  std::make_heap(WaveHeap.begin(), WaveHeap.end(), ByPosition);
+  InWavePass = true;
+  uint32_t LastLevel = UINT32_MAX;
+  while (!WaveHeap.empty() && !Stats.Aborted) {
+    std::pop_heap(WaveHeap.begin(), WaveHeap.end(), ByPosition);
+    VarId Var = WaveHeap.back();
+    WaveHeap.pop_back();
+    // Collapsed away between scheduling and the sweep, or already covered
+    // because an earlier pop flushed the refilled delta.
+    if (!Forwarding.isRepresentative(Var) || Vars[Var].SrcDelta.empty())
+      continue;
+    WaveCursor = WaveIndex[Var];
+    if (WaveLevel[Var] != LastLevel) {
+      LastLevel = WaveLevel[Var];
+      ++Stats.LevelsPropagated;
+    }
+    flushDelta(Var);
+    checkBatchBudgets();
+    // Deliveries during the flush park their targets in PendingWave; fold
+    // them into the heap (fallbacks included — they pop next).
+    for (VarId Scheduled : PendingWave) {
+      WaveHeap.push_back(Scheduled);
+      std::push_heap(WaveHeap.begin(), WaveHeap.end(), ByPosition);
+    }
+    PendingWave.clear();
+  }
+  InWavePass = false;
+  if (Stats.Aborted)
+    WaveHeap.clear();
+  if (Timed) {
+    wavePassHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.wave_pass", StartUs);
+  }
+}
+
+void ConstraintSolver::buildWaveOrder() {
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
+  Digraph G = varVarDigraph();
+  SCCResult SCCs = computeSCCs(G);
+  Digraph Cond = condense(G, SCCs);
+
+  // Level the condensation Kahn-style. Tarjan numbers components in
+  // reverse topological order — every condensation edge goes from a
+  // higher component id to a lower one — so a single descending sweep
+  // sees each component after all of its predecessors.
+  uint32_t NumComps = SCCs.numComponents();
+  std::vector<uint32_t> CompLevel(NumComps, 0);
+  for (uint32_t Comp = NumComps; Comp-- > 0;)
+    for (uint32_t Succ : Cond.successors(Comp)) {
+      assert(Succ < Comp && "condensation edge against Tarjan numbering");
+      CompLevel[Succ] = std::max(CompLevel[Succ], CompLevel[Comp] + 1);
+    }
+
+  WaveLevel.assign(numVars(), 0);
+  std::vector<VarId> Order;
+  Order.reserve(numVars());
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!Forwarding.isRepresentative(Var))
+      continue;
+    WaveLevel[Var] = CompLevel[SCCs.ComponentOf[Var]];
+    Order.push_back(Var);
+  }
+  // Order indices are unique (Random packs the VarId into the low bits),
+  // so the position assignment is a deterministic total order.
+  std::sort(Order.begin(), Order.end(), [&](VarId A, VarId B) {
+    if (WaveLevel[A] != WaveLevel[B])
+      return WaveLevel[A] < WaveLevel[B];
+    return Vars[A].Order < Vars[B].Order;
+  });
+  WaveIndex.assign(numVars(), UINT32_MAX);
+  for (size_t I = 0; I != Order.size(); ++I)
+    WaveIndex[Order[I]] = static_cast<uint32_t>(I);
+  WaveNumPositions = Order.size();
+
+  // SoA edge rows: successor entries laid out contiguously in sweep
+  // order with variable targets pre-resolved — the sweep then walks the
+  // pool front to back instead of chasing per-node vectors and forwarding
+  // chains. Entry order within a row matches the adjacency list, so
+  // deliveries (and counters) are identical to the non-SoA path.
+  WaveRowStart = nullptr;
+  WaveEdges = nullptr;
+  if (Options.WaveSoA) {
+    WaveArena.reset();
+    WaveRowStart = WaveArena.allocateArray<uint32_t>(Order.size() + 1);
+    size_t Total = 0;
+    for (size_t I = 0; I != Order.size(); ++I) {
+      WaveRowStart[I] = static_cast<uint32_t>(Total);
+      Total += Vars[Order[I]].Succs.size();
+    }
+    WaveRowStart[Order.size()] = static_cast<uint32_t>(Total);
+    WaveEdges = WaveArena.allocateArray<uint32_t>(Total);
+    size_t Out = 0;
+    for (VarId Var : Order)
+      for (uint32_t Entry : Vars[Var].Succs)
+        WaveEdges[Out++] = isTermRef(Entry)
+                               ? Entry
+                               : varRef(Forwarding.find(payloadOf(Entry)));
+  }
+  WaveOrderValid = true;
+  if (Timed) {
+    waveOrderHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.wave_order", StartUs);
+  }
+}
+
 void ConstraintSolver::abortSolve(SolverStats::AbortReason Reason) {
   if (Stats.Aborted)
     return;
   Stats.Aborted = true;
   Stats.Abort = Reason;
   Worklist.clear();
+  RootQueue.clear();
+  PendingWave.clear();
 }
 
 void ConstraintSolver::beginBatchBudgets() {
@@ -325,6 +542,8 @@ bool ConstraintSolver::insertPred(VarId Owner, uint32_t Entry, bool Derived) {
     return false;
   }
   Node.Preds.push_back(Entry);
+  if (!isTermRef(Entry))
+    invalidateWaveOrder();
   if (!Derived)
     ++Stats.InitialEdges;
   // Closure rule at Owner: the new predecessor pairs with every successor.
@@ -344,6 +563,10 @@ bool ConstraintSolver::insertSucc(VarId Owner, uint32_t Entry, bool Derived) {
     return false;
   }
   Node.Succs.push_back(Entry);
+  // Every successor insertion invalidates the wave cache: variable
+  // targets change the topological order, and even sink targets extend a
+  // CSR row the next sweep must not miss.
+  invalidateWaveOrder();
   if (!Derived)
     ++Stats.InitialEdges;
 
@@ -485,6 +708,29 @@ void ConstraintSolver::flushDelta(VarId Var) {
     return; // Collapsed away, or already covered by an earlier flush.
   DeltaScratch.clear();
   std::swap(DeltaScratch, Node.SrcDelta);
+
+  // Inside a sweep the CSR rows are fresh — the order (and layout) was
+  // rebuilt after the last structural change and flushes never add
+  // successor edges — so the row mirrors Node.Succs entry for entry with
+  // targets already resolved.
+  if (InWavePass && WaveEdges && WaveIndex[Var] != UINT32_MAX) {
+    uint32_t Pos = WaveIndex[Var];
+    assert(WaveRowStart[Pos + 1] - WaveRowStart[Pos] == Node.Succs.size() &&
+           "stale CSR row used during a wave sweep");
+    for (uint32_t I = WaveRowStart[Pos], E = WaveRowStart[Pos + 1];
+         I != E && !Stats.Aborted; ++I) {
+      uint32_t Entry = WaveEdges[I];
+      if (isTermRef(Entry)) {
+        ExprId Sink = payloadOf(Entry);
+        DeltaScratch.forEach(
+            [&](uint32_t Src) { enqueue(Src, Sink, /*Derived=*/true); });
+      } else {
+        deliverSources(payloadOf(Entry), DeltaScratch);
+      }
+    }
+    return;
+  }
+
   for (size_t I = 0; I != Node.Succs.size() && !Stats.Aborted; ++I) {
     uint32_t Entry = Node.Succs[I];
     if (isTermRef(Entry)) {
@@ -642,6 +888,7 @@ void ConstraintSolver::collapseCycle(const std::vector<VarId> &Cycle) {
   });
 
   ++Stats.CyclesCollapsed;
+  invalidateWaveOrder();
   // Unite first so representative lookups during re-adding see the final
   // classes.
   for (VarId Var : Cycle) {
@@ -693,7 +940,7 @@ void ConstraintSolver::runPeriodicPass() {
 void ConstraintSolver::finalize() {
   if (Finalized)
     return;
-  drainWorklist();
+  ensureClosed();
   Finalized = true;
   const bool Timed = phaseTimingOn();
   const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
@@ -892,7 +1139,7 @@ void ConstraintSolver::materializeAllSolutions(ThreadPool &Pool) {
 }
 
 std::vector<std::vector<ExprId>> ConstraintSolver::referenceLeastSolutions() {
-  drainWorklist();
+  ensureClosed();
   std::vector<std::vector<ExprId>> Ref(numVars());
   if (Options.Form == GraphForm::Standard) {
     for (VarId Var = 0; Var != numVars(); ++Var) {
@@ -939,7 +1186,7 @@ std::vector<std::vector<ExprId>> ConstraintSolver::referenceLeastSolutions() {
 //===----------------------------------------------------------------------===//
 
 bool ConstraintSolver::verifyGraphInvariants() {
-  drainWorklist();
+  ensureClosed();
   for (VarId Var = 0; Var != numVars(); ++Var) {
     if (!Forwarding.isRepresentative(Var))
       continue;
@@ -961,6 +1208,7 @@ bool ConstraintSolver::verifyGraphInvariants() {
 }
 
 uint64_t ConstraintSolver::countFinalEdges() {
+  ensureClosed();
   uint64_t Count = 0;
   DenseU64Set Resolved;
   for (VarId Var = 0; Var != numVars(); ++Var) {
@@ -995,6 +1243,7 @@ uint64_t ConstraintSolver::countFinalEdges() {
 }
 
 Digraph ConstraintSolver::varVarDigraph() {
+  ensureClosed(); // No-op while a drain is in progress (Draining guard).
   Digraph G(numVars());
   for (VarId Var = 0; Var != numVars(); ++Var) {
     if (!Forwarding.isRepresentative(Var))
@@ -1018,6 +1267,7 @@ Digraph ConstraintSolver::varVarDigraph() {
 }
 
 uint64_t ConstraintSolver::countPredChainReachable(VarId Var) {
+  ensureClosed();
   Var = Forwarding.find(Var);
   ++CurrentEpoch;
   Vars[Var].VisitEpoch = CurrentEpoch;
@@ -1041,6 +1291,8 @@ uint64_t ConstraintSolver::countPredChainReachable(VarId Var) {
 }
 
 uint64_t ConstraintSolver::compact() {
+  ensureClosed();
+  invalidateWaveOrder(); // The CSR rows mirror the lists being rewritten.
   uint64_t Removed = 0;
   DenseU64Set Seen;
   for (VarId Var = 0; Var != numVars(); ++Var) {
@@ -1095,6 +1347,7 @@ uint64_t ConstraintSolver::compact() {
 }
 
 std::string ConstraintSolver::dumpGraph() {
+  ensureClosed();
   std::string Out;
   for (VarId Var = 0; Var != numVars(); ++Var) {
     if (!Forwarding.isRepresentative(Var))

@@ -57,6 +57,7 @@
 #include "setcon/SolverOptions.h"
 #include "setcon/SolverStats.h"
 #include "setcon/Term.h"
+#include "support/Arena.h"
 #include "support/DenseU64Set.h"
 #include "support/PRNG.h"
 #include "support/SparseBitVector.h"
@@ -95,9 +96,19 @@ public:
   /// Returns the expression denoting \p Var.
   ExprId varExpr(VarId Var) { return Terms.var(Var); }
 
-  /// Adds the constraint L <= R and eagerly processes all consequences
-  /// (this solver is fully online).
+  /// Adds the constraint L <= R. Under ClosureMode::Worklist every
+  /// consequence is processed eagerly before returning (the solver is
+  /// fully online); under ClosureMode::Wave the constraint is deferred
+  /// until a solution or graph observer forces ensureClosed().
   void addConstraint(ExprId L, ExprId R);
+
+  /// Completes the closure of everything added so far. A no-op in
+  /// worklist mode (addConstraint already closed eagerly); in wave mode
+  /// this drains the deferred constraints and runs topologically ordered
+  /// difference-propagation sweeps to the fixpoint. Every solution query
+  /// and graph observer calls this, so callers only need it to bound
+  /// *when* the wave work happens (e.g. for timing).
+  void ensureClosed();
 
   TermTable &terms() { return Terms; }
   const TermTable &terms() const { return Terms; }
@@ -225,6 +236,16 @@ public:
   /// snapshot loader may freely retarget it to the serving machine.
   void setThreads(unsigned Threads) { Options.Threads = Threads; }
 
+  /// Overrides the closure-scheduling mode (and the wave layout toggle).
+  /// Closes any deferred work first so no queued constraint is stranded
+  /// by a Wave -> Worklist switch; the completed closure is the same
+  /// under either mode, so snapshot loaders may retarget freely.
+  void setClosure(ClosureMode Mode, bool SoA = true) {
+    ensureClosed();
+    Options.Closure = Mode;
+    Options.WaveSoA = SoA;
+  }
+
   /// Overrides the per-batch resource budgets (0 = unlimited each). Like
   /// setThreads, budgets never change what a successful solve computes —
   /// only whether an in-flight batch is aborted — so servers and recovery
@@ -289,6 +310,40 @@ private:
   void drainWorklist();
   void resolve(ExprId Lhs, ExprId Rhs, bool Derived);
   void handleMismatch(ExprId Lhs, ExprId Rhs);
+
+  //===--------------------------------------------------------------------===
+  // Wave closure (ClosureMode::Wave)
+  //===--------------------------------------------------------------------===
+
+  bool waveMode() const { return Options.Closure == ClosureMode::Wave; }
+
+  /// Wave-mode drain: alternates a structural phase (deferred roots and
+  /// derived items through the eager worklist discipline — derived items
+  /// LIFO, the next root only when the worklist is empty, so the item
+  /// schedule matches worklist mode exactly) with propagation sweeps that
+  /// flush the accumulated source deltas in topological order.
+  void drainWave();
+
+  /// One topologically ordered sweep over the pending source deltas: a
+  /// deterministic min-heap on the cached topological position pops each
+  /// variable only after every delta reachable from earlier positions has
+  /// landed, so acyclic regions flush exactly once per sweep. Deliveries
+  /// that land at or before the cursor (a cycle formed after the order was
+  /// cached) count as WaveFallbacks and simply re-enter the heap — the
+  /// worklist-granularity fallback the paper's online discipline needs.
+  void runWavePass();
+
+  /// (Re)builds the cached topological order: Tarjan-condense the live
+  /// variable graph, level the condensation Kahn-style, assign each live
+  /// representative a unique position sorted by (level, order index), and
+  /// — under Options.WaveSoA — lay the successor rows out as CSR arrays in
+  /// position order with targets pre-resolved through forwarding.
+  void buildWaveOrder();
+
+  /// Drops the cached order/CSR. Called on any structural change the
+  /// cache bakes in: variable creation, variable-variable edge insertion,
+  /// collapses, and compact().
+  void invalidateWaveOrder() { WaveOrderValid = false; }
 
   void insertVarVar(VarId Lhs, VarId Rhs, bool Derived);
   void insertSourceVar(ExprId Source, VarId Var, bool Derived);
@@ -401,6 +456,34 @@ private:
   bool Draining = false;
   uint64_t NextPeriodicWork = 0;
   uint32_t CurrentEpoch = 0;
+
+  /// Wave mode: input constraints deferred by addConstraint, consumed
+  /// FIFO (input order) by drainWave.
+  std::vector<WorkItem> RootQueue;
+  /// Wave mode: variables whose SrcDelta went empty -> nonempty and await
+  /// a flush (the wave-mode stand-in for FlushDelta worklist items).
+  std::vector<VarId> PendingWave;
+  /// Heap scratch of runWavePass, keyed by WaveIndex.
+  std::vector<VarId> WaveHeap;
+  /// Cached topological order of the live variable graph. WaveLevel is the
+  /// Kahn level of the variable's condensation component; WaveIndex a
+  /// unique position sorted by (level, order index), UINT32_MAX for dead
+  /// variables. Valid only while WaveOrderValid.
+  bool WaveOrderValid = false;
+  std::vector<uint32_t> WaveLevel;
+  std::vector<uint32_t> WaveIndex;
+  /// CSR successor rows in WaveIndex position order (Options.WaveSoA):
+  /// row for position P is WaveEdges[WaveRowStart[P] .. WaveRowStart[P+1])
+  /// of tagged refs with variable targets pre-resolved to representatives.
+  /// Arena-backed; rebuilt with the order, reset() reuses the slabs.
+  Arena WaveArena{1 << 16};
+  uint32_t *WaveRowStart = nullptr;
+  uint32_t *WaveEdges = nullptr;
+  size_t WaveNumPositions = 0;
+  /// Sweep state: position of the variable being flushed, so deliveries
+  /// against the order can be counted as fallbacks.
+  bool InWavePass = false;
+  uint32_t WaveCursor = 0;
 
   /// Per-batch budget baselines, valid while Draining. BatchDeadlineNs is
   /// an absolute steady-clock deadline in nanoseconds (0 = none);

@@ -63,6 +63,9 @@ Oracle poce::buildOracle(const GeneratorFn &Generate,
     ConstraintSolver Solver(Terms, Options,
                             Iteration == 0 ? nullptr : &Current);
     Generate(Solver);
+    // Derived constraints are recorded during closure; under wave closure
+    // the generator's adds are still deferred at this point.
+    Solver.ensureClosed();
 
     Classes.growTo(Solver.numCreations());
     const auto &Recorded = Solver.recordedVarVar();

@@ -80,6 +80,25 @@ enum class MismatchPolicy : uint8_t {
   Collect,
 };
 
+/// How the closure fixpoint is scheduled.
+enum class ClosureMode : uint8_t {
+  /// Eager worklist at edge granularity: every addConstraint drains all
+  /// consequences before returning (the paper's online discipline).
+  Worklist,
+  /// Deferred wave propagation: addConstraint only queues the constraint;
+  /// closure runs when a solution or graph observer needs it. Structural
+  /// consequences still drain through the same worklist discipline, but
+  /// standard-form source deltas accumulate and flush in topological
+  /// order over the condensed variable graph — one batched delivery per
+  /// edge per wave instead of one per arrival. Solutions are identical to
+  /// Worklist; so are the paper's counters on cycle-free closures (the
+  /// multiset of (source, edge) delivery attempts is schedule-independent),
+  /// while collapse interleaving can shift order-sensitive counters the
+  /// same way DiffProp already does under SF-Online. See
+  /// docs/INTERNALS.md, "Wave propagation and data layout".
+  Wave,
+};
+
 /// Full configuration of one solver instance.
 struct SolverOptions {
   GraphForm Form = GraphForm::Inductive;
@@ -122,6 +141,16 @@ struct SolverOptions {
   /// differ the same way they would under any worklist reordering. Turn
   /// off to reproduce the element-wise accounting exactly.
   bool DiffProp = true;
+  /// Closure scheduling (see ClosureMode). Worklist preserves the fully
+  /// online behavior; Wave trades per-add eagerness for batched,
+  /// cache-conscious bulk closure.
+  ClosureMode Closure = ClosureMode::Worklist;
+  /// Wave closure only: flush deltas through the cache-conscious SoA edge
+  /// rows (CSR successor arrays sorted by topological position, targets
+  /// pre-resolved through forwarding) instead of the per-node adjacency
+  /// lists. Purely a layout toggle — deliveries, counters, and solutions
+  /// are identical either way; exposed for the ablation bench.
+  bool WaveSoA = true;
   /// Execution lanes for the least-solution post-pass (0 = one per
   /// hardware thread). Purely a wall-clock knob: with any value the least
   /// solutions and every paper-defined counter are bit-identical to the

@@ -76,6 +76,19 @@ struct SolverStats {
   /// instead of per-element hash probes.
   uint64_t PropagationsPruned = 0;
 
+  /// Wave closure (SolverOptions::Closure == ClosureMode::Wave): number of
+  /// topologically ordered propagation sweeps run to reach the fixpoint.
+  /// 0 in worklist mode and whenever no source deltas were pending.
+  uint64_t WavePasses = 0;
+  /// Topological levels walked across all wave sweeps (a level revisited
+  /// after a fallback counts again) — the wavefront depth measure.
+  uint64_t LevelsPropagated = 0;
+  /// Deliveries that landed at or before the sweep cursor — sources pushed
+  /// against the cached topological order by a cycle that formed after the
+  /// order was computed (or inside a never-collapsed SCC). Each one forces
+  /// an extra flush of an already-visited variable within the sweep.
+  uint64_t WaveFallbacks = 0;
+
   /// Why an aborted solve stopped. None while Aborted is false.
   enum class AbortReason : uint8_t {
     None = 0,
@@ -136,6 +149,9 @@ struct SolverStats {
     LSUnionWords += RHS.LSUnionWords;
     DeltaPropagations += RHS.DeltaPropagations;
     PropagationsPruned += RHS.PropagationsPruned;
+    WavePasses += RHS.WavePasses;
+    LevelsPropagated += RHS.LevelsPropagated;
+    WaveFallbacks += RHS.WaveFallbacks;
     Aborted = Aborted || RHS.Aborted;
     if (Abort == AbortReason::None)
       Abort = RHS.Abort;
@@ -160,7 +176,7 @@ struct SolverStats {
 
   /// Every counter with its snake_case key — the single naming source for
   /// the metrics-registry export and any full JSON emitter.
-  std::array<NamedCounter, 18> allCounters() const {
+  std::array<NamedCounter, 21> allCounters() const {
     return {{{"VarsCreated", "vars_created", VarsCreated},
              {"OracleSubs", "oracle_substitutions", OracleSubstitutions},
              {"InitialEdges", "initial_edges", InitialEdges},
@@ -178,7 +194,10 @@ struct SolverStats {
              {"Processed", "constraints_processed", ConstraintsProcessed},
              {"LSwords", "ls_union_words", LSUnionWords},
              {"DeltaProps", "delta_propagations", DeltaPropagations},
-             {"Pruned", "propagations_pruned", PropagationsPruned}}};
+             {"Pruned", "propagations_pruned", PropagationsPruned},
+             {"WavePasses", "wave_passes", WavePasses},
+             {"Levels", "levels_propagated", LevelsPropagated},
+             {"Fallbacks", "wave_fallbacks", WaveFallbacks}}};
   }
 
   /// Mirrors every counter into \p Registry as a gauge named

@@ -1,0 +1,148 @@
+//===- support/Arena.h - Chunked bump-pointer allocator ---------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump-pointer arena for allocation patterns with a single
+/// collective lifetime: many small nodes or arrays built together and
+/// discarded (or rebuilt) together. Allocation is a pointer bump in the
+/// current slab — no per-object header, no free list — and the arena never
+/// recycles individual objects, so pointers stay valid until reset() or
+/// destruction.
+///
+/// Two solver-side consumers drive the shape of the API:
+///
+///  * the wave-closure CSR edge rows (ConstraintSolver), rebuilt whenever
+///    the cached topological order is invalidated — reset() reuses the
+///    retained slabs so steady-state rebuilds allocate no fresh memory;
+///  * the minic AST node pool (TranslationUnit), where create<T>() places
+///    non-trivially-destructible nodes whose destructors the owner runs
+///    before the arena releases the slabs.
+///
+/// The arena does not run destructors itself: trivially destructible
+/// payloads (the common case: plain arrays and PODs) need nothing, and
+/// owners of non-trivial payloads track their objects — keeping the arena
+/// free of per-object bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SUPPORT_ARENA_H
+#define POCE_SUPPORT_ARENA_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace poce {
+
+/// Chunked bump allocator. Not thread-safe; one arena per owner.
+class Arena {
+public:
+  /// \p SlabBytes is the size of the first slab; subsequent slabs double
+  /// up to MaxSlabBytes so large arenas stay O(log n) in slab count.
+  explicit Arena(size_t SlabBytes = 4096) : FirstSlabBytes(SlabBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align. Alignment must be a power
+  /// of two no larger than alignof(std::max_align_t).
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t Ptr = (Cursor + Align - 1) & ~(uintptr_t(Align) - 1);
+    if (Ptr + Size > SlabEnd) {
+      newSlab(Size + Align);
+      Ptr = (Cursor + Align - 1) & ~(uintptr_t(Align) - 1);
+    }
+    Cursor = Ptr + Size;
+    Allocated += Size;
+    return reinterpret_cast<void *>(Ptr);
+  }
+
+  /// Uninitialized array of \p N objects of trivially destructible \p T
+  /// (value-construct elements yourself; the arena never destroys them).
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Placement-constructs a \p T. The caller owns the destructor call for
+  /// non-trivially-destructible types.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    return new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Rewinds every slab without releasing it: the next allocations reuse
+  /// the retained memory. Invalidates all outstanding pointers.
+  void reset() {
+    NextSlab = 0;
+    Allocated = 0;
+    if (Slabs.empty()) {
+      Cursor = SlabEnd = 0;
+      return;
+    }
+    beginSlab(0);
+    NextSlab = 1;
+  }
+
+  /// Bytes handed out since construction or the last reset().
+  size_t bytesAllocated() const { return Allocated; }
+  /// Bytes held in slabs (retained across reset()).
+  size_t bytesReserved() const {
+    size_t Total = 0;
+    for (const Slab &S : Slabs)
+      Total += S.Bytes;
+    return Total;
+  }
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  struct Slab {
+    std::unique_ptr<char[]> Memory;
+    size_t Bytes;
+  };
+
+  void beginSlab(size_t Index) {
+    Cursor = reinterpret_cast<uintptr_t>(Slabs[Index].Memory.get());
+    SlabEnd = Cursor + Slabs[Index].Bytes;
+  }
+
+  /// Makes a slab with at least \p MinBytes usable: first the next
+  /// retained slab from a previous reset() that is large enough (smaller
+  /// retained slabs are passed over and stay owned for future resets),
+  /// else a fresh slab of doubling size.
+  void newSlab(size_t MinBytes) {
+    while (NextSlab < Slabs.size()) {
+      size_t Index = NextSlab++;
+      if (Slabs[Index].Bytes >= MinBytes) {
+        beginSlab(Index);
+        return;
+      }
+    }
+    size_t Bytes = Slabs.empty() ? FirstSlabBytes
+                                 : std::min(Slabs.back().Bytes * 2,
+                                            size_t(1) << 20);
+    if (Bytes < MinBytes)
+      Bytes = MinBytes;
+    Slabs.push_back({std::unique_ptr<char[]>(new char[Bytes]), Bytes});
+    NextSlab = Slabs.size();
+    beginSlab(Slabs.size() - 1);
+  }
+
+  size_t FirstSlabBytes;
+  std::vector<Slab> Slabs;
+  size_t NextSlab = 0; ///< First retained slab not yet reused after reset().
+  uintptr_t Cursor = 0, SlabEnd = 0;
+  size_t Allocated = 0;
+};
+
+} // namespace poce
+
+#endif // POCE_SUPPORT_ARENA_H

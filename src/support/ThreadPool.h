@@ -77,10 +77,22 @@ public:
   template <typename T, typename Fn>
   void parallelForLevels(const std::vector<std::vector<T>> &Levels, Fn F,
                          size_t Grain = 0) {
-    for (const std::vector<T> &Level : Levels)
+    for (const std::vector<T> &Level : Levels) {
+      // Degenerate levels are common in long dependency chains; run them
+      // inline on lane 0 without building the wave std::function or
+      // touching the barrier machinery. Identical semantics: a singleton
+      // level would execute inline on lane 0 anyway (N <= Grain), with
+      // exceptions propagating directly.
+      if (Level.empty())
+        continue;
+      if (Level.size() == 1) {
+        F(Level[0], 0);
+        continue;
+      }
       parallelFor(
           Level.size(),
           [&](size_t I, unsigned Lane) { F(Level[I], Lane); }, Grain);
+    }
   }
 
   /// Chunks executed by a lane other than the one they were assigned to —

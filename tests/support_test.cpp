@@ -4,8 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "support/CommandLine.h"
+#include "support/Arena.h"
 #include "support/ByteStream.h"
+#include "support/CommandLine.h"
 #include "support/DenseU64Map.h"
 #include "support/DenseU64Set.h"
 #include "support/FailPoint.h"
@@ -22,7 +23,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <unordered_set>
@@ -884,4 +887,97 @@ TEST(FailPointTest, InjectedErrorNamesTheSite) {
   Status St = FailPoint::injectedError("wal.append.pre");
   EXPECT_EQ(St.code(), ErrorCode::IoError);
   EXPECT_NE(St.message().find("wal.append.pre"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, BumpAllocationIsAlignedAndDisjoint) {
+  Arena A(64);
+  std::vector<std::pair<char *, size_t>> Blocks;
+  for (size_t Size : {1u, 7u, 16u, 33u, 64u, 200u, 3u}) {
+    void *P = A.allocate(Size, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+    std::memset(P, 0xAB, Size);
+    Blocks.push_back({static_cast<char *>(P), Size});
+  }
+  // No block overlaps another, and every byte survived later allocations.
+  for (size_t I = 0; I != Blocks.size(); ++I) {
+    for (size_t J = I + 1; J != Blocks.size(); ++J) {
+      char *AStart = Blocks[I].first, *AEnd = AStart + Blocks[I].second;
+      char *BStart = Blocks[J].first, *BEnd = BStart + Blocks[J].second;
+      EXPECT_TRUE(AEnd <= BStart || BEnd <= AStart);
+    }
+    for (size_t B = 0; B != Blocks[I].second; ++B)
+      EXPECT_EQ(static_cast<unsigned char>(Blocks[I].first[B]), 0xABu);
+  }
+  EXPECT_EQ(A.bytesAllocated(), 1u + 7 + 16 + 33 + 64 + 200 + 3);
+}
+
+TEST(ArenaTest, CreateAndAllocateArray) {
+  Arena A;
+  struct Point {
+    int X, Y;
+  };
+  Point *P = A.create<Point>(Point{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+  uint64_t *Row = A.allocateArray<uint64_t>(100);
+  for (size_t I = 0; I != 100; ++I)
+    Row[I] = I * I;
+  EXPECT_EQ(Row[99], 99u * 99);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Row) % alignof(uint64_t), 0u);
+}
+
+TEST(ArenaTest, SlabsDoubleAndOversizeGetsDedicatedSlab) {
+  Arena A(32);
+  A.allocate(24);
+  size_t After1 = A.numSlabs();
+  A.allocate(24); // spills into a second, larger slab
+  EXPECT_GT(A.numSlabs(), After1);
+  size_t ReservedBefore = A.bytesReserved();
+  void *Big = A.allocate(1 << 21); // larger than the 1 MiB doubling cap
+  EXPECT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesReserved(), ReservedBefore + (size_t(1) << 21));
+}
+
+TEST(ArenaTest, ResetRetainsSlabsAndReusesThem) {
+  Arena A(128);
+  for (int I = 0; I != 50; ++I)
+    A.allocate(64);
+  size_t Reserved = A.bytesReserved();
+  size_t Slabs = A.numSlabs();
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  // The same volume again must fit entirely in retained memory.
+  for (int I = 0; I != 50; ++I)
+    A.allocate(64);
+  EXPECT_EQ(A.numSlabs(), Slabs);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(ArenaTest, ResetOnEmptyArenaIsANoOp) {
+  Arena A;
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_NE(A.allocate(16), nullptr);
+}
+
+TEST(ArenaTest, UndersizedRetainedSlabsAreSkippedButKept) {
+  Arena A(32);
+  A.allocate(24);      // slab 0: 32 bytes
+  A.allocate(1000);    // slab 1: oversize for the doubling schedule
+  size_t Slabs = A.numSlabs();
+  A.reset();
+  // A first allocation too big for slab 0 must skip it, land in slab 1,
+  // and keep slab 0 owned for future resets.
+  void *P = A.allocate(500);
+  EXPECT_NE(P, nullptr);
+  EXPECT_EQ(A.numSlabs(), Slabs);
+  A.reset();
+  A.allocate(8); // fits slab 0 again
+  EXPECT_EQ(A.numSlabs(), Slabs);
 }

@@ -16,8 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -150,6 +152,47 @@ TEST(ThreadPoolTest, LevelsRunWithBarrierBetween) {
   EXPECT_FALSE(OrderViolated.load());
   for (size_t L = 0; L != Levels.size(); ++L)
     EXPECT_EQ(DonePerLevel[L].load(), Levels[L].size());
+}
+
+TEST(ThreadPoolTest, DegenerateLevelsRunInlineOnCaller) {
+  // Long dependency chains produce many empty and size-1 levels; those
+  // must run inline on the calling thread as lane 0 (no wave dispatch),
+  // interleaved correctly with full levels, and their exceptions must
+  // propagate directly.
+  ThreadPool Pool(4);
+  std::vector<std::vector<int>> Levels = {
+      std::vector<int>(1, 0), {},         std::vector<int>(1, 2),
+      std::vector<int>(25, 3), {},        std::vector<int>(1, 5)};
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::vector<int> Visited;
+  std::mutex VisitedMutex;
+  bool SingletonOffCaller = false;
+  Pool.parallelForLevels(
+      Levels,
+      [&](int Level, unsigned Lane) {
+        if (Levels[Level].size() == 1) {
+          if (Lane != 0 || std::this_thread::get_id() != Caller)
+            SingletonOffCaller = true;
+        }
+        std::lock_guard<std::mutex> Lock(VisitedMutex);
+        Visited.push_back(Level);
+      },
+      /*Grain=*/1);
+  EXPECT_FALSE(SingletonOffCaller);
+  ASSERT_EQ(Visited.size(), 28u);
+  // Level order is preserved across the mix of inline and dispatched
+  // levels (the barrier property restricted to this schedule).
+  EXPECT_TRUE(std::is_sorted(Visited.begin(), Visited.end()));
+
+  EXPECT_THROW(
+      Pool.parallelForLevels(
+          std::vector<std::vector<int>>{std::vector<int>(1, 7)},
+          [&](int, unsigned) { throw std::runtime_error("singleton"); }),
+      std::runtime_error);
+  // The pool survives an inline throw and still runs full waves.
+  std::atomic<int> Hits{0};
+  Pool.parallelFor(16, [&](size_t, unsigned) { Hits.fetch_add(1); });
+  EXPECT_EQ(Hits.load(), 16);
 }
 
 TEST(ThreadPoolTest, EmptyAndTinyRanges) {
