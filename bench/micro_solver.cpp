@@ -122,6 +122,30 @@ static void BM_SparseBitVectorUnion(benchmark::State &State) {
 }
 BENCHMARK(BM_SparseBitVectorUnion)->Arg(1000)->Arg(50000);
 
+static void BM_SparseBitVectorUnionInPlace(benchmark::State &State) {
+  // Steady-state union where the target already covers every RHS element,
+  // so every iteration takes the aligned in-place branch (unrolled to two
+  // elements — four 64-bit words — per step). This is the shape of
+  // repeated difference-propagation pushes into a mature solution set.
+  PRNG Rng(23);
+  const size_t N = static_cast<size_t>(State.range(0));
+  SparseBitVector Base, Incoming;
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Id = static_cast<uint32_t>(Rng.nextBelow(4 * N));
+    Incoming.set(Id);
+    Base.set(Id); // Superset coverage: no element merge ever needed.
+    Base.set(static_cast<uint32_t>(Rng.nextBelow(4 * N)));
+  }
+  SparseBitVector S = Base;
+  for (auto _ : State) {
+    uint64_t Words = 0;
+    benchmark::DoNotOptimize(S.unionWith(Incoming, &Words));
+    benchmark::DoNotOptimize(Words);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_SparseBitVectorUnionInPlace)->Arg(1000)->Arg(50000);
+
 static void BM_UnionFind(benchmark::State &State) {
   const uint32_t N = static_cast<uint32_t>(State.range(0));
   PRNG Rng(3);
@@ -521,6 +545,54 @@ WaveResult measureWave(const TrajectoryConfig &Config, unsigned Repeats) {
     for (const std::vector<ExprId> &LS : Solver.referenceLeastSolutions())
       Total += LS.size();
     Out.SeedBits = Total;
+  });
+  return Out;
+}
+
+/// Offline-preprocessing A/B on one shape: PreprocessMode::Offline (HVN
+/// labeling + Nuutila SCC substitution before the first closure) against
+/// the identical configuration without the pass. Solutions must be
+/// bit-identical; final edge counts may differ (the pass shrinks the
+/// graph, that is the point).
+struct PreprocessResult {
+  double OfflineSeconds = 0;  ///< Preprocess=Offline, best of N.
+  double BaselineSeconds = 0; ///< Preprocess=None, same config.
+  SolverStats OfflineStats;   ///< Offline-run counters.
+  uint64_t OfflineEdges = 0;
+  uint64_t BaselineEdges = 0;
+  size_t OfflineBits = 0;  ///< Folded solution sizes, offline run.
+  size_t BaselineBits = 0; ///< Same, pass off.
+};
+
+PreprocessResult measurePreprocess(const TrajectoryConfig &Config,
+                                   unsigned Repeats) {
+  PRNG Rng(Config.Seed);
+  RandomConstraintShape Shape = randomConstraintShape(
+      Config.NumVars, Config.NumCons,
+      Config.Degree / std::max<uint32_t>(Config.NumVars, 1), Rng);
+
+  PreprocessResult Out;
+  auto solve = [&](PreprocessMode Mode, size_t *Bits, uint64_t *Edges) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    SolverOptions Options = makeConfig(Config.Form, Config.Elim, Config.Seed);
+    Options.Preprocess = Mode;
+    ConstraintSolver Solver(Terms, Options);
+    emitShapeOrdered(Shape, Solver, Config.FactsFirst);
+    Solver.finalize();
+    size_t Total = 0;
+    for (VarId Var = 0; Var != Solver.numVars(); ++Var)
+      Total += Solver.leastSolution(Var).size();
+    *Bits = Total;
+    *Edges = Solver.countFinalEdges();
+    if (Mode == PreprocessMode::Offline)
+      Out.OfflineStats = Solver.stats();
+  };
+  Out.OfflineSeconds = bestOfN(Repeats, [&] {
+    solve(PreprocessMode::Offline, &Out.OfflineBits, &Out.OfflineEdges);
+  });
+  Out.BaselineSeconds = bestOfN(Repeats, [&] {
+    solve(PreprocessMode::None, &Out.BaselineBits, &Out.BaselineEdges);
   });
   return Out;
 }
@@ -1102,6 +1174,71 @@ int emitTrajectory(const std::string &Path) {
                            "from the worklist/seed solutions\n");
       std::fclose(File);
       return 1;
+    }
+  }
+
+  // Offline-preprocessing entries. offline_preprocess measures the pass
+  // against a cycle-heavy plain configuration (no online elimination to
+  // compete with, so the pass carries the whole win); hybrid_cascade
+  // stacks it under IF-Online on the cascade emission order — the
+  // deployment shape, where offline catches the bulk-load cycles and the
+  // online search mops up post-closure ones. Solutions must be
+  // bit-identical with the pass off.
+  {
+    const TrajectoryConfig PreprocessConfigs[] = {
+        {"offline_preprocess", GraphForm::Standard, CycleElim::None, 6000,
+         4000, 2.0, 106, /*FactsFirst=*/true},
+        {"hybrid_cascade", GraphForm::Inductive, CycleElim::Online, 6000,
+         4000, 1.5, 107, /*FactsFirst=*/false},
+    };
+    for (const TrajectoryConfig &Base : PreprocessConfigs) {
+      TrajectoryConfig Config = Base;
+      Config.NumVars = std::max<uint32_t>(
+          8, static_cast<uint32_t>(Config.NumVars * Scale));
+      Config.NumCons = std::max<uint32_t>(
+          4, static_cast<uint32_t>(Config.NumCons * Scale));
+      PreprocessResult R = measurePreprocess(Config, Repeats);
+      bool ChecksumMatch = R.OfflineBits == R.BaselineBits;
+      double Speedup = R.BaselineSeconds / std::max(R.OfflineSeconds, 1e-9);
+      SolverOptions Named = makeConfig(Config.Form, Config.Elim);
+      std::fprintf(
+          File,
+          ",\n    {\"name\": \"%s\", \"config\": \"%s\", \"order\": \"%s\", "
+          "\"vars\": %u, \"cons\": %u,\n"
+          "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+          "\"speedup\": %.2f,\n"
+          "     \"offline_vars\": %llu, \"offline_sccs\": %llu, "
+          "\"hvn_labels\": %llu,\n"
+          "     \"vars_eliminated\": %llu, \"cycle_searches\": %llu,\n"
+          "     \"edges\": %llu, \"edges_baseline\": %llu,\n"
+          "     \"solution_bits\": %llu, \"checksum_match\": %s}",
+          Config.Name, Named.configName().c_str(),
+          Config.FactsFirst ? "facts_first" : "edges_first", Config.NumVars,
+          Config.NumCons, R.OfflineSeconds, R.BaselineSeconds, Speedup,
+          (unsigned long long)R.OfflineStats.OfflineCollapsedVars,
+          (unsigned long long)R.OfflineStats.OfflineSCCs,
+          (unsigned long long)R.OfflineStats.HVNLabels,
+          (unsigned long long)R.OfflineStats.VarsEliminated,
+          (unsigned long long)R.OfflineStats.CycleSearches,
+          (unsigned long long)R.OfflineEdges,
+          (unsigned long long)R.BaselineEdges,
+          (unsigned long long)R.OfflineBits, ChecksumMatch ? "true" : "false");
+      std::printf("%-14s %-10s vars=%-6u wall=%.3fs baseline=%.3fs "
+                  "speedup=%.2fx offline_vars=%llu hvn_labels=%llu "
+                  "checksum_match=%s\n",
+                  Config.Name, Named.configName().c_str(), Config.NumVars,
+                  R.OfflineSeconds, R.BaselineSeconds, Speedup,
+                  (unsigned long long)R.OfflineStats.OfflineCollapsedVars,
+                  (unsigned long long)R.OfflineStats.HVNLabels,
+                  ChecksumMatch ? "yes" : "NO");
+      if (!ChecksumMatch) {
+        std::fprintf(stderr,
+                     "error: %s: solutions with offline preprocessing "
+                     "diverged from the pass-off solutions\n",
+                     Config.Name);
+        std::fclose(File);
+        return 1;
+      }
     }
   }
 

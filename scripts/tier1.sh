@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verification (see ROADMAP.md): configure, build, run the full
 # test suite, then the end-to-end serving harnesses (protocol smoke test
-# and crash-recovery/fault-injection) and the wave-closure perf smoke
-# test. Extra arguments are passed to ctest.
+# and crash-recovery/fault-injection) and the wave-closure and
+# offline-preprocessing perf smoke tests. Extra arguments are passed to
+# ctest.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -15,3 +16,4 @@ cmake --build "$BUILD" -j
 "$ROOT/scripts/crash_recovery.sh" "$BUILD"
 "$ROOT/scripts/metrics_smoke.sh" "$BUILD"
 "$ROOT/scripts/perf_smoke.sh" "$BUILD"
+"$ROOT/scripts/preprocess_smoke.sh" "$BUILD"

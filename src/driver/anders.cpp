@@ -58,6 +58,7 @@ int main(int Argc, char **Argv) {
                   "(PLDI 1998 reproduction)");
   std::string Config = "if-online";
   std::string Closure = "worklist";
+  std::string Preprocess = "none";
   std::string Synth;
   bool ShowStats = false, ShowPointsTo = false, EmitDot = false;
   bool DumpAst = false, EmitC = false, EmitConstraints = false;
@@ -71,6 +72,9 @@ int main(int Argc, char **Argv) {
   Cmd.addString("closure", &Closure,
                 "closure schedule: worklist (eager) or wave (topo-ordered "
                 "delta sweeps); solutions are identical");
+  Cmd.addString("preprocess", &Preprocess,
+                "pre-solve pass: none or offline (HVN + Nuutila SCC "
+                "variable substitution); solutions are identical");
   Cmd.addString("synth", &Synth,
                 "analyze a generated benchmark (name or 'custom')");
   Cmd.addInt("synth-size", &SynthSize, "target AST nodes for --synth=custom");
@@ -108,6 +112,13 @@ int main(int Argc, char **Argv) {
   else if (Closure != "worklist") {
     std::fprintf(stderr, "anders: unknown closure schedule '%s'\n",
                  Closure.c_str());
+    return 1;
+  }
+  if (Preprocess == "offline")
+    Options.Preprocess = PreprocessMode::Offline;
+  else if (Preprocess != "none") {
+    std::fprintf(stderr, "anders: unknown preprocess mode '%s'\n",
+                 Preprocess.c_str());
     return 1;
   }
   if (Json)
@@ -289,6 +300,9 @@ int main(int Argc, char **Argv) {
         "  \"varsEliminated\": %llu,\n"
         "  \"cyclesCollapsed\": %llu,\n"
         "  \"cycleSearchSteps\": %llu,\n"
+        "  \"offlineCollapsedVars\": %llu,\n"
+        "  \"offlineSCCs\": %llu,\n"
+        "  \"hvnLabels\": %llu,\n"
         "  \"mismatches\": %llu,\n"
         "  \"aborted\": %s,\n"
         "  \"analysisSeconds\": %.6f\n"
@@ -303,6 +317,9 @@ int main(int Argc, char **Argv) {
         (unsigned long long)Result.Stats.VarsEliminated,
         (unsigned long long)Result.Stats.CyclesCollapsed,
         (unsigned long long)Result.Stats.CycleSearchSteps,
+        (unsigned long long)Result.Stats.OfflineCollapsedVars,
+        (unsigned long long)Result.Stats.OfflineSCCs,
+        (unsigned long long)Result.Stats.HVNLabels,
         (unsigned long long)Result.Stats.Mismatches,
         Result.Stats.Aborted ? "true" : "false", Result.AnalysisSeconds);
   } else if (ShowStats) {
@@ -325,6 +342,10 @@ int main(int Argc, char **Argv) {
                 formatGrouped(Result.Stats.VarsEliminated).c_str());
     std::printf("cycles collapsed:    %s\n",
                 formatGrouped(Result.Stats.CyclesCollapsed).c_str());
+    std::printf("offline vars:        %s (%s SCCs, %s labels)\n",
+                formatGrouped(Result.Stats.OfflineCollapsedVars).c_str(),
+                formatGrouped(Result.Stats.OfflineSCCs).c_str(),
+                formatGrouped(Result.Stats.HVNLabels).c_str());
     std::printf("analysis time:       %.3fs (total %.3fs)\n",
                 Result.AnalysisSeconds, Total.seconds());
   }

@@ -154,6 +154,7 @@ int main(int Argc, char **Argv) {
   std::string DumpWal;
   std::string Config = "if-online";
   std::string Closure = "worklist";
+  std::string Preprocess = "none";
   int64_t Seed = 0x706f6365;
   int64_t Threads = 1;
   int64_t CacheCapacity = 256;
@@ -178,6 +179,11 @@ int main(int Argc, char **Argv) {
                 "(topo-ordered delta sweeps); responses are identical. "
                 "Applies to snapshot and .scs bases alike (the schedule "
                 "is not serialized)");
+  Cmd.addString("preprocess", &Preprocess,
+                "pre-solve pass for .scs input: none or offline (HVN + "
+                "Nuutila SCC variable substitution before the first "
+                "closure); responses are identical. Snapshot bases load "
+                "already closed, so there the option is only recorded");
   Cmd.addInt("seed", &Seed, "variable-order seed for .scs input");
   Cmd.addInt("threads", &Threads,
              "lanes for least-solution materialization on load "
@@ -213,6 +219,12 @@ int main(int Argc, char **Argv) {
   if (Closure != "worklist" && Closure != "wave") {
     std::fprintf(stderr, "scserved: unknown closure schedule '%s'\n",
                  Closure.c_str());
+    return 1;
+  }
+
+  if (Preprocess != "none" && Preprocess != "offline") {
+    std::fprintf(stderr, "scserved: unknown preprocess mode '%s'\n",
+                 Preprocess.c_str());
     return 1;
   }
 
@@ -269,6 +281,9 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Options.Seed = static_cast<uint64_t>(Seed);
+    // Armed pre-construction so the .scs bulk load defers into the pass.
+    if (Preprocess == "offline")
+      Options.Preprocess = PreprocessMode::Offline;
     Bundle.Constructors = std::make_unique<ConstructorTable>();
     Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
     Bundle.Solver = std::make_unique<ConstraintSolver>(*Bundle.Terms, Options);
@@ -280,6 +295,11 @@ int main(int Argc, char **Argv) {
   // already closed); re-arm it here so subsequent adds use it.
   if (Closure == "wave")
     Bundle.Solver->setClosure(ClosureMode::Wave);
+  // Snapshots never carry the preprocess option either; re-arm it so the
+  // recorded configuration matches the flags (on a warm base the pass
+  // itself never re-runs — incremental adds stay online).
+  if (Preprocess == "offline")
+    Bundle.Solver->setPreprocess(PreprocessMode::Offline);
   Bundle.Solver->materializeAllViews();
 
   QueryEngine Engine(std::move(Bundle),

@@ -54,6 +54,7 @@ int main(int Argc, char **Argv) {
                   "reproduction)");
   std::string Config = "if-online";
   std::string Closure = "worklist";
+  std::string Preprocess = "none";
   bool ShowStats = false, Dump = false, Echo = false;
   int64_t Seed = 0x706f6365;
   int64_t Threads = 1;
@@ -62,6 +63,9 @@ int main(int Argc, char **Argv) {
   Cmd.addString("closure", &Closure,
                 "closure schedule: worklist (eager) or wave (topo-ordered "
                 "delta sweeps); solutions are identical");
+  Cmd.addString("preprocess", &Preprocess,
+                "pre-solve pass: none or offline (HVN + Nuutila SCC "
+                "variable substitution); solutions are identical");
   Cmd.addInt("seed", &Seed, "variable-order seed");
   Cmd.addInt("threads", &Threads,
              "execution lanes for the least-solution pass (0 = hardware); "
@@ -113,6 +117,13 @@ int main(int Argc, char **Argv) {
                  Closure.c_str());
     return 1;
   }
+  if (Preprocess == "offline")
+    Options.Preprocess = PreprocessMode::Offline;
+  else if (Preprocess != "none") {
+    std::fprintf(stderr, "scsolve: unknown preprocess mode '%s'\n",
+                 Preprocess.c_str());
+    return 1;
+  }
 
   ConstructorTable Constructors;
   Oracle WitnessOracle;
@@ -160,6 +171,14 @@ int main(int Argc, char **Argv) {
                 formatGrouped(Stats.RedundantAdds).c_str());
     std::printf("vars eliminated:  %s\n",
                 formatGrouped(Stats.VarsEliminated).c_str());
+    std::printf("cycle searches:   %s\n",
+                formatGrouped(Stats.CycleSearches).c_str());
+    std::printf("offline vars:     %s\n",
+                formatGrouped(Stats.OfflineCollapsedVars).c_str());
+    std::printf("offline sccs:     %s\n",
+                formatGrouped(Stats.OfflineSCCs).c_str());
+    std::printf("hvn labels:       %s\n",
+                formatGrouped(Stats.HVNLabels).c_str());
     std::printf("mismatches:       %s\n",
                 formatGrouped(Stats.Mismatches).c_str());
     std::printf("delta props:      %s\n",

@@ -1,0 +1,95 @@
+//===- graph/NuutilaSCC.cpp - Nuutila's improved SCC algorithm ------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/NuutilaSCC.h"
+
+#include <cassert>
+
+using namespace poce;
+
+// Nuutila's first improvement over Tarjan: track the candidate root of each
+// node directly (Root) instead of a low-link index, and mark finished
+// components in an inComponent array. Only nodes that are *not* roots of
+// their component are pushed onto the candidate stack, so for the common
+// mostly-acyclic inputs the stack stays near-empty where Tarjan's holds
+// every open node. When a root finishes, exactly the stacked candidates
+// with a larger DFS index belong to its component.
+SCCResult poce::computeSCCsNuutila(const Digraph &G) {
+  const uint32_t N = G.numNodes();
+  constexpr uint32_t Unvisited = ~0U;
+
+  SCCResult Result;
+  Result.ComponentOf.assign(N, Unvisited);
+
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> Root(N, 0);
+  std::vector<uint8_t> InComponent(N, 0);
+  std::vector<uint32_t> Candidates; // non-root members awaiting their root
+  uint32_t NextIndex = 0;
+
+  // Explicit DFS frames: (node, position in its successor list).
+  struct Frame {
+    uint32_t Node;
+    uint32_t SuccPos;
+  };
+  std::vector<Frame> CallStack;
+
+  for (uint32_t Start = 0; Start != N; ++Start) {
+    if (Index[Start] != Unvisited)
+      continue;
+    Index[Start] = NextIndex++;
+    Root[Start] = Start;
+    CallStack.push_back({Start, 0});
+
+    while (!CallStack.empty()) {
+      Frame &Top = CallStack.back();
+      const auto &Succs = G.successors(Top.Node);
+      if (Top.SuccPos < Succs.size()) {
+        uint32_t Succ = Succs[Top.SuccPos++];
+        if (Index[Succ] == Unvisited) {
+          Index[Succ] = NextIndex++;
+          Root[Succ] = Succ;
+          CallStack.push_back({Succ, 0});
+        } else if (!InComponent[Succ] &&
+                   Index[Root[Succ]] < Index[Root[Top.Node]]) {
+          Root[Top.Node] = Root[Succ];
+        }
+        continue;
+      }
+
+      // All successors explored. Either this node is the root of a now
+      // complete component, or it awaits its root on the candidate stack.
+      uint32_t Node = Top.Node;
+      CallStack.pop_back();
+      if (Root[Node] == Node) {
+        uint32_t ComponentId = Result.numComponents();
+        Result.Components.emplace_back();
+        std::vector<uint32_t> &Members = Result.Components.back();
+        while (!Candidates.empty() &&
+               Index[Candidates.back()] > Index[Node]) {
+          uint32_t Member = Candidates.back();
+          Candidates.pop_back();
+          InComponent[Member] = 1;
+          Result.ComponentOf[Member] = ComponentId;
+          Members.push_back(Member);
+        }
+        InComponent[Node] = 1;
+        Result.ComponentOf[Node] = ComponentId;
+        Members.push_back(Node);
+      } else {
+        Candidates.push_back(Node);
+      }
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        if (!InComponent[Node] &&
+            Index[Root[Node]] < Index[Root[Parent]])
+          Root[Parent] = Root[Node];
+      }
+    }
+  }
+  assert(Candidates.empty() && "candidate left without a component");
+  return Result;
+}

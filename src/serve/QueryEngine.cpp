@@ -200,6 +200,7 @@ Status QueryEngine::rollback() {
   }
   Fresh.setBudgets(Live.DeadlineMs, Live.MaxEdgeBudget, Live.MaxMemBytes);
   Fresh.setClosure(Live.Closure, Live.WaveSoA);
+  Fresh.setPreprocess(Live.Preprocess);
 
   Bundle = std::move(Rebuilt);
   System = std::move(Replayed);

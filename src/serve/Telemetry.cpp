@@ -39,6 +39,8 @@ std::string buildStatsReply(const QueryEngine &Engine,
          " work=" + std::to_string(S.Work) +
          " cycles_collapsed=" + std::to_string(S.CyclesCollapsed) +
          " vars_eliminated=" + std::to_string(S.VarsEliminated) +
+         " offline_vars=" + std::to_string(S.OfflineCollapsedVars) +
+         " hvn_labels=" + std::to_string(S.HVNLabels) +
          " budget_aborts=" + std::to_string(C.BudgetAborts) +
          " rollbacks=" + std::to_string(C.Rollbacks) +
          " wal_replayed=" + std::to_string(Server.WalReplayed) +

@@ -8,6 +8,7 @@
 
 #include "graph/TarjanSCC.h"
 #include "setcon/Oracle.h"
+#include "setcon/Preprocess.h"
 #include "support/Debug.h"
 #include "support/ErrorHandling.h"
 #include "support/FailPoint.h"
@@ -60,6 +61,13 @@ Histogram &wavePassHistogram() {
   return H;
 }
 
+Histogram &preprocessHistogram() {
+  static Histogram &H = MetricsRegistry::global().histogram(
+      "poce_solver_preprocess_us",
+      "Offline preprocessing (HVN labeling + Nuutila SCC condensation)");
+  return H;
+}
+
 Histogram &waveOrderHistogram() {
   static Histogram &H = MetricsRegistry::global().histogram(
       "poce_solver_wave_order_us",
@@ -78,6 +86,7 @@ ConstraintSolver::ConstraintSolver(TermTable &Terms, SolverOptions Options,
   if (Options.Elim == CycleElim::Periodic && Options.PeriodicInterval == 0)
     reportFatalError("periodic cycle elimination requires a nonzero interval");
   NextPeriodicWork = Options.PeriodicInterval;
+  PreprocessDone = Options.Preprocess != PreprocessMode::Offline;
 }
 
 //===----------------------------------------------------------------------===//
@@ -139,6 +148,14 @@ uint32_t ConstraintSolver::numLiveVars() const {
 
 void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs) {
   invalidateSolutions();
+  if (offlinePending()) {
+    // Defer the initial bulk load: the offline pass analyzes the whole
+    // pending set at the first ensureClosed(), then replays it in input
+    // order through the schedule this add would have used.
+    if (!Stats.Aborted)
+      PreRoots.push_back({Lhs, Rhs});
+    return;
+  }
   if (waveMode()) {
     // Defer: the wave drain replays roots in input order, so the deferred
     // schedule of structural work matches the eager one item for item.
@@ -151,10 +168,64 @@ void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs) {
 }
 
 void ConstraintSolver::ensureClosed() {
+  if (offlinePending())
+    runOfflinePass();
   if (waveMode())
     drainWave();
   else
     drainWorklist();
+}
+
+void ConstraintSolver::runOfflinePass() {
+  assert(!Draining && "offline pass requested mid-drain");
+  // Mark done first: the replay below re-enters closure machinery whose
+  // observers (varVarDigraph during periodic passes) call ensureClosed().
+  PreprocessDone = true;
+  if (PreRoots.empty())
+    return;
+  const bool Timed = phaseTimingOn();
+  const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
+
+  OfflineEquivalence Equiv = offlinePreprocess(
+      Terms, PreRoots, numVars(),
+      [this](VarId Var) { return Vars[Var].Order; });
+  Stats.OfflineCollapsedVars = Equiv.SCCCollapsedVars;
+  Stats.OfflineSCCs = Equiv.NontrivialSCCs;
+  Stats.HVNLabels = Equiv.Labels;
+  if (!Equiv.Merges.empty()) {
+    invalidateWaveOrder();
+    for (auto [Var, Witness] : Equiv.Merges) {
+      bool United = Forwarding.unite(Var, Witness);
+      assert(United && "offline merge of a non-representative!");
+      (void)United;
+    }
+  }
+  if (Timed) {
+    preprocessHistogram().record(trace::nowMicros() - StartUs);
+    trace::complete("solver.preprocess", StartUs);
+  }
+
+  // Replay the deferred bulk load through the untouched online path. The
+  // merged classes make every replayed constraint resolve against its
+  // class witness, exactly as if the online search had collapsed the
+  // cycle (or the copy chain had one name) from the start.
+  std::vector<std::pair<ExprId, ExprId>> Roots;
+  Roots.swap(PreRoots);
+  if (waveMode()) {
+    // Wave mode would have parked these on the root queue; drainWave
+    // (our caller, via ensureClosed) consumes them FIFO as usual.
+    for (auto [Lhs, Rhs] : Roots)
+      RootQueue.push_back({Lhs, Rhs, /*Derived=*/false, /*FlushDelta=*/false});
+    return;
+  }
+  // Worklist mode closed eagerly per add: replay one root at a time so
+  // per-batch budgets (deadline, edge budget) keep their per-add scope.
+  for (auto [Lhs, Rhs] : Roots) {
+    if (Stats.Aborted)
+      break;
+    enqueue(Lhs, Rhs, /*Derived=*/false);
+    drainWorklist();
+  }
 }
 
 void ConstraintSolver::invalidateSolutions() {
@@ -400,6 +471,7 @@ void ConstraintSolver::abortSolve(SolverStats::AbortReason Reason) {
   Worklist.clear();
   RootQueue.clear();
   PendingWave.clear();
+  PreRoots.clear();
 }
 
 void ConstraintSolver::beginBatchBudgets() {

@@ -246,6 +246,20 @@ public:
     Options.WaveSoA = SoA;
   }
 
+  /// Overrides the preprocessing mode. Closes any deferred work first, so
+  /// on a warm solver (a snapshot loader re-arming options, or a mode
+  /// switch after constraints were added) the option is recorded without
+  /// re-running the pass: the offline analysis is only sound on a pristine
+  /// solver, and incremental adds always take the online path. Arming
+  /// Offline on a pristine solver defers the initial bulk load until the
+  /// first ensureClosed().
+  void setPreprocess(PreprocessMode Mode) {
+    ensureClosed();
+    Options.Preprocess = Mode;
+    PreprocessDone = Mode != PreprocessMode::Offline || numVars() != 0 ||
+                     Stats.ConstraintsProcessed != 0;
+  }
+
   /// Overrides the per-batch resource budgets (0 = unlimited each). Like
   /// setThreads, budgets never change what a successful solve computes —
   /// only whether an in-flight batch is aborted — so servers and recovery
@@ -310,6 +324,25 @@ private:
   void drainWorklist();
   void resolve(ExprId Lhs, ExprId Rhs, bool Derived);
   void handleMismatch(ExprId Lhs, ExprId Rhs);
+
+  //===--------------------------------------------------------------------===
+  // Offline preprocessing (PreprocessMode::Offline)
+  //===--------------------------------------------------------------------===
+
+  /// True while the initial bulk load is still being deferred for the
+  /// offline pass: addConstraint parks constraints in PreRoots instead of
+  /// processing them.
+  bool offlinePending() const {
+    return Options.Preprocess == PreprocessMode::Offline && !PreprocessDone;
+  }
+
+  /// Runs the offline HVN + Nuutila SCC analysis over the deferred
+  /// constraints, applies the resulting merges through the union-find,
+  /// and replays the deferred constraints through the normal online path
+  /// (per-root worklist drains, or the wave root queue — matching the
+  /// schedule addConstraint would have produced). Runs at most once, at
+  /// the first ensureClosed().
+  void runOfflinePass();
 
   //===--------------------------------------------------------------------===
   // Wave closure (ClosureMode::Wave)
@@ -454,6 +487,13 @@ private:
 
   std::vector<WorkItem> Worklist;
   bool Draining = false;
+  /// Offline preprocessing: input constraints deferred by addConstraint
+  /// until the first ensureClosed() runs the pass and replays them.
+  std::vector<std::pair<ExprId, ExprId>> PreRoots;
+  /// False only while an armed offline pass still awaits its first
+  /// closure; set (and kept) true once the pass ran, so every later
+  /// constraint takes the online path.
+  bool PreprocessDone = true;
   uint64_t NextPeriodicWork = 0;
   uint32_t CurrentEpoch = 0;
 

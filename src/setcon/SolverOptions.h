@@ -99,6 +99,36 @@ enum class ClosureMode : uint8_t {
   Wave,
 };
 
+/// Optional pre-solve preprocessing of the constraint system.
+enum class PreprocessMode : uint8_t {
+  /// No preprocessing: every constraint goes straight through the online
+  /// closure discipline.
+  None,
+  /// Offline HVN variable substitution before the first closure: initial
+  /// addConstraint calls are deferred; when the first solution query (or
+  /// graph observer) forces ensureClosed(), the pre-closure variable
+  /// graph is condensed with Nuutila's SCC algorithm and an HVN-style
+  /// pointer-equivalence labeling merges provably-equivalent variables
+  /// through the union-find, after which the deferred constraints replay
+  /// through the unchanged online path. Solutions are bit-identical with
+  /// the pass on or off for the bulk-loaded system; partial online
+  /// elimination then only has to catch the cycles that *form during*
+  /// closure.
+  ///
+  /// Contract: like CycleElim::Oracle, the pass assumes the deferred bulk
+  /// load is the complete constraint system. SCC collapses stay exact
+  /// however the system grows (mutual inclusion is permanent), but the
+  /// HVN copy-chain and empty-class merges are justified only by the
+  /// constraints visible at pass time. Constraints added after the first
+  /// closure take the online path directly against the merged quotient
+  /// (the pass runs at most once, on the initial bulk load); new flow
+  /// into an HVN-merged class is shared by the whole class, so
+  /// post-closure solutions are a sound over-approximation of the
+  /// unmerged system — exact when the adds touch no HVN-merged variable.
+  /// See docs/INTERNALS.md, "Offline preprocessing (HVN + Nuutila SCC)".
+  Offline,
+};
+
 /// Full configuration of one solver instance.
 struct SolverOptions {
   GraphForm Form = GraphForm::Inductive;
@@ -145,6 +175,10 @@ struct SolverOptions {
   /// online behavior; Wave trades per-add eagerness for batched,
   /// cache-conscious bulk closure.
   ClosureMode Closure = ClosureMode::Worklist;
+  /// Pre-solve preprocessing (see PreprocessMode). Orthogonal to the
+  /// closure schedule: Offline shrinks the variable graph before the
+  /// first closure, then either schedule closes the condensed system.
+  PreprocessMode Preprocess = PreprocessMode::None;
   /// Wave closure only: flush deltas through the cache-conscious SoA edge
   /// rows (CSR successor arrays sorted by topological position, targets
   /// pre-resolved through forwarding) instead of the per-node adjacency

@@ -58,6 +58,20 @@ struct SolverStats {
   /// Offline SCC passes run under CycleElim::Periodic.
   uint64_t PeriodicPasses = 0;
 
+  /// Offline preprocessing (SolverOptions::Preprocess == Offline):
+  /// variables collapsed by the pre-closure SCC condensation — the
+  /// "cycle variables caught offline" measure, directly comparable to
+  /// VarsEliminated (caught online) and the Oracle's eliminable bound.
+  /// Variables merged by the HVN labeling beyond these are *not* counted
+  /// here (they are equivalent, not necessarily cyclic); the total merge
+  /// count is visible as the drop in live variables.
+  uint64_t OfflineCollapsedVars = 0;
+  /// Distinct HVN pointer-equivalence labels over the condensed
+  /// components (0 = the pass never ran).
+  uint64_t HVNLabels = 0;
+  /// Nontrivial (size >= 2) SCCs found by the offline condensation.
+  uint64_t OfflineSCCs = 0;
+
   /// Structurally mismatched constraints skipped (or collected).
   uint64_t Mismatches = 0;
   /// Constraints processed from the worklist.
@@ -144,6 +158,9 @@ struct SolverStats {
     CycleSearchSteps += RHS.CycleSearchSteps;
     CycleSearches += RHS.CycleSearches;
     PeriodicPasses += RHS.PeriodicPasses;
+    OfflineCollapsedVars += RHS.OfflineCollapsedVars;
+    HVNLabels += RHS.HVNLabels;
+    OfflineSCCs += RHS.OfflineSCCs;
     Mismatches += RHS.Mismatches;
     ConstraintsProcessed += RHS.ConstraintsProcessed;
     LSUnionWords += RHS.LSUnionWords;
@@ -176,7 +193,7 @@ struct SolverStats {
 
   /// Every counter with its snake_case key — the single naming source for
   /// the metrics-registry export and any full JSON emitter.
-  std::array<NamedCounter, 21> allCounters() const {
+  std::array<NamedCounter, 24> allCounters() const {
     return {{{"VarsCreated", "vars_created", VarsCreated},
              {"OracleSubs", "oracle_substitutions", OracleSubstitutions},
              {"InitialEdges", "initial_edges", InitialEdges},
@@ -190,6 +207,9 @@ struct SolverStats {
              {"SearchSteps", "cycle_search_steps", CycleSearchSteps},
              {"Searches", "cycle_searches", CycleSearches},
              {"Periodic", "periodic_passes", PeriodicPasses},
+             {"OfflineVars", "offline_collapsed_vars", OfflineCollapsedVars},
+             {"HVNLabels", "hvn_labels", HVNLabels},
+             {"OfflineSCCs", "offline_sccs", OfflineSCCs},
              {"Mismatches", "mismatches", Mismatches},
              {"Processed", "constraints_processed", ConstraintsProcessed},
              {"LSwords", "ls_union_words", LSUnionWords},

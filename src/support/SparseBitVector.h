@@ -209,8 +209,31 @@ public:
     };
 
     if (!NeedsMerge) {
-      size_t I = 0;
-      for (const Element &R : RHS.Elems) {
+      // Every RHS element has a counterpart here (checked above). The hot
+      // shape is long runs of consecutive elements on both sides (clustered
+      // term ids), so OR two elements — four 64-bit words — per iteration
+      // whenever the next pair is already aligned, skipping the per-element
+      // catch-up scan.
+      size_t I = 0, J = 0;
+      const size_t NumR = RHS.Elems.size();
+      while (J + 1 < NumR) {
+        const Element &R0 = RHS.Elems[J];
+        while (Elems[I].Index < R0.Index)
+          ++I;
+        const Element &R1 = RHS.Elems[J + 1];
+        if (I + 1 != Elems.size() && Elems[I + 1].Index == R1.Index) {
+          orInto(Elems[I], R0);
+          orInto(Elems[I + 1], R1);
+          I += 2;
+          J += 2;
+        } else {
+          orInto(Elems[I], R0);
+          ++I;
+          ++J;
+        }
+      }
+      if (J != NumR) {
+        const Element &R = RHS.Elems[J];
         while (Elems[I].Index < R.Index)
           ++I;
         orInto(Elems[I], R);

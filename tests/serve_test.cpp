@@ -356,7 +356,8 @@ TEST(TelemetryTest, StatsReplyFieldsAndMonotonicity) {
   auto Kv = parseKv(Reply);
   for (const char *Key :
        {"config", "vars", "live", "work", "cycles_collapsed",
-        "vars_eliminated", "budget_aborts", "rollbacks", "wal_replayed",
+        "vars_eliminated", "offline_vars", "hvn_labels", "budget_aborts",
+        "rollbacks", "wal_replayed",
         "checkpoints", "wal_records", "wal_bytes"})
     EXPECT_TRUE(Kv.count(Key)) << "missing " << Key << " in: " << Reply;
   EXPECT_EQ(Kv["config"], "IF-Online");
