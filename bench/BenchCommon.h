@@ -38,7 +38,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -189,6 +192,47 @@ inline void appendHotPathCells(std::vector<std::string> &Row,
   Row.push_back(capped(SFCounters[0].Value, SF.Capped));
   Row.push_back(capped(SFCounters[1].Value, SF.Capped));
   Row.push_back(capped(IFCounters[2].Value, IF.Capped));
+}
+
+/// Returns the prior runs of the trajectory JSON at \p Path as the inner
+/// text of its "runs" array (comma-joined objects, no brackets), or ""
+/// when the file is missing/empty. A pre-runs-format file (top-level
+/// "entries") is kept verbatim as the first run. Shared by every bench
+/// that appends timestamped runs to a trajectory file.
+inline std::string readPriorRuns(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Old = Buffer.str();
+
+  auto trim = [](std::string S) {
+    size_t B = S.find_first_not_of(" \t\r\n");
+    size_t E = S.find_last_not_of(" \t\r\n");
+    return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+  };
+
+  size_t RunsPos = Old.find("\"runs\"");
+  if (RunsPos != std::string::npos) {
+    size_t Open = Old.find('[', RunsPos);
+    size_t Close = Old.rfind(']');
+    if (Open == std::string::npos || Close == std::string::npos ||
+        Close <= Open)
+      return "";
+    return trim(Old.substr(Open + 1, Close - Open - 1));
+  }
+  if (Old.find("\"entries\"") != std::string::npos)
+    return trim(Old); // Flat single-run format: migrate as the first run.
+  return "";
+}
+
+/// UTC timestamp for trajectory run records.
+inline std::string utcTimestamp() {
+  char Out[32];
+  std::time_t Now = std::time(nullptr);
+  std::strftime(Out, sizeof(Out), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&Now));
+  return Out;
 }
 
 } // namespace bench

@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "andersen/Andersen.h"
 #include "minic/Lexer.h"
 #include "minic/Parser.h"
@@ -980,38 +981,6 @@ FaultToleranceResult measureFaultTolerance(double Scale, unsigned Repeats) {
   return Out;
 }
 
-/// Returns the prior runs of \p Path as the inner text of a JSON "runs"
-/// array (comma-joined objects, no brackets), or "" when the file is
-/// missing/empty. A pre-runs-format file (top-level "entries") is kept
-/// verbatim as the first run.
-std::string readPriorRuns(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return "";
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  std::string Old = Buffer.str();
-
-  auto trim = [](std::string S) {
-    size_t B = S.find_first_not_of(" \t\r\n");
-    size_t E = S.find_last_not_of(" \t\r\n");
-    return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
-  };
-
-  size_t RunsPos = Old.find("\"runs\"");
-  if (RunsPos != std::string::npos) {
-    size_t Open = Old.find('[', RunsPos);
-    size_t Close = Old.rfind(']');
-    if (Open == std::string::npos || Close == std::string::npos ||
-        Close <= Open)
-      return "";
-    return trim(Old.substr(Open + 1, Close - Open - 1));
-  }
-  if (Old.find("\"entries\"") != std::string::npos)
-    return trim(Old); // Flat single-run format: migrate as the first run.
-  return "";
-}
-
 int emitTrajectory(const std::string &Path) {
   double Scale = 1.0;
   if (const char *Env = std::getenv("POCE_BENCH_SCALE"))
@@ -1044,12 +1013,8 @@ int emitTrajectory(const std::string &Path) {
        104, /*FactsFirst=*/false},
   };
 
-  std::string Prior = readPriorRuns(Path);
-
-  char Timestamp[32];
-  std::time_t Now = std::time(nullptr);
-  std::strftime(Timestamp, sizeof(Timestamp), "%Y-%m-%dT%H:%M:%SZ",
-                std::gmtime(&Now));
+  std::string Prior = bench::readPriorRuns(Path);
+  std::string Timestamp = bench::utcTimestamp();
 
   std::FILE *File = std::fopen(Path.c_str(), "w");
   if (!File) {
@@ -1065,7 +1030,7 @@ int emitTrajectory(const std::string &Path) {
                "  {\"timestamp\": \"%s\", \"mode\": \"emit_trajectory\",\n"
                "   \"repeats\": %u, \"scale\": %.2f, \"threads\": %u,\n"
                "   \"entries\": [\n",
-               Timestamp, Repeats, Scale, Threads);
+               Timestamp.c_str(), Repeats, Scale, Threads);
   std::printf("=== micro_solver trajectory (best of %u, %u lanes) ===\n",
               Repeats, Threads);
 

@@ -17,11 +17,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-asan
 cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target serve_tests core_tests scserved \
-  scsolve
+  scsolve scnetcat
 (cd "$BUILD_DIR" && ctest --output-on-failure \
   -R '(Snapshot|QueryEngine|LruCache|ByteStream|Wal|FailPoint|Status|Expected|Budget|WarmRecovery|Metrics|Histogram|Percentile|Trace|Telemetry)' \
   "$@")
 scripts/serve_smoke.sh "$BUILD_DIR"
+# The socket layer parses untrusted network bytes (framing, size limits)
+# — run its end-to-end smoke under ASan too.
+scripts/net_smoke.sh "$BUILD_DIR"
 scripts/crash_recovery.sh "$BUILD_DIR"
 scripts/metrics_smoke.sh "$BUILD_DIR"
 # The offline pass rewrites the constraint stream before the solver sees

@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verification (see ROADMAP.md): configure, build, run the full
-# test suite, then the end-to-end serving harnesses (protocol smoke test
-# and crash-recovery/fault-injection) and the wave-closure and
-# offline-preprocessing perf smoke tests. Extra arguments are passed to
-# ctest.
+# test suite, then the end-to-end serving harnesses (protocol smoke test,
+# socket serving smoke, and crash-recovery/fault-injection) and the
+# wave-closure and offline-preprocessing perf smoke tests. Extra
+# arguments are passed to ctest.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -13,6 +13,7 @@ cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j "$@")
 "$ROOT/scripts/serve_smoke.sh" "$BUILD"
+"$ROOT/scripts/net_smoke.sh" "$BUILD"
 "$ROOT/scripts/crash_recovery.sh" "$BUILD"
 "$ROOT/scripts/metrics_smoke.sh" "$BUILD"
 "$ROOT/scripts/perf_smoke.sh" "$BUILD"

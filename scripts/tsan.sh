@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Builds the parallel tests under ThreadSanitizer and runs them.
+# Builds the parallel and network tests under ThreadSanitizer and runs
+# them.
 #
 # The parallel least-solution pass and the batch-solve API are designed to
 # be TSan-clean (all cross-thread visibility goes through the pool's wave
-# mutex); this script is the check. Uses a dedicated build directory so
-# the instrumented build never mixes with the normal one.
+# mutex), and so is the whole socket serving stack — event loop, writer
+# lane, read-wave pool, and RCU view publishing, exercised end to end over
+# loopback by net_tests; this script is the check. Uses a dedicated build
+# directory so the instrumented build never mixes with the normal one.
 #
 # Usage: scripts/tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -12,9 +15,10 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -S . -DPOCE_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target parallel_tests core_tests
+cmake --build "$BUILD_DIR" -j --target parallel_tests core_tests net_tests
 cd "$BUILD_DIR"
 # HistogramTest.ConcurrentRecordsAllLand checks the registry's lock-free
-# increments are TSan-clean alongside the pool's wave protocol.
+# increments are TSan-clean alongside the pool's wave protocol; the Net
+# suites drive concurrent socket clients against the epoll server.
 ctest --output-on-failure \
-  -R '(ThreadPool|Determinism|BatchSolve|Histogram|MetricsRegistry)' "$@"
+  -R '(ThreadPool|Determinism|BatchSolve|Histogram|MetricsRegistry|Net)' "$@"

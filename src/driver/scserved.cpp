@@ -5,15 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// scserved: solver-as-a-service over stdin/stdout. Loads a warm solved
-/// graph (from a GraphSnapshot, or by solving a .scs file once at
-/// startup) and then answers a newline-delimited request/response
-/// protocol — one request line in, exactly one `ok ...` or
-/// `err <code> <detail>` line out — so sessions are fully scriptable
-/// without sockets:
+/// scserved: solver-as-a-service. Loads a warm solved graph (from a
+/// GraphSnapshot, or by solving a .scs file once at startup) and then
+/// answers a newline-delimited request/response protocol — one request
+/// line in, one `ok ...` or `err <code> <detail>` line out — either over
+/// stdin/stdout (fully scriptable, the default) or over sockets:
 ///
 ///   scserved --snapshot=graph.snap --wal=graph.wal
 ///   scserved --config=if-online system.scs
+///   scserved --snapshot=graph.snap --unix=/tmp/poce.sock --net-lanes=4
+///   scserved --snapshot=graph.snap --listen=127.0.0.1:7075
+///
+/// The writer pipeline (WAL recovery, append-before-apply, budget
+/// rollback, atomic checkpoints, degraded mode) lives in
+/// serve/ServerCore and is shared verbatim between the stdin loop and
+/// the socket front end (net/Server.h). In socket mode, reads execute
+/// concurrently on a thread-pool wave against an immutable published
+/// ReadView while a single writer lane owns the core — queries never
+/// block on adds; see net/Server.h for the full concurrency story.
 ///
 /// Fault tolerance (see INTERNALS.md for the recovery invariant):
 ///   - With --wal, every accepted `add` line is validated (dry-run parse)
@@ -32,6 +41,9 @@
 ///     keeps serving.
 ///   - `checkpoint` (or --checkpoint-every=N) atomically rewrites the
 ///     snapshot and resets the WAL, bounding recovery time.
+///   - `shutdown` (or SIGTERM) drains in-flight requests, closes the
+///     fsynced WAL, dumps metrics, and exits 0 — restart recovers every
+///     acknowledged add.
 ///   - POCE_FAILPOINTS arms fault injection (see support/FailPoint.h).
 ///
 /// Protocol (see README.md for a copy-pasteable session):
@@ -44,6 +56,7 @@
 ///   stats         solver statistics + fault-tolerance counters
 ///   counters      query latency percentiles and cache counters
 ///   metrics       Prometheus text exposition (multi-line, ends "# EOF")
+///   shutdown      graceful drain and exit 0
 ///   help | quit
 ///
 /// Observability: query latencies land in an O(1)-insert log-bucket
@@ -55,22 +68,27 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "net/Framing.h"
+#include "net/Server.h"
 #include "serve/GraphSnapshot.h"
 #include "serve/QueryEngine.h"
+#include "serve/ServerCore.h"
 #include "serve/Telemetry.h"
 #include "serve/Wal.h"
-#include "support/ByteStream.h"
 #include "support/CommandLine.h"
 #include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Status.h"
 #include "support/Trace.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace poce;
@@ -90,34 +108,6 @@ bool parseConfig(const std::string &Name, SolverOptions &Options) {
   else
     return false;
   return true;
-}
-
-/// Splits a request line on spaces (the constraint payload of `add` keeps
-/// its spacing via the Rest capture).
-struct Request {
-  std::string Verb, Arg1, Arg2, Rest;
-};
-
-Request parseRequest(const std::string &Line) {
-  Request Req;
-  std::istringstream In(Line);
-  In >> Req.Verb >> Req.Arg1 >> Req.Arg2;
-  size_t VerbEnd = Line.find(Req.Verb);
-  if (VerbEnd != std::string::npos) {
-    size_t RestAt = VerbEnd + Req.Verb.size();
-    while (RestAt < Line.size() && Line[RestAt] == ' ')
-      ++RestAt;
-    Req.Rest = Line.substr(RestAt);
-  }
-  return Req;
-}
-
-std::string joinSet(const std::vector<std::string> &Items) {
-  std::string Out = "{";
-  for (size_t I = 0; I != Items.size(); ++I)
-    Out += (I ? ", " : " ") + Items[I];
-  Out += Items.empty() ? "}" : " }";
-  return Out;
 }
 
 /// --dump-wal=FILE: print every intact line of a WAL (one per line) and
@@ -141,6 +131,27 @@ int dumpWal(const std::string &Path) {
   return 0;
 }
 
+/// SIGTERM = graceful drain in either mode. The handler only flips the
+/// flag and pokes the socket server's eventfd (both async-signal-safe);
+/// the serving loops notice and drain.
+volatile std::sig_atomic_t TermRequested = 0;
+
+void onSigterm(int) {
+  TermRequested = 1;
+  net::NetServer::requestStop();
+}
+
+void installSigterm() {
+  struct sigaction Action;
+  std::memset(&Action, 0, sizeof(Action));
+  Action.sa_handler = onSigterm;
+  sigemptyset(&Action.sa_mask);
+  // Deliberately no SA_RESTART: the stdin loop's blocking read must
+  // return EINTR so an idle server still drains promptly.
+  Action.sa_flags = 0;
+  ::sigaction(SIGTERM, &Action, nullptr);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -148,7 +159,7 @@ int main(int Argc, char **Argv) {
 
   CommandLine Cmd("scserved",
                   "long-running inclusion-constraint query server "
-                  "(newline protocol on stdin/stdout)");
+                  "(newline protocol on stdin/stdout or sockets)");
   std::string Snapshot;
   std::string WalPath;
   std::string DumpWal;
@@ -165,6 +176,10 @@ int main(int Argc, char **Argv) {
   int64_t CheckpointEvery = 0;
   std::string MetricsOut;
   int64_t MetricsEvery = 64;
+  std::string Listen;
+  std::string UnixPath;
+  int64_t NetLanes = 0;
+  int64_t IdleTimeoutMs = 0;
   Cmd.addString("snapshot", &Snapshot, "load this snapshot instead of "
                                        "solving a .scs file");
   Cmd.addString("wal", &WalPath,
@@ -205,6 +220,17 @@ int main(int Argc, char **Argv) {
                 "--metrics-every requests and at exit");
   Cmd.addInt("metrics-every", &MetricsEvery,
              "requests between --metrics-out dumps (default 64)");
+  Cmd.addString("listen", &Listen,
+                "serve the protocol on this TCP address (host:port; "
+                "port 0 picks an ephemeral port) instead of stdin");
+  Cmd.addString("unix", &UnixPath,
+                "serve the protocol on this Unix-domain socket path "
+                "instead of stdin (combinable with --listen)");
+  Cmd.addInt("net-lanes", &NetLanes,
+             "reader lanes for socket mode (0 = one per hardware "
+             "thread); answers are identical for any value");
+  Cmd.addInt("idle-timeout-ms", &IdleTimeoutMs,
+             "close socket connections idle this long (0 = never)");
   if (!Cmd.parse(Argc, Argv))
     return 1;
 
@@ -302,117 +328,76 @@ int main(int Argc, char **Argv) {
     Bundle.Solver->setPreprocess(PreprocessMode::Offline);
   Bundle.Solver->materializeAllViews();
 
-  QueryEngine Engine(std::move(Bundle),
-                     static_cast<size_t>(CacheCapacity));
-  if (!Engine.valid()) {
-    std::fprintf(stderr, "scserved: %s\n", Engine.initError().c_str());
+  ServerCoreConfig CoreConfig;
+  CoreConfig.SnapshotPath = Snapshot;
+  CoreConfig.WalPath = WalPath;
+  CoreConfig.CheckpointEvery = static_cast<uint64_t>(CheckpointEvery);
+  CoreConfig.DeadlineMs = static_cast<uint64_t>(DeadlineMs);
+  CoreConfig.EdgeBudget = static_cast<uint64_t>(EdgeBudget);
+  CoreConfig.MaxMemBytes = static_cast<uint64_t>(MaxMemMb) * 1024 * 1024;
+  ServerCore Core(std::move(Bundle), static_cast<size_t>(CacheCapacity),
+                  CoreConfig);
+  if (!Core.valid()) {
+    std::fprintf(stderr, "scserved: %s\n", Core.initError().c_str());
     return 1;
   }
   // NOTE: never cache a ConstraintSolver reference across requests — a
   // budget rollback replaces the engine's bundle, freeing the old solver.
 
-  // Warm recovery: replay the WAL's intact lines on top of the loaded
-  // graph, budgets off (each line fit its budget when first accepted, and
-  // a snapshot saved with budgets armed must not re-abort here). open()
-  // afterwards truncates any torn tail so appends resume cleanly.
-  WriteAheadLog Wal;
-  const bool WalArmed = !WalPath.empty();
-  uint64_t WalReplayed = 0;
-  uint64_t WalSkipped = 0;
-  if (WalArmed) {
-    Expected<WalContents> Recovered = WriteAheadLog::replay(WalPath);
-    if (!Recovered.ok()) {
-      std::fprintf(stderr, "scserved: %s\n",
-                   Recovered.status().toString().c_str());
-      return 1;
-    }
-    if (!Recovered->HeaderIntact) {
-      std::fprintf(stderr,
-                   "scserved: note: WAL '%s' has a torn header (crash "
-                   "during creation); no record was acknowledged, "
-                   "starting it over\n",
-                   WalPath.c_str());
-    } else if (Recovered->BaseId != SnapBase &&
-               !Recovered->Lines.empty()) {
-      // A checkpoint crashed between the snapshot rename and the WAL
-      // reset: every record in the log is already contained in the
-      // renamed snapshot. Replaying them would double-apply (and fail on
-      // re-declarations), so skip the log and re-stamp it below.
-      WalSkipped = Recovered->Lines.size();
-      std::fprintf(stderr,
-                   "scserved: note: WAL '%s' is stale (base id %llx does "
-                   "not match the snapshot's %llx; an interrupted "
-                   "checkpoint left it behind); skipping %llu line(s) "
-                   "already contained in the snapshot\n",
-                   WalPath.c_str(),
-                   static_cast<unsigned long long>(Recovered->BaseId),
-                   static_cast<unsigned long long>(SnapBase),
-                   static_cast<unsigned long long>(WalSkipped));
-    } else {
-      Engine.solver().setBudgets(0, 0, 0);
-      for (const std::string &ReplayLine : Recovered->Lines) {
-        Status Applied = Engine.addConstraint(ReplayLine);
-        if (!Applied) {
-          std::fprintf(stderr,
-                       "scserved: WAL replay failed (log does not extend "
-                       "this snapshot?): %s\n",
-                       Applied.toString().c_str());
-          return 1;
-        }
-        ++WalReplayed;
-      }
-    }
-    Status Opened = Wal.open(WalPath, SnapBase);
-    if (!Opened) {
-      std::fprintf(stderr, "scserved: %s\n", Opened.toString().c_str());
-      return 1;
-    }
-  }
-  Engine.solver().setBudgets(static_cast<uint64_t>(DeadlineMs),
-                    static_cast<uint64_t>(EdgeBudget),
-                    static_cast<uint64_t>(MaxMemMb) * 1024 * 1024);
-  // Budgets configured after recovery apply to every subsequent add; the
-  // rollback base must reflect the recovered (not the loaded) graph.
-  if (WalReplayed) {
-    Status Checkpointed = Engine.checkpointBase();
-    if (!Checkpointed) {
-      std::fprintf(stderr, "scserved: %s\n",
-                   Checkpointed.toString().c_str());
-      return 1;
-    }
+  Status Recovered = Core.recover(SnapBase);
+  if (!Recovered) {
+    std::fprintf(stderr, "scserved: %s\n", Recovered.toString().c_str());
+    return 1;
   }
 
+  QueryEngine &Engine = Core.engine();
   std::printf("ok ready config=%s vars=%u live=%u wal_replayed=%llu "
               "wal_skipped=%llu\n",
-              Engine.solver().options().configName().c_str(), Engine.solver().numVars(),
-              Engine.solver().numLiveVars(),
-              static_cast<unsigned long long>(WalReplayed),
-              static_cast<unsigned long long>(WalSkipped));
+              Engine.solver().options().configName().c_str(),
+              Engine.solver().numVars(), Engine.solver().numLiveVars(),
+              static_cast<unsigned long long>(Core.walReplayed()),
+              static_cast<unsigned long long>(Core.walSkipped()));
   std::fflush(stdout);
 
-  uint64_t Checkpoints = 0;
-  uint64_t AddsSinceCheckpoint = 0;
+  installSigterm();
+
+  // Socket mode: hand the core to the epoll front end. The second ready
+  // line carries the bound addresses (the TCP port may have been
+  // ephemeral), so harnesses know where to connect.
+  if (!Listen.empty() || !UnixPath.empty()) {
+    net::NetServerOptions NetOpts;
+    NetOpts.TcpSpec = Listen;
+    NetOpts.UnixPath = UnixPath;
+    NetOpts.Lanes = static_cast<unsigned>(NetLanes);
+    NetOpts.MaxRequest = static_cast<size_t>(MaxRequest);
+    NetOpts.IdleTimeoutMs = static_cast<uint64_t>(IdleTimeoutMs);
+    NetOpts.MetricsOut = MetricsOut;
+    NetOpts.MetricsEvery = static_cast<uint64_t>(MetricsEvery);
+    net::NetServer Server(Core, NetOpts);
+    Status Ready = Server.init();
+    if (!Ready) {
+      std::fprintf(stderr, "scserved: %s\n", Ready.toString().c_str());
+      return 1;
+    }
+    std::string Where;
+    if (!Listen.empty())
+      Where += " tcp=" + std::to_string(Server.tcpPort());
+    if (!UnixPath.empty())
+      Where += " unix=" + UnixPath;
+    std::printf("ok listening%s\n", Where.c_str());
+    std::fflush(stdout);
+    return Server.run();
+  }
+
+  // Stdin mode. Framing goes through net::LineBuffer so the size limit
+  // is enforced streamingly (the reply text matches the old whole-line
+  // check), and the read loop is plain read(2) so a SIGTERM's EINTR
+  // breaks an idle wait.
   uint64_t RequestsHandled = 0;
-  auto ServerNow = [&]() {
-    telemetry::ServerCounters S;
-    S.WalReplayed = WalReplayed;
-    S.WalSkipped = WalSkipped;
-    S.Checkpoints = Checkpoints;
-    S.WalRecords = Wal.records();
-    S.WalBytes = Wal.sizeBytes();
-    return S;
-  };
-  // --metrics-out: the registry as one JSON object, rewritten atomically
-  // so a scraper never reads a half-written dump.
   auto DumpMetrics = [&]() {
     if (MetricsOut.empty())
       return;
-    MetricsRegistry &R = MetricsRegistry::global();
-    Engine.solver().stats().exportTo(R);
-    telemetry::exportServeMetrics(R, Engine, ServerNow());
-    std::string Json = R.renderJson() + "\n";
-    std::vector<uint8_t> Bytes(Json.begin(), Json.end());
-    Status Written = writeFileAtomic(MetricsOut, Bytes);
+    Status Written = Core.dumpMetricsTo(MetricsOut);
     if (!Written)
       std::fprintf(stderr, "scserved: metrics dump failed: %s\n",
                    Written.toString().c_str());
@@ -431,107 +416,11 @@ int main(int Argc, char **Argv) {
     return true;
   };
 
-  // Atomic snapshot write shared by `save` and `checkpoint`; returns the
-  // byte count and the serialized payload checksum (the would-be WAL
-  // base id; set as soon as serialization succeeds, even if the write
-  // then fails) through the out-params.
-  auto SaveSnapshot = [&](const std::string &Path, size_t &SizeOut,
-                          uint64_t &ChecksumOut) -> Status {
-    if (FailPoint::hit("snapshot.save") != FailPoint::Mode::Off)
-      return FailPoint::injectedError("snapshot.save");
-    std::vector<uint8_t> Bytes;
-    Status Serialized = GraphSnapshot::serialize(Engine.solver(), Bytes);
-    if (!Serialized)
-      return Serialized;
-    SizeOut = Bytes.size();
-    ChecksumOut = GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
-    return writeFileAtomic(Path, Bytes);
-  };
-
-  // Once a checkpoint has renamed a new snapshot into place, the open
-  // WAL is stale: its records are contained in the snapshot, and its
-  // base id no longer matches. Recovery handles that (the mismatch makes
-  // it skip the log), but a RUNNING server must not keep acknowledging
-  // into a log that restart will discard — so any post-rename checkpoint
-  // failure disables the WAL and `add`/`checkpoint` refuse until
-  // restart, while queries keep serving. WalArmed && !Wal.isOpen() is
-  // the degraded state.
-  auto DisableWal = [&](const std::string &Why) {
-    if (!Wal.isOpen())
-      return;
-    std::fprintf(stderr,
-                 "scserved: disabling WAL '%s' (%s); add/checkpoint are "
-                 "refused until restart, which recovers cleanly\n",
-                 WalPath.c_str(), Why.c_str());
-    Wal.close();
-  };
-
-  // The snapshot's on-disk payload checksum, or 0 if unreadable.
-  auto SnapshotFileChecksum = [](const std::string &Path) -> uint64_t {
-    std::vector<uint8_t> Bytes;
-    std::string Error;
-    if (!readFileBytes(Path, Bytes, &Error))
-      return 0;
-    return GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
-  };
-
-  auto Checkpoint = [&](const std::string &Path) -> Status {
-    if (WalArmed && !Wal.isOpen())
-      return Status::error(ErrorCode::FailedPrecondition,
-                           "WAL is disabled after a failed checkpoint; "
-                           "restart to recover");
-    const uint64_t StartUs = trace::nowMicros();
-    size_t Bytes = 0;
-    uint64_t NewBase = 0;
-    Status Saved = SaveSnapshot(Path, Bytes, NewBase);
-    if (!Saved) {
-      // writeFileAtomic can fail after the rename (directory fsync): if
-      // the new snapshot actually landed, the WAL no longer extends the
-      // base under our feet.
-      if (NewBase != 0 && SnapshotFileChecksum(Path) == NewBase)
-        DisableWal("the new snapshot was renamed into place but the "
-                   "checkpoint failed");
-      return Saved.withContext("checkpoint");
-    }
-    // The new snapshot is durable; the crash window between here and the
-    // WAL reset is covered by the base id (recovery sees the mismatch
-    // and skips the stale log), and the failpoint lets the harness land
-    // exactly inside it.
-    Status St;
-    if (FailPoint::hit("checkpoint.before_wal_reset") != FailPoint::Mode::Off)
-      St = FailPoint::injectedError("checkpoint.before_wal_reset");
-    if (St.ok() && Wal.isOpen())
-      St = Wal.reset(NewBase);
-    if (!St.ok()) {
-      DisableWal("the snapshot was checkpointed but the WAL reset "
-                 "failed: " + St.message());
-      return St.withContext("checkpoint");
-    }
-    // A checkpointBase failure is benign for durability: the engine just
-    // keeps its older rollback base plus the full journal, which still
-    // restores the current state; the WAL stays live.
-    Status Based = Engine.checkpointBase();
-    if (!Based)
-      return Based.withContext("checkpoint");
-    ++Checkpoints;
-    AddsSinceCheckpoint = 0;
-    telemetry::checkpointHistogram().record(trace::nowMicros() - StartUs);
-    trace::complete("serve.checkpoint", StartUs);
-    return Status();
-  };
-
-  std::string Line;
-  while (std::getline(std::cin, Line)) {
-    if (Line.size() > static_cast<size_t>(MaxRequest)) {
-      ReplyErr(Status::error(ErrorCode::TooLarge,
-                             "request is " + std::to_string(Line.size()) +
-                                 " bytes; limit is " +
-                                 std::to_string(MaxRequest)));
-      continue;
-    }
+  // Returns false when the loop should stop (quit or shutdown).
+  auto HandleLine = [&](const std::string &Line) -> bool {
     Request Req = parseRequest(Line);
     if (Req.Verb.empty() || Req.Verb[0] == '#')
-      continue;
+      return true;
 
     ++RequestsHandled;
     if (MetricsEvery > 0 &&
@@ -540,140 +429,14 @@ int main(int Argc, char **Argv) {
 
     if (Req.Verb == "quit" || Req.Verb == "exit") {
       Reply("ok bye");
-      break;
+      return false;
     }
     if (Req.Verb == "help") {
       Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
             "save PATH | checkpoint [PATH] | stats | counters | metrics | "
-            "help | quit");
-      continue;
+            "shutdown | help | quit");
+      return true;
     }
-    if (Req.Verb == "stats") {
-      Reply(telemetry::buildStatsReply(Engine, ServerNow()));
-      continue;
-    }
-    if (Req.Verb == "counters") {
-      Reply(telemetry::buildCountersReply(
-          Engine, telemetry::queryLatencyHistogram()));
-      continue;
-    }
-    if (Req.Verb == "metrics") {
-      Reply(telemetry::buildMetricsReply(MetricsRegistry::global(), Engine,
-                                         ServerNow()));
-      continue;
-    }
-    if (Req.Verb == "save") {
-      if (Req.Arg1.empty()) {
-        ReplyErr(Status::error(ErrorCode::InvalidArgument,
-                               "save needs a path"));
-        continue;
-      }
-      size_t Bytes = 0;
-      uint64_t Checksum = 0;
-      Status Saved = SaveSnapshot(Req.Arg1, Bytes, Checksum);
-      if (!Saved) {
-        ReplyErr(Saved);
-        continue;
-      }
-      // Saving over the startup snapshot (under whatever spelling of its
-      // path) makes the open WAL stale: every record is contained in the
-      // file just written. Promote the save to a checkpoint so restart
-      // and the live server agree on what the WAL extends.
-      if (Wal.isOpen() && !Snapshot.empty() &&
-          SnapshotFileChecksum(Snapshot) == Checksum) {
-        Status Reset = Wal.reset(Checksum);
-        if (!Reset) {
-          DisableWal("the save replaced the startup snapshot but the "
-                     "WAL reset failed: " + Reset.message());
-          ReplyErr(Reset.withContext("save"));
-          continue;
-        }
-        Status Based = Engine.checkpointBase();
-        if (!Based) {
-          ReplyErr(Based.withContext("save"));
-          continue;
-        }
-        ++Checkpoints;
-        AddsSinceCheckpoint = 0;
-      }
-      Reply("ok saved " + Req.Arg1 + " (" + std::to_string(Bytes) +
-            " bytes)");
-      continue;
-    }
-    if (Req.Verb == "checkpoint") {
-      std::string Path = Req.Arg1.empty() ? Snapshot : Req.Arg1;
-      if (Path.empty()) {
-        ReplyErr(Status::error(ErrorCode::InvalidArgument,
-                               "checkpoint needs a path (no --snapshot)"));
-        continue;
-      }
-      Status Done = Checkpoint(Path);
-      if (!Done) {
-        ReplyErr(Done);
-        continue;
-      }
-      Reply("ok checkpoint " + Path);
-      continue;
-    }
-    if (Req.Verb == "add") {
-      if (Req.Rest.empty()) {
-        ReplyErr(Status::error(ErrorCode::InvalidArgument,
-                               "add needs a constraint-file line"));
-        continue;
-      }
-      if (WalArmed && !Wal.isOpen()) {
-        ReplyErr(Status::error(ErrorCode::FailedPrecondition,
-                               "WAL is disabled after a failed "
-                               "checkpoint; restart to recover"));
-        continue;
-      }
-      // Validation before durability, durability before application: a
-      // line reaches the WAL only after a dry-run parse proves it would
-      // apply cleanly (so a crash right after the fsync can never leave
-      // an unreplayable line durable), and once the append returns, a
-      // crash at any later point leaves the line in the WAL, so
-      // `ok added` implies it survives recovery. The only post-append
-      // rejection left is a budget breach, whose line is erased again so
-      // the log only ever contains accepted lines.
-      Status Checked = Engine.checkConstraint(Req.Rest);
-      if (!Checked) {
-        ReplyErr(Checked);
-        continue;
-      }
-      uint64_t WalMark = Wal.sizeBytes();
-      if (Wal.isOpen()) {
-        Status Logged = Wal.append(Req.Rest);
-        if (!Logged) {
-          ReplyErr(Logged);
-          continue;
-        }
-      }
-      Status Added = Engine.addConstraint(Req.Rest);
-      if (!Added) {
-        if (Wal.isOpen()) {
-          Status Undone = Wal.truncateTo(WalMark);
-          if (!Undone) {
-            ReplyErr(Undone.withContext("unlogging rejected add"));
-            continue;
-          }
-        }
-        ReplyErr(Added);
-        continue;
-      }
-      ++AddsSinceCheckpoint;
-      if (CheckpointEvery > 0 &&
-          AddsSinceCheckpoint >= static_cast<uint64_t>(CheckpointEvery)) {
-        Status Done = Checkpoint(Snapshot);
-        if (!Done)
-          // The add itself succeeded and is durable; surface the
-          // checkpoint failure without un-acking it.
-          std::fprintf(stderr, "scserved: auto-checkpoint failed: %s\n",
-                       Done.toString().c_str());
-      }
-      Reply("ok added");
-      continue;
-    }
-
     if (Req.Verb == "ls" || Req.Verb == "pts" || Req.Verb == "alias") {
       const uint64_t StartUs = trace::nowMicros();
       std::string Response;
@@ -681,30 +444,73 @@ int main(int Argc, char **Argv) {
       if (!ResolveVar(Req.Arg1, X)) {
         ReplyErr(Status::error(ErrorCode::NotFound,
                                "unknown variable '" + Req.Arg1 + "'"));
-        continue;
+        return true;
       }
       if (Req.Verb == "alias") {
         if (!ResolveVar(Req.Arg2, Y)) {
           ReplyErr(Status::error(ErrorCode::NotFound,
                                  "unknown variable '" + Req.Arg2 + "'"));
-          continue;
+          return true;
         }
         Response = Engine.alias(X, Y) ? "ok true" : "ok false";
       } else if (Req.Verb == "ls") {
-        Response = "ok " + joinSet(Engine.ls(X));
+        Response = "ok " + render::renderSet(Engine.ls(X));
       } else {
-        Response = "ok " + joinSet(Engine.pts(X));
+        Response = "ok " + render::renderSet(Engine.pts(X));
       }
       telemetry::queryLatencyHistogram().record(trace::nowMicros() -
                                                 StartUs);
       trace::complete("serve.query", StartUs);
       Reply(Response);
-      continue;
+      return true;
+    }
+
+    std::string WriterReply;
+    if (Core.handleWriterVerb(Req, WriterReply)) {
+      Reply(WriterReply);
+      return !Core.shutdownRequested();
     }
 
     ReplyErr(Status::error(ErrorCode::InvalidArgument,
                            "unknown verb '" + Req.Verb + "'; try help"));
+    return true;
+  };
+
+  net::LineBuffer In(static_cast<size_t>(MaxRequest));
+  bool Running = true;
+  while (Running) {
+    char Buf[4096];
+    ssize_t N = ::read(STDIN_FILENO, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR && !TermRequested)
+        continue;
+      break; // SIGTERM (or a hard stdin error): drain and exit 0.
+    }
+    if (N == 0)
+      break; // EOF.
+    In.append(Buf, static_cast<size_t>(N));
+    std::string Item;
+    for (;;) {
+      net::LineBuffer::Item Kind = In.next(Item);
+      if (Kind == net::LineBuffer::Item::None)
+        break;
+      if (Kind == net::LineBuffer::Item::Oversized) {
+        ReplyErr(Status::error(ErrorCode::TooLarge,
+                               "request is " + Item + " bytes; limit is " +
+                                   std::to_string(MaxRequest)));
+        continue;
+      }
+      if (!HandleLine(Item)) {
+        Running = false;
+        break;
+      }
+    }
+    if (TermRequested)
+      break;
   }
+  // Common drain: every acknowledged add is already fsynced, so closing
+  // the WAL cleanly plus the final metrics dump is the whole shutdown.
   DumpMetrics();
+  Core.shutdownDrain();
   return 0;
 }

@@ -1,0 +1,104 @@
+//===- net/Client.cpp - Blocking line-protocol client ---------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace poce;
+using namespace poce::net;
+
+Status LineClient::connectTcp(const std::string &HostPort) {
+  close();
+  Expected<int> Connected = net::connectTcp(HostPort);
+  if (!Connected.ok())
+    return Connected.status();
+  Fd = *Connected;
+  return Status();
+}
+
+Status LineClient::connectUnix(const std::string &Path) {
+  close();
+  Expected<int> Connected = net::connectUnix(Path);
+  if (!Connected.ok())
+    return Connected.status();
+  Fd = *Connected;
+  return Status();
+}
+
+Status LineClient::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::FailedPrecondition, "not connected");
+  std::string Wire = Line + "\n";
+  size_t Sent = 0;
+  while (Sent < Wire.size()) {
+    ssize_t N = ::write(Fd, Wire.data() + Sent, Wire.size() - Sent);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(ErrorCode::IoError,
+                           std::string("write: ") + std::strerror(errno));
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return Status();
+}
+
+Status LineClient::recvLine(std::string &Out) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::FailedPrecondition, "not connected");
+  for (;;) {
+    size_t Nl = Pending.find('\n');
+    if (Nl != std::string::npos) {
+      Out.assign(Pending, 0, Nl);
+      Pending.erase(0, Nl + 1);
+      return Status();
+    }
+    char Buf[4096];
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(ErrorCode::IoError,
+                           std::string("read: ") + std::strerror(errno));
+    }
+    if (N == 0)
+      return Status::error(ErrorCode::NotFound,
+                           "connection closed by server");
+    Pending.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+Status LineClient::request(const std::string &Line, std::string &Reply) {
+  Status Sent = sendLine(Line);
+  if (!Sent)
+    return Sent;
+  Status Got = recvLine(Reply);
+  if (!Got)
+    return Got;
+  // The metrics payload is the one multi-line reply; everything else is
+  // strictly one line per request.
+  if (Reply.rfind("ok metrics", 0) == 0) {
+    std::string More;
+    while (More != "# EOF") {
+      Status Next = recvLine(More);
+      if (!Next)
+        return Next;
+      Reply += "\n" + More;
+    }
+  }
+  return Status();
+}
+
+void LineClient::close() {
+  closeFd(Fd);
+  Fd = -1;
+  Pending.clear();
+}

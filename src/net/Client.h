@@ -1,0 +1,74 @@
+//===- net/Client.h - Blocking line-protocol client -------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the serve protocol, shared by the
+/// scnetcat driver, the loopback tests, and serve_bench: connect over
+/// TCP or a Unix socket, send request lines, read reply lines. The
+/// `metrics` verb's multi-line payload is handled by reading until its
+/// "# EOF" trailer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_NET_CLIENT_H
+#define POCE_NET_CLIENT_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace poce {
+namespace net {
+
+/// One blocking connection. Not thread-safe; give each client thread its
+/// own instance.
+class LineClient {
+public:
+  LineClient() = default;
+  ~LineClient() { close(); }
+  LineClient(const LineClient &) = delete;
+  LineClient &operator=(const LineClient &) = delete;
+  LineClient(LineClient &&Other) noexcept
+      : Fd(Other.Fd), Pending(std::move(Other.Pending)) {
+    Other.Fd = -1;
+  }
+  LineClient &operator=(LineClient &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Pending = std::move(Other.Pending);
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+
+  Status connectTcp(const std::string &HostPort);
+  Status connectUnix(const std::string &Path);
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p Line plus the newline terminator (handles short writes).
+  Status sendLine(const std::string &Line);
+
+  /// Reads one reply line (without the newline). NotFound on a clean
+  /// peer close with no buffered line.
+  Status recvLine(std::string &Out);
+
+  /// sendLine + recvLine. For multi-line replies ("ok metrics") the
+  /// whole payload, newline-joined, through the "# EOF" trailer.
+  Status request(const std::string &Line, std::string &Reply);
+
+  void close();
+  int fd() const { return Fd; }
+
+private:
+  int Fd = -1;
+  std::string Pending; ///< Bytes read past the last returned line.
+};
+
+} // namespace net
+} // namespace poce
+
+#endif // POCE_NET_CLIENT_H

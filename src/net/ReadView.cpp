@@ -1,0 +1,61 @@
+//===- net/ReadView.cpp - RCU-published immutable query views -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/ReadView.h"
+
+#include "serve/QueryEngine.h"
+
+#include <cassert>
+
+using namespace poce;
+using namespace poce::net;
+
+Expected<std::shared_ptr<const ReadView>>
+ReadView::build(const std::vector<uint8_t> &SnapshotBytes, uint64_t Epoch) {
+  std::shared_ptr<ReadView> View(new ReadView());
+  Status Loaded = serve::GraphSnapshot::deserialize(
+      SnapshotBytes.data(), SnapshotBytes.size(), View->Bundle);
+  if (!Loaded)
+    return Loaded.withContext("building read view");
+  // Settle everything lazy up front: after this, queries touch only the
+  // const read surface and the view is shareable with no locks.
+  View->Bundle.Solver->materializeAllViews();
+  assert(View->Bundle.Solver->readShareable() &&
+         "materializeAllViews must settle the const read surface");
+  Status Adopted = View->System.adoptDeclarations(*View->Bundle.Solver);
+  if (!Adopted)
+    return Adopted.withContext("building read view");
+  View->Checksum = serve::GraphSnapshot::payloadChecksum(
+      SnapshotBytes.data(), SnapshotBytes.size());
+  View->Epoch = Epoch;
+  return std::shared_ptr<const ReadView>(std::move(View));
+}
+
+uint32_t ReadView::varOf(const std::string &Name) const {
+  uint32_t Index = System.varIndex(Name);
+  if (Index == ConstraintSystemFile::NotFound ||
+      Index >= Bundle.Solver->numCreations())
+    return NotFound;
+  return Bundle.Solver->varOfCreation(Index);
+}
+
+std::string ReadView::ls(uint32_t Var) const {
+  const ConstraintSolver &Solver = *Bundle.Solver;
+  VarId Rep = Solver.repConst(Var);
+  return "ok " + serve::render::renderSet(serve::render::lsItems(
+                     Solver, Solver.leastSolutionViewConst(Rep)));
+}
+
+std::string ReadView::pts(uint32_t Var) const {
+  const ConstraintSolver &Solver = *Bundle.Solver;
+  VarId Rep = Solver.repConst(Var);
+  return "ok " + serve::render::renderSet(serve::render::ptsItems(
+                     Solver, Solver.leastSolutionViewConst(Rep)));
+}
+
+std::string ReadView::alias(uint32_t X, uint32_t Y) const {
+  return Bundle.Solver->aliasConst(X, Y) ? "ok true" : "ok false";
+}

@@ -1,0 +1,700 @@
+//===- net/Server.cpp - epoll front end for the serve protocol ------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "net/Socket.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace poce;
+using namespace poce::net;
+
+namespace {
+
+/// The eventfd a signal handler may poke. Only requestStop() reads it;
+/// written with a single async-signal-safe write().
+std::atomic<int> GStopFd{-1};
+/// Set by requestStop() so a stop that races init() is not lost.
+std::atomic<bool> GStopRequested{false};
+
+bool isReadVerb(const std::string &Verb) {
+  return Verb == "ls" || Verb == "pts" || Verb == "alias";
+}
+
+bool isLocalVerb(const std::string &Verb) {
+  return Verb == "help" || Verb == "quit" || Verb == "exit";
+}
+
+const char *helpReply() {
+  return "ok commands: ls X | pts X | alias X Y | add LINE | "
+         "save PATH | checkpoint [PATH] | stats | counters | metrics | "
+         "shutdown | help | quit";
+}
+
+} // namespace
+
+NetServer::NetServer(serve::ServerCore &Core, NetServerOptions InOpts)
+    : Core(Core), Opts(std::move(InOpts)),
+      Pool(ThreadPool::resolveThreads(Opts.Lanes)) {
+  LaneSlots.resize(Pool.numLanes());
+}
+
+NetServer::~NetServer() {
+  // Normal teardown happens at the end of run(); this covers init()
+  // failures and callers that never ran.
+  if (Writer.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(WriterMutex);
+      WriterStop = true;
+    }
+    WriterCv.notify_all();
+    Writer.join();
+  }
+  for (auto &Entry : Conns)
+    closeFd(Entry.second.Fd);
+  Conns.clear();
+  for (int Fd : ListenFds)
+    closeFd(Fd);
+  GStopFd.store(-1, std::memory_order_release);
+  closeFd(WakeFd);
+  closeFd(EpollFd);
+}
+
+void NetServer::requestStop() {
+  GStopRequested.store(true, std::memory_order_release);
+  int Fd = GStopFd.load(std::memory_order_acquire);
+  if (Fd >= 0) {
+    uint64_t One = 1;
+    // write() is async-signal-safe; a failed wake is recovered by the
+    // loop's timeout path.
+    (void)!::write(Fd, &One, sizeof(One));
+  }
+}
+
+uint64_t NetServer::nowMs() const { return trace::nowMicros() / 1000; }
+
+Status NetServer::addListener(int Fd) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = Fd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("epoll_ctl(listener): ") +
+                             std::strerror(errno));
+  ListenFds.push_back(Fd);
+  return Status();
+}
+
+Status NetServer::init() {
+  if (Opts.TcpSpec.empty() && Opts.UnixPath.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "no listener configured (need --listen or "
+                         "--unix)");
+
+  MetricsRegistry &R = MetricsRegistry::global();
+  LatencyHist = &R.histogram(
+      "poce_net_query_latency_us",
+      "End-to-end read-lane execution latency of one socket query");
+  PublishHist = &R.histogram(
+      "poce_net_view_publish_us",
+      "Wall time to rebuild and publish a ReadView epoch");
+  QueriesTotal = &R.counter("poce_net_queries_total",
+                            "Socket queries executed on read lanes");
+  ErrorsTotal = &R.counter("poce_net_query_errors_total",
+                           "Socket queries answered with an err reply");
+  ConnsTotal = &R.counter("poce_net_connections_total",
+                          "Connections accepted");
+  OversizedTotal = &R.counter("poce_net_oversized_total",
+                              "Requests rejected for exceeding "
+                              "--max-request");
+  IdleClosedTotal = &R.counter("poce_net_idle_closed_total",
+                               "Connections closed by the idle timeout");
+  ReadsDuringWrite =
+      &R.counter("poce_net_reads_during_write_total",
+                 "Queries executed while a writer batch was in flight");
+  PublishesTotal = &R.counter("poce_net_view_publishes_total",
+                              "ReadView epochs published");
+  ConnsOpen = &R.gauge("poce_net_conns_open", "Connections currently open");
+  P50 = &R.gauge("poce_net_query_p50_us", "Read-lane query latency p50");
+  P99 = &R.gauge("poce_net_query_p99_us", "Read-lane query latency p99");
+  P999 = &R.gauge("poce_net_query_p999_us", "Read-lane query latency p999");
+  EpochGauge = &R.gauge("poce_net_epoch", "Published ReadView epoch");
+  R.gauge("poce_net_lanes", "Read lanes serving queries")
+      .set(Pool.numLanes());
+  LaneQueryCounters.clear();
+  for (unsigned Lane = 0; Lane != Pool.numLanes(); ++Lane)
+    LaneQueryCounters.push_back(
+        &R.counter("poce_net_lane" + std::to_string(Lane) + "_queries",
+                   "Queries executed by read lane " + std::to_string(Lane)));
+
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (EpollFd < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("epoll_create1: ") +
+                             std::strerror(errno));
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (WakeFd < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("eventfd: ") + std::strerror(errno));
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = WakeFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("epoll_ctl(wake): ") +
+                             std::strerror(errno));
+
+  if (!Opts.TcpSpec.empty()) {
+    Expected<int> Fd = listenTcp(Opts.TcpSpec);
+    if (!Fd.ok())
+      return Fd.status();
+    Status Added = addListener(*Fd);
+    if (!Added)
+      return Added;
+    Expected<uint16_t> Port = localPort(*Fd);
+    if (!Port.ok())
+      return Port.status();
+    TcpPort = *Port;
+  }
+  if (!Opts.UnixPath.empty()) {
+    Expected<int> Fd = listenUnix(Opts.UnixPath);
+    if (!Fd.ok())
+      return Fd.status();
+    Status Added = addListener(*Fd);
+    if (!Added)
+      return Added;
+  }
+
+  // The startup epoch: published before any connection can be accepted,
+  // so the first read wave always has a view.
+  std::vector<uint8_t> Bytes;
+  Status Serialized = Core.serializeState(Bytes);
+  if (!Serialized)
+    return Serialized.withContext("publishing startup view");
+  Expected<std::shared_ptr<const ReadView>> View =
+      ReadView::build(Bytes, ViewEpoch);
+  if (!View.ok())
+    return View.status().withContext("publishing startup view");
+  Publisher.publish(*View);
+  PublishesTotal->inc();
+  EpochGauge->set(ViewEpoch);
+
+  // A fresh instance starts undrained even if a previous server in this
+  // process (tests run several) was stopped via requestStop().
+  GStopRequested.store(false, std::memory_order_release);
+  GStopFd.store(WakeFd, std::memory_order_release);
+  Writer = std::thread([this] { writerLoop(); });
+  return Status();
+}
+
+void NetServer::acceptAll(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return;
+      std::fprintf(stderr, "scserved: accept: %s\n", std::strerror(errno));
+      return;
+    }
+    if (Draining) {
+      closeFd(Fd);
+      continue;
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+      std::fprintf(stderr, "scserved: epoll_ctl(conn): %s\n",
+                   std::strerror(errno));
+      closeFd(Fd);
+      continue;
+    }
+    auto Inserted = Conns.emplace(Fd, Conn(Opts.MaxRequest));
+    Conn &C = Inserted.first->second;
+    C.Fd = Fd;
+    C.Gen = NextGen++;
+    C.LastActiveMs = nowMs();
+    ConnsTotal->inc();
+    ConnsOpen->set(Conns.size());
+  }
+}
+
+void NetServer::readConn(Conn &C) {
+  // Edge-triggered: drain the socket to EAGAIN.
+  char Buf[16384];
+  for (;;) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.In.append(Buf, static_cast<size_t>(N));
+      C.LastActiveMs = nowMs();
+      continue;
+    }
+    if (N == 0) {
+      C.PeerClosed = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    // Hard error: whatever was in flight is undeliverable.
+    C.PeerClosed = true;
+    C.Lines.clear();
+    C.Out.clear();
+    C.CloseAfterFlush = true;
+    break;
+  }
+  std::string Text;
+  for (;;) {
+    LineBuffer::Item Item = C.In.next(Text);
+    if (Item == LineBuffer::Item::None)
+      break;
+    C.Lines.emplace_back(Item == LineBuffer::Item::Oversized, Text);
+  }
+}
+
+void NetServer::flushConn(Conn &C) {
+  while (!C.Out.empty()) {
+    ssize_t N = ::write(C.Fd, C.Out.data(), C.Out.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Backpressure: keep the residue and re-arm for EPOLLOUT; the
+        // loop resumes the flush when the peer drains its window.
+        if (!C.WantWrite) {
+          epoll_event Ev{};
+          Ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+          Ev.data.fd = C.Fd;
+          ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+          C.WantWrite = true;
+        }
+        return;
+      }
+      closeConn(C.Fd);
+      return;
+    }
+    C.Out.erase(0, static_cast<size_t>(N));
+  }
+  if (C.WantWrite) {
+    epoll_event Ev{};
+    Ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    Ev.data.fd = C.Fd;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+    C.WantWrite = false;
+  }
+  if (C.CloseAfterFlush)
+    closeConn(C.Fd);
+}
+
+void NetServer::closeConn(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  closeFd(Fd);
+  Conns.erase(It);
+  ConnsOpen->set(Conns.size());
+}
+
+void NetServer::dispatch() {
+  std::vector<ReadTask> Batch;
+  std::vector<WriterJob> NewJobs;
+  for (auto &Entry : Conns) {
+    Conn &C = Entry.second;
+    while (!C.AwaitingWriter && !C.Lines.empty()) {
+      bool Oversized = C.Lines.front().first;
+      std::string Line = std::move(C.Lines.front().second);
+      C.Lines.pop_front();
+
+      ReadTask Task;
+      Task.Fd = C.Fd;
+      Task.Gen = C.Gen;
+      if (Oversized) {
+        OversizedTotal->inc();
+        Task.Reply =
+            "err " + Status::error(ErrorCode::TooLarge,
+                                   "request is " + Line +
+                                       " bytes; limit is " +
+                                       std::to_string(Opts.MaxRequest))
+                         .wire();
+        Batch.push_back(std::move(Task));
+        continue;
+      }
+      serve::Request Req = serve::parseRequest(Line);
+      if (Req.Verb.empty() || Req.Verb[0] == '#')
+        continue; // Blank/comment lines get no reply, as on stdin.
+      if (isReadVerb(Req.Verb)) {
+        Task.IsQuery = true;
+        Task.Line = std::move(Line);
+        Batch.push_back(std::move(Task));
+        continue;
+      }
+      if (isLocalVerb(Req.Verb)) {
+        bool IsQuit = Req.Verb != "help";
+        Task.Reply = IsQuit ? "ok bye" : helpReply();
+        Task.CloseConn = IsQuit;
+        Batch.push_back(std::move(Task));
+        if (IsQuit)
+          break;
+        continue;
+      }
+      // Everything else (add/save/checkpoint/stats/counters/metrics/
+      // shutdown, and unknown verbs) belongs to the writer lane.
+      // Head-of-line: this connection's later requests wait for the
+      // completion so its replies arrive in request order.
+      WriterJob Job;
+      Job.Fd = C.Fd;
+      Job.Gen = C.Gen;
+      Job.Line = std::move(Line);
+      NewJobs.push_back(std::move(Job));
+      C.AwaitingWriter = true;
+      break;
+    }
+  }
+
+  if (!NewJobs.empty()) {
+    {
+      std::lock_guard<std::mutex> Lock(WriterMutex);
+      for (WriterJob &Job : NewJobs)
+        Jobs.push_back(std::move(Job));
+    }
+    WriterCv.notify_one();
+  }
+  if (!Batch.empty())
+    runReadWave(Batch);
+
+  // Deliver the wave's replies in batch order (per-connection FIFO).
+  for (ReadTask &Task : Batch) {
+    auto It = Conns.find(Task.Fd);
+    if (It == Conns.end() || It->second.Gen != Task.Gen)
+      continue;
+    Conn &C = It->second;
+    C.Out += Task.Reply;
+    C.Out += '\n';
+    if (Task.CloseConn)
+      C.CloseAfterFlush = true;
+  }
+  // Flush everything with output (by fd: flushConn may close and erase,
+  // which would invalidate a live map iterator), then reap connections
+  // that are done.
+  std::vector<int> ToFlush;
+  for (auto &Entry : Conns)
+    if (!Entry.second.Out.empty())
+      ToFlush.push_back(Entry.first);
+  for (int Fd : ToFlush) {
+    auto It = Conns.find(Fd);
+    if (It != Conns.end())
+      flushConn(It->second);
+  }
+  std::vector<int> Finished;
+  for (auto &Entry : Conns) {
+    Conn &C = Entry.second;
+    bool Quiet =
+        C.Lines.empty() && !C.AwaitingWriter && C.Out.empty();
+    if ((C.PeerClosed || Draining) && Quiet)
+      Finished.push_back(Entry.first);
+  }
+  for (int Fd : Finished)
+    closeConn(Fd);
+}
+
+void NetServer::runReadWave(std::vector<ReadTask> &Batch) {
+  size_t NumQueries = 0;
+  for (const ReadTask &Task : Batch)
+    NumQueries += Task.IsQuery;
+  if (NumQueries == 0)
+    return;
+  bool WriterActive;
+  {
+    std::lock_guard<std::mutex> Lock(WriterMutex);
+    WriterActive = WriterBusy || !Jobs.empty();
+  }
+  // One epoch pin for the whole wave: every query in the batch answers
+  // against the same published state, concurrent with whatever the
+  // writer lane is doing to its own solver.
+  std::shared_ptr<const ReadView> View = Publisher.acquire();
+  Pool.parallelFor(
+      Batch.size(),
+      [&](size_t I, unsigned Lane) {
+        ReadTask &Task = Batch[I];
+        if (!Task.IsQuery)
+          return;
+        LaneAccum &Accum = LaneSlots[Lane].Value;
+        const uint64_t StartUs = trace::nowMicros();
+        serve::Request Req = serve::parseRequest(Task.Line);
+        uint32_t X = View->varOf(Req.Arg1);
+        if (X == ReadView::NotFound) {
+          Task.Reply = "err " + Status::error(ErrorCode::NotFound,
+                                              "unknown variable '" +
+                                                  Req.Arg1 + "'")
+                                    .wire();
+          Task.Errored = true;
+        } else if (Req.Verb == "alias") {
+          uint32_t Y = View->varOf(Req.Arg2);
+          if (Y == ReadView::NotFound) {
+            Task.Reply = "err " + Status::error(ErrorCode::NotFound,
+                                                "unknown variable '" +
+                                                    Req.Arg2 + "'")
+                                      .wire();
+            Task.Errored = true;
+          } else {
+            Task.Reply = View->alias(X, Y);
+          }
+        } else if (Req.Verb == "ls") {
+          Task.Reply = View->ls(X);
+        } else {
+          Task.Reply = View->pts(X);
+        }
+        ++Accum.Queries;
+        Accum.Errors += Task.Errored;
+        Accum.LatenciesUs.push_back(trace::nowMicros() - StartUs);
+      },
+      /*Grain=*/1);
+  mergeLaneStats();
+  if (WriterActive)
+    ReadsDuringWrite->inc(NumQueries);
+}
+
+void NetServer::mergeLaneStats() {
+  // The wave barrier in parallelFor() is the happens-before edge that
+  // makes the plain per-lane stores visible here.
+  for (unsigned Lane = 0; Lane != Pool.numLanes(); ++Lane) {
+    LaneAccum &Accum = LaneSlots[Lane].Value;
+    if (Accum.Queries == 0 && Accum.LatenciesUs.empty())
+      continue;
+    QueriesTotal->inc(Accum.Queries);
+    ErrorsTotal->inc(Accum.Errors);
+    LaneQueryCounters[Lane]->inc(Accum.Queries);
+    for (uint64_t Us : Accum.LatenciesUs)
+      LatencyHist->record(Us);
+    Accum.clear();
+  }
+  P50->set(LatencyHist->quantile(0.50));
+  P99->set(LatencyHist->quantile(0.99));
+  P999->set(LatencyHist->quantile(0.999));
+}
+
+void NetServer::applyCompletions() {
+  std::deque<Completion> Ready;
+  {
+    std::lock_guard<std::mutex> Lock(WriterMutex);
+    Ready.swap(Done);
+  }
+  for (Completion &Comp : Ready) {
+    if (Comp.Shutdown)
+      beginDrain();
+    auto It = Conns.find(Comp.Fd);
+    if (It == Conns.end() || It->second.Gen != Comp.Gen)
+      continue;
+    Conn &C = It->second;
+    C.AwaitingWriter = false;
+    C.Out += Comp.Reply;
+    C.Out += '\n';
+  }
+}
+
+void NetServer::sweepIdle() {
+  if (Opts.IdleTimeoutMs == 0)
+    return;
+  uint64_t Now = nowMs();
+  std::vector<int> Expired;
+  for (auto &Entry : Conns) {
+    Conn &C = Entry.second;
+    bool Busy = C.AwaitingWriter || !C.Lines.empty() || !C.Out.empty();
+    if (!Busy && Now - C.LastActiveMs >= Opts.IdleTimeoutMs)
+      Expired.push_back(Entry.first);
+  }
+  for (int Fd : Expired) {
+    IdleClosedTotal->inc();
+    closeConn(Fd);
+  }
+}
+
+bool NetServer::quiescent() const {
+  if (!Conns.empty())
+    return false;
+  std::lock_guard<std::mutex> Lock(WriterMutex);
+  return Jobs.empty() && !WriterBusy;
+}
+
+void NetServer::beginDrain() {
+  if (Draining)
+    return;
+  Draining = true;
+  // Stop accepting: close the doors, finish everyone inside.
+  for (int Fd : ListenFds) {
+    ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+    closeFd(Fd);
+  }
+  ListenFds.clear();
+}
+
+int NetServer::run() {
+  epoll_event Events[64];
+  while (!(Draining && quiescent())) {
+    if (GStopRequested.load(std::memory_order_acquire))
+      beginDrain();
+    int TimeoutMs = Draining ? 50 : (Opts.IdleTimeoutMs ? 100 : 1000);
+    int N = ::epoll_wait(EpollFd, Events, 64, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "scserved: epoll_wait: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    for (int I = 0; I != N; ++I) {
+      int Fd = Events[I].data.fd;
+      uint32_t Ev = Events[I].events;
+      if (Fd == WakeFd) {
+        uint64_t Drain;
+        while (::read(WakeFd, &Drain, sizeof(Drain)) > 0)
+          ;
+        continue;
+      }
+      if (std::find(ListenFds.begin(), ListenFds.end(), Fd) !=
+          ListenFds.end()) {
+        acceptAll(Fd);
+        continue;
+      }
+      auto It = Conns.find(Fd);
+      if (It == Conns.end())
+        continue;
+      Conn &C = It->second;
+      if (Ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR))
+        readConn(C);
+      if (Ev & EPOLLOUT)
+        flushConn(C);
+    }
+    applyCompletions();
+    dispatch();
+    sweepIdle();
+  }
+
+  // Drained: stop the writer lane, then finish the durability teardown
+  // on this thread (after the join the core is single-owner again).
+  {
+    std::lock_guard<std::mutex> Lock(WriterMutex);
+    WriterStop = true;
+  }
+  WriterCv.notify_all();
+  if (Writer.joinable())
+    Writer.join();
+  Core.shutdownDrain();
+  if (!Opts.MetricsOut.empty()) {
+    Status Dumped = Core.dumpMetricsTo(Opts.MetricsOut);
+    if (!Dumped)
+      std::fprintf(stderr, "scserved: metrics dump failed: %s\n",
+                   Dumped.toString().c_str());
+  }
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+  return 0;
+}
+
+void NetServer::republish() {
+  const uint64_t StartUs = trace::nowMicros();
+  std::vector<uint8_t> Bytes;
+  Status Serialized = Core.serializeState(Bytes);
+  if (!Serialized) {
+    std::fprintf(stderr,
+                 "scserved: view republish failed (%s); readers keep "
+                 "the previous epoch\n",
+                 Serialized.toString().c_str());
+    return;
+  }
+  Expected<std::shared_ptr<const ReadView>> View =
+      ReadView::build(Bytes, ++ViewEpoch);
+  if (!View.ok()) {
+    std::fprintf(stderr,
+                 "scserved: view republish failed (%s); readers keep "
+                 "the previous epoch\n",
+                 View.status().toString().c_str());
+    return;
+  }
+  Publisher.publish(*View);
+  PublishesTotal->inc();
+  EpochGauge->set(ViewEpoch);
+  PublishHist->record(trace::nowMicros() - StartUs);
+}
+
+void NetServer::writerLoop() {
+  for (;;) {
+    std::vector<WriterJob> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(WriterMutex);
+      WriterCv.wait(Lock, [this] { return WriterStop || !Jobs.empty(); });
+      if (WriterStop && Jobs.empty())
+        return;
+      while (!Jobs.empty()) {
+        Batch.push_back(std::move(Jobs.front()));
+        Jobs.pop_front();
+      }
+      WriterBusy = true;
+    }
+
+    std::vector<Completion> Out;
+    Out.reserve(Batch.size());
+    bool Mutated = false;
+    bool SawShutdown = false;
+    for (WriterJob &Job : Batch) {
+      serve::Request Req = serve::parseRequest(Job.Line);
+      Completion Comp;
+      Comp.Fd = Job.Fd;
+      Comp.Gen = Job.Gen;
+      if (!Core.handleWriterVerb(Req, Comp.Reply))
+        Comp.Reply = "err " + Status::error(ErrorCode::InvalidArgument,
+                                            "unknown verb '" + Req.Verb +
+                                                "'; try help")
+                                  .wire();
+      if (Req.Verb == "add" && Comp.Reply == "ok added")
+        Mutated = true;
+      if (Core.shutdownRequested())
+        SawShutdown = Comp.Shutdown = true;
+      ++WriterOps;
+      if (!Opts.MetricsOut.empty() && Opts.MetricsEvery > 0 &&
+          WriterOps % Opts.MetricsEvery == 0) {
+        Status Dumped = Core.dumpMetricsTo(Opts.MetricsOut);
+        if (!Dumped)
+          std::fprintf(stderr, "scserved: metrics dump failed: %s\n",
+                       Dumped.toString().c_str());
+      }
+      Out.push_back(std::move(Comp));
+    }
+    // Ack-after-publish: the epoch containing this batch's additions is
+    // visible to every reader before any `ok added` goes out, so a
+    // client that saw the ack reads its own write.
+    if (Mutated)
+      republish();
+
+    {
+      std::lock_guard<std::mutex> Lock(WriterMutex);
+      for (Completion &Comp : Out)
+        Done.push_back(std::move(Comp));
+      WriterBusy = false;
+    }
+    uint64_t One = 1;
+    (void)!::write(WakeFd, &One, sizeof(One));
+    // A handled `shutdown` does NOT stop this lane: jobs other
+    // connections enqueue during the drain still need completions (the
+    // closed WAL makes further adds refuse on its own). The loop thread
+    // stops the lane once the drain reaches quiescence.
+    (void)SawShutdown;
+  }
+}

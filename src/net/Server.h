@@ -1,0 +1,204 @@
+//===- net/Server.h - epoll front end for the serve protocol ----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-client network front end: an edge-triggered epoll event
+/// loop accepting TCP and/or Unix-domain connections that speak the same
+/// newline verb protocol as scserved's stdin mode, with reads and writes
+/// split across threads so queries never block on adds:
+///
+///   - The *event-loop thread* owns every socket: accept, non-blocking
+///     framed reads (net/Framing.h), reply flushing with EPOLLOUT
+///     re-arm backpressure, idle timeouts, and graceful drain.
+///   - *Read lanes* (a support/ThreadPool wave per loop iteration)
+///     execute ls/pts/alias batches against the immutable published
+///     ReadView epoch (net/ReadView.h), recording latencies into
+///     cache-line-padded per-lane accumulators (net/LaneStats.h) that
+///     the loop thread merges after the wave barrier.
+///   - A single *writer thread* owns the ServerCore — WAL append + apply,
+///     save/checkpoint, stats/counters/metrics — and republishes a fresh
+///     ReadView after every batch that mutated the graph, *before*
+///     acknowledging it (ack-after-publish), so a client that saw
+///     `ok added` observes its constraint in every subsequent query:
+///     read-your-writes without ever taking a lock on the read path.
+///
+/// Ordering: per-connection FIFO (a connection's requests are answered
+/// in the order sent — a read behind a pending write waits for it via
+/// head-of-line blocking on that connection only); cross-connection
+/// reads never wait on writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_NET_SERVER_H
+#define POCE_NET_SERVER_H
+
+#include "net/Framing.h"
+#include "net/LaneStats.h"
+#include "net/ReadView.h"
+#include "serve/ServerCore.h"
+#include "support/Status.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace poce {
+namespace net {
+
+struct NetServerOptions {
+  std::string TcpSpec;  ///< "host:port" listener ("" = no TCP).
+  std::string UnixPath; ///< Unix-socket listener path ("" = none).
+  unsigned Lanes = 1;   ///< Read lanes (0 = one per hardware thread).
+  size_t MaxRequest = 64 * 1024; ///< Longest accepted request line.
+  uint64_t IdleTimeoutMs = 0;    ///< Close idle connections (0 = never).
+  std::string MetricsOut;        ///< JSON registry dump path ("" = off).
+  uint64_t MetricsEvery = 64;    ///< Writer ops between dumps.
+};
+
+/// One serving process front end. Lifecycle: construct, init() (binds
+/// listeners, publishes the startup view, starts the writer thread),
+/// run() (blocks until `shutdown` or requestStop()), destruct.
+class NetServer {
+public:
+  NetServer(serve::ServerCore &Core, NetServerOptions Opts);
+  ~NetServer();
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Binds listeners, creates the epoll/eventfd plumbing, builds and
+  /// publishes the startup ReadView, and starts the writer thread.
+  Status init();
+
+  /// The TCP port actually bound (resolves an ephemeral ":0" request);
+  /// 0 when no TCP listener was configured.
+  uint16_t tcpPort() const { return TcpPort; }
+
+  /// Event loop; returns the process exit code (0 on graceful drain).
+  int run();
+
+  /// Async-signal-safe drain request (the SIGTERM handler calls this):
+  /// the loop stops accepting, finishes in-flight requests, flushes
+  /// replies, closes the WAL, and run() returns 0.
+  static void requestStop();
+
+private:
+  struct Conn {
+    int Fd = -1;
+    uint64_t Gen = 0; ///< Guards completions against fd reuse.
+    LineBuffer In;
+    /// Parsed requests not yet dispatched: (oversized, text).
+    std::deque<std::pair<bool, std::string>> Lines;
+    std::string Out;          ///< Reply bytes not yet written.
+    bool AwaitingWriter = false; ///< Head-of-line: a writer op is out.
+    bool WantWrite = false;      ///< EPOLLOUT is armed.
+    bool PeerClosed = false;     ///< Read side saw EOF.
+    bool CloseAfterFlush = false;
+    uint64_t LastActiveMs = 0;
+
+    explicit Conn(size_t MaxLine) : In(MaxLine) {}
+  };
+
+  /// One entry of a read wave: either a query to execute against the
+  /// published view, or a reply precomputed by the loop thread (help,
+  /// quit, errors) riding in the batch to keep per-connection order.
+  struct ReadTask {
+    int Fd = 0;
+    uint64_t Gen = 0;
+    bool IsQuery = false;
+    bool CloseConn = false;
+    std::string Line;  ///< Request text (queries).
+    std::string Reply; ///< Filled by the wave (or precomputed).
+    bool Errored = false;
+  };
+
+  struct WriterJob {
+    int Fd = 0;
+    uint64_t Gen = 0;
+    std::string Line;
+  };
+
+  struct Completion {
+    int Fd = 0;
+    uint64_t Gen = 0;
+    std::string Reply;
+    bool Shutdown = false; ///< The job was a handled `shutdown` verb.
+  };
+
+  // Event-loop internals (loop thread only).
+  Status addListener(int Fd);
+  void acceptAll(int ListenFd);
+  void readConn(Conn &C);
+  void flushConn(Conn &C);
+  void closeConn(int Fd);
+  void dispatch();
+  void runReadWave(std::vector<ReadTask> &Batch);
+  void mergeLaneStats();
+  void applyCompletions();
+  void sweepIdle();
+  bool quiescent() const;
+  void beginDrain();
+  uint64_t nowMs() const;
+
+  // Writer thread.
+  void writerLoop();
+  void republish();
+
+  serve::ServerCore &Core;
+  NetServerOptions Opts;
+
+  int EpollFd = -1;
+  int WakeFd = -1; ///< eventfd: writer completions + stop requests.
+  std::vector<int> ListenFds;
+  uint16_t TcpPort = 0;
+  std::map<int, Conn> Conns;
+  uint64_t NextGen = 1;
+  bool Draining = false;
+
+  ViewPublisher Publisher;
+  ThreadPool Pool;
+  LaneAccumSlots LaneSlots;
+
+  // Writer queue (mutex-guarded handoff; WakeFd signals completions
+  // back). Mutable so quiescent() can stay const.
+  mutable std::mutex WriterMutex;
+  std::condition_variable WriterCv;
+  std::deque<WriterJob> Jobs;
+  std::deque<Completion> Done;
+  bool WriterStop = false;
+  bool WriterBusy = false; ///< A writer batch is being processed.
+  std::thread Writer;
+  uint64_t WriterOps = 0;   ///< Writer-thread-local dump cadence count.
+  uint64_t ViewEpoch = 0;   ///< Writer-thread-local epoch counter.
+
+  // Metrics (registered in init; references are process-stable).
+  Histogram *LatencyHist = nullptr;
+  Histogram *PublishHist = nullptr;
+  Counter *QueriesTotal = nullptr;
+  Counter *ErrorsTotal = nullptr;
+  Counter *ConnsTotal = nullptr;
+  Counter *OversizedTotal = nullptr;
+  Counter *IdleClosedTotal = nullptr;
+  Counter *ReadsDuringWrite = nullptr;
+  Counter *PublishesTotal = nullptr;
+  Gauge *ConnsOpen = nullptr;
+  Gauge *P50 = nullptr;
+  Gauge *P99 = nullptr;
+  Gauge *P999 = nullptr;
+  Gauge *EpochGauge = nullptr;
+  std::vector<Counter *> LaneQueryCounters;
+};
+
+} // namespace net
+} // namespace poce
+
+#endif // POCE_NET_SERVER_H

@@ -1,0 +1,210 @@
+//===- net/Socket.cpp - Listener and connector helpers --------------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace poce;
+using namespace poce::net;
+
+namespace {
+
+Status errnoStatus(const std::string &What) {
+  return Status::error(ErrorCode::IoError,
+                       What + ": " + std::strerror(errno));
+}
+
+Expected<int> newSocket(int Domain) {
+  int Fd = ::socket(Domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return errnoStatus("socket");
+  return Fd;
+}
+
+/// Builds a sockaddr_in for \p Spec; empty host binds INADDR_ANY.
+Status makeInetAddr(const std::string &Spec, sockaddr_in &Addr) {
+  std::string Host;
+  uint16_t Port = 0;
+  Status Parsed = parseHostPort(Spec, Host, Port);
+  if (!Parsed)
+    return Parsed;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (Host.empty() || Host == "*") {
+    Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (Host == "localhost") {
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    return Status::error(ErrorCode::InvalidArgument,
+                         "cannot parse IPv4 address '" + Host + "'");
+  }
+  return Status();
+}
+
+Status makeUnixAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "unix socket path must be 1.." +
+                             std::to_string(sizeof(Addr.sun_path) - 1) +
+                             " bytes: '" + Path + "'");
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return Status();
+}
+
+} // namespace
+
+Status poce::net::parseHostPort(const std::string &Spec, std::string &Host,
+                                uint16_t &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "expected host:port, got '" + Spec + "'");
+  Host = Spec.substr(0, Colon);
+  const std::string PortText = Spec.substr(Colon + 1);
+  if (PortText.empty() ||
+      PortText.find_first_not_of("0123456789") != std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad port in '" + Spec + "'");
+  unsigned long Value = std::strtoul(PortText.c_str(), nullptr, 10);
+  if (Value > 65535)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "port out of range in '" + Spec + "'");
+  Port = static_cast<uint16_t>(Value);
+  return Status();
+}
+
+Expected<int> poce::net::listenTcp(const std::string &Spec, int Backlog) {
+  sockaddr_in Addr;
+  Status Parsed = makeInetAddr(Spec, Addr);
+  if (!Parsed)
+    return Parsed;
+  Expected<int> Fd = newSocket(AF_INET);
+  if (!Fd.ok())
+    return Fd;
+  int One = 1;
+  ::setsockopt(*Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(*Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status St = errnoStatus("bind " + Spec);
+    closeFd(*Fd);
+    return St;
+  }
+  if (::listen(*Fd, Backlog) < 0) {
+    Status St = errnoStatus("listen " + Spec);
+    closeFd(*Fd);
+    return St;
+  }
+  Status NonBlock = setNonBlocking(*Fd);
+  if (!NonBlock) {
+    closeFd(*Fd);
+    return NonBlock;
+  }
+  return Fd;
+}
+
+Expected<int> poce::net::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr;
+  Status Parsed = makeUnixAddr(Path, Addr);
+  if (!Parsed)
+    return Parsed;
+  // The name is ours: a leftover socket file from a previous run would
+  // make bind fail with EADDRINUSE even though nobody is listening.
+  ::unlink(Path.c_str());
+  Expected<int> Fd = newSocket(AF_UNIX);
+  if (!Fd.ok())
+    return Fd;
+  if (::bind(*Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status St = errnoStatus("bind " + Path);
+    closeFd(*Fd);
+    return St;
+  }
+  if (::listen(*Fd, Backlog) < 0) {
+    Status St = errnoStatus("listen " + Path);
+    closeFd(*Fd);
+    return St;
+  }
+  Status NonBlock = setNonBlocking(*Fd);
+  if (!NonBlock) {
+    closeFd(*Fd);
+    return NonBlock;
+  }
+  return Fd;
+}
+
+Expected<uint16_t> poce::net::localPort(int Fd) {
+  sockaddr_in Addr;
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
+    return errnoStatus("getsockname");
+  return static_cast<uint16_t>(ntohs(Addr.sin_port));
+}
+
+Expected<int> poce::net::connectTcp(const std::string &Spec) {
+  sockaddr_in Addr;
+  Status Parsed = makeInetAddr(Spec, Addr);
+  if (!Parsed)
+    return Parsed;
+  if (Addr.sin_addr.s_addr == htonl(INADDR_ANY))
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Expected<int> Fd = newSocket(AF_INET);
+  if (!Fd.ok())
+    return Fd;
+  while (::connect(*Fd, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)) < 0) {
+    if (errno == EINTR)
+      continue;
+    Status St = errnoStatus("connect " + Spec);
+    closeFd(*Fd);
+    return St;
+  }
+  return Fd;
+}
+
+Expected<int> poce::net::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  Status Parsed = makeUnixAddr(Path, Addr);
+  if (!Parsed)
+    return Parsed;
+  Expected<int> Fd = newSocket(AF_UNIX);
+  if (!Fd.ok())
+    return Fd;
+  while (::connect(*Fd, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)) < 0) {
+    if (errno == EINTR)
+      continue;
+    Status St = errnoStatus("connect " + Path);
+    closeFd(*Fd);
+    return St;
+  }
+  return Fd;
+}
+
+Status poce::net::setNonBlocking(int Fd, bool On) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return errnoStatus("fcntl(F_GETFL)");
+  int Want = On ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  if (Want != Flags && ::fcntl(Fd, F_SETFL, Want) < 0)
+    return errnoStatus("fcntl(F_SETFL)");
+  return Status();
+}
+
+void poce::net::closeFd(int Fd) {
+  if (Fd < 0)
+    return;
+  while (::close(Fd) < 0 && errno == EINTR)
+    ;
+}

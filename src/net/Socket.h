@@ -1,0 +1,58 @@
+//===- net/Socket.h - Listener and connector helpers ------------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin Status-returning wrappers over the BSD socket calls the serving
+/// layer uses: TCP and Unix-domain listeners (non-blocking, CLOEXEC,
+/// SO_REUSEADDR), blocking client connectors for the test/bench/cat
+/// drivers, and the non-blocking toggle the epoll loop applies to
+/// accepted connections. IPv4 only — the serving story is localhost and
+/// Unix sockets; anything fancier belongs behind a real proxy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_NET_SOCKET_H
+#define POCE_NET_SOCKET_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace poce {
+namespace net {
+
+/// Splits "host:port" (host may be empty = 0.0.0.0). Port 0 is allowed
+/// for listeners (ephemeral; read back with localPort()).
+Status parseHostPort(const std::string &Spec, std::string &Host,
+                     uint16_t &Port);
+
+/// Non-blocking TCP listener on \p Spec ("host:port"); returns the fd.
+Expected<int> listenTcp(const std::string &Spec, int Backlog = 128);
+
+/// Non-blocking Unix-domain listener on \p Path (an existing socket file
+/// at the path is unlinked first — the caller owns the name).
+Expected<int> listenUnix(const std::string &Path, int Backlog = 128);
+
+/// The port a TCP listener actually bound (resolves port 0).
+Expected<uint16_t> localPort(int Fd);
+
+/// Blocking TCP client connection to \p Spec ("host:port").
+Expected<int> connectTcp(const std::string &Spec);
+
+/// Blocking Unix-domain client connection to \p Path.
+Expected<int> connectUnix(const std::string &Path);
+
+/// O_NONBLOCK on/off.
+Status setNonBlocking(int Fd, bool On = true);
+
+/// close() ignoring EINTR; no-op for negative fds.
+void closeFd(int Fd);
+
+} // namespace net
+} // namespace poce
+
+#endif // POCE_NET_SOCKET_H

@@ -54,8 +54,9 @@ uint32_t QueryEngine::varOf(const std::string &Name) const {
   return Bundle.Solver->varOfCreation(Index);
 }
 
-std::string QueryEngine::locationTag(ExprId Term) const {
-  const TermTable &Terms = Bundle.Solver->terms();
+std::string render::locationTag(const ConstraintSolver &Solver,
+                                ExprId Term) {
+  const TermTable &Terms = Solver.terms();
   if (Terms.kind(Term) == ExprKind::Cons) {
     const ConstructorTable &Cons = Terms.constructors();
     ConsId C = Terms.consOf(Term);
@@ -68,7 +69,39 @@ std::string QueryEngine::locationTag(ExprId Term) const {
         Cons.signature(Terms.consOf(First)).arity() == 0)
       return Cons.signature(Terms.consOf(First)).Name;
   }
-  return Bundle.Solver->exprStr(Term);
+  return Solver.exprStr(Term);
+}
+
+std::vector<std::string>
+render::lsItems(const ConstraintSolver &Solver,
+                const std::vector<ExprId> &Terms) {
+  std::vector<std::string> Items;
+  Items.reserve(Terms.size());
+  for (ExprId Term : Terms)
+    Items.push_back(Solver.exprStr(Term));
+  return Items;
+}
+
+std::vector<std::string>
+render::ptsItems(const ConstraintSolver &Solver,
+                 const std::vector<ExprId> &Terms) {
+  // Projection to tags can fold several terms onto one location; keep
+  // the output sorted and deduplicated so responses are canonical.
+  std::vector<std::string> Items;
+  Items.reserve(Terms.size());
+  for (ExprId Term : Terms)
+    Items.push_back(locationTag(Solver, Term));
+  std::sort(Items.begin(), Items.end());
+  Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  return Items;
+}
+
+std::string render::renderSet(const std::vector<std::string> &Items) {
+  std::string Out = "{";
+  for (size_t I = 0; I != Items.size(); ++I)
+    Out += (I ? ", " : " ") + Items[I];
+  Out += Items.empty() ? "}" : " }";
+  return Out;
 }
 
 const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
@@ -93,18 +126,9 @@ const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
   const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   View Fresh;
   Fresh.Fingerprint = Fingerprint;
-  if (Kind == ViewKind::Ls) {
-    for (ExprId Term : Solver.leastSolution(Rep))
-      Fresh.Items.push_back(Solver.exprStr(Term));
-  } else {
-    // Projection to tags can fold several terms onto one location; keep
-    // the output sorted and deduplicated so responses are canonical.
-    for (ExprId Term : Solver.leastSolution(Rep))
-      Fresh.Items.push_back(locationTag(Term));
-    std::sort(Fresh.Items.begin(), Fresh.Items.end());
-    Fresh.Items.erase(std::unique(Fresh.Items.begin(), Fresh.Items.end()),
-                      Fresh.Items.end());
-  }
+  Fresh.Items = Kind == ViewKind::Ls
+                    ? render::lsItems(Solver, Solver.leastSolution(Rep))
+                    : render::ptsItems(Solver, Solver.leastSolution(Rep));
   Cache.put(Key, std::move(Fresh));
   if (Timed) {
     viewBuildHistogram().record(trace::nowMicros() - StartUs);

@@ -51,6 +51,32 @@
 namespace poce {
 namespace serve {
 
+/// Pure rendering helpers shared by every query surface — the cached
+/// QueryEngine views below, the network layer's immutable ReadViews
+/// (net/ReadView.h), and the drivers' reply formatting. All of them are
+/// const over the solver so they are safe on concurrently shared,
+/// settled solvers.
+namespace render {
+
+/// The location tag of one constructed term: a nullary constructor's
+/// name, the name of a nullary first argument (the ref(l, get, set)
+/// shape Andersen's analysis uses), or the full rendering otherwise.
+std::string locationTag(const ConstraintSolver &Solver, ExprId Term);
+
+/// ls items: each term of \p Terms rendered as its term string.
+std::vector<std::string> lsItems(const ConstraintSolver &Solver,
+                                 const std::vector<ExprId> &Terms);
+
+/// pts items: \p Terms projected to location tags, sorted and
+/// deduplicated so responses are canonical.
+std::vector<std::string> ptsItems(const ConstraintSolver &Solver,
+                                  const std::vector<ExprId> &Terms);
+
+/// "{ a, b }" set formatting shared by the stdin and socket reply paths.
+std::string renderSet(const std::vector<std::string> &Items);
+
+} // namespace render
+
 class QueryEngine {
 public:
   /// Query-layer counters (the solver's own stats stay separate and are
@@ -137,7 +163,6 @@ private:
   };
 
   const std::vector<std::string> &view(ViewKind Kind, VarId Var);
-  std::string locationTag(ExprId Term) const;
 
   /// Rebuilds the bundle from BaseBytes and replays AcceptedLines with
   /// budgets disabled (they were each within budget when first accepted;

@@ -1,0 +1,339 @@
+//===- serve/ServerCore.cpp - Writer-side serving pipeline ----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServerCore.h"
+
+#include "serve/GraphSnapshot.h"
+#include "support/ByteStream.h"
+#include "support/FailPoint.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace poce;
+using namespace poce::serve;
+
+Request poce::serve::parseRequest(const std::string &Line) {
+  Request Req;
+  std::istringstream In(Line);
+  In >> Req.Verb >> Req.Arg1 >> Req.Arg2;
+  size_t VerbEnd = Line.find(Req.Verb);
+  if (VerbEnd != std::string::npos) {
+    size_t RestAt = VerbEnd + Req.Verb.size();
+    while (RestAt < Line.size() && Line[RestAt] == ' ')
+      ++RestAt;
+    Req.Rest = Line.substr(RestAt);
+  }
+  return Req;
+}
+
+ServerCore::ServerCore(SolverBundle Bundle, size_t CacheCapacity,
+                       ServerCoreConfig InConfig)
+    : Engine(std::move(Bundle), CacheCapacity), Config(std::move(InConfig)) {}
+
+Status ServerCore::recover(uint64_t SnapBase) {
+  if (walArmed()) {
+    Expected<WalContents> Recovered = WriteAheadLog::replay(Config.WalPath);
+    if (!Recovered.ok())
+      return Recovered.status();
+    if (!Recovered->HeaderIntact) {
+      std::fprintf(stderr,
+                   "scserved: note: WAL '%s' has a torn header (crash "
+                   "during creation); no record was acknowledged, "
+                   "starting it over\n",
+                   Config.WalPath.c_str());
+    } else if (Recovered->BaseId != SnapBase && !Recovered->Lines.empty()) {
+      // A checkpoint crashed between the snapshot rename and the WAL
+      // reset: every record in the log is already contained in the
+      // renamed snapshot. Replaying them would double-apply (and fail on
+      // re-declarations), so skip the log and re-stamp it below.
+      WalSkipped = Recovered->Lines.size();
+      std::fprintf(stderr,
+                   "scserved: note: WAL '%s' is stale (base id %llx does "
+                   "not match the snapshot's %llx; an interrupted "
+                   "checkpoint left it behind); skipping %llu line(s) "
+                   "already contained in the snapshot\n",
+                   Config.WalPath.c_str(),
+                   static_cast<unsigned long long>(Recovered->BaseId),
+                   static_cast<unsigned long long>(SnapBase),
+                   static_cast<unsigned long long>(WalSkipped));
+    } else {
+      // Budgets off for replay: each line fit its budget when first
+      // accepted, and a snapshot saved with budgets armed must not
+      // re-abort here.
+      Engine.solver().setBudgets(0, 0, 0);
+      for (const std::string &ReplayLine : Recovered->Lines) {
+        Status Applied = Engine.addConstraint(ReplayLine);
+        if (!Applied)
+          return Applied.withContext("WAL replay failed (log does not "
+                                     "extend this snapshot?)");
+        ++WalReplayed;
+      }
+    }
+    Status Opened = Wal.open(Config.WalPath, SnapBase);
+    if (!Opened)
+      return Opened;
+  }
+  Engine.solver().setBudgets(Config.DeadlineMs, Config.EdgeBudget,
+                             Config.MaxMemBytes);
+  // Budgets configured after recovery apply to every subsequent add; the
+  // rollback base must reflect the recovered (not the loaded) graph.
+  if (WalReplayed) {
+    Status Checkpointed = Engine.checkpointBase();
+    if (!Checkpointed)
+      return Checkpointed;
+  }
+  return Status();
+}
+
+uint64_t ServerCore::snapshotFileChecksum(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  std::string Error;
+  if (!readFileBytes(Path, Bytes, &Error))
+    return 0;
+  return GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
+}
+
+Status ServerCore::serializeState(std::vector<uint8_t> &Bytes,
+                                  uint64_t *ChecksumOut) {
+  Bytes.clear();
+  Status Serialized = GraphSnapshot::serialize(Engine.solver(), Bytes);
+  if (!Serialized)
+    return Serialized;
+  if (ChecksumOut)
+    *ChecksumOut = GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
+  return Status();
+}
+
+Status ServerCore::saveSnapshot(const std::string &Path, size_t &SizeOut,
+                                uint64_t &ChecksumOut) {
+  if (FailPoint::hit("snapshot.save") != FailPoint::Mode::Off)
+    return FailPoint::injectedError("snapshot.save");
+  std::vector<uint8_t> Bytes;
+  Status Serialized = GraphSnapshot::serialize(Engine.solver(), Bytes);
+  if (!Serialized)
+    return Serialized;
+  SizeOut = Bytes.size();
+  ChecksumOut = GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size());
+  return writeFileAtomic(Path, Bytes);
+}
+
+void ServerCore::disableWal(const std::string &Why) {
+  if (!Wal.isOpen())
+    return;
+  std::fprintf(stderr,
+               "scserved: disabling WAL '%s' (%s); add/checkpoint are "
+               "refused until restart, which recovers cleanly\n",
+               Config.WalPath.c_str(), Why.c_str());
+  Wal.close();
+}
+
+Status ServerCore::doCheckpoint(const std::string &Path) {
+  if (walDegraded())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "WAL is disabled after a failed checkpoint; "
+                         "restart to recover");
+  const uint64_t StartUs = trace::nowMicros();
+  size_t Bytes = 0;
+  uint64_t NewBase = 0;
+  Status Saved = saveSnapshot(Path, Bytes, NewBase);
+  if (!Saved) {
+    // writeFileAtomic can fail after the rename (directory fsync): if
+    // the new snapshot actually landed, the WAL no longer extends the
+    // base under our feet.
+    if (NewBase != 0 && snapshotFileChecksum(Path) == NewBase)
+      disableWal("the new snapshot was renamed into place but the "
+                 "checkpoint failed");
+    return Saved.withContext("checkpoint");
+  }
+  // The new snapshot is durable; the crash window between here and the
+  // WAL reset is covered by the base id (recovery sees the mismatch
+  // and skips the stale log), and the failpoint lets the harness land
+  // exactly inside it.
+  Status St;
+  if (FailPoint::hit("checkpoint.before_wal_reset") != FailPoint::Mode::Off)
+    St = FailPoint::injectedError("checkpoint.before_wal_reset");
+  if (St.ok() && Wal.isOpen())
+    St = Wal.reset(NewBase);
+  if (!St.ok()) {
+    disableWal("the snapshot was checkpointed but the WAL reset "
+               "failed: " +
+               St.message());
+    return St.withContext("checkpoint");
+  }
+  // A checkpointBase failure is benign for durability: the engine just
+  // keeps its older rollback base plus the full journal, which still
+  // restores the current state; the WAL stays live.
+  Status Based = Engine.checkpointBase();
+  if (!Based)
+    return Based.withContext("checkpoint");
+  ++Checkpoints;
+  AddsSinceCheckpoint = 0;
+  telemetry::checkpointHistogram().record(trace::nowMicros() - StartUs);
+  trace::complete("serve.checkpoint", StartUs);
+  return Status();
+}
+
+Status ServerCore::checkpoint(const std::string &Path) {
+  std::string Target = Path.empty() ? Config.SnapshotPath : Path;
+  if (Target.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "checkpoint needs a path (no --snapshot)");
+  return doCheckpoint(Target);
+}
+
+Expected<uint64_t> ServerCore::save(const std::string &Path) {
+  size_t Bytes = 0;
+  uint64_t Checksum = 0;
+  Status Saved = saveSnapshot(Path, Bytes, Checksum);
+  if (!Saved)
+    return Saved;
+  // Saving over the startup snapshot (under whatever spelling of its
+  // path) makes the open WAL stale: every record is contained in the
+  // file just written. Promote the save to a checkpoint so restart
+  // and the live server agree on what the WAL extends.
+  if (Wal.isOpen() && !Config.SnapshotPath.empty() &&
+      snapshotFileChecksum(Config.SnapshotPath) == Checksum) {
+    Status Reset = Wal.reset(Checksum);
+    if (!Reset) {
+      disableWal("the save replaced the startup snapshot but the "
+                 "WAL reset failed: " +
+                 Reset.message());
+      return Reset.withContext("save");
+    }
+    Status Based = Engine.checkpointBase();
+    if (!Based)
+      return Based.withContext("save");
+    ++Checkpoints;
+    AddsSinceCheckpoint = 0;
+  }
+  return static_cast<uint64_t>(Bytes);
+}
+
+Status ServerCore::addLine(const std::string &Line) {
+  if (Line.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "add needs a constraint-file line");
+  if (walDegraded())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "WAL is disabled after a failed "
+                         "checkpoint; restart to recover");
+  // Validation before durability, durability before application: a
+  // line reaches the WAL only after a dry-run parse proves it would
+  // apply cleanly (so a crash right after the fsync can never leave
+  // an unreplayable line durable), and once the append returns, a
+  // crash at any later point leaves the line in the WAL, so
+  // `ok added` implies it survives recovery. The only post-append
+  // rejection left is a budget breach, whose line is erased again so
+  // the log only ever contains accepted lines.
+  Status Checked = Engine.checkConstraint(Line);
+  if (!Checked)
+    return Checked;
+  uint64_t WalMark = Wal.sizeBytes();
+  if (Wal.isOpen()) {
+    Status Logged = Wal.append(Line);
+    if (!Logged)
+      return Logged;
+  }
+  Status Added = Engine.addConstraint(Line);
+  if (!Added) {
+    if (Wal.isOpen()) {
+      Status Undone = Wal.truncateTo(WalMark);
+      if (!Undone)
+        return Undone.withContext("unlogging rejected add");
+    }
+    return Added;
+  }
+  ++AddsSinceCheckpoint;
+  if (Config.CheckpointEvery > 0 &&
+      AddsSinceCheckpoint >= Config.CheckpointEvery) {
+    Status Done = doCheckpoint(Config.SnapshotPath);
+    if (!Done)
+      // The add itself succeeded and is durable; surface the
+      // checkpoint failure without un-acking it.
+      std::fprintf(stderr, "scserved: auto-checkpoint failed: %s\n",
+                   Done.toString().c_str());
+  }
+  return Status();
+}
+
+telemetry::ServerCounters ServerCore::counters() const {
+  telemetry::ServerCounters S;
+  S.WalReplayed = WalReplayed;
+  S.WalSkipped = WalSkipped;
+  S.Checkpoints = Checkpoints;
+  S.WalRecords = Wal.records();
+  S.WalBytes = Wal.sizeBytes();
+  return S;
+}
+
+Status ServerCore::dumpMetricsTo(const std::string &Path) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  Engine.solver().stats().exportTo(R);
+  telemetry::exportServeMetrics(R, Engine, counters());
+  std::string Json = R.renderJson() + "\n";
+  std::vector<uint8_t> Bytes(Json.begin(), Json.end());
+  return writeFileAtomic(Path, Bytes);
+}
+
+bool ServerCore::handleWriterVerb(const Request &Req, std::string &Reply) {
+  auto Err = [&Reply](const Status &St) { Reply = "err " + St.wire(); };
+  if (Req.Verb == "stats") {
+    Reply = statsReply();
+    return true;
+  }
+  if (Req.Verb == "counters") {
+    Reply = countersReply();
+    return true;
+  }
+  if (Req.Verb == "metrics") {
+    Reply = metricsReply();
+    return true;
+  }
+  if (Req.Verb == "save") {
+    if (Req.Arg1.empty()) {
+      Err(Status::error(ErrorCode::InvalidArgument, "save needs a path"));
+      return true;
+    }
+    Expected<uint64_t> Bytes = save(Req.Arg1);
+    if (!Bytes.ok()) {
+      Err(Bytes.status());
+      return true;
+    }
+    Reply = "ok saved " + Req.Arg1 + " (" + std::to_string(*Bytes) +
+            " bytes)";
+    return true;
+  }
+  if (Req.Verb == "checkpoint") {
+    Status Done = checkpoint(Req.Arg1);
+    if (!Done) {
+      Err(Done);
+      return true;
+    }
+    Reply = "ok checkpoint " +
+            (Req.Arg1.empty() ? Config.SnapshotPath : Req.Arg1);
+    return true;
+  }
+  if (Req.Verb == "add") {
+    Status Added = addLine(Req.Rest);
+    if (!Added) {
+      Err(Added);
+      return true;
+    }
+    Reply = "ok added";
+    return true;
+  }
+  if (Req.Verb == "shutdown") {
+    // Graceful drain: the caller stops its loop; every acknowledged add
+    // is already fsynced, so closing the WAL is the whole flush.
+    ShutdownSeen = true;
+    shutdownDrain();
+    Reply = "ok shutting_down";
+    return true;
+  }
+  return false;
+}

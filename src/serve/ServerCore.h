@@ -1,0 +1,171 @@
+//===- serve/ServerCore.h - Writer-side serving pipeline --------*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The writer half of a poce server, factored out of scserved's request
+/// loop so the stdin/stdout driver and the socket front end (net/Server.h)
+/// share one implementation of the durability pipeline: WAL recovery and
+/// append-before-apply, budget rollback, atomic checkpoints with base-id
+/// re-stamping, the degraded mode a post-rename checkpoint failure forces,
+/// and the stats/counters/metrics reply builders.
+///
+/// Threading: a ServerCore is single-owner. The stdin driver calls it from
+/// its request loop; the socket server calls it from its single writer
+/// lane. Concurrent *reads* never touch it — they go through immutable
+/// published ReadViews (net/ReadView.h) built from snapshots this core
+/// serializes.
+///
+/// Every reply string and error code is byte-compatible with the PR 4/5
+/// scserved loop (the serve_smoke.sh / crash_recovery.sh harnesses assert
+/// on them), and the WAL invariant is unchanged: validation before
+/// durability, durability before application, `ok added` implies the line
+/// survives recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_SERVE_SERVERCORE_H
+#define POCE_SERVE_SERVERCORE_H
+
+#include "serve/QueryEngine.h"
+#include "serve/Telemetry.h"
+#include "serve/Wal.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace poce {
+namespace serve {
+
+/// One parsed request line: a verb, up to two whitespace-split arguments,
+/// and the raw remainder after the verb (which preserves the spacing of
+/// `add` constraint payloads).
+struct Request {
+  std::string Verb, Arg1, Arg2, Rest;
+};
+
+/// Splits \p Line into a Request (the wire format of both the stdin and
+/// the socket protocol).
+Request parseRequest(const std::string &Line);
+
+/// Durability configuration of a ServerCore.
+struct ServerCoreConfig {
+  std::string SnapshotPath; ///< Startup snapshot path ("" = .scs base).
+  std::string WalPath;      ///< Write-ahead log path ("" = WAL disarmed).
+  uint64_t CheckpointEvery = 0; ///< Auto-checkpoint cadence (0 = never).
+  uint64_t DeadlineMs = 0;      ///< Per-add closure deadline (0 = none).
+  uint64_t EdgeBudget = 0;      ///< Per-add closure edge budget (0 = none).
+  uint64_t MaxMemBytes = 0;     ///< Per-add RSS bound (0 = none).
+};
+
+class ServerCore {
+public:
+  /// Wraps \p Bundle in a QueryEngine with \p CacheCapacity cached views.
+  /// Check valid() before use.
+  ServerCore(SolverBundle Bundle, size_t CacheCapacity,
+             ServerCoreConfig Config);
+
+  bool valid() const { return Engine.valid(); }
+  const std::string &initError() const { return Engine.initError(); }
+
+  /// Warm recovery: replays the WAL's intact lines on top of the loaded
+  /// base identified by \p SnapBase (the snapshot's payload checksum, 0
+  /// for a fresh .scs solve), detecting and skipping a stale log left by
+  /// an interrupted checkpoint; then opens the log for appending, arms
+  /// the configured budgets, and re-captures the rollback base. Notes go
+  /// to stderr exactly as the PR 4 loop printed them.
+  Status recover(uint64_t SnapBase);
+
+  QueryEngine &engine() { return Engine; }
+  const QueryEngine &engine() const { return Engine; }
+
+  /// Handles one writer-side verb — add, save, checkpoint, stats,
+  /// counters, metrics, shutdown — and writes the full reply (one line,
+  /// or the multi-line metrics payload) to \p Reply. Returns false for
+  /// verbs this core does not own (queries, help, quit), leaving \p Reply
+  /// untouched. A handled `shutdown` also flips shutdownRequested().
+  bool handleWriterVerb(const Request &Req, std::string &Reply);
+
+  /// True when a handled `shutdown` verb asked the caller to drain and
+  /// exit (the caller owns the actual loop teardown).
+  bool shutdownRequested() const { return ShutdownSeen; }
+
+  /// Graceful drain: every acknowledged add is already fsynced, so this
+  /// just closes the WAL cleanly (recovery replays it either way).
+  void shutdownDrain() { Wal.close(); }
+
+  /// The add pipeline (validate, WAL-append + fsync, apply, un-log on a
+  /// budget rollback, auto-checkpoint) — `ok added` iff this returns OK.
+  Status addLine(const std::string &Line);
+
+  /// Atomic snapshot write; on success returns the byte count. A save
+  /// over the startup snapshot is promoted to a checkpoint so the live
+  /// WAL and restart agree on what the log extends.
+  Expected<uint64_t> save(const std::string &Path);
+
+  /// Atomic snapshot + WAL reset; "" targets the startup snapshot path.
+  Status checkpoint(const std::string &Path);
+
+  /// Server-loop counters (WAL/checkpoint state) for the telemetry
+  /// builders.
+  telemetry::ServerCounters counters() const;
+
+  std::string statsReply() const {
+    return telemetry::buildStatsReply(Engine, counters());
+  }
+  std::string countersReply() const {
+    return telemetry::buildCountersReply(
+        Engine, telemetry::queryLatencyHistogram());
+  }
+  std::string metricsReply() {
+    return telemetry::buildMetricsReply(MetricsRegistry::global(), Engine,
+                                        counters());
+  }
+
+  /// Dumps the registry (solver + serve counters exported) to \p Path as
+  /// one JSON object, rewritten atomically.
+  Status dumpMetricsTo(const std::string &Path);
+
+  bool walArmed() const { return !Config.WalPath.empty(); }
+  /// The WAL was disabled after a failed checkpoint; add/checkpoint are
+  /// refused until restart (queries keep serving).
+  bool walDegraded() const { return walArmed() && !Wal.isOpen(); }
+  uint64_t walReplayed() const { return WalReplayed; }
+  uint64_t walSkipped() const { return WalSkipped; }
+
+  /// Serializes the engine's current graph (the published-view source for
+  /// the socket server) and returns its payload checksum via
+  /// \p ChecksumOut (may be null). Non-const: serialization finalizes any
+  /// lazily deferred solver state first, which is why only the single
+  /// writer lane may call it.
+  Status serializeState(std::vector<uint8_t> &Bytes,
+                        uint64_t *ChecksumOut = nullptr);
+
+private:
+  /// Atomic snapshot write shared by save and checkpoint; SizeOut and
+  /// ChecksumOut are set as soon as serialization succeeds, even if the
+  /// write then fails.
+  Status saveSnapshot(const std::string &Path, size_t &SizeOut,
+                      uint64_t &ChecksumOut);
+  /// Enters degraded mode: closes the WAL with a stderr note.
+  void disableWal(const std::string &Why);
+  Status doCheckpoint(const std::string &Path);
+  static uint64_t snapshotFileChecksum(const std::string &Path);
+
+  QueryEngine Engine;
+  ServerCoreConfig Config;
+  WriteAheadLog Wal;
+  uint64_t WalReplayed = 0;
+  uint64_t WalSkipped = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t AddsSinceCheckpoint = 0;
+  bool ShutdownSeen = false;
+};
+
+} // namespace serve
+} // namespace poce
+
+#endif // POCE_SERVE_SERVERCORE_H

@@ -9,6 +9,7 @@
 #include "graph/TarjanSCC.h"
 #include "setcon/Oracle.h"
 #include "setcon/Preprocess.h"
+#include "support/CacheAligned.h"
 #include "support/Debug.h"
 #include "support/ErrorHandling.h"
 #include "support/FailPoint.h"
@@ -1050,6 +1051,36 @@ const SparseBitVector &ConstraintSolver::leastSolutionBits(VarId Var) {
                                              : LSBits[Rep];
 }
 
+const SparseBitVector &
+ConstraintSolver::leastSolutionBitsConst(VarId Var) const {
+  assert(readShareable() &&
+         "const solution access on an unsettled solver; call "
+         "materializeAllViews() first");
+  VarId Rep = Forwarding.findConst(Var);
+  return Options.Form == GraphForm::Standard ? Vars[Rep].PredTerms
+                                             : LSBits[Rep];
+}
+
+const std::vector<ExprId> &
+ConstraintSolver::leastSolutionViewConst(VarId Var) const {
+  assert(readShareable() &&
+         "const solution access on an unsettled solver; call "
+         "materializeAllViews() first");
+  VarId Rep = Forwarding.findConst(Var);
+  assert(LSViewBuilt[Rep] &&
+         "view not materialized; materializeAllViews() builds every live "
+         "representative's view");
+  return LSView[Rep];
+}
+
+bool ConstraintSolver::aliasConst(VarId X, VarId Y) const {
+  VarId RepX = Forwarding.findConst(X);
+  VarId RepY = Forwarding.findConst(Y);
+  if (RepX == RepY)
+    return true;
+  return leastSolutionBitsConst(RepX).intersects(leastSolutionBitsConst(RepY));
+}
+
 const std::vector<ExprId> &ConstraintSolver::materializeLS(VarId Rep) {
   if (!LSViewBuilt[Rep]) {
     const SparseBitVector &Bits = Options.Form == GraphForm::Standard
@@ -1147,18 +1178,23 @@ void ConstraintSolver::computeLeastSolutionIFParallel(ThreadPool &Pool) {
   // (which two lanes would race on) for deduplicating predecessor entries
   // that resolve to the same representative, plus a SolverStats delta so
   // counting never touches the shared Stats. The deltas are sums, so
-  // merging them after the waves is order-independent.
+  // merging them after the waves is order-independent. Each lane's slot is
+  // padded to whole cache lines (CacheAligned): the Epoch counter and the
+  // Delta counters are bumped on every variable a lane processes, and
+  // unpadded adjacent slots would false-share those lines across lanes.
   struct LaneScratch {
     std::vector<uint32_t> SeenEpoch;
     uint32_t Epoch = 0;
     SolverStats Delta;
   };
-  std::vector<LaneScratch> Scratch(Pool.numLanes());
-  for (LaneScratch &S : Scratch)
-    S.SeenEpoch.assign(numVars(), 0);
+  static_assert(cacheAlignedLayoutOk<LaneScratch>,
+                "per-lane scratch must occupy whole cache lines");
+  std::vector<CacheAligned<LaneScratch>> Scratch(Pool.numLanes());
+  for (CacheAligned<LaneScratch> &S : Scratch)
+    S.Value.SeenEpoch.assign(numVars(), 0);
 
   Pool.parallelForLevels(Levels, [&](VarId Var, unsigned Lane) {
-    LaneScratch &S = Scratch[Lane];
+    LaneScratch &S = Scratch[Lane].Value;
     ++S.Epoch;
     SparseBitVector &Out = LSBits[Var];
     for (uint32_t Pred : Vars[Var].Preds) {
@@ -1178,8 +1214,8 @@ void ConstraintSolver::computeLeastSolutionIFParallel(ThreadPool &Pool) {
     }
   });
 
-  for (const LaneScratch &S : Scratch)
-    Stats += S.Delta;
+  for (const CacheAligned<LaneScratch> &S : Scratch)
+    Stats += S.Value.Delta;
 }
 
 void ConstraintSolver::materializeAllViews() {

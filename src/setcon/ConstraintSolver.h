@@ -132,6 +132,42 @@ public:
   /// The least solution of \p Var as a bitmap (no materialization).
   const SparseBitVector &leastSolutionBits(VarId Var);
 
+  //===--------------------------------------------------------------------===
+  // Concurrent read surface
+  //===--------------------------------------------------------------------===
+  //
+  // The accessors below are genuinely const: no lazy closure, no lazy
+  // finalize, no union-find path compression — so a solver that has been
+  // fully settled with materializeAllViews() can be shared read-only
+  // across threads with no synchronization at all. This is the contract
+  // the network layer's published ReadViews rely on (see net/ReadView.h):
+  // the writer settles a solver once, publishes it behind a shared_ptr,
+  // and any number of reader lanes query it concurrently. Calling them on
+  // an unsettled solver is a programming error (asserted).
+
+  /// True once finalize() has settled the solutions (materializeAllViews()
+  /// additionally builds every sorted view, which leastSolutionViewConst
+  /// asserts per representative): the precondition of the *Const
+  /// accessors below.
+  bool readShareable() const {
+    return Finalized && LSView.size() == numVars();
+  }
+
+  /// Representative lookup without path compression (single const hop on
+  /// the pre-compressed forwarding chains finalize() leaves behind).
+  VarId repConst(VarId Var) const { return Forwarding.findConst(Var); }
+
+  /// leastSolutionBits() without the lazy finalize.
+  const SparseBitVector &leastSolutionBitsConst(VarId Var) const;
+
+  /// leastSolution() without the lazy finalize or view materialization;
+  /// requires materializeAllViews() to have built every view.
+  const std::vector<ExprId> &leastSolutionViewConst(VarId Var) const;
+
+  /// alias query (same representative or intersecting solutions) on the
+  /// const surface.
+  bool aliasConst(VarId X, VarId Y) const;
+
   /// Recomputes all least solutions with the pre-bitvector algorithm
   /// (vector concatenation + sort + unique over the adjacency lists).
   /// Retained as an independent oracle for the equivalence tests; the

@@ -1,0 +1,511 @@
+//===- tests/net_test.cpp - Socket front end over loopback ----------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The network serving layer, tested end to end over real sockets: framing
+// units (chunk reassembly, streaming size limit), address parsing, the
+// padded lane-accumulator layout, protocol byte-compatibility with the
+// stdin loop, and the concurrency contract — readers querying while a
+// writer streams adds always observe a fully-published view (prefix-closed
+// answer sets, monotone epochs per connection) and a connection that saw
+// `ok added` observes its constraint in every later query
+// (read-your-writes via ack-after-publish).
+//
+// Everything here runs under scripts/tsan.sh: the loop thread, the writer
+// lane, the read-wave pool, and the client threads must be data-race
+// free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/Framing.h"
+#include "net/LaneStats.h"
+#include "net/Server.h"
+#include "net/Socket.h"
+#include "serve/ServerCore.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace poce;
+using namespace poce::net;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+std::vector<std::pair<LineBuffer::Item, std::string>> drain(LineBuffer &B) {
+  std::vector<std::pair<LineBuffer::Item, std::string>> Out;
+  std::string Text;
+  for (;;) {
+    LineBuffer::Item Kind = B.next(Text);
+    if (Kind == LineBuffer::Item::None)
+      return Out;
+    Out.emplace_back(Kind, Text);
+  }
+}
+
+TEST(NetFramingTest, ReassemblesAcrossArbitraryChunks) {
+  LineBuffer B(/*MaxLine=*/64);
+  const std::string Stream = "ls P\r\npts Q\nalias X Y\n";
+  // Feed one byte at a time — the worst read() chunking possible.
+  for (char C : Stream)
+    B.append(&C, 1);
+  auto Items = drain(B);
+  ASSERT_EQ(Items.size(), 3u);
+  EXPECT_EQ(Items[0].second, "ls P"); // \r stripped
+  EXPECT_EQ(Items[1].second, "pts Q");
+  EXPECT_EQ(Items[2].second, "alias X Y");
+  EXPECT_EQ(B.pendingBytes(), 0u);
+}
+
+TEST(NetFramingTest, PartialLineStaysPending) {
+  LineBuffer B(64);
+  B.append("incompl", 7);
+  std::string Text;
+  EXPECT_EQ(B.next(Text), LineBuffer::Item::None);
+  EXPECT_EQ(B.pendingBytes(), 7u);
+  B.append("ete\n", 4);
+  EXPECT_EQ(B.next(Text), LineBuffer::Item::Line);
+  EXPECT_EQ(Text, "incomplete");
+}
+
+TEST(NetFramingTest, OversizedReportedInStreamOrder) {
+  LineBuffer B(/*MaxLine=*/8);
+  std::string Big(20, 'x');
+  std::string Stream = "short\n" + Big + "\nafter\n";
+  B.append(Stream.data(), Stream.size());
+  auto Items = drain(B);
+  ASSERT_EQ(Items.size(), 3u);
+  EXPECT_EQ(Items[0].first, LineBuffer::Item::Line);
+  EXPECT_EQ(Items[0].second, "short");
+  EXPECT_EQ(Items[1].first, LineBuffer::Item::Oversized);
+  EXPECT_EQ(Items[1].second, "20"); // full byte length, sans newline
+  EXPECT_EQ(Items[2].first, LineBuffer::Item::Line);
+  EXPECT_EQ(Items[2].second, "after"); // resynced at the next newline
+}
+
+TEST(NetFramingTest, LimitBoundaryIsInclusive) {
+  LineBuffer B(/*MaxLine=*/8);
+  B.append("12345678\n123456789\n", 19);
+  auto Items = drain(B);
+  ASSERT_EQ(Items.size(), 2u);
+  EXPECT_EQ(Items[0].first, LineBuffer::Item::Line); // exactly 8: accepted
+  EXPECT_EQ(Items[0].second, "12345678");
+  EXPECT_EQ(Items[1].first, LineBuffer::Item::Oversized); // 9: rejected
+  EXPECT_EQ(Items[1].second, "9");
+}
+
+TEST(NetFramingTest, OversizedAccumulatesAcrossChunks) {
+  LineBuffer B(/*MaxLine=*/4);
+  std::string Big(100, 'y');
+  for (char C : Big)
+    B.append(&C, 1);
+  B.append("\nok\n", 4);
+  auto Items = drain(B);
+  ASSERT_EQ(Items.size(), 2u);
+  EXPECT_EQ(Items[0].first, LineBuffer::Item::Oversized);
+  EXPECT_EQ(Items[0].second, "100");
+  EXPECT_EQ(Items[1].second, "ok");
+}
+
+//===----------------------------------------------------------------------===//
+// Address parsing
+//===----------------------------------------------------------------------===//
+
+TEST(NetSocketTest, ParseHostPort) {
+  std::string Host;
+  uint16_t Port = 0;
+  EXPECT_TRUE(parseHostPort("127.0.0.1:7075", Host, Port).ok());
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 7075);
+
+  EXPECT_TRUE(parseHostPort(":0", Host, Port).ok()); // any-host, ephemeral
+  EXPECT_EQ(Host, "");
+  EXPECT_EQ(Port, 0);
+
+  EXPECT_FALSE(parseHostPort("noport", Host, Port).ok());
+  EXPECT_FALSE(parseHostPort("h:", Host, Port).ok());
+  EXPECT_FALSE(parseHostPort("h:abc", Host, Port).ok());
+  EXPECT_FALSE(parseHostPort("h:99999", Host, Port).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Lane accumulator layout
+//===----------------------------------------------------------------------===//
+
+// The contract the read lanes rely on: adjacent slots never share a cache
+// line, so plain (non-atomic) per-lane writes are both correct (the wave
+// barrier orders them) and fast (no false sharing).
+static_assert(cacheAlignedLayoutOk<LaneAccum>,
+              "LaneAccum slots must be cache-line aligned and padded");
+static_assert(sizeof(CacheAligned<LaneAccum>) % CacheLineBytes == 0,
+              "padding must round the slot to whole cache lines");
+
+TEST(NetLaneStatsTest, SlotsDoNotShareCacheLines) {
+  LaneAccumSlots Slots(4);
+  for (size_t I = 0; I + 1 < Slots.size(); ++I) {
+    auto *A = reinterpret_cast<const char *>(&Slots[I].Value);
+    auto *B = reinterpret_cast<const char *>(&Slots[I + 1].Value);
+    EXPECT_GE(static_cast<size_t>(B - A), CacheLineBytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(A) % CacheLineBytes, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback server harness
+//===----------------------------------------------------------------------===//
+
+const char *SwapText = R"(
+cons ref + + -
+cons nx
+cons ny
+var X Y P Q T
+ref(nx, X, X) <= P
+ref(ny, Y, Y) <= Q
+P <= T
+Q <= P
+T <= Q
+)";
+
+/// An in-process socket-mode server on an ephemeral loopback port (or a
+/// Unix socket), with its event loop on a background thread.
+struct LoopbackServer {
+  std::unique_ptr<serve::ServerCore> Core;
+  std::unique_ptr<NetServer> Server;
+  std::thread Loop;
+  std::string Error;
+  int ExitCode = -1;
+  bool Joined = false;
+
+  explicit LoopbackServer(const std::string &Text,
+                          NetServerOptions NetOpts = {},
+                          serve::ServerCoreConfig CoreCfg = {}) {
+    serve::SolverBundle Bundle;
+    Bundle.Constructors = std::make_unique<ConstructorTable>();
+    Bundle.Terms = std::make_unique<TermTable>(*Bundle.Constructors);
+    Bundle.Solver = std::make_unique<ConstraintSolver>(
+        *Bundle.Terms, makeConfig(GraphForm::Inductive, CycleElim::Online));
+    ConstraintSystemFile System;
+    Status Parsed = System.parse(Text);
+    if (!Parsed) {
+      Error = Parsed.toString();
+      return;
+    }
+    System.emit(*Bundle.Solver);
+    Bundle.Solver->materializeAllViews();
+
+    Core = std::make_unique<serve::ServerCore>(std::move(Bundle),
+                                               /*CacheCapacity=*/64, CoreCfg);
+    if (!Core->valid()) {
+      Error = Core->initError();
+      return;
+    }
+    Status Recovered = Core->recover(/*SnapBase=*/0);
+    if (!Recovered) {
+      Error = Recovered.toString();
+      return;
+    }
+
+    if (NetOpts.TcpSpec.empty() && NetOpts.UnixPath.empty())
+      NetOpts.TcpSpec = "127.0.0.1:0";
+    if (NetOpts.Lanes == 0)
+      NetOpts.Lanes = 2;
+    Server = std::make_unique<NetServer>(*Core, NetOpts);
+    Status Ready = Server->init();
+    if (!Ready) {
+      Error = Ready.toString();
+      Server.reset();
+      return;
+    }
+    Loop = std::thread([this] { ExitCode = Server->run(); });
+  }
+
+  ~LoopbackServer() { stop(); }
+
+  /// Graceful stop (idempotent); returns run()'s exit code.
+  int stop() {
+    if (Loop.joinable()) {
+      NetServer::requestStop();
+      Loop.join();
+      Joined = true;
+    }
+    return ExitCode;
+  }
+
+  LineClient client() {
+    LineClient C;
+    Status Connected =
+        C.connectTcp("127.0.0.1:" + std::to_string(Server->tcpPort()));
+    EXPECT_TRUE(Connected.ok()) << Connected.toString();
+    return C;
+  }
+};
+
+std::string ask(LineClient &C, const std::string &Line) {
+  std::string Reply;
+  Status Got = C.request(Line, Reply);
+  EXPECT_TRUE(Got.ok()) << Line << ": " << Got.toString();
+  return Reply;
+}
+
+/// Parses "ok { a, b, c }" into the element set.
+std::set<std::string> parseSet(const std::string &Reply) {
+  std::set<std::string> Out;
+  size_t Open = Reply.find('{'), Close = Reply.rfind('}');
+  if (Open == std::string::npos || Close == std::string::npos ||
+      Close <= Open)
+    return Out;
+  std::string Body = Reply.substr(Open + 1, Close - Open - 1);
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t Comma = Body.find(',', Pos);
+    std::string Item = Body.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    size_t First = Item.find_first_not_of(' ');
+    size_t Last = Item.find_last_not_of(' ');
+    if (First != std::string::npos)
+      Out.insert(Item.substr(First, Last - First + 1));
+    Pos = Comma == std::string::npos ? Body.size() : Comma + 1;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol over sockets
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTest, ProtocolMatchesStdinMode) {
+  LoopbackServer S(SwapText);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+
+  EXPECT_EQ(ask(C, "pts P"), "ok { nx, ny }");
+  EXPECT_EQ(ask(C, "alias P Q"), "ok true");
+  EXPECT_EQ(ask(C, "alias X Y"), "ok false");
+  EXPECT_EQ(ask(C, "ls nosuch"), "err not_found unknown variable 'nosuch'");
+  EXPECT_EQ(ask(C, "frobnicate"),
+            "err invalid_argument unknown verb 'frobnicate'; try help");
+  std::string Help = ask(C, "help");
+  EXPECT_NE(Help.find("shutdown"), std::string::npos);
+  std::string Stats = ask(C, "stats");
+  EXPECT_EQ(Stats.rfind("ok config=IF-Online", 0), 0u) << Stats;
+
+  std::string Metrics = ask(C, "metrics");
+  EXPECT_EQ(Metrics.rfind("ok metrics", 0), 0u);
+  EXPECT_NE(Metrics.find("poce_net_queries_total"), std::string::npos);
+  EXPECT_NE(Metrics.find("poce_net_lane0_queries"), std::string::npos);
+  std::string Trailer = "# EOF";
+  ASSERT_GE(Metrics.size(), Trailer.size());
+  EXPECT_EQ(Metrics.substr(Metrics.size() - Trailer.size()), Trailer);
+
+  EXPECT_EQ(ask(C, "quit"), "ok bye");
+  std::string Dead;
+  EXPECT_FALSE(C.recvLine(Dead).ok()); // server closed after the goodbye
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, PipelinedRequestsAnswerInOrder) {
+  LoopbackServer S(SwapText);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+
+  // Fire the whole batch before reading anything: per-connection FIFO
+  // must hold even when queries and writer verbs interleave.
+  ASSERT_TRUE(C.sendLine("pts P").ok());
+  ASSERT_TRUE(C.sendLine("add cons zz").ok());
+  ASSERT_TRUE(C.sendLine("alias P Q").ok());
+  ASSERT_TRUE(C.sendLine("stats").ok());
+  ASSERT_TRUE(C.sendLine("pts Q").ok());
+
+  std::string R;
+  ASSERT_TRUE(C.recvLine(R).ok());
+  EXPECT_EQ(R, "ok { nx, ny }");
+  ASSERT_TRUE(C.recvLine(R).ok());
+  EXPECT_EQ(R, "ok added");
+  ASSERT_TRUE(C.recvLine(R).ok());
+  EXPECT_EQ(R, "ok true");
+  ASSERT_TRUE(C.recvLine(R).ok());
+  EXPECT_EQ(R.rfind("ok config=", 0), 0u) << R;
+  ASSERT_TRUE(C.recvLine(R).ok());
+  EXPECT_EQ(R, "ok { nx, ny }");
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, OversizedRequestResyncsConnection) {
+  NetServerOptions Opts;
+  Opts.MaxRequest = 64;
+  LoopbackServer S(SwapText, Opts);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+
+  std::string Big(200, 'q');
+  EXPECT_EQ(ask(C, Big), "err too_large request is 200 bytes; limit is 64");
+  // The connection survived and resynchronized at the newline.
+  EXPECT_EQ(ask(C, "alias X Y"), "ok false");
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, ReadYourWrites) {
+  LoopbackServer S("cons a\nvar V\na <= V\n");
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+
+  EXPECT_EQ(parseSet(ask(C, "ls V")), std::set<std::string>{"a"});
+  EXPECT_EQ(ask(C, "add cons b"), "ok added");
+  EXPECT_EQ(ask(C, "add b <= V"), "ok added");
+  // Ack-after-publish: the `ok added` above means the next query — on any
+  // connection — already sees b.
+  EXPECT_EQ(parseSet(ask(C, "ls V")), (std::set<std::string>{"a", "b"}));
+  LineClient Other = S.client();
+  EXPECT_EQ(parseSet(ask(Other, "ls V")), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, WriterRejectionsDoNotDisturbViews) {
+  LoopbackServer S("cons a\nvar V\na <= V\n");
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+
+  std::string R = ask(C, "add undeclared <= V");
+  EXPECT_EQ(R.rfind("err ", 0), 0u) << R;
+  EXPECT_EQ(parseSet(ask(C, "ls V")), std::set<std::string>{"a"});
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, IdleConnectionsAreClosed) {
+  NetServerOptions Opts;
+  Opts.IdleTimeoutMs = 100;
+  LoopbackServer S(SwapText, Opts);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+  EXPECT_EQ(ask(C, "alias X Y"), "ok false"); // live connections serve
+  std::string Dead;
+  // recvLine blocks until the sweep (<=100ms cadence) closes us.
+  EXPECT_FALSE(C.recvLine(Dead).ok());
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetServerTest, ShutdownVerbDrainsAndExitsZero) {
+  LoopbackServer S(SwapText);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C = S.client();
+  EXPECT_EQ(ask(C, "shutdown"), "ok shutting_down");
+  S.Loop.join();
+  S.Joined = true;
+  EXPECT_EQ(S.ExitCode, 0);
+  // The listener is gone: fresh connections are refused.
+  LineClient After;
+  EXPECT_FALSE(
+      After.connectTcp("127.0.0.1:" + std::to_string(S.Server->tcpPort()))
+          .ok());
+}
+
+TEST(NetServerTest, ServesUnixDomainSockets) {
+  std::string Path = ::testing::TempDir() + "poce_net_test.sock";
+  NetServerOptions Opts;
+  Opts.UnixPath = Path;
+  LoopbackServer S(SwapText, Opts);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+  LineClient C;
+  ASSERT_TRUE(C.connectUnix(Path).ok());
+  EXPECT_EQ(ask(C, "pts P"), "ok { nx, ny }");
+  EXPECT_EQ(ask(C, "quit"), "ok bye");
+  EXPECT_EQ(S.stop(), 0);
+  // Graceful exit unlinks the socket path.
+  LineClient After;
+  EXPECT_FALSE(After.connectUnix(Path).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: readers vs the writer lane
+//===----------------------------------------------------------------------===//
+
+// The central serving invariant. A writer connection streams adds that
+// grow `ls V` one element at a time (s1, s2, ...), asserting
+// read-your-writes after every ack. Reader connections hammer `ls V`
+// concurrently and assert every answer is a *fully-published* state:
+// the set is exactly {s1..sj} for some j (prefix-closed — a torn or
+// unpublished view would leak a gap), and j never decreases on one
+// connection (views only move forward).
+TEST(NetServerTest, ConcurrentReadersSeeOnlyPublishedViews) {
+  LoopbackServer S("cons s0\nvar V\ns0 <= V\n");
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+
+  constexpr int NumAdds = 30;
+  constexpr int NumReaders = 3;
+  std::atomic<bool> WriterDone{false};
+  std::atomic<int> Failures{0};
+
+  std::thread WriterThread([&] {
+    LineClient W = S.client();
+    for (int K = 1; K <= NumAdds; ++K) {
+      std::string Name = "s" + std::to_string(K);
+      if (ask(W, "add cons " + Name) != "ok added" ||
+          ask(W, "add " + Name + " <= V") != "ok added") {
+        ++Failures;
+        break;
+      }
+      // Read-your-writes: the ack above implies visibility here.
+      std::set<std::string> Set = parseSet(ask(W, "ls V"));
+      if (!Set.count(Name))
+        ++Failures;
+    }
+    WriterDone.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R != NumReaders; ++R) {
+    Readers.emplace_back([&] {
+      LineClient C = S.client();
+      size_t PrevCount = 0;
+      while (!WriterDone.load(std::memory_order_acquire)) {
+        std::set<std::string> Set = parseSet(ask(C, "ls V"));
+        // Prefix-closed: seeing sK implies seeing every earlier sI.
+        size_t MaxIndex = 0;
+        for (const std::string &Name : Set) {
+          if (Name.size() < 2 || Name[0] != 's') {
+            ++Failures;
+            return;
+          }
+          MaxIndex = std::max(
+              MaxIndex, static_cast<size_t>(std::stoul(Name.substr(1))));
+        }
+        if (Set.size() != MaxIndex + 1) { // {s0..sMax} exactly
+          ++Failures;
+          return;
+        }
+        // Monotone: published epochs only move forward.
+        if (Set.size() < PrevCount) {
+          ++Failures;
+          return;
+        }
+        PrevCount = Set.size();
+      }
+    });
+  }
+
+  WriterThread.join();
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Converged state: every element landed.
+  LineClient C = S.client();
+  EXPECT_EQ(parseSet(ask(C, "ls V")).size(),
+            static_cast<size_t>(NumAdds) + 1);
+  EXPECT_EQ(S.stop(), 0);
+}
+
+} // namespace
