@@ -25,6 +25,10 @@ scripts/serve_smoke.sh "$BUILD_DIR"
 # The socket layer parses untrusted network bytes (framing, size limits)
 # — run its end-to-end smoke under ASan too.
 scripts/net_smoke.sh "$BUILD_DIR"
+# Replication ships raw snapshot bytes and WAL records over that same
+# socket layer and replays them into a live engine — bootstrap, catch-up,
+# kill -9 failover, and promote all under ASan.
+scripts/repl_smoke.sh "$BUILD_DIR"
 scripts/crash_recovery.sh "$BUILD_DIR"
 scripts/metrics_smoke.sh "$BUILD_DIR"
 # The offline pass rewrites the constraint stream before the solver sees

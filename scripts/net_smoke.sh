@@ -34,14 +34,10 @@ fail() {
   exit 1
 }
 
-# Waits for the server logging to $1 to print its listening line.
-wait_ready() {
-  for _ in $(seq 100); do
-    grep -q "^ok listening" "$1" 2> /dev/null && return 0
-    sleep 0.05
-  done
-  fail "server did not come up ($1)"
-}
+# Clients connect with scnetcat --retry-ms (jittered exponential backoff
+# in net/Client.cpp) instead of polling the server's log for its
+# listening line — no startup race, no fixed sleeps.
+NC() { "$SCNETCAT" --retry-ms=10000 "$@"; }
 
 # Base snapshot: the solved swap system (via stdin mode).
 BASE="$WORK/base.snap"
@@ -59,18 +55,17 @@ cp "$BASE" "$SNAP"
 "$SCSERVED" --snapshot="$SNAP" --wal="$WAL" --unix="$SOCK" --net-lanes=2 \
   > "$WORK/mixed.srv.out" 2> "$WORK/mixed.srv.err" &
 SRV=$!
-wait_ready "$WORK/mixed.srv.out"
 
 # Two query clients and one writer client, concurrently. The writer's
 # trailing query proves read-your-writes across the socket: its `ok
 # added` ack precedes view publication, never follows it.
 { for _ in $(seq 25); do printf 'pts P\nalias P Q\nalias X Y\n'; done; } |
-  "$SCNETCAT" --unix "$SOCK" > "$WORK/mixed.c1.out" &
+  NC --unix "$SOCK" > "$WORK/mixed.c1.out" &
 C1=$!
 { for _ in $(seq 25); do printf 'pts P\nalias P Q\nalias X Y\n'; done; } |
-  "$SCNETCAT" --unix "$SOCK" > "$WORK/mixed.c2.out" &
+  NC --unix "$SOCK" > "$WORK/mixed.c2.out" &
 C2=$!
-"$SCNETCAT" --unix "$SOCK" > "$WORK/mixed.w.out" << EOF
+NC --unix "$SOCK" > "$WORK/mixed.w.out" << EOF
 add var Z
 add P <= Z
 pts Z
@@ -89,7 +84,7 @@ grep -q '^ok { nx, ny }$' "$WORK/mixed.w.out" ||
   fail "mixed: read-your-writes failed (pts Z after P <= Z)"
 
 # The metrics verb serves the net series over the socket.
-printf 'metrics\nquit\n' | "$SCNETCAT" --unix "$SOCK" > "$WORK/mixed.m.out"
+printf 'metrics\nquit\n' | NC --unix "$SOCK" > "$WORK/mixed.m.out"
 grep -q 'poce_net_queries_total' "$WORK/mixed.m.out" ||
   fail "mixed: metrics reply lacks the net series"
 grep -q 'poce_net_lane0_queries' "$WORK/mixed.m.out" ||
@@ -97,7 +92,7 @@ grep -q 'poce_net_lane0_queries' "$WORK/mixed.m.out" ||
 
 # Graceful drain via the shutdown verb: exit 0, socket unlinked, and the
 # acknowledged adds durable in the WAL.
-printf 'shutdown\n' | "$SCNETCAT" --unix "$SOCK" > "$WORK/mixed.s.out"
+printf 'shutdown\n' | NC --unix "$SOCK" > "$WORK/mixed.s.out"
 grep -q '^ok shutting_down$' "$WORK/mixed.s.out" ||
   fail "mixed: shutdown verb not acknowledged"
 wait "$SRV" && code=0 || code=$?
@@ -115,8 +110,7 @@ echo "net_smoke: mixed clients OK"
 "$SCSERVED" --snapshot="$SNAP" --unix="$SOCK" \
   > "$WORK/term.srv.out" 2> /dev/null &
 SRV=$!
-wait_ready "$WORK/term.srv.out"
-printf 'pts P\n' | "$SCNETCAT" --unix "$SOCK" > "$WORK/term.c.out"
+printf 'pts P\n' | NC --unix "$SOCK" > "$WORK/term.c.out"
 grep -q '^ok { nx, ny }$' "$WORK/term.c.out" || fail "term: query failed"
 kill -TERM "$SRV"
 wait "$SRV" && code=0 || code=$?
@@ -133,9 +127,8 @@ POCE_FAILPOINTS="wal.append.mid=crash@2" \
   "$SCSERVED" --snapshot="$CSNAP" --wal="$CWAL" --unix="$SOCK" \
   > "$WORK/crash.srv.out" 2> /dev/null &
 SRV=$!
-wait_ready "$WORK/crash.srv.out"
 # The second add dies mid-record; the client loses its connection.
-"$SCNETCAT" --unix "$SOCK" > "$WORK/crash.w.out" 2> /dev/null << EOF || true
+NC --unix "$SOCK" > "$WORK/crash.w.out" 2> /dev/null << EOF || true
 add var Z
 add P <= Z
 EOF

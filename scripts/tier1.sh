@@ -14,6 +14,7 @@ cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j "$@")
 "$ROOT/scripts/serve_smoke.sh" "$BUILD"
 "$ROOT/scripts/net_smoke.sh" "$BUILD"
+"$ROOT/scripts/repl_smoke.sh" "$BUILD"
 "$ROOT/scripts/crash_recovery.sh" "$BUILD"
 "$ROOT/scripts/metrics_smoke.sh" "$BUILD"
 "$ROOT/scripts/perf_smoke.sh" "$BUILD"

@@ -56,8 +56,18 @@
 ///   stats         solver statistics + fault-tolerance counters
 ///   counters      query latency percentiles and cache counters
 ///   metrics       Prometheus text exposition (multi-line, ends "# EOF")
+///   verify        canonical answer checksum (replica consistency check)
 ///   shutdown      graceful drain and exit 0
 ///   help | quit
+///
+/// Replication (socket mode; see INTERNALS.md "Replication and
+/// failover"): a follower started with --follow=HOST:PORT (or a socket
+/// path) bootstraps from the primary's snapshot when its own --snapshot
+/// file does not exist yet, replays its local WAL, then tails the
+/// primary's record stream with reconnect backoff and a resumable
+/// cursor. It serves reads from its own read views, answers writes with
+/// `err read_only`, and a `promote` verb re-stamps the WAL base and
+/// flips it writable (failover).
 ///
 /// Observability: query latencies land in an O(1)-insert log-bucket
 /// histogram (support/Metrics.h) instead of a sorted ring, the `metrics`
@@ -69,6 +79,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "net/Framing.h"
+#include "net/Replication.h"
 #include "net/Server.h"
 #include "serve/GraphSnapshot.h"
 #include "serve/QueryEngine.h"
@@ -86,6 +97,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unistd.h>
@@ -180,6 +192,8 @@ int main(int Argc, char **Argv) {
   std::string UnixPath;
   int64_t NetLanes = 0;
   int64_t IdleTimeoutMs = 0;
+  std::string Follow;
+  int64_t FollowDeadlineMs = 30000;
   Cmd.addString("snapshot", &Snapshot, "load this snapshot instead of "
                                        "solving a .scs file");
   Cmd.addString("wal", &WalPath,
@@ -231,6 +245,16 @@ int main(int Argc, char **Argv) {
              "thread); answers are identical for any value");
   Cmd.addInt("idle-timeout-ms", &IdleTimeoutMs,
              "close socket connections idle this long (0 = never)");
+  Cmd.addString("follow", &Follow,
+                "run as a read-only replica of the primary at this "
+                "address (host:port, or a Unix-socket path): bootstrap "
+                "from its snapshot if --snapshot does not exist yet, "
+                "tail its WAL stream, answer writes with `err "
+                "read_only` until a `promote` verb. Requires "
+                "--snapshot, --wal, and a socket listener");
+  Cmd.addInt("follow-deadline-ms", &FollowDeadlineMs,
+             "give up on the initial bootstrap connection after this "
+             "long (the running tail retries forever)");
   if (!Cmd.parse(Argc, Argv))
     return 1;
 
@@ -259,6 +283,42 @@ int main(int Argc, char **Argv) {
                  "scserved: --checkpoint-every requires --snapshot and "
                  "--wal\n");
     return 1;
+  }
+
+  // Follower mode: the primary's snapshot/WAL pair is the replicated
+  // unit, so the local pair and a socket listener are mandatory, and the
+  // closure/preprocess flags are ignored — the follower adopts the
+  // primary's serialized options wholesale so replayed adds take the
+  // exact same path and the states stay byte-identical.
+  std::string FollowTcp, FollowUnix;
+  if (!Follow.empty()) {
+    if (Follow.find(':') != std::string::npos)
+      FollowTcp = Follow;
+    else
+      FollowUnix = Follow;
+    if (Snapshot.empty() || WalPath.empty()) {
+      std::fprintf(stderr,
+                   "scserved: --follow requires --snapshot and --wal\n");
+      return 1;
+    }
+    if (Listen.empty() && UnixPath.empty()) {
+      std::fprintf(stderr, "scserved: --follow requires --listen or "
+                           "--unix (followers serve over sockets)\n");
+      return 1;
+    }
+    if (Closure != "worklist" || Preprocess != "none")
+      std::fprintf(stderr,
+                   "scserved: note: --closure/--preprocess are ignored "
+                   "under --follow (the primary's options are adopted)\n");
+    if (::access(Snapshot.c_str(), F_OK) != 0) {
+      Status Boot = net::ReplicationClient::coldBootstrap(
+          FollowTcp, FollowUnix, Snapshot,
+          static_cast<uint64_t>(FollowDeadlineMs));
+      if (!Boot) {
+        std::fprintf(stderr, "scserved: %s\n", Boot.toString().c_str());
+        return 1;
+      }
+    }
   }
 
   SolverBundle Bundle;
@@ -318,13 +378,15 @@ int main(int Argc, char **Argv) {
 
   Bundle.Solver->setThreads(static_cast<unsigned>(Threads));
   // Snapshots never carry the closure schedule (the loaded graph is
-  // already closed); re-arm it here so subsequent adds use it.
-  if (Closure == "wave")
+  // already closed); re-arm it here so subsequent adds use it. Followers
+  // skip both re-arms: their state must stay byte-identical to the
+  // primary's, so the options ride in with every shipped snapshot.
+  if (Closure == "wave" && Follow.empty())
     Bundle.Solver->setClosure(ClosureMode::Wave);
   // Snapshots never carry the preprocess option either; re-arm it so the
   // recorded configuration matches the flags (on a warm base the pass
   // itself never re-runs — incremental adds stay online).
-  if (Preprocess == "offline")
+  if (Preprocess == "offline" && Follow.empty())
     Bundle.Solver->setPreprocess(PreprocessMode::Offline);
   Bundle.Solver->materializeAllViews();
 
@@ -373,7 +435,27 @@ int main(int Argc, char **Argv) {
     NetOpts.IdleTimeoutMs = static_cast<uint64_t>(IdleTimeoutMs);
     NetOpts.MetricsOut = MetricsOut;
     NetOpts.MetricsEvery = static_cast<uint64_t>(MetricsEvery);
+    NetOpts.ReadOnly = !Follow.empty();
+    // A promote must stop the tail without joining it (the tail thread
+    // may be blocked inside a queued writer-lane job); requestStop only
+    // flips a flag and shuts the socket down, which is enough.
+    net::ReplicationClient *ReplPtr = nullptr;
+    if (!Follow.empty())
+      NetOpts.OnPromote = [&ReplPtr] {
+        if (ReplPtr)
+          ReplPtr->requestStop();
+      };
     net::NetServer Server(Core, NetOpts);
+    std::unique_ptr<net::ReplicationClient> Repl;
+    if (!Follow.empty()) {
+      net::ReplicationClient::Options ReplOpts;
+      ReplOpts.TcpSpec = FollowTcp;
+      ReplOpts.UnixPath = FollowUnix;
+      ReplOpts.InitialBase = Core.walBaseId();
+      ReplOpts.InitialSeq = Core.walRecords();
+      Repl = std::make_unique<net::ReplicationClient>(Server, ReplOpts);
+      ReplPtr = Repl.get();
+    }
     Status Ready = Server.init();
     if (!Ready) {
       std::fprintf(stderr, "scserved: %s\n", Ready.toString().c_str());
@@ -384,9 +466,15 @@ int main(int Argc, char **Argv) {
       Where += " tcp=" + std::to_string(Server.tcpPort());
     if (!UnixPath.empty())
       Where += " unix=" + UnixPath;
-    std::printf("ok listening%s\n", Where.c_str());
+    std::printf("ok listening%s%s\n", Where.c_str(),
+                Follow.empty() ? "" : " role=follower");
     std::fflush(stdout);
-    return Server.run();
+    if (Repl)
+      Repl->start();
+    int Exit = Server.run();
+    if (Repl)
+      Repl->stop();
+    return Exit;
   }
 
   // Stdin mode. Framing goes through net::LineBuffer so the size limit
@@ -434,7 +522,7 @@ int main(int Argc, char **Argv) {
     if (Req.Verb == "help") {
       Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
             "save PATH | checkpoint [PATH] | stats | counters | metrics | "
-            "shutdown | help | quit");
+            "verify | shutdown | help | quit");
       return true;
     }
     if (Req.Verb == "ls" || Req.Verb == "pts" || Req.Verb == "alias") {

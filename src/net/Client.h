@@ -18,7 +18,9 @@
 
 #include "support/Status.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace poce {
 namespace net {
@@ -49,12 +51,38 @@ public:
   Status connectUnix(const std::string &Path);
   bool connected() const { return Fd >= 0; }
 
+  /// Connect with jittered exponential backoff until success or
+  /// \p DeadlineMs of total waiting has elapsed (so callers stop racing
+  /// server startup with fixed sleeps). Delays start at ~25 ms, double
+  /// up to ~1 s, and carry ±50% jitter from a deterministic LCG seeded
+  /// with \p JitterSeed (0 picks a random seed). Returns the last
+  /// connect error on deadline expiry.
+  Status connectTcpWithBackoff(const std::string &HostPort,
+                               uint64_t DeadlineMs, uint64_t JitterSeed = 0);
+  Status connectUnixWithBackoff(const std::string &Path, uint64_t DeadlineMs,
+                                uint64_t JitterSeed = 0);
+
   /// Sends \p Line plus the newline terminator (handles short writes).
   Status sendLine(const std::string &Line);
 
   /// Reads one reply line (without the newline). NotFound on a clean
-  /// peer close with no buffered line.
+  /// peer close with no buffered line; Timeout when a receive timeout
+  /// (setRecvTimeoutMs) expires with no complete line.
   Status recvLine(std::string &Out);
+
+  /// Returns a buffered complete line without blocking: consumes from
+  /// Pending, topping it up with one non-blocking read first. False when
+  /// no complete line is available yet.
+  bool tryRecvLine(std::string &Out);
+
+  /// Reads exactly \p Count raw bytes (buffered bytes first) into
+  /// \p Out — the binary snapshot payload of a `replicate` bootstrap.
+  Status recvBytes(size_t Count, std::vector<uint8_t> &Out);
+
+  /// Arms SO_RCVTIMEO: a blocked recvLine returns ErrorCode::Timeout
+  /// after \p Ms milliseconds, turning a tailing read loop into a tick
+  /// (0 disarms). Applies to the current connection only.
+  Status setRecvTimeoutMs(uint64_t Ms);
 
   /// sendLine + recvLine. For multi-line replies ("ok metrics") the
   /// whole payload, newline-joined, through the "# EOF" trailer.

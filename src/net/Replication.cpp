@@ -1,0 +1,469 @@
+//===- net/Replication.cpp - Follower-side WAL tailing client -------------===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Replication.h"
+
+#include "serve/GraphSnapshot.h"
+#include "serve/ServerCore.h"
+#include "support/ByteStream.h"
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <sys/socket.h>
+#include <thread>
+
+using namespace poce;
+using namespace poce::net;
+
+namespace {
+
+uint64_t steadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Splits "verb arg1 arg2 ..." on single spaces into at most \p Max
+/// fields; the last field keeps the remainder (record payloads contain
+/// spaces).
+std::vector<std::string> splitFields(const std::string &Line, size_t Max) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Out.size() + 1 < Max) {
+    size_t Sp = Line.find(' ', Pos);
+    if (Sp == std::string::npos)
+      break;
+    Out.push_back(Line.substr(Pos, Sp - Pos));
+    Pos = Sp + 1;
+  }
+  Out.push_back(Line.substr(Pos));
+  return Out;
+}
+
+bool parseHex(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(S.c_str(), &End, 16);
+  return errno == 0 && End && *End == '\0';
+}
+
+bool parseDec(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0';
+}
+
+} // namespace
+
+ReplicationClient::ReplicationClient(NetServer &S, Options O)
+    : Server(S), Opts(std::move(O)), Base(Opts.InitialBase),
+      Seq(Opts.InitialSeq),
+      RngState(Opts.JitterSeed ? Opts.JitterSeed : std::random_device{}()) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  Connected = &R.gauge("poce_repl_connected",
+                       "1 while the follower holds a live primary link");
+  LagMs = &R.gauge("poce_repl_lag_ms",
+                   "Milliseconds since the last line from the primary");
+  LagRecords = &R.gauge(
+      "poce_repl_lag_records",
+      "Primary records (per last heartbeat) not yet applied locally");
+  Applied = &R.counter("poce_repl_records_applied_total",
+                       "Shipped WAL records applied on this follower");
+  Reconnects = &R.counter("poce_repl_reconnects_total",
+                          "Primary reconnect attempts after a lost link");
+  Bootstraps = &R.counter("poce_repl_bootstraps_total",
+                          "Snapshot bootstraps (cold start or divergence)");
+  Divergences = &R.counter(
+      "poce_repl_divergences_total",
+      "Times the follower discarded state and re-bootstrapped");
+}
+
+void ReplicationClient::start() {
+  Thread = std::thread([this] { run(); });
+}
+
+void ReplicationClient::requestStop() {
+  Stop.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(FdMutex);
+  if (ActiveFd >= 0)
+    ::shutdown(ActiveFd, SHUT_RDWR);
+}
+
+void ReplicationClient::stop() {
+  requestStop();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void ReplicationClient::sleepBackoff(unsigned Attempt) {
+  // 25 ms * 2^attempt capped at 1 s, +-50% jitter (minstd LCG step kept
+  // inline so the member state stays a plain uint64_t).
+  uint64_t BaseMs = 25u << (Attempt < 6 ? Attempt : 6);
+  if (BaseMs > 1000)
+    BaseMs = 1000;
+  RngState = (RngState * 48271u) % 2147483647u;
+  if (RngState == 0)
+    RngState = 1;
+  uint64_t Delay = BaseMs / 2 + RngState % (BaseMs + 1);
+  uint64_t End = steadyNowMs() + Delay;
+  while (!Stop.load(std::memory_order_acquire) && steadyNowMs() < End)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+Status ReplicationClient::connect(LineClient &Client) {
+  Status Connected = Opts.TcpSpec.empty() ? Client.connectUnix(Opts.UnixPath)
+                                          : Client.connectTcp(Opts.TcpSpec);
+  if (!Connected)
+    return Connected;
+  {
+    std::lock_guard<std::mutex> Lock(FdMutex);
+    ActiveFd = Client.fd();
+  }
+  // A stop may have raced the connect; re-check so the shutdown is not
+  // missed.
+  if (Stop.load(std::memory_order_acquire)) {
+    ::shutdown(Client.fd(), SHUT_RDWR);
+    return Status::error(ErrorCode::FailedPrecondition, "stopping");
+  }
+  return Client.setRecvTimeoutMs(Opts.TickMs);
+}
+
+void ReplicationClient::noteDivergence(const std::string &Why) {
+  std::fprintf(stderr,
+               "scserved: replication: diverged from the primary (%s); "
+               "re-bootstrapping\n",
+               Why.c_str());
+  Divergences->inc();
+  Base = 0;
+  Seq = 0;
+}
+
+ReplicationClient::Action ReplicationClient::applyRecords(
+    std::vector<std::pair<uint64_t, std::string>> Records) {
+  if (Records.empty())
+    return Action::Continue;
+  uint64_t Last = Records.back().first;
+  size_t Count = Records.size();
+  Status AppliedOk = Server.applyReplicatedRecords(std::move(Records));
+  if (!AppliedOk) {
+    if (Stop.load(std::memory_order_acquire) ||
+        AppliedOk.message().find("promoted") != std::string::npos) {
+      std::fprintf(stderr, "scserved: replication: stopped (%s)\n",
+                   AppliedOk.message().c_str());
+      return Action::Stopped;
+    }
+    noteDivergence("record " + std::to_string(Last) +
+                   " failed to apply: " + AppliedOk.message());
+    return Action::Reconnect;
+  }
+  Seq = Last + 1;
+  Applied->inc(Count);
+  LagRecords->set(PrimarySeq > Seq ? PrimarySeq - Seq : 0);
+  return Action::Continue;
+}
+
+ReplicationClient::Action
+ReplicationClient::handleLine(LineClient &Client, const std::string &Line) {
+  if (Line.empty())
+    return Action::Continue;
+  LastMsgMs = steadyNowMs();
+  LagMs->set(0);
+  if (Line.rfind("hb ", 0) == 0) {
+    uint64_t N = 0;
+    if (parseDec(Line.substr(3), N)) {
+      PrimarySeq = N;
+      LagRecords->set(N > Seq ? N - Seq : 0);
+    }
+    return Action::Continue;
+  }
+  if (Line.rfind("rebase ", 0) == 0) {
+    uint64_t NewBase = 0;
+    if (!parseHex(Line.substr(7), NewBase)) {
+      std::fprintf(stderr,
+                   "scserved: replication: malformed rebase line; "
+                   "reconnecting\n");
+      return Action::Reconnect;
+    }
+    Status Rebased = Server.applyReplicaRebase(NewBase);
+    if (!Rebased) {
+      if (Stop.load(std::memory_order_acquire))
+        return Action::Stopped;
+      noteDivergence("rebase to " + serve::hexId(NewBase) +
+                     " failed: " + Rebased.message());
+      return Action::Reconnect;
+    }
+    Base = NewBase;
+    Seq = 0;
+    return Action::Continue;
+  }
+  if (Line.rfind("r ", 0) == 0) {
+    // Batch consecutive records: greedily drain whatever the primary has
+    // already sent so one writer-lane round trip covers the burst.
+    std::vector<std::pair<uint64_t, std::string>> Records;
+    std::string Cur = Line;
+    std::string Carry;
+    for (;;) {
+      std::vector<std::string> F = splitFields(Cur, 3);
+      uint64_t K = 0;
+      if (F.size() != 3 || !parseDec(F[1], K)) {
+        std::fprintf(stderr,
+                     "scserved: replication: malformed record line; "
+                     "reconnecting\n");
+        return Action::Reconnect;
+      }
+      if (K >= Seq + Records.size()) {
+        if (K != Seq + Records.size()) {
+          // A gap means the stream and our cursor disagree; resync via
+          // the handshake (the cursor is still resumable).
+          std::fprintf(stderr,
+                       "scserved: replication: record gap (expected %" PRIu64
+                       ", got %" PRIu64 "); reconnecting\n",
+                       Seq + Records.size(), K);
+          return Action::Reconnect;
+        }
+        Records.emplace_back(K, F[2]);
+      } // else: duplicate of an already-applied record (handshake
+        // overlap) — skip.
+      std::string Next;
+      if (!Client.tryRecvLine(Next))
+        break;
+      if (Next.empty())
+        continue;
+      if (Next.rfind("r ", 0) != 0) {
+        Carry = Next;
+        break;
+      }
+      Cur = Next;
+    }
+    Action Applied = applyRecords(std::move(Records));
+    if (Applied != Action::Continue)
+      return Applied;
+    if (!Carry.empty())
+      return handleLine(Client, Carry);
+    return Action::Continue;
+  }
+  std::fprintf(stderr,
+               "scserved: replication: unexpected line from the primary "
+               "(%.40s); reconnecting\n",
+               Line.c_str());
+  return Action::Reconnect;
+}
+
+ReplicationClient::Action ReplicationClient::handshake(LineClient &Client) {
+  Status Sent = Client.sendLine("replicate " + serve::hexId(Base) + " " +
+                                std::to_string(Seq));
+  if (!Sent)
+    return Action::Reconnect;
+  std::string Header;
+  for (;;) {
+    Status Got = Client.recvLine(Header);
+    if (Got.ok())
+      break;
+    if (Got.code() == ErrorCode::Timeout) {
+      if (Stop.load(std::memory_order_acquire))
+        return Action::Stopped;
+      continue;
+    }
+    return Action::Reconnect;
+  }
+  std::vector<std::string> F = splitFields(Header, 4);
+  if (F.size() >= 4 && F[0] == "ok" && F[1] == "tail") {
+    uint64_t B = 0, S = 0;
+    if (!parseHex(F[2], B) || !parseDec(F[3], S) || B != Base || S != Seq) {
+      std::fprintf(stderr,
+                   "scserved: replication: tail header mismatch (%s); "
+                   "reconnecting\n",
+                   Header.c_str());
+      return Action::Reconnect;
+    }
+    std::fprintf(stderr,
+                 "scserved: replication: tailing from base=%s seq=%" PRIu64
+                 "\n",
+                 serve::hexId(Base).c_str(), Seq);
+    return Action::Continue;
+  }
+  if (F.size() >= 4 && F[0] == "ok" && F[1] == "snapshot") {
+    uint64_t B = 0, N = 0;
+    if (!parseHex(F[2], B) || !parseDec(F[3], N)) {
+      std::fprintf(stderr,
+                   "scserved: replication: malformed snapshot header; "
+                   "reconnecting\n");
+      return Action::Reconnect;
+    }
+    // The payload can dwarf one tick; widen the timeout for the bulk
+    // read, then restore the tailing cadence.
+    Client.setRecvTimeoutMs(10000);
+    std::vector<uint8_t> Bytes;
+    Status Read = Client.recvBytes(static_cast<size_t>(N), Bytes);
+    Client.setRecvTimeoutMs(Opts.TickMs);
+    if (!Read) {
+      std::fprintf(stderr,
+                   "scserved: replication: snapshot transfer failed (%s); "
+                   "reconnecting\n",
+                   Read.message().c_str());
+      return Action::Reconnect;
+    }
+    if (serve::GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size()) !=
+        B) {
+      // Corruption in transit, not divergence: the cursor is untouched so
+      // the retry asks again.
+      std::fprintf(stderr,
+                   "scserved: replication: snapshot checksum mismatch in "
+                   "transit; reconnecting\n");
+      return Action::Reconnect;
+    }
+    Status Boot = Server.applyReplicaBootstrap(std::move(Bytes), B);
+    if (!Boot) {
+      if (Stop.load(std::memory_order_acquire))
+        return Action::Stopped;
+      std::fprintf(stderr,
+                   "scserved: replication: bootstrap apply failed (%s); "
+                   "reconnecting\n",
+                   Boot.message().c_str());
+      return Action::Reconnect;
+    }
+    Base = B;
+    Seq = 0;
+    Bootstraps->inc();
+    std::fprintf(stderr,
+                 "scserved: replication: bootstrapped from the primary "
+                 "(base=%s, %" PRIu64 " bytes)\n",
+                 serve::hexId(Base).c_str(), N);
+    return Action::Continue;
+  }
+  std::fprintf(stderr,
+               "scserved: replication: handshake refused (%.80s); "
+               "retrying\n",
+               Header.c_str());
+  return Action::Reconnect;
+}
+
+void ReplicationClient::run() {
+  unsigned Attempt = 0;
+  bool Ever = false;
+  while (!Stop.load(std::memory_order_acquire)) {
+    LineClient Client;
+    Status Linked = connect(Client);
+    if (!Linked) {
+      Connected->set(0);
+      if (Stop.load(std::memory_order_acquire))
+        break;
+      if (Ever)
+        Reconnects->inc();
+      sleepBackoff(Attempt++);
+      continue;
+    }
+    Action Shook = handshake(Client);
+    if (Shook == Action::Stopped)
+      break;
+    if (Shook == Action::Reconnect) {
+      Connected->set(0);
+      {
+        std::lock_guard<std::mutex> Lock(FdMutex);
+        ActiveFd = -1;
+      }
+      if (Ever)
+        Reconnects->inc();
+      sleepBackoff(Attempt++);
+      continue;
+    }
+    Connected->set(1);
+    Attempt = 0;
+    Ever = true;
+    LastMsgMs = steadyNowMs();
+    Action Next = Action::Continue;
+    while (Next == Action::Continue && !Stop.load(std::memory_order_acquire)) {
+      std::string Line;
+      Status Got = Client.recvLine(Line);
+      if (!Got) {
+        if (Got.code() == ErrorCode::Timeout) {
+          LagMs->set(steadyNowMs() - LastMsgMs);
+          continue;
+        }
+        if (!Stop.load(std::memory_order_acquire))
+          std::fprintf(stderr,
+                       "scserved: replication: link lost (%s); "
+                       "reconnecting\n",
+                       Got.message().c_str());
+        Next = Action::Reconnect;
+        break;
+      }
+      Next = handleLine(Client, Line);
+    }
+    Connected->set(0);
+    {
+      std::lock_guard<std::mutex> Lock(FdMutex);
+      ActiveFd = -1;
+    }
+    if (Next == Action::Stopped)
+      break;
+  }
+  Connected->set(0);
+  {
+    std::lock_guard<std::mutex> Lock(FdMutex);
+    ActiveFd = -1;
+  }
+}
+
+Status ReplicationClient::coldBootstrap(const std::string &TcpSpec,
+                                        const std::string &UnixPath,
+                                        const std::string &SnapshotPath,
+                                        uint64_t DeadlineMs) {
+  if (FailPoint::hit("repl.bootstrap") == FailPoint::Mode::Error)
+    return FailPoint::injectedError("repl.bootstrap")
+        .withContext("cold bootstrap");
+  LineClient Client;
+  Status Linked =
+      TcpSpec.empty() ? Client.connectUnixWithBackoff(UnixPath, DeadlineMs)
+                      : Client.connectTcpWithBackoff(TcpSpec, DeadlineMs);
+  if (!Linked)
+    return Linked.withContext("cold bootstrap connect");
+  Status Timed = Client.setRecvTimeoutMs(DeadlineMs ? DeadlineMs : 10000);
+  if (!Timed)
+    return Timed;
+  Status Sent = Client.sendLine("replicate 0 0");
+  if (!Sent)
+    return Sent.withContext("cold bootstrap handshake");
+  std::string Header;
+  Status Got = Client.recvLine(Header);
+  if (!Got)
+    return Got.withContext("cold bootstrap handshake");
+  std::vector<std::string> F = splitFields(Header, 4);
+  if (F.size() < 4 || F[0] != "ok" || F[1] != "snapshot")
+    return Status::error(ErrorCode::Internal,
+                         "primary did not offer a snapshot: " + Header);
+  uint64_t B = 0, N = 0;
+  if (!parseHex(F[2], B) || !parseDec(F[3], N))
+    return Status::error(ErrorCode::Internal,
+                         "malformed snapshot header: " + Header);
+  std::vector<uint8_t> Bytes;
+  Status Read = Client.recvBytes(static_cast<size_t>(N), Bytes);
+  if (!Read)
+    return Read.withContext("cold bootstrap transfer");
+  if (serve::GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size()) != B)
+    return Status::error(ErrorCode::Corruption,
+                         "bootstrap snapshot checksum mismatch in transit");
+  Status Wrote = writeFileAtomic(SnapshotPath, Bytes);
+  if (!Wrote)
+    return Wrote.withContext("cold bootstrap write");
+  std::fprintf(stderr,
+               "scserved: replication: bootstrapped from the primary "
+               "(base=%s, %" PRIu64 " bytes)\n",
+               serve::hexId(B).c_str(), N);
+  return Status();
+}

@@ -1,0 +1,132 @@
+//===- net/Replication.h - Follower-side WAL tailing client -----*- C++ -*-===//
+//
+// Part of the poce project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The follower half of WAL-shipping replication: a background thread
+/// that keeps one connection to the primary, speaks the `replicate
+/// <base> <seq>` handshake, and feeds the shipped stream back into the
+/// local NetServer's writer lane.
+///
+/// The protocol it consumes (all lines from the primary):
+///
+///   ok tail <base> <seq>       resume: records [seq, N) follow
+///   ok snapshot <base> <n>     bootstrap: n raw snapshot bytes follow,
+///                              then records [0, N)
+///   r <seq> <line>             one WAL record
+///   rebase <base>              the primary checkpointed; mirror it
+///   hb <seq>                   heartbeat with the primary's live count
+///
+/// Robustness is the point: reconnects use jittered exponential backoff
+/// with a resumable (base, seq) cursor, heartbeats feed the
+/// poce_repl_lag_* staleness gauges, and any divergence — a record that
+/// fails to apply, a rebase whose locally computed base id disagrees
+/// with the primary's — resets the cursor to (0, 0) so the next
+/// handshake re-bootstraps from the primary's snapshot instead of
+/// serving wrong answers.
+///
+/// All graph mutations go through NetServer::applyReplicated* — internal
+/// writer-lane jobs — so the single-writer discipline and view
+/// republication are untouched; this thread never touches the core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POCE_NET_REPLICATION_H
+#define POCE_NET_REPLICATION_H
+
+#include "net/Client.h"
+#include "net/Server.h"
+#include "support/Metrics.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace poce {
+namespace net {
+
+class ReplicationClient {
+public:
+  struct Options {
+    std::string TcpSpec;  ///< Primary "host:port" ("" = use UnixPath).
+    std::string UnixPath; ///< Primary Unix-socket path ("" = use TCP).
+    uint64_t InitialBase = 0; ///< WAL base id after local recovery.
+    uint64_t InitialSeq = 0;  ///< WAL record count after local recovery.
+    uint64_t TickMs = 250;    ///< Receive timeout = lag-gauge cadence.
+    uint64_t JitterSeed = 0;  ///< Backoff jitter seed (0 = random).
+  };
+
+  /// Binds to \p Server (which must outlive this client). Construct
+  /// before Server.run() so the initial cursor is read while the core is
+  /// still single-threaded; nothing runs until start().
+  ReplicationClient(NetServer &Server, Options Opts);
+  ~ReplicationClient() { stop(); }
+  ReplicationClient(const ReplicationClient &) = delete;
+  ReplicationClient &operator=(const ReplicationClient &) = delete;
+
+  /// Starts the tailing thread.
+  void start();
+
+  /// Signals the thread to stop and unblocks a blocked receive by
+  /// shutting down the live socket. Does NOT join — safe to call from
+  /// the server's writer lane (the promote path), where joining could
+  /// deadlock against a queued internal job.
+  void requestStop();
+
+  /// requestStop() + join. Idempotent.
+  void stop();
+
+  /// One-shot cold bootstrap, used before the follower's engine exists:
+  /// connects (with backoff, up to \p DeadlineMs), performs a
+  /// `replicate 0 0` handshake, verifies the shipped snapshot's payload
+  /// checksum against the advertised base id, and atomically writes it
+  /// to \p SnapshotPath. The follower then loads it through the normal
+  /// startup + warm-recovery path.
+  static Status coldBootstrap(const std::string &TcpSpec,
+                              const std::string &UnixPath,
+                              const std::string &SnapshotPath,
+                              uint64_t DeadlineMs);
+
+private:
+  enum class Action : uint8_t { Continue, Reconnect, Stopped };
+
+  void run();
+  Status connect(LineClient &Client);
+  Action handshake(LineClient &Client);
+  Action handleLine(LineClient &Client, const std::string &Line);
+  Action applyRecords(
+      std::vector<std::pair<uint64_t, std::string>> Records);
+  void noteDivergence(const std::string &Why);
+  void sleepBackoff(unsigned Attempt);
+
+  NetServer &Server;
+  Options Opts;
+  uint64_t Base;       ///< Cursor: WAL base id ((0,0) forces bootstrap).
+  uint64_t Seq;        ///< Cursor: next record index expected.
+  uint64_t PrimarySeq = 0; ///< Last heartbeat's live record count.
+  uint64_t LastMsgMs = 0;  ///< Receive time of the last stream line.
+  std::atomic<bool> Stop{false};
+  std::thread Thread;
+  std::mutex FdMutex;
+  int ActiveFd = -1; ///< Live socket requestStop() may shut down.
+  uint64_t RngState; ///< Backoff jitter LCG state.
+
+  Gauge *Connected = nullptr;
+  Gauge *LagMs = nullptr;
+  Gauge *LagRecords = nullptr;
+  Counter *Applied = nullptr;
+  Counter *Reconnects = nullptr;
+  Counter *Bootstraps = nullptr;
+  Counter *Divergences = nullptr;
+};
+
+} // namespace net
+} // namespace poce
+
+#endif // POCE_NET_REPLICATION_H

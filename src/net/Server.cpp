@@ -14,6 +14,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -42,7 +43,7 @@ bool isLocalVerb(const std::string &Verb) {
 const char *helpReply() {
   return "ok commands: ls X | pts X | alias X Y | add LINE | "
          "save PATH | checkpoint [PATH] | stats | counters | metrics | "
-         "shutdown | help | quit";
+         "verify | replicate BASE SEQ | promote | shutdown | help | quit";
 }
 
 } // namespace
@@ -51,6 +52,7 @@ NetServer::NetServer(serve::ServerCore &Core, NetServerOptions InOpts)
     : Core(Core), Opts(std::move(InOpts)),
       Pool(ThreadPool::resolveThreads(Opts.Lanes)) {
   LaneSlots.resize(Pool.numLanes());
+  ReadOnlyNow.store(Opts.ReadOnly, std::memory_order_release);
 }
 
 NetServer::~NetServer() {
@@ -129,6 +131,12 @@ Status NetServer::init() {
   PublishesTotal = &R.counter("poce_net_view_publishes_total",
                               "ReadView epochs published");
   ConnsOpen = &R.gauge("poce_net_conns_open", "Connections currently open");
+  FollowersGauge = &R.gauge("poce_repl_followers",
+                            "Replica connections currently registered");
+  RecordsShipped = &R.counter("poce_repl_records_shipped_total",
+                              "WAL records streamed to replicas");
+  SnapshotsShipped = &R.counter("poce_repl_snapshots_shipped_total",
+                                "Bootstrap snapshots shipped to replicas");
   P50 = &R.gauge("poce_net_query_p50_us", "Read-lane query latency p50");
   P99 = &R.gauge("poce_net_query_p99_us", "Read-lane query latency p99");
   P999 = &R.gauge("poce_net_query_p999_us", "Read-lane query latency p999");
@@ -192,6 +200,25 @@ Status NetServer::init() {
   Publisher.publish(*View);
   PublishesTotal->inc();
   EpochGauge->set(ViewEpoch);
+
+  // Replication sink: fires on the writer thread (the core's owner once
+  // the writer starts below), staging stream events into the same
+  // ordered batch as the verb replies they interleave with.
+  serve::ReplicationSink Sink;
+  Sink.OnRecord = [this](uint64_t Seq, const std::string &Line) {
+    Completion Ev;
+    Ev.Kind = Completion::Kind::ReplRecord;
+    Ev.Seq = Seq;
+    Ev.Line = Line;
+    WriterOut.push_back(std::move(Ev));
+  };
+  Sink.OnRebase = [this](uint64_t NewBase) {
+    Completion Ev;
+    Ev.Kind = Completion::Kind::ReplRebase;
+    Ev.Base = NewBase;
+    WriterOut.push_back(std::move(Ev));
+  };
+  Core.setReplicationSink(std::move(Sink));
 
   // A fresh instance starts undrained even if a previous server in this
   // process (tests run several) was stopped via requestStop().
@@ -306,6 +333,10 @@ void NetServer::closeConn(int Fd) {
   auto It = Conns.find(Fd);
   if (It == Conns.end())
     return;
+  if (It->second.IsReplica && ReplicaCount > 0) {
+    --ReplicaCount;
+    FollowersGauge->set(ReplicaCount);
+  }
   ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
   closeFd(Fd);
   Conns.erase(It);
@@ -497,6 +528,31 @@ void NetServer::applyCompletions() {
     Ready.swap(Done);
   }
   for (Completion &Comp : Ready) {
+    if (Comp.Kind == Completion::Kind::ReplRecord) {
+      // Broadcast in completion order; the NextSeq guard skips replicas
+      // whose handshake reply already contained this record.
+      for (auto &Entry : Conns) {
+        Conn &C = Entry.second;
+        if (!C.IsReplica || Comp.Seq < C.NextSeq)
+          continue;
+        C.Out += "r " + std::to_string(Comp.Seq) + " " + Comp.Line + "\n";
+        C.NextSeq = Comp.Seq + 1;
+        RecordsShipped->inc();
+      }
+      ReplKnownSeq = Comp.Seq + 1;
+      continue;
+    }
+    if (Comp.Kind == Completion::Kind::ReplRebase) {
+      for (auto &Entry : Conns) {
+        Conn &C = Entry.second;
+        if (!C.IsReplica)
+          continue;
+        C.Out += "rebase " + serve::hexId(Comp.Base) + "\n";
+        C.NextSeq = 0;
+      }
+      ReplKnownSeq = 0;
+      continue;
+    }
     if (Comp.Shutdown)
       beginDrain();
     auto It = Conns.find(Comp.Fd);
@@ -506,6 +562,17 @@ void NetServer::applyCompletions() {
     C.AwaitingWriter = false;
     C.Out += Comp.Reply;
     C.Out += '\n';
+    if (Comp.MakeReplica) {
+      if (!C.IsReplica) {
+        ++ReplicaCount;
+        FollowersGauge->set(ReplicaCount);
+      }
+      C.IsReplica = C.LongLived = true;
+      C.NextSeq = Comp.ReplicaNextSeq;
+      C.LastHbMs = nowMs();
+      if (ReplKnownSeq < Comp.ReplicaNextSeq)
+        ReplKnownSeq = Comp.ReplicaNextSeq;
+    }
   }
 }
 
@@ -516,13 +583,37 @@ void NetServer::sweepIdle() {
   std::vector<int> Expired;
   for (auto &Entry : Conns) {
     Conn &C = Entry.second;
+    // Long-lived connections (tailing replicas) are quiet by design:
+    // they send one handshake and then only ever receive.
     bool Busy = C.AwaitingWriter || !C.Lines.empty() || !C.Out.empty();
-    if (!Busy && Now - C.LastActiveMs >= Opts.IdleTimeoutMs)
+    if (C.LongLived || Busy)
+      continue;
+    if (Now - C.LastActiveMs >= Opts.IdleTimeoutMs)
       Expired.push_back(Entry.first);
   }
   for (int Fd : Expired) {
     IdleClosedTotal->inc();
     closeConn(Fd);
+  }
+}
+
+void NetServer::heartbeatReplicas() {
+  if (ReplicaCount == 0 || Opts.HeartbeatMs == 0)
+    return;
+  uint64_t Now = nowMs();
+  std::vector<int> ToFlush;
+  for (auto &Entry : Conns) {
+    Conn &C = Entry.second;
+    if (!C.IsReplica || Now - C.LastHbMs < Opts.HeartbeatMs)
+      continue;
+    C.Out += "hb " + std::to_string(ReplKnownSeq) + "\n";
+    C.LastHbMs = Now;
+    ToFlush.push_back(Entry.first);
+  }
+  for (int Fd : ToFlush) {
+    auto It = Conns.find(Fd);
+    if (It != Conns.end())
+      flushConn(It->second);
   }
 }
 
@@ -550,7 +641,9 @@ int NetServer::run() {
   while (!(Draining && quiescent())) {
     if (GStopRequested.load(std::memory_order_acquire))
       beginDrain();
-    int TimeoutMs = Draining ? 50 : (Opts.IdleTimeoutMs ? 100 : 1000);
+    int TimeoutMs = Draining
+                        ? 50
+                        : ((Opts.IdleTimeoutMs || ReplicaCount) ? 100 : 1000);
     int N = ::epoll_wait(EpollFd, Events, 64, TimeoutMs);
     if (N < 0) {
       if (errno == EINTR)
@@ -585,6 +678,7 @@ int NetServer::run() {
     applyCompletions();
     dispatch();
     sweepIdle();
+    heartbeatReplicas();
   }
 
   // Drained: stop the writer lane, then finish the durability teardown
@@ -634,6 +728,154 @@ void NetServer::republish() {
   PublishHist->record(trace::nowMicros() - StartUs);
 }
 
+void NetServer::handleClientJob(WriterJob &Job, Completion &Comp,
+                                bool &Mutated) {
+  serve::Request Req = serve::parseRequest(Job.Line);
+  auto Err = [&Comp](const Status &St) { Comp.Reply = "err " + St.wire(); };
+  if (Req.Verb == "replicate") {
+    if (ReadOnlyNow.load(std::memory_order_acquire)) {
+      Err(Status::error(ErrorCode::FailedPrecondition,
+                        "chained replication is not supported; replicate "
+                        "from the primary"));
+      return;
+    }
+    if (Req.Arg1.empty() || Req.Arg2.empty()) {
+      Err(Status::error(ErrorCode::InvalidArgument,
+                        "usage: replicate <base_hex> <seq>"));
+      return;
+    }
+    uint64_t Base = std::strtoull(Req.Arg1.c_str(), nullptr, 16);
+    uint64_t Seq = std::strtoull(Req.Arg2.c_str(), nullptr, 10);
+    std::string Reply;
+    uint64_t NextSeq = 0;
+    bool Snapshot = false;
+    Status Built = Core.buildReplicateStream(Base, Seq, Reply, NextSeq,
+                                             Snapshot);
+    if (!Built) {
+      Err(Built);
+      return;
+    }
+    Comp.Reply = std::move(Reply);
+    Comp.MakeReplica = true;
+    Comp.ReplicaNextSeq = NextSeq;
+    if (Snapshot)
+      SnapshotsShipped->inc();
+    return;
+  }
+  if (Req.Verb == "promote") {
+    if (!Opts.ReadOnly) {
+      Err(Status::error(ErrorCode::FailedPrecondition,
+                        "this server is already the primary"));
+      return;
+    }
+    if (!ReadOnlyNow.load(std::memory_order_acquire)) {
+      Err(Status::error(ErrorCode::FailedPrecondition,
+                        "already promoted"));
+      return;
+    }
+    Expected<uint64_t> Base = Core.promote();
+    if (!Base.ok()) {
+      Err(Base.status());
+      return;
+    }
+    // Writable from this job on; in-flight replicated applies behind us
+    // in the queue are refused, and OnPromote tells the driver to stop
+    // its replication client (without joining it here — it may itself be
+    // blocked on a queued internal job).
+    ReadOnlyNow.store(false, std::memory_order_release);
+    if (Opts.OnPromote)
+      Opts.OnPromote();
+    Comp.Reply = "ok promoted base=" + serve::hexId(*Base);
+    return;
+  }
+  if (ReadOnlyNow.load(std::memory_order_acquire) &&
+      (Req.Verb == "add" || Req.Verb == "save" ||
+       Req.Verb == "checkpoint")) {
+    Err(Status::error(ErrorCode::ReadOnly,
+                      "this server is a read-only follower; write to the "
+                      "primary or promote this one"));
+    return;
+  }
+  if (!Core.handleWriterVerb(Req, Comp.Reply))
+    Comp.Reply = "err " + Status::error(ErrorCode::InvalidArgument,
+                                        "unknown verb '" + Req.Verb +
+                                            "'; try help")
+                              .wire();
+  if (Req.Verb == "add" && Comp.Reply == "ok added")
+    Mutated = true;
+  if (Core.shutdownRequested())
+    Comp.Shutdown = true;
+}
+
+Status NetServer::runInternalJob(WriterJob &Job, bool &Mutated) {
+  // A promoted follower owns its own WAL lifetime; late stream traffic
+  // from the old primary must not be applied over it.
+  if (Opts.ReadOnly && !ReadOnlyNow.load(std::memory_order_acquire))
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "promoted; replicated applies are refused");
+  switch (Job.Kind) {
+  case WriterJob::Kind::ReplApply:
+    for (auto &Rec : Job.Records) {
+      Status Applied = Core.applyReplicated(Rec.second);
+      if (!Applied)
+        return Applied.withContext("record " + std::to_string(Rec.first));
+      Mutated = true;
+    }
+    return Status();
+  case WriterJob::Kind::ReplRebase:
+    return Core.replicaRebase(Job.Base);
+  case WriterJob::Kind::ReplBootstrap: {
+    Status Reset = Core.rebootstrap(Job.Bytes, Job.Base);
+    if (Reset.ok())
+      Mutated = true;
+    return Reset;
+  }
+  case WriterJob::Kind::Client:
+    break;
+  }
+  return Status::error(ErrorCode::Internal, "bad internal job kind");
+}
+
+Status NetServer::submitInternal(WriterJob Job) {
+  auto Wait = std::make_shared<InternalWait>();
+  Job.Wait = Wait;
+  {
+    std::lock_guard<std::mutex> Lock(WriterMutex);
+    if (WriterStop)
+      return Status::error(ErrorCode::FailedPrecondition,
+                           "server is stopping");
+    Jobs.push_back(std::move(Job));
+  }
+  WriterCv.notify_one();
+  std::unique_lock<std::mutex> Lock(Wait->M);
+  Wait->Cv.wait(Lock, [&] { return Wait->Done; });
+  return Wait->Result;
+}
+
+Status NetServer::applyReplicatedRecords(
+    std::vector<std::pair<uint64_t, std::string>> Records) {
+  WriterJob Job;
+  Job.Kind = WriterJob::Kind::ReplApply;
+  Job.Records = std::move(Records);
+  return submitInternal(std::move(Job));
+}
+
+Status NetServer::applyReplicaRebase(uint64_t NewBase) {
+  WriterJob Job;
+  Job.Kind = WriterJob::Kind::ReplRebase;
+  Job.Base = NewBase;
+  return submitInternal(std::move(Job));
+}
+
+Status NetServer::applyReplicaBootstrap(std::vector<uint8_t> Bytes,
+                                        uint64_t Base) {
+  WriterJob Job;
+  Job.Kind = WriterJob::Kind::ReplBootstrap;
+  Job.Bytes = std::move(Bytes);
+  Job.Base = Base;
+  return submitInternal(std::move(Job));
+}
+
 void NetServer::writerLoop() {
   for (;;) {
     std::vector<WriterJob> Batch;
@@ -649,24 +891,22 @@ void NetServer::writerLoop() {
       WriterBusy = true;
     }
 
-    std::vector<Completion> Out;
-    Out.reserve(Batch.size());
+    // WriterOut collects this batch's verb replies interleaved (in
+    // order) with the replication events the core's sink emits while
+    // the handlers run.
+    WriterOut.clear();
+    std::vector<std::pair<std::shared_ptr<InternalWait>, Status>> Notify;
     bool Mutated = false;
-    bool SawShutdown = false;
     for (WriterJob &Job : Batch) {
-      serve::Request Req = serve::parseRequest(Job.Line);
+      if (Job.Kind != WriterJob::Kind::Client) {
+        Status Internal = runInternalJob(Job, Mutated);
+        Notify.emplace_back(Job.Wait, std::move(Internal));
+        continue;
+      }
       Completion Comp;
       Comp.Fd = Job.Fd;
       Comp.Gen = Job.Gen;
-      if (!Core.handleWriterVerb(Req, Comp.Reply))
-        Comp.Reply = "err " + Status::error(ErrorCode::InvalidArgument,
-                                            "unknown verb '" + Req.Verb +
-                                                "'; try help")
-                                  .wire();
-      if (Req.Verb == "add" && Comp.Reply == "ok added")
-        Mutated = true;
-      if (Core.shutdownRequested())
-        SawShutdown = Comp.Shutdown = true;
+      handleClientJob(Job, Comp, Mutated);
       ++WriterOps;
       if (!Opts.MetricsOut.empty() && Opts.MetricsEvery > 0 &&
           WriterOps % Opts.MetricsEvery == 0) {
@@ -675,19 +915,31 @@ void NetServer::writerLoop() {
           std::fprintf(stderr, "scserved: metrics dump failed: %s\n",
                        Dumped.toString().c_str());
       }
-      Out.push_back(std::move(Comp));
+      WriterOut.push_back(std::move(Comp));
     }
     // Ack-after-publish: the epoch containing this batch's additions is
-    // visible to every reader before any `ok added` goes out, so a
-    // client that saw the ack reads its own write.
+    // visible to every reader before any `ok added` goes out (and before
+    // any replicated-apply waiter resumes), so a client that saw the ack
+    // reads its own write.
     if (Mutated)
       republish();
 
     {
       std::lock_guard<std::mutex> Lock(WriterMutex);
-      for (Completion &Comp : Out)
+      for (Completion &Comp : WriterOut)
         Done.push_back(std::move(Comp));
       WriterBusy = false;
+    }
+    WriterOut.clear();
+    for (auto &Entry : Notify) {
+      if (!Entry.first)
+        continue;
+      {
+        std::lock_guard<std::mutex> Lock(Entry.first->M);
+        Entry.first->Result = std::move(Entry.second);
+        Entry.first->Done = true;
+      }
+      Entry.first->Cv.notify_all();
     }
     uint64_t One = 1;
     (void)!::write(WakeFd, &One, sizeof(One));
@@ -695,6 +947,5 @@ void NetServer::writerLoop() {
     // connections enqueue during the drain still need completions (the
     // closed WAL makes further adds refuse on its own). The loop thread
     // stops the lane once the drain reaches quiescence.
-    (void)SawShutdown;
   }
 }

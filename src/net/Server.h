@@ -42,14 +42,17 @@
 #include "support/Status.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace poce {
@@ -63,11 +66,33 @@ struct NetServerOptions {
   uint64_t IdleTimeoutMs = 0;    ///< Close idle connections (0 = never).
   std::string MetricsOut;        ///< JSON registry dump path ("" = off).
   uint64_t MetricsEvery = 64;    ///< Writer ops between dumps.
+  /// Start as a read-only follower: add/save/checkpoint answer
+  /// `err read_only` until a `promote` verb flips the server writable.
+  bool ReadOnly = false;
+  /// Cadence of `hb <seq>` heartbeats to registered replica
+  /// connections (0 = no heartbeats).
+  uint64_t HeartbeatMs = 500;
+  /// Invoked (on the writer thread) when a `promote` verb succeeds, so
+  /// the driver can stop its replication client.
+  std::function<void()> OnPromote;
 };
 
 /// One serving process front end. Lifecycle: construct, init() (binds
 /// listeners, publishes the startup view, starts the writer thread),
 /// run() (blocks until `shutdown` or requestStop()), destruct.
+///
+/// Replication rides the same machinery. On a primary, a `replicate
+/// <base> <seq>` handshake (writer lane) answers with a snapshot or a
+/// record tail and flags the connection as a long-lived replica; the
+/// core's ReplicationSink then turns every subsequent WAL append into an
+/// `r <seq> <line>` event and every base re-stamp into a `rebase <base>`
+/// event, staged in the same writer-ordered completion queue so a
+/// replica never misses or double-sees a record, with `hb <seq>`
+/// heartbeats from the loop thread in between. On a follower (ReadOnly),
+/// the driver's ReplicationClient feeds the shipped stream back in
+/// through applyReplicatedRecords/applyReplicaRebase/
+/// applyReplicaBootstrap — internal writer jobs, so the single-writer
+/// discipline and ack-after-publish hold for replicated applies too.
 class NetServer {
 public:
   NetServer(serve::ServerCore &Core, NetServerOptions Opts);
@@ -91,6 +116,22 @@ public:
   /// replies, closes the WAL, and run() returns 0.
   static void requestStop();
 
+  /// \name Follower-side entry points (ReplicationClient thread)
+  /// Synchronous: each enqueues an internal writer job and blocks until
+  /// the writer lane has processed it (and republished the read view, so
+  /// an acked apply is visible to every subsequent query). Refused once
+  /// the server is promoted or stopping.
+  /// @{
+  Status applyReplicatedRecords(
+      std::vector<std::pair<uint64_t, std::string>> Records);
+  Status applyReplicaRebase(uint64_t NewBase);
+  Status applyReplicaBootstrap(std::vector<uint8_t> Bytes, uint64_t Base);
+  /// @}
+
+  /// True until a `promote` verb flips a ReadOnly server writable
+  /// (always false for primaries).
+  bool readOnly() const { return ReadOnlyNow.load(std::memory_order_acquire); }
+
 private:
   struct Conn {
     int Fd = -1;
@@ -103,6 +144,12 @@ private:
     bool WantWrite = false;      ///< EPOLLOUT is armed.
     bool PeerClosed = false;     ///< Read side saw EOF.
     bool CloseAfterFlush = false;
+    /// Exempt from the idle sweep: a quiet tailing follower is healthy,
+    /// not abandoned.
+    bool LongLived = false;
+    bool IsReplica = false; ///< Receives r/rebase/hb stream events.
+    uint64_t NextSeq = 0;   ///< Next record index this replica expects.
+    uint64_t LastHbMs = 0;  ///< Last heartbeat (or registration) time.
     uint64_t LastActiveMs = 0;
 
     explicit Conn(size_t MaxLine) : In(MaxLine) {}
@@ -121,17 +168,49 @@ private:
     bool Errored = false;
   };
 
+  /// Completion latch for the synchronous follower-side entry points.
+  struct InternalWait {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Done = false;
+    Status Result;
+  };
+
   struct WriterJob {
+    enum class Kind : uint8_t {
+      Client,        ///< A verb line from a connection.
+      ReplApply,     ///< Records: apply shipped (seq, line) records.
+      ReplRebase,    ///< Base: mirror a primary checkpoint.
+      ReplBootstrap, ///< Bytes+Base: replace state with a snapshot.
+    };
+    Kind Kind = Kind::Client;
     int Fd = 0;
     uint64_t Gen = 0;
     std::string Line;
+    std::vector<std::pair<uint64_t, std::string>> Records;
+    std::vector<uint8_t> Bytes;
+    uint64_t Base = 0;
+    std::shared_ptr<InternalWait> Wait; ///< Set for non-Client kinds.
   };
 
   struct Completion {
+    enum class Kind : uint8_t {
+      Reply,      ///< A verb reply for one connection.
+      ReplRecord, ///< Broadcast `r <Seq> <Line>` to replicas.
+      ReplRebase, ///< Broadcast `rebase <Base>` to replicas.
+    };
+    Kind Kind = Kind::Reply;
     int Fd = 0;
     uint64_t Gen = 0;
     std::string Reply;
     bool Shutdown = false; ///< The job was a handled `shutdown` verb.
+    /// Reply to a successful `replicate` handshake: flag the connection
+    /// as a long-lived replica expecting record ReplicaNextSeq next.
+    bool MakeReplica = false;
+    uint64_t ReplicaNextSeq = 0;
+    uint64_t Seq = 0;  ///< ReplRecord: record index.
+    uint64_t Base = 0; ///< ReplRebase: the re-stamped base id.
+    std::string Line;  ///< ReplRecord: the record payload.
   };
 
   // Event-loop internals (loop thread only).
@@ -145,6 +224,7 @@ private:
   void mergeLaneStats();
   void applyCompletions();
   void sweepIdle();
+  void heartbeatReplicas();
   bool quiescent() const;
   void beginDrain();
   uint64_t nowMs() const;
@@ -152,6 +232,9 @@ private:
   // Writer thread.
   void writerLoop();
   void republish();
+  void handleClientJob(WriterJob &Job, Completion &Comp, bool &Mutated);
+  Status runInternalJob(WriterJob &Job, bool &Mutated);
+  Status submitInternal(WriterJob Job);
 
   serve::ServerCore &Core;
   NetServerOptions Opts;
@@ -163,6 +246,9 @@ private:
   std::map<int, Conn> Conns;
   uint64_t NextGen = 1;
   bool Draining = false;
+  size_t ReplicaCount = 0;   ///< Registered replica connections.
+  uint64_t ReplKnownSeq = 0; ///< Live record count advertised in `hb`.
+  std::atomic<bool> ReadOnlyNow{false};
 
   ViewPublisher Publisher;
   ThreadPool Pool;
@@ -179,6 +265,11 @@ private:
   std::thread Writer;
   uint64_t WriterOps = 0;   ///< Writer-thread-local dump cadence count.
   uint64_t ViewEpoch = 0;   ///< Writer-thread-local epoch counter.
+  /// Writer-thread-local staging for the in-flight batch: verb replies
+  /// and the replication events the core's sink emits between them, in
+  /// one generation-ordered sequence (a replica registered mid-batch
+  /// sees exactly the events after its handshake).
+  std::vector<Completion> WriterOut;
 
   // Metrics (registered in init; references are process-stable).
   Histogram *LatencyHist = nullptr;
@@ -195,6 +286,9 @@ private:
   Gauge *P99 = nullptr;
   Gauge *P999 = nullptr;
   Gauge *EpochGauge = nullptr;
+  Gauge *FollowersGauge = nullptr;
+  Counter *RecordsShipped = nullptr;
+  Counter *SnapshotsShipped = nullptr;
   std::vector<Counter *> LaneQueryCounters;
 };
 

@@ -232,6 +232,26 @@ Status QueryEngine::rollback() {
   return Status();
 }
 
+Status QueryEngine::resetFromSnapshot(const uint8_t *Data, size_t Size) {
+  SolverBundle Rebuilt;
+  Status Load = GraphSnapshot::deserialize(Data, Size, Rebuilt);
+  if (!Load)
+    return Load.withContext("rebuilding from replacement snapshot");
+  ConstraintSystemFile Adopted;
+  Status Adopt = Adopted.adoptDeclarations(*Rebuilt.Solver);
+  if (!Adopt)
+    return Adopt.withContext("adopting replacement snapshot declarations");
+  Bundle = std::move(Rebuilt);
+  System = std::move(Adopted);
+  Cache.clear();
+  AcceptedLines.clear();
+  BaseBytes.assign(Data, Data + Size);
+  RollbackArmed = true;
+  Valid = true;
+  InitError.clear();
+  return Status();
+}
+
 Status QueryEngine::checkpointBase() {
   if (!Valid)
     return Status::error(ErrorCode::FailedPrecondition,

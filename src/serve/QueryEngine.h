@@ -143,6 +143,14 @@ public:
   /// (rollback stays armed on the previous base in that case).
   Status checkpointBase();
 
+  /// Replaces the engine's entire state with the graph deserialized from
+  /// \p Data — cache and journal cleared, rollback re-armed on the new
+  /// base. The snapshot's recorded solver options are adopted wholesale
+  /// (no live re-arm): a replication follower re-bootstrapping from its
+  /// primary must end up bit-identical to it, down to the serialized
+  /// option and counter words. Leaves the engine untouched on failure.
+  Status resetFromSnapshot(const uint8_t *Data, size_t Size);
+
   /// Constraint lines accepted since the last checkpointBase().
   const std::vector<std::string> &journal() const { return AcceptedLines; }
 

@@ -11,6 +11,7 @@
 #include "support/FailPoint.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -109,6 +110,37 @@ Status ServerCore::serializeState(std::vector<uint8_t> &Bytes,
   return Status();
 }
 
+uint64_t ServerCore::canonicalChecksum() {
+  const ConstraintSolver &Solver = Engine.solver();
+  uint32_t NumVars = Solver.numVars();
+  std::vector<std::string> Lines;
+  Lines.reserve(NumVars);
+  for (uint32_t V = 0; V != NumVars; ++V) {
+    // Copy before sorting: ls() hands back a reference into the view
+    // cache, and item order follows internal term ids, which legitimately
+    // differ across a serialize/load round trip.
+    std::vector<std::string> Items = Engine.ls(V);
+    std::sort(Items.begin(), Items.end());
+    std::string Line = Solver.varName(V);
+    Line += '=';
+    for (const std::string &Item : Items) {
+      Line += Item;
+      Line += ',';
+    }
+    Lines.push_back(std::move(Line));
+  }
+  // Sorted so the hash is independent of variable-id assignment order.
+  std::sort(Lines.begin(), Lines.end());
+  uint64_t Hash = 14695981039346656037ULL;
+  for (const std::string &Line : Lines) {
+    Hash = fnv1a64(reinterpret_cast<const uint8_t *>(Line.data()),
+                   Line.size(), Hash);
+    uint8_t Sep = '\n';
+    Hash = fnv1a64(&Sep, 1, Hash);
+  }
+  return Hash;
+}
+
 Status ServerCore::saveSnapshot(const std::string &Path, size_t &SizeOut,
                                 uint64_t &ChecksumOut) {
   if (FailPoint::hit("snapshot.save") != FailPoint::Mode::Off)
@@ -165,6 +197,8 @@ Status ServerCore::doCheckpoint(const std::string &Path) {
                St.message());
     return St.withContext("checkpoint");
   }
+  if (Wal.isOpen() && Repl.OnRebase)
+    Repl.OnRebase(NewBase);
   // A checkpointBase failure is benign for durability: the engine just
   // keeps its older rollback base plus the full journal, which still
   // restores the current state; the WAL stays live.
@@ -205,6 +239,8 @@ Expected<uint64_t> ServerCore::save(const std::string &Path) {
                  Reset.message());
       return Reset.withContext("save");
     }
+    if (Repl.OnRebase)
+      Repl.OnRebase(Checksum);
     Status Based = Engine.checkpointBase();
     if (!Based)
       return Based.withContext("save");
@@ -249,6 +285,8 @@ Status ServerCore::addLine(const std::string &Line) {
     return Added;
   }
   ++AddsSinceCheckpoint;
+  if (Wal.isOpen() && Repl.OnRecord)
+    Repl.OnRecord(Wal.records() - 1, Line);
   if (Config.CheckpointEvery > 0 &&
       AddsSinceCheckpoint >= Config.CheckpointEvery) {
     Status Done = doCheckpoint(Config.SnapshotPath);
@@ -259,6 +297,165 @@ Status ServerCore::addLine(const std::string &Line) {
                    Done.toString().c_str());
   }
   return Status();
+}
+
+Status ServerCore::buildReplicateStream(uint64_t FollowerBase,
+                                        uint64_t FollowerSeq,
+                                        std::string &Reply, uint64_t &NextSeq,
+                                        bool &SnapshotShipped) {
+  SnapshotShipped = false;
+  if (!walArmed() || Config.SnapshotPath.empty())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "replication needs --snapshot and --wal on the "
+                         "primary");
+  if (walDegraded())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "WAL is disabled after a failed checkpoint; "
+                         "restart to recover");
+  if (FailPoint::hit("repl.ship") != FailPoint::Mode::Off)
+    return FailPoint::injectedError("repl.ship");
+  // The disk snapshot must embody the WAL's base id before either arm
+  // makes sense: a fresh .scs start has no snapshot file yet, and a
+  // replaced file would ship bytes the log does not extend. A checkpoint
+  // brings the pair in sync atomically (and re-stamps the base id, which
+  // followers see as a rebase). Base id 0 always checkpoints first: it
+  // stamps a fresh-.scs base, not a content identity, so two servers
+  // both at 0 could still hold arbitrarily different states — a
+  // follower's (0, 0) cursor must never read as a matching tail.
+  if (Wal.baseId() == 0 ||
+      snapshotFileChecksum(Config.SnapshotPath) != Wal.baseId()) {
+    Status Synced = doCheckpoint(Config.SnapshotPath);
+    if (!Synced)
+      return Synced.withContext("replicate: syncing the disk snapshot");
+  }
+  const uint64_t Base = Wal.baseId();
+  const uint64_t Records = Wal.records();
+  const bool Tail = FollowerBase == Base && FollowerSeq <= Records;
+  const uint64_t From = Tail ? FollowerSeq : 0;
+
+  std::vector<std::string> Lines;
+  if (Records > From) {
+    // The live WriteAheadLog keeps offsets, not payloads; its own file is
+    // the canonical copy (every record is written before it is acked).
+    Expected<WalContents> Contents = WriteAheadLog::replay(Config.WalPath);
+    if (!Contents.ok())
+      return Contents.status().withContext("replicate: reading the live "
+                                           "WAL");
+    if (Contents->BaseId != Base || Contents->Lines.size() < Records)
+      return Status::error(ErrorCode::Internal,
+                           "live WAL disagrees with its own file");
+    Lines.assign(Contents->Lines.begin() + static_cast<ptrdiff_t>(From),
+                 Contents->Lines.begin() + static_cast<ptrdiff_t>(Records));
+  }
+
+  if (Tail) {
+    Reply = "ok tail " + hexId(Base) + " " + std::to_string(From);
+  } else {
+    std::vector<uint8_t> Bytes;
+    std::string Error;
+    if (!readFileBytes(Config.SnapshotPath, Bytes, &Error))
+      return Status::error(ErrorCode::IoError,
+                           "replicate: reading the disk snapshot: " + Error);
+    if (GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size()) != Base)
+      return Status::error(ErrorCode::Internal,
+                           "disk snapshot changed under the replicate "
+                           "handshake");
+    Reply = "ok snapshot " + hexId(Base) + " " + std::to_string(Bytes.size());
+    Reply += '\n';
+    Reply.append(reinterpret_cast<const char *>(Bytes.data()), Bytes.size());
+    SnapshotShipped = true;
+  }
+  for (size_t I = 0; I != Lines.size(); ++I)
+    Reply += "\nr " + std::to_string(From + I) + " " + Lines[I];
+  NextSeq = Records;
+  return Status();
+}
+
+Status ServerCore::applyReplicated(const std::string &Line) {
+  if (Line.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "replicated record is empty");
+  if (!Wal.isOpen())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "follower WAL is not open");
+  if (FailPoint::hit("repl.apply") != FailPoint::Mode::Off)
+    return FailPoint::injectedError("repl.apply");
+  // Same pipeline as addLine — validate, append + fsync, apply — except
+  // budgets are off around the apply: the line fit the primary's budgets
+  // when it was first accepted, and a follower that re-aborts it has
+  // diverged, not been protected.
+  Status Checked = Engine.checkConstraint(Line);
+  if (!Checked)
+    return Checked.withContext("replicated line rejected");
+  uint64_t WalMark = Wal.sizeBytes();
+  Status Logged = Wal.append(Line);
+  if (!Logged)
+    return Logged;
+  Engine.solver().setBudgets(0, 0, 0);
+  Status Added = Engine.addConstraint(Line);
+  Engine.solver().setBudgets(Config.DeadlineMs, Config.EdgeBudget,
+                             Config.MaxMemBytes);
+  if (!Added) {
+    Status Undone = Wal.truncateTo(WalMark);
+    if (!Undone)
+      return Undone.withContext("unlogging rejected replicated line");
+    return Added;
+  }
+  ++AddsSinceCheckpoint;
+  if (Repl.OnRecord)
+    Repl.OnRecord(Wal.records() - 1, Line);
+  return Status();
+}
+
+Status ServerCore::replicaRebase(uint64_t ExpectedBase) {
+  Status Done = doCheckpoint(Config.SnapshotPath);
+  if (!Done)
+    return Done.withContext("follower checkpoint at rebase");
+  if (Wal.baseId() != ExpectedBase)
+    return Status::error(ErrorCode::Corruption,
+                         "diverged from the primary: local checkpoint "
+                         "base " +
+                             hexId(Wal.baseId()) +
+                             " != announced base " + hexId(ExpectedBase));
+  return Status();
+}
+
+Status ServerCore::rebootstrap(const std::vector<uint8_t> &Bytes,
+                               uint64_t Base) {
+  if (!walArmed() || Config.SnapshotPath.empty())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "bootstrap needs --snapshot and --wal");
+  if (GraphSnapshot::payloadChecksum(Bytes.data(), Bytes.size()) != Base)
+    return Status::error(ErrorCode::Corruption,
+                         "shipped snapshot does not match the advertised "
+                         "base id " +
+                             hexId(Base));
+  Status Reset = Engine.resetFromSnapshot(Bytes.data(), Bytes.size());
+  if (!Reset)
+    return Reset.withContext("bootstrap");
+  Status Written = writeFileAtomic(Config.SnapshotPath, Bytes);
+  if (!Written)
+    return Written.withContext("persisting the bootstrap snapshot");
+  Wal.close();
+  Status Opened = Wal.open(Config.WalPath, Base);
+  if (!Opened)
+    return Opened.withContext("re-opening the follower WAL");
+  // open() keeps records whose base happens to match; they predate this
+  // bootstrap, so truncate to an empty log at the new base.
+  Status Stamped = Wal.reset(Base);
+  if (!Stamped)
+    return Stamped.withContext("re-stamping the follower WAL");
+  AddsSinceCheckpoint = 0;
+  if (Repl.OnRebase)
+    Repl.OnRebase(Base);
+  return Status();
+}
+
+Expected<uint64_t> ServerCore::promote() {
+  Status Done = checkpoint(std::string());
+  if (!Done)
+    return Done.withContext("promote");
+  return Wal.baseId();
 }
 
 telemetry::ServerCounters ServerCore::counters() const {
@@ -325,6 +522,16 @@ bool ServerCore::handleWriterVerb(const Request &Req, std::string &Reply) {
       return true;
     }
     Reply = "ok added";
+    return true;
+  }
+  if (Req.Verb == "verify") {
+    // Consistency check across a replication pair: both sides hash every
+    // variable's rendered least solution (canonicalChecksum) and compare.
+    // Serialized bytes would be the wrong signal here — see the method
+    // comment in ServerCore.h.
+    Reply = "ok verify checksum=" + hexId(canonicalChecksum()) +
+            " base=" + hexId(Wal.baseId()) +
+            " records=" + std::to_string(Wal.records());
     return true;
   }
   if (Req.Verb == "shutdown") {

@@ -35,10 +35,23 @@
 #include "support/Status.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace poce {
 namespace serve {
+
+/// Lower-case hex rendering of a 64-bit id — the wire spelling of WAL
+/// base ids and payload checksums in the replication verbs (`replicate`,
+/// `rebase`, `verify`, `promote`). Parse with strtoull(.., 16).
+inline std::string hexId(uint64_t Value) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%llx",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
 
 /// One parsed request line: a verb, up to two whitespace-split arguments,
 /// and the raw remainder after the verb (which preserves the spacing of
@@ -59,6 +72,18 @@ struct ServerCoreConfig {
   uint64_t DeadlineMs = 0;      ///< Per-add closure deadline (0 = none).
   uint64_t EdgeBudget = 0;      ///< Per-add closure edge budget (0 = none).
   uint64_t MaxMemBytes = 0;     ///< Per-add RSS bound (0 = none).
+};
+
+/// Primary-side replication hooks, installed by the socket server's
+/// writer lane. OnRecord fires after every durable, applied WAL append
+/// (\p Seq is the record's index in the live log); OnRebase fires after
+/// every WAL base-id re-stamp (checkpoints, and saves promoted to
+/// checkpoints). Both run on the thread that owns the core, in event
+/// order — a record event always precedes the rebase of the checkpoint
+/// that absorbed it.
+struct ReplicationSink {
+  std::function<void(uint64_t Seq, const std::string &Line)> OnRecord;
+  std::function<void(uint64_t NewBase)> OnRebase;
 };
 
 class ServerCore {
@@ -144,6 +169,71 @@ public:
   Status serializeState(std::vector<uint8_t> &Bytes,
                         uint64_t *ChecksumOut = nullptr);
 
+  /// Canonical state checksum for the `verify` verb: a hash over every
+  /// variable's rendered least solution, with items and variables sorted.
+  /// Deliberately NOT the serialized-byte checksum — a live primary and a
+  /// load-and-replay follower may collapse cycles onto different (equally
+  /// valid) representatives, so byte identity is the wrong convergence
+  /// signal; answer identity is the claim replication actually makes.
+  /// Writer-lane only (renders through the engine's view cache).
+  uint64_t canonicalChecksum();
+
+  /// \name Replication (primary side)
+  /// @{
+
+  /// Installs (or clears) the hooks that observe WAL appends and base-id
+  /// re-stamps. Owner-thread only, like every other mutation.
+  void setReplicationSink(ReplicationSink Sink) { Repl = std::move(Sink); }
+
+  uint64_t walBaseId() const { return Wal.baseId(); }
+  uint64_t walRecords() const { return Wal.records(); }
+
+  /// Builds the full `replicate <base> <seq>` handshake reply: the header
+  /// line plus every catch-up record the follower is missing. When the
+  /// follower's (base, seq) cursor matches the live log the reply is
+  /// `ok tail <base> <seq>` followed by records [seq, N); otherwise the
+  /// disk snapshot is shipped inline — `ok snapshot <base> <nbytes>`, a
+  /// newline, the raw snapshot bytes, then records [0, N). If the disk
+  /// snapshot does not embody the WAL's base id yet (fresh .scs start, or
+  /// a snapshot someone replaced), a checkpoint first brings the pair in
+  /// sync. \p NextSeq receives the follower's post-catch-up cursor (the
+  /// live record count); \p SnapshotShipped reports which arm was taken.
+  /// Requires --snapshot and --wal; refused while the WAL is degraded.
+  Status buildReplicateStream(uint64_t FollowerBase, uint64_t FollowerSeq,
+                              std::string &Reply, uint64_t &NextSeq,
+                              bool &SnapshotShipped);
+  /// @}
+
+  /// \name Replication (follower side)
+  /// @{
+
+  /// Applies one line shipped by the primary: validate, WAL-append +
+  /// fsync, apply with budgets disabled (the line already fit the
+  /// primary's budgets; re-aborting here would be divergence, not
+  /// protection). No auto-checkpoint — the primary's rebase events drive
+  /// the follower's checkpoint cadence. Any failure after validation is
+  /// divergence; the caller must re-bootstrap rather than keep serving.
+  Status applyReplicated(const std::string &Line);
+
+  /// Mirrors a primary checkpoint: checkpoints locally, then requires the
+  /// freshly stamped base id to equal \p ExpectedBase (the id the primary
+  /// announced). A mismatch is returned as Corruption — the follower has
+  /// diverged — but the local (snapshot, WAL) pair stays self-consistent.
+  Status replicaRebase(uint64_t ExpectedBase);
+
+  /// Replaces the whole engine state with a snapshot shipped by the
+  /// primary, then persists the new pair: snapshot file first, WAL
+  /// re-stamped (empty) at \p Base second, so a crash between the two
+  /// leaves only a stale log that recovery already knows to skip.
+  Status rebootstrap(const std::vector<uint8_t> &Bytes, uint64_t Base);
+
+  /// Failover: re-stamps the WAL base id via a checkpoint to the startup
+  /// snapshot path and returns the new base. The caller owns flipping its
+  /// read-only gate; state is unchanged (a checkpoint only re-anchors
+  /// durability).
+  Expected<uint64_t> promote();
+  /// @}
+
 private:
   /// Atomic snapshot write shared by save and checkpoint; SizeOut and
   /// ChecksumOut are set as soon as serialization succeeds, even if the
@@ -158,6 +248,7 @@ private:
   QueryEngine Engine;
   ServerCoreConfig Config;
   WriteAheadLog Wal;
+  ReplicationSink Repl;
   uint64_t WalReplayed = 0;
   uint64_t WalSkipped = 0;
   uint64_t Checkpoints = 0;

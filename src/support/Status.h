@@ -43,6 +43,8 @@ enum class ErrorCode : uint8_t {
   TooLarge,           ///< Request exceeds a configured size limit.
   BudgetExceeded,     ///< Deadline/edge/memory budget breached mid-solve.
   FailedPrecondition, ///< Operation not legal in the current state.
+  ReadOnly,           ///< Write refused: this server is a follower.
+  Timeout,            ///< A blocking call hit its configured time limit.
   Internal,           ///< Invariant held by code, not input, was violated.
 };
 
@@ -68,6 +70,10 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "budget_exceeded";
   case ErrorCode::FailedPrecondition:
     return "failed_precondition";
+  case ErrorCode::ReadOnly:
+    return "read_only";
+  case ErrorCode::Timeout:
+    return "timeout";
   case ErrorCode::Internal:
     return "internal";
   }

@@ -22,14 +22,17 @@
 #include "net/Client.h"
 #include "net/Framing.h"
 #include "net/LaneStats.h"
+#include "net/Replication.h"
 #include "net/Server.h"
 #include "net/Socket.h"
 #include "serve/ServerCore.h"
+#include "support/PRNG.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
@@ -506,6 +509,359 @@ TEST(NetServerTest, ConcurrentReadersSeeOnlyPublishedViews) {
   EXPECT_EQ(parseSet(ask(C, "ls V")).size(),
             static_cast<size_t>(NumAdds) + 1);
   EXPECT_EQ(S.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Client connect backoff
+//===----------------------------------------------------------------------===//
+
+// The satellite contract for scripts: a connect with backoff outwaits a
+// listener that appears late, so harnesses stop racing server startup
+// with fixed sleeps.
+TEST(NetClientTest, ConnectBackoffOutwaitsLateListener) {
+  std::string Path = ::testing::TempDir() + "poce_net_backoff.sock";
+  std::remove(Path.c_str());
+  std::atomic<int> ListenFd{-1};
+  std::thread Late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    Expected<int> Fd = listenUnix(Path);
+    ASSERT_TRUE(Fd.ok()) << Fd.status();
+    ListenFd.store(*Fd, std::memory_order_release);
+  });
+  LineClient C;
+  EXPECT_TRUE(
+      C.connectUnixWithBackoff(Path, /*DeadlineMs=*/10000, /*JitterSeed=*/7)
+          .ok());
+  Late.join();
+  C.close();
+  closeFd(ListenFd.load(std::memory_order_acquire));
+  std::remove(Path.c_str());
+
+  // And the deadline is honored when nobody ever listens.
+  LineClient Never;
+  Status Refused = Never.connectUnixWithBackoff(
+      ::testing::TempDir() + "poce_net_noone.sock", /*DeadlineMs=*/200,
+      /*JitterSeed=*/7);
+  EXPECT_FALSE(Refused.ok());
+  EXPECT_NE(Refused.message().find("retries exhausted"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Replication: WAL shipping, catch-up, promote
+//===----------------------------------------------------------------------===//
+
+std::string replTempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "poce_net_repl_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+/// A primary/follower pair over loopback TCP: both cores carry their own
+/// snapshot/WAL pair (the replicated unit), the follower's NetServer is
+/// ReadOnly, and a ReplicationClient tails the primary.
+struct ReplPair {
+  std::unique_ptr<LoopbackServer> Primary;
+  std::unique_ptr<LoopbackServer> Follower;
+  std::unique_ptr<ReplicationClient> Repl;
+
+  explicit ReplPair(const std::string &Tag, uint64_t CheckpointEvery = 0,
+                    uint64_t HeartbeatMs = 500) {
+    serve::ServerCoreConfig PrimCfg;
+    PrimCfg.SnapshotPath = replTempPath(Tag + "_prim.snap");
+    PrimCfg.WalPath = replTempPath(Tag + "_prim.wal");
+    PrimCfg.CheckpointEvery = CheckpointEvery;
+    NetServerOptions PrimOpts;
+    PrimOpts.HeartbeatMs = HeartbeatMs;
+    Primary = std::make_unique<LoopbackServer>(SwapText, PrimOpts, PrimCfg);
+    if (!Primary->Error.empty())
+      return;
+
+    serve::ServerCoreConfig FolCfg;
+    FolCfg.SnapshotPath = replTempPath(Tag + "_fol.snap");
+    FolCfg.WalPath = replTempPath(Tag + "_fol.wal");
+    NetServerOptions FolOpts;
+    FolOpts.ReadOnly = true;
+    // The follower's initial text is irrelevant: a (0, 0) cursor makes
+    // the first handshake bootstrap it from the primary's snapshot.
+    Follower = std::make_unique<LoopbackServer>("cons seedonly\n", FolOpts,
+                                                FolCfg);
+    if (!Follower->Error.empty())
+      return;
+
+    ReplicationClient::Options ReplOpts;
+    ReplOpts.TcpSpec =
+        "127.0.0.1:" + std::to_string(Primary->Server->tcpPort());
+    ReplOpts.TickMs = 50;
+    ReplOpts.JitterSeed = 11;
+    Repl = std::make_unique<ReplicationClient>(*Follower->Server,
+                                               std::move(ReplOpts));
+    Repl->start();
+  }
+
+  ~ReplPair() {
+    if (Repl)
+      Repl->stop();
+  }
+
+  /// Polls `verify` on both sides until the full reply lines (checksum,
+  /// base, and record count) match; false on timeout.
+  bool converge(uint64_t TimeoutMs = 10000) {
+    LineClient P = Primary->client();
+    LineClient F = Follower->client();
+    for (uint64_t Waited = 0; Waited < TimeoutMs; Waited += 20) {
+      if (ask(P, "verify") == ask(F, "verify"))
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+};
+
+TEST(NetReplicationTest, FollowerBootstrapsTailsAndRejectsWrites) {
+  // checkpoint-every=3 makes the primary rebase mid-stream, so the tail
+  // exercises both `r` records and a live `rebase` event.
+  ReplPair Pair("boot", /*CheckpointEvery=*/3);
+  ASSERT_TRUE(Pair.Primary && Pair.Primary->Error.empty())
+      << (Pair.Primary ? Pair.Primary->Error : "no primary");
+  ASSERT_TRUE(Pair.Follower && Pair.Follower->Error.empty())
+      << (Pair.Follower ? Pair.Follower->Error : "no follower");
+
+  LineClient P = Pair.Primary->client();
+  for (int K = 0; K != 5; ++K) {
+    EXPECT_EQ(ask(P, "add cons w" + std::to_string(K)), "ok added");
+    EXPECT_EQ(ask(P, "add w" + std::to_string(K) + " <= P"), "ok added");
+  }
+  ASSERT_TRUE(Pair.converge());
+
+  // The follower answers queries from its own views — byte-identically.
+  LineClient F = Pair.Follower->client();
+  EXPECT_EQ(ask(F, "pts P"), ask(P, "pts P"));
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("nx"), 1u);
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("w4"), 1u);
+
+  // Writes are refused with the dedicated code until a promote.
+  std::string Refused = ask(F, "add cons nope");
+  EXPECT_EQ(Refused.rfind("err read_only ", 0), 0u) << Refused;
+  Refused = ask(F, "checkpoint");
+  EXPECT_EQ(Refused.rfind("err read_only ", 0), 0u) << Refused;
+
+  // New records after convergence still flow.
+  EXPECT_EQ(ask(P, "add cons late"), "ok added");
+  EXPECT_EQ(ask(P, "add late <= P"), "ok added");
+  ASSERT_TRUE(Pair.converge());
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("late"), 1u);
+}
+
+// Satellite regression: the idle sweep must not reap a quiet tailing
+// replica (LongLived exemption) while still reaping plain idle clients.
+TEST(NetReplicationTest, LongLivedReplicaConnSurvivesIdleSweep) {
+  serve::ServerCoreConfig CoreCfg;
+  CoreCfg.SnapshotPath = replTempPath("idle_prim.snap");
+  CoreCfg.WalPath = replTempPath("idle_prim.wal");
+  NetServerOptions Opts;
+  Opts.IdleTimeoutMs = 100;
+  Opts.HeartbeatMs = 50;
+  LoopbackServer S(SwapText, Opts, CoreCfg);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+
+  // A replica connection: raw `replicate` handshake, then silence — it
+  // only ever receives. It must outlive several sweep periods, fed by
+  // heartbeats.
+  LineClient R = S.client();
+  ASSERT_TRUE(R.sendLine("replicate 0 0").ok());
+  std::string Header;
+  ASSERT_TRUE(R.recvLine(Header).ok());
+  ASSERT_EQ(Header.rfind("ok snapshot ", 0), 0u) << Header;
+  size_t SizeAt = Header.rfind(' ');
+  std::vector<uint8_t> Snap;
+  ASSERT_TRUE(
+      R.recvBytes(std::stoull(Header.substr(SizeAt + 1)), Snap).ok());
+
+  // A plain client goes idle at the same time and is reaped.
+  LineClient Idle = S.client();
+  EXPECT_EQ(ask(Idle, "alias X Y"), "ok false");
+  std::string Dead;
+  EXPECT_FALSE(Idle.recvLine(Dead).ok());
+
+  // By now several idle timeouts have passed; the replica still receives
+  // heartbeats (hb lines, possibly after an empty separator line).
+  unsigned Heartbeats = 0;
+  std::string Line;
+  while (Heartbeats < 3) {
+    ASSERT_TRUE(R.recvLine(Line).ok())
+        << "replica connection was reaped by the idle sweep";
+    if (Line.rfind("hb ", 0) == 0)
+      ++Heartbeats;
+  }
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(NetReplicationTest, PromoteFlipsWritableAndStopsTail) {
+  ReplPair Pair("promote");
+  ASSERT_TRUE(Pair.Primary && Pair.Primary->Error.empty());
+  ASSERT_TRUE(Pair.Follower && Pair.Follower->Error.empty());
+
+  LineClient P = Pair.Primary->client();
+  EXPECT_EQ(ask(P, "add cons pre"), "ok added");
+  EXPECT_EQ(ask(P, "add pre <= P"), "ok added");
+  ASSERT_TRUE(Pair.converge());
+
+  // Promote is only legal on a follower.
+  std::string OnPrimary = ask(P, "promote");
+  EXPECT_EQ(OnPrimary.rfind("err failed_precondition ", 0), 0u) << OnPrimary;
+
+  LineClient F = Pair.Follower->client();
+  std::string Promoted = ask(F, "promote");
+  EXPECT_EQ(Promoted.rfind("ok promoted base=", 0), 0u) << Promoted;
+  EXPECT_FALSE(Pair.Follower->Server->readOnly());
+  EXPECT_EQ(ask(F, "promote"), "err failed_precondition already promoted");
+
+  // Writable now, with its own re-stamped WAL lineage.
+  EXPECT_EQ(ask(F, "add cons own"), "ok added");
+  EXPECT_EQ(ask(F, "add own <= P"), "ok added");
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("own"), 1u);
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("pre"), 1u);
+
+  // The old tail is dead: records written to the old primary no longer
+  // flow (the promoted server refuses replicated applies even if a stray
+  // stream survives).
+  Pair.Repl->stop();
+  EXPECT_EQ(ask(P, "add cons postsplit"), "ok added");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("postsplit"), 0u);
+}
+
+// Chained replication is out of scope and must be refused loudly, not
+// silently accepted.
+TEST(NetReplicationTest, FollowerRefusesReplicateHandshake) {
+  ReplPair Pair("chain");
+  ASSERT_TRUE(Pair.Primary && Pair.Primary->Error.empty());
+  ASSERT_TRUE(Pair.Follower && Pair.Follower->Error.empty());
+  ASSERT_TRUE(Pair.converge());
+
+  LineClient F = Pair.Follower->client();
+  ASSERT_TRUE(F.sendLine("replicate 0 0").ok());
+  std::string Reply;
+  ASSERT_TRUE(F.recvLine(Reply).ok());
+  EXPECT_EQ(Reply.rfind("err failed_precondition ", 0), 0u) << Reply;
+  EXPECT_NE(Reply.find("chained replication"), std::string::npos) << Reply;
+}
+
+// Regression: `verify` must judge convergence by answer identity, not
+// serialized-byte identity. A follower started the way `scserved
+// --follow` starts one — cold bootstrap to disk, GraphSnapshot::load,
+// materializeAllViews, recover — replays the WAL tail onto a
+// deserialized graph and can collapse cycles onto different (equally
+// valid) representatives than the live-solved primary, so the two
+// serialized byte streams never match while every answer does; a
+// byte-level checksum kept such a pair "diverged" forever. The workload
+// mirrors bench/repl_bench.cpp at small scale, where this was first
+// caught.
+TEST(NetReplicationTest, VerifyConvergesAcrossRepresentationDivergence) {
+  const uint32_t Vars = 24, Cons = 18, Records = 12;
+  PRNG Base(0x706f6365u);
+  std::string Text = "cons ref + + -\n";
+  for (uint32_t L = 0; L != 6; ++L)
+    Text += "cons l" + std::to_string(L) + "\n";
+  for (uint32_t V = 0; V != Vars; ++V)
+    Text += "var v" + std::to_string(V) + "\n";
+  for (uint32_t C = 0; C != Cons; ++C) {
+    uint32_t A = static_cast<uint32_t>(Base.nextBelow(Vars));
+    uint32_t B = static_cast<uint32_t>(Base.nextBelow(Vars));
+    if (Base.nextBelow(3) == 0)
+      Text += "ref(l" + std::to_string(Base.nextBelow(6)) + ", v" +
+              std::to_string(A) + ", v" + std::to_string(A) + ") <= v" +
+              std::to_string(B) + "\n";
+    else
+      Text += "v" + std::to_string(A) + " <= v" + std::to_string(B) + "\n";
+  }
+
+  serve::ServerCoreConfig PrimCfg;
+  PrimCfg.SnapshotPath = replTempPath("canon_prim.snap");
+  PrimCfg.WalPath = replTempPath("canon_prim.wal");
+  LoopbackServer Prim(Text, {}, PrimCfg);
+  ASSERT_TRUE(Prim.Error.empty()) << Prim.Error;
+  LineClient P = Prim.client();
+
+  // All records land before the follower exists; the mid-stream
+  // checkpoint makes its bootstrap a serialize of live-solved state
+  // with a post-checkpoint record tail still to replay.
+  PRNG AddRng(0x706f6366u);
+  for (uint32_t K = 0; K != Records; ++K) {
+    std::string Line;
+    if (K % 2 == 0)
+      Line = "cons a" + std::to_string(K);
+    else if (K % 8 == 3)
+      Line = "v" + std::to_string(AddRng.nextBelow(Vars)) + " <= v" +
+             std::to_string(AddRng.nextBelow(Vars));
+    else
+      Line = "a" + std::to_string(K - 1) + " <= v" +
+             std::to_string(AddRng.nextBelow(Vars));
+    EXPECT_EQ(ask(P, "add " + Line), "ok added");
+    if (K == Records / 2)
+      EXPECT_EQ(ask(P, "checkpoint").rfind("ok ", 0), 0u);
+  }
+
+  // The follower, exactly as the scserved driver builds one.
+  std::string FolSnap = replTempPath("canon_fol.snap");
+  std::string PrimSpec =
+      "127.0.0.1:" + std::to_string(Prim.Server->tcpPort());
+  Status Boot = ReplicationClient::coldBootstrap(
+      PrimSpec, /*UnixPath=*/"", FolSnap, /*DeadlineMs=*/10000);
+  ASSERT_TRUE(Boot.ok()) << Boot.toString();
+  serve::SolverBundle FolBundle;
+  uint64_t FolBase = 0;
+  Status Loaded = serve::GraphSnapshot::load(FolSnap, FolBundle, &FolBase);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.toString();
+  FolBundle.Solver->materializeAllViews();
+  serve::ServerCoreConfig FolCfg;
+  FolCfg.SnapshotPath = FolSnap;
+  FolCfg.WalPath = replTempPath("canon_fol.wal");
+  serve::ServerCore FolCore(std::move(FolBundle), /*CacheCapacity=*/64,
+                            FolCfg);
+  ASSERT_TRUE(FolCore.valid()) << FolCore.initError();
+  Status Recovered = FolCore.recover(FolBase);
+  ASSERT_TRUE(Recovered.ok()) << Recovered.toString();
+  NetServerOptions FolOpts;
+  FolOpts.TcpSpec = "127.0.0.1:0";
+  FolOpts.Lanes = 2;
+  FolOpts.ReadOnly = true;
+  NetServer FolServer(FolCore, FolOpts);
+  ReplicationClient::Options ReplOpts;
+  ReplOpts.TcpSpec = PrimSpec;
+  ReplOpts.InitialBase = FolCore.walBaseId();
+  ReplOpts.InitialSeq = FolCore.walRecords();
+  ReplOpts.TickMs = 50;
+  ReplOpts.JitterSeed = 23;
+  ReplicationClient Repl(FolServer, std::move(ReplOpts));
+  ASSERT_TRUE(FolServer.init().ok());
+  std::thread FolLoop([&] { FolServer.run(); });
+  Repl.start();
+
+  LineClient F;
+  ASSERT_TRUE(
+      F.connectTcp("127.0.0.1:" + std::to_string(FolServer.tcpPort()))
+          .ok());
+  bool Converged = false;
+  for (int Waited = 0; Waited < 10000; Waited += 20) {
+    if (ask(P, "verify") == ask(F, "verify")) {
+      Converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(Converged) << "verify never matched: primary '"
+                         << ask(P, "verify") << "' follower '"
+                         << ask(F, "verify") << "'";
+  for (uint32_t V = 0; V < Vars; V += 5) {
+    std::string Name = "v" + std::to_string(V);
+    EXPECT_EQ(parseSet(ask(F, "ls " + Name)),
+              parseSet(ask(P, "ls " + Name)))
+        << Name;
+  }
+  Repl.stop();
+  ask(F, "shutdown");
+  FolLoop.join();
 }
 
 } // namespace
