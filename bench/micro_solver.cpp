@@ -981,6 +981,158 @@ FaultToleranceResult measureFaultTolerance(double Scale, unsigned Repeats) {
   return Out;
 }
 
+/// Retraction A/B: deleting K constraints from a solved system through
+/// the incremental cone recompute against the only alternative a
+/// retraction-free solver has — a full re-solve of the survivors after
+/// every deletion. Both sides must end with identical rendered least
+/// solutions for every variable (compared as text: the incremental
+/// TermTable still interns terms of retracted lines, so raw ExprIds
+/// differ from a fresh solver's).
+struct RetractResult {
+  double ConeSeconds = 0;    ///< K retract() calls on one solver, best of N.
+  double ResolveSeconds = 0; ///< K fresh solves of the survivors, best of N.
+  unsigned Retractions = 0;
+  uint64_t ConeVarsRecomputed = 0;
+  uint64_t CollapsesSplit = 0;
+  bool StateMatch = false;
+};
+
+RetractResult measureRetract(double Scale, unsigned Repeats) {
+  // A tagged-line system (the path retraction runs through in the serve
+  // layer): plain copies, nullary sources, and ref() cells so retraction
+  // unwinds decompositions too.
+  PRNG Rng(606);
+  const uint32_t NumVars =
+      std::max<uint32_t>(16, static_cast<uint32_t>(1500 * Scale));
+  const uint32_t NumSources = 12;
+  const uint32_t NumLines = NumVars + NumVars / 2;
+  std::vector<std::string> Decls;
+  Decls.push_back("cons ref + -");
+  for (uint32_t I = 0; I != NumSources; ++I)
+    Decls.push_back("cons src" + std::to_string(I));
+  {
+    std::string VarLine = "var";
+    for (uint32_t I = 0; I != NumVars; ++I)
+      VarLine += " X" + std::to_string(I);
+    Decls.push_back(std::move(VarLine));
+  }
+  auto Var = [&] { return "X" + std::to_string(Rng.nextBelow(NumVars)); };
+  std::vector<std::string> Lines;
+  for (uint32_t I = 0; I != NumLines; ++I) {
+    std::string Line;
+    switch (Rng.nextBelow(8)) {
+    case 0:
+    case 1:
+      Line = "src" + std::to_string(Rng.nextBelow(NumSources)) + " <= " +
+             Var();
+      break;
+    case 2:
+      Line = "ref(" + Var() + ", " + Var() + ") <= " + Var();
+      break;
+    case 3:
+      Line = Var() + " <= ref(" + Var() + ", " + Var() + ")";
+      break;
+    default:
+      Line = Var() + " <= " + Var();
+      break;
+    }
+    if (std::find(Lines.begin(), Lines.end(), Line) == Lines.end())
+      Lines.push_back(std::move(Line));
+  }
+  // K deletion targets spread across the input (never bunched, so the
+  // cones sample the whole graph, cycles included).
+  const unsigned K = 12;
+  std::vector<std::string> Targets;
+  for (unsigned I = 0; I != K; ++I)
+    Targets.push_back(Lines[(I * Lines.size()) / K]);
+
+  SolverOptions Options = makeConfig(GraphForm::Inductive, CycleElim::Online);
+  auto feed = [&](ConstraintSystemFile &Sys, ConstraintSolver &Solver,
+                  const std::vector<std::string> &Constraints) {
+    for (const std::string &Line : Decls)
+      if (!Sys.addLine(Line, Solver))
+        return false;
+    for (const std::string &Line : Constraints)
+      if (!Sys.addLine(Line, Solver))
+        return false;
+    return true;
+  };
+  auto render = [](ConstraintSolver &Solver) {
+    std::vector<std::string> Out;
+    for (uint32_t I = 0; I != Solver.numCreations(); ++I) {
+      std::vector<std::string> Rendered;
+      for (ExprId Term : Solver.leastSolution(Solver.varOfCreation(I)))
+        Rendered.push_back(Solver.exprStr(Term));
+      std::sort(Rendered.begin(), Rendered.end());
+      for (std::string &S : Rendered)
+        Out.push_back(std::move(S));
+      Out.push_back(";");
+    }
+    return Out;
+  };
+
+  RetractResult Out;
+  Out.Retractions = K;
+
+  // Cone path: one solver, K incremental retractions (build untimed).
+  std::vector<std::string> ConeRendered;
+  double ConeBest = 1e300;
+  for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+    ConstructorTable Constructors;
+    TermTable Terms(Constructors);
+    ConstraintSolver Solver(Terms, Options);
+    ConstraintSystemFile Sys;
+    if (!feed(Sys, Solver, Lines))
+      return Out;
+    Solver.finalize();
+    Timer T;
+    for (const std::string &Target : Targets) {
+      std::string Canon;
+      if (!Sys.canonicalizeConstraint(Target, Solver, Canon) ||
+          !Solver.retract(Canon))
+        return Out;
+      Sys.removeConstraint(Canon);
+    }
+    Solver.finalize();
+    ConeBest = std::min(ConeBest, T.seconds());
+    Out.ConeVarsRecomputed = Solver.stats().ConeVarsRecomputed;
+    Out.CollapsesSplit = Solver.stats().CollapsesSplit;
+    ConeRendered = render(Solver);
+  }
+  Out.ConeSeconds = ConeBest;
+
+  // Baseline: after each deletion, re-solve the survivors from scratch —
+  // what a solver without retraction support has to do.
+  std::vector<std::string> Survivors = Lines;
+  for (const std::string &Target : Targets)
+    Survivors.erase(
+        std::find(Survivors.begin(), Survivors.end(), Target));
+  std::vector<std::string> ResolveRendered;
+  double ResolveBest = 1e300;
+  for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+    Timer T;
+    for (unsigned Step = 1; Step <= K; ++Step) {
+      std::vector<std::string> Live = Lines;
+      for (unsigned I = 0; I != Step; ++I)
+        Live.erase(std::find(Live.begin(), Live.end(), Targets[I]));
+      ConstructorTable Constructors;
+      TermTable Terms(Constructors);
+      ConstraintSolver Solver(Terms, Options);
+      ConstraintSystemFile Sys;
+      if (!feed(Sys, Solver, Live))
+        return Out;
+      Solver.finalize();
+      if (Step == K)
+        ResolveRendered = render(Solver);
+    }
+    ResolveBest = std::min(ResolveBest, T.seconds());
+  }
+  Out.ResolveSeconds = ResolveBest;
+  Out.StateMatch =
+      !ConeRendered.empty() && ConeRendered == ResolveRendered;
+  return Out;
+}
+
 int emitTrajectory(const std::string &Path) {
   double Scale = 1.0;
   if (const char *Env = std::getenv("POCE_BENCH_SCALE"))
@@ -1328,6 +1480,40 @@ int emitTrajectory(const std::string &Path) {
         !R.RecoveryStateMatch) {
       std::fprintf(stderr, "error: fault_tolerance: rollback or recovery "
                            "did not reproduce the expected graph\n");
+      std::fclose(File);
+      return 1;
+    }
+  }
+
+  // Retraction entry: K incremental deletions via the cone recompute
+  // against a full re-solve of the survivors after each deletion, with
+  // the rendered least solutions asserted identical.
+  {
+    RetractResult R = measureRetract(Scale, Repeats);
+    double Speedup = R.ResolveSeconds / std::max(R.ConeSeconds, 1e-9);
+    std::fprintf(
+        File,
+        ",\n    {\"name\": \"retract_cone\", \"kind\": \"retract\", "
+        "\"retractions\": %u,\n"
+        "     \"wall_s\": %.6f, \"wall_s_baseline\": %.6f, "
+        "\"speedup\": %.2f,\n"
+        "     \"cone_vars_recomputed\": %llu, \"collapses_split\": %llu, "
+        "\"state_match\": %s}",
+        R.Retractions, R.ConeSeconds, R.ResolveSeconds, Speedup,
+        (unsigned long long)R.ConeVarsRecomputed,
+        (unsigned long long)R.CollapsesSplit,
+        R.StateMatch ? "true" : "false");
+    std::printf("%-14s retractions=%-3u wall=%.4fs baseline=%.4fs "
+                "speedup=%.2fx cone_vars=%llu splits=%llu "
+                "state_match=%s\n",
+                "retract_cone", R.Retractions, R.ConeSeconds,
+                R.ResolveSeconds, Speedup,
+                (unsigned long long)R.ConeVarsRecomputed,
+                (unsigned long long)R.CollapsesSplit,
+                R.StateMatch ? "yes" : "NO");
+    if (!R.StateMatch) {
+      std::fprintf(stderr, "error: retract_cone: incremental retraction "
+                           "diverged from the re-solve of survivors\n");
       std::fclose(File);
       return 1;
     }

@@ -29,6 +29,10 @@ scripts/net_smoke.sh "$BUILD_DIR"
 # socket layer and replays them into a live engine — bootstrap, catch-up,
 # kill -9 failover, and promote all under ASan.
 scripts/repl_smoke.sh "$BUILD_DIR"
+# Retraction rewrites live graph state in place (cone scrub + replay) and
+# appends a new WAL record kind — its torn-record and replay paths are
+# exactly the untrusted-byte surface this script exists for.
+scripts/retract_smoke.sh "$BUILD_DIR"
 scripts/crash_recovery.sh "$BUILD_DIR"
 scripts/metrics_smoke.sh "$BUILD_DIR"
 # The offline pass rewrites the constraint stream before the solver sees

@@ -1,0 +1,209 @@
+#!/usr/bin/env bash
+# End-to-end smoke of constraint retraction: the `retract` verb over a
+# real socket, kill -9 mid-retract with byte-identical warm recovery
+# (the `!retract` WAL record is either torn-and-truncated or durable-and-
+# replayed, never half-applied), and a follower replaying shipped
+# retractions until checksum-verified convergence (`verify`).
+#
+# Usage: scripts/retract_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+SCSERVED="$BUILD_DIR/src/driver/scserved"
+SCNETCAT="$BUILD_DIR/src/driver/scnetcat"
+if [ ! -x "$SCSERVED" ] || [ ! -x "$SCNETCAT" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target scserved scnetcat
+fi
+
+WORK=$(mktemp -d)
+PRIM=""
+FOL=""
+cleanup() {
+  [ -n "$PRIM" ] && kill -9 "$PRIM" 2> /dev/null || true
+  [ -n "$FOL" ] && kill -9 "$FOL" 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+PSOCK="$WORK/prim.sock" FSOCK="$WORK/fol.sock"
+ncp() { "$SCNETCAT" --unix "$PSOCK" --retry-ms=10000; }
+ncf() { "$SCNETCAT" --unix "$FSOCK" --retry-ms=10000; }
+vsum() { grep -o 'checksum=[0-9a-f]*' || true; }
+
+converge() {
+  for _ in $(seq 400); do
+    pv=$(printf 'verify\n' | ncp)
+    fv=$(printf 'verify\n' | ncf)
+    if [ -n "$pv" ] && [ "$pv" = "$fv" ]; then
+      echo "$pv" | vsum
+      return 0
+    fi
+    sleep 0.05
+  done
+  fail "primary and follower did not converge (primary: $pv follower: $fv)"
+}
+
+# Base snapshot: the solved swap system.
+BASE="$WORK/base.snap"
+"$SCSERVED" --config=if-online examples/data/swap.scs > "$WORK/base.out" << EOF
+save $BASE
+quit
+EOF
+grep -q "ok saved $BASE" "$WORK/base.out" || fail "could not create base snapshot"
+
+#--- Retraction over a live socket ----------------------------------------
+
+PSNAP="$WORK/prim.snap" PWAL="$WORK/prim.wal"
+cp "$BASE" "$PSNAP"
+"$SCSERVED" --snapshot="$PSNAP" --wal="$PWAL" --unix="$PSOCK" \
+  > "$WORK/prim.out" 2> "$WORK/prim.err" &
+PRIM=$!
+
+printf 'add cons w0\nadd w0 <= P\npts P\n' | ncp > "$WORK/sock.add.out"
+[ "$(grep -c '^ok added$' "$WORK/sock.add.out")" -eq 2 ] ||
+  fail "socket: adds were not acknowledged"
+grep -q 'w0' "$WORK/sock.add.out" ||
+  fail "socket: added source did not reach pts"
+
+printf 'retract w0 <= P\npts P\n' | ncp > "$WORK/sock.ret.out"
+grep -q '^ok retracted$' "$WORK/sock.ret.out" ||
+  fail "socket: retract was not acknowledged"
+grep -q 'w0' "$WORK/sock.ret.out" &&
+  fail "socket: retracted source still visible in pts"
+# The seed swap solution is untouched by the retraction.
+printf 'pts P\nalias P Q\n' | ncp > "$WORK/sock.q.out"
+grep -q '^ok { nx, ny }$' "$WORK/sock.q.out" ||
+  fail "socket: seed solution damaged by the retraction"
+grep -q '^ok true$' "$WORK/sock.q.out" ||
+  fail "socket: collapsed cycle P/Q lost by the retraction"
+# Retracting twice is a clean error, and the server keeps serving.
+printf 'retract w0 <= P\npts P\n' | ncp > "$WORK/sock.dup.out"
+grep -q '^err not_found ' "$WORK/sock.dup.out" ||
+  fail "socket: double retract did not answer err not_found"
+grep -q '^ok { nx, ny }$' "$WORK/sock.dup.out" ||
+  fail "socket: server stopped serving after the refused retract"
+echo "retract_smoke: socket retract OK"
+
+{ kill -9 "$PRIM" && wait "$PRIM"; } 2> /dev/null || true
+PRIM=""
+
+#--- kill -9 mid-retract, byte-identical warm recovery --------------------
+
+# crash_scenario NAME FAILPOINTS REQUEST...
+# Runs a stdin-mode server on a private copy of the base snapshot with
+# FAILPOINTS armed, feeding REQUESTs until the crash; then proves warm
+# recovery reconstructs exactly the state an oracle reaches by replaying
+# the surviving WAL records (adds AND `!retract`s) by hand.
+crash_scenario() {
+  local name=$1 failpoints=$2
+  shift 2
+  local snap="$WORK/$name.snap" wal="$WORK/$name.wal"
+  cp "$BASE" "$snap"
+  printf '%s\n' "$@" > "$WORK/$name.req"
+
+  set +e
+  POCE_FAILPOINTS="$failpoints" "$SCSERVED" --snapshot="$snap" --wal="$wal" \
+    < "$WORK/$name.req" > "$WORK/$name.out" 2> "$WORK/$name.err"
+  local code=$?
+  set -e
+  [ "$code" -eq 137 ] || fail "$name: expected crash exit 137, got $code"
+
+  "$SCSERVED" --dump-wal="$wal" \
+    > "$WORK/$name.wal_lines" 2> "$WORK/$name.wal_err"
+
+  # Warm recovery (snapshot + WAL replay), then snapshot the result.
+  "$SCSERVED" --snapshot="$snap" --wal="$wal" > "$WORK/$name.rec.out" << EOF
+save $WORK/$name.recovered.snap
+quit
+EOF
+  grep -q "ok saved" "$WORK/$name.rec.out" ||
+    fail "$name: recovered server could not snapshot"
+
+  # Oracle: the bare base snapshot fed the dumped records as requests.
+  {
+    while IFS= read -r line; do
+      case "$line" in
+      "!retract "*) echo "retract ${line#!retract }" ;;
+      *) echo "add $line" ;;
+      esac
+    done < "$WORK/$name.wal_lines"
+    echo "save $WORK/$name.oracle.snap"
+    echo "quit"
+  } | "$SCSERVED" --snapshot="$snap" > "$WORK/$name.oracle.out"
+  grep -q "ok saved" "$WORK/$name.oracle.out" ||
+    fail "$name: oracle session failed"
+  cmp -s "$WORK/$name.recovered.snap" "$WORK/$name.oracle.snap" ||
+    fail "$name: recovered state differs from the snapshot+WAL oracle"
+  echo "retract_smoke: $name OK (wal_lines=$(wc -l < "$WORK/$name.wal_lines"))"
+}
+
+# Crash between the two halves of the `!retract` record itself: a torn
+# tail that replay must truncate — the retraction never half-applies, so
+# recovery still shows the constraint live.
+crash_scenario torn_retract "wal.append.mid=crash@3" \
+  "add cons w0" "add w0 <= P" "retract w0 <= P"
+grep -q '!retract' "$WORK/torn_retract.wal_lines" &&
+  fail "torn_retract: the torn retract record survived replay"
+
+# Crash after the retract record is durable (mid-append of a later add):
+# the acknowledged `!retract` must be replayed on recovery.
+crash_scenario durable_retract "wal.append.mid=crash@4" \
+  "add cons w0" "add w0 <= P" "retract w0 <= P" "add cons w1"
+grep -qxF -- '!retract w0 <= P' "$WORK/durable_retract.wal_lines" ||
+  fail "durable_retract: acknowledged retract record lost from the WAL"
+printf 'pts P\nquit\n' | "$SCSERVED" --snapshot="$WORK/durable_retract.snap" \
+  --wal="$WORK/durable_retract.wal" > "$WORK/durable_retract.q.out"
+grep -q 'w0' "$WORK/durable_retract.q.out" &&
+  fail "durable_retract: recovery did not replay the retraction"
+
+#--- Follower replays shipped retractions ---------------------------------
+
+PSNAP="$WORK/repl_prim.snap" PWAL="$WORK/repl_prim.wal"
+FSNAP="$WORK/repl_fol.snap" FWAL="$WORK/repl_fol.wal"
+cp "$BASE" "$PSNAP"
+"$SCSERVED" --snapshot="$PSNAP" --wal="$PWAL" --unix="$PSOCK" \
+  > "$WORK/rprim.out" 2> "$WORK/rprim.err" &
+PRIM=$!
+"$SCSERVED" --snapshot="$FSNAP" --wal="$FWAL" --unix="$FSOCK" \
+  --follow="$PSOCK" > "$WORK/rfol.out" 2> "$WORK/rfol.err" &
+FOL=$!
+
+printf 'add cons w0\nadd w0 <= P\n' | ncp > "$WORK/rw.out"
+[ "$(grep -c '^ok added$' "$WORK/rw.out")" -eq 2 ] ||
+  fail "replication: primary refused the adds"
+SUM1=$(converge)
+printf 'pts P\n' | ncf | grep -q 'w0' ||
+  fail "replication: follower never saw the add"
+
+# Retraction is a write: the follower refuses it, the primary ships it.
+printf 'retract w0 <= P\n' | ncf > "$WORK/rro.out"
+grep -q '^err read_only ' "$WORK/rro.out" ||
+  fail "replication: follower accepted a retract"
+printf 'retract w0 <= P\n' | ncp | grep -q '^ok retracted$' ||
+  fail "replication: primary refused the retract"
+SUM2=$(converge)
+[ "$SUM1" != "$SUM2" ] ||
+  fail "replication: checksum did not move across the retraction"
+printf 'pts P\n' | ncf > "$WORK/rq.out"
+grep -q 'w0' "$WORK/rq.out" &&
+  fail "replication: follower still shows the retracted source"
+grep -q '^ok { nx, ny }$' "$WORK/rq.out" ||
+  fail "replication: follower seed solution damaged"
+echo "retract_smoke: follower replay + convergence OK ($SUM2)"
+
+# Graceful drain so the cleanup trap has nothing left to kill.
+printf 'shutdown\n' | ncf > /dev/null || true
+wait "$FOL" 2> /dev/null || true
+FOL=""
+printf 'shutdown\n' | ncp > /dev/null || true
+wait "$PRIM" 2> /dev/null || true
+PRIM=""
+
+echo "retract_smoke: OK"

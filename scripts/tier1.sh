@@ -15,6 +15,7 @@ cmake --build "$BUILD" -j
 "$ROOT/scripts/serve_smoke.sh" "$BUILD"
 "$ROOT/scripts/net_smoke.sh" "$BUILD"
 "$ROOT/scripts/repl_smoke.sh" "$BUILD"
+"$ROOT/scripts/retract_smoke.sh" "$BUILD"
 "$ROOT/scripts/crash_recovery.sh" "$BUILD"
 "$ROOT/scripts/metrics_smoke.sh" "$BUILD"
 "$ROOT/scripts/perf_smoke.sh" "$BUILD"

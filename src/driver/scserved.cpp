@@ -51,6 +51,9 @@
 ///   pts X         points-to location tags of X
 ///   alias X Y     may X and Y alias?
 ///   add LINE      feed one constraint-file line through the online closure
+///   retract LINE  delete a previously added constraint; the solver
+///                 recomputes the affected cone incrementally (WAL v3
+///                 `!retract` record, shipped to followers like an add)
 ///   save PATH     snapshot the current graph (atomic write)
 ///   checkpoint [PATH]  snapshot + reset the WAL (default: --snapshot path)
 ///   stats         solver statistics + fault-tolerance counters
@@ -521,8 +524,8 @@ int main(int Argc, char **Argv) {
     }
     if (Req.Verb == "help") {
       Reply("ok commands: ls X | pts X | alias X Y | add LINE | "
-            "save PATH | checkpoint [PATH] | stats | counters | metrics | "
-            "verify | shutdown | help | quit");
+            "retract LINE | save PATH | checkpoint [PATH] | stats | "
+            "counters | metrics | verify | shutdown | help | quit");
       return true;
     }
     if (Req.Verb == "ls" || Req.Verb == "pts" || Req.Verb == "alias") {

@@ -11,6 +11,7 @@
 #include "support/ByteStream.h"
 #include "support/FailPoint.h"
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
@@ -50,8 +51,15 @@ std::vector<std::string> splitFields(const std::string &Line, size_t Max) {
   return Out;
 }
 
-bool parseHex(const std::string &S, uint64_t &Out) {
-  if (S.empty())
+} // namespace
+
+// strtoull alone is too forgiving for wire fields: it skips leading
+// whitespace and accepts a sign, so " 7", "+7", and "-1" all parse —
+// the last wrapping to ULLONG_MAX with errno untouched. Demanding a
+// leading digit of the base closes every one of those holes, and the
+// End/errno checks keep trailing junk and overflow out.
+bool poce::net::parseHexU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || !std::isxdigit(static_cast<unsigned char>(S[0])))
     return false;
   char *End = nullptr;
   errno = 0;
@@ -59,16 +67,14 @@ bool parseHex(const std::string &S, uint64_t &Out) {
   return errno == 0 && End && *End == '\0';
 }
 
-bool parseDec(const std::string &S, uint64_t &Out) {
-  if (S.empty())
+bool poce::net::parseDecU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || !std::isdigit(static_cast<unsigned char>(S[0])))
     return false;
   char *End = nullptr;
   errno = 0;
   Out = std::strtoull(S.c_str(), &End, 10);
   return errno == 0 && End && *End == '\0';
 }
-
-} // namespace
 
 ReplicationClient::ReplicationClient(NetServer &S, Options O)
     : Server(S), Opts(std::move(O)), Base(Opts.InitialBase),
@@ -185,7 +191,7 @@ ReplicationClient::handleLine(LineClient &Client, const std::string &Line) {
   LagMs->set(0);
   if (Line.rfind("hb ", 0) == 0) {
     uint64_t N = 0;
-    if (parseDec(Line.substr(3), N)) {
+    if (parseDecU64(Line.substr(3), N)) {
       PrimarySeq = N;
       LagRecords->set(N > Seq ? N - Seq : 0);
     }
@@ -193,7 +199,7 @@ ReplicationClient::handleLine(LineClient &Client, const std::string &Line) {
   }
   if (Line.rfind("rebase ", 0) == 0) {
     uint64_t NewBase = 0;
-    if (!parseHex(Line.substr(7), NewBase)) {
+    if (!parseHexU64(Line.substr(7), NewBase)) {
       std::fprintf(stderr,
                    "scserved: replication: malformed rebase line; "
                    "reconnecting\n");
@@ -220,7 +226,7 @@ ReplicationClient::handleLine(LineClient &Client, const std::string &Line) {
     for (;;) {
       std::vector<std::string> F = splitFields(Cur, 3);
       uint64_t K = 0;
-      if (F.size() != 3 || !parseDec(F[1], K)) {
+      if (F.size() != 3 || !parseDecU64(F[1], K)) {
         std::fprintf(stderr,
                      "scserved: replication: malformed record line; "
                      "reconnecting\n");
@@ -284,7 +290,7 @@ ReplicationClient::Action ReplicationClient::handshake(LineClient &Client) {
   std::vector<std::string> F = splitFields(Header, 4);
   if (F.size() >= 4 && F[0] == "ok" && F[1] == "tail") {
     uint64_t B = 0, S = 0;
-    if (!parseHex(F[2], B) || !parseDec(F[3], S) || B != Base || S != Seq) {
+    if (!parseHexU64(F[2], B) || !parseDecU64(F[3], S) || B != Base || S != Seq) {
       std::fprintf(stderr,
                    "scserved: replication: tail header mismatch (%s); "
                    "reconnecting\n",
@@ -299,7 +305,7 @@ ReplicationClient::Action ReplicationClient::handshake(LineClient &Client) {
   }
   if (F.size() >= 4 && F[0] == "ok" && F[1] == "snapshot") {
     uint64_t B = 0, N = 0;
-    if (!parseHex(F[2], B) || !parseDec(F[3], N)) {
+    if (!parseHexU64(F[2], B) || !parseDecU64(F[3], N)) {
       std::fprintf(stderr,
                    "scserved: replication: malformed snapshot header; "
                    "reconnecting\n");
@@ -448,7 +454,7 @@ Status ReplicationClient::coldBootstrap(const std::string &TcpSpec,
     return Status::error(ErrorCode::Internal,
                          "primary did not offer a snapshot: " + Header);
   uint64_t B = 0, N = 0;
-  if (!parseHex(F[2], B) || !parseDec(F[3], N))
+  if (!parseHexU64(F[2], B) || !parseDecU64(F[3], N))
     return Status::error(ErrorCode::Internal,
                          "malformed snapshot header: " + Header);
   std::vector<uint8_t> Bytes;

@@ -51,6 +51,15 @@
 namespace poce {
 namespace net {
 
+/// Strict unsigned parsers for wire cursor fields (base ids, sequence
+/// numbers). Bare std::strtoull accepts leading whitespace and a minus
+/// sign — "-1" wraps to ULLONG_MAX with errno still 0 — so a malformed
+/// `replicate -1 -1` handshake would silently seed a garbage cursor
+/// instead of being refused. These require the first character to be a
+/// digit of the base, the whole string to be consumed, and no overflow.
+bool parseHexU64(const std::string &S, uint64_t &Out);
+bool parseDecU64(const std::string &S, uint64_t &Out);
+
 class ReplicationClient {
 public:
   struct Options {

@@ -6,6 +6,7 @@
 
 #include "net/Server.h"
 
+#include "net/Replication.h"
 #include "net/Socket.h"
 #include "support/Trace.h"
 
@@ -42,8 +43,9 @@ bool isLocalVerb(const std::string &Verb) {
 
 const char *helpReply() {
   return "ok commands: ls X | pts X | alias X Y | add LINE | "
-         "save PATH | checkpoint [PATH] | stats | counters | metrics | "
-         "verify | replicate BASE SEQ | promote | shutdown | help | quit";
+         "retract LINE | save PATH | checkpoint [PATH] | stats | counters | "
+         "metrics | verify | replicate BASE SEQ | promote | shutdown | help | "
+         "quit";
 }
 
 } // namespace
@@ -744,8 +746,15 @@ void NetServer::handleClientJob(WriterJob &Job, Completion &Comp,
                         "usage: replicate <base_hex> <seq>"));
       return;
     }
-    uint64_t Base = std::strtoull(Req.Arg1.c_str(), nullptr, 16);
-    uint64_t Seq = std::strtoull(Req.Arg2.c_str(), nullptr, 10);
+    uint64_t Base = 0, Seq = 0;
+    if (!parseHexU64(Req.Arg1, Base) || !parseDecU64(Req.Arg2, Seq)) {
+      // Raw strtoull here once let "replicate -1 -1" through with a
+      // wrapped-around cursor; malformed handshakes are refused now.
+      Err(Status::error(ErrorCode::InvalidArgument,
+                        "malformed replicate cursor (base must be hex, "
+                        "seq decimal)"));
+      return;
+    }
     std::string Reply;
     uint64_t NextSeq = 0;
     bool Snapshot = false;
@@ -789,7 +798,7 @@ void NetServer::handleClientJob(WriterJob &Job, Completion &Comp,
     return;
   }
   if (ReadOnlyNow.load(std::memory_order_acquire) &&
-      (Req.Verb == "add" || Req.Verb == "save" ||
+      (Req.Verb == "add" || Req.Verb == "retract" || Req.Verb == "save" ||
        Req.Verb == "checkpoint")) {
     Err(Status::error(ErrorCode::ReadOnly,
                       "this server is a read-only follower; write to the "
@@ -801,7 +810,8 @@ void NetServer::handleClientJob(WriterJob &Job, Completion &Comp,
                                         "unknown verb '" + Req.Verb +
                                             "'; try help")
                               .wire();
-  if (Req.Verb == "add" && Comp.Reply == "ok added")
+  if ((Req.Verb == "add" && Comp.Reply == "ok added") ||
+      (Req.Verb == "retract" && Comp.Reply == "ok retracted"))
     Mutated = true;
   if (Core.shutdownRequested())
     Comp.Shutdown = true;

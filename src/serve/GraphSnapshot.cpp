@@ -123,6 +123,9 @@ void writeStats(ByteWriter &W, const SolverStats &S) {
   W.u64(S.LSUnionWords);
   W.u64(S.DeltaPropagations);
   W.u64(S.PropagationsPruned);
+  W.u64(S.Retractions);
+  W.u64(S.ConeVarsRecomputed);
+  W.u64(S.CollapsesSplit);
   W.u8(S.Aborted ? 1 : 0);
   W.u8(static_cast<uint8_t>(S.Abort));
 }
@@ -138,7 +141,8 @@ bool readStats(ByteReader &R, SolverStats &S) {
             R.u64(S.PeriodicPasses) && R.u64(S.Mismatches) &&
             R.u64(S.ConstraintsProcessed) && R.u64(S.LSUnionWords) &&
             R.u64(S.DeltaPropagations) && R.u64(S.PropagationsPruned) &&
-            R.u8(Aborted) && R.u8(Abort);
+            R.u64(S.Retractions) && R.u64(S.ConeVarsRecomputed) &&
+            R.u64(S.CollapsesSplit) && R.u8(Aborted) && R.u8(Abort);
   if (Ok && Abort > MaxAbortReason) {
     R.fail("abort reason out of range");
     return false;
@@ -261,6 +265,15 @@ Status GraphSnapshot::serialize(ConstraintSolver &Solver,
   W.u32(static_cast<uint32_t>(Solver.Inconsistencies.size()));
   for (const std::string &Message : Solver.Inconsistencies)
     W.str(Message);
+
+  // Base-root provenance: one record per accepted constraint, in
+  // acceptance order, so a reloaded solver can still retract by tag.
+  W.u32(static_cast<uint32_t>(Solver.BaseRoots.size()));
+  for (const ConstraintSolver::BaseRoot &Root : Solver.BaseRoots) {
+    W.u32(Root.L);
+    W.u32(Root.R);
+    W.str(Root.Tag);
+  }
 
   W.u64(Solver.NextPeriodicWork);
   uint64_t RngState[4];
@@ -611,6 +624,27 @@ Status GraphSnapshot::deserialize(const uint8_t *Data, size_t Size,
   for (std::string &Message : S.Inconsistencies)
     if (!R.str(Message))
       return Bail("inconsistency log");
+
+  uint32_t NumRoots;
+  if (!R.u32(NumRoots))
+    return Bail("base roots");
+  // 12 = the two expression ids plus a tag's length prefix: the floor
+  // on a record's encoded size, making huge counts implausible.
+  if (NumRoots > R.remaining() / 12)
+    return fail(ErrorCode::Corruption,
+                "invalid snapshot payload (base roots): "
+                "implausibly large");
+  S.BaseRoots.reserve(NumRoots);
+  for (uint32_t I = 0; I != NumRoots; ++I) {
+    ConstraintSolver::BaseRoot Root;
+    if (!R.u32(Root.L) || !R.u32(Root.R) || !R.str(Root.Tag))
+      return Bail("base roots");
+    if (Root.L >= NumTerms || Root.R >= NumTerms) {
+      R.fail("base-root expression id out of range");
+      return Bail("base roots");
+    }
+    S.BaseRoots.push_back(std::move(Root));
+  }
 
   uint64_t RngState[4];
   if (!R.u64(S.NextPeriodicWork) || !R.u64(RngState[0]) ||

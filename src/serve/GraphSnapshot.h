@@ -58,10 +58,12 @@ public:
   /// deliberately outside the checksum so that a version-skewed file
   /// reports as such rather than as corruption. Version 2 added the
   /// resource-budget options (DeadlineMs/MaxEdgeBudget/MaxMemBytes) and
-  /// the abort-reason stat.
+  /// the abort-reason stat. Version 3 added the base-root provenance
+  /// table (one tagged record per accepted constraint, so retraction
+  /// works across a checkpoint) and the three retraction counters.
   static constexpr char Magic[8] = {'P', 'O', 'C', 'E',
                                     'S', 'N', 'A', 'P'};
-  static constexpr uint32_t Version = 2;
+  static constexpr uint32_t Version = 3;
   /// Header: magic(8) + version(4) + checksum(8) + payload length(8).
   static constexpr size_t HeaderSize = 28;
 

@@ -6,10 +6,12 @@
 
 #include "serve/QueryEngine.h"
 
+#include "serve/Wal.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace poce;
 using namespace poce::serve;
@@ -107,13 +109,19 @@ std::string render::renderSet(const std::vector<std::string> &Items) {
 const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
   ++Stats.Queries;
   ConstraintSolver &Solver = *Bundle.Solver;
+  // Settle the graph before resolving the representative (a pending wave
+  // closure may collapse Var into a class), and force the lazy finalize
+  // before sampling the epoch — the inductive form's epoch bumps land at
+  // finalize time, when recomputed solutions are diffed against their
+  // previous values.
+  Solver.ensureClosed();
   VarId Rep = Solver.rep(Var);
-  const SparseBitVector &Bits = Solver.leastSolutionBits(Rep);
-  size_t Fingerprint = Bits.count();
+  (void)Solver.leastSolutionBits(Rep);
+  uint64_t Epoch = Solver.mutationEpoch(Rep);
   uint64_t Key =
       (static_cast<uint64_t>(static_cast<uint8_t>(Kind)) << 32) | Rep;
   if (View *Cached = Cache.get(Key)) {
-    if (Cached->Fingerprint == Fingerprint) {
+    if (Cached->Epoch == Epoch) {
       ++Stats.CacheHits;
       return Cached->Items;
     }
@@ -125,7 +133,7 @@ const std::vector<std::string> &QueryEngine::view(ViewKind Kind, VarId Var) {
   const bool Timed = MetricsRegistry::timingEnabled() || trace::enabled();
   const uint64_t StartUs = Timed ? trace::nowMicros() : 0;
   View Fresh;
-  Fresh.Fingerprint = Fingerprint;
+  Fresh.Epoch = Epoch;
   Fresh.Items = Kind == ViewKind::Ls
                     ? render::lsItems(Solver, Solver.leastSolution(Rep))
                     : render::ptsItems(Solver, Solver.leastSolution(Rep));
@@ -190,6 +198,62 @@ Status QueryEngine::addConstraint(const std::string &Line) {
   return Status();
 }
 
+Status QueryEngine::checkRetract(const std::string &Line,
+                                 std::string *Canon) const {
+  if (!Valid)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "engine is invalid: " + InitError);
+  std::string Text;
+  Status St = System.canonicalizeConstraint(Line, *Bundle.Solver, Text);
+  if (!St)
+    return St;
+  if (!Bundle.Solver->hasRootTag(Text))
+    return Status::error(ErrorCode::NotFound,
+                         "no live constraint '" + Text + "' to retract");
+  if (Canon)
+    *Canon = std::move(Text);
+  return Status();
+}
+
+Status QueryEngine::retractConstraint(const std::string &Line) {
+  if (!Valid)
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "engine is invalid: " + InitError);
+  std::string Canon;
+  Status St = System.canonicalizeConstraint(Line, *Bundle.Solver, Canon);
+  if (!St)
+    return St;
+  if (!Bundle.Solver->retract(Canon))
+    return Status::error(ErrorCode::NotFound,
+                         "no live constraint '" + Canon + "' to retract");
+  // The cone replay runs under the live budgets (a retraction can
+  // trigger arbitrary re-propagation); a breach rolls the whole batch
+  // back, exactly as for an addition.
+  Bundle.Solver->ensureClosed();
+  if (Bundle.Solver->stats().Aborted) {
+    ++Stats.BudgetAborts;
+    SolverStats::AbortReason Why = Bundle.Solver->stats().Abort;
+    Status Restored = rollback();
+    if (!Restored)
+      return Status::error(
+          ErrorCode::Internal,
+          std::string("budget breach (") + SolverStats::abortReasonName(Why) +
+              ") could not be rolled back: " + Restored.message());
+    ++Stats.Rollbacks;
+    return Status::error(ErrorCode::BudgetExceeded,
+                         std::string(SolverStats::abortReasonName(Why)) +
+                             " budget exceeded; batch rolled back");
+  }
+  // The system records only constraints added through this engine —
+  // adoptDeclarations() cleared the pre-existing ones, for which the
+  // solver's base-root provenance is authoritative — so removal here is
+  // best-effort.
+  (void)System.removeConstraint(Canon);
+  AcceptedLines.push_back(WalRetractPrefix + Canon);
+  ++Stats.Retractions;
+  return Status();
+}
+
 Status QueryEngine::rollback() {
   if (!RollbackArmed)
     return Status::error(ErrorCode::FailedPrecondition,
@@ -214,10 +278,22 @@ Status QueryEngine::rollback() {
   Status Adopt = Replayed.adoptDeclarations(Fresh);
   if (!Adopt)
     return Adopt.withContext("re-adopting declarations during rollback");
+  constexpr size_t PrefixLen = sizeof(WalRetractPrefix) - 1;
   for (const std::string &Line : AcceptedLines) {
-    Status St = Replayed.addLine(Line, Fresh);
-    if (!St)
-      return St.withContext("replaying journal line '" + Line + "'");
+    if (Line.compare(0, PrefixLen, WalRetractPrefix) == 0) {
+      // Journaled retractions store the canonical text, so they apply
+      // directly — each matched a live constraint when first accepted.
+      std::string Canon = Line.substr(PrefixLen);
+      if (!Fresh.retract(Canon))
+        return Status::error(ErrorCode::Internal,
+                             "journal retraction '" + Canon +
+                                 "' did not match during rollback");
+      (void)Replayed.removeConstraint(Canon);
+    } else {
+      Status St = Replayed.addLine(Line, Fresh);
+      if (!St)
+        return St.withContext("replaying journal line '" + Line + "'");
+    }
     if (Fresh.stats().Aborted)
       return Status::error(ErrorCode::Internal,
                            "journal replay aborted with budgets disabled");

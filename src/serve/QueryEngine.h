@@ -24,14 +24,21 @@
 /// BudgetExceeded error and can keep querying.
 ///
 /// Rendered views are kept in a bounded LRU cache keyed by (query kind,
-/// representative). Invalidation piggybacks on monotonicity: constraint
-/// addition only ever grows a least solution, so a cached view is valid
-/// iff the live bitmap still has the cached population count — views
-/// whose solutions were untouched by an addition keep serving from cache,
-/// and stale ones are detected (and rebuilt) lazily on their next hit.
-/// Collapses are handled by keying on the current representative: a
-/// variable swallowed by a cycle simply resolves to its witness's view.
-/// Rollback replaces the solver wholesale, so it clears the cache.
+/// representative). A cached view is valid iff the representative's
+/// solver-side mutation epoch still matches the one sampled when the
+/// view was built: the solver bumps a variable's epoch whenever its
+/// least solution may have changed — on growth from additions AND on
+/// shrinkage from retractions. (The scheme this replaced keyed validity
+/// on the solution bitmap's population count, which is sound only under
+/// monotone growth: a retraction followed by additions can return a
+/// solution to a previous size with different members, and the stale
+/// view would have been served. The epoch never repeats, so that trap
+/// is closed.) Views whose solutions were untouched keep serving from
+/// cache; stale ones are detected (and rebuilt) lazily on their next
+/// hit. Collapses are handled by keying on the current representative:
+/// a variable swallowed by a cycle simply resolves to its witness's
+/// view. Rollback replaces the solver wholesale, so it clears the
+/// cache.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,7 +94,8 @@ public:
     uint64_t CacheMisses = 0;   ///< View built fresh (first touch).
     uint64_t StaleRebuilds = 0; ///< Cached view outgrown by additions.
     uint64_t Additions = 0;     ///< addConstraint lines accepted.
-    uint64_t BudgetAborts = 0;  ///< Additions rejected by a budget breach.
+    uint64_t Retractions = 0;   ///< retractConstraint lines accepted.
+    uint64_t BudgetAborts = 0;  ///< Mutations rejected by a budget breach.
     uint64_t Rollbacks = 0;     ///< Successful pre-batch state restores.
   };
 
@@ -137,6 +145,26 @@ public:
   /// WAL-append only lines that are known to replay cleanly.
   Status checkConstraint(const std::string &Line) const;
 
+  /// Retracts the constraint \p Line added earlier: the solver deletes
+  /// its base edge and incrementally recomputes the affected cone
+  /// (splitting collapsed cycle classes whose witness cycle lost an
+  /// edge — see ConstraintSolver::retract). \p Line is canonicalized
+  /// first, so whitespace and comments do not have to match the
+  /// original text. NotFound when no live constraint matches;
+  /// InvalidArgument for non-constraint lines. On a budget breach
+  /// mid-recompute the engine rolls back to the pre-line state exactly
+  /// as addConstraint does. Affected cached views invalidate through
+  /// the mutation-epoch check on their next access — no cache flush.
+  Status retractConstraint(const std::string &Line);
+
+  /// Dry-run of retractConstraint(): canonicalizes \p Line and checks a
+  /// live constraint matches, without mutating anything. Lets the
+  /// server WAL-append only retractions that are known to apply. On
+  /// success \p Canon (if given) receives the canonical text — the
+  /// exact payload the WAL record must carry.
+  Status checkRetract(const std::string &Line,
+                      std::string *Canon = nullptr) const;
+
   /// Re-captures the rollback base from the current graph and clears the
   /// journal. Call after persisting a snapshot so the journal stays in
   /// lockstep with the on-disk WAL. Fails for non-serializable solvers
@@ -151,7 +179,9 @@ public:
   /// option and counter words. Leaves the engine untouched on failure.
   Status resetFromSnapshot(const uint8_t *Data, size_t Size);
 
-  /// Constraint lines accepted since the last checkpointBase().
+  /// Mutations accepted since the last checkpointBase(): constraint
+  /// lines verbatim, retractions as `!retract <canonical line>` (the
+  /// WAL record payload encoding — see serve/Wal.h).
   const std::vector<std::string> &journal() const { return AcceptedLines; }
 
   const Counters &counters() const { return Stats; }
@@ -166,7 +196,10 @@ private:
   enum class ViewKind : uint8_t { Ls, Pts };
 
   struct View {
-    size_t Fingerprint; ///< leastSolutionBits().count() at build time.
+    /// The representative's mutation epoch at build time; any change to
+    /// its least solution since (growth or shrinkage) bumps the live
+    /// epoch and invalidates the view.
+    uint64_t Epoch;
     std::vector<std::string> Items;
   };
 

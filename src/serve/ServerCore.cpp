@@ -67,8 +67,14 @@ Status ServerCore::recover(uint64_t SnapBase) {
       // accepted, and a snapshot saved with budgets armed must not
       // re-abort here.
       Engine.solver().setBudgets(0, 0, 0);
+      constexpr size_t PrefixLen = sizeof(WalRetractPrefix) - 1;
       for (const std::string &ReplayLine : Recovered->Lines) {
-        Status Applied = Engine.addConstraint(ReplayLine);
+        // A `!retract <line>` record undoes the earlier record whose
+        // payload is <line>; everything else is an accepted constraint.
+        Status Applied =
+            ReplayLine.compare(0, PrefixLen, WalRetractPrefix) == 0
+                ? Engine.retractConstraint(ReplayLine.substr(PrefixLen))
+                : Engine.addConstraint(ReplayLine);
         if (!Applied)
           return Applied.withContext("WAL replay failed (log does not "
                                      "extend this snapshot?)");
@@ -299,6 +305,51 @@ Status ServerCore::addLine(const std::string &Line) {
   return Status();
 }
 
+Status ServerCore::retractLine(const std::string &Line) {
+  if (Line.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "retract needs a constraint line");
+  if (walDegraded())
+    return Status::error(ErrorCode::FailedPrecondition,
+                         "WAL is disabled after a failed "
+                         "checkpoint; restart to recover");
+  // Same contract as addLine: validate (canonicalize + match a live
+  // constraint) before durability, durability before application. The
+  // WAL carries the canonical text so recovery retracts exactly the
+  // tag the solver recorded, however the client spelled the line.
+  std::string Canon;
+  Status Checked = Engine.checkRetract(Line, &Canon);
+  if (!Checked)
+    return Checked;
+  const std::string Record = WalRetractPrefix + Canon;
+  uint64_t WalMark = Wal.sizeBytes();
+  if (Wal.isOpen()) {
+    Status Logged = Wal.append(Record);
+    if (!Logged)
+      return Logged;
+  }
+  Status Done = Engine.retractConstraint(Canon);
+  if (!Done) {
+    if (Wal.isOpen()) {
+      Status Undone = Wal.truncateTo(WalMark);
+      if (!Undone)
+        return Undone.withContext("unlogging rejected retraction");
+    }
+    return Done;
+  }
+  ++AddsSinceCheckpoint;
+  if (Wal.isOpen() && Repl.OnRecord)
+    Repl.OnRecord(Wal.records() - 1, Record);
+  if (Config.CheckpointEvery > 0 &&
+      AddsSinceCheckpoint >= Config.CheckpointEvery) {
+    Status Saved = doCheckpoint(Config.SnapshotPath);
+    if (!Saved)
+      std::fprintf(stderr, "scserved: auto-checkpoint failed: %s\n",
+                   Saved.toString().c_str());
+  }
+  return Status();
+}
+
 Status ServerCore::buildReplicateStream(uint64_t FollowerBase,
                                         uint64_t FollowerSeq,
                                         std::string &Reply, uint64_t &NextSeq,
@@ -380,11 +431,15 @@ Status ServerCore::applyReplicated(const std::string &Line) {
                          "follower WAL is not open");
   if (FailPoint::hit("repl.apply") != FailPoint::Mode::Off)
     return FailPoint::injectedError("repl.apply");
-  // Same pipeline as addLine — validate, append + fsync, apply — except
-  // budgets are off around the apply: the line fit the primary's budgets
-  // when it was first accepted, and a follower that re-aborts it has
-  // diverged, not been protected.
-  Status Checked = Engine.checkConstraint(Line);
+  // Same pipeline as addLine/retractLine — validate, append + fsync,
+  // apply — except budgets are off around the apply: the record fit the
+  // primary's budgets when it was first accepted, and a follower that
+  // re-aborts it has diverged, not been protected.
+  constexpr size_t PrefixLen = sizeof(WalRetractPrefix) - 1;
+  const bool IsRetract = Line.compare(0, PrefixLen, WalRetractPrefix) == 0;
+  const std::string Payload = IsRetract ? Line.substr(PrefixLen) : Line;
+  Status Checked = IsRetract ? Engine.checkRetract(Payload)
+                             : Engine.checkConstraint(Payload);
   if (!Checked)
     return Checked.withContext("replicated line rejected");
   uint64_t WalMark = Wal.sizeBytes();
@@ -392,7 +447,8 @@ Status ServerCore::applyReplicated(const std::string &Line) {
   if (!Logged)
     return Logged;
   Engine.solver().setBudgets(0, 0, 0);
-  Status Added = Engine.addConstraint(Line);
+  Status Added = IsRetract ? Engine.retractConstraint(Payload)
+                           : Engine.addConstraint(Payload);
   Engine.solver().setBudgets(Config.DeadlineMs, Config.EdgeBudget,
                              Config.MaxMemBytes);
   if (!Added) {
@@ -522,6 +578,15 @@ bool ServerCore::handleWriterVerb(const Request &Req, std::string &Reply) {
       return true;
     }
     Reply = "ok added";
+    return true;
+  }
+  if (Req.Verb == "retract") {
+    Status Done = retractLine(Req.Rest);
+    if (!Done) {
+      Err(Done);
+      return true;
+    }
+    Reply = "ok retracted";
     return true;
   }
   if (Req.Verb == "verify") {

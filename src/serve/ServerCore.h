@@ -107,8 +107,8 @@ public:
   QueryEngine &engine() { return Engine; }
   const QueryEngine &engine() const { return Engine; }
 
-  /// Handles one writer-side verb — add, save, checkpoint, stats,
-  /// counters, metrics, shutdown — and writes the full reply (one line,
+  /// Handles one writer-side verb — add, retract, save, checkpoint,
+  /// stats, counters, metrics, shutdown — and writes the full reply (one line,
   /// or the multi-line metrics payload) to \p Reply. Returns false for
   /// verbs this core does not own (queries, help, quit), leaving \p Reply
   /// untouched. A handled `shutdown` also flips shutdownRequested().
@@ -125,6 +125,13 @@ public:
   /// The add pipeline (validate, WAL-append + fsync, apply, un-log on a
   /// budget rollback, auto-checkpoint) — `ok added` iff this returns OK.
   Status addLine(const std::string &Line);
+
+  /// The retraction pipeline — the same durability contract as
+  /// addLine(), with the record logged as `!retract <canonical line>`
+  /// (a WAL v3 record; see serve/Wal.h) so warm recovery and followers
+  /// replay the deletion in sequence with the adds around it. `ok
+  /// retracted` iff this returns OK.
+  Status retractLine(const std::string &Line);
 
   /// Atomic snapshot write; on success returns the byte count. A save
   /// over the startup snapshot is promoted to a checkpoint so the live

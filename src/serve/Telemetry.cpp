@@ -43,6 +43,9 @@ std::string buildStatsReply(const QueryEngine &Engine,
          " hvn_labels=" + std::to_string(S.HVNLabels) +
          " budget_aborts=" + std::to_string(C.BudgetAborts) +
          " rollbacks=" + std::to_string(C.Rollbacks) +
+         " retractions=" + std::to_string(S.Retractions) +
+         " cone_vars=" + std::to_string(S.ConeVarsRecomputed) +
+         " collapses_split=" + std::to_string(S.CollapsesSplit) +
          " wal_replayed=" + std::to_string(Server.WalReplayed) +
          " checkpoints=" + std::to_string(Server.Checkpoints) +
          " wal_records=" + std::to_string(Server.WalRecords) +

@@ -93,6 +93,7 @@ std::vector<uint8_t> encodeHeader(uint64_t BaseId) {
 }
 
 constexpr size_t RecordPrefixSize = 4 + 8; // length + checksum
+constexpr size_t VersionOffset = sizeof(WriteAheadLog::Magic);
 constexpr size_t BaseIdOffset = sizeof(WriteAheadLog::Magic) + 4;
 
 /// Appends are fsync-bound (~ms), so the histogram record is free by
@@ -146,10 +147,13 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
     return Status::error(ErrorCode::Corruption,
                          "WAL '" + Path + "' has a bad magic");
   uint32_t FileVersion = decodeU32(Bytes.data() + sizeof(Magic));
-  if (FileVersion != Version)
-    return Status::error(ErrorCode::VersionSkew,
+  if (FileVersion != 2 && FileVersion != Version)
+    return Status::error(ErrorCode::WalVersion,
                          "WAL '" + Path + "' has unsupported version " +
-                             std::to_string(FileVersion));
+                             std::to_string(FileVersion) +
+                             " (this binary understands versions 2-" +
+                             std::to_string(Version) + ")");
+  Contents.FileVersion = FileVersion;
   Contents.BaseId = decodeU64(Bytes.data() + BaseIdOffset);
 
   // A record that does not fit in the remaining bytes, or whose payload
@@ -169,6 +173,17 @@ Expected<WalContents> WriteAheadLog::replay(const std::string &Path) {
       break;
     Contents.Lines.emplace_back(reinterpret_cast<const char *>(Payload),
                                 Length);
+    // Only a version-3 writer emits retraction records: one inside a
+    // version-2 file means the header was downgraded or tampered with,
+    // and replaying it as a constraint line would corrupt the recovered
+    // state. Refuse rather than guess.
+    if (FileVersion < 3 &&
+        Contents.Lines.back().compare(0, sizeof(WalRetractPrefix) - 1,
+                                      WalRetractPrefix) == 0)
+      return Status::error(ErrorCode::WalVersion,
+                           "WAL '" + Path +
+                               "' claims version 2 but contains a "
+                               "retraction record");
     Pos += RecordPrefixSize + Length;
   }
   Contents.ValidBytes = Pos;
@@ -219,6 +234,22 @@ Status WriteAheadLog::open(const std::string &OpenPath, uint64_t OpenBaseId) {
     if (Recovered->TornBytes &&
         ::ftruncate(NewFd, static_cast<off_t>(Recovered->ValidBytes)) != 0)
       St = posixError("truncate torn tail of WAL '" + OpenPath + "'");
+    // A kept version-2 log gets its header version bumped in place: the
+    // next append may be a retraction record, which a version-2 header
+    // would claim cannot exist. Upgrade before the first append can
+    // land, and fsync so a crash never leaves a retraction record
+    // behind an old header.
+    if (St.ok() && Recovered->FileVersion != Version) {
+      uint8_t Encoded[4];
+      for (int I = 0; I != 4; ++I)
+        Encoded[I] = static_cast<uint8_t>(Version >> (8 * I));
+      if (::pwrite(NewFd, Encoded, sizeof(Encoded),
+                   static_cast<off_t>(VersionOffset)) !=
+          static_cast<ssize_t>(sizeof(Encoded)))
+        St = posixError("upgrade header version of WAL '" + OpenPath + "'");
+      else if (::fsync(NewFd) != 0)
+        St = posixError("fsync WAL '" + OpenPath + "'");
+    }
     if (St.ok() &&
         ::lseek(NewFd, static_cast<off_t>(Recovered->ValidBytes), SEEK_SET) <
             0)

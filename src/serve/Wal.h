@@ -58,6 +58,13 @@
 namespace poce {
 namespace serve {
 
+/// Record payload prefix marking a retraction: `!retract <line>` undoes
+/// the earlier record whose payload is exactly `<line>`. The `!` cannot
+/// start an accepted constraint line, so add records and retraction
+/// records share one payload namespace unambiguously — and retractions
+/// ride the replication stream (`r <seq> !retract <line>`) unchanged.
+inline constexpr char WalRetractPrefix[] = "!retract ";
+
 /// What replay() recovered from a WAL file.
 struct WalContents {
   /// Intact records, oldest first.
@@ -71,6 +78,10 @@ struct WalContents {
   /// False when the file is shorter than the header (a crash during WAL
   /// creation): Lines is empty, BaseId is 0, and every byte is torn.
   bool HeaderIntact = true;
+  /// The header's format version (2 or 3). open() upgrades a version-2
+  /// header to the current version in place so live logs are always
+  /// current-version.
+  uint32_t FileVersion = 0;
 };
 
 /// Append-only log handle. Not thread-safe; scserved is single-threaded
@@ -84,8 +95,13 @@ public:
 
   /// Parses \p Path without opening it for writing. A missing file is ok
   /// (empty contents), and so is a file shorter than the header
-  /// (HeaderIntact=false — see above); a bad magic or unknown version on
-  /// an intact header is an error. Torn tails are reported, not failed.
+  /// (HeaderIntact=false — see above); a bad magic is Corruption, and a
+  /// version outside {2, 3} is WalVersion (the clear "this binary is too
+  /// old for this log" refusal — never silently misread). Version-2
+  /// files are accepted for compatibility, but a version-2 file carrying
+  /// a retraction record is also WalVersion: only a version-3 writer
+  /// emits those, so the header must have been tampered with or
+  /// downgraded. Torn tails are reported, not failed.
   static Expected<WalContents> replay(const std::string &Path);
 
   /// Opens \p Path for appending against the base snapshot identified
@@ -95,8 +111,11 @@ public:
   /// differs from \p BaseId does not extend the caller's snapshot; its
   /// records are DISCARDED and the header re-stamped — callers must
   /// replay() first and decide (with a warning) that the mismatch is a
-  /// stale log, not a misconfiguration, before opening. Fails if
-  /// already open.
+  /// stale log, not a misconfiguration, before opening. A valid
+  /// version-2 file kept intact has its header version upgraded to the
+  /// current version in place (4-byte pwrite + fsync), so a log that is
+  /// open for appending is always current-version. Fails if already
+  /// open.
   Status open(const std::string &Path, uint64_t BaseId = 0);
 
   /// Appends one record and fsyncs. On any failure the file is truncated
@@ -133,8 +152,12 @@ public:
   void close();
 
   static constexpr char Magic[8] = {'P', 'O', 'C', 'E', 'W', 'A', 'L', '\0'};
-  /// Version 2 added the base id to the header.
-  static constexpr uint32_t Version = 2;
+  /// Version 2 added the base id to the header; version 3 added
+  /// retraction records (`!retract <line>` payloads). Version-2 files
+  /// are still readable — the record encoding is unchanged — but a
+  /// version-2 reader must refuse version-3 logs, since skipping a
+  /// retraction record would silently replay retracted constraints.
+  static constexpr uint32_t Version = 3;
   static constexpr size_t HeaderSize = 20;
 
 private:

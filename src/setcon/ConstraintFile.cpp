@@ -361,8 +361,12 @@ Status ConstraintSystemFile::addLine(const std::string &Line,
       Vars.push_back(Solver.varOfCreation(I));
     ExprId L = build(Parsed.Lhs, Solver, Vars);
     ExprId R = build(Parsed.Rhs, Solver, Vars);
+    // The canonical rendered text is the retraction tag: whitespace and
+    // comments are normalized away, so `retract` matches any spelling of
+    // the same constraint.
+    std::string Tag = exprToText(Parsed.Lhs) + " <= " + exprToText(Parsed.Rhs);
     Constraints.push_back({std::move(Parsed.Lhs), std::move(Parsed.Rhs)});
-    Solver.addConstraint(L, R);
+    Solver.addConstraint(L, R, std::move(Tag));
     return Status();
   }
   }
@@ -454,7 +458,34 @@ void ConstraintSystemFile::emit(ConstraintSolver &Solver) const {
   for (const std::string &Name : VarNames)
     Vars.push_back(Solver.freshVar(Name));
   for (const auto &[Lhs, Rhs] : Constraints)
-    Solver.addConstraint(build(Lhs, Solver, Vars), build(Rhs, Solver, Vars));
+    Solver.addConstraint(build(Lhs, Solver, Vars), build(Rhs, Solver, Vars),
+                         exprToText(Lhs) + " <= " + exprToText(Rhs));
+}
+
+Status ConstraintSystemFile::canonicalizeConstraint(const std::string &Line,
+                                                    const ConstraintSolver &Solver,
+                                                    std::string &Canon) const {
+  ParsedLine Parsed;
+  Status St = parseLine(Line, Solver, Parsed);
+  if (!St.ok())
+    return St;
+  if (Parsed.K != ParsedLine::Kind::Constraint)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "not a constraint line (only constraints can be "
+                         "retracted)");
+  Canon = exprToText(Parsed.Lhs) + " <= " + exprToText(Parsed.Rhs);
+  return Status();
+}
+
+bool ConstraintSystemFile::removeConstraint(const std::string &Canon) {
+  for (size_t I = 0; I != Constraints.size(); ++I)
+    if (exprToText(Constraints[I].first) + " <= " +
+            exprToText(Constraints[I].second) ==
+        Canon) {
+      Constraints.erase(Constraints.begin() + I);
+      return true;
+    }
+  return false;
 }
 
 GeneratorFn ConstraintSystemFile::generator() const {

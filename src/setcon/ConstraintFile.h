@@ -81,6 +81,20 @@ public:
   /// since the textual format keys on names.
   Status adoptDeclarations(const ConstraintSolver &Solver);
 
+  /// Parses \p Line as a constraint (var/cons/blank lines are rejected
+  /// with InvalidArgument) and renders it back in canonical text — the
+  /// exact tag addLine()/emit() record with the solver, so retraction by
+  /// line text is whitespace- and comment-insensitive.
+  Status canonicalizeConstraint(const std::string &Line,
+                                const ConstraintSolver &Solver,
+                                std::string &Canon) const;
+
+  /// Removes the first recorded constraint whose canonical text equals
+  /// \p Canon, keeping system and solver provenance aligned after a
+  /// successful ConstraintSolver::retract. Returns false if none
+  /// matches.
+  bool removeConstraint(const std::string &Canon);
+
   /// Adapter for buildOracle().
   GeneratorFn generator() const;
 

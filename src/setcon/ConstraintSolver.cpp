@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <unordered_map>
 
 #define POCE_DEBUG_TYPE "setcon"
 
@@ -147,7 +148,17 @@ uint32_t ConstraintSolver::numLiveVars() const {
 // Worklist and resolution rules
 //===----------------------------------------------------------------------===//
 
-void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs) {
+void ConstraintSolver::addConstraint(ExprId Lhs, ExprId Rhs,
+                                     std::string Tag) {
+  // Record provenance before processing: BaseRoots must list every
+  // accepted top-level input (aborted batches are rolled back by the
+  // caller, so nothing is recorded once the solve is aborted).
+  if (!Stats.Aborted)
+    BaseRoots.push_back({Lhs, Rhs, std::move(Tag)});
+  processRoot(Lhs, Rhs);
+}
+
+void ConstraintSolver::processRoot(ExprId Lhs, ExprId Rhs) {
   invalidateSolutions();
   if (offlinePending()) {
     // Defer the initial bulk load: the offline pass analyzes the whole
@@ -233,6 +244,11 @@ void ConstraintSolver::invalidateSolutions() {
   if (!Finalized)
     return;
   Finalized = false;
+  // Keep the settled solutions aside: the next finalize() diffs the fresh
+  // LSBits against them and bumps the mutation epochs of exactly the
+  // variables whose solutions changed (inductive form; standard form
+  // bumps eagerly at each source arrival and leaves these empty).
+  PrevLSBits = std::move(LSBits);
   LSBits.clear();
   LSView.clear();
   LSViewBuilt.clear();
@@ -617,6 +633,8 @@ bool ConstraintSolver::insertPred(VarId Owner, uint32_t Entry, bool Derived) {
   Node.Preds.push_back(Entry);
   if (!isTermRef(Entry))
     invalidateWaveOrder();
+  else
+    bumpEpoch(Owner); // A new source changes Owner's (standard-form) LS.
   if (!Derived)
     ++Stats.InitialEdges;
   // Closure rule at Owner: the new predecessor pairs with every successor.
@@ -714,6 +732,7 @@ void ConstraintSolver::insertSourceVar(ExprId Source, VarId Var,
     return;
   }
   Node.Preds.push_back(termRef(Source));
+  bumpEpoch(Var);
   if (!Derived)
     ++Stats.InitialEdges;
   if (SeenSources.testAndSet(Source))
@@ -769,6 +788,7 @@ void ConstraintSolver::deliverSources(VarId Target,
     ++Stats.PropagationsPruned;
     return;
   }
+  bumpEpoch(Target);
   if (WasIdle)
     scheduleFlush(Target);
 }
@@ -1007,6 +1027,290 @@ void ConstraintSolver::runPeriodicPass() {
 }
 
 //===----------------------------------------------------------------------===//
+// Constraint retraction
+//===----------------------------------------------------------------------===//
+
+void ConstraintSolver::collectExprVars(ExprId Expr,
+                                       std::vector<VarId> &Out) const {
+  switch (Terms.kind(Expr)) {
+  case ExprKind::Var:
+    Out.push_back(Terms.varOf(Expr));
+    return;
+  case ExprKind::Cons: {
+    const ExprId *Args = Terms.argsOf(Expr);
+    for (unsigned I = 0, E = Terms.numArgs(Expr); I != E; ++I)
+      collectExprVars(Args[I], Out);
+    return;
+  }
+  case ExprKind::Zero:
+  case ExprKind::One:
+    return;
+  }
+}
+
+void ConstraintSolver::computeRetractionCone(
+    ExprId RootL, ExprId RootR, std::vector<uint8_t> &ConeVar,
+    std::vector<uint8_t> &MentionsCone) {
+  // Representative-level flags during the fixpoint; class wholeness is
+  // applied when the raw per-VarId flags are derived at the end.
+  std::vector<uint8_t> ConeRep(numVars(), 0);
+  std::vector<VarId> Frontier;
+  auto AddVar = [&](VarId Var) {
+    VarId Rep = Forwarding.find(Var);
+    if (!ConeRep[Rep]) {
+      ConeRep[Rep] = 1;
+      Frontier.push_back(Rep);
+    }
+  };
+  std::vector<VarId> Seeds;
+  collectExprVars(RootL, Seeds);
+  collectExprVars(RootR, Seeds);
+  for (VarId Var : Seeds)
+    AddVar(Var);
+
+  // (b) forward flow: sources the retracted constraint injected can have
+  // flowed to anything downstream along variable-variable edges, so the
+  // cone is forward-closed over the current variable graph. Conversely,
+  // a variable *not* downstream of any cone variable cannot hold a
+  // source that depended on the retracted root.
+  Digraph G = varVarDigraph();
+
+  MentionsCone.assign(Terms.size(), 0);
+  std::vector<VarId> TermVars;
+  for (;;) {
+    while (!Frontier.empty()) {
+      VarId Rep = Frontier.back();
+      Frontier.pop_back();
+      for (VarId Succ : G.successors(Rep))
+        AddVar(Succ);
+    }
+    // Terms mentioning a cone variable, in one ascending pass (arguments
+    // are interned before any term that uses them, so smaller ids are
+    // final by the time a constructed term asks).
+    for (ExprId Id = 0; Id != Terms.size(); ++Id) {
+      switch (Terms.kind(Id)) {
+      case ExprKind::Var:
+        MentionsCone[Id] = ConeRep[Forwarding.find(Terms.varOf(Id))];
+        break;
+      case ExprKind::Cons: {
+        uint8_t Mentions = 0;
+        const ExprId *Args = Terms.argsOf(Id);
+        for (unsigned I = 0, E = Terms.numArgs(Id); I != E && !Mentions;
+             ++I)
+          Mentions = MentionsCone[Args[I]];
+        MentionsCone[Id] = Mentions;
+        break;
+      }
+      default:
+        MentionsCone[Id] = 0;
+        break;
+      }
+    }
+    // (c) variables occurring in terms a cone variable holds: rebuilding
+    // the holder re-fires the decomposition that derived their edges, so
+    // their state must be rebuilt in the same sweep. (d) variables
+    // holding terms that mention a cone variable: their source x sink
+    // pairings are what re-derive the cone's decomposition edges, and
+    // pairings only fire on insertion — an untouched holder would never
+    // re-deliver.
+    bool Grew = false;
+    for (VarId Var = 0; Var != numVars(); ++Var) {
+      if (!Forwarding.isRepresentative(Var))
+        continue;
+      const VarNode &Node = Vars[Var];
+      // SrcDelta is a subset of PredTerms, so scanning the two term
+      // bitmaps covers everything the node holds.
+      auto Scan = [&](const SparseBitVector &Bits) {
+        Bits.forEach([&](uint32_t Term) {
+          if (ConeRep[Forwarding.find(Var)]) {
+            TermVars.clear();
+            collectExprVars(Term, TermVars);
+            for (VarId Mentioned : TermVars)
+              if (!ConeRep[Forwarding.find(Mentioned)]) {
+                AddVar(Mentioned);
+                Grew = true;
+              }
+          } else if (MentionsCone[Term]) {
+            AddVar(Var);
+            Grew = true;
+          }
+        });
+      };
+      Scan(Node.PredTerms);
+      Scan(Node.SuccTerms);
+    }
+    if (!Grew && Frontier.empty())
+      break;
+  }
+
+  ConeVar.assign(numVars(), 0);
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    ConeVar[Var] = ConeRep[Forwarding.find(Var)];
+}
+
+bool ConstraintSolver::classCycleSurvives(const std::vector<VarId> &Members) {
+  std::unordered_map<VarId, uint32_t> Local;
+  Local.reserve(Members.size());
+  for (uint32_t I = 0; I != Members.size(); ++I)
+    Local.emplace(Members[I], I);
+  // Internal edges among the members from surviving *direct* var <= var
+  // base constraints (derived edges are not provenance: they may have
+  // depended on the retracted root).
+  std::vector<std::vector<uint32_t>> Fwd(Members.size()), Rev(Members.size());
+  bool AnyEdge = false;
+  for (const BaseRoot &Root : BaseRoots) {
+    if (Terms.kind(Root.L) != ExprKind::Var ||
+        Terms.kind(Root.R) != ExprKind::Var)
+      continue;
+    auto LIt = Local.find(Terms.varOf(Root.L));
+    auto RIt = Local.find(Terms.varOf(Root.R));
+    if (LIt == Local.end() || RIt == Local.end())
+      continue;
+    Fwd[LIt->second].push_back(RIt->second);
+    Rev[RIt->second].push_back(LIt->second);
+    AnyEdge = true;
+  }
+  if (!AnyEdge)
+    return false;
+  // One SCC covering every member iff all are forward- and backward-
+  // reachable from member 0.
+  auto CoversAll = [&](const std::vector<std::vector<uint32_t>> &Adj) {
+    std::vector<uint8_t> Seen(Members.size(), 0);
+    std::vector<uint32_t> Stack = {0};
+    Seen[0] = 1;
+    size_t Count = 1;
+    while (!Stack.empty()) {
+      uint32_t Node = Stack.back();
+      Stack.pop_back();
+      for (uint32_t Next : Adj[Node])
+        if (!Seen[Next]) {
+          Seen[Next] = 1;
+          ++Count;
+          Stack.push_back(Next);
+        }
+    }
+    return Count == Members.size();
+  };
+  return CoversAll(Fwd) && CoversAll(Rev);
+}
+
+bool ConstraintSolver::hasRootTag(const std::string &Tag) const {
+  for (const BaseRoot &Root : BaseRoots)
+    if (Root.Tag == Tag)
+      return true;
+  return false;
+}
+
+bool ConstraintSolver::retract(const std::string &Tag) {
+  ensureClosed();
+  if (Stats.Aborted)
+    return false;
+  size_t RootIdx = BaseRoots.size();
+  for (size_t I = 0; I != BaseRoots.size(); ++I)
+    if (BaseRoots[I].Tag == Tag) {
+      RootIdx = I;
+      break;
+    }
+  if (RootIdx == BaseRoots.size())
+    return false;
+  const ExprId RootL = BaseRoots[RootIdx].L;
+  const ExprId RootR = BaseRoots[RootIdx].R;
+  // erase keeps the survivors in input order: the replay below and every
+  // later retraction replay the same sequence a fresh solve would see.
+  BaseRoots.erase(BaseRoots.begin() + RootIdx);
+  ++Stats.Retractions;
+  invalidateSolutions();
+
+  std::vector<uint8_t> ConeVar, MentionsCone;
+  computeRetractionCone(RootL, RootR, ConeVar, MentionsCone);
+
+  // Cone classes with their members, captured before any split changes
+  // the forwarding structure.
+  std::vector<std::vector<VarId>> ClassMembers(numVars());
+  for (VarId Var = 0; Var != numVars(); ++Var)
+    if (ConeVar[Var])
+      ClassMembers[Forwarding.find(Var)].push_back(Var);
+
+  // Scrub: drop the untouched remainder's edges into the cone; the
+  // replay re-derives exactly the surviving ones (insertion pairs a new
+  // entry with every existing opposite-side entry, so re-derivation is
+  // order-independent). Raw-id checks suffice because cone membership is
+  // class-whole. Term entries stay: an outside variable's sources never
+  // depended on the retracted root — rule (b) would have pulled it in.
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (ConeVar[Var] || !Forwarding.isRepresentative(Var))
+      continue;
+    VarNode &Node = Vars[Var];
+    auto Scrub = [&](std::vector<uint32_t> &List, DenseU64Set &VarSet) {
+      std::vector<uint32_t> Fresh;
+      Fresh.reserve(List.size());
+      for (uint32_t Entry : List) {
+        if (!isTermRef(Entry) && ConeVar[payloadOf(Entry)])
+          continue;
+        Fresh.push_back(Entry);
+      }
+      List = std::move(Fresh);
+      DenseU64Set FreshSet;
+      for (uint32_t Entry : List)
+        if (!isTermRef(Entry))
+          FreshSet.insert(Entry);
+      VarSet = std::move(FreshSet);
+    };
+    Scrub(Node.Preds, Node.PredVarSet);
+    Scrub(Node.Succs, Node.SuccVarSet);
+  }
+
+  // Split check: a multi-member class stays collapsed only when the
+  // surviving direct constraints still strongly connect every member.
+  // Otherwise (including every offline HVN-merged class, which has no
+  // online witness cycle) the class dissolves into singletons and the
+  // replay lets online detection re-collapse whatever cycles remain —
+  // splitting is always sound because the whole class is rebuilt.
+  for (VarId Rep = 0; Rep != numVars(); ++Rep) {
+    const std::vector<VarId> &Members = ClassMembers[Rep];
+    if (Members.size() < 2)
+      continue;
+    if (!classCycleSurvives(Members)) {
+      for (VarId Member : Members)
+        Forwarding.reset(Member);
+      ++Stats.CollapsesSplit;
+    }
+  }
+
+  // Reset every cone variable to a fresh node (the collapseCycle idiom)
+  // and mark its solution changed; the replay rebuilds it from surviving
+  // provenance.
+  for (VarId Var = 0; Var != numVars(); ++Var) {
+    if (!ConeVar[Var])
+      continue;
+    VarNode &Node = Vars[Var];
+    Node.Preds.clear();
+    Node.Succs.clear();
+    Node.PredVarSet = DenseU64Set();
+    Node.SuccVarSet = DenseU64Set();
+    Node.PredTerms = SparseBitVector();
+    Node.SuccTerms = SparseBitVector();
+    Node.SrcDelta = SparseBitVector();
+    bumpEpoch(Var);
+    ++Stats.ConeVarsRecomputed;
+  }
+  invalidateWaveOrder();
+
+  // Replay the surviving roots that mention the cone, through the same
+  // schedule addConstraint uses: per-root worklist drains keep the
+  // per-add budget scope, wave mode defers to the root queue and the
+  // closing drain below.
+  for (const BaseRoot &Root : BaseRoots) {
+    if (Stats.Aborted)
+      break;
+    if (MentionsCone[Root.L] || MentionsCone[Root.R])
+      processRoot(Root.L, Root.R);
+  }
+  ensureClosed();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // Least solution
 //===----------------------------------------------------------------------===//
 
@@ -1033,6 +1337,22 @@ void ConstraintSolver::finalize() {
       LSBits.clear();
     materializeAllSolutions(Pool);
   }
+  // Inductive form settles solutions only here, so this is the one place
+  // the per-variable mutation epochs can see downstream effects: diff the
+  // fresh LSBits against the previous settled state and bump exactly the
+  // changed variables (a variable collapsed away since the last finalize
+  // diffs nonempty -> empty, which is harmless — its representative
+  // changed, so no cached view keys on it anymore).
+  if (Options.Form == GraphForm::Inductive) {
+    const SparseBitVector Empty;
+    for (VarId Var = 0; Var != numVars(); ++Var) {
+      const SparseBitVector &Prev =
+          Var < PrevLSBits.size() ? PrevLSBits[Var] : Empty;
+      if (!(LSBits[Var] == Prev))
+        bumpEpoch(Var);
+    }
+  }
+  PrevLSBits.clear();
   if (Timed) {
     leastSolutionHistogram().record(trace::nowMicros() - StartUs);
     trace::complete("solver.least_solution", StartUs);

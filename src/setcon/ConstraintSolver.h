@@ -96,11 +96,63 @@ public:
   /// Returns the expression denoting \p Var.
   ExprId varExpr(VarId Var) { return Terms.var(Var); }
 
+  /// One top-level input constraint, kept as retraction provenance: the
+  /// expressions as added plus the canonical text tag of the input line
+  /// that produced it (empty for untagged API adds). BaseRoots is the
+  /// exact replay set — a fresh solver fed every BaseRoot in order
+  /// computes the same solutions — which is what retract() rebuilds the
+  /// affected cone from.
+  struct BaseRoot {
+    ExprId L, R;
+    std::string Tag;
+  };
+
   /// Adds the constraint L <= R. Under ClosureMode::Worklist every
   /// consequence is processed eagerly before returning (the solver is
   /// fully online); under ClosureMode::Wave the constraint is deferred
   /// until a solution or graph observer forces ensureClosed().
-  void addConstraint(ExprId L, ExprId R);
+  ///
+  /// \p Tag names the input line this constraint came from (canonical
+  /// rendered text); retract(Tag) removes it later. Internal replays
+  /// (collapse re-adds, offline replays, retraction rebuilds) never pass
+  /// through here, so each accepted input is recorded exactly once.
+  void addConstraint(ExprId L, ExprId R, std::string Tag = "");
+
+  /// Removes the first base constraint recorded with \p Tag and repairs
+  /// the graph incrementally: the affected cone — every variable whose
+  /// state may depend on the retracted constraint — is identified,
+  /// reset, and rebuilt by replaying the surviving base constraints that
+  /// mention it, while the untouched remainder of the graph stays in
+  /// place. Collapsed-cycle classes inside the cone are split back into
+  /// singletons unless their witness cycle provably survives among the
+  /// direct surviving constraints (offline HVN-merged classes always
+  /// split: they have no online witness cycle). Returns false if no base
+  /// constraint carries \p Tag or the solver has already aborted.
+  ///
+  /// Afterwards, solutions are bit-identical to a fresh solve of the
+  /// surviving constraints (the correctness oracle the retraction tests
+  /// enforce). Per-batch budgets apply to the replay exactly as they do
+  /// to addConstraint; on abort the graph is structurally valid but not
+  /// a closure — callers roll back, as for an aborted add.
+  bool retract(const std::string &Tag);
+
+  /// True if some recorded base constraint carries \p Tag (the dry-run
+  /// check servers use before WAL-logging a retraction).
+  bool hasRootTag(const std::string &Tag) const;
+
+  /// The recorded base constraints in input order.
+  const std::vector<BaseRoot> &baseRoots() const { return BaseRoots; }
+
+  /// Mutation epoch of \p Var's least solution: bumped whenever the
+  /// solution bitmap of the representative may have changed (grown by an
+  /// add, shrunk or regrown by a retraction). A cached view keyed on
+  /// (representative, epoch) is valid iff both still match — unlike a
+  /// popcount fingerprint, the epoch cannot collide when a retraction
+  /// shrinks and regrows a solution to the same size with different
+  /// members. Returns 0 for ids never bumped.
+  uint64_t mutationEpoch(VarId Var) const {
+    return Var < MutEpochs.size() ? MutEpochs[Var] : 0;
+  }
 
   /// Completes the closure of everything added so far. A no-op in
   /// worklist mode (addConstraint already closed eagerly); in wave mode
@@ -357,6 +409,12 @@ private:
   // Resolution and closure
   //===--------------------------------------------------------------------===
 
+  /// The closure entry point addConstraint delegates to after recording
+  /// provenance: defers to PreRoots/RootQueue or drains eagerly. Internal
+  /// replays (offline pass, retraction rebuild) call this directly so the
+  /// provenance log records each accepted input exactly once.
+  void processRoot(ExprId Lhs, ExprId Rhs);
+
   void drainWorklist();
   void resolve(ExprId Lhs, ExprId Rhs, bool Derived);
   void handleMismatch(ExprId Lhs, ExprId Rhs);
@@ -493,6 +551,38 @@ private:
   void recordVarVar(VarId Lhs, VarId Rhs, bool Derived);
 
   //===--------------------------------------------------------------------===
+  // Constraint retraction
+  //===--------------------------------------------------------------------===
+
+  /// Appends every variable occurring in \p Expr's term tree to \p Out.
+  void collectExprVars(ExprId Expr, std::vector<VarId> &Out) const;
+
+  /// Computes the retraction cone for the removed root L <= R: the set of
+  /// variables whose graph state may depend on it. Seeds with the root's
+  /// mentioned variables, then closes under (a) class wholeness, (b)
+  /// forward flow along variable-variable edges, (c) variables occurring
+  /// in terms a cone variable holds, and (d) variables holding terms that
+  /// mention a cone variable (their pairings re-derive the cone's edges).
+  /// On return \p ConeVar flags every affected raw VarId and
+  /// \p MentionsCone flags every ExprId whose tree mentions one.
+  void computeRetractionCone(ExprId RootL, ExprId RootR,
+                             std::vector<uint8_t> &ConeVar,
+                             std::vector<uint8_t> &MentionsCone);
+
+  /// True if the surviving direct variable-variable base constraints
+  /// still strongly connect every member of the collapsed class listed
+  /// in \p Members — the cheap certificate that the class's witness
+  /// cycle survives the retraction and the collapse may stay.
+  bool classCycleSurvives(const std::vector<VarId> &Members);
+
+  /// Marks the least-solution epoch of \p Var (raw id) as changed.
+  void bumpEpoch(VarId Var) {
+    if (MutEpochs.size() < Vars.size())
+      MutEpochs.resize(Vars.size(), 0);
+    ++MutEpochs[Var];
+  }
+
+  //===--------------------------------------------------------------------===
   // Least solution
   //===--------------------------------------------------------------------===
 
@@ -520,6 +610,24 @@ private:
   std::vector<VarNode> Vars;
   UnionFind Forwarding;
   std::vector<VarId> VarOfCreation;
+
+  /// Retraction provenance: every top-level input constraint in input
+  /// order (see BaseRoot). Not touched by internal replays.
+  std::vector<BaseRoot> BaseRoots;
+  /// Per raw VarId least-solution mutation epochs (see mutationEpoch),
+  /// lazily grown by bumpEpoch. Standard form bumps eagerly at every
+  /// source-bitmap growth (PredTerms is the solution); inductive form
+  /// bumps in finalize() by comparing fresh LSBits against PrevLSBits,
+  /// because an eager bump at an upstream variable cannot see which
+  /// downstream solutions its sources reach. Both retraction paths bump
+  /// every cone member explicitly (a shrink produces no growth events).
+  /// Never serialized: a snapshot reload conservatively restarts at 0 and
+  /// the query cache restarts empty with it.
+  std::vector<uint64_t> MutEpochs;
+  /// Inductive form: the LSBits of the last finalized state, moved aside
+  /// by invalidateSolutions so the next finalize() can diff solutions and
+  /// bump the epochs of exactly the variables that changed.
+  std::vector<SparseBitVector> PrevLSBits;
 
   std::vector<WorkItem> Worklist;
   bool Draining = false;

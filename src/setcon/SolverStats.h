@@ -103,6 +103,18 @@ struct SolverStats {
   /// an extra flush of an already-visited variable within the sweep.
   uint64_t WaveFallbacks = 0;
 
+  /// Constraint retractions performed (ConstraintSolver::retract calls
+  /// that found and removed a base root).
+  uint64_t Retractions = 0;
+  /// Variables reset and rebuilt by retraction cone recomputes (class
+  /// members counted individually) — the locality measure retraction is
+  /// judged by against a full re-solve.
+  uint64_t ConeVarsRecomputed = 0;
+  /// Collapsed-cycle classes dissolved back into singletons because a
+  /// retraction removed an edge their witness cycle needed (offline
+  /// HVN-merged classes always split: they have no online witness cycle).
+  uint64_t CollapsesSplit = 0;
+
   /// Why an aborted solve stopped. None while Aborted is false.
   enum class AbortReason : uint8_t {
     None = 0,
@@ -169,6 +181,9 @@ struct SolverStats {
     WavePasses += RHS.WavePasses;
     LevelsPropagated += RHS.LevelsPropagated;
     WaveFallbacks += RHS.WaveFallbacks;
+    Retractions += RHS.Retractions;
+    ConeVarsRecomputed += RHS.ConeVarsRecomputed;
+    CollapsesSplit += RHS.CollapsesSplit;
     Aborted = Aborted || RHS.Aborted;
     if (Abort == AbortReason::None)
       Abort = RHS.Abort;
@@ -193,7 +208,7 @@ struct SolverStats {
 
   /// Every counter with its snake_case key — the single naming source for
   /// the metrics-registry export and any full JSON emitter.
-  std::array<NamedCounter, 24> allCounters() const {
+  std::array<NamedCounter, 27> allCounters() const {
     return {{{"VarsCreated", "vars_created", VarsCreated},
              {"OracleSubs", "oracle_substitutions", OracleSubstitutions},
              {"InitialEdges", "initial_edges", InitialEdges},
@@ -217,7 +232,10 @@ struct SolverStats {
              {"Pruned", "propagations_pruned", PropagationsPruned},
              {"WavePasses", "wave_passes", WavePasses},
              {"Levels", "levels_propagated", LevelsPropagated},
-             {"Fallbacks", "wave_fallbacks", WaveFallbacks}}};
+             {"Fallbacks", "wave_fallbacks", WaveFallbacks},
+             {"Retractions", "retractions", Retractions},
+             {"ConeVars", "cone_vars_recomputed", ConeVarsRecomputed},
+             {"Splits", "collapses_split", CollapsesSplit}}};
   }
 
   /// Mirrors every counter into \p Registry as a gauge named

@@ -39,6 +39,7 @@ enum class ErrorCode : uint8_t {
   IoError,            ///< open/read/write/fsync/rename failed.
   Corruption,         ///< Stored bytes fail checksum/bounds/invariants.
   VersionSkew,        ///< Valid container, unsupported format version.
+  WalVersion,         ///< WAL format newer than this binary understands.
   NotFound,           ///< Named entity does not exist.
   TooLarge,           ///< Request exceeds a configured size limit.
   BudgetExceeded,     ///< Deadline/edge/memory budget breached mid-solve.
@@ -62,6 +63,8 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "corruption";
   case ErrorCode::VersionSkew:
     return "version_skew";
+  case ErrorCode::WalVersion:
+    return "wal_version";
   case ErrorCode::NotFound:
     return "not_found";
   case ErrorCode::TooLarge:

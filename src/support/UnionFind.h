@@ -84,6 +84,16 @@ public:
 
   bool inSameSet(uint32_t A, uint32_t B) { return find(A) == find(B); }
 
+  /// Detaches \p Id into its own singleton class. Constraint retraction
+  /// uses this to dissolve a collapsed cycle whose witness lost an edge:
+  /// the caller must reset *every* member of the class (members may be
+  /// parent links on other members' paths, so resetting a strict subset
+  /// would leave dangling parents pointing into the detached part).
+  void reset(uint32_t Id) {
+    assert(Id < Parent.size() && "reset() id out of range!");
+    Parent[Id] = Id;
+  }
+
 private:
   std::vector<uint32_t> Parent;
 };

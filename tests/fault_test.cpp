@@ -249,7 +249,8 @@ TEST(WalTest, RejectsBadHeaderAndVersionSkew) {
   EXPECT_FALSE(Wal.isOpen());
 
   // Correct magic, future version (on a full-length header so it is not
-  // mistaken for a torn one): VersionSkew, not Corruption.
+  // mistaken for a torn one): the dedicated wal_version refusal, not
+  // Corruption — a newer binary's log must never be silently misread.
   {
     std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
     Out.write(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
@@ -260,7 +261,86 @@ TEST(WalTest, RejectsBadHeaderAndVersionSkew) {
   }
   Contents = WriteAheadLog::replay(Path);
   ASSERT_FALSE(Contents.ok());
-  EXPECT_EQ(Contents.status().code(), ErrorCode::VersionSkew);
+  EXPECT_EQ(Contents.status().code(), ErrorCode::WalVersion);
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// Hand-writes a WAL file with an arbitrary header version (the live
+/// WriteAheadLog always stamps the current one) so version-skew paths
+/// can be exercised.
+void writeWalFile(const std::string &Path, uint32_t Version,
+                  const std::vector<std::string> &Lines) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(WriteAheadLog::Magic, sizeof(WriteAheadLog::Magic));
+  auto U32 = [&Out](uint32_t V) {
+    char Bytes[4];
+    for (int I = 0; I != 4; ++I)
+      Bytes[I] = static_cast<char>(V >> (8 * I));
+    Out.write(Bytes, sizeof(Bytes));
+  };
+  auto U64 = [&Out](uint64_t V) {
+    char Bytes[8];
+    for (int I = 0; I != 8; ++I)
+      Bytes[I] = static_cast<char>(V >> (8 * I));
+    Out.write(Bytes, sizeof(Bytes));
+  };
+  U32(Version);
+  U64(0); // base id
+  for (const std::string &Line : Lines) {
+    U32(static_cast<uint32_t>(Line.size()));
+    U64(fnv1a64(reinterpret_cast<const uint8_t *>(Line.data()),
+                Line.size()));
+    Out.write(Line.data(), static_cast<std::streamsize>(Line.size()));
+  }
+}
+
+} // namespace
+
+TEST(WalTest, Version2FilesReplayAndUpgradeOnOpen) {
+  // A pre-retraction (version 2) log must stay readable, and open()
+  // must bump its header in place so any retraction record appended
+  // later sits behind a version-3 header.
+  std::string Path = tempPath("v2.wal");
+  writeWalFile(Path, 2, {"var x", "cons s", "s <= x"});
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->FileVersion, 2u);
+  ASSERT_EQ(Contents->Lines.size(), 3u);
+  EXPECT_EQ(Contents->Lines[2], "s <= x");
+
+  WriteAheadLog Wal;
+  ASSERT_TRUE(Wal.open(Path, 0).ok());
+  EXPECT_EQ(Wal.records(), 3u);
+  ASSERT_TRUE(Wal.append(std::string(WalRetractPrefix) + "s <= x").ok());
+  Wal.close();
+
+  Contents = WriteAheadLog::replay(Path);
+  ASSERT_TRUE(Contents.ok()) << Contents.status();
+  EXPECT_EQ(Contents->FileVersion, WriteAheadLog::Version);
+  ASSERT_EQ(Contents->Lines.size(), 4u);
+  EXPECT_EQ(Contents->Lines[3], "!retract s <= x");
+  std::remove(Path.c_str());
+}
+
+TEST(WalTest, Version2FileWithRetractRecordIsRefused) {
+  // Only a version-3 writer emits `!retract` records; one inside a file
+  // claiming version 2 means the header was downgraded or tampered
+  // with. Replaying it as a constraint would corrupt the recovered
+  // state, so the whole log is refused with the wal_version code a
+  // version-2 scserved also uses when it meets a version-3 log.
+  std::string Path = tempPath("v2retract.wal");
+  writeWalFile(Path, 2,
+               {"var x", "cons s", "s <= x",
+                std::string(WalRetractPrefix) + "s <= x"});
+  Expected<WalContents> Contents = WriteAheadLog::replay(Path);
+  ASSERT_FALSE(Contents.ok());
+  EXPECT_EQ(Contents.status().code(), ErrorCode::WalVersion);
+  EXPECT_EQ(std::string(errorCodeName(Contents.status().code())),
+            "wal_version");
+  WriteAheadLog Wal;
+  EXPECT_FALSE(Wal.open(Path, 0).ok());
   std::remove(Path.c_str());
 }
 

@@ -864,4 +864,103 @@ TEST(NetReplicationTest, VerifyConvergesAcrossRepresentationDivergence) {
   FolLoop.join();
 }
 
+//===----------------------------------------------------------------------===//
+// Strict wire-integer parsing and retraction over sockets
+//===----------------------------------------------------------------------===//
+
+// Satellite regression: the old parsers called strtoull directly, which
+// silently accepts "-1" (wrapping to UINT64_MAX) and leading whitespace.
+// A replica handshaking with `replicate -1 -1` used to be treated as a
+// cursor at the end of the log instead of being refused.
+TEST(NetParseTest, StrictIntegerParsing) {
+  uint64_t V = 0;
+
+  EXPECT_TRUE(parseHexU64("0", V)) << "plain zero";
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseHexU64("1f", V));
+  EXPECT_EQ(V, 0x1fu);
+  EXPECT_TRUE(parseHexU64("ffffffffffffffff", V));
+  EXPECT_EQ(V, UINT64_MAX);
+  EXPECT_TRUE(parseDecU64("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(parseDecU64("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+
+  // The strtoull traps: sign prefixes and whitespace must be refused.
+  EXPECT_FALSE(parseHexU64("-1", V));
+  EXPECT_FALSE(parseDecU64("-1", V));
+  EXPECT_FALSE(parseDecU64("+7", V));
+  EXPECT_FALSE(parseDecU64(" 7", V));
+  EXPECT_FALSE(parseHexU64(" f", V));
+  EXPECT_FALSE(parseHexU64("\t0", V));
+
+  // Trailing junk, empties, and non-digits.
+  EXPECT_FALSE(parseDecU64("7x", V));
+  EXPECT_FALSE(parseHexU64("12 ", V));
+  EXPECT_FALSE(parseDecU64("", V));
+  EXPECT_FALSE(parseHexU64("", V));
+  EXPECT_FALSE(parseHexU64("g1", V));
+  EXPECT_FALSE(parseDecU64("12a", V));
+
+  // Overflow is an error, not a silent clamp to ULLONG_MAX.
+  EXPECT_FALSE(parseDecU64("18446744073709551616", V));
+  EXPECT_FALSE(parseHexU64("10000000000000000", V));
+}
+
+TEST(NetServerTest, MalformedReplicateHandshakeIsRefused) {
+  serve::ServerCoreConfig CoreCfg;
+  CoreCfg.SnapshotPath = replTempPath("malformed.snap");
+  CoreCfg.WalPath = replTempPath("malformed.wal");
+  LoopbackServer S(SwapText, {}, CoreCfg);
+  ASSERT_TRUE(S.Error.empty()) << S.Error;
+
+  const char *Bad[] = {"replicate -1 -1", "replicate g0 0", "replicate 5 5x",
+                       "replicate 0 +1"};
+  for (const char *Line : Bad) {
+    LineClient C = S.client();
+    std::string Reply = ask(C, Line);
+    EXPECT_EQ(Reply.rfind("err invalid_argument ", 0), 0u)
+        << Line << " -> " << Reply;
+  }
+
+  // A well-formed cursor on the same server still handshakes.
+  LineClient Good = S.client();
+  ASSERT_TRUE(Good.sendLine("replicate 0 0").ok());
+  std::string Header;
+  ASSERT_TRUE(Good.recvLine(Header).ok());
+  EXPECT_EQ(Header.rfind("ok snapshot ", 0), 0u) << Header;
+}
+
+TEST(NetReplicationTest, RetractReplicatesAndConverges) {
+  ReplPair Pair("retract");
+  ASSERT_TRUE(Pair.Primary && Pair.Primary->Error.empty())
+      << (Pair.Primary ? Pair.Primary->Error : "no primary");
+  ASSERT_TRUE(Pair.Follower && Pair.Follower->Error.empty())
+      << (Pair.Follower ? Pair.Follower->Error : "no follower");
+
+  LineClient P = Pair.Primary->client();
+  EXPECT_EQ(ask(P, "add cons w0"), "ok added");
+  EXPECT_EQ(ask(P, "add w0 <= P"), "ok added");
+  ASSERT_TRUE(Pair.converge());
+
+  LineClient F = Pair.Follower->client();
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("w0"), 1u);
+
+  // Retraction is a write: the follower refuses it.
+  std::string Refused = ask(F, "retract w0 <= P");
+  EXPECT_EQ(Refused.rfind("err read_only ", 0), 0u) << Refused;
+
+  // On the primary it lands, ships through the tail, and `verify` stays
+  // the convergence oracle across the deletion.
+  EXPECT_EQ(ask(P, "retract w0 <= P"), "ok retracted");
+  EXPECT_EQ(ask(P, "retract w0 <= P"),
+            "err not_found no live constraint 'w0 <= P' to retract");
+  ASSERT_TRUE(Pair.converge());
+  EXPECT_EQ(parseSet(ask(F, "pts P")).count("w0"), 0u);
+  EXPECT_EQ(ask(F, "pts P"), ask(P, "pts P"));
+
+  // The cycle P/Q/T from the seed text is untouched by the retraction.
+  EXPECT_EQ(ask(F, "alias P Q"), "ok true");
+}
+
 } // namespace

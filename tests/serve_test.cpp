@@ -357,8 +357,8 @@ TEST(TelemetryTest, StatsReplyFieldsAndMonotonicity) {
   for (const char *Key :
        {"config", "vars", "live", "work", "cycles_collapsed",
         "vars_eliminated", "offline_vars", "hvn_labels", "budget_aborts",
-        "rollbacks", "wal_replayed",
-        "checkpoints", "wal_records", "wal_bytes"})
+        "rollbacks", "retractions", "cone_vars", "collapses_split",
+        "wal_replayed", "checkpoints", "wal_records", "wal_bytes"})
     EXPECT_TRUE(Kv.count(Key)) << "missing " << Key << " in: " << Reply;
   EXPECT_EQ(Kv["config"], "IF-Online");
   EXPECT_EQ(Kv["wal_replayed"], "3");
@@ -465,6 +465,127 @@ TEST(TelemetryTest, MetricsReplyIsFramedLintedPrometheus) {
     }
   }
   EXPECT_EQ(Line, "# EOF") << "payload not terminated";
+}
+
+TEST(QueryEngineTest, RetractionInvalidatesCacheDespiteEqualPopcount) {
+  // Regression for the popcount cache fingerprint: retract {a} then add
+  // {b} and the solution bitmap returns to population count 1 with a
+  // different member. The old fingerprint scheme would have served the
+  // stale "{ a }" view from cache; the mutation-epoch key must not.
+  const char *Text = "cons a\n"
+                     "cons b\n"
+                     "var X\n"
+                     "a <= X\n";
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive}) {
+    TextSystem Sys(Text, makeConfig(Form, CycleElim::Online));
+    ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+    QueryEngine Engine(Sys.take());
+    ASSERT_TRUE(Engine.valid()) << Engine.initError();
+    VarId X = Engine.varOf("X");
+
+    EXPECT_EQ(Engine.pts(X), std::vector<std::string>{"a"}); // Cached.
+    ASSERT_TRUE(Engine.retractConstraint("a <= X").ok());
+    ASSERT_TRUE(Engine.addConstraint("b <= X").ok());
+    EXPECT_EQ(Engine.pts(X), std::vector<std::string>{"b"});
+    EXPECT_EQ(Engine.counters().StaleRebuilds, 1u);
+    EXPECT_EQ(Engine.counters().Retractions, 1u);
+
+    // The journal carries the retraction as a WAL v3 record payload.
+    ASSERT_EQ(Engine.journal().size(), 2u);
+    EXPECT_EQ(Engine.journal()[0], "!retract a <= X");
+    EXPECT_EQ(Engine.journal()[1], "b <= X");
+  }
+}
+
+TEST(QueryEngineTest, RetractErrorsAndCanonicalization) {
+  const char *Text = "cons a\n"
+                     "var X Y\n"
+                     "a <= X\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(Sys.take());
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+
+  // Whitespace-insensitive: the line canonicalizes before matching.
+  EXPECT_TRUE(Engine.checkRetract("  a   <=   X  # comment").ok());
+  // Not a live constraint.
+  EXPECT_EQ(Engine.checkRetract("X <= Y").code(), ErrorCode::NotFound);
+  EXPECT_EQ(Engine.retractConstraint("X <= Y").code(), ErrorCode::NotFound);
+  // Not a constraint line at all.
+  EXPECT_EQ(Engine.checkRetract("var Z").code(), ErrorCode::InvalidArgument);
+  // Unknown names surface as parse errors from canonicalization.
+  EXPECT_FALSE(Engine.checkRetract("nope <= X").ok());
+
+  ASSERT_TRUE(Engine.retractConstraint("a <= X \t").ok());
+  VarId X = Engine.varOf("X");
+  EXPECT_EQ(Engine.pts(X), std::vector<std::string>{});
+  // Retracting twice: the constraint is gone.
+  EXPECT_EQ(Engine.retractConstraint("a <= X").code(), ErrorCode::NotFound);
+}
+
+TEST(QueryEngineTest, RollbackReplaysJournaledRetractions) {
+  // A budget breach after a mix of adds and retractions must restore
+  // exactly the pre-breach state — including the deletions.
+  std::string Text = "cons s\nvar A B\ns <= A\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(Sys.take());
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+  ASSERT_TRUE(Engine.rollbackArmed());
+
+  ASSERT_TRUE(Engine.addConstraint("A <= B").ok());
+  ASSERT_TRUE(Engine.retractConstraint("s <= A").ok());
+  VarId A = Engine.varOf("A"), B = Engine.varOf("B");
+  EXPECT_EQ(Engine.pts(A), std::vector<std::string>{});
+  EXPECT_EQ(Engine.pts(B), std::vector<std::string>{});
+
+  // A chain whose flooding exceeds a minimal per-batch work budget.
+  ASSERT_TRUE(Engine.addConstraint("var C0").ok());
+  for (int I = 1; I != 40; ++I) {
+    ASSERT_TRUE(Engine.addConstraint("var C" + std::to_string(I)).ok());
+    ASSERT_TRUE(Engine
+                    .addConstraint("C" + std::to_string(I - 1) + " <= C" +
+                                   std::to_string(I))
+                    .ok());
+  }
+  Engine.solver().setBudgets(0, /*MaxEdgeBudget=*/1, 0);
+  Status Breach = Engine.addConstraint("s <= C0");
+  ASSERT_FALSE(Breach.ok());
+  EXPECT_EQ(Breach.code(), ErrorCode::BudgetExceeded);
+  EXPECT_EQ(Engine.counters().Rollbacks, 1u);
+
+  // The rollback replayed the journal — adds AND the retraction.
+  A = Engine.varOf("A");
+  B = Engine.varOf("B");
+  EXPECT_EQ(Engine.pts(A), std::vector<std::string>{});
+  EXPECT_EQ(Engine.pts(B), std::vector<std::string>{});
+  EXPECT_FALSE(Engine.solver().hasRootTag("s <= A"));
+  EXPECT_TRUE(Engine.solver().hasRootTag("A <= B"));
+}
+
+TEST(QueryEngineTest, SnapshotRoundTripPreservesProvenance) {
+  // checkpointBase absorbs journaled retractions because the v3
+  // snapshot carries the base-root provenance: a reloaded engine can
+  // still retract constraints added before the checkpoint.
+  std::string Text = "cons a\ncons b\nvar X\na <= X\nb <= X\n";
+  TextSystem Sys(Text, makeConfig(GraphForm::Inductive, CycleElim::Online));
+  ASSERT_TRUE(Sys.Error.empty()) << Sys.Error;
+  QueryEngine Engine(Sys.take());
+  ASSERT_TRUE(Engine.valid()) << Engine.initError();
+
+  std::vector<uint8_t> Bytes;
+  ASSERT_TRUE(GraphSnapshot::serialize(Engine.solver(), Bytes).ok());
+  SolverBundle Reloaded;
+  ASSERT_TRUE(
+      GraphSnapshot::deserialize(Bytes.data(), Bytes.size(), Reloaded).ok());
+  QueryEngine Warm(std::move(Reloaded));
+  ASSERT_TRUE(Warm.valid()) << Warm.initError();
+
+  // The reloaded solver still knows both tags and can retract one.
+  EXPECT_TRUE(Warm.solver().hasRootTag("a <= X"));
+  ASSERT_TRUE(Warm.retractConstraint("a <= X").ok());
+  VarId X = Warm.varOf("X");
+  EXPECT_EQ(Warm.pts(X), std::vector<std::string>{"b"});
 }
 
 } // namespace

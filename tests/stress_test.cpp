@@ -4,11 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "setcon/ConstraintFile.h"
 #include "setcon/ConstraintSolver.h"
 #include "setcon/Oracle.h"
 #include "support/PRNG.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 using namespace poce;
 
@@ -218,3 +222,191 @@ TEST_P(RandomStressTest, MixedConstraintSoup) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomStressTest,
                          testing::Range<uint64_t>(1, 16));
+
+//===----------------------------------------------------------------------===//
+// Randomized add/retract interleaving under the parallel wave scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tagged-line solver pair, the path retraction runs through in the serve
+/// layer (ConstraintSystemFile stamps each constraint with its canonical
+/// line text as the provenance tag).
+struct LineHarness {
+  ConstructorTable Constructors;
+  TermTable Terms;
+  ConstraintSolver Solver;
+  ConstraintSystemFile System;
+
+  explicit LineHarness(SolverOptions Options)
+      : Terms(Constructors), Solver(Terms, Options) {}
+
+  void add(const std::string &Line) {
+    Status St = System.addLine(Line, Solver);
+    ASSERT_TRUE(St.ok()) << "line '" << Line << "': " << St.toString();
+  }
+
+  bool retract(const std::string &Line) {
+    std::string Canon;
+    Status St = System.canonicalizeConstraint(Line, Solver, Canon);
+    EXPECT_TRUE(St.ok()) << St.toString();
+    bool Removed = Solver.retract(Canon);
+    if (Removed)
+      EXPECT_TRUE(System.removeConstraint(Canon));
+    return Removed;
+  }
+
+  /// Rendered least solutions per creation order, sorted by text so that
+  /// incremental and fresh solvers compare despite differing ExprIds.
+  std::vector<std::vector<std::string>> solutions() {
+    std::vector<std::vector<std::string>> Out;
+    for (uint32_t I = 0; I != Solver.numCreations(); ++I) {
+      std::vector<std::string> Rendered;
+      for (ExprId Term : Solver.leastSolution(Solver.varOfCreation(I)))
+        Rendered.push_back(Solver.exprStr(Term));
+      std::sort(Rendered.begin(), Rendered.end());
+      Out.push_back(std::move(Rendered));
+    }
+    return Out;
+  }
+};
+
+struct LineCorpus {
+  std::vector<std::string> Decls;
+  std::vector<std::string> Constraints;
+};
+
+/// Splits an .scs text into declaration lines and constraint lines.
+LineCorpus splitSystem(const std::string &Text) {
+  LineCorpus Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    std::string Word = Line.substr(First, Line.find(' ', First) - First);
+    if (Word == "cons" || Word == "var")
+      Out.Decls.push_back(Line);
+    else
+      Out.Constraints.push_back(Line);
+  }
+  return Out;
+}
+
+LineCorpus swapCorpus() {
+  std::ifstream In(std::string(POCE_SOURCE_DIR) +
+                   "/examples/data/swap.scs");
+  EXPECT_TRUE(In.good());
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return splitSystem(Buffer.str());
+}
+
+/// Random tagged-line system: plain var-var edges, nullary sources, and
+/// ref() cells so retraction unwinds decomposition too.
+LineCorpus randomCorpus(uint64_t Seed) {
+  LineCorpus Out;
+  PRNG Rng(Seed * 7919);
+  const uint32_t Vars = 14, Cons = 4, Lines = 36;
+  Out.Decls.push_back("cons ref + -");
+  std::string VarLine = "var";
+  for (uint32_t V = 0; V != Vars; ++V)
+    VarLine += " v" + std::to_string(V);
+  Out.Decls.push_back(VarLine);
+  for (uint32_t C = 0; C != Cons; ++C)
+    Out.Decls.push_back("cons s" + std::to_string(C));
+  auto Var = [&] { return "v" + std::to_string(Rng.nextBelow(Vars)); };
+  for (uint32_t I = 0; I != Lines; ++I) {
+    std::string Line;
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      Line = Var() + " <= " + Var();
+      break;
+    case 1:
+      Line = "s" + std::to_string(Rng.nextBelow(Cons)) + " <= " + Var();
+      break;
+    case 2:
+      Line = "ref(" + Var() + ", " + Var() + ") <= " + Var();
+      break;
+    case 3:
+      Line = Var() + " <= ref(" + Var() + ", " + Var() + ")";
+      break;
+    }
+    if (std::find(Out.Constraints.begin(), Out.Constraints.end(), Line) ==
+        Out.Constraints.end())
+      Out.Constraints.push_back(Line);
+  }
+  return Out;
+}
+
+std::vector<std::vector<std::string>>
+freshLineSolutions(SolverOptions Options, const LineCorpus &Corpus,
+                   const std::vector<std::string> &Live) {
+  LineHarness Fresh(Options);
+  for (const std::string &Line : Corpus.Decls)
+    Fresh.add(Line);
+  for (const std::string &Line : Live)
+    Fresh.add(Line);
+  return Fresh.solutions();
+}
+
+/// Drives a random add/retract interleaving and asserts the oracle after
+/// every retract: the incremental solver's rendered least solutions are
+/// bit-identical to a fresh solve of the surviving lines.
+void runInterleaving(SolverOptions Options, const LineCorpus &Corpus,
+                     uint64_t Seed) {
+  LineHarness H(Options);
+  for (const std::string &Line : Corpus.Decls)
+    H.add(Line);
+
+  PRNG Rng(Seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<std::string> Live, Pending = Corpus.Constraints;
+  // Seed with roughly half the lines, then interleave.
+  for (size_t I = 0; I * 2 < Corpus.Constraints.size(); ++I) {
+    Live.push_back(Pending.back());
+    Pending.pop_back();
+    H.add(Live.back());
+  }
+  for (int Op = 0; Op != 48; ++Op) {
+    bool DoAdd = Live.empty() || (!Pending.empty() && Rng.nextBelow(5) < 3);
+    if (DoAdd) {
+      size_t Pick = Rng.nextBelow(Pending.size());
+      std::swap(Pending[Pick], Pending.back());
+      Live.push_back(Pending.back());
+      Pending.pop_back();
+      H.add(Live.back());
+      continue;
+    }
+    size_t Pick = Rng.nextBelow(Live.size());
+    std::swap(Live[Pick], Live.back());
+    ASSERT_TRUE(H.retract(Live.back())) << Live.back();
+    Pending.push_back(Live.back());
+    Live.pop_back();
+    ASSERT_EQ(H.solutions(), freshLineSolutions(Options, Corpus, Live))
+        << Options.configName() << " after retracting '" << Pending.back()
+        << "'";
+    ASSERT_TRUE(H.Solver.verifyGraphInvariants());
+  }
+  EXPECT_GT(H.Solver.stats().Retractions, 0u);
+}
+
+} // namespace
+
+class RetractInterleaveStressTest : public testing::TestWithParam<unsigned> {
+};
+
+TEST_P(RetractInterleaveStressTest, CorpusAndRandomSystems) {
+  unsigned Threads = GetParam();
+  for (GraphForm Form : {GraphForm::Standard, GraphForm::Inductive}) {
+    SolverOptions Options = makeConfig(Form, CycleElim::Online);
+    Options.Closure = ClosureMode::Wave;
+    Options.Threads = Threads;
+    runInterleaving(Options, swapCorpus(), /*Seed=*/Threads * 11u + 1);
+    runInterleaving(Options, randomCorpus(Threads + 1),
+                    /*Seed=*/Threads * 13u + 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RetractInterleaveStressTest,
+                         testing::Values(1u, 2u, 8u));
